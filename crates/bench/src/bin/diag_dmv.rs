@@ -1,0 +1,42 @@
+//! Diagnostic: per-query work with and without POP on the DMV workload.
+
+use pop::{PopConfig, PopExecutor};
+use pop_dmv::{dmv_catalog, dmv_queries};
+use pop_expr::Params;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0003);
+    // Memory budget scaled with the data (the paper's testbed memory was
+    // likewise a fraction of the database size).
+    let mut cfg = PopConfig::default();
+    cfg.cost_model.mem_rows = 4000.0;
+    let mut static_cfg = PopConfig::without_pop();
+    static_cfg.cost_model.mem_rows = 4000.0;
+    let with_pop = PopExecutor::new(dmv_catalog(scale).unwrap(), cfg).unwrap();
+    let without = PopExecutor::new(dmv_catalog(scale).unwrap(), static_cfg).unwrap();
+    println!("{:<8} {:>6} {:>12} {:>12} {:>8} {:>6} shapes", "query", "tables", "pop_work", "static_work", "speedup", "reopts");
+    let mut improved = 0;
+    for q in dmv_queries() {
+        let a = with_pop.run(&q.spec, &Params::none()).unwrap();
+        let b = without.run(&q.spec, &Params::none()).unwrap();
+        let speedup = b.report.total_work / a.report.total_work;
+        if speedup > 1.0 {
+            improved += 1;
+        }
+        let shapes: Vec<&str> = a.report.steps.iter().map(|s| s.shape.as_str()).collect();
+        println!(
+            "{:<8} {:>6} {:>12.0} {:>12.0} {:>8.2} {:>6} {}",
+            q.name,
+            q.spec.tables.len(),
+            a.report.total_work,
+            b.report.total_work,
+            speedup,
+            a.report.reopt_count,
+            if shapes.len() > 1 { "CHANGED" } else { "-" },
+        );
+    }
+    println!("improved: {improved}/39");
+}

@@ -1,0 +1,44 @@
+//! Deep diagnostic: per-step breakdown for selected DMV queries.
+
+use pop::{PopConfig, PopExecutor};
+use pop_dmv::{dmv_catalog, dmv_queries};
+use pop_expr::Params;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.002);
+    let which: Vec<String> = std::env::args().skip(2).collect();
+    let mut cfg = PopConfig::default();
+    cfg.cost_model.mem_rows = 4000.0;
+    let mut static_cfg = PopConfig::without_pop();
+    static_cfg.cost_model.mem_rows = 4000.0;
+    let with_pop = PopExecutor::new(dmv_catalog(scale).unwrap(), cfg).unwrap();
+    let without = PopExecutor::new(dmv_catalog(scale).unwrap(), static_cfg).unwrap();
+    for q in dmv_queries() {
+        if !which.is_empty() && !which.contains(&q.name) {
+            continue;
+        }
+        let a = with_pop.run(&q.spec, &Params::none()).unwrap();
+        let b = without.run(&q.spec, &Params::none()).unwrap();
+        println!("==== {} tables={} static_work={:.0} pop_work={:.0}", q.name, q.spec.tables.len(), b.report.total_work, a.report.total_work);
+        for (i, s) in a.report.steps.iter().enumerate() {
+            println!(
+                "-- step {i}: est_cost={:.0} work={:.0} mvs_used={} emitted={}",
+                s.est_cost,
+                s.work(),
+                s.mvs_used,
+                s.rows_emitted
+            );
+            if let Some(v) = &s.violation {
+                println!(
+                    "   violation: check#{} {} sighash obs={:?} est={:.0} range={}",
+                    v.check_id, v.flavor, v.observed, v.est_card, v.range
+                );
+            }
+            println!("{}", s.plan);
+        }
+        println!("-- static plan:\n{}", b.report.steps[0].plan);
+    }
+}

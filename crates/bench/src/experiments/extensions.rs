@@ -1,0 +1,150 @@
+//! Experiments for the §7 future-work extensions implemented in this
+//! reproduction: LEO-style cross-query learning and the
+//! robustness-preferring optimizer mode.
+
+use crate::experiments::{dmv_config, dmv_executor};
+use pop_expr::Params;
+use pop_types::PopResult;
+use serde::Serialize;
+
+/// One pass over the DMV workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadPass {
+    /// Pass label.
+    pub label: String,
+    /// Total work.
+    pub total_work: f64,
+    /// Total re-optimizations.
+    pub reopts: usize,
+}
+
+/// Learning experiment result.
+#[derive(Debug, Clone, Serialize)]
+pub struct LearningResult {
+    /// Consecutive passes over the same workload with learning on.
+    pub passes: Vec<WorkloadPass>,
+    /// The same passes with learning off (control).
+    pub control: Vec<WorkloadPass>,
+}
+
+/// LEO-style learning (§7 "Learning for the Future"): run the DMV
+/// workload twice with feedback retained across queries. The second pass
+/// should plan right immediately: fewer re-optimizations, less work.
+pub fn learning() -> PopResult<LearningResult> {
+    let mut passes = Vec::new();
+    let mut control = Vec::new();
+    // Learning on: one executor across both passes.
+    let mut cfg = dmv_config(true);
+    cfg.learn_across_queries = true;
+    let exec = dmv_executor(cfg)?;
+    for pass in 0..2 {
+        let mut work = 0.0;
+        let mut reopts = 0;
+        for q in pop_dmv::dmv_queries() {
+            let res = exec.run(&q.spec, &Params::none())?;
+            work += res.report.total_work;
+            reopts += res.report.reopt_count;
+        }
+        passes.push(WorkloadPass {
+            label: format!("learning pass {}", pass + 1),
+            total_work: work,
+            reopts,
+        });
+    }
+    // Control: learning off — every pass repeats the mistakes.
+    let exec = dmv_executor(dmv_config(true))?;
+    for pass in 0..2 {
+        let mut work = 0.0;
+        let mut reopts = 0;
+        for q in pop_dmv::dmv_queries() {
+            let res = exec.run(&q.spec, &Params::none())?;
+            work += res.report.total_work;
+            reopts += res.report.reopt_count;
+        }
+        control.push(WorkloadPass {
+            label: format!("no-learning pass {}", pass + 1),
+            total_work: work,
+            reopts,
+        });
+    }
+    Ok(LearningResult { passes, control })
+}
+
+/// Robustness-mode experiment result.
+#[derive(Debug, Clone, Serialize)]
+pub struct RobustnessResult {
+    /// Per-penalty measurements.
+    pub rows: Vec<RobustnessRow>,
+}
+
+/// One robustness-penalty setting.
+#[derive(Debug, Clone, Serialize)]
+pub struct RobustnessRow {
+    /// The planning-only penalty on low-opportunity join methods.
+    pub penalty: f64,
+    /// Total workload work.
+    pub total_work: f64,
+    /// Re-optimizations.
+    pub reopts: usize,
+    /// Queries whose final plan contains a merge join.
+    pub mgjn_plans: usize,
+}
+
+/// §7 "Checking Opportunities": sweep the robustness penalty and observe
+/// the optimizer shifting toward merge-join (checkable) plans.
+pub fn robustness() -> PopResult<RobustnessResult> {
+    let mut rows = Vec::new();
+    for penalty in [0.0, 1.0, 4.0, 8.0] {
+        let mut cfg = dmv_config(true);
+        cfg.cost_model.robustness_penalty = penalty;
+        let exec = dmv_executor(cfg)?;
+        let mut work = 0.0;
+        let mut reopts = 0;
+        let mut mgjn = 0;
+        for q in pop_dmv::dmv_queries() {
+            let res = exec.run(&q.spec, &Params::none())?;
+            work += res.report.total_work;
+            reopts += res.report.reopt_count;
+            if res.report.final_shape().contains("MGJN") {
+                mgjn += 1;
+            }
+        }
+        rows.push(RobustnessRow {
+            penalty,
+            total_work: work,
+            reopts,
+            mgjn_plans: mgjn,
+        });
+    }
+    Ok(RobustnessResult { rows })
+}
+
+/// Render the learning experiment.
+pub fn render_learning(r: &LearningResult) -> String {
+    let mut out = String::new();
+    out.push_str("Extension: LEO-style cross-query learning (paper §7)\n");
+    for p in r.passes.iter().chain(r.control.iter()) {
+        out.push_str(&format!(
+            "{:<22} total_work {:>12.0}  reopts {:>4}\n",
+            p.label, p.total_work, p.reopts
+        ));
+    }
+    out
+}
+
+/// Render the robustness experiment.
+pub fn render_robustness(r: &RobustnessResult) -> String {
+    let mut out = String::new();
+    out.push_str("Extension: robustness-preferring optimizer (paper §7)\n");
+    out.push_str(&format!(
+        "{:>8} {:>12} {:>7} {:>11}\n",
+        "penalty", "total_work", "reopts", "mgjn_plans"
+    ));
+    for row in &r.rows {
+        out.push_str(&format!(
+            "{:>8.1} {:>12.0} {:>7} {:>11}\n",
+            row.penalty, row.total_work, row.reopts, row.mgjn_plans
+        ));
+    }
+    out
+}

@@ -1,0 +1,124 @@
+//! **Figures 15 & 16** — the DMV case study (§6).
+//!
+//! The 39-query correlated DMV workload runs with and without POP.
+//! Figure 15 is the scatter of response times (with POP vs without);
+//! Figure 16 is the per-query speedup(+)/regression(−) factor. Paper
+//! shape: a majority of queries improve, a minority regress slightly to
+//! moderately, the maximum speedup far exceeds the maximum regression,
+//! and the workload's tail latency collapses under POP.
+
+use crate::experiments::{dmv_config, dmv_executor};
+use pop_expr::Params;
+use pop_types::PopResult;
+use serde::Serialize;
+
+/// Per-query measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct DmvPoint {
+    /// Query name.
+    pub query: String,
+    /// Tables joined.
+    pub tables: usize,
+    /// Work with POP.
+    pub pop_work: f64,
+    /// Work without POP.
+    pub static_work: f64,
+    /// Re-optimizations performed.
+    pub reopts: usize,
+    /// Signed factor: `static/pop` when POP wins (≥1), `-(pop/static)`
+    /// when POP regresses (the paper's Figure 16 y-axis).
+    pub factor: f64,
+}
+
+/// Case-study result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig15 {
+    /// All query measurements.
+    pub points: Vec<DmvPoint>,
+    /// Queries improved by POP.
+    pub improved: usize,
+    /// Queries regressed by POP.
+    pub regressed: usize,
+    /// Maximum speedup factor.
+    pub max_speedup: f64,
+    /// Maximum regression factor.
+    pub max_regression: f64,
+    /// Worst-case (max) query work with POP.
+    pub max_pop_work: f64,
+    /// Worst-case (max) query work without POP.
+    pub max_static_work: f64,
+}
+
+/// Run the DMV case study.
+pub fn run() -> PopResult<Fig15> {
+    let with_pop = dmv_executor(dmv_config(true))?;
+    let without = dmv_executor(dmv_config(false))?;
+    let mut points = Vec::new();
+    for q in pop_dmv::dmv_queries() {
+        let a = with_pop.run(&q.spec, &Params::none())?;
+        let b = without.run(&q.spec, &Params::none())?;
+        let (pw, sw) = (a.report.total_work, b.report.total_work);
+        let factor = if sw >= pw { sw / pw } else { -(pw / sw) };
+        points.push(DmvPoint {
+            query: q.name.clone(),
+            tables: q.spec.tables.len(),
+            pop_work: pw,
+            static_work: sw,
+            reopts: a.report.reopt_count,
+            factor,
+        });
+    }
+    let improved = points.iter().filter(|p| p.factor > 1.005).count();
+    let regressed = points.iter().filter(|p| p.factor < -1.005).count();
+    let max_speedup = points.iter().map(|p| p.factor).fold(1.0, f64::max);
+    let max_regression = points.iter().map(|p| -p.factor).fold(1.0, f64::max);
+    let max_pop_work = points.iter().map(|p| p.pop_work).fold(0.0, f64::max);
+    let max_static_work = points.iter().map(|p| p.static_work).fold(0.0, f64::max);
+    Ok(Fig15 {
+        points,
+        improved,
+        regressed,
+        max_speedup,
+        max_regression,
+        max_pop_work,
+        max_static_work,
+    })
+}
+
+/// Render Figure 15 (scatter data) as a table.
+pub fn render_fig15(r: &Fig15) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 15 — DMV response time with POP vs without POP\n");
+    out.push_str(&format!(
+        "{:>6} {:>6} {:>12} {:>12} {:>6}\n",
+        "query", "tables", "with POP", "without", "reopts"
+    ));
+    for p in &r.points {
+        out.push_str(&format!(
+            "{:>6} {:>6} {:>12.0} {:>12.0} {:>6}\n",
+            p.query, p.tables, p.pop_work, p.static_work, p.reopts
+        ));
+    }
+    out.push_str(&format!(
+        "improved: {}   regressed: {}   longest query: {:.0} (POP) vs {:.0} (static)\n",
+        r.improved, r.regressed, r.max_pop_work, r.max_static_work
+    ));
+    out
+}
+
+/// Render Figure 16 (speedup/regression bars).
+pub fn render_fig16(r: &Fig15) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 16 — Speedup(+)/Regression(-) factor per DMV query\n");
+    for p in &r.points {
+        let bar_len = (p.factor.abs().min(20.0) * 2.0) as usize;
+        let bar: String = std::iter::repeat_n(if p.factor >= 0.0 { '+' } else { '-' }, bar_len)
+            .collect();
+        out.push_str(&format!("{:>6} {:>7.2} {}\n", p.query, p.factor, bar));
+    }
+    out.push_str(&format!(
+        "max speedup: {:.2}x   max regression: {:.2}x\n",
+        r.max_speedup, r.max_regression
+    ));
+    out
+}

@@ -1,0 +1,49 @@
+//! Experiment implementations, one module per paper table/figure.
+
+pub mod ablation;
+pub mod extensions;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod table1;
+pub mod validity;
+
+use pop::{PopConfig, PopExecutor};
+use pop_types::PopResult;
+
+/// TPC-H scale factor used by the §5 experiments (12k lineitems — all
+/// table-size *ratios* of TPC-H are preserved).
+pub const TPCH_SF: f64 = 0.002;
+
+/// DMV scale used by the §6 case study (16k cars / 12k owners).
+pub const DMV_SCALE: f64 = 0.002;
+
+/// The standard POP configuration for TPC-H experiments.
+pub fn tpch_config(enabled: bool) -> PopConfig {
+    let mut cfg = if enabled {
+        PopConfig::default()
+    } else {
+        PopConfig::without_pop()
+    };
+    // Memory budget scaled with the data, as the paper's testbed memory
+    // was a fraction of the database size.
+    cfg.cost_model.mem_rows = 4000.0;
+    cfg
+}
+
+/// The standard POP configuration for DMV experiments.
+pub fn dmv_config(enabled: bool) -> PopConfig {
+    tpch_config(enabled)
+}
+
+/// Executor over a fresh TPC-H catalog.
+pub fn tpch_executor(config: PopConfig) -> PopResult<PopExecutor> {
+    PopExecutor::new(pop_tpch::tpch_catalog(TPCH_SF)?, config)
+}
+
+/// Executor over a fresh DMV catalog.
+pub fn dmv_executor(config: PopConfig) -> PopResult<PopExecutor> {
+    PopExecutor::new(pop_dmv::dmv_catalog(DMV_SCALE)?, config)
+}

@@ -1,0 +1,106 @@
+//! **Table 1** — Placement, risk and opportunity per checkpoint flavor.
+//!
+//! The paper's Table 1 is qualitative; this experiment grounds it in
+//! measurements: for each flavor alone, the TPC-H suite runs observe-only
+//! and we report the placement overhead (risk proxy: normalized work with
+//! checks but no re-optimization) and the opportunity (checkpoints per
+//! query and their mean position in execution).
+
+use crate::experiments::tpch_config;
+use pop::CheckFlavor;
+use pop_expr::Params;
+use pop_types::PopResult;
+use serde::Serialize;
+
+/// One row of the measured Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Flavor name.
+    pub flavor: String,
+    /// Paper's placement rule (qualitative).
+    pub placement: &'static str,
+    /// Paper's risk assessment (qualitative).
+    pub paper_risk: &'static str,
+    /// Measured: work with checkpoints / work without (no reopt).
+    pub overhead: f64,
+    /// Measured: checkpoints encountered per query (mean).
+    pub opportunities_per_query: f64,
+    /// Measured: mean position in execution when the check resolves.
+    pub mean_position: f64,
+}
+
+/// Measured Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    /// Rows, one per flavor.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Run the Table 1 measurement.
+pub fn run() -> PopResult<Table1> {
+    let queries = pop_tpch::all_queries();
+    let plain = crate::experiments::tpch_executor(tpch_config(false))?;
+    let mut base_work = Vec::new();
+    for (_, q) in &queries {
+        base_work.push(plain.run(q, &Params::none())?.report.total_work);
+    }
+    let flavors = [
+        (CheckFlavor::Lc, "above materialization points (SORT/TEMP/HJ build)", "very low: counting only"),
+        (CheckFlavor::Lcem, "TEMP+CHECK pairs on NLJN outers", "low: extra materialization"),
+        (CheckFlavor::Ecb, "BUFCHECK on NLJN outers", "high: exact card unavailable on failure"),
+        (CheckFlavor::Ecwc, "below materialization points", "high: may discard arbitrary work"),
+        (CheckFlavor::Ecdc, "anywhere in SPJ plans (rid side table)", "high: may discard arbitrary work"),
+    ];
+    let mut rows = Vec::new();
+    for (flavor, placement, paper_risk) in flavors {
+        let mut cfg = tpch_config(true);
+        cfg.observe_only = true;
+        cfg.optimizer.flavors = pop::FlavorSet::only(flavor);
+        let exec = crate::experiments::tpch_executor(cfg)?;
+        let mut total_ratio = 0.0;
+        let mut n_checks = 0usize;
+        let mut pos_sum = 0.0;
+        let mut pos_n = 0usize;
+        for ((_, q), w0) in queries.iter().zip(base_work.iter()) {
+            let res = exec.run(q, &Params::none())?;
+            total_ratio += res.report.total_work / w0;
+            let total = res.report.total_work.max(1.0);
+            for ev in &res.report.steps[0].check_events {
+                n_checks += 1;
+                pos_sum += ev.at_work / total;
+                pos_n += 1;
+            }
+        }
+        rows.push(Table1Row {
+            flavor: format!("{flavor}"),
+            placement,
+            paper_risk,
+            overhead: total_ratio / queries.len() as f64,
+            opportunities_per_query: n_checks as f64 / queries.len() as f64,
+            mean_position: if pos_n == 0 { 0.0 } else { pos_sum / pos_n as f64 },
+        });
+    }
+    Ok(Table1 { rows })
+}
+
+/// Render as a text table.
+pub fn render(r: &Table1) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1 — Placement, measured risk (overhead) and opportunity per flavor\n");
+    out.push_str(&format!(
+        "{:>6} {:>10} {:>8} {:>9}  {}\n",
+        "flavor", "overhead", "opps/q", "mean-pos", "placement"
+    ));
+    for row in &r.rows {
+        out.push_str(&format!(
+            "{:>6} {:>10.4} {:>8.1} {:>9.3}  {}  (paper risk: {})\n",
+            row.flavor,
+            row.overhead,
+            row.opportunities_per_query,
+            row.mean_position,
+            row.placement,
+            row.paper_risk
+        ));
+    }
+    out
+}

@@ -1,0 +1,9 @@
+//! Benchmark harness for the POP reproduction.
+//!
+//! Every table and figure of the paper's evaluation (§5, §6) has a
+//! corresponding experiment in [`experiments`], returning serializable
+//! result structs; the `figures` binary renders them as text tables and
+//! JSON. Ablation studies for the design decisions called out in
+//! DESIGN.md live in [`experiments::ablation`].
+
+pub mod experiments;

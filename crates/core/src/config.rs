@@ -1,0 +1,81 @@
+//! POP driver configuration.
+
+use pop_optimizer::OptimizerConfig;
+use pop_plan::CostModel;
+
+/// Configuration of the full POP loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopConfig {
+    /// Master switch: with POP disabled, no checkpoints are placed and the
+    /// initial plan always runs to completion (classic static
+    /// optimization — the "without POP" baselines in §5/§6).
+    pub enabled: bool,
+    /// Optimizer configuration (join methods, checkpoint flavors,
+    /// validity mode, ...).
+    pub optimizer: OptimizerConfig,
+    /// Cost-model coefficients, shared by estimation and work accounting.
+    pub cost_model: CostModel,
+    /// Maximum number of re-optimizations before the current plan is
+    /// forced to run to completion (the paper's termination heuristic
+    /// limits this to 3, §7).
+    pub max_reopts: usize,
+    /// Work units charged per re-optimization (context switch plus
+    /// optimizer invocation — the small gap in Figure 12).
+    pub reopt_work: f64,
+    /// Force a dummy re-optimization at the n-th checkpoint encountered
+    /// (by check id), even if its range holds. Used by the overhead
+    /// experiments of Figure 12; the fed-back cardinalities are exact, so
+    /// the re-optimized plan is normally identical.
+    pub force_reopt_at: Option<usize>,
+    /// Observe-only mode: checkpoints count rows and record events but
+    /// never trigger re-optimization. Used by the overhead and
+    /// opportunity instrumentation (Figures 13 and 14), which measure
+    /// checkpoint behaviour with "the actual re-optimization disabled so
+    /// that the entire query is executed and all checkpoints are
+    /// encountered" (§5.2).
+    pub observe_only: bool,
+    /// LEO-style learning (the paper's §7 "Learning for the Future",
+    /// citing [SLM+01]): retain cardinality feedback across queries, so a
+    /// repeated (or overlapping) query is planned with the actual
+    /// cardinalities learned from earlier executions and usually needs no
+    /// re-optimization at all.
+    pub learn_across_queries: bool,
+}
+
+impl Default for PopConfig {
+    fn default() -> Self {
+        PopConfig {
+            enabled: true,
+            optimizer: OptimizerConfig::default(),
+            cost_model: CostModel::default(),
+            max_reopts: 3,
+            reopt_work: 200.0,
+            force_reopt_at: None,
+            observe_only: false,
+            learn_across_queries: false,
+        }
+    }
+}
+
+impl PopConfig {
+    /// Classic static optimization: no checkpoints, no re-optimization.
+    pub fn without_pop() -> Self {
+        PopConfig {
+            enabled: false,
+            ..PopConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = PopConfig::default();
+        assert!(c.enabled);
+        assert_eq!(c.max_reopts, 3);
+        assert!(!PopConfig::without_pop().enabled);
+    }
+}

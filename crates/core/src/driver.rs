@@ -1,0 +1,519 @@
+//! The POP driver: alternate optimization and execution steps until the
+//! query completes (§2.1, Figure 3 of the paper).
+
+use crate::{PopConfig, QueryResult, RunReport, StepReport};
+use pop_exec::{execute, ExecCtx, RunOutcome};
+use pop_optimizer::{optimize, CardFact, FeedbackCache, FlavorSet, OptimizerContext};
+use pop_plan::{canonical_layout, subplan_signature_with_params, PhysNode, QuerySpec, TableSet};
+use pop_stats::{StatsRegistry, TableStats};
+use pop_storage::{Catalog, Table, TempMv};
+use pop_types::{ColumnDef, PopResult, Rid, Row, Schema};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The public entry point: owns a catalog, its statistics, and a
+/// [`PopConfig`], and executes queries with progressive re-optimization.
+///
+/// One executor runs one query at a time (temporary materialized views are
+/// scoped to the running query and cleaned up when it finishes, §2.3).
+pub struct PopExecutor {
+    catalog: Catalog,
+    stats: StatsRegistry,
+    config: PopConfig,
+    /// Cardinality facts retained across queries when
+    /// [`PopConfig::learn_across_queries`] is set (§7, LEO-style).
+    learned: FeedbackCache,
+}
+
+impl PopExecutor {
+    /// Create an executor, analyzing statistics for every catalog table
+    /// (the RUNSTATS step a DBA would run).
+    pub fn new(catalog: Catalog, config: PopConfig) -> PopResult<Self> {
+        let stats = StatsRegistry::new();
+        stats.analyze_all(&catalog)?;
+        Ok(PopExecutor {
+            catalog,
+            stats,
+            config,
+            learned: FeedbackCache::new(),
+        })
+    }
+
+    /// Create an executor with pre-collected statistics (e.g. deliberately
+    /// stale ones, for experiments).
+    pub fn with_stats(catalog: Catalog, stats: StatsRegistry, config: PopConfig) -> Self {
+        PopExecutor {
+            catalog,
+            stats,
+            config,
+            learned: FeedbackCache::new(),
+        }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The statistics registry.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.stats
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PopConfig {
+        &self.config
+    }
+
+    /// Mutable configuration access (between queries).
+    pub fn config_mut(&mut self) -> &mut PopConfig {
+        &mut self.config
+    }
+
+    /// Optimize without executing; returns the rendered plan.
+    pub fn explain(&self, spec: &QuerySpec, params: &pop_expr::Params) -> PopResult<String> {
+        let opt_config = self.effective_optimizer_config();
+        let feedback = FeedbackCache::new();
+        let octx = OptimizerContext::new(
+            &self.catalog,
+            &self.stats,
+            &opt_config,
+            &self.config.cost_model,
+            Some(params),
+            &feedback,
+        );
+        Ok(optimize(spec, &octx)?.to_string())
+    }
+
+    /// Facts learned from previous queries (populated only when
+    /// [`PopConfig::learn_across_queries`] is enabled).
+    pub fn learned_facts(&self) -> &FeedbackCache {
+        &self.learned
+    }
+
+    /// Execute a query under POP.
+    pub fn run(&self, spec: &QuerySpec, params: &pop_expr::Params) -> PopResult<QueryResult> {
+        spec.validate()?;
+        // With learning enabled the cache is shared across queries
+        // (subplan signatures include tables and predicates, so facts
+        // transfer exactly to repeated or overlapping subplans).
+        let feedback = if self.config.learn_across_queries {
+            self.learned.clone()
+        } else {
+            FeedbackCache::new()
+        };
+        let mut ctx = ExecCtx::new(
+            self.catalog.clone(),
+            params.clone(),
+            self.config.cost_model.clone(),
+        );
+        if self.config.enabled {
+            ctx.force_reopt_at = self.config.force_reopt_at;
+        }
+        if self.config.observe_only {
+            ctx.checks_enabled = false;
+        }
+        let mut report = RunReport::default();
+        let mut collected: Vec<Row> = Vec::new();
+        let result = self.run_loop(spec, params, &feedback, &mut ctx, &mut report, &mut collected);
+        // Post-query cleanup: drop the temporary MVs (§2.3) whether the
+        // query succeeded or failed.
+        self.catalog.clear_temp_mvs();
+        result?;
+        report.total_work = ctx.work;
+        Ok(QueryResult {
+            rows: collected,
+            report,
+        })
+    }
+
+    fn effective_optimizer_config(&self) -> pop_optimizer::OptimizerConfig {
+        let mut cfg = self.config.optimizer.clone();
+        if !self.config.enabled {
+            cfg.flavors = FlavorSet::none();
+        }
+        cfg
+    }
+
+    fn run_loop(
+        &self,
+        spec: &QuerySpec,
+        params: &pop_expr::Params,
+        feedback: &FeedbackCache,
+        ctx: &mut ExecCtx,
+        report: &mut RunReport,
+        collected: &mut Vec<Row>,
+    ) -> PopResult<()> {
+        let opt_config = self.effective_optimizer_config();
+        let mut mv_counter = 0usize;
+        loop {
+            // (Re-)optimize with everything learned so far: feedback facts
+            // and temp MVs both enter through the optimizer context.
+            let octx = OptimizerContext::new(
+                &self.catalog,
+                &self.stats,
+                &opt_config,
+                &self.config.cost_model,
+                Some(params),
+                feedback,
+            );
+            let mut plan = optimize(spec, &octx)?;
+            // Deferred compensation (Figure 9): if any rows were already
+            // returned to the application, anti-join the new plan's output
+            // against the rid side table.
+            if !ctx.prev_returned.is_empty() {
+                let props = plan.props().clone();
+                plan = PhysNode::AntiJoinRids {
+                    input: Box::new(plan),
+                    props,
+                };
+            }
+            let signatures = collect_signatures(spec, &plan, params);
+            let mut mvs_used = 0usize;
+            plan.visit(&mut |n| {
+                if matches!(n, PhysNode::MvScan { .. }) {
+                    mvs_used += 1;
+                }
+            });
+            let work_start = ctx.work;
+            let outcome = execute(&plan, ctx, &signatures)?;
+            let mut step = StepReport {
+                plan: plan.to_string(),
+                shape: plan.join_shape(),
+                est_cost: plan.props().cost,
+                work_start,
+                work_end: ctx.work,
+                check_events: ctx.check_events.clone(),
+                violation: None,
+                mvs_used,
+                rows_emitted: outcome.rows().len(),
+            };
+            match outcome {
+                RunOutcome::Complete { rows } => {
+                    collect_rows(collected, ctx, rows);
+                    report.steps.push(step);
+                    return Ok(());
+                }
+                RunOutcome::Suspended { rows, violation } => {
+                    collect_rows(collected, ctx, rows);
+                    // A *forced* (dummy) re-optimization measures pure POP
+                    // overhead (Figure 12): no cardinality feedback, so
+                    // the optimizer re-plans under the same estimates and
+                    // can only substitute materialized results.
+                    if !violation.forced {
+                        // Feed the violated check's observation back.
+                        let fact = match violation.observed {
+                            pop_exec::ObservedCard::Exact(n) => CardFact::Exact(n as f64),
+                            pop_exec::ObservedCard::AtLeast(n) => CardFact::AtLeast(n as f64),
+                        };
+                        feedback.record(violation.signature.clone(), fact);
+                        // Every exactly-resolved check is a free exact fact.
+                        for ev in &ctx.check_events {
+                            if let pop_exec::ObservedCard::Exact(n) = ev.observed {
+                                feedback.record(ev.signature.clone(), CardFact::Exact(n as f64));
+                            }
+                        }
+                    }
+                    // Promote completed materializations to temp MVs with
+                    // exact statistics (§2.3).
+                    let harvests = std::mem::take(&mut ctx.harvests);
+                    for h in harvests {
+                        if !violation.forced {
+                            feedback
+                                .record(h.signature.clone(), CardFact::Exact(h.rows.len() as f64));
+                        }
+                        self.promote_harvest(spec, h, &mut mv_counter)?;
+                    }
+                    step.work_end = ctx.work;
+                    step.violation = Some(violation);
+                    report.steps.push(step);
+                    report.reopt_count += 1;
+                    ctx.charge(self.config.reopt_work);
+                    if report.reopt_count >= self.config.max_reopts {
+                        // Termination heuristic (§7): the next plan runs to
+                        // completion with checks disabled.
+                        ctx.checks_enabled = false;
+                        report.budget_exhausted = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Promote one harvested materialization to a temp MV, when it covers
+    /// all columns of its table set (so the canonical-layout contract of
+    /// MV matching holds).
+    fn promote_harvest(
+        &self,
+        spec: &QuerySpec,
+        h: pop_exec::Harvest,
+        mv_counter: &mut usize,
+    ) -> PopResult<()> {
+        let set = TableSet::from_iter(h.layout.iter().map(|c| c.table));
+        let col_counts: Vec<usize> = spec
+            .tables
+            .iter()
+            .map(|t| {
+                self.catalog
+                    .table(&t.table)
+                    .map(|tb| tb.schema().len())
+                    .unwrap_or(0)
+            })
+            .collect();
+        if h.layout != canonical_layout(set, &col_counts) {
+            return Ok(()); // projected/partial layout: not MV-reusable
+        }
+        // Build the MV schema from the base tables' column definitions.
+        let mut cols = Vec::with_capacity(h.layout.len());
+        for c in &h.layout {
+            let base = self.catalog.table(&spec.tables[c.table].table)?;
+            let def = base.schema().col(c.col);
+            cols.push(ColumnDef::new(
+                format!("t{}_{}", c.table, def.name),
+                def.dtype,
+            ));
+        }
+        let name = format!("__pop_mv_{}", *mv_counter);
+        *mv_counter += 1;
+        let id = self.catalog.allocate_temp_id();
+        let actual_card = h.rows.len() as u64;
+        let table = Arc::new(Table::new(id, name.clone(), Schema::new(cols), h.rows));
+        // Exact statistics for the re-optimization (the paper: "having the
+        // cardinality of the intermediate result in its catalog
+        // statistics").
+        self.stats
+            .put(&name, TableStats::derived(actual_card, h.layout.len()));
+        self.catalog.register_temp_mv(TempMv {
+            table,
+            signature: h.signature,
+            layout: h.layout,
+            actual_card,
+            lineage: Some(Arc::new(h.lineage)),
+        });
+        Ok(())
+    }
+}
+
+/// Record returned rows: lineage goes to the rid side table (for deferred
+/// compensation), values go to the application buffer.
+fn collect_rows(collected: &mut Vec<Row>, ctx: &mut ExecCtx, rows: Vec<pop_exec::ExecRow>) {
+    for r in rows {
+        if !r.lineage.is_empty() {
+            let mut key: Vec<Rid> = r.lineage.clone();
+            key.sort_unstable();
+            ctx.prev_returned.insert(key);
+        }
+        collected.push(r.values);
+    }
+}
+
+/// Signatures for every table set appearing in the plan (labels harvested
+/// materializations). Parameter bindings are folded in so facts and MVs
+/// never leak across different bindings.
+fn collect_signatures(
+    spec: &QuerySpec,
+    plan: &PhysNode,
+    params: &pop_expr::Params,
+) -> HashMap<u64, String> {
+    let mut map = HashMap::new();
+    plan.visit(&mut |n| {
+        let set = n.props().tables;
+        if !set.is_empty() {
+            map.entry(set.mask())
+                .or_insert_with(|| subplan_signature_with_params(spec, set, Some(params)));
+        }
+    });
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_expr::{Expr, Params};
+    use pop_plan::QueryBuilder;
+    use pop_storage::IndexKind;
+    use pop_types::{DataType, Value};
+
+    /// A database with a strong correlation that breaks the independence
+    /// assumption: customer.grp_a == grp_b == grp_c always, so the
+    /// optimizer underestimates `grp_a = k AND grp_b = k AND grp_c = k`
+    /// by 16x (estimate 1/64 of 5000 = 78 rows; actual 1/4 = 1250) —
+    /// enough to cross the NLJN outer's validity range, whose upper bound
+    /// sits near 500 given the 50-row index fan-out on orders.cust.
+    fn correlated_db() -> Catalog {
+        let cat = Catalog::new();
+        cat.create_table(
+            "customer",
+            Schema::from_pairs(&[
+                ("cid", DataType::Int),
+                ("grp_a", DataType::Int),
+                ("grp_b", DataType::Int),
+                ("grp_c", DataType::Int),
+            ]),
+            (0..5000)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::Int(i % 4),
+                        Value::Int(i % 4),
+                        Value::Int(i % 4),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        // Only customers 0..1000 have orders, 50 each.
+        cat.create_table(
+            "orders",
+            Schema::from_pairs(&[("oid", DataType::Int), ("cust", DataType::Int)]),
+            (0..50_000)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 1000)])
+                .collect(),
+        )
+        .unwrap();
+        cat.create_index("orders", "cust", IndexKind::Hash).unwrap();
+        cat.create_index("customer", "cid", IndexKind::Hash).unwrap();
+        cat
+    }
+
+    /// Joined rows: customers 0..1000 with cid % 4 == 3 (250 of them),
+    /// each matching 50 orders = 12_500 rows.
+    const CORRELATED_ROWS: usize = 12_500;
+
+    fn correlated_query() -> pop_plan::QuerySpec {
+        let mut b = QueryBuilder::new();
+        let c = b.table("customer");
+        let o = b.table("orders");
+        b.join(c, 0, o, 1);
+        b.filter(
+            c,
+            Expr::col(c, 1)
+                .eq(Expr::lit(3i64))
+                .and(Expr::col(c, 2).eq(Expr::lit(3i64)))
+                .and(Expr::col(c, 3).eq(Expr::lit(3i64))),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pop_reoptimizes_on_correlation_misestimate() {
+        let exec = PopExecutor::new(correlated_db(), PopConfig::default()).unwrap();
+        let q = correlated_query();
+        let res = exec.run(&q, &Params::none()).unwrap();
+        assert_eq!(res.rows.len(), CORRELATED_ROWS);
+        assert!(
+            res.report.reopt_count >= 1,
+            "expected a re-optimization; report: {:#?}",
+            res.report.steps.iter().map(|s| &s.shape).collect::<Vec<_>>()
+        );
+        // Temp MVs are cleaned up afterwards.
+        assert_eq!(exec.catalog().temp_mv_count(), 0);
+    }
+
+    #[test]
+    fn pop_and_static_agree_on_results() {
+        let q = correlated_query();
+        let with_pop = PopExecutor::new(correlated_db(), PopConfig::default()).unwrap();
+        let without = PopExecutor::new(correlated_db(), PopConfig::without_pop()).unwrap();
+        let mut a = with_pop.run(&q, &Params::none()).unwrap().rows;
+        let mut b = without.run(&q, &Params::none()).unwrap().rows;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "POP must not change query semantics");
+        assert_eq!(without.run(&q, &Params::none()).unwrap().report.reopt_count, 0);
+    }
+
+    #[test]
+    fn no_duplicates_across_reoptimization() {
+        let exec = PopExecutor::new(correlated_db(), PopConfig::default()).unwrap();
+        let q = correlated_query();
+        let res = exec.run(&q, &Params::none()).unwrap();
+        let mut rows = res.rows.clone();
+        rows.sort();
+        let before = rows.len();
+        rows.dedup();
+        assert_eq!(rows.len(), before, "duplicate rows returned");
+    }
+
+    #[test]
+    fn accurate_estimates_no_reopt() {
+        // Without the correlated predicate the estimate is right and no
+        // check should fire.
+        let cat = correlated_db();
+        let exec = PopExecutor::new(cat, PopConfig::default()).unwrap();
+        let mut b = QueryBuilder::new();
+        let c = b.table("customer");
+        let o = b.table("orders");
+        b.join(c, 0, o, 1);
+        b.filter(c, Expr::col(c, 1).eq(Expr::lit(3i64)));
+        let q = b.build().unwrap();
+        let res = exec.run(&q, &Params::none()).unwrap();
+        assert_eq!(res.report.reopt_count, 0, "{:#?}", res.report.steps[0].plan);
+        assert_eq!(res.rows.len(), CORRELATED_ROWS);
+    }
+
+    #[test]
+    fn forced_reopt_is_plan_stable() {
+        let config = PopConfig {
+            force_reopt_at: Some(0),
+            ..PopConfig::default()
+        };
+        let exec = PopExecutor::new(correlated_db(), config).unwrap();
+        let mut b = QueryBuilder::new();
+        let c = b.table("customer");
+        let o = b.table("orders");
+        b.join(c, 0, o, 1);
+        b.filter(c, Expr::col(c, 1).eq(Expr::lit(3i64)));
+        let q = b.build().unwrap();
+        let res = exec.run(&q, &Params::none()).unwrap();
+        assert_eq!(res.report.reopt_count, 1);
+        assert_eq!(res.rows.len(), CORRELATED_ROWS);
+        // The dummy re-optimization fed back exact (matching) cardinalities,
+        // so the plan should not change shape.
+        let shapes: Vec<&String> = res.report.steps.iter().map(|s| &s.shape).collect();
+        assert_eq!(shapes.len(), 2);
+    }
+
+    #[test]
+    fn max_reopts_bounds_the_loop() {
+        // max_reopts = 0: any violation immediately disables checks.
+        let config = PopConfig {
+            max_reopts: 0,
+            ..PopConfig::default()
+        };
+        let exec = PopExecutor::new(correlated_db(), config).unwrap();
+        let q = correlated_query();
+        let res = exec.run(&q, &Params::none()).unwrap();
+        assert_eq!(res.rows.len(), CORRELATED_ROWS);
+        assert!(res.report.reopt_count <= 1);
+    }
+
+    #[test]
+    fn explain_renders_plan() {
+        let exec = PopExecutor::new(correlated_db(), PopConfig::default()).unwrap();
+        let q = correlated_query();
+        let s = exec.explain(&q, &Params::none()).unwrap();
+        assert!(s.contains("SCAN"), "{s}");
+    }
+
+    #[test]
+    fn reopt_uses_materialized_intermediate_results() {
+        let exec = PopExecutor::new(correlated_db(), PopConfig::default()).unwrap();
+        let q = correlated_query();
+        let res = exec.run(&q, &Params::none()).unwrap();
+        if res.report.reopt_count >= 1 {
+            // At least one re-optimized step should reuse an MV (the LCEM
+            // temp of the NLJN outer was complete when the check fired).
+            let reused: usize = res.report.steps.iter().skip(1).map(|s| s.mvs_used).sum();
+            assert!(
+                reused >= 1,
+                "no MV reuse after reopt: {:#?}",
+                res.report
+                    .steps
+                    .iter()
+                    .map(|s| s.plan.clone())
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+}

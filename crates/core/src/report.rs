@@ -1,0 +1,173 @@
+//! Query results and execution reports.
+
+use pop_exec::{CheckEvent, Violation};
+use pop_types::Row;
+
+/// One optimize-execute step of the POP loop.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Rendered plan (EXPLAIN-style).
+    pub plan: String,
+    /// Compact bottom-up join shape, for detecting plan changes.
+    pub shape: String,
+    /// Optimizer's estimated cost of the plan.
+    pub est_cost: f64,
+    /// Work counter at the start of the step.
+    pub work_start: f64,
+    /// Work counter at the end of the step.
+    pub work_end: f64,
+    /// Every check resolution during the step.
+    pub check_events: Vec<CheckEvent>,
+    /// The violation that ended the step, if it did not complete.
+    pub violation: Option<Violation>,
+    /// Number of temp MVs the plan reuses (MVSCAN nodes).
+    pub mvs_used: usize,
+    /// Rows returned to the application during this step.
+    pub rows_emitted: usize,
+}
+
+impl StepReport {
+    /// Work consumed by this step alone.
+    pub fn work(&self) -> f64 {
+        self.work_end - self.work_start
+    }
+}
+
+/// Full report of a POP query execution.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// One entry per optimize-execute step (the initial run plus each
+    /// re-optimization run).
+    pub steps: Vec<StepReport>,
+    /// Total work units consumed, including re-optimization overhead.
+    pub total_work: f64,
+    /// Number of re-optimizations performed.
+    pub reopt_count: usize,
+    /// True if the re-optimization budget was exhausted and the final plan
+    /// ran with checks disabled.
+    pub budget_exhausted: bool,
+}
+
+impl RunReport {
+    /// Did any re-optimization change the join shape?
+    pub fn plan_changed(&self) -> bool {
+        self.steps
+            .windows(2)
+            .any(|w| w[0].shape != w[1].shape)
+    }
+
+    /// The final plan's shape.
+    pub fn final_shape(&self) -> &str {
+        self.steps.last().map(|s| s.shape.as_str()).unwrap_or("")
+    }
+}
+
+impl RunReport {
+    /// A human-readable multi-line summary of the whole execution: one
+    /// paragraph per optimize–execute step with its plan shape, work,
+    /// checkpoint outcomes and the violation (if any) that ended it.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} step(s), {} re-optimization(s), total work {:.0}{}",
+            self.steps.len(),
+            self.reopt_count,
+            self.total_work,
+            if self.budget_exhausted {
+                " (re-optimization budget exhausted)"
+            } else {
+                ""
+            }
+        );
+        for (i, s) in self.steps.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "step {}: work {:.0}, emitted {} row(s), {} MV(s) reused",
+                i,
+                s.work(),
+                s.rows_emitted,
+                s.mvs_used
+            );
+            let _ = writeln!(out, "  shape: {}", s.shape);
+            for ev in &s.check_events {
+                let _ = writeln!(
+                    out,
+                    "  check #{} {} [{}] est {:.0} range {} -> {:?} ({:?})",
+                    ev.check_id,
+                    ev.flavor,
+                    ev.context,
+                    ev.est_card,
+                    ev.range,
+                    ev.outcome,
+                    ev.observed
+                );
+            }
+            if let Some(v) = &s.violation {
+                let _ = writeln!(
+                    out,
+                    "  suspended by check #{} ({}): observed {:?}, est {:.0}, range {}",
+                    v.check_id, v.flavor, v.observed, v.est_card, v.range
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Rows plus the execution report.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The result rows (values only; layout per the query's projection or
+    /// aggregation).
+    pub rows: Vec<Row>,
+    /// How the query was executed.
+    pub report: RunReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(shape: &str) -> StepReport {
+        StepReport {
+            plan: String::new(),
+            shape: shape.to_string(),
+            est_cost: 0.0,
+            work_start: 10.0,
+            work_end: 25.0,
+            check_events: vec![],
+            violation: None,
+            mvs_used: 0,
+            rows_emitted: 0,
+        }
+    }
+
+    #[test]
+    fn step_work() {
+        assert_eq!(step("x").work(), 15.0);
+    }
+
+    #[test]
+    fn summary_renders() {
+        let mut r = RunReport::default();
+        r.steps.push(step("a b HSJN"));
+        r.total_work = 25.0;
+        let s = r.summary();
+        assert!(s.contains("1 step(s)"));
+        assert!(s.contains("a b HSJN"));
+    }
+
+    #[test]
+    fn plan_changed_detection() {
+        let mut r = RunReport::default();
+        r.steps.push(step("a b HSJN"));
+        assert!(!r.plan_changed());
+        r.steps.push(step("a b HSJN"));
+        assert!(!r.plan_changed());
+        r.steps.push(step("b a NLJN"));
+        assert!(r.plan_changed());
+        assert_eq!(r.final_shape(), "b a NLJN");
+    }
+}

@@ -1,0 +1,27 @@
+//! A synthetic Department-of-Motor-Vehicles database and workload,
+//! reproducing the real-world case study of §6 of the paper.
+//!
+//! The paper's DMV database holds CAR (8M rows) and OWNER (6M rows) plus
+//! 30+ satellite tables, and its 39 decision-support queries join more
+//! than 10 tables on average. What makes the workload hard is not its
+//! size but its **correlations**, which the optimizer's independence
+//! assumption turns into cardinality errors of up to six orders of
+//! magnitude:
+//!
+//! * `MODEL` functionally determines `MAKE` (a model belongs to one make);
+//! * `COLOR` is correlated with `MODEL` (each model ships in a small
+//!   palette);
+//! * `WEIGHT` is determined by `MODEL` (base weight ± noise);
+//! * `ZIP` is correlated with `MAKE` (regional make popularity);
+//! * owner `AGE` is correlated with `MAKE` (age bands prefer makes).
+//!
+//! This crate generates a scaled-down database with exactly those
+//! correlations and a deterministic 39-query workload mixing correlated
+//! conjunctions, LIKE predicates, IN-lists and disjunctions — the paper's
+//! named estimation-error sources.
+
+mod gen;
+mod queries;
+
+pub use gen::{dmv_catalog, DmvGen, MAKES, MODELS_PER_MAKE};
+pub use queries::{dmv_queries, DmvQuery};

@@ -1,0 +1,493 @@
+//! The 39-query DMV workload (§6 of the paper).
+//!
+//! Queries are generated deterministically from templates that combine:
+//! a CAR ⋈ OWNER spine, a random subset of satellite dimensions (model,
+//! make, city, dealer, insurance, provider, violation, violation type,
+//! inspection, station, accident), and one or more predicate clusters
+//! drawn from the paper's named estimation-error sources: correlated
+//! column restrictions, LIKE predicates, IN-lists and disjunctions.
+
+use crate::gen::{MAKES, MODELS_PER_MAKE};
+use pop_expr::Expr;
+use pop_plan::{AggFunc, QueryBuilder, QuerySpec};
+use pop_types::{ColId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Column positions (kept in sync with `gen.rs`). Unused constants are
+/// kept as schema documentation for query authors.
+#[allow(dead_code)]
+mod c {
+    pub mod owner {
+        pub const OWNER_ID: usize = 0;
+        pub const NAME: usize = 1;
+        pub const AGE: usize = 2;
+        pub const ZIP: usize = 3;
+        pub const CITY_ID: usize = 4;
+        pub const LICENSE: usize = 5;
+    }
+    pub mod car {
+        pub const CAR_ID: usize = 0;
+        pub const OWNER_ID: usize = 1;
+        pub const MODEL_ID: usize = 2;
+        pub const MAKE_ID: usize = 3;
+        pub const COLOR: usize = 4;
+        pub const WEIGHT: usize = 5;
+        pub const YEAR: usize = 6;
+        pub const ZIP_REG: usize = 7;
+        pub const DEALER_ID: usize = 8;
+    }
+    pub mod model {
+        pub const MODEL_ID: usize = 0;
+        pub const MAKE_ID: usize = 1;
+        pub const BODY_STYLE: usize = 3;
+        pub const BASE_WEIGHT: usize = 4;
+    }
+    pub mod make {
+        pub const MAKE_ID: usize = 0;
+        pub const NAME: usize = 1;
+        pub const COUNTRY: usize = 2;
+    }
+    pub mod city {
+        pub const CITY_ID: usize = 0;
+    }
+    pub mod dealer {
+        pub const DEALER_ID: usize = 0;
+        pub const NAME: usize = 1;
+    }
+    pub mod insurance {
+        pub const CAR_ID: usize = 1;
+        pub const PROVIDER_ID: usize = 2;
+        pub const PREMIUM: usize = 3;
+        pub const START_YEAR: usize = 4;
+    }
+    pub mod provider {
+        pub const PROVIDER_ID: usize = 0;
+        pub const NAME: usize = 1;
+    }
+    pub mod violation {
+        pub const CAR_ID: usize = 1;
+        pub const TYPE_ID: usize = 2;
+        pub const DAY: usize = 3;
+        pub const FINE: usize = 4;
+    }
+    pub mod vtype {
+        pub const TYPE_ID: usize = 0;
+        pub const POINTS: usize = 2;
+    }
+    pub mod inspection {
+        pub const CAR_ID: usize = 1;
+        pub const STATION_ID: usize = 2;
+        pub const PASSED: usize = 4;
+    }
+    pub mod station {
+        pub const STATION_ID: usize = 0;
+    }
+    pub mod accident {
+        pub const CAR_ID: usize = 1;
+        pub const SEVERITY: usize = 3;
+    }
+}
+
+const COLORS: [&str; 12] = [
+    "WHITE", "BLACK", "SILVER", "GRAY", "RED", "BLUE", "GREEN", "BROWN", "BEIGE", "ORANGE",
+    "YELLOW", "PURPLE",
+];
+
+/// A named workload query.
+#[derive(Debug, Clone)]
+pub struct DmvQuery {
+    /// Query name (`DMV01` ... `DMV39`).
+    pub name: String,
+    /// The specification.
+    pub spec: QuerySpec,
+}
+
+struct Builder {
+    b: QueryBuilder,
+    car: usize,
+    owner: usize,
+    model: Option<usize>,
+    make: Option<usize>,
+    insurance: Option<usize>,
+    violation: Option<usize>,
+    inspection: Option<usize>,
+}
+
+fn spine() -> Builder {
+    let mut b = QueryBuilder::new();
+    let car = b.table("car");
+    let owner = b.table("owner");
+    b.join(car, c::car::OWNER_ID, owner, c::owner::OWNER_ID);
+    Builder {
+        b,
+        car,
+        owner,
+        model: None,
+        make: None,
+        insurance: None,
+        violation: None,
+        inspection: None,
+    }
+}
+
+impl Builder {
+    fn attach_model_make(&mut self, with_make: bool) {
+        let model = self.b.table("model");
+        self.b
+            .join(self.car, c::car::MODEL_ID, model, c::model::MODEL_ID);
+        self.model = Some(model);
+        if with_make {
+            let make = self.b.table("make");
+            self.b
+                .join(model, c::model::MAKE_ID, make, c::make::MAKE_ID);
+            self.make = Some(make);
+        }
+    }
+
+    fn attach_city(&mut self) -> usize {
+        let city = self.b.table("city");
+        self.b
+            .join(self.owner, c::owner::CITY_ID, city, c::city::CITY_ID);
+        city
+    }
+
+    fn attach_dealer(&mut self) -> usize {
+        let dealer = self.b.table("dealer");
+        self.b
+            .join(self.car, c::car::DEALER_ID, dealer, c::dealer::DEALER_ID);
+        dealer
+    }
+
+    fn attach_insurance(&mut self, with_provider: bool) -> (usize, Option<usize>) {
+        let ins = self.b.table("insurance");
+        self.b
+            .join(ins, c::insurance::CAR_ID, self.car, c::car::CAR_ID);
+        self.insurance = Some(ins);
+        let p = if with_provider {
+            let p = self.b.table("provider");
+            self.b
+                .join(ins, c::insurance::PROVIDER_ID, p, c::provider::PROVIDER_ID);
+            Some(p)
+        } else {
+            None
+        };
+        (ins, p)
+    }
+
+    fn attach_violation(&mut self, with_type: bool) -> (usize, Option<usize>) {
+        let v = self.b.table("violation");
+        self.b
+            .join(v, c::violation::CAR_ID, self.car, c::car::CAR_ID);
+        self.violation = Some(v);
+        let t = if with_type {
+            let t = self.b.table("violation_type");
+            self.b
+                .join(v, c::violation::TYPE_ID, t, c::vtype::TYPE_ID);
+            Some(t)
+        } else {
+            None
+        };
+        (v, t)
+    }
+
+    fn attach_inspection(&mut self, with_station: bool) -> (usize, Option<usize>) {
+        let i = self.b.table("inspection");
+        self.b
+            .join(i, c::inspection::CAR_ID, self.car, c::car::CAR_ID);
+        self.inspection = Some(i);
+        let s = if with_station {
+            let s = self.b.table("station");
+            self.b
+                .join(i, c::inspection::STATION_ID, s, c::station::STATION_ID);
+            Some(s)
+        } else {
+            None
+        };
+        (i, s)
+    }
+
+    fn attach_accident(&mut self) -> usize {
+        let a = self.b.table("accident");
+        self.b
+            .join(a, c::accident::CAR_ID, self.car, c::car::CAR_ID);
+        a
+    }
+}
+
+/// Make-level correlated cluster: `make_id = M AND model_id BETWEEN
+/// first(M) AND last(M)` — the model range is implied by the make, so
+/// independence underestimates by ~30x while the actual cardinality is a
+/// full make's population (large). This is the plan-breaking cluster: the
+/// optimizer expects a handful of rows and chains index NLJNs off them.
+fn make_level_cluster(b: &mut Builder, rng: &mut StdRng) {
+    // A whole make *band* plus its implied model range. The band-0 makes
+    // are overrepresented (AGE↔MAKE skew), so the actual population is a
+    // large fraction of CAR while independence estimates the conjunction
+    // at band_frac x model_frac ≈ 4%.
+    let band = if rng.gen_bool(0.7) {
+        0
+    } else {
+        rng.gen_range(0..5usize)
+    };
+    let makes: Vec<Value> = (0..6)
+        .map(|k| Value::Int((band * 6 + k) as i64))
+        .collect();
+    let first = (band * 6 * MODELS_PER_MAKE) as i64;
+    let last = first + (6 * MODELS_PER_MAKE) as i64 - 1;
+    let car = b.car;
+    b.b.filter(
+        car,
+        Expr::col(car, c::car::MAKE_ID)
+            .in_list(makes)
+            .and(Expr::col(car, c::car::MODEL_ID).between(Expr::lit(first), Expr::lit(last))),
+    );
+}
+
+/// The correlated make+model+color cluster — the paper's headline
+/// correlation, underestimated ~100x by independence.
+fn correlated_car_cluster(b: &mut Builder, rng: &mut StdRng) {
+    let make = rng.gen_range(0..MAKES.len());
+    let model = make * MODELS_PER_MAKE + rng.gen_range(0..MODELS_PER_MAKE);
+    let color = COLORS[model % COLORS.len()]; // always in the model's palette
+    let car = b.car;
+    b.b.filter(
+        car,
+        Expr::col(car, c::car::MAKE_ID)
+            .eq(Expr::lit(make as i64))
+            .and(Expr::col(car, c::car::MODEL_ID).eq(Expr::lit(model as i64)))
+            .and(Expr::col(car, c::car::COLOR).eq(Expr::lit(color))),
+    );
+}
+
+/// MODEL + WEIGHT correlation: the weight window always contains the
+/// model's whole weight range.
+fn weight_cluster(b: &mut Builder, rng: &mut StdRng) {
+    let model = rng.gen_range(0..MAKES.len() * MODELS_PER_MAKE) as i64;
+    let base = 900 + 250 * (model % MODELS_PER_MAKE as i64) + (model / MODELS_PER_MAKE as i64 % 7) * 40;
+    let car = b.car;
+    b.b.filter(
+        car,
+        Expr::col(car, c::car::MODEL_ID)
+            .eq(Expr::lit(model))
+            .and(Expr::col(car, c::car::WEIGHT).between(
+                Expr::lit(base - 30),
+                Expr::lit(base + 30),
+            )),
+    );
+}
+
+/// AGE ↔ MAKE correlation across the join: an age band plus that band's
+/// preferred makes.
+fn age_make_cluster(b: &mut Builder, rng: &mut StdRng) {
+    let band = rng.gen_range(0..5usize);
+    let lo = 18 + band as i64 * 15;
+    let owner = b.owner;
+    let car = b.car;
+    b.b.filter(
+        owner,
+        Expr::col(owner, c::owner::AGE).between(Expr::lit(lo), Expr::lit(lo + 14)),
+    );
+    let makes: Vec<Value> = (0..6)
+        .map(|k| Value::Int(((band * 6 + k) % MAKES.len()) as i64))
+        .collect();
+    b.b.filter(car, Expr::col(car, c::car::MAKE_ID).in_list(makes));
+}
+
+/// ZIP ↔ MAKE: one city's zip window plus a make restriction.
+fn zip_cluster(b: &mut Builder, rng: &mut StdRng) {
+    let city = rng.gen_range(0..50i64);
+    let zip = 10000 + city * 100;
+    let car = b.car;
+    b.b.filter(
+        car,
+        Expr::col(car, c::car::ZIP_REG).between(Expr::lit(zip), Expr::lit(zip + 99)),
+    );
+    if rng.gen_bool(0.5) {
+        let make = rng.gen_range(0..MAKES.len()) as i64;
+        b.b.filter(car, Expr::col(car, c::car::MAKE_ID).eq(Expr::lit(make)));
+    }
+}
+
+/// LIKE predicates on names (default-estimated).
+fn like_cluster(b: &mut Builder, rng: &mut StdRng) {
+    let owner = b.owner;
+    let prefix = rng.gen_range(0..10);
+    b.b.filter(
+        owner,
+        Expr::col(owner, c::owner::NAME).like(format!("Owner#0000{prefix}%")),
+    );
+}
+
+/// Disjunctions and IN-lists.
+fn disjunction_cluster(b: &mut Builder, rng: &mut StdRng) {
+    let car = b.car;
+    let c1 = COLORS[rng.gen_range(0..COLORS.len())];
+    let c2 = COLORS[rng.gen_range(0..COLORS.len())];
+    b.b.filter(
+        car,
+        Expr::col(car, c::car::COLOR)
+            .eq(Expr::lit(c1))
+            .or(Expr::col(car, c::car::COLOR).eq(Expr::lit(c2)))
+            .or(Expr::col(car, c::car::YEAR).gt(Expr::lit(2003i64))),
+    );
+}
+
+/// Build the deterministic 39-query workload.
+pub fn dmv_queries() -> Vec<DmvQuery> {
+    let mut rng = StdRng::seed_from_u64(20040613); // SIGMOD 2004 opening day
+    let mut out = Vec::with_capacity(39);
+    for qi in 0..39 {
+        let mut b = spine();
+        // Satellites: vary breadth so the average join width exceeds 5.
+        let wide = qi % 3 != 0;
+        b.attach_model_make(true);
+        if wide || rng.gen_bool(0.5) {
+            b.attach_city();
+        }
+        if rng.gen_bool(0.6) {
+            b.attach_dealer();
+        }
+        if rng.gen_bool(0.7) {
+            let (ins, p) = b.attach_insurance(rng.gen_bool(0.7));
+            if rng.gen_bool(0.5) {
+                b.b.filter(
+                    ins,
+                    Expr::col(ins, c::insurance::START_YEAR).ge(Expr::lit(2002i64)),
+                );
+            }
+            if let Some(p) = p {
+                if rng.gen_bool(0.5) {
+                    let provider = ["GEICO", "STATEFARM", "USAA"][rng.gen_range(0..3)];
+                    b.b.filter(p, Expr::col(p, c::provider::NAME).eq(Expr::lit(provider)));
+                }
+            }
+        }
+        if rng.gen_bool(0.6) {
+            let (v, t) = b.attach_violation(rng.gen_bool(0.7));
+            if rng.gen_bool(0.6) {
+                b.b.filter(
+                    v,
+                    Expr::col(v, c::violation::DAY)
+                        .between(Expr::lit(Value::Date(365)), Expr::lit(Value::Date(730))),
+                );
+            }
+            if let Some(t) = t {
+                if rng.gen_bool(0.6) {
+                    // Selective dimension predicate: only 2 of 10 types
+                    // carry 6+ points. The good plan reduces VIOLATION
+                    // through this before touching the spine; the
+                    // misestimate-driven plan chains off the "tiny" car
+                    // side instead and pays the full fan-out.
+                    b.b.filter(t, Expr::col(t, c::vtype::POINTS).ge(Expr::lit(6i64)));
+                }
+            }
+        }
+        if rng.gen_bool(0.5) {
+            let (i, _s) = b.attach_inspection(rng.gen_bool(0.5));
+            if rng.gen_bool(0.5) {
+                b.b.filter(i, Expr::col(i, c::inspection::PASSED).eq(Expr::lit(false)));
+            }
+        }
+        if rng.gen_bool(0.3) {
+            let a = b.attach_accident();
+            if rng.gen_bool(0.5) {
+                b.b.filter(a, Expr::col(a, c::accident::SEVERITY).ge(Expr::lit(4i64)));
+            }
+        }
+
+        // Predicate clusters: always at least one correlated cluster so
+        // the independence assumption bites.
+        match qi % 5 {
+            0 => make_level_cluster(&mut b, &mut rng),
+            1 => weight_cluster(&mut b, &mut rng),
+            2 => age_make_cluster(&mut b, &mut rng),
+            3 => {
+                if qi % 2 == 0 {
+                    make_level_cluster(&mut b, &mut rng);
+                } else {
+                    correlated_car_cluster(&mut b, &mut rng);
+                }
+                zip_cluster(&mut b, &mut rng);
+            }
+            _ => {
+                age_make_cluster(&mut b, &mut rng);
+                disjunction_cluster(&mut b, &mut rng);
+            }
+        }
+        if rng.gen_bool(0.4) {
+            like_cluster(&mut b, &mut rng);
+        }
+
+        // Output: aggregate or plain projection.
+        let car = b.car;
+        let owner = b.owner;
+        if rng.gen_bool(0.7) {
+            let group = match qi % 3 {
+                0 => (car, c::car::MAKE_ID),
+                1 => (owner, c::owner::CITY_ID),
+                _ => (car, c::car::YEAR),
+            };
+            let agg_col = if let Some(ins) = b.insurance {
+                ColId::new(ins, c::insurance::PREMIUM)
+            } else if let Some(v) = b.violation {
+                ColId::new(v, c::violation::FINE)
+            } else {
+                ColId::new(car, c::car::WEIGHT)
+            };
+            b.b.aggregate(&[group], vec![AggFunc::Count, AggFunc::Sum(agg_col)]);
+            b.b.order_by(1, true);
+        } else {
+            b.b.project(&[
+                (car, c::car::CAR_ID),
+                (car, c::car::MAKE_ID),
+                (owner, c::owner::ZIP),
+            ]);
+        }
+        let spec = b.b.build().expect("generated DMV query must validate");
+        out.push(DmvQuery {
+            name: format!("DMV{:02}", qi + 1),
+            spec,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_39_queries() {
+        let qs = dmv_queries();
+        assert_eq!(qs.len(), 39);
+        for q in &qs {
+            assert!(q.spec.validate().is_ok(), "{} invalid", q.name);
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = dmv_queries();
+        let b = dmv_queries();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.spec, y.spec);
+        }
+    }
+
+    #[test]
+    fn queries_are_wide_joins() {
+        let qs = dmv_queries();
+        let avg: f64 =
+            qs.iter().map(|q| q.spec.tables.len() as f64).sum::<f64>() / qs.len() as f64;
+        assert!(avg >= 5.0, "average join width {avg}");
+        assert!(qs.iter().any(|q| q.spec.tables.len() >= 9));
+    }
+
+    #[test]
+    fn every_query_has_a_predicate() {
+        for q in dmv_queries() {
+            assert!(!q.spec.local_preds.is_empty(), "{} has no predicates", q.name);
+        }
+    }
+}

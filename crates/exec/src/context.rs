@@ -1,0 +1,154 @@
+//! The execution context: catalog handle, parameters, instrumentation,
+//! harvested materializations, and cross-run compensation state.
+
+use crate::signal::ObservedCard;
+use pop_expr::Params;
+use pop_plan::{CheckContext, CheckFlavor, CostModel, ValidityRange};
+use pop_storage::Catalog;
+use pop_types::{ColId, Rid, Row};
+use std::collections::HashSet;
+
+/// A completed materialization, snapshotted for potential promotion to a
+/// temporary materialized view if a CHECK fails later in this run (§2.3).
+/// Rows are stored in **canonical column order** so any re-optimized plan
+/// can consume them regardless of the join order that produced them.
+#[derive(Debug, Clone)]
+pub struct Harvest {
+    /// Subplan signature (tables + applied predicates).
+    pub signature: String,
+    /// Canonical column layout of `rows`.
+    pub layout: Vec<ColId>,
+    /// The materialized rows.
+    pub rows: Vec<Row>,
+    /// Lineage per row.
+    pub lineage: Vec<Vec<Rid>>,
+}
+
+/// Outcome of one CHECK evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// The count stayed within the range.
+    Passed,
+    /// The range was violated.
+    Violated,
+    /// A forced (dummy) re-optimization fired here (Figure 12 experiments).
+    Forced,
+}
+
+/// Instrumentation record for one checkpoint encounter — the raw data for
+/// the opportunity analysis of Figure 14.
+#[derive(Debug, Clone)]
+pub struct CheckEvent {
+    /// Check id within the plan.
+    pub check_id: usize,
+    /// Flavor.
+    pub flavor: CheckFlavor,
+    /// Placement context.
+    pub context: CheckContext,
+    /// Outcome.
+    pub outcome: CheckOutcome,
+    /// Work units consumed by the whole query when the check resolved —
+    /// divided by the total, this is the "fraction of query execution
+    /// completed" axis of Figure 14.
+    pub at_work: f64,
+    /// Work counter when the check started observing rows (ECB intervals
+    /// in Figure 14 span `started_at..at_work`).
+    pub started_at: f64,
+    /// Observed cardinality.
+    pub observed: ObservedCard,
+    /// Estimated cardinality.
+    pub est_card: f64,
+    /// The check range in force.
+    pub range: ValidityRange,
+    /// Signature of the checked subplan.
+    pub signature: String,
+}
+
+/// Mutable execution state threaded through every operator call.
+pub struct ExecCtx {
+    /// Catalog for scans, index probes and side-effect targets.
+    pub catalog: Catalog,
+    /// Parameter-marker bindings.
+    pub params: Params,
+    /// Work-unit coefficients (mirrors the optimizer's cost model).
+    pub model: CostModel,
+    /// Work units consumed so far in this run.
+    pub work: f64,
+    /// When false, CHECK operators count but never raise (used after the
+    /// re-optimization budget is exhausted, and by the opportunity
+    /// instrumentation runs of Figure 14).
+    pub checks_enabled: bool,
+    /// Force a dummy re-optimization at the check with this id (Figure 12
+    /// overhead experiments).
+    pub force_reopt_at: Option<usize>,
+    /// Set once the forced re-optimization fired (it fires only once).
+    pub forced_fired: bool,
+    /// Completed materializations of this run.
+    pub harvests: Vec<Harvest>,
+    /// Every check resolution of this run.
+    pub check_events: Vec<CheckEvent>,
+    /// Lineage of rows returned to the application in *previous* execution
+    /// steps — the rid side table `S` of Figure 9. The driver inserts an
+    /// anti-join against this set into re-optimized plans.
+    pub prev_returned: HashSet<Vec<Rid>>,
+    /// Lineage of source rows whose side effect (INSERT) was already
+    /// applied in a previous step; guarantees exactly-once application.
+    pub side_effects_applied: HashSet<Vec<Rid>>,
+    /// Rows fetched from base tables (diagnostics).
+    pub rows_scanned: u64,
+}
+
+impl ExecCtx {
+    /// Fresh context for a query.
+    pub fn new(catalog: Catalog, params: Params, model: CostModel) -> Self {
+        ExecCtx {
+            catalog,
+            params,
+            model,
+            work: 0.0,
+            checks_enabled: true,
+            force_reopt_at: None,
+            forced_fired: false,
+            harvests: Vec::new(),
+            check_events: Vec::new(),
+            prev_returned: HashSet::new(),
+            side_effects_applied: HashSet::new(),
+            rows_scanned: 0,
+        }
+    }
+
+    /// Reset per-run state while keeping cross-run compensation state
+    /// (returned rids, applied side effects) and accumulated work.
+    pub fn begin_run(&mut self) {
+        self.harvests.clear();
+        self.check_events.clear();
+    }
+
+    /// Charge work units.
+    #[inline]
+    pub fn charge(&mut self, units: f64) {
+        self.work += units;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_run_keeps_cross_run_state() {
+        let mut ctx = ExecCtx::new(Catalog::new(), Params::none(), CostModel::default());
+        ctx.work = 10.0;
+        ctx.prev_returned.insert(vec![Rid::new(0, 1)]);
+        ctx.harvests.push(Harvest {
+            signature: "s".into(),
+            layout: vec![],
+            rows: vec![],
+            lineage: vec![],
+        });
+        ctx.begin_run();
+        assert_eq!(ctx.work, 10.0);
+        assert_eq!(ctx.prev_returned.len(), 1);
+        assert!(ctx.harvests.is_empty());
+    }
+}

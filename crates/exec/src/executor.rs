@@ -1,0 +1,176 @@
+//! The top-level execution loop: build, open, drain — or suspend on a
+//! CHECK violation.
+
+use crate::build::Signatures;
+use crate::{build_operator, ExecCtx, ExecRow, ExecSignal, Violation};
+use pop_plan::PhysNode;
+use pop_types::PopResult;
+
+/// Result of one execution step.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The plan ran to completion.
+    Complete {
+        /// All rows returned to the application.
+        rows: Vec<ExecRow>,
+    },
+    /// A CHECK violated its range: execution stopped for re-optimization.
+    Suspended {
+        /// Rows already returned to the application before the violation
+        /// (the driver must compensate for these in the next step).
+        rows: Vec<ExecRow>,
+        /// The violation that stopped execution.
+        violation: Violation,
+    },
+}
+
+impl RunOutcome {
+    /// The rows produced, regardless of outcome.
+    pub fn rows(&self) -> &[ExecRow] {
+        match self {
+            RunOutcome::Complete { rows } | RunOutcome::Suspended { rows, .. } => rows,
+        }
+    }
+
+    /// Did the step complete?
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunOutcome::Complete { .. })
+    }
+}
+
+/// Execute one step of a plan. Per-run instrumentation in `ctx` is reset;
+/// cross-run compensation state is preserved.
+pub fn execute(plan: &PhysNode, ctx: &mut ExecCtx, signatures: &Signatures) -> PopResult<RunOutcome> {
+    ctx.begin_run();
+    let mut op = build_operator(plan, &ctx.catalog.clone(), signatures)?;
+    let mut rows: Vec<ExecRow> = Vec::new();
+    match op.open(ctx) {
+        Ok(()) => {}
+        Err(ExecSignal::Reopt(v)) => {
+            op.close(ctx);
+            return Ok(RunOutcome::Suspended {
+                rows,
+                violation: *v,
+            });
+        }
+        Err(ExecSignal::Error(e)) => {
+            op.close(ctx);
+            return Err(e);
+        }
+    }
+    loop {
+        match op.next(ctx) {
+            Ok(Some(r)) => {
+                ctx.charge(ctx.model.output_row);
+                rows.push(r);
+            }
+            Ok(None) => break,
+            Err(ExecSignal::Reopt(v)) => {
+                op.close(ctx);
+                return Ok(RunOutcome::Suspended {
+                    rows,
+                    violation: *v,
+                });
+            }
+            Err(ExecSignal::Error(e)) => {
+                op.close(ctx);
+                return Err(e);
+            }
+        }
+    }
+    op.close(ctx);
+    Ok(RunOutcome::Complete { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_expr::{Expr, Params};
+    use pop_plan::{
+        CheckFlavor, CheckSpec, CostModel, LayoutCol, PlanProps, TableSet, ValidityRange,
+    };
+    use pop_storage::Catalog;
+    use pop_types::{ColId, DataType, Schema, Value};
+    use std::collections::HashMap;
+
+    fn scan_plan(pred: Option<Expr>) -> (ExecCtx, PhysNode) {
+        let cat = Catalog::new();
+        cat.create_table(
+            "t",
+            Schema::from_pairs(&[("a", DataType::Int)]),
+            (0..20).map(|i| vec![Value::Int(i)]).collect(),
+        )
+        .unwrap();
+        let ctx = ExecCtx::new(cat, Params::none(), CostModel::default());
+        let plan = PhysNode::TableScan {
+            qidx: 0,
+            table: "t".into(),
+            pred,
+            props: PlanProps::leaf(
+                TableSet::single(0),
+                20.0,
+                20.0,
+                vec![LayoutCol::Base(ColId::new(0, 0))],
+            ),
+        };
+        (ctx, plan)
+    }
+
+    #[test]
+    fn simple_scan_completes() {
+        let (mut ctx, plan) = scan_plan(None);
+        let out = execute(&plan, &mut ctx, &HashMap::new()).unwrap();
+        assert!(out.is_complete());
+        assert_eq!(out.rows().len(), 20);
+        assert!(ctx.work > 0.0);
+    }
+
+    #[test]
+    fn filtered_scan() {
+        let (mut ctx, plan) = scan_plan(Some(Expr::col(0, 0).lt(Expr::lit(5i64))));
+        let out = execute(&plan, &mut ctx, &HashMap::new()).unwrap();
+        assert_eq!(out.rows().len(), 5);
+    }
+
+    #[test]
+    fn violated_check_suspends_with_partial_rows() {
+        let (mut ctx, scan) = scan_plan(None);
+        let props = scan.props().clone();
+        let plan = PhysNode::Check {
+            input: Box::new(scan),
+            spec: CheckSpec {
+                id: 0,
+                flavor: CheckFlavor::Ecdc,
+                range: ValidityRange::new(0.0, 7.0),
+                est_card: 5.0,
+                signature: "sig".into(),
+                context: pop_plan::CheckContext::Pipeline,
+            },
+            props,
+        };
+        let out = execute(&plan, &mut ctx, &HashMap::new()).unwrap();
+        match out {
+            RunOutcome::Suspended { rows, violation } => {
+                assert_eq!(rows.len(), 7);
+                assert_eq!(violation.check_id, 0);
+                assert_eq!(
+                    violation.observed,
+                    crate::ObservedCard::AtLeast(8)
+                );
+            }
+            other => panic!("expected suspension, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_table_is_error() {
+        let (mut ctx, _) = scan_plan(None);
+        let plan = PhysNode::TableScan {
+            qidx: 0,
+            table: "missing".into(),
+            pred: None,
+            props: PlanProps::leaf(TableSet::single(0), 0.0, 0.0, vec![]),
+        };
+        assert!(execute(&plan, &mut ctx, &HashMap::new()).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! The Volcano-style execution engine with POP runtime support.
+//!
+//! Operators implement the classic `open`/`next`/`close` iterator model.
+//! POP-specific runtime behaviour (paper §2.1, §3):
+//!
+//! * **CHECK / BUFCHECK** operators count rows against their check range
+//!   (Figure 10) and raise an [`ExecSignal::Reopt`] control signal on
+//!   violation — not an error: the POP driver catches it, harvests
+//!   intermediate results and re-optimizes.
+//! * **Materialization harvest**: every completed SORT/TEMP
+//!   materialization snapshots its rows (in canonical column order) into
+//!   the execution context, so a later CHECK failure can promote them to
+//!   temporary materialized views with exact cardinalities (§2.3).
+//! * **Work accounting**: operators charge the same
+//!   [`pop_plan::CostModel`] coefficients the optimizer estimates with
+//!   (including simulated spill passes for oversized hash builds and
+//!   sorts), giving a deterministic, machine-independent "execution time"
+//!   for the experiments.
+//! * **Lineage**: rows carry the rids of the base rows that produced them,
+//!   enabling ECDC's deferred compensation (anti-join against already
+//!   returned rows, Figure 9) and exactly-once side effects.
+
+mod build;
+mod context;
+mod executor;
+pub mod operators;
+mod row;
+mod signal;
+
+pub use build::build_operator;
+pub use context::{CheckEvent, CheckOutcome, ExecCtx, Harvest};
+pub use executor::{execute, RunOutcome};
+pub use operators::Operator;
+pub use row::ExecRow;
+pub use signal::{ExecSignal, ObservedCard, OpResult, Violation};

@@ -1,0 +1,447 @@
+//! Hash aggregation and projection.
+
+use crate::operators::Operator;
+use crate::{ExecCtx, ExecRow, OpResult};
+use pop_types::Value;
+use std::collections::HashMap;
+
+/// An aggregate to compute, with its argument resolved to a layout
+/// position (`None` for COUNT(*)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// COUNT(*)
+    Count,
+    /// SUM(pos)
+    Sum(usize),
+    /// MIN(pos)
+    Min(usize),
+    /// MAX(pos)
+    Max(usize),
+    /// AVG(pos)
+    Avg(usize),
+}
+
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    Sum { sum: f64, all_int: bool, any: bool },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, n: i64 },
+}
+
+impl AggState {
+    fn new(kind: AggKind) -> AggState {
+        match kind {
+            AggKind::Count => AggState::Count(0),
+            AggKind::Sum(_) => AggState::Sum {
+                sum: 0.0,
+                all_int: true,
+                any: false,
+            },
+            AggKind::Min(_) => AggState::Min(None),
+            AggKind::Max(_) => AggState::Max(None),
+            AggKind::Avg(_) => AggState::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    fn update(&mut self, kind: AggKind, row: &[Value]) {
+        match (self, kind) {
+            (AggState::Count(n), AggKind::Count) => *n += 1,
+            (AggState::Sum { sum, all_int, any }, AggKind::Sum(pos)) => {
+                let v = &row[pos];
+                if v.is_null() {
+                    return;
+                }
+                if !matches!(v, Value::Int(_)) {
+                    *all_int = false;
+                }
+                if let Some(x) = v.as_f64() {
+                    *sum += x;
+                    *any = true;
+                }
+            }
+            (AggState::Min(m), AggKind::Min(pos)) => {
+                let v = &row[pos];
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v < cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            (AggState::Max(m), AggKind::Max(pos)) => {
+                let v = &row[pos];
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v > cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            (AggState::Avg { sum, n }, AggKind::Avg(pos)) => {
+                let v = &row[pos];
+                if let Some(x) = v.as_f64() {
+                    *sum += x;
+                    *n += 1;
+                }
+            }
+            _ => unreachable!("agg state/kind mismatch"),
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(n),
+            AggState::Sum { sum, all_int, any } => {
+                if !any {
+                    Value::Null
+                } else if all_int && sum.fract() == 0.0 && sum.abs() < 9e15 {
+                    Value::Int(sum as i64)
+                } else {
+                    Value::Float(sum)
+                }
+            }
+            AggState::Min(m) => m.unwrap_or(Value::Null),
+            AggState::Max(m) => m.unwrap_or(Value::Null),
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Hash aggregation: consumes the input at `open`, emits one row per group
+/// (group key columns followed by aggregate values), **sorted by group
+/// key** for deterministic output.
+pub struct HashAggOp {
+    input: Box<dyn Operator>,
+    key_pos: Vec<usize>,
+    aggs: Vec<AggKind>,
+    out: Vec<ExecRow>,
+    pos: usize,
+}
+
+impl HashAggOp {
+    /// Create an aggregation over the given key positions.
+    pub fn new(input: Box<dyn Operator>, key_pos: Vec<usize>, aggs: Vec<AggKind>) -> Self {
+        HashAggOp {
+            input,
+            key_pos,
+            aggs,
+            out: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl Operator for HashAggOp {
+    fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        self.input.open(ctx)?;
+        let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+        let mut saw_any = false;
+        while let Some(r) = self.input.next(ctx)? {
+            ctx.charge(ctx.model.agg_row);
+            saw_any = true;
+            let key: Vec<Value> = self.key_pos.iter().map(|p| r.values[*p].clone()).collect();
+            let states = groups
+                .entry(key)
+                .or_insert_with(|| self.aggs.iter().map(|a| AggState::new(*a)).collect());
+            for (state, kind) in states.iter_mut().zip(self.aggs.iter()) {
+                state.update(*kind, &r.values);
+            }
+        }
+        // Scalar aggregate over an empty input still yields one row.
+        if groups.is_empty() && self.key_pos.is_empty() && !saw_any {
+            groups.insert(
+                Vec::new(),
+                self.aggs.iter().map(|a| AggState::new(*a)).collect(),
+            );
+        }
+        let mut rows: Vec<(Vec<Value>, Vec<AggState>)> = groups.into_iter().collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        self.out = rows
+            .into_iter()
+            .map(|(mut key, states)| {
+                key.extend(states.into_iter().map(AggState::finish));
+                ExecRow::derived(key)
+            })
+            .collect();
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self, _ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+        if self.pos >= self.out.len() {
+            return Ok(None);
+        }
+        let r = self.out[self.pos].clone();
+        self.pos += 1;
+        Ok(Some(r))
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx) {
+        self.input.close(ctx);
+        self.out.clear();
+    }
+}
+
+/// HAVING filter: conjunctive positional predicates over the aggregate
+/// output row.
+pub struct HavingOp {
+    input: Box<dyn Operator>,
+    preds: Vec<pop_plan::HavingPred>,
+}
+
+impl HavingOp {
+    /// Create a HAVING filter.
+    pub fn new(input: Box<dyn Operator>, preds: Vec<pop_plan::HavingPred>) -> Self {
+        HavingOp { input, preds }
+    }
+}
+
+impl Operator for HavingOp {
+    fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        self.input.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+        'rows: loop {
+            match self.input.next(ctx)? {
+                None => return Ok(None),
+                Some(r) => {
+                    for p in &self.preds {
+                        let holds = match r.values[p.pos].sql_cmp(&p.value) {
+                            None => false,
+                            Some(ord) => match p.op {
+                                pop_expr::CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                                pop_expr::CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                                pop_expr::CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                                pop_expr::CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                                pop_expr::CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                                pop_expr::CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                            },
+                        };
+                        if !holds {
+                            continue 'rows;
+                        }
+                    }
+                    return Ok(Some(r));
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx) {
+        self.input.close(ctx);
+    }
+}
+
+/// LIMIT: stops pulling from the input after `n` rows.
+pub struct LimitOp {
+    input: Box<dyn Operator>,
+    n: usize,
+    emitted: usize,
+}
+
+impl LimitOp {
+    /// Create a LIMIT.
+    pub fn new(input: Box<dyn Operator>, n: usize) -> Self {
+        LimitOp {
+            input,
+            n,
+            emitted: 0,
+        }
+    }
+}
+
+impl Operator for LimitOp {
+    fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        self.emitted = 0;
+        self.input.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+        if self.emitted >= self.n {
+            return Ok(None);
+        }
+        match self.input.next(ctx)? {
+            None => Ok(None),
+            Some(r) => {
+                self.emitted += 1;
+                Ok(Some(r))
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx) {
+        self.input.close(ctx);
+    }
+}
+
+/// Projection to a subset of layout positions. Lineage passes through.
+pub struct ProjectOp {
+    input: Box<dyn Operator>,
+    positions: Vec<usize>,
+}
+
+impl ProjectOp {
+    /// Create a projection.
+    pub fn new(input: Box<dyn Operator>, positions: Vec<usize>) -> Self {
+        ProjectOp { input, positions }
+    }
+}
+
+impl Operator for ProjectOp {
+    fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        self.input.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+        match self.input.next(ctx)? {
+            None => Ok(None),
+            Some(r) => Ok(Some(ExecRow {
+                values: self.positions.iter().map(|p| r.values[*p].clone()).collect(),
+                lineage: r.lineage,
+            })),
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx) {
+        self.input.close(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::TableScanOp;
+    use pop_expr::Params;
+    use pop_plan::CostModel;
+    use pop_storage::Catalog;
+    use pop_types::{DataType, Schema};
+
+    fn setup(rows: Vec<Vec<Value>>) -> (ExecCtx, Box<dyn Operator>) {
+        let cat = Catalog::new();
+        let t = cat
+            .create_table(
+                "t",
+                Schema::from_pairs(&[("g", DataType::Int), ("x", DataType::Int)]),
+                rows,
+            )
+            .unwrap();
+        let ctx = ExecCtx::new(cat, Params::none(), CostModel::default());
+        (ctx, Box::new(TableScanOp::new(t, None)))
+    }
+
+    fn drain(op: &mut dyn Operator, ctx: &mut ExecCtx) -> Vec<Vec<Value>> {
+        op.open(ctx).unwrap();
+        let mut out = Vec::new();
+        while let Some(r) = op.next(ctx).unwrap() {
+            out.push(r.values);
+        }
+        op.close(ctx);
+        out
+    }
+
+    #[test]
+    fn group_by_with_all_aggregates() {
+        let (mut ctx, scan) = setup(vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(1), Value::Int(20)],
+            vec![Value::Int(2), Value::Int(5)],
+            vec![Value::Int(1), Value::Null],
+        ]);
+        let mut op = HashAggOp::new(
+            scan,
+            vec![0],
+            vec![
+                AggKind::Count,
+                AggKind::Sum(1),
+                AggKind::Min(1),
+                AggKind::Max(1),
+                AggKind::Avg(1),
+            ],
+        );
+        let out = drain(&mut op, &mut ctx);
+        assert_eq!(out.len(), 2);
+        // group 1: count=3 (count(*) counts nulls), sum=30, min=10, max=20, avg=15
+        assert_eq!(
+            out[0],
+            vec![
+                Value::Int(1),
+                Value::Int(3),
+                Value::Int(30),
+                Value::Int(10),
+                Value::Int(20),
+                Value::Float(15.0)
+            ]
+        );
+        assert_eq!(
+            out[1],
+            vec![
+                Value::Int(2),
+                Value::Int(1),
+                Value::Int(5),
+                Value::Int(5),
+                Value::Int(5),
+                Value::Float(5.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn scalar_aggregate_on_empty_input() {
+        let (mut ctx, scan) = setup(vec![]);
+        let mut op = HashAggOp::new(scan, vec![], vec![AggKind::Count, AggKind::Sum(1)]);
+        let out = drain(&mut op, &mut ctx);
+        assert_eq!(out, vec![vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn grouped_aggregate_on_empty_input_is_empty() {
+        let (mut ctx, scan) = setup(vec![]);
+        let mut op = HashAggOp::new(scan, vec![0], vec![AggKind::Count]);
+        let out = drain(&mut op, &mut ctx);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn output_sorted_by_group_key() {
+        let (mut ctx, scan) = setup(vec![
+            vec![Value::Int(5), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(3), Value::Int(1)],
+        ]);
+        let mut op = HashAggOp::new(scan, vec![0], vec![AggKind::Count]);
+        let out = drain(&mut op, &mut ctx);
+        let keys: Vec<&Value> = out.iter().map(|r| &r[0]).collect();
+        assert_eq!(keys, vec![&Value::Int(1), &Value::Int(3), &Value::Int(5)]);
+    }
+
+    #[test]
+    fn project_reorders_and_drops() {
+        let (mut ctx, scan) = setup(vec![vec![Value::Int(1), Value::Int(2)]]);
+        let mut op = ProjectOp::new(scan, vec![1]);
+        let out = drain(&mut op, &mut ctx);
+        assert_eq!(out, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn float_sum_stays_float() {
+        let cat = Catalog::new();
+        let t = cat
+            .create_table(
+                "f",
+                Schema::from_pairs(&[("x", DataType::Float)]),
+                vec![vec![Value::Float(1.5)], vec![Value::Float(2.0)]],
+            )
+            .unwrap();
+        let mut ctx = ExecCtx::new(cat, Params::none(), CostModel::default());
+        let mut op = HashAggOp::new(
+            Box::new(TableScanOp::new(t, None)),
+            vec![],
+            vec![AggKind::Sum(0)],
+        );
+        let out = drain(&mut op, &mut ctx);
+        assert_eq!(out, vec![vec![Value::Float(3.5)]]);
+    }
+}

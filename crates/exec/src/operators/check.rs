@@ -1,0 +1,504 @@
+//! The CHECK and BUFCHECK operators — Figure 10 of the paper.
+
+use crate::context::{CheckEvent, CheckOutcome};
+use crate::operators::Operator;
+use crate::signal::{ExecSignal, ObservedCard, Violation};
+use crate::{ExecCtx, ExecRow, OpResult};
+use pop_plan::CheckSpec;
+use std::collections::VecDeque;
+
+fn record_event(
+    ctx: &mut ExecCtx,
+    spec: &CheckSpec,
+    outcome: CheckOutcome,
+    observed: ObservedCard,
+    started_at: f64,
+) {
+    ctx.check_events.push(CheckEvent {
+        check_id: spec.id,
+        flavor: spec.flavor,
+        context: spec.context,
+        outcome,
+        at_work: ctx.work,
+        started_at,
+        observed,
+        est_card: spec.est_card,
+        range: spec.range,
+        signature: spec.signature.clone(),
+    });
+}
+
+fn violation(spec: &CheckSpec, observed: ObservedCard, forced: bool) -> ExecSignal {
+    ExecSignal::Reopt(Box::new(Violation {
+        check_id: spec.id,
+        flavor: spec.flavor,
+        signature: spec.signature.clone(),
+        observed,
+        est_card: spec.est_card,
+        range: spec.range,
+        forced,
+    }))
+}
+
+/// CHECK (Figure 10, left): counts rows flowing from producer to consumer
+/// and raises a re-optimization signal when the count leaves the check
+/// range.
+///
+/// * Above a **materialization point** the check executes once, right
+///   after `open`, against the materialized row count (exact observation).
+/// * In a **pipeline** the upper bound fires as soon as it is crossed
+///   (observation "at least count"); the lower bound is evaluated at end
+///   of stream (exact).
+///
+/// A check raises at most once; after raising (or when
+/// [`ExecCtx::checks_enabled`] is false) it degrades to a pass-through
+/// counter, which lets the driver resume execution after deciding not to
+/// re-optimize (e.g. when the re-optimization budget is exhausted).
+pub struct CheckOp {
+    input: Box<dyn Operator>,
+    spec: CheckSpec,
+    materialized_child: bool,
+    count: u64,
+    resolved: bool,
+    raised: bool,
+    pending: Option<ExecRow>,
+    started_at: f64,
+}
+
+impl CheckOp {
+    /// Create a CHECK. `materialized_child` marks checks placed directly
+    /// above SORT/TEMP/MV operators.
+    pub fn new(input: Box<dyn Operator>, spec: CheckSpec, materialized_child: bool) -> Self {
+        CheckOp {
+            input,
+            spec,
+            materialized_child,
+            count: 0,
+            resolved: false,
+            raised: false,
+            pending: None,
+            started_at: 0.0,
+        }
+    }
+
+    /// Evaluate a completed (exact) count.
+    fn evaluate_exact(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        if self.resolved {
+            return Ok(());
+        }
+        self.resolved = true;
+        let observed = ObservedCard::Exact(self.count);
+        let in_range = self.spec.range.contains(self.count as f64);
+        let forced = ctx.force_reopt_at == Some(self.spec.id) && !ctx.forced_fired;
+        // When a dummy re-optimization is forced at one checkpoint, every
+        // *other* checkpoint observes without raising, so the measured
+        // cost is pure re-optimization overhead (Figure 12).
+        let may_raise = ctx.checks_enabled
+            && (ctx.force_reopt_at.is_none() || ctx.force_reopt_at == Some(self.spec.id));
+        if may_raise && !self.raised && (!in_range || forced) {
+            self.raised = true;
+            let outcome = if in_range {
+                ctx.forced_fired = true;
+                CheckOutcome::Forced
+            } else {
+                CheckOutcome::Violated
+            };
+            record_event(ctx, &self.spec, outcome, observed, self.started_at);
+            return Err(violation(&self.spec, observed, in_range));
+        }
+        record_event(ctx, &self.spec, CheckOutcome::Passed, observed, self.started_at);
+        Ok(())
+    }
+
+    /// Evaluate the running count mid-stream (upper bound only).
+    fn evaluate_running(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        let suppressed = ctx.force_reopt_at.is_some() && ctx.force_reopt_at != Some(self.spec.id);
+        if self.resolved || self.raised || !ctx.checks_enabled || suppressed {
+            return Ok(());
+        }
+        if (self.count as f64) > self.spec.range.hi {
+            self.resolved = true;
+            self.raised = true;
+            let observed = ObservedCard::AtLeast(self.count);
+            record_event(ctx, &self.spec, CheckOutcome::Violated, observed, self.started_at);
+            return Err(violation(&self.spec, observed, false));
+        }
+        Ok(())
+    }
+}
+
+impl Operator for CheckOp {
+    fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        self.count = 0;
+        self.resolved = false;
+        self.raised = false;
+        self.pending = None;
+        self.started_at = ctx.work;
+        self.input.open(ctx)?;
+        if self.materialized_child {
+            if let Some(n) = self.input.materialized_count() {
+                // Check once, against the exact materialized count (the
+                // Figure 10 optimization for materialization points).
+                self.count = n;
+                ctx.charge(ctx.model.check_row);
+                self.evaluate_exact(ctx)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+        // A row that tripped the check is replayed after the violation, so
+        // resuming execution without re-optimizing loses nothing.
+        if let Some(r) = self.pending.take() {
+            return Ok(Some(r));
+        }
+        match self.input.next(ctx)? {
+            Some(r) => {
+                if !self.materialized_child {
+                    self.count += 1;
+                    ctx.charge(ctx.model.check_row);
+                    if let Err(e) = self.evaluate_running(ctx) {
+                        self.pending = Some(r);
+                        return Err(e);
+                    }
+                }
+                Ok(Some(r))
+            }
+            None => {
+                if !self.materialized_child {
+                    self.evaluate_exact(ctx)?;
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx) {
+        self.input.close(ctx);
+    }
+
+    fn materialized_count(&self) -> Option<u64> {
+        self.input.materialized_count()
+    }
+}
+
+/// BUFCHECK (Figure 10, right): buffers rows like a valve until it can
+/// decide the check, supporting pipelined plans at the price of a bounded
+/// delay (§3.3, ECB).
+///
+/// With check range `[lo, hi]`: rows are buffered until either the count
+/// exceeds `hi` (fail immediately — *before* any materialization below
+/// completes) or the producer is exhausted (then `lo` is verified). Once
+/// the buffer capacity is reached without a decision, the operator opens
+/// the valve and streams, still counting against `hi`.
+pub struct BufCheckOp {
+    input: Box<dyn Operator>,
+    spec: CheckSpec,
+    capacity: usize,
+    buffer: VecDeque<ExecRow>,
+    count: u64,
+    eof: bool,
+    resolved: bool,
+    raised: bool,
+    started_at: f64,
+}
+
+impl BufCheckOp {
+    /// Create a BUFCHECK with the given buffer capacity.
+    pub fn new(input: Box<dyn Operator>, spec: CheckSpec, capacity: usize) -> Self {
+        BufCheckOp {
+            input,
+            spec,
+            capacity: capacity.max(1),
+            buffer: VecDeque::new(),
+            count: 0,
+            eof: false,
+            resolved: false,
+            raised: false,
+            started_at: 0.0,
+        }
+    }
+
+    fn fail_upper(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        let suppressed = ctx.force_reopt_at.is_some() && ctx.force_reopt_at != Some(self.spec.id);
+        if self.resolved || self.raised || !ctx.checks_enabled || suppressed {
+            return Ok(());
+        }
+        if (self.count as f64) > self.spec.range.hi {
+            self.resolved = true;
+            self.raised = true;
+            let observed = ObservedCard::AtLeast(self.count);
+            record_event(ctx, &self.spec, CheckOutcome::Violated, observed, self.started_at);
+            return Err(violation(&self.spec, observed, false));
+        }
+        Ok(())
+    }
+
+    fn finish_exact(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        if self.resolved {
+            return Ok(());
+        }
+        self.resolved = true;
+        let observed = ObservedCard::Exact(self.count);
+        let in_range = self.spec.range.contains(self.count as f64);
+        let forced = ctx.force_reopt_at == Some(self.spec.id) && !ctx.forced_fired;
+        // When a dummy re-optimization is forced at one checkpoint, every
+        // *other* checkpoint observes without raising, so the measured
+        // cost is pure re-optimization overhead (Figure 12).
+        let may_raise = ctx.checks_enabled
+            && (ctx.force_reopt_at.is_none() || ctx.force_reopt_at == Some(self.spec.id));
+        if may_raise && !self.raised && (!in_range || forced) {
+            self.raised = true;
+            let outcome = if in_range {
+                ctx.forced_fired = true;
+                CheckOutcome::Forced
+            } else {
+                CheckOutcome::Violated
+            };
+            record_event(ctx, &self.spec, outcome, observed, self.started_at);
+            return Err(violation(&self.spec, observed, in_range));
+        }
+        record_event(ctx, &self.spec, CheckOutcome::Passed, observed, self.started_at);
+        Ok(())
+    }
+}
+
+impl Operator for BufCheckOp {
+    fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        self.buffer.clear();
+        self.count = 0;
+        self.eof = false;
+        self.resolved = false;
+        self.raised = false;
+        self.started_at = ctx.work;
+        self.input.open(ctx)?;
+        // Fill the valve.
+        while self.buffer.len() < self.capacity {
+            match self.input.next(ctx)? {
+                None => {
+                    self.eof = true;
+                    self.finish_exact(ctx)?;
+                    break;
+                }
+                Some(r) => {
+                    self.count += 1;
+                    ctx.charge(ctx.model.check_row + ctx.model.temp_write_row * 0.5);
+                    self.buffer.push_back(r);
+                    self.fail_upper(ctx)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+        if let Some(r) = self.buffer.pop_front() {
+            return Ok(Some(r));
+        }
+        if self.eof {
+            return Ok(None);
+        }
+        match self.input.next(ctx)? {
+            None => {
+                self.eof = true;
+                self.finish_exact(ctx)?;
+                Ok(None)
+            }
+            Some(r) => {
+                self.count += 1;
+                ctx.charge(ctx.model.check_row);
+                if let Err(e) = self.fail_upper(ctx) {
+                    self.buffer.push_back(r);
+                    return Err(e);
+                }
+                Ok(Some(r))
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx) {
+        self.input.close(ctx);
+        self.buffer.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{TableScanOp, TempOp};
+    use pop_expr::Params;
+    use pop_plan::{CheckFlavor, CostModel, ValidityRange};
+    use pop_storage::Catalog;
+    use pop_types::{DataType, Schema, Value};
+
+    fn scan_of(n: i64) -> (ExecCtx, Box<dyn Operator>) {
+        let cat = Catalog::new();
+        let t = cat
+            .create_table(
+                "t",
+                Schema::from_pairs(&[("a", DataType::Int)]),
+                (0..n).map(|i| vec![Value::Int(i)]).collect(),
+            )
+            .unwrap();
+        let ctx = ExecCtx::new(cat, Params::none(), CostModel::default());
+        (ctx, Box::new(TableScanOp::new(t, None)))
+    }
+
+    fn spec(lo: f64, hi: f64) -> CheckSpec {
+        CheckSpec {
+            id: 0,
+            flavor: CheckFlavor::Lc,
+            range: ValidityRange::new(lo, hi),
+            est_card: (lo + hi) / 2.0,
+            signature: "sig".into(),
+            context: pop_plan::CheckContext::AboveTemp,
+        }
+    }
+
+    fn expect_reopt<T: std::fmt::Debug>(r: OpResult<T>) -> Violation {
+        match r {
+            Err(ExecSignal::Reopt(v)) => *v,
+            other => panic!("expected reopt signal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_passes_within_range() {
+        let (mut ctx, scan) = scan_of(10);
+        let mut op = CheckOp::new(scan, spec(5.0, 20.0), false);
+        op.open(&mut ctx).unwrap();
+        let mut n = 0;
+        while op.next(&mut ctx).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10);
+        assert_eq!(ctx.check_events.len(), 1);
+        assert_eq!(ctx.check_events[0].outcome, CheckOutcome::Passed);
+        assert_eq!(ctx.check_events[0].observed, ObservedCard::Exact(10));
+    }
+
+    #[test]
+    fn check_fires_upper_bound_mid_stream() {
+        let (mut ctx, scan) = scan_of(100);
+        let mut op = CheckOp::new(scan, spec(0.0, 5.0), false);
+        op.open(&mut ctx).unwrap();
+        let mut seen = 0;
+        let v = loop {
+            match op.next(&mut ctx) {
+                Ok(Some(_)) => seen += 1,
+                Ok(None) => panic!("should have violated"),
+                Err(s) => break expect_reopt::<()>(Err(s)),
+            }
+        };
+        // Fires on the 6th row, before returning it.
+        assert_eq!(seen, 5);
+        assert_eq!(v.observed, ObservedCard::AtLeast(6));
+        assert!(!v.forced);
+    }
+
+    #[test]
+    fn check_fires_lower_bound_at_eof() {
+        let (mut ctx, scan) = scan_of(3);
+        let mut op = CheckOp::new(scan, spec(10.0, 100.0), false);
+        op.open(&mut ctx).unwrap();
+        for _ in 0..3 {
+            op.next(&mut ctx).unwrap().unwrap();
+        }
+        let v = expect_reopt(op.next(&mut ctx));
+        assert_eq!(v.observed, ObservedCard::Exact(3));
+    }
+
+    #[test]
+    fn check_above_materialization_fires_at_open() {
+        let (mut ctx, scan) = scan_of(50);
+        let temp = Box::new(TempOp::new(scan, None));
+        let mut op = CheckOp::new(temp, spec(0.0, 10.0), true);
+        let v = expect_reopt(op.open(&mut ctx));
+        assert_eq!(v.observed, ObservedCard::Exact(50));
+    }
+
+    #[test]
+    fn disabled_checks_never_fire() {
+        let (mut ctx, scan) = scan_of(100);
+        ctx.checks_enabled = false;
+        let mut op = CheckOp::new(scan, spec(0.0, 5.0), false);
+        op.open(&mut ctx).unwrap();
+        let mut n = 0;
+        while op.next(&mut ctx).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn forced_reopt_fires_even_in_range() {
+        let (mut ctx, scan) = scan_of(10);
+        ctx.force_reopt_at = Some(0);
+        let mut op = CheckOp::new(scan, spec(0.0, 100.0), false);
+        op.open(&mut ctx).unwrap();
+        let mut got: Option<Violation> = None;
+        loop {
+            match op.next(&mut ctx) {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(ExecSignal::Reopt(v)) => {
+                    got = Some(*v);
+                    break;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        let v = got.expect("forced violation");
+        assert!(v.forced);
+        assert_eq!(v.observed, ObservedCard::Exact(10));
+        assert!(ctx.forced_fired);
+    }
+
+    #[test]
+    fn bufcheck_fails_before_capacity_when_hi_crossed() {
+        let (mut ctx, scan) = scan_of(100);
+        let mut op = BufCheckOp::new(scan, spec(0.0, 7.0), 1000);
+        let v = expect_reopt(op.open(&mut ctx));
+        assert_eq!(v.observed, ObservedCard::AtLeast(8));
+    }
+
+    #[test]
+    fn bufcheck_succeeds_and_streams_all_rows() {
+        let (mut ctx, scan) = scan_of(10);
+        let mut op = BufCheckOp::new(scan, spec(2.0, 50.0), 4);
+        op.open(&mut ctx).unwrap();
+        let mut n = 0;
+        while op.next(&mut ctx).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn bufcheck_lower_bound_at_eof() {
+        let (mut ctx, scan) = scan_of(1);
+        let mut op = BufCheckOp::new(scan, spec(5.0, 50.0), 100);
+        let v = expect_reopt(op.open(&mut ctx));
+        assert_eq!(v.observed, ObservedCard::Exact(1));
+    }
+
+    #[test]
+    fn check_raises_only_once_then_passes_through() {
+        let (mut ctx, scan) = scan_of(100);
+        let mut op = CheckOp::new(scan, spec(0.0, 5.0), false);
+        op.open(&mut ctx).unwrap();
+        let mut violations = 0;
+        let mut rows = 0;
+        loop {
+            match op.next(&mut ctx) {
+                Ok(Some(_)) => rows += 1,
+                Ok(None) => break,
+                Err(ExecSignal::Reopt(_)) => violations += 1,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert_eq!(violations, 1);
+        assert_eq!(rows, 100, "the row that tripped the check is not lost");
+    }
+}

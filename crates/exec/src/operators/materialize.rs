@@ -1,0 +1,276 @@
+//! Materializing operators: SORT and TEMP — the paper's materialization
+//! points, and the source of reusable intermediate results.
+
+use crate::context::Harvest;
+use crate::operators::Operator;
+use crate::{ExecCtx, ExecRow, OpResult};
+use pop_types::ColId;
+
+/// Harvest descriptor attached to a materializing operator at build time:
+/// the subplan signature plus the permutation that reorders the node's
+/// layout into canonical column order.
+#[derive(Debug, Clone)]
+pub struct HarvestInfo {
+    /// Subplan signature.
+    pub signature: String,
+    /// Canonical layout (sorted ColIds).
+    pub canonical_layout: Vec<ColId>,
+    /// `perm[i]` = position in the node layout of canonical column `i`.
+    pub perm: Vec<usize>,
+}
+
+pub(crate) fn snapshot_harvest(info: &HarvestInfo, rows: &[ExecRow]) -> Harvest {
+    let mut out_rows = Vec::with_capacity(rows.len());
+    let mut lineage = Vec::with_capacity(rows.len());
+    for r in rows {
+        out_rows.push(info.perm.iter().map(|p| r.values[*p].clone()).collect());
+        lineage.push(r.lineage.clone());
+    }
+    Harvest {
+        signature: info.signature.clone(),
+        layout: info.canonical_layout.clone(),
+        rows: out_rows,
+        lineage,
+    }
+}
+
+/// Materializing sort. The entire input is consumed at `open`; the sorted
+/// result is registered as a harvest (in canonical column order) for
+/// potential reuse after a CHECK failure.
+pub struct SortOp {
+    input: Box<dyn Operator>,
+    key_pos: usize,
+    desc: bool,
+    harvest: Option<HarvestInfo>,
+    rows: Vec<ExecRow>,
+    pos: usize,
+    opened: bool,
+}
+
+impl SortOp {
+    /// Create a sort on the given layout position.
+    pub fn new(
+        input: Box<dyn Operator>,
+        key_pos: usize,
+        desc: bool,
+        harvest: Option<HarvestInfo>,
+    ) -> Self {
+        SortOp {
+            input,
+            key_pos,
+            desc,
+            harvest,
+            rows: Vec::new(),
+            pos: 0,
+            opened: false,
+        }
+    }
+}
+
+impl Operator for SortOp {
+    fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        self.input.open(ctx)?;
+        self.rows.clear();
+        self.pos = 0;
+        while let Some(r) = self.input.next(ctx)? {
+            self.rows.push(r);
+        }
+        let key = self.key_pos;
+        // Stable sort: chained sorts implement multi-key ORDER BY.
+        self.rows
+            .sort_by(|a, b| a.values[key].cmp_total(&b.values[key]));
+        if self.desc {
+            self.rows.reverse();
+        }
+        ctx.charge(ctx.model.sort_cost(self.rows.len() as f64));
+        if let Some(info) = &self.harvest {
+            let h = snapshot_harvest(info, &self.rows);
+            ctx.harvests.push(h);
+        }
+        self.opened = true;
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+        let _ = ctx;
+        if self.pos >= self.rows.len() {
+            return Ok(None);
+        }
+        let r = self.rows[self.pos].clone();
+        self.pos += 1;
+        Ok(Some(r))
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx) {
+        self.input.close(ctx);
+        self.rows.clear();
+        self.opened = false;
+    }
+
+    fn materialized_count(&self) -> Option<u64> {
+        if self.opened {
+            Some(self.rows.len() as u64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Explicit materialization (TEMP): buffers its input completely at
+/// `open`, then streams it. Introduced by LCEM placement on NLJN outers,
+/// and usable as a blocking buffer anywhere.
+pub struct TempOp {
+    input: Box<dyn Operator>,
+    harvest: Option<HarvestInfo>,
+    rows: Vec<ExecRow>,
+    pos: usize,
+    opened: bool,
+}
+
+impl TempOp {
+    /// Create a TEMP.
+    pub fn new(input: Box<dyn Operator>, harvest: Option<HarvestInfo>) -> Self {
+        TempOp {
+            input,
+            harvest,
+            rows: Vec::new(),
+            pos: 0,
+            opened: false,
+        }
+    }
+}
+
+impl Operator for TempOp {
+    fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        self.input.open(ctx)?;
+        self.rows.clear();
+        self.pos = 0;
+        while let Some(r) = self.input.next(ctx)? {
+            ctx.charge(ctx.model.temp_write_row);
+            self.rows.push(r);
+        }
+        if let Some(info) = &self.harvest {
+            ctx.harvests.push(snapshot_harvest(info, &self.rows));
+        }
+        self.opened = true;
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+        if self.pos >= self.rows.len() {
+            return Ok(None);
+        }
+        ctx.charge(ctx.model.temp_read_row);
+        let r = self.rows[self.pos].clone();
+        self.pos += 1;
+        Ok(Some(r))
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx) {
+        self.input.close(ctx);
+        self.rows.clear();
+        self.opened = false;
+    }
+
+    fn materialized_count(&self) -> Option<u64> {
+        if self.opened {
+            Some(self.rows.len() as u64)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::TableScanOp;
+    use pop_expr::Params;
+    use pop_plan::CostModel;
+    use pop_storage::Catalog;
+    use pop_types::{DataType, Schema, Value};
+
+    fn ctx_and_scan() -> (ExecCtx, Box<dyn Operator>) {
+        let cat = Catalog::new();
+        let t = cat
+            .create_table(
+                "t",
+                Schema::from_pairs(&[("a", DataType::Int)]),
+                vec![
+                    vec![Value::Int(3)],
+                    vec![Value::Int(1)],
+                    vec![Value::Int(2)],
+                ],
+            )
+            .unwrap();
+        let ctx = ExecCtx::new(cat, Params::none(), CostModel::default());
+        (ctx, Box::new(TableScanOp::new(t, None)))
+    }
+
+    #[test]
+    fn sort_orders_rows() {
+        let (mut ctx, scan) = ctx_and_scan();
+        let mut op = SortOp::new(scan, 0, false, None);
+        op.open(&mut ctx).unwrap();
+        assert_eq!(op.materialized_count(), Some(3));
+        let mut vals = Vec::new();
+        while let Some(r) = op.next(&mut ctx).unwrap() {
+            vals.push(r.values[0].clone());
+        }
+        assert_eq!(vals, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn sort_desc() {
+        let (mut ctx, scan) = ctx_and_scan();
+        let mut op = SortOp::new(scan, 0, true, None);
+        op.open(&mut ctx).unwrap();
+        let r = op.next(&mut ctx).unwrap().unwrap();
+        assert_eq!(r.values[0], Value::Int(3));
+    }
+
+    #[test]
+    fn temp_harvests_in_canonical_order() {
+        let (mut ctx, scan) = ctx_and_scan();
+        let info = HarvestInfo {
+            signature: "sig-t".into(),
+            canonical_layout: vec![ColId::new(0, 0)],
+            perm: vec![0],
+        };
+        let mut op = TempOp::new(scan, Some(info));
+        op.open(&mut ctx).unwrap();
+        assert_eq!(ctx.harvests.len(), 1);
+        let h = &ctx.harvests[0];
+        assert_eq!(h.signature, "sig-t");
+        assert_eq!(h.rows.len(), 3);
+        assert_eq!(h.lineage.len(), 3);
+        assert_eq!(op.materialized_count(), Some(3));
+    }
+
+    #[test]
+    fn temp_streams_after_materialization() {
+        let (mut ctx, scan) = ctx_and_scan();
+        let mut op = TempOp::new(scan, None);
+        op.open(&mut ctx).unwrap();
+        let mut n = 0;
+        while op.next(&mut ctx).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        // write+read charged on top of the scan
+        let expect = 3.0 * (ctx.model.seq_row + ctx.model.temp_write_row + ctx.model.temp_read_row);
+        assert!((ctx.work - expect).abs() < 1e-9, "work={}", ctx.work);
+    }
+
+    #[test]
+    fn harvest_permutation_reorders_columns() {
+        let rows = vec![ExecRow::derived(vec![Value::Int(1), Value::Int(2)])];
+        let info = HarvestInfo {
+            signature: "s".into(),
+            canonical_layout: vec![ColId::new(0, 0), ColId::new(0, 1)],
+            perm: vec![1, 0], // canonical col 0 lives at layout pos 1
+        };
+        let h = snapshot_harvest(&info, &rows);
+        assert_eq!(h.rows[0], vec![Value::Int(2), Value::Int(1)]);
+    }
+}

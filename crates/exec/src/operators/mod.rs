@@ -1,0 +1,49 @@
+//! The operator trait and the physical operator implementations.
+
+use crate::{ExecCtx, ExecRow, OpResult};
+
+pub(crate) mod agg;
+mod check;
+mod joins;
+pub(crate) mod materialize;
+mod scan;
+mod side;
+
+pub use agg::{HashAggOp, HavingOp, LimitOp, ProjectOp};
+pub use check::{BufCheckOp, CheckOp};
+pub use joins::{HsjnOp, MgjnOp, NljnOp, SemiProbeOp};
+pub use materialize::{SortOp, TempOp};
+pub use scan::{IndexRangeScanOp, MvScanOp, TableScanOp};
+pub use side::{AntiJoinRidsOp, InsertOp, RidSinkOp};
+
+/// The Volcano iterator contract.
+///
+/// `open` prepares the operator (materializing operators consume their
+/// entire input here); `next` produces one row or `None` at end of stream;
+/// `close` releases resources. All three may raise an
+/// [`crate::ExecSignal`] — either a genuine error or a re-optimization
+/// request from a CHECK.
+pub trait Operator {
+    /// Prepare for iteration.
+    fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()>;
+    /// Produce the next row, or `None` at end of stream.
+    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>>;
+    /// Release resources.
+    fn close(&mut self, ctx: &mut ExecCtx);
+    /// For materializing operators: the exact row count of the completed
+    /// materialization, available after `open`. Checks placed above
+    /// materialization points read this so the check executes exactly once
+    /// (the optimization noted under Figure 10).
+    fn materialized_count(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Canonical key for a row's lineage, independent of the join order that
+/// produced the row (different plans concatenate lineage in different
+/// orders). Used for the ECDC rid side table and side-effect dedup.
+pub(crate) fn lineage_key(lineage: &[pop_types::Rid]) -> Vec<pop_types::Rid> {
+    let mut k = lineage.to_vec();
+    k.sort_unstable();
+    k
+}

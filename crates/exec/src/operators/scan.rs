@@ -1,0 +1,279 @@
+//! Base-table and materialized-view scans.
+
+use crate::operators::Operator;
+use crate::{ExecCtx, ExecRow, OpResult};
+use pop_expr::BoundExpr;
+use pop_storage::Table;
+use pop_types::{Rid, Row};
+use std::sync::Arc;
+
+/// Sequential scan with an optional pushed-down predicate.
+pub struct TableScanOp {
+    table: Arc<Table>,
+    pred: Option<BoundExpr>,
+    snapshot: Option<Arc<Vec<Row>>>,
+    pos: usize,
+}
+
+impl TableScanOp {
+    /// Create a scan of `table` filtered by the (already bound) predicate.
+    pub fn new(table: Arc<Table>, pred: Option<BoundExpr>) -> Self {
+        TableScanOp {
+            table,
+            pred,
+            snapshot: None,
+            pos: 0,
+        }
+    }
+}
+
+impl Operator for TableScanOp {
+    fn open(&mut self, _ctx: &mut ExecCtx) -> OpResult<()> {
+        self.snapshot = Some(self.table.snapshot());
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+        let rows = self
+            .snapshot
+            .as_ref()
+            .expect("scan next() before open()")
+            .clone();
+        while self.pos < rows.len() {
+            let pos = self.pos;
+            self.pos += 1;
+            ctx.charge(ctx.model.seq_row);
+            ctx.rows_scanned += 1;
+            let row = &rows[pos];
+            let passes = match &self.pred {
+                Some(p) => p.passes(row, &ctx.params)?,
+                None => true,
+            };
+            if passes {
+                return Ok(Some(ExecRow::base(
+                    row.clone(),
+                    Rid::new(self.table.id(), pos as u64),
+                )));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, _ctx: &mut ExecCtx) {
+        self.snapshot = None;
+    }
+}
+
+/// Range scan over a sorted index: fetches only the rows whose indexed
+/// column lies in `[lo, hi]`, in index (ascending key) order, then applies
+/// the residual predicate.
+pub struct IndexRangeScanOp {
+    table: Arc<Table>,
+    index: Arc<pop_storage::Index>,
+    lo: Option<pop_types::Value>,
+    hi: Option<pop_types::Value>,
+    residual: Option<BoundExpr>,
+    snapshot: Option<Arc<Vec<Row>>>,
+    positions: Vec<u64>,
+    pos: usize,
+}
+
+impl IndexRangeScanOp {
+    /// Create an index range scan.
+    pub fn new(
+        table: Arc<Table>,
+        index: Arc<pop_storage::Index>,
+        lo: Option<pop_types::Value>,
+        hi: Option<pop_types::Value>,
+        residual: Option<BoundExpr>,
+    ) -> Self {
+        IndexRangeScanOp {
+            table,
+            index,
+            lo,
+            hi,
+            residual,
+            snapshot: None,
+            positions: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl Operator for IndexRangeScanOp {
+    fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        self.snapshot = Some(self.table.snapshot());
+        self.positions = self
+            .index
+            .range(self.lo.as_ref(), self.hi.as_ref())
+            .ok_or_else(|| {
+                pop_types::PopError::Execution(format!(
+                    "index on {} column {} does not support range probes",
+                    self.table.name(),
+                    self.index.column()
+                ))
+            })?;
+        ctx.charge(ctx.model.index_probe);
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+        let rows = self
+            .snapshot
+            .as_ref()
+            .expect("index range scan next() before open()")
+            .clone();
+        while self.pos < self.positions.len() {
+            let p = self.positions[self.pos] as usize;
+            self.pos += 1;
+            ctx.charge(ctx.model.index_fetch_row);
+            ctx.rows_scanned += 1;
+            let row = &rows[p];
+            let passes = match &self.residual {
+                Some(r) => r.passes(row, &ctx.params)?,
+                None => true,
+            };
+            if passes {
+                return Ok(Some(ExecRow::base(
+                    row.clone(),
+                    Rid::new(self.table.id(), p as u64),
+                )));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, _ctx: &mut ExecCtx) {
+        self.snapshot = None;
+        self.positions.clear();
+    }
+}
+
+/// Scan of a temporary materialized view (an intermediate result from a
+/// previous execution step, §2.3). Lineage is restored from the harvest so
+/// deferred compensation keeps working across re-optimizations.
+pub struct MvScanOp {
+    table: Arc<Table>,
+    lineage: Option<Arc<Vec<Vec<Rid>>>>,
+    snapshot: Option<Arc<Vec<Row>>>,
+    pos: usize,
+}
+
+impl MvScanOp {
+    /// Create an MV scan.
+    pub fn new(table: Arc<Table>, lineage: Option<Arc<Vec<Vec<Rid>>>>) -> Self {
+        MvScanOp {
+            table,
+            lineage,
+            snapshot: None,
+            pos: 0,
+        }
+    }
+}
+
+impl Operator for MvScanOp {
+    fn open(&mut self, _ctx: &mut ExecCtx) -> OpResult<()> {
+        self.snapshot = Some(self.table.snapshot());
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+        let rows = self
+            .snapshot
+            .as_ref()
+            .expect("mv scan next() before open()")
+            .clone();
+        if self.pos >= rows.len() {
+            return Ok(None);
+        }
+        let pos = self.pos;
+        self.pos += 1;
+        ctx.charge(ctx.model.temp_read_row);
+        let lineage = self
+            .lineage
+            .as_ref()
+            .and_then(|l| l.get(pos).cloned())
+            .unwrap_or_default();
+        Ok(Some(ExecRow {
+            values: rows[pos].clone(),
+            lineage,
+        }))
+    }
+
+    fn close(&mut self, _ctx: &mut ExecCtx) {
+        self.snapshot = None;
+    }
+
+    fn materialized_count(&self) -> Option<u64> {
+        Some(self.table.row_count() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_expr::{Expr, Params};
+    use pop_plan::CostModel;
+    use pop_storage::Catalog;
+    use pop_types::{ColId, DataType, Schema, Value};
+
+    fn ctx_and_table() -> (ExecCtx, Arc<Table>) {
+        let cat = Catalog::new();
+        let t = cat
+            .create_table(
+                "t",
+                Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]),
+                (0..10).map(|i| vec![Value::Int(i), Value::Int(i % 3)]).collect(),
+            )
+            .unwrap();
+        let ctx = ExecCtx::new(cat, Params::none(), CostModel::default());
+        (ctx, t)
+    }
+
+    fn drain(op: &mut dyn Operator, ctx: &mut ExecCtx) -> Vec<ExecRow> {
+        op.open(ctx).unwrap();
+        let mut out = Vec::new();
+        while let Some(r) = op.next(ctx).unwrap() {
+            out.push(r);
+        }
+        op.close(ctx);
+        out
+    }
+
+    #[test]
+    fn unfiltered_scan_returns_all_with_rids() {
+        let (mut ctx, t) = ctx_and_table();
+        let mut op = TableScanOp::new(t.clone(), None);
+        let rows = drain(&mut op, &mut ctx);
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[3].lineage, vec![Rid::new(t.id(), 3)]);
+        assert_eq!(ctx.work, 10.0 * ctx.model.seq_row);
+        assert_eq!(ctx.rows_scanned, 10);
+    }
+
+    #[test]
+    fn filtered_scan_charges_for_all_rows() {
+        let (mut ctx, t) = ctx_and_table();
+        let layout = vec![ColId::new(0, 0), ColId::new(0, 1)];
+        let pred = BoundExpr::bind(&Expr::col(0, 1).eq(Expr::lit(0i64)), &layout).unwrap();
+        let mut op = TableScanOp::new(t, Some(pred));
+        let rows = drain(&mut op, &mut ctx);
+        assert_eq!(rows.len(), 4); // b=0 for i in {0,3,6,9}
+        // The scan still touches all 10 rows.
+        assert_eq!(ctx.work, 10.0 * ctx.model.seq_row);
+    }
+
+    #[test]
+    fn mv_scan_restores_lineage() {
+        let (mut ctx, t) = ctx_and_table();
+        let lineage = Arc::new((0..10).map(|i| vec![Rid::new(9, i)]).collect::<Vec<_>>());
+        let mut op = MvScanOp::new(t, Some(lineage));
+        op.open(&mut ctx).unwrap();
+        assert_eq!(op.materialized_count(), Some(10));
+        let r = op.next(&mut ctx).unwrap().unwrap();
+        assert_eq!(r.lineage, vec![Rid::new(9, 0)]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Bound expressions: column references resolved to flat row offsets.
+
+use crate::{ArithOp, CmpOp, Expr};
+use pop_types::{ColId, PopError, PopResult, Value};
+
+/// An expression whose column references have been resolved against the
+/// column layout of a specific plan node, so evaluation is a direct index
+/// into the row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    /// Flat offset into the input row.
+    Col(usize),
+    /// Literal.
+    Lit(Value),
+    /// Parameter marker.
+    Param(usize),
+    /// Comparison.
+    Cmp(CmpOp, Box<BoundExpr>, Box<BoundExpr>),
+    /// Conjunction.
+    And(Vec<BoundExpr>),
+    /// Disjunction.
+    Or(Vec<BoundExpr>),
+    /// Negation.
+    Not(Box<BoundExpr>),
+    /// LIKE.
+    Like(Box<BoundExpr>, String),
+    /// IN list.
+    InList(Box<BoundExpr>, Vec<Value>),
+    /// BETWEEN (inclusive).
+    Between(Box<BoundExpr>, Box<BoundExpr>, Box<BoundExpr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<BoundExpr>, Box<BoundExpr>),
+    /// IS NULL.
+    IsNull(Box<BoundExpr>),
+}
+
+impl BoundExpr {
+    /// Resolve `expr` against `layout`: position `i` of the input row holds
+    /// the column `layout[i]`.
+    pub fn bind(expr: &Expr, layout: &[ColId]) -> PopResult<BoundExpr> {
+        Ok(match expr {
+            Expr::Col(c) => {
+                let idx = layout
+                    .iter()
+                    .position(|l| l == c)
+                    .ok_or_else(|| PopError::UnknownColumn(format!("{c} not in layout")))?;
+                BoundExpr::Col(idx)
+            }
+            Expr::Lit(v) => BoundExpr::Lit(v.clone()),
+            Expr::Param(i) => BoundExpr::Param(*i),
+            Expr::Cmp(op, a, b) => BoundExpr::Cmp(
+                *op,
+                Box::new(Self::bind(a, layout)?),
+                Box::new(Self::bind(b, layout)?),
+            ),
+            Expr::And(v) => BoundExpr::And(
+                v.iter()
+                    .map(|e| Self::bind(e, layout))
+                    .collect::<PopResult<_>>()?,
+            ),
+            Expr::Or(v) => BoundExpr::Or(
+                v.iter()
+                    .map(|e| Self::bind(e, layout))
+                    .collect::<PopResult<_>>()?,
+            ),
+            Expr::Not(e) => BoundExpr::Not(Box::new(Self::bind(e, layout)?)),
+            Expr::Like(e, p) => BoundExpr::Like(Box::new(Self::bind(e, layout)?), p.clone()),
+            Expr::InList(e, vs) => {
+                BoundExpr::InList(Box::new(Self::bind(e, layout)?), vs.clone())
+            }
+            Expr::Between(e, lo, hi) => BoundExpr::Between(
+                Box::new(Self::bind(e, layout)?),
+                Box::new(Self::bind(lo, layout)?),
+                Box::new(Self::bind(hi, layout)?),
+            ),
+            Expr::Arith(op, a, b) => BoundExpr::Arith(
+                *op,
+                Box::new(Self::bind(a, layout)?),
+                Box::new(Self::bind(b, layout)?),
+            ),
+            Expr::IsNull(e) => BoundExpr::IsNull(Box::new(Self::bind(e, layout)?)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_resolves_offsets() {
+        let layout = vec![ColId::new(1, 0), ColId::new(0, 2)];
+        let e = Expr::col(0, 2).eq(Expr::col(1, 0));
+        let b = BoundExpr::bind(&e, &layout).unwrap();
+        match b {
+            BoundExpr::Cmp(CmpOp::Eq, a, bb) => {
+                assert_eq!(*a, BoundExpr::Col(1));
+                assert_eq!(*bb, BoundExpr::Col(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bind_missing_column_errors() {
+        let layout = vec![ColId::new(0, 0)];
+        let e = Expr::col(3, 3).eq(Expr::lit(1i64));
+        assert!(BoundExpr::bind(&e, &layout).is_err());
+    }
+
+    #[test]
+    fn bind_preserves_structure() {
+        let layout = vec![ColId::new(0, 0)];
+        let e = Expr::col(0, 0)
+            .between(Expr::lit(1i64), Expr::lit(10i64))
+            .and(Expr::col(0, 0).like("a%"));
+        let b = BoundExpr::bind(&e, &layout).unwrap();
+        match b {
+            BoundExpr::And(v) => assert_eq!(v.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Three-valued evaluation of bound expressions.
+
+use crate::like::like_match;
+use crate::{ArithOp, BoundExpr, CmpOp, Params};
+use pop_types::{PopError, PopResult, Value};
+use std::cmp::Ordering;
+
+/// Truth of a value under SQL three-valued logic: `Some(true)`,
+/// `Some(false)`, or `None` for NULL/unknown.
+pub fn truth(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        Value::Null => None,
+        _ => None,
+    }
+}
+
+impl BoundExpr {
+    /// Evaluate against a row and parameter bindings.
+    pub fn eval(&self, row: &[Value], params: &Params) -> PopResult<Value> {
+        Ok(match self {
+            BoundExpr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| PopError::Execution(format!("row too short for column {i}")))?,
+            BoundExpr::Lit(v) => v.clone(),
+            BoundExpr::Param(i) => params.get(*i)?.clone(),
+            BoundExpr::Cmp(op, a, b) => {
+                let av = a.eval(row, params)?;
+                let bv = b.eval(row, params)?;
+                match av.sql_cmp(&bv) {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(cmp_holds(*op, ord)),
+                }
+            }
+            BoundExpr::And(parts) => {
+                // SQL AND: false dominates, then null, then true.
+                let mut saw_null = false;
+                let mut result = Value::Bool(true);
+                for p in parts {
+                    match truth(&p.eval(row, params)?) {
+                        Some(false) => {
+                            result = Value::Bool(false);
+                            break;
+                        }
+                        None => saw_null = true,
+                        Some(true) => {}
+                    }
+                }
+                if result == Value::Bool(true) && saw_null {
+                    Value::Null
+                } else {
+                    result
+                }
+            }
+            BoundExpr::Or(parts) => {
+                // SQL OR: true dominates, then null, then false.
+                let mut saw_null = false;
+                let mut result = Value::Bool(false);
+                for p in parts {
+                    match truth(&p.eval(row, params)?) {
+                        Some(true) => {
+                            result = Value::Bool(true);
+                            break;
+                        }
+                        None => saw_null = true,
+                        Some(false) => {}
+                    }
+                }
+                if result == Value::Bool(false) && saw_null {
+                    Value::Null
+                } else {
+                    result
+                }
+            }
+            BoundExpr::Not(e) => match truth(&e.eval(row, params)?) {
+                Some(b) => Value::Bool(!b),
+                None => Value::Null,
+            },
+            BoundExpr::Like(e, pattern) => {
+                let v = e.eval(row, params)?;
+                match v {
+                    Value::Null => Value::Null,
+                    Value::Str(s) => Value::Bool(like_match(&s, pattern)),
+                    other => {
+                        return Err(PopError::TypeMismatch(format!(
+                            "LIKE applied to non-string {other}"
+                        )))
+                    }
+                }
+            }
+            BoundExpr::InList(e, list) => {
+                let v = e.eval(row, params)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    match v.sql_cmp(item) {
+                        Some(Ordering::Equal) => return Ok(Value::Bool(true)),
+                        None => saw_null = true,
+                        _ => {}
+                    }
+                }
+                if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(false)
+                }
+            }
+            BoundExpr::Between(e, lo, hi) => {
+                let v = e.eval(row, params)?;
+                let lov = lo.eval(row, params)?;
+                let hiv = hi.eval(row, params)?;
+                match (v.sql_cmp(&lov), v.sql_cmp(&hiv)) {
+                    (Some(a), Some(b)) => {
+                        Value::Bool(a != Ordering::Less && b != Ordering::Greater)
+                    }
+                    _ => Value::Null,
+                }
+            }
+            BoundExpr::Arith(op, a, b) => {
+                let av = a.eval(row, params)?;
+                let bv = b.eval(row, params)?;
+                if av.is_null() || bv.is_null() {
+                    return Ok(Value::Null);
+                }
+                arith(*op, &av, &bv)?
+            }
+            BoundExpr::IsNull(e) => Value::Bool(e.eval(row, params)?.is_null()),
+        })
+    }
+
+    /// Evaluate as a predicate: does the row pass? NULL counts as *not
+    /// passing* (SQL WHERE semantics).
+    pub fn passes(&self, row: &[Value], params: &Params) -> PopResult<bool> {
+        Ok(truth(&self.eval(row, params)?).unwrap_or(false))
+    }
+}
+
+fn cmp_holds(op: CmpOp, ord: Ordering) -> bool {
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    }
+}
+
+fn arith(op: ArithOp, a: &Value, b: &Value) -> PopResult<Value> {
+    // Integer arithmetic when both sides are ints (except division, which
+    // promotes to float to avoid surprising truncation); float otherwise.
+    if let (Value::Int(x), Value::Int(y)) = (a, b) {
+        return Ok(match op {
+            ArithOp::Add => Value::Int(x.wrapping_add(*y)),
+            ArithOp::Sub => Value::Int(x.wrapping_sub(*y)),
+            ArithOp::Mul => Value::Int(x.wrapping_mul(*y)),
+            ArithOp::Div => {
+                if *y == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*x as f64 / *y as f64)
+                }
+            }
+        });
+    }
+    let (x, y) = match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => (x, y),
+        _ => {
+            return Err(PopError::TypeMismatch(format!(
+                "arithmetic on non-numeric values {a} {op} {b}"
+            )))
+        }
+    };
+    Ok(match op {
+        ArithOp::Add => Value::Float(x + y),
+        ArithOp::Sub => Value::Float(x - y),
+        ArithOp::Mul => Value::Float(x * y),
+        ArithOp::Div => {
+            if y == 0.0 {
+                Value::Null
+            } else {
+                Value::Float(x / y)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Expr;
+    use pop_types::ColId;
+
+    fn bind1(e: &Expr) -> BoundExpr {
+        BoundExpr::bind(e, &[ColId::new(0, 0), ColId::new(0, 1)]).unwrap()
+    }
+
+    fn ev(e: &Expr, row: &[Value]) -> Value {
+        bind1(e).eval(row, &Params::none()).unwrap()
+    }
+
+    #[test]
+    fn comparisons() {
+        let row = vec![Value::Int(5), Value::str("x")];
+        assert_eq!(ev(&Expr::col(0, 0).lt(Expr::lit(6i64)), &row), Value::Bool(true));
+        assert_eq!(ev(&Expr::col(0, 0).ge(Expr::lit(6i64)), &row), Value::Bool(false));
+        assert_eq!(ev(&Expr::col(0, 0).eq(Expr::lit(5i64)), &row), Value::Bool(true));
+        assert_eq!(ev(&Expr::col(0, 0).ne(Expr::lit(5i64)), &row), Value::Bool(false));
+    }
+
+    #[test]
+    fn null_propagates_through_cmp() {
+        let row = vec![Value::Null, Value::Null];
+        assert_eq!(ev(&Expr::col(0, 0).eq(Expr::lit(5i64)), &row), Value::Null);
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let row = vec![Value::Null, Value::Int(1)];
+        // NULL AND false = false
+        let e = Expr::col(0, 0)
+            .eq(Expr::lit(1i64))
+            .and(Expr::col(0, 1).eq(Expr::lit(2i64)));
+        assert_eq!(ev(&e, &row), Value::Bool(false));
+        // NULL AND true = NULL
+        let e = Expr::col(0, 0)
+            .eq(Expr::lit(1i64))
+            .and(Expr::col(0, 1).eq(Expr::lit(1i64)));
+        assert_eq!(ev(&e, &row), Value::Null);
+        // NULL OR true = true
+        let e = Expr::col(0, 0)
+            .eq(Expr::lit(1i64))
+            .or(Expr::col(0, 1).eq(Expr::lit(1i64)));
+        assert_eq!(ev(&e, &row), Value::Bool(true));
+        // NULL OR false = NULL
+        let e = Expr::col(0, 0)
+            .eq(Expr::lit(1i64))
+            .or(Expr::col(0, 1).eq(Expr::lit(9i64)));
+        assert_eq!(ev(&e, &row), Value::Null);
+    }
+
+    #[test]
+    fn not_semantics() {
+        let row = vec![Value::Int(1), Value::Null];
+        assert_eq!(
+            ev(&Expr::col(0, 0).eq(Expr::lit(1i64)).not(), &row),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            ev(&Expr::col(0, 1).eq(Expr::lit(1i64)).not(), &row),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn like_eval() {
+        let row = vec![Value::str("honda"), Value::Null];
+        assert_eq!(ev(&Expr::col(0, 0).like("hon%"), &row), Value::Bool(true));
+        assert_eq!(ev(&Expr::col(0, 1).like("hon%"), &row), Value::Null);
+    }
+
+    #[test]
+    fn like_non_string_is_error() {
+        let row = vec![Value::Int(1), Value::Int(2)];
+        let b = bind1(&Expr::col(0, 0).like("1%"));
+        assert!(b.eval(&row, &Params::none()).is_err());
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        let row = vec![Value::Int(5), Value::Null];
+        let e = Expr::col(0, 0).in_list(vec![Value::Int(1), Value::Int(5)]);
+        assert_eq!(ev(&e, &row), Value::Bool(true));
+        let e = Expr::col(0, 0).in_list(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(ev(&e, &row), Value::Bool(false));
+        // 5 IN (1, NULL) = NULL
+        let e = Expr::col(0, 0).in_list(vec![Value::Int(1), Value::Null]);
+        assert_eq!(ev(&e, &row), Value::Null);
+        // NULL IN (...) = NULL
+        let e = Expr::col(0, 1).in_list(vec![Value::Int(1)]);
+        assert_eq!(ev(&e, &row), Value::Null);
+    }
+
+    #[test]
+    fn between_inclusive() {
+        let row = vec![Value::Int(5), Value::Int(0)];
+        let e = Expr::col(0, 0).between(Expr::lit(5i64), Expr::lit(10i64));
+        assert_eq!(ev(&e, &row), Value::Bool(true));
+        let e = Expr::col(0, 0).between(Expr::lit(6i64), Expr::lit(10i64));
+        assert_eq!(ev(&e, &row), Value::Bool(false));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let row = vec![Value::Int(6), Value::Float(1.5)];
+        let e = Expr::Arith(
+            ArithOp::Mul,
+            Box::new(Expr::col(0, 0)),
+            Box::new(Expr::col(0, 1)),
+        );
+        assert_eq!(ev(&e, &row), Value::Float(9.0));
+        let e = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::col(0, 0)),
+            Box::new(Expr::lit(0i64)),
+        );
+        assert_eq!(ev(&e, &row), Value::Null);
+        let e = Expr::Arith(
+            ArithOp::Add,
+            Box::new(Expr::col(0, 0)),
+            Box::new(Expr::lit(4i64)),
+        );
+        assert_eq!(ev(&e, &row), Value::Int(10));
+    }
+
+    #[test]
+    fn is_null_eval() {
+        let row = vec![Value::Null, Value::Int(1)];
+        assert_eq!(ev(&Expr::IsNull(Box::new(Expr::col(0, 0))), &row), Value::Bool(true));
+        assert_eq!(ev(&Expr::IsNull(Box::new(Expr::col(0, 1))), &row), Value::Bool(false));
+    }
+
+    #[test]
+    fn params_in_eval() {
+        let row = vec![Value::Int(5), Value::Int(0)];
+        let b = bind1(&Expr::col(0, 0).le(Expr::Param(0)));
+        let params = Params::new(vec![Value::Int(10)]);
+        assert_eq!(b.eval(&row, &params).unwrap(), Value::Bool(true));
+        assert!(b.eval(&row, &Params::none()).is_err());
+    }
+
+    #[test]
+    fn passes_treats_null_as_false() {
+        let row = vec![Value::Null, Value::Int(1)];
+        let b = bind1(&Expr::col(0, 0).eq(Expr::lit(1i64)));
+        assert!(!b.passes(&row, &Params::none()).unwrap());
+    }
+}

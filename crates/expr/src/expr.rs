@@ -1,0 +1,471 @@
+//! The unbound expression tree.
+
+use pop_types::{ColId, Value};
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An unbound scalar expression over a query's tables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a column of one of the query's tables.
+    Col(ColId),
+    /// Literal value.
+    Lit(Value),
+    /// Parameter marker `?i`, bound at execution time. At optimization
+    /// time its value is unknown and selectivity estimation falls back to
+    /// defaults — the primary estimation-error source studied in §5.1.
+    Param(usize),
+    /// Binary comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Vec<Expr>),
+    /// Disjunction.
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// SQL LIKE with `%`/`_` wildcards.
+    Like(Box<Expr>, String),
+    /// `expr IN (v1, v2, ...)`.
+    InList(Box<Expr>, Vec<Value>),
+    /// `expr BETWEEN lo AND hi` (inclusive).
+    Between(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Binary arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// `expr IS NULL`.
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference shorthand.
+    pub fn col(table: usize, col: usize) -> Expr {
+        Expr::Col(ColId::new(table, col))
+    }
+
+    /// Literal shorthand.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(other))
+    }
+
+    /// `self <> other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(other))
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(other))
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(other))
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(other))
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(other))
+    }
+
+    /// `self AND other`, flattening nested conjunctions.
+    pub fn and(self, other: Expr) -> Expr {
+        let mut parts = Vec::new();
+        for e in [self, other] {
+            match e {
+                Expr::And(mut v) => parts.append(&mut v),
+                e => parts.push(e),
+            }
+        }
+        Expr::And(parts)
+    }
+
+    /// `self OR other`, flattening nested disjunctions.
+    pub fn or(self, other: Expr) -> Expr {
+        let mut parts = Vec::new();
+        for e in [self, other] {
+            match e {
+                Expr::Or(mut v) => parts.append(&mut v),
+                e => parts.push(e),
+            }
+        }
+        Expr::Or(parts)
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self LIKE pattern`.
+    pub fn like(self, pattern: impl Into<String>) -> Expr {
+        Expr::Like(Box::new(self), pattern.into())
+    }
+
+    /// `self IN (values...)`.
+    pub fn in_list(self, values: Vec<Value>) -> Expr {
+        Expr::InList(Box::new(self), values)
+    }
+
+    /// `self BETWEEN lo AND hi`.
+    pub fn between(self, lo: Expr, hi: Expr) -> Expr {
+        Expr::Between(Box::new(self), Box::new(lo), Box::new(hi))
+    }
+
+    /// Collect every column referenced by this expression.
+    pub fn columns_used(&self) -> Vec<ColId> {
+        let mut out = Vec::new();
+        self.visit_columns(&mut |c| out.push(c));
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Collect every parameter marker index referenced.
+    pub fn params_used(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Param(i) = e {
+                out.push(*i);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Split a conjunction into its factors; a non-AND expression is a
+    /// single factor.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::And(parts) => parts.iter().flat_map(|p| p.conjuncts()).collect(),
+            other => vec![other],
+        }
+    }
+
+    /// Visit every node of the tree.
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Col(_) | Expr::Lit(_) | Expr::Param(_) => {}
+            Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::And(v) | Expr::Or(v) => {
+                for e in v {
+                    e.visit(f);
+                }
+            }
+            Expr::Not(e) | Expr::Like(e, _) | Expr::InList(e, _) | Expr::IsNull(e) => e.visit(f),
+            Expr::Between(e, lo, hi) => {
+                e.visit(f);
+                lo.visit(f);
+                hi.visit(f);
+            }
+        }
+    }
+
+    fn visit_columns(&self, f: &mut impl FnMut(ColId)) {
+        self.visit(&mut |e| {
+            if let Expr::Col(c) = e {
+                f(*c);
+            }
+        });
+    }
+
+    /// A canonical, deterministic fingerprint of this expression.
+    ///
+    /// Used to build the signature of an intermediate result so that
+    /// re-optimization can match temporary materialized views to the parts
+    /// of the query they cover (§2.3). Two expressions with equal
+    /// fingerprints are structurally identical.
+    pub fn fingerprint(&self) -> String {
+        let mut s = String::new();
+        self.write_fingerprint(&mut s);
+        s
+    }
+
+    fn write_fingerprint(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            Expr::Col(c) => {
+                let _ = write!(out, "c{}_{}", c.table, c.col);
+            }
+            Expr::Lit(v) => {
+                let _ = write!(out, "l[{v}]");
+            }
+            Expr::Param(i) => {
+                let _ = write!(out, "p{i}");
+            }
+            Expr::Cmp(op, a, b) => {
+                let _ = write!(out, "({op} ");
+                a.write_fingerprint(out);
+                out.push(' ');
+                b.write_fingerprint(out);
+                out.push(')');
+            }
+            Expr::And(v) => {
+                out.push_str("(and");
+                // Sort factor fingerprints so conjunct order is irrelevant.
+                let mut fps: Vec<String> = v.iter().map(|e| e.fingerprint()).collect();
+                fps.sort();
+                for fp in fps {
+                    out.push(' ');
+                    out.push_str(&fp);
+                }
+                out.push(')');
+            }
+            Expr::Or(v) => {
+                out.push_str("(or");
+                let mut fps: Vec<String> = v.iter().map(|e| e.fingerprint()).collect();
+                fps.sort();
+                for fp in fps {
+                    out.push(' ');
+                    out.push_str(&fp);
+                }
+                out.push(')');
+            }
+            Expr::Not(e) => {
+                out.push_str("(not ");
+                e.write_fingerprint(out);
+                out.push(')');
+            }
+            Expr::Like(e, p) => {
+                out.push_str("(like ");
+                e.write_fingerprint(out);
+                let _ = write!(out, " '{p}')");
+            }
+            Expr::InList(e, vs) => {
+                out.push_str("(in ");
+                e.write_fingerprint(out);
+                for v in vs {
+                    let _ = write!(out, " {v}");
+                }
+                out.push(')');
+            }
+            Expr::Between(e, lo, hi) => {
+                out.push_str("(between ");
+                e.write_fingerprint(out);
+                out.push(' ');
+                lo.write_fingerprint(out);
+                out.push(' ');
+                hi.write_fingerprint(out);
+                out.push(')');
+            }
+            Expr::Arith(op, a, b) => {
+                let _ = write!(out, "({op} ");
+                a.write_fingerprint(out);
+                out.push(' ');
+                b.write_fingerprint(out);
+                out.push(')');
+            }
+            Expr::IsNull(e) => {
+                out.push_str("(isnull ");
+                e.write_fingerprint(out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(c) => write!(f, "{c}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Param(i) => write!(f, "?{i}"),
+            Expr::Cmp(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::And(v) => {
+                write!(f, "(")?;
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Or(v) => {
+                write!(f, "(")?;
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Not(e) => write!(f, "NOT {e}"),
+            Expr::Like(e, p) => write!(f, "({e} LIKE '{p}')"),
+            Expr::InList(e, vs) => {
+                write!(f, "({e} IN (")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::Between(e, lo, hi) => write!(f, "({e} BETWEEN {lo} AND {hi})"),
+            Expr::Arith(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_shorthands() {
+        let e = Expr::col(0, 1).eq(Expr::lit(5i64));
+        assert_eq!(e.to_string(), "(t0.c1 = 5)");
+    }
+
+    #[test]
+    fn and_flattens() {
+        let e = Expr::col(0, 0)
+            .eq(Expr::lit(1i64))
+            .and(Expr::col(0, 1).eq(Expr::lit(2i64)))
+            .and(Expr::col(0, 2).eq(Expr::lit(3i64)));
+        match e {
+            Expr::And(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn columns_used_dedups() {
+        let e = Expr::col(1, 2)
+            .eq(Expr::col(0, 0))
+            .and(Expr::col(1, 2).gt(Expr::lit(4i64)));
+        assert_eq!(
+            e.columns_used(),
+            vec![ColId::new(0, 0), ColId::new(1, 2)]
+        );
+    }
+
+    #[test]
+    fn params_used() {
+        let e = Expr::col(0, 0)
+            .le(Expr::Param(1))
+            .and(Expr::col(0, 1).eq(Expr::Param(0)));
+        assert_eq!(e.params_used(), vec![0, 1]);
+    }
+
+    #[test]
+    fn conjunct_decomposition() {
+        let e = Expr::col(0, 0)
+            .eq(Expr::lit(1i64))
+            .and(Expr::col(0, 1).eq(Expr::lit(2i64)));
+        assert_eq!(e.conjuncts().len(), 2);
+        let single = Expr::col(0, 0).eq(Expr::lit(1i64));
+        assert_eq!(single.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_conjunct_order_insensitive() {
+        let a = Expr::col(0, 0)
+            .eq(Expr::lit(1i64))
+            .and(Expr::col(0, 1).eq(Expr::lit(2i64)));
+        let b = Expr::col(0, 1)
+            .eq(Expr::lit(2i64))
+            .and(Expr::col(0, 0).eq(Expr::lit(1i64)));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_literals() {
+        let a = Expr::col(0, 0).eq(Expr::lit(1i64));
+        let b = Expr::col(0, 0).eq(Expr::lit(2i64));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn cmp_flip() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+        assert_eq!(CmpOp::Ge.flip(), CmpOp::Le);
+    }
+}

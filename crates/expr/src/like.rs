@@ -1,0 +1,97 @@
+//! SQL LIKE pattern matching (`%` = any sequence, `_` = any single char).
+
+/// Match `text` against a SQL LIKE `pattern`.
+///
+/// Iterative two-pointer algorithm with backtracking over the last `%`,
+/// O(n·m) worst case but linear for typical patterns.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern pos after %, text pos)
+
+    while ti < t.len() {
+        // The wildcard test must precede the literal test: a literal '%'
+        // in the *text* must not consume a '%' in the *pattern*.
+        if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            // Backtrack: let the last % absorb one more character.
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(!like_match("abc", "ab"));
+    }
+
+    #[test]
+    fn underscore_single_char() {
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("ac", "a_c"));
+        assert!(like_match("abc", "___"));
+        assert!(!like_match("abcd", "___"));
+    }
+
+    #[test]
+    fn percent_any_sequence() {
+        assert!(like_match("abc", "%"));
+        assert!(like_match("", "%"));
+        assert!(like_match("abc", "a%"));
+        assert!(like_match("abc", "%c"));
+        assert!(like_match("abc", "%b%"));
+        assert!(!like_match("abc", "%d%"));
+    }
+
+    #[test]
+    fn prefix_suffix_infix() {
+        assert!(like_match("honda civic", "honda%"));
+        assert!(like_match("honda civic", "%civic"));
+        assert!(like_match("honda civic", "%a c%"));
+        assert!(!like_match("honda civic", "toyota%"));
+    }
+
+    #[test]
+    fn multiple_percents_with_backtracking() {
+        assert!(like_match("aXbXc", "a%b%c"));
+        assert!(like_match("aabbcc", "a%b%c"));
+        assert!(!like_match("aabbcc", "a%c%b"));
+        assert!(like_match("mississippi", "%ss%ss%"));
+        assert!(!like_match("mississippi", "%ss%ss%ss%"));
+    }
+
+    #[test]
+    fn mixed_wildcards() {
+        assert!(like_match("sedan-4d", "sedan%_d"));
+        assert!(like_match("ab", "%_"));
+        assert!(!like_match("", "%_"));
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert!(like_match("", ""));
+        assert!(!like_match("a", ""));
+        assert!(!like_match("", "a"));
+        assert!(like_match("", "%%"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Parameter marker bindings.
+
+use pop_types::{PopError, PopResult, Value};
+
+/// Runtime bindings for parameter markers (`?0`, `?1`, ...).
+///
+/// At optimization time the parameters are *not* consulted for selectivity
+/// estimation (the paper's experimental setup in §5.1: the optimizer uses a
+/// default selectivity); at execution time, expression evaluation reads the
+/// bound values from here.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Params {
+    values: Vec<Value>,
+}
+
+impl Params {
+    /// No parameters.
+    pub fn none() -> Self {
+        Params::default()
+    }
+
+    /// Bind the given values positionally.
+    pub fn new(values: Vec<Value>) -> Self {
+        Params { values }
+    }
+
+    /// Number of bound parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff no parameters are bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value bound to marker `i`.
+    pub fn get(&self, i: usize) -> PopResult<&Value> {
+        self.values.get(i).ok_or(PopError::UnboundParameter(i))
+    }
+}
+
+impl From<Vec<Value>> for Params {
+    fn from(values: Vec<Value>) -> Self {
+        Params { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_bound() {
+        let p = Params::new(vec![Value::Int(7)]);
+        assert_eq!(p.get(0).unwrap(), &Value::Int(7));
+    }
+
+    #[test]
+    fn get_unbound_errors() {
+        let p = Params::none();
+        assert_eq!(p.get(0).unwrap_err(), PopError::UnboundParameter(0));
+        assert!(p.is_empty());
+    }
+}

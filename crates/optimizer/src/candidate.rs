@@ -1,0 +1,180 @@
+//! Plan candidates held in the DP memo.
+
+use pop_plan::{PhysNode, TableSet, ValidityRange};
+use pop_types::ColId;
+
+/// Parametric description of a candidate's root operator cost, as a
+/// function of the candidate's **canonical input edges**.
+///
+/// For a join over partition `(A, B)` (canonicalized so `A.mask() <
+/// B.mask()`), edge 0 carries `card(A)` and edge 1 carries `card(B)`.
+/// Structurally equivalent candidates over the same partition share these
+/// edges, which is what makes their cost functions directly comparable in
+/// the sensitivity analysis of §2.2 — child subtree costs are constants
+/// that cancel in the difference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RootCostSpec {
+    /// Base-table scan; no input edges.
+    Leaf {
+        /// Unfiltered base table rows (the scan reads them all).
+        base_rows: f64,
+    },
+    /// Temp-MV scan; no input edges.
+    MvScan {
+        /// Materialized row count (exact).
+        rows: f64,
+    },
+    /// Any access path with a fixed cost and no input edges (e.g. an
+    /// index range scan).
+    Fixed {
+        /// The access cost.
+        cost: f64,
+    },
+    /// Index nested-loop join. Cost reacts to the outer edge only: the
+    /// inner is probed through its index, never scanned.
+    Nljn {
+        /// Which canonical edge is the outer.
+        outer_edge: usize,
+        /// Average index matches fetched per probe (inner rows per key).
+        matches_per_probe: f64,
+    },
+    /// Hash join.
+    Hsjn {
+        /// Which canonical edge is the build side.
+        build_edge: usize,
+        /// Which canonical edge is the probe side.
+        probe_edge: usize,
+    },
+    /// Merge join with optional sort enforcers (their cost is part of the
+    /// root cluster: sorts preserve row sets, so plans with and without
+    /// enforcers still share edges in the paper's structural sense).
+    Mgjn {
+        /// Canonical edge of the left input.
+        left_edge: usize,
+        /// Canonical edge of the right input.
+        right_edge: usize,
+        /// Left input needs an enforcer sort.
+        sort_left: bool,
+        /// Right input needs an enforcer sort.
+        sort_right: bool,
+    },
+}
+
+impl RootCostSpec {
+    /// Number of canonical input edges.
+    pub fn num_edges(&self) -> usize {
+        match self {
+            RootCostSpec::Leaf { .. }
+            | RootCostSpec::MvScan { .. }
+            | RootCostSpec::Fixed { .. } => 0,
+            _ => 2,
+        }
+    }
+}
+
+/// A memo entry: a physical subplan plus everything pruning needs.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The physical subplan (props filled in).
+    pub node: PhysNode,
+    /// Total estimated cost (children + root local + enforcers).
+    pub cost: f64,
+    /// Estimated output cardinality.
+    pub card: f64,
+    /// Sort order of the output, if any.
+    pub order: Option<ColId>,
+    /// Canonical partition this candidate was built from (`None` for
+    /// leaves/MV scans). Two candidates are *structurally equivalent* in
+    /// the paper's sense iff their partitions are equal.
+    pub partition: Option<(TableSet, TableSet)>,
+    /// Root cost as a function of canonical edge cards.
+    pub root_spec: RootCostSpec,
+    /// Sum of child subtree costs (constant under edge-card perturbation).
+    pub fixed_cost: f64,
+    /// Estimated cards of the canonical edges.
+    pub edge_cards: Vec<f64>,
+    /// Canonical edge index → child index in `node` (None if the edge has
+    /// no corresponding physical child, e.g. the NLJN inner).
+    pub edge_to_child: Vec<Option<usize>>,
+}
+
+impl Candidate {
+    /// Total cost at perturbed edge cards (used by the sensitivity
+    /// analysis; at `edge_cards` this equals `self.cost` up to enforcer
+    /// bookkeeping).
+    pub fn cost_at(&self, model: &crate::CostModel, cards: &[f64]) -> f64 {
+        self.fixed_cost + crate::cost::root_local_cost(model, &self.root_spec, cards)
+    }
+
+    /// Narrow the validity range stored on the physical child edge that
+    /// corresponds to canonical edge `edge`.
+    pub fn apply_range(&mut self, edge: usize, range: ValidityRange) {
+        if let Some(Some(child_idx)) = self.edge_to_child.get(edge) {
+            let props = self.node.props_mut();
+            while props.edge_ranges.len() <= *child_idx {
+                props.edge_ranges.push(ValidityRange::unbounded());
+            }
+            let r = &mut props.edge_ranges[*child_idx];
+            *r = r.intersect(&range);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostModel;
+    use pop_plan::{LayoutCol, PlanProps};
+
+    fn leaf_candidate() -> Candidate {
+        let node = PhysNode::TableScan {
+            qidx: 0,
+            table: "t".into(),
+            pred: None,
+            props: PlanProps::leaf(
+                TableSet::single(0),
+                50.0,
+                100.0,
+                vec![LayoutCol::Base(ColId::new(0, 0))],
+            ),
+        };
+        Candidate {
+            node,
+            cost: 100.0,
+            card: 50.0,
+            order: None,
+            partition: None,
+            root_spec: RootCostSpec::Leaf { base_rows: 100.0 },
+            fixed_cost: 0.0,
+            edge_cards: vec![],
+            edge_to_child: vec![],
+        }
+    }
+
+    #[test]
+    fn cost_at_leaf_is_constant() {
+        let c = leaf_candidate();
+        let m = CostModel::default();
+        assert_eq!(c.cost_at(&m, &[]), 100.0);
+    }
+
+    #[test]
+    fn apply_range_out_of_bounds_is_noop() {
+        let mut c = leaf_candidate();
+        c.apply_range(5, ValidityRange::new(1.0, 2.0));
+        assert!(c.node.props().edge_ranges.is_empty());
+    }
+
+    #[test]
+    fn num_edges() {
+        assert_eq!(RootCostSpec::Leaf { base_rows: 1.0 }.num_edges(), 0);
+        assert_eq!(
+            RootCostSpec::Hsjn {
+                build_edge: 0,
+                probe_edge: 1
+            }
+            .num_edges(),
+            2
+        );
+    }
+}

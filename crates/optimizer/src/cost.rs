@@ -1,0 +1,133 @@
+//! Root-operator local cost functions over canonical input edges.
+//!
+//! The coefficient struct lives in [`pop_plan::CostModel`] (shared with the
+//! runtime's work accounting); this module adds the *parametric* local
+//! cost of a candidate's root operator as a function of its input-edge
+//! cardinalities — the function the validity-range sensitivity analysis
+//! perturbs (§2.2 of the paper). Child subtree costs are fixed constants
+//! that cancel in cost differences between structurally equivalent plans.
+
+use crate::candidate::RootCostSpec;
+pub use pop_plan::CostModel;
+
+/// Local (root-operator-only) cost of a join/scan root at the given
+/// canonical input-edge cardinalities.
+pub fn root_local_cost(model: &CostModel, spec: &RootCostSpec, cards: &[f64]) -> f64 {
+    match spec {
+        RootCostSpec::Leaf { base_rows } => model.scan_cost(*base_rows),
+        RootCostSpec::MvScan { rows } => model.mv_scan_cost(*rows),
+        RootCostSpec::Fixed { cost } => *cost,
+        RootCostSpec::Nljn {
+            outer_edge,
+            matches_per_probe,
+        } => {
+            let outer = cards[*outer_edge].max(0.0);
+            outer
+                * (model.index_probe + matches_per_probe * model.index_fetch_row)
+                * (1.0 + model.robustness_penalty)
+        }
+        RootCostSpec::Hsjn {
+            build_edge,
+            probe_edge,
+        } => {
+            let build = cards[*build_edge].max(0.0);
+            let probe = cards[*probe_edge].max(0.0);
+            let passes = model.spill_passes(build);
+            (build * model.hash_build_row
+                + probe * model.hash_probe_row
+                + passes * (build + probe) * model.spill_row)
+                * (1.0 + model.robustness_penalty)
+        }
+        RootCostSpec::Mgjn {
+            left_edge,
+            right_edge,
+            sort_left,
+            sort_right,
+        } => {
+            let l = cards[*left_edge].max(0.0);
+            let r = cards[*right_edge].max(0.0);
+            let mut c = (l + r) * model.merge_row;
+            if *sort_left {
+                c += model.sort_cost(l);
+            }
+            if *sort_right {
+                c += model.sort_cost(r);
+            }
+            c
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn hash_join_cost_is_discontinuous_at_mem_budget() {
+        let m = m();
+        let spec = RootCostSpec::Hsjn {
+            build_edge: 0,
+            probe_edge: 1,
+        };
+        let below = root_local_cost(&m, &spec, &[10_000.0, 1000.0]);
+        let above = root_local_cost(&m, &spec, &[10_100.0, 1000.0]);
+        assert!(
+            above - below > 10_000.0,
+            "expected a spill step, got {below} -> {above}"
+        );
+    }
+
+    #[test]
+    fn nljn_cheaper_than_hsjn_for_small_outer() {
+        let m = m();
+        let nljn = RootCostSpec::Nljn {
+            outer_edge: 0,
+            matches_per_probe: 1.0,
+        };
+        let hsjn = RootCostSpec::Hsjn {
+            build_edge: 0,
+            probe_edge: 1,
+        };
+        let n = root_local_cost(&m, &nljn, &[100.0, 15_000.0]);
+        let h = root_local_cost(&m, &hsjn, &[100.0, 15_000.0]);
+        assert!(n < h, "NLJN {n} should beat HSJN {h} at outer=100");
+        let n = root_local_cost(&m, &nljn, &[50_000.0, 15_000.0]);
+        let h = root_local_cost(&m, &hsjn, &[50_000.0, 15_000.0]);
+        assert!(h < n, "HSJN {h} should beat NLJN {n} at outer=50k");
+    }
+
+    #[test]
+    fn mgjn_includes_enforcer_sorts() {
+        let m = m();
+        let both = RootCostSpec::Mgjn {
+            left_edge: 0,
+            right_edge: 1,
+            sort_left: true,
+            sort_right: true,
+        };
+        let none = RootCostSpec::Mgjn {
+            left_edge: 0,
+            right_edge: 1,
+            sort_left: false,
+            sort_right: false,
+        };
+        let c_both = root_local_cost(&m, &both, &[1000.0, 1000.0]);
+        let c_none = root_local_cost(&m, &none, &[1000.0, 1000.0]);
+        assert!(c_both > c_none + 2.0 * m.sort_cost(1000.0) - 1e-9);
+    }
+
+    #[test]
+    fn leaf_and_mv_costs() {
+        let m = m();
+        assert_eq!(
+            root_local_cost(&m, &RootCostSpec::Leaf { base_rows: 500.0 }, &[]),
+            500.0
+        );
+        let mv = root_local_cost(&m, &RootCostSpec::MvScan { rows: 500.0 }, &[]);
+        assert!(mv < 500.0, "MV scan should be cheaper than base scan");
+    }
+}

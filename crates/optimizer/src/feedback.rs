@@ -1,0 +1,139 @@
+//! Cardinality feedback from previous execution steps.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A fact learned about a subplan's actual cardinality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CardFact {
+    /// The subplan was fully materialized; its cardinality is exact.
+    Exact(f64),
+    /// An eager check (ECB/ECWC/ECDC) aborted early after seeing this many
+    /// rows: the true cardinality is at least this (§3.4: eager checks
+    /// "merely give the optimizer a lower bound for the correct
+    /// cardinality").
+    AtLeast(f64),
+}
+
+impl CardFact {
+    /// Merge a new observation into an existing fact, keeping the
+    /// strongest information.
+    pub fn merge(self, other: CardFact) -> CardFact {
+        use CardFact::*;
+        match (self, other) {
+            (Exact(a), Exact(b)) => Exact(a.max(b)), // latest exact counts agree in practice
+            (Exact(a), AtLeast(b)) | (AtLeast(b), Exact(a)) => {
+                if b > a {
+                    AtLeast(b)
+                } else {
+                    Exact(a)
+                }
+            }
+            (AtLeast(a), AtLeast(b)) => AtLeast(a.max(b)),
+        }
+    }
+
+    /// Apply the fact to an estimate.
+    pub fn apply(&self, estimate: f64) -> f64 {
+        match self {
+            CardFact::Exact(v) => *v,
+            CardFact::AtLeast(v) => estimate.max(*v),
+        }
+    }
+
+    /// Is the fact exact?
+    pub fn is_exact(&self) -> bool {
+        matches!(self, CardFact::Exact(_))
+    }
+}
+
+/// Cardinality facts keyed by subplan signature
+/// ([`pop_plan::subplan_signature`]). Shared between the POP driver (which
+/// records facts when checks fire) and the optimizer (which prefers facts
+/// over estimates during re-optimization).
+#[derive(Clone, Default)]
+pub struct FeedbackCache {
+    inner: Arc<RwLock<HashMap<String, CardFact>>>,
+}
+
+impl FeedbackCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        FeedbackCache::default()
+    }
+
+    /// Record (or strengthen) a fact.
+    pub fn record(&self, signature: impl Into<String>, fact: CardFact) {
+        let mut map = self.inner.write();
+        let sig = signature.into();
+        let merged = match map.get(&sig) {
+            Some(prev) => prev.merge(fact),
+            None => fact,
+        };
+        map.insert(sig, merged);
+    }
+
+    /// Look up the fact for a signature.
+    pub fn get(&self, signature: &str) -> Option<CardFact> {
+        self.inner.read().get(signature).copied()
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Drop all facts (end of query).
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_get() {
+        let fb = FeedbackCache::new();
+        assert!(fb.is_empty());
+        fb.record("s1", CardFact::Exact(100.0));
+        assert_eq!(fb.get("s1"), Some(CardFact::Exact(100.0)));
+        assert_eq!(fb.get("s2"), None);
+        assert_eq!(fb.len(), 1);
+        fb.clear();
+        assert!(fb.is_empty());
+    }
+
+    #[test]
+    fn merge_rules() {
+        use CardFact::*;
+        assert_eq!(Exact(10.0).merge(AtLeast(5.0)), Exact(10.0));
+        assert_eq!(Exact(10.0).merge(AtLeast(50.0)), AtLeast(50.0));
+        assert_eq!(AtLeast(5.0).merge(AtLeast(8.0)), AtLeast(8.0));
+        assert_eq!(Exact(10.0).merge(Exact(12.0)), Exact(12.0));
+    }
+
+    #[test]
+    fn apply_rules() {
+        assert_eq!(CardFact::Exact(7.0).apply(100.0), 7.0);
+        assert_eq!(CardFact::AtLeast(7.0).apply(100.0), 100.0);
+        assert_eq!(CardFact::AtLeast(700.0).apply(100.0), 700.0);
+    }
+
+    #[test]
+    fn record_strengthens() {
+        let fb = FeedbackCache::new();
+        fb.record("s", CardFact::AtLeast(10.0));
+        fb.record("s", CardFact::AtLeast(30.0));
+        assert_eq!(fb.get("s"), Some(CardFact::AtLeast(30.0)));
+        fb.record("s", CardFact::Exact(50.0));
+        assert_eq!(fb.get("s"), Some(CardFact::Exact(50.0)));
+    }
+}

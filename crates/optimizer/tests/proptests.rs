@@ -1,0 +1,104 @@
+//! Property-based tests for the validity-range sensitivity analysis.
+
+use pop_optimizer::validity::{find_lower_crossing, find_upper_crossing};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any returned upper crossing must be a *verified inversion*: the
+    /// alternative really is no worse there. This is the conservativeness
+    /// contract of §2.2 — a triggered check never lies about a better
+    /// plan existing at the observed cardinality.
+    #[test]
+    fn upper_crossing_is_verified_inversion(
+        intercept in 1.0f64..1e6,
+        slope in 0.001f64..1e3,
+        est_frac in 0.01f64..0.99,
+    ) {
+        // diff(c) = intercept - slope * c, crossing at intercept/slope.
+        let crossover = intercept / slope;
+        let est = crossover * est_frac;
+        let diff = move |c: f64| intercept - slope * c;
+        match find_upper_crossing(diff, est, 3) {
+            Some(hi) => {
+                prop_assert!(diff(hi) <= 0.0, "returned {hi} is not an inversion");
+                prop_assert!(hi >= est, "bound {hi} below the estimate {est}");
+            }
+            None => {
+                // Permitted (conservative), but for linear functions the
+                // Newton-Raphson secant is exact, so we expect a hit.
+                prop_assert!(false, "linear crossing not found: est={est} x*={crossover}");
+            }
+        }
+    }
+
+    /// When the alternative never becomes cheaper, no bound may be
+    /// produced (otherwise checks would fire with no better plan).
+    #[test]
+    fn no_false_bounds_when_opt_dominates(
+        base in 1.0f64..1e6,
+        slope in 0.0f64..10.0,
+        est in 1.0f64..1e5,
+    ) {
+        // diff(c) = base + slope*c: strictly positive for c >= 0.
+        let diff = move |c: f64| base + slope * c.max(0.0);
+        prop_assert_eq!(find_upper_crossing(diff, est, 3), None);
+        prop_assert_eq!(find_lower_crossing(diff, est, 3), None);
+    }
+
+    /// Lower crossings are verified inversions below the estimate.
+    #[test]
+    fn lower_crossing_is_verified_inversion(
+        intercept in 1.0f64..1e5,
+        slope in 0.01f64..1e2,
+        est_mult in 1.5f64..50.0,
+    ) {
+        // diff(c) = slope*c - intercept: positive above intercept/slope.
+        let crossover = intercept / slope;
+        let est = crossover * est_mult;
+        let diff = move |c: f64| slope * c - intercept;
+        match find_lower_crossing(diff, est, 5) {
+            Some(lo) => {
+                prop_assert!(diff(lo) <= 0.0);
+                prop_assert!(lo <= est);
+            }
+            None => prop_assert!(false, "linear lower crossing not found"),
+        }
+    }
+
+    /// Step functions (spill boundaries): if a crossing is reported it is
+    /// verified, even though the function is discontinuous.
+    #[test]
+    fn step_function_bounds_are_verified(
+        step_at in 10.0f64..1e5,
+        plateau in 1.0f64..1e4,
+        drop in 1.0f64..1e6,
+        est_frac in 0.01f64..0.9,
+    ) {
+        let est = step_at * est_frac;
+        let diff = move |c: f64| if c <= step_at { plateau } else { -drop };
+        if let Some(hi) = find_upper_crossing(diff, est, 3) {
+            prop_assert!(diff(hi) <= 0.0);
+            prop_assert!(hi > step_at);
+        }
+    }
+
+    /// The search must terminate and never panic for arbitrary quadratic
+    /// cost differences (convex or concave).
+    #[test]
+    fn search_is_total_on_quadratics(
+        a in -1e-3f64..1e-3,
+        b in -10.0f64..10.0,
+        c0 in -1e5f64..1e5,
+        est in 1.0f64..1e5,
+    ) {
+        let diff = move |c: f64| a * c * c + b * c + c0;
+        let up = find_upper_crossing(diff, est, 3);
+        let down = find_lower_crossing(diff, est, 3);
+        if let Some(hi) = up {
+            prop_assert!(diff(hi) <= 0.0);
+        }
+        if let Some(lo) = down {
+            prop_assert!(diff(lo) <= 0.0);
+        }
+    }
+}

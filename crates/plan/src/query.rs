@@ -1,0 +1,506 @@
+//! The logical query specification.
+
+use crate::{AggFunc, PhysNode, TableSet};
+use pop_expr::{CmpOp, Expr};
+use pop_types::{ColId, PopError, PopResult};
+
+/// A reference to a base table within a query. The position of the
+/// reference in [`QuerySpec::tables`] is its *query table index*; the same
+/// base table may appear more than once (self-join).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Base table name in the catalog.
+    pub table: String,
+}
+
+/// An equi-join predicate `left = right` between two query tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinPred {
+    /// Column on one side.
+    pub left: ColId,
+    /// Column on the other side.
+    pub right: ColId,
+}
+
+impl JoinPred {
+    /// The pair of query tables this predicate connects.
+    pub fn tables(&self) -> (usize, usize) {
+        (self.left.table, self.right.table)
+    }
+
+    /// Given one side's table set, return (key in that set, key in the
+    /// other set) if the predicate spans the boundary.
+    pub fn split(&self, side: TableSet) -> Option<(ColId, ColId)> {
+        let l_in = side.contains(self.left.table);
+        let r_in = side.contains(self.right.table);
+        match (l_in, r_in) {
+            (true, false) => Some((self.left, self.right)),
+            (false, true) => Some((self.right, self.left)),
+            _ => None,
+        }
+    }
+
+    /// Canonical fingerprint (orientation-insensitive).
+    pub fn fingerprint(&self) -> String {
+        let (a, b) = if (self.left.table, self.left.col) <= (self.right.table, self.right.col) {
+            (self.left, self.right)
+        } else {
+            (self.right, self.left)
+        };
+        format!("j({a}={b})")
+    }
+}
+
+/// GROUP BY specification. Aggregate functions are shared with the
+/// physical plan ([`AggFunc`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// Grouping keys.
+    pub group_by: Vec<ColId>,
+    /// Aggregates computed per group.
+    pub aggs: Vec<AggFunc>,
+}
+
+/// A correlated `EXISTS` / `NOT EXISTS` clause of the classic
+/// decorrelatable form:
+/// `EXISTS (SELECT * FROM inner WHERE inner.link_col = <outer column> AND pred)`.
+///
+/// Executed as a semi/anti probe against the inner table's index, applied
+/// after the main join (the inner table does not participate in join
+/// enumeration — a documented simplification).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExistsClause {
+    /// Inner (probed) table name.
+    pub table: String,
+    /// Column of the outer query the clause correlates on.
+    pub outer_col: ColId,
+    /// Inner column equated with `outer_col` (must be indexed).
+    pub inner_col: usize,
+    /// Extra predicate on the inner table's row (columns use table index
+    /// 0 = the inner table itself).
+    pub pred: Option<Expr>,
+    /// `NOT EXISTS` when true.
+    pub negated: bool,
+}
+
+/// A HAVING-style predicate over an output position of the aggregate row
+/// (`group keys ++ aggregate values`): `output[pos] OP value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HavingPred {
+    /// Output position (into keys ++ aggs).
+    pub pos: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Comparand.
+    pub value: pop_types::Value,
+}
+
+/// ORDER BY key: a position into the final output row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderKey {
+    /// Output position.
+    pub pos: usize,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// A complete logical query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QuerySpec {
+    /// Table references; position = query table index.
+    pub tables: Vec<TableRef>,
+    /// Local (single-table) predicates: `(query table index, expr)`. The
+    /// expression's column references must all name that table.
+    pub local_preds: Vec<(usize, Expr)>,
+    /// Equi-join predicates.
+    pub join_preds: Vec<JoinPred>,
+    /// Output columns (before aggregation). Empty means "all columns of
+    /// all tables".
+    pub projection: Vec<ColId>,
+    /// Optional aggregation; its keys/args reference base columns.
+    pub aggregate: Option<Aggregate>,
+    /// Correlated EXISTS / NOT EXISTS clauses (conjunctive), applied
+    /// after the main join.
+    pub exists: Vec<ExistsClause>,
+    /// HAVING predicates over the aggregate output (conjunctive).
+    pub having: Vec<HavingPred>,
+    /// Optional ordering of the final output.
+    pub order_by: Vec<OrderKey>,
+    /// Keep only the first `n` output rows (applied after ORDER BY).
+    pub limit: Option<usize>,
+    /// Optional side effect: insert the query result into this table.
+    pub side_effect: Option<String>,
+}
+
+impl QuerySpec {
+    /// All query table indexes as a set.
+    pub fn all_tables(&self) -> TableSet {
+        TableSet::first_n(self.tables.len())
+    }
+
+    /// Local predicates attached to table `idx`.
+    pub fn local_preds_of(&self, idx: usize) -> Vec<&Expr> {
+        self.local_preds
+            .iter()
+            .filter(|(t, _)| *t == idx)
+            .map(|(_, e)| e)
+            .collect()
+    }
+
+    /// Join predicates fully contained in `set`.
+    pub fn join_preds_within(&self, set: TableSet) -> Vec<&JoinPred> {
+        self.join_preds
+            .iter()
+            .filter(|j| set.contains(j.left.table) && set.contains(j.right.table))
+            .collect()
+    }
+
+    /// Join predicates connecting `left` to `right` (disjoint sets).
+    pub fn join_preds_between(&self, left: TableSet, right: TableSet) -> Vec<&JoinPred> {
+        self.join_preds
+            .iter()
+            .filter(|j| {
+                let (a, b) = j.tables();
+                (left.contains(a) && right.contains(b)) || (left.contains(b) && right.contains(a))
+            })
+            .collect()
+    }
+
+    /// True iff joining `left` and `right` is connected by at least one
+    /// join predicate (avoids Cartesian products during enumeration).
+    pub fn connected(&self, left: TableSet, right: TableSet) -> bool {
+        !self.join_preds_between(left, right).is_empty()
+    }
+
+    /// Structural validation: table count, predicate column scoping, join
+    /// graph connectivity.
+    pub fn validate(&self) -> PopResult<()> {
+        let n = self.tables.len();
+        if n == 0 {
+            return Err(PopError::InvalidQuery("query references no tables".into()));
+        }
+        if n > 64 {
+            return Err(PopError::InvalidQuery(format!(
+                "query references {n} tables; max is 64"
+            )));
+        }
+        for (t, e) in &self.local_preds {
+            if *t >= n {
+                return Err(PopError::InvalidQuery(format!(
+                    "local predicate references table index {t}, but query has {n} tables"
+                )));
+            }
+            for c in e.columns_used() {
+                if c.table != *t {
+                    return Err(PopError::InvalidQuery(format!(
+                        "local predicate on table {t} references column {c} of another table"
+                    )));
+                }
+            }
+        }
+        for j in &self.join_preds {
+            let (a, b) = j.tables();
+            if a >= n || b >= n {
+                return Err(PopError::InvalidQuery(format!(
+                    "join predicate references table index out of range: {a}, {b}"
+                )));
+            }
+            if a == b {
+                return Err(PopError::InvalidQuery(format!(
+                    "join predicate joins table {a} to itself; use a local predicate"
+                )));
+            }
+        }
+        for e in &self.exists {
+            if e.outer_col.table >= n {
+                return Err(PopError::InvalidQuery(format!(
+                    "EXISTS clause correlates on out-of-range table {}",
+                    e.outer_col.table
+                )));
+            }
+            for c in e.pred.iter().flat_map(|p| p.columns_used()) {
+                if c.table != 0 {
+                    return Err(PopError::InvalidQuery(
+                        "EXISTS inner predicate must reference the inner table as table 0"
+                            .into(),
+                    ));
+                }
+            }
+        }
+        if !self.having.is_empty() && self.aggregate.is_none() {
+            return Err(PopError::InvalidQuery(
+                "HAVING requires an aggregation".into(),
+            ));
+        }
+        // Connectivity check: BFS over the join graph.
+        if n > 1 {
+            let mut reached = TableSet::single(0);
+            let mut frontier = vec![0usize];
+            while let Some(t) = frontier.pop() {
+                for j in &self.join_preds {
+                    let (a, b) = j.tables();
+                    let next = if a == t {
+                        b
+                    } else if b == t {
+                        a
+                    } else {
+                        continue;
+                    };
+                    if !reached.contains(next) {
+                        reached = reached.with(next);
+                        frontier.push(next);
+                    }
+                }
+            }
+            if reached.len() != n {
+                return Err(PopError::InvalidQuery(
+                    "join graph is disconnected (Cartesian products are not supported)".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`QuerySpec`].
+///
+/// ```
+/// use pop_plan::QueryBuilder;
+/// use pop_expr::{CmpOp, Expr};
+///
+/// let (q, _c, _o) = {
+///     let mut b = QueryBuilder::new();
+///     let c = b.table("customer");
+///     let o = b.table("orders");
+///     b.filter(c, Expr::col(c, 2).eq(Expr::lit(5i64)));
+///     b.join(c, 0, o, 1);
+///     b.project(&[(o, 0), (c, 1)]);
+///     (b.build().unwrap(), c, o)
+/// };
+/// assert_eq!(q.tables.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct QueryBuilder {
+    spec: QuerySpec,
+}
+
+
+impl QueryBuilder {
+    /// Start an empty query.
+    pub fn new() -> Self {
+        QueryBuilder::default()
+    }
+
+    /// Add a table reference; returns its query table index.
+    pub fn table(&mut self, name: impl Into<String>) -> usize {
+        self.spec.tables.push(TableRef {
+            table: name.into(),
+        });
+        self.spec.tables.len() - 1
+    }
+
+    /// Attach a local predicate to table `idx`.
+    pub fn filter(&mut self, idx: usize, expr: Expr) -> &mut Self {
+        self.spec.local_preds.push((idx, expr));
+        self
+    }
+
+    /// Add an equi-join `t1.c1 = t2.c2`.
+    pub fn join(&mut self, t1: usize, c1: usize, t2: usize, c2: usize) -> &mut Self {
+        self.spec.join_preds.push(JoinPred {
+            left: ColId::new(t1, c1),
+            right: ColId::new(t2, c2),
+        });
+        self
+    }
+
+    /// Set the projection as `(table, column)` pairs.
+    pub fn project(&mut self, cols: &[(usize, usize)]) -> &mut Self {
+        self.spec.projection = cols.iter().map(|(t, c)| ColId::new(*t, *c)).collect();
+        self
+    }
+
+    /// Group by the given columns with the given aggregates.
+    pub fn aggregate(&mut self, group_by: &[(usize, usize)], aggs: Vec<AggFunc>) -> &mut Self {
+        self.spec.aggregate = Some(Aggregate {
+            group_by: group_by.iter().map(|(t, c)| ColId::new(*t, *c)).collect(),
+            aggs,
+        });
+        self
+    }
+
+    /// Order the final output by position `pos`.
+    pub fn order_by(&mut self, pos: usize, desc: bool) -> &mut Self {
+        self.spec.order_by.push(OrderKey { pos, desc });
+        self
+    }
+
+    /// Add `EXISTS (SELECT * FROM table WHERE table[inner_col] =
+    /// outer[outer] AND pred)`.
+    pub fn exists(
+        &mut self,
+        table: impl Into<String>,
+        outer: (usize, usize),
+        inner_col: usize,
+        pred: Option<Expr>,
+    ) -> &mut Self {
+        self.spec.exists.push(ExistsClause {
+            table: table.into(),
+            outer_col: ColId::new(outer.0, outer.1),
+            inner_col,
+            pred,
+            negated: false,
+        });
+        self
+    }
+
+    /// Add `NOT EXISTS (...)`; see [`QueryBuilder::exists`].
+    pub fn not_exists(
+        &mut self,
+        table: impl Into<String>,
+        outer: (usize, usize),
+        inner_col: usize,
+        pred: Option<Expr>,
+    ) -> &mut Self {
+        self.spec.exists.push(ExistsClause {
+            table: table.into(),
+            outer_col: ColId::new(outer.0, outer.1),
+            inner_col,
+            pred,
+            negated: true,
+        });
+        self
+    }
+
+    /// Add a HAVING predicate: `output[pos] OP value`.
+    pub fn having(&mut self, pos: usize, op: CmpOp, value: impl Into<pop_types::Value>) -> &mut Self {
+        self.spec.having.push(HavingPred {
+            pos,
+            op,
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Keep only the first `n` output rows.
+    pub fn limit(&mut self, n: usize) -> &mut Self {
+        self.spec.limit = Some(n);
+        self
+    }
+
+    /// Insert the result rows into `table` (side effect).
+    pub fn insert_into(&mut self, table: impl Into<String>) -> &mut Self {
+        self.spec.side_effect = Some(table.into());
+        self
+    }
+
+    /// Validate and return the spec.
+    pub fn build(self) -> PopResult<QuerySpec> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
+/// Count plan nodes in a physical plan (used by reports/tests).
+pub fn node_count(plan: &PhysNode) -> usize {
+    let mut n = 1;
+    for c in plan.children() {
+        n += node_count(c);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_table_query() -> QuerySpec {
+        let mut b = QueryBuilder::new();
+        let c = b.table("customer");
+        let o = b.table("orders");
+        b.join(c, 0, o, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_spec() {
+        let q = two_table_query();
+        assert_eq!(q.tables.len(), 2);
+        assert_eq!(q.join_preds.len(), 1);
+        assert_eq!(q.all_tables(), TableSet::first_n(2));
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        assert!(QueryBuilder::new().build().is_err());
+    }
+
+    #[test]
+    fn disconnected_join_graph_rejected() {
+        let mut b = QueryBuilder::new();
+        b.table("a");
+        b.table("b");
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn self_join_pred_rejected() {
+        let mut b = QueryBuilder::new();
+        let a = b.table("a");
+        b.join(a, 0, a, 1);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn cross_table_local_pred_rejected() {
+        let mut b = QueryBuilder::new();
+        let a = b.table("a");
+        let c = b.table("b");
+        b.join(a, 0, c, 0);
+        b.filter(a, Expr::col(c, 0).eq(Expr::lit(1i64)));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn join_pred_helpers() {
+        let q = two_table_query();
+        let left = TableSet::single(0);
+        let right = TableSet::single(1);
+        assert!(q.connected(left, right));
+        assert_eq!(q.join_preds_between(left, right).len(), 1);
+        assert_eq!(q.join_preds_within(q.all_tables()).len(), 1);
+        assert_eq!(q.join_preds_within(left).len(), 0);
+        let j = q.join_preds[0];
+        let (k_in, k_out) = j.split(left).unwrap();
+        assert_eq!(k_in, ColId::new(0, 0));
+        assert_eq!(k_out, ColId::new(1, 1));
+        assert!(j.split(q.all_tables()).is_none());
+    }
+
+    #[test]
+    fn join_pred_fingerprint_orientation_insensitive() {
+        let a = JoinPred {
+            left: ColId::new(0, 1),
+            right: ColId::new(2, 3),
+        };
+        let b = JoinPred {
+            left: ColId::new(2, 3),
+            right: ColId::new(0, 1),
+        };
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn local_preds_of_filters_by_table() {
+        let mut b = QueryBuilder::new();
+        let c = b.table("customer");
+        let o = b.table("orders");
+        b.join(c, 0, o, 1);
+        b.filter(c, Expr::col(c, 2).eq(Expr::lit(5i64)));
+        b.filter(o, Expr::col(o, 0).gt(Expr::lit(1i64)));
+        b.filter(c, Expr::col(c, 3).lt(Expr::lit(9i64)));
+        let q = b.build().unwrap();
+        assert_eq!(q.local_preds_of(c).len(), 2);
+        assert_eq!(q.local_preds_of(o).len(), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests: TableSet against a BTreeSet model, signature
+//! stability, and validity-range algebra.
+
+use pop_plan::{subplan_signature, QueryBuilder, TableSet, ValidityRange};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_idx_set() -> impl Strategy<Value = BTreeSet<usize>> {
+    prop::collection::btree_set(0usize..16, 0..10)
+}
+
+fn to_ts(s: &BTreeSet<usize>) -> TableSet {
+    TableSet::from_iter(s.iter().copied())
+}
+
+proptest! {
+    #[test]
+    fn tableset_matches_btreeset_model(a in arb_idx_set(), b in arb_idx_set()) {
+        let (ta, tb) = (to_ts(&a), to_ts(&b));
+        // union / intersection / difference
+        prop_assert_eq!(
+            ta.union(tb).iter().collect::<BTreeSet<_>>(),
+            a.union(&b).copied().collect::<BTreeSet<_>>()
+        );
+        prop_assert_eq!(
+            ta.intersect(tb).iter().collect::<BTreeSet<_>>(),
+            a.intersection(&b).copied().collect::<BTreeSet<_>>()
+        );
+        prop_assert_eq!(
+            ta.minus(tb).iter().collect::<BTreeSet<_>>(),
+            a.difference(&b).copied().collect::<BTreeSet<_>>()
+        );
+        // predicates
+        prop_assert_eq!(ta.len(), a.len());
+        prop_assert_eq!(ta.is_empty(), a.is_empty());
+        prop_assert_eq!(ta.is_subset_of(tb), a.is_subset(&b));
+        prop_assert_eq!(ta.intersects(tb), !a.is_disjoint(&b));
+        for i in 0..16 {
+            prop_assert_eq!(ta.contains(i), a.contains(&i));
+        }
+    }
+
+    #[test]
+    fn proper_subsets_enumeration_is_complete(a in prop::collection::btree_set(0usize..10, 1..6)) {
+        let ts = to_ts(&a);
+        let subs: BTreeSet<u64> = ts.proper_subsets().map(|s| s.mask()).collect();
+        // Count: 2^n - 2 (excludes empty and full).
+        let expected = (1u64 << a.len()) - 2;
+        prop_assert_eq!(subs.len() as u64, expected);
+        for m in &subs {
+            let s = TableSet::from_iter((0..16).filter(|i| m & (1 << i) != 0));
+            prop_assert!(s.is_subset_of(ts) && !s.is_empty() && s != ts);
+        }
+    }
+
+    #[test]
+    fn validity_range_intersection_is_commutative_and_narrowing(
+        lo1 in 0.0f64..100.0, w1 in 0.0f64..1000.0,
+        lo2 in 0.0f64..100.0, w2 in 0.0f64..1000.0,
+        probe in 0.0f64..1200.0,
+    ) {
+        let a = ValidityRange::new(lo1, lo1 + w1);
+        let b = ValidityRange::new(lo2, lo2 + w2);
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        prop_assert_eq!(ab, ba);
+        // Intersection contains exactly the common points.
+        prop_assert_eq!(ab.contains(probe), a.contains(probe) && b.contains(probe));
+        // Intersecting with unbounded is identity.
+        prop_assert_eq!(a.intersect(&ValidityRange::unbounded()), a);
+    }
+
+    #[test]
+    fn signatures_identify_subplans(n_tables in 2usize..6, seed in 0u64..1000) {
+        // Build a chain-join query; signatures must be injective over
+        // table subsets (different sets -> different signatures) and
+        // deterministic.
+        let mut b = QueryBuilder::new();
+        let ids: Vec<usize> = (0..n_tables).map(|i| b.table(format!("t{i}"))).collect();
+        for w in ids.windows(2) {
+            b.join(w[0], 0, w[1], 1);
+        }
+        let q = b.build().unwrap();
+        let _ = seed;
+        let mut seen = std::collections::HashMap::new();
+        for mask in 1u64..(1 << n_tables) {
+            let set = TableSet::from_iter((0..n_tables).filter(|i| mask & (1 << i) != 0));
+            let sig = subplan_signature(&q, set);
+            prop_assert_eq!(subplan_signature(&q, set), sig.clone(), "non-deterministic");
+            if let Some(prev) = seen.insert(sig.clone(), mask) {
+                prop_assert!(false, "collision between masks {prev:b} and {mask:b}: {sig}");
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-table and per-column statistics, collected by a full scan
+//! ("RUNSTATS" in DB2 terms).
+
+use crate::EquiDepthHistogram;
+use pop_storage::Table;
+use pop_types::Value;
+use std::collections::HashSet;
+
+/// Number of histogram buckets collected per numeric column.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Number of non-null values.
+    pub non_null: u64,
+    /// Number of NULLs.
+    pub nulls: u64,
+    /// Exact distinct count of non-null values.
+    pub distinct: u64,
+    /// Minimum (numeric view) if the column is numeric.
+    pub min: Option<f64>,
+    /// Maximum (numeric view) if the column is numeric.
+    pub max: Option<f64>,
+    /// Equi-depth histogram for numeric columns.
+    pub histogram: Option<EquiDepthHistogram>,
+}
+
+impl ColumnStats {
+    /// Fraction of rows that are NULL.
+    pub fn null_frac(&self) -> f64 {
+        let total = self.non_null + self.nulls;
+        if total == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / total as f64
+        }
+    }
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Row count at analysis time.
+    pub row_count: u64,
+    /// Per-column stats, aligned with the table schema.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Stats for column `i`.
+    pub fn col(&self, i: usize) -> &ColumnStats {
+        &self.columns[i]
+    }
+
+    /// Distinct count of column `i`, at least 1.
+    pub fn distinct(&self, i: usize) -> f64 {
+        (self.columns[i].distinct as f64).max(1.0)
+    }
+
+    /// Synthesize stats for a derived result of `rows` rows where per-column
+    /// detail is unknown (used for temp MVs): distinct counts are capped at
+    /// the row count, no histograms.
+    pub fn derived(rows: u64, num_cols: usize) -> TableStats {
+        TableStats {
+            row_count: rows,
+            columns: (0..num_cols)
+                .map(|_| ColumnStats {
+                    non_null: rows,
+                    nulls: 0,
+                    distinct: rows.max(1),
+                    min: None,
+                    max: None,
+                    histogram: None,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Scan a table and collect full statistics.
+pub fn analyze_table(table: &Table) -> TableStats {
+    let rows = table.snapshot();
+    let ncols = table.schema().len();
+    let mut columns = Vec::with_capacity(ncols);
+    for c in 0..ncols {
+        let mut non_null = 0u64;
+        let mut nulls = 0u64;
+        let mut distinct: HashSet<Value> = HashSet::new();
+        let mut numeric: Vec<f64> = Vec::new();
+        let mut all_numeric = true;
+        for row in rows.iter() {
+            let v = &row[c];
+            if v.is_null() {
+                nulls += 1;
+                continue;
+            }
+            non_null += 1;
+            distinct.insert(v.clone());
+            match v.as_f64() {
+                Some(x) => numeric.push(x),
+                None => all_numeric = false,
+            }
+        }
+        let (min, max, histogram) = if all_numeric && !numeric.is_empty() {
+            let min = numeric.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = numeric.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let hist = EquiDepthHistogram::build(numeric, HISTOGRAM_BUCKETS);
+            (Some(min), Some(max), hist)
+        } else {
+            (None, None, None)
+        };
+        columns.push(ColumnStats {
+            non_null,
+            nulls,
+            distinct: distinct.len() as u64,
+            min,
+            max,
+            histogram,
+        });
+    }
+    TableStats {
+        row_count: rows.len() as u64,
+        columns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_types::{DataType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("s", DataType::Str),
+            ("n", DataType::Int),
+        ]);
+        let rows = (0..100)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 10),
+                    Value::str(format!("s{}", i % 4)),
+                    if i % 5 == 0 { Value::Null } else { Value::Int(i) },
+                ]
+            })
+            .collect();
+        Table::new(0, "t", schema, rows)
+    }
+
+    #[test]
+    fn analyze_counts() {
+        let st = analyze_table(&table());
+        assert_eq!(st.row_count, 100);
+        assert_eq!(st.col(0).distinct, 10);
+        assert_eq!(st.col(1).distinct, 4);
+        assert_eq!(st.col(2).nulls, 20);
+        assert_eq!(st.col(2).non_null, 80);
+        assert!((st.col(2).null_frac() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_columns_get_histograms() {
+        let st = analyze_table(&table());
+        assert!(st.col(0).histogram.is_some());
+        assert!(st.col(1).histogram.is_none());
+        assert_eq!(st.col(0).min, Some(0.0));
+        assert_eq!(st.col(0).max, Some(9.0));
+    }
+
+    #[test]
+    fn distinct_floor() {
+        let st = TableStats::derived(0, 2);
+        assert_eq!(st.distinct(0), 1.0);
+        assert_eq!(st.row_count, 0);
+        assert_eq!(st.columns.len(), 2);
+    }
+
+    #[test]
+    fn empty_table() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let t = Table::new(0, "e", schema, vec![]);
+        let st = analyze_table(&t);
+        assert_eq!(st.row_count, 0);
+        assert_eq!(st.col(0).distinct, 0);
+        assert!(st.col(0).histogram.is_none());
+    }
+}

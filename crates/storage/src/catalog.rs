@@ -1,0 +1,331 @@
+//! The catalog: name → table resolution, index registry, temp MVs.
+
+use crate::{Index, IndexKind, Table, TableId, TempMv};
+use parking_lot::RwLock;
+use pop_types::{PopError, PopResult, Row, Schema};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Default)]
+struct Inner {
+    tables: HashMap<String, Arc<Table>>,
+    by_id: HashMap<TableId, Arc<Table>>,
+    indexes: HashMap<TableId, Vec<Arc<Index>>>,
+    temp_mvs: HashMap<String, TempMv>, // keyed by signature
+    next_id: TableId,
+}
+
+/// The shared catalog.
+///
+/// Thread-safe (`parking_lot::RwLock`) so the runtime can register and
+/// clean up temp MVs while the optimizer holds a reference. Cloning is
+/// cheap (`Arc` inside).
+#[derive(Clone, Default)]
+pub struct Catalog {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Create a base table and return it.
+    pub fn create_table(
+        &self,
+        name: impl Into<String>,
+        schema: Schema,
+        rows: Vec<Row>,
+    ) -> PopResult<Arc<Table>> {
+        let name = name.into();
+        let mut inner = self.inner.write();
+        if inner.tables.contains_key(&name) {
+            return Err(PopError::Catalog(format!("table {name} already exists")));
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let table = Arc::new(Table::new(id, name.clone(), schema, rows));
+        inner.tables.insert(name, table.clone());
+        inner.by_id.insert(id, table.clone());
+        Ok(table)
+    }
+
+    /// Drop a table (base or temp) by name.
+    pub fn drop_table(&self, name: &str) -> PopResult<()> {
+        let mut inner = self.inner.write();
+        let t = inner
+            .tables
+            .remove(name)
+            .ok_or_else(|| PopError::UnknownTable(name.to_string()))?;
+        inner.by_id.remove(&t.id());
+        inner.indexes.remove(&t.id());
+        Ok(())
+    }
+
+    /// Resolve a table by name.
+    pub fn table(&self, name: &str) -> PopResult<Arc<Table>> {
+        self.inner
+            .read()
+            .tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PopError::UnknownTable(name.to_string()))
+    }
+
+    /// Resolve a table by id.
+    pub fn table_by_id(&self, id: TableId) -> PopResult<Arc<Table>> {
+        self.inner
+            .read()
+            .by_id
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| PopError::UnknownTable(format!("#{id}")))
+    }
+
+    /// Names of all tables (sorted, for determinism).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.read().tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Build an index on `table.column`.
+    ///
+    /// Indexes snapshot the table at creation time; after inserting rows,
+    /// call [`Catalog::refresh_indexes`] so probes see the new data.
+    pub fn create_index(&self, table: &str, column: &str, kind: IndexKind) -> PopResult<()> {
+        let t = self.table(table)?;
+        let col = t
+            .schema()
+            .index_of(column)
+            .ok_or_else(|| PopError::UnknownColumn(format!("{table}.{column}")))?;
+        let idx = Arc::new(Index::build(kind, col, &t.snapshot()));
+        self.inner
+            .write()
+            .indexes
+            .entry(t.id())
+            .or_default()
+            .push(idx);
+        Ok(())
+    }
+
+    /// Rebuild every index of `table` against its current rows (after
+    /// inserts made existing indexes stale).
+    pub fn refresh_indexes(&self, table: &str) -> PopResult<()> {
+        let t = self.table(table)?;
+        let snapshot = t.snapshot();
+        let mut inner = self.inner.write();
+        if let Some(list) = inner.indexes.get_mut(&t.id()) {
+            for idx in list.iter_mut() {
+                *idx = Arc::new(Index::build(idx.kind(), idx.column(), &snapshot));
+            }
+        }
+        Ok(())
+    }
+
+    /// All indexes on a table.
+    pub fn indexes(&self, table_id: TableId) -> Vec<Arc<Index>> {
+        self.inner
+            .read()
+            .indexes
+            .get(&table_id)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Find an index on `column` of `table_id`, preferring `Sorted` when
+    /// `need_range` is set.
+    pub fn find_index(
+        &self,
+        table_id: TableId,
+        column: usize,
+        need_range: bool,
+    ) -> Option<Arc<Index>> {
+        let inner = self.inner.read();
+        let list = inner.indexes.get(&table_id)?;
+        let mut best: Option<Arc<Index>> = None;
+        for idx in list {
+            if idx.column() != column {
+                continue;
+            }
+            if need_range && idx.kind() != IndexKind::Sorted {
+                continue;
+            }
+            match (&best, idx.kind()) {
+                (None, _) => best = Some(idx.clone()),
+                // Prefer hash for pure equality probes.
+                (Some(b), IndexKind::Hash) if !need_range && b.kind() == IndexKind::Sorted => {
+                    best = Some(idx.clone())
+                }
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Register a temp MV (replacing any prior MV with the same signature —
+    /// the newest materialization of a subplan wins).
+    pub fn register_temp_mv(&self, mv: TempMv) {
+        let mut inner = self.inner.write();
+        let name = mv.table.name().to_string();
+        let id = mv.table.id();
+        inner.tables.insert(name, mv.table.clone());
+        inner.by_id.insert(id, mv.table.clone());
+        inner.temp_mvs.insert(mv.signature.clone(), mv);
+    }
+
+    /// Allocate a fresh table id for a temp MV table.
+    pub fn allocate_temp_id(&self) -> TableId {
+        let mut inner = self.inner.write();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        id
+    }
+
+    /// Look up a temp MV by subplan signature.
+    pub fn temp_mv(&self, signature: &str) -> Option<TempMv> {
+        self.inner.read().temp_mvs.get(signature).cloned()
+    }
+
+    /// All currently registered temp MVs.
+    pub fn temp_mvs(&self) -> Vec<TempMv> {
+        let mut v: Vec<TempMv> = self.inner.read().temp_mvs.values().cloned().collect();
+        v.sort_by(|a, b| a.signature.cmp(&b.signature));
+        v
+    }
+
+    /// Remove every temp MV: the paper's post-query cleanup step ("the
+    /// runtime system has to remember to remove any of these temporarily
+    /// materialized views after completing query execution", §2.3).
+    pub fn clear_temp_mvs(&self) {
+        let mut inner = self.inner.write();
+        let sigs: Vec<String> = inner.temp_mvs.keys().cloned().collect();
+        for sig in sigs {
+            if let Some(mv) = inner.temp_mvs.remove(&sig) {
+                inner.tables.remove(mv.table.name());
+                inner.by_id.remove(&mv.table.id());
+                inner.indexes.remove(&mv.table.id());
+            }
+        }
+    }
+
+    /// Number of registered temp MVs.
+    pub fn temp_mv_count(&self) -> usize {
+        self.inner.read().temp_mvs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_types::{ColId, DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Str)])
+    }
+
+    #[test]
+    fn create_and_resolve() {
+        let cat = Catalog::new();
+        cat.create_table("t", schema(), vec![vec![Value::Int(1), Value::str("x")]])
+            .unwrap();
+        let t = cat.table("t").unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(cat.table_by_id(t.id()).unwrap().name(), "t");
+        assert!(cat.table("missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let cat = Catalog::new();
+        cat.create_table("t", schema(), vec![]).unwrap();
+        assert!(cat.create_table("t", schema(), vec![]).is_err());
+    }
+
+    #[test]
+    fn drop_table() {
+        let cat = Catalog::new();
+        cat.create_table("t", schema(), vec![]).unwrap();
+        cat.drop_table("t").unwrap();
+        assert!(cat.table("t").is_err());
+        assert!(cat.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn index_lifecycle() {
+        let cat = Catalog::new();
+        let t = cat
+            .create_table("t", schema(), vec![vec![Value::Int(1), Value::str("x")]])
+            .unwrap();
+        cat.create_index("t", "a", IndexKind::Hash).unwrap();
+        cat.create_index("t", "a", IndexKind::Sorted).unwrap();
+        assert_eq!(cat.indexes(t.id()).len(), 2);
+        // Equality lookup prefers hash.
+        let idx = cat.find_index(t.id(), 0, false).unwrap();
+        assert_eq!(idx.kind(), IndexKind::Hash);
+        // Range lookup requires sorted.
+        let idx = cat.find_index(t.id(), 0, true).unwrap();
+        assert_eq!(idx.kind(), IndexKind::Sorted);
+        // No index on column 1.
+        assert!(cat.find_index(t.id(), 1, false).is_none());
+        // Unknown column errors.
+        assert!(cat.create_index("t", "zz", IndexKind::Hash).is_err());
+    }
+
+    #[test]
+    fn refresh_indexes_sees_new_rows() {
+        let cat = Catalog::new();
+        let t = cat
+            .create_table("t", schema(), vec![vec![Value::Int(1), Value::str("x")]])
+            .unwrap();
+        cat.create_index("t", "a", IndexKind::Hash).unwrap();
+        t.insert(vec![vec![Value::Int(2), Value::str("y")]]).unwrap();
+        // Stale: the new row is invisible to the old index.
+        let idx = cat.find_index(t.id(), 0, false).unwrap();
+        assert!(idx.probe(&Value::Int(2)).is_empty());
+        cat.refresh_indexes("t").unwrap();
+        let idx = cat.find_index(t.id(), 0, false).unwrap();
+        assert_eq!(idx.probe(&Value::Int(2)), &[1]);
+        assert!(cat.refresh_indexes("missing").is_err());
+    }
+
+    #[test]
+    fn temp_mv_registration_and_cleanup() {
+        let cat = Catalog::new();
+        let id = cat.allocate_temp_id();
+        let table = Arc::new(Table::new(id, "__mv_0", schema(), vec![]));
+        cat.register_temp_mv(TempMv {
+            table,
+            signature: "sig-a".into(),
+            layout: vec![ColId::new(0, 0), ColId::new(0, 1)],
+            actual_card: 0,
+            lineage: None,
+        });
+        assert!(cat.temp_mv("sig-a").is_some());
+        assert!(cat.temp_mv("sig-b").is_none());
+        assert!(cat.table("__mv_0").is_ok());
+        assert_eq!(cat.temp_mv_count(), 1);
+        cat.clear_temp_mvs();
+        assert_eq!(cat.temp_mv_count(), 0);
+        assert!(cat.table("__mv_0").is_err());
+    }
+
+    #[test]
+    fn temp_mv_same_signature_replaces() {
+        let cat = Catalog::new();
+        for n in 0..2 {
+            let id = cat.allocate_temp_id();
+            let table = Arc::new(Table::new(id, format!("__mv_{n}"), schema(), vec![]));
+            cat.register_temp_mv(TempMv {
+                table,
+                signature: "sig".into(),
+                layout: vec![],
+                actual_card: n,
+                lineage: None,
+            });
+        }
+        assert_eq!(cat.temp_mv_count(), 1);
+        assert_eq!(cat.temp_mv("sig").unwrap().actual_card, 1);
+    }
+}

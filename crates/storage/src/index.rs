@@ -1,0 +1,162 @@
+//! Secondary indexes over a single column.
+//!
+//! Index nested-loop join (the paper's "index NLJN") probes these; the
+//! availability of an index on the inner join column is what makes NLJN
+//! attractive to the optimizer when the outer cardinality is small — and
+//! catastrophic when the outer estimate was wrong, which is exactly the
+//! situation POP's CHECK on the NLJN outer guards against (Figure 2).
+
+use pop_types::{Row, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Kind of index structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash map: equality probes only.
+    Hash,
+    /// Ordered map: equality and range probes.
+    Sorted,
+}
+
+/// A secondary index mapping a column value to the row positions holding it.
+#[derive(Debug)]
+pub struct Index {
+    column: usize,
+    kind: IndexKind,
+    hash: HashMap<Value, Vec<u64>>,
+    sorted: BTreeMap<Value, Vec<u64>>,
+    entries: u64,
+}
+
+impl Index {
+    /// Build an index of `kind` on `column` over the given rows.
+    pub fn build(kind: IndexKind, column: usize, rows: &Arc<Vec<Row>>) -> Self {
+        let mut hash = HashMap::new();
+        let mut sorted = BTreeMap::new();
+        let mut entries = 0u64;
+        for (pos, row) in rows.iter().enumerate() {
+            let v = &row[column];
+            if v.is_null() {
+                continue; // NULL never matches an equi-join or range probe
+            }
+            entries += 1;
+            match kind {
+                IndexKind::Hash => hash
+                    .entry(v.clone())
+                    .or_insert_with(Vec::new)
+                    .push(pos as u64),
+                IndexKind::Sorted => sorted
+                    .entry(v.clone())
+                    .or_insert_with(Vec::new)
+                    .push(pos as u64),
+            }
+        }
+        Index {
+            column,
+            kind,
+            hash,
+            sorted,
+            entries,
+        }
+    }
+
+    /// Indexed column position.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Index kind.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Number of indexed (non-NULL) entries.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> u64 {
+        match self.kind {
+            IndexKind::Hash => self.hash.len() as u64,
+            IndexKind::Sorted => self.sorted.len() as u64,
+        }
+    }
+
+    /// Row positions with column equal to `key`.
+    pub fn probe(&self, key: &Value) -> &[u64] {
+        if key.is_null() {
+            return &[];
+        }
+        match self.kind {
+            IndexKind::Hash => self.hash.get(key).map(|v| v.as_slice()).unwrap_or(&[]),
+            IndexKind::Sorted => self.sorted.get(key).map(|v| v.as_slice()).unwrap_or(&[]),
+        }
+    }
+
+    /// Row positions with column in `[lo, hi]` (either bound optional).
+    /// Only supported for sorted indexes; hash indexes return `None`.
+    pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Option<Vec<u64>> {
+        if self.kind != IndexKind::Sorted {
+            return None;
+        }
+        let lo_b = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        let hi_b = hi.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        let mut out = Vec::new();
+        for (_, positions) in self.sorted.range((lo_b, hi_b)) {
+            out.extend_from_slice(positions);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Arc<Vec<Row>> {
+        Arc::new(vec![
+            vec![Value::Int(5), Value::str("a")],
+            vec![Value::Int(3), Value::str("b")],
+            vec![Value::Int(5), Value::str("c")],
+            vec![Value::Null, Value::str("d")],
+        ])
+    }
+
+    #[test]
+    fn hash_probe() {
+        let idx = Index::build(IndexKind::Hash, 0, &rows());
+        assert_eq!(idx.probe(&Value::Int(5)), &[0, 2]);
+        assert_eq!(idx.probe(&Value::Int(9)), &[] as &[u64]);
+        assert_eq!(idx.probe(&Value::Null), &[] as &[u64]);
+        assert_eq!(idx.entries(), 3);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn sorted_probe_and_range() {
+        let idx = Index::build(IndexKind::Sorted, 0, &rows());
+        assert_eq!(idx.probe(&Value::Int(3)), &[1]);
+        let r = idx.range(Some(&Value::Int(3)), Some(&Value::Int(5))).unwrap();
+        assert_eq!(r, vec![1, 0, 2]);
+        let r = idx.range(None, Some(&Value::Int(4))).unwrap();
+        assert_eq!(r, vec![1]);
+        let r = idx.range(Some(&Value::Int(4)), None).unwrap();
+        assert_eq!(r, vec![0, 2]);
+    }
+
+    #[test]
+    fn hash_has_no_range() {
+        let idx = Index::build(IndexKind::Hash, 0, &rows());
+        assert!(idx.range(None, None).is_none());
+    }
+
+    #[test]
+    fn string_keys() {
+        let idx = Index::build(IndexKind::Hash, 1, &rows());
+        assert_eq!(idx.probe(&Value::str("c")), &[2]);
+        assert_eq!(idx.distinct_keys(), 4);
+    }
+}

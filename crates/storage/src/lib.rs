@@ -1,0 +1,19 @@
+//! In-memory storage layer: tables, indexes, the catalog, and temporary
+//! materialized views (temp MVs).
+//!
+//! Temp MVs are the mechanism POP uses to carry intermediate results across
+//! a re-optimization (§2.3 of the paper): when a CHECK fails, completed
+//! materializations are promoted to temp MVs whose catalog statistics hold
+//! the *actual* cardinality, and the re-optimization is free to scan them
+//! instead of recomputing the corresponding subplan. The runtime removes
+//! them after the query completes.
+
+mod catalog;
+mod index;
+mod table;
+mod tempmv;
+
+pub use catalog::Catalog;
+pub use index::{Index, IndexKind};
+pub use table::{Table, TableId};
+pub use tempmv::TempMv;

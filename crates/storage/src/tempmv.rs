@@ -1,0 +1,53 @@
+//! Temporary materialized views created from intermediate results.
+
+use crate::Table;
+use pop_types::ColId;
+use std::sync::Arc;
+
+/// A temporary materialized view promoted from an intermediate result when
+/// a CHECK fails (§2.3).
+///
+/// The `signature` is an opaque canonical string identifying *which part of
+/// the query* the rows compute: the set of query tables joined, the
+/// fingerprints of all predicates applied, and the column layout. During
+/// re-optimization, the optimizer offers an `MvScan` alternative for any
+/// subplan whose signature matches, carrying the **actual** cardinality —
+/// the optimizer then makes a cost-based decision whether to reuse it.
+#[derive(Debug, Clone)]
+pub struct TempMv {
+    /// Backing storage for the materialized rows.
+    pub table: Arc<Table>,
+    /// Canonical signature of the subplan that produced the rows.
+    pub signature: String,
+    /// Column layout of the materialized rows (query-table/column ids).
+    pub layout: Vec<ColId>,
+    /// Actual (exact) cardinality, recorded at materialization time.
+    pub actual_card: u64,
+    /// Lineage of base-table rids per materialized row, when tracked.
+    pub lineage: Option<Arc<Vec<Vec<pop_types::Rid>>>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_types::{DataType, Schema};
+
+    #[test]
+    fn construct() {
+        let t = Arc::new(Table::new(
+            100,
+            "__mv_1",
+            Schema::from_pairs(&[("a", DataType::Int)]),
+            vec![],
+        ));
+        let mv = TempMv {
+            table: t,
+            signature: "sig".into(),
+            layout: vec![ColId::new(0, 0)],
+            actual_card: 0,
+            lineage: None,
+        };
+        assert_eq!(mv.signature, "sig");
+        assert_eq!(mv.table.row_count(), 0);
+    }
+}

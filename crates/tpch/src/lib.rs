@@ -1,0 +1,28 @@
+//! A TPC-H-like schema, deterministic data generator and query suite.
+//!
+//! The paper's performance analysis (§5) runs POP on TPC-H. This crate
+//! provides a scaled-down, in-memory TPC-H: the eight standard tables with
+//! the columns the queries need, sequential primary keys, uniform foreign
+//! keys, seeded pseudo-random attributes, and hash indexes on all key
+//! columns (so index NLJN is available everywhere the real benchmark would
+//! have it).
+//!
+//! Queries are structural reproductions of the TPC-H queries used in the
+//! paper's figures (Q2, Q3, Q4, Q5, Q7, Q8, Q9, Q10, Q11, Q18): the same
+//! join graphs, predicate shapes and aggregations, expressed as
+//! [`pop_plan::QuerySpec`]s (the engine has no SQL parser).
+//!
+//! Scale: `sf = 1.0` corresponds to classic TPC-H sizes (6M lineitems);
+//! experiments here run at `sf ≈ 0.002..0.01` (12k–60k lineitems), which
+//! preserves all table-size *ratios* and therefore the plan-choice
+//! structure.
+
+pub mod cols;
+mod gen;
+mod queries;
+
+pub use gen::{tpch_catalog, TpchGen};
+pub use queries::{
+    all_queries, extended_queries, q1, q10, q10_selectivity_literal, q12, q14, q16, q17, q18,
+    q19, q2, q22, q3, q4, q5, q6, q7, q8, q9, q11,
+};

@@ -1,0 +1,562 @@
+//! Structural reproductions of the TPC-H queries used in the paper's
+//! experiments (§5): the same join graphs, predicate shapes and
+//! aggregations, expressed as [`QuerySpec`]s. Dates are day numbers in
+//! `0..2556` (7 years), so TPC-H's date constants translate to day
+//! offsets.
+
+use crate::cols::{customer, lineitem, nation, orders, part, partsupp, region, supplier};
+use pop_expr::Expr;
+use pop_plan::{AggFunc, QueryBuilder, QuerySpec};
+use pop_types::{ColId, Value};
+
+fn build(b: QueryBuilder) -> QuerySpec {
+    b.build().expect("query spec must validate")
+}
+
+/// Q1: the pricing summary report — a single-table scan with heavy
+/// aggregation (no joins, no POP opportunities: a useful baseline).
+pub fn q1() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let l = b.table("lineitem");
+    b.filter(
+        l,
+        Expr::col(l, lineitem::SHIPDATE).le(Expr::lit(Value::Date(2430))),
+    );
+    b.aggregate(
+        &[(l, lineitem::RETURNFLAG)],
+        vec![
+            AggFunc::Sum(ColId::new(l, lineitem::QUANTITY)),
+            AggFunc::Sum(ColId::new(l, lineitem::EXTENDEDPRICE)),
+            AggFunc::Avg(ColId::new(l, lineitem::QUANTITY)),
+            AggFunc::Avg(ColId::new(l, lineitem::EXTENDEDPRICE)),
+            AggFunc::Avg(ColId::new(l, lineitem::DISCOUNT)),
+            AggFunc::Count,
+        ],
+    );
+    b.order_by(0, false);
+    build(b)
+}
+
+/// Q6: the forecasting revenue change query — a highly selective
+/// single-table range predicate, the showcase for index range scans.
+pub fn q6() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let l = b.table("lineitem");
+    b.filter(
+        l,
+        Expr::col(l, lineitem::SHIPDATE)
+            .between(Expr::lit(Value::Date(365)), Expr::lit(Value::Date(729)))
+            .and(Expr::col(l, lineitem::QUANTITY).lt(Expr::lit(24i64))),
+    );
+    b.aggregate(
+        &[],
+        vec![
+            AggFunc::Sum(ColId::new(l, lineitem::EXTENDEDPRICE)),
+            AggFunc::Count,
+        ],
+    );
+    build(b)
+}
+
+/// Q12: shipping modes and order priority — ORDERS ⋈ LINEITEM with date
+/// window and cross-column date comparisons on LINEITEM.
+pub fn q12() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let o = b.table("orders");
+    let l = b.table("lineitem");
+    b.join(o, orders::ORDERKEY, l, lineitem::ORDERKEY);
+    b.filter(
+        l,
+        Expr::col(l, lineitem::RECEIPTDATE)
+            .between(Expr::lit(Value::Date(365)), Expr::lit(Value::Date(729)))
+            .and(Expr::col(l, lineitem::COMMITDATE).lt(Expr::col(l, lineitem::RECEIPTDATE)))
+            .and(Expr::col(l, lineitem::SHIPDATE).lt(Expr::col(l, lineitem::COMMITDATE))),
+    );
+    b.filter(
+        o,
+        Expr::col(o, orders::ORDERPRIORITY)
+            .in_list(vec![Value::str("1-URGENT"), Value::str("2-HIGH")]),
+    );
+    b.aggregate(&[(o, orders::ORDERPRIORITY)], vec![AggFunc::Count]);
+    b.order_by(0, false);
+    build(b)
+}
+
+/// Q14: promotion effect — LINEITEM ⋈ PART with a date window and a LIKE
+/// on p_type.
+pub fn q14() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let l = b.table("lineitem");
+    let p = b.table("part");
+    b.join(l, lineitem::PARTKEY, p, part::PARTKEY);
+    b.filter(
+        l,
+        Expr::col(l, lineitem::SHIPDATE)
+            .between(Expr::lit(Value::Date(1000)), Expr::lit(Value::Date(1030))),
+    );
+    b.filter(p, Expr::col(p, part::TYPE).like("PROMO%"));
+    b.aggregate(
+        &[],
+        vec![
+            AggFunc::Sum(ColId::new(l, lineitem::EXTENDEDPRICE)),
+            AggFunc::Count,
+        ],
+    );
+    build(b)
+}
+
+/// Q16: parts/supplier relationship — PARTSUPP ⋈ PART with negated
+/// predicates (NOT LIKE, NOT IN are classic default-estimate territory).
+pub fn q16() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let ps = b.table("partsupp");
+    let p = b.table("part");
+    b.join(ps, partsupp::PARTKEY, p, part::PARTKEY);
+    b.filter(p, Expr::col(p, part::BRAND).eq(Expr::lit("Brand#45")).not());
+    b.filter(p, Expr::col(p, part::TYPE).like("MEDIUM POLISHED%").not());
+    b.filter(
+        p,
+        Expr::col(p, part::SIZE).in_list(
+            [3i64, 9, 14, 19, 23, 36, 45, 49]
+                .iter()
+                .map(|v| Value::Int(*v))
+                .collect(),
+        ),
+    );
+    b.aggregate(
+        &[(p, part::BRAND), (p, part::TYPE), (p, part::SIZE)],
+        vec![AggFunc::Count],
+    );
+    b.order_by(3, true);
+    build(b)
+}
+
+/// Q17: small-quantity-order revenue — LINEITEM ⋈ PART with a very
+/// selective brand filter and a quantity cutoff.
+pub fn q17() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let l = b.table("lineitem");
+    let p = b.table("part");
+    b.join(l, lineitem::PARTKEY, p, part::PARTKEY);
+    b.filter(p, Expr::col(p, part::BRAND).eq(Expr::lit("Brand#23")));
+    b.filter(l, Expr::col(l, lineitem::QUANTITY).lt(Expr::lit(5i64)));
+    b.aggregate(
+        &[],
+        vec![AggFunc::Sum(ColId::new(l, lineitem::EXTENDEDPRICE))],
+    );
+    build(b)
+}
+
+/// Q19: discounted revenue — LINEITEM ⋈ PART with a three-armed
+/// disjunction of correlated conjunctions, the paper's "complex IN-lists
+/// and disjunctions" estimation-error class.
+pub fn q19() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let l = b.table("lineitem");
+    let p = b.table("part");
+    b.join(l, lineitem::PARTKEY, p, part::PARTKEY);
+    // TPC-H Q19 pairs each brand with a quantity window across tables;
+    // with table-local predicates the brand/size disjunction stays on
+    // PART and the union of the quantity windows goes on LINEITEM.
+    let arm = |brand: &str, smax: i64| {
+        Expr::col(1, part::BRAND)
+            .eq(Expr::lit(brand))
+            .and(Expr::col(1, part::SIZE).between(Expr::lit(1i64), Expr::lit(smax)))
+    };
+    b.filter(
+        p,
+        arm("Brand#12", 5)
+            .or(arm("Brand#23", 10))
+            .or(arm("Brand#34", 15)),
+    );
+    // ...and a quantity window on LINEITEM.
+    b.filter(
+        l,
+        Expr::col(l, lineitem::QUANTITY).between(Expr::lit(1i64), Expr::lit(30i64)),
+    );
+    b.aggregate(
+        &[],
+        vec![AggFunc::Sum(ColId::new(l, lineitem::EXTENDEDPRICE))],
+    );
+    build(b)
+}
+
+/// Q22: global sales opportunity — well-funded customers with **no**
+/// orders (real TPC-H uses NOT EXISTS), counted per nation.
+pub fn q22() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let c = b.table("customer");
+    let n = b.table("nation");
+    b.join(c, customer::NATIONKEY, n, nation::NATIONKEY);
+    b.filter(c, Expr::col(c, customer::ACCTBAL).gt(Expr::lit(5000.0)));
+    b.not_exists("orders", (c, customer::CUSTKEY), orders::CUSTKEY, None);
+    b.aggregate(
+        &[(n, nation::NAME)],
+        vec![AggFunc::Count, AggFunc::Sum(ColId::new(c, customer::ACCTBAL))],
+    );
+    b.order_by(0, false);
+    build(b)
+}
+
+/// Q2 (simplified): minimum supply cost per part for large-region brass
+/// parts. PART ⋈ PARTSUPP ⋈ SUPPLIER ⋈ NATION ⋈ REGION.
+pub fn q2() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let p = b.table("part");
+    let ps = b.table("partsupp");
+    let s = b.table("supplier");
+    let n = b.table("nation");
+    let r = b.table("region");
+    b.join(p, part::PARTKEY, ps, partsupp::PARTKEY);
+    b.join(ps, partsupp::SUPPKEY, s, supplier::SUPPKEY);
+    b.join(s, supplier::NATIONKEY, n, nation::NATIONKEY);
+    b.join(n, nation::REGIONKEY, r, region::REGIONKEY);
+    b.filter(p, Expr::col(p, part::SIZE).eq(Expr::lit(15i64)));
+    b.filter(p, Expr::col(p, part::TYPE).like("%BRASS"));
+    b.filter(r, Expr::col(r, region::NAME).eq(Expr::lit("EUROPE")));
+    b.aggregate(
+        &[(p, part::PARTKEY)],
+        vec![AggFunc::Min(ColId::new(ps, partsupp::SUPPLYCOST))],
+    );
+    b.order_by(0, false);
+    build(b)
+}
+
+/// Q3: shipping-priority revenue per order for one market segment.
+/// CUSTOMER ⋈ ORDERS ⋈ LINEITEM.
+pub fn q3() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let c = b.table("customer");
+    let o = b.table("orders");
+    let l = b.table("lineitem");
+    b.join(c, customer::CUSTKEY, o, orders::CUSTKEY);
+    b.join(o, orders::ORDERKEY, l, lineitem::ORDERKEY);
+    b.filter(
+        c,
+        Expr::col(c, customer::MKTSEGMENT).eq(Expr::lit("BUILDING")),
+    );
+    b.filter(o, Expr::col(o, orders::ORDERDATE).lt(Expr::lit(Value::Date(1200))));
+    b.filter(l, Expr::col(l, lineitem::SHIPDATE).gt(Expr::lit(Value::Date(1200))));
+    b.aggregate(
+        &[(l, lineitem::ORDERKEY)],
+        vec![AggFunc::Sum(ColId::new(l, lineitem::EXTENDEDPRICE))],
+    );
+    b.order_by(1, true);
+    build(b)
+}
+
+/// Q4: order-priority checking — late lineitems per priority class.
+/// ORDERS ⋈ LINEITEM.
+pub fn q4() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let o = b.table("orders");
+    let l = b.table("lineitem");
+    b.join(o, orders::ORDERKEY, l, lineitem::ORDERKEY);
+    b.filter(
+        o,
+        Expr::col(o, orders::ORDERDATE).between(
+            Expr::lit(Value::Date(800)),
+            Expr::lit(Value::Date(890)),
+        ),
+    );
+    // l_commitdate < l_receiptdate: a column-column predicate the
+    // optimizer can only default-estimate — an estimation-error source.
+    b.filter(
+        l,
+        Expr::col(l, lineitem::COMMITDATE).lt(Expr::col(l, lineitem::RECEIPTDATE)),
+    );
+    b.aggregate(&[(o, orders::ORDERPRIORITY)], vec![AggFunc::Count]);
+    b.order_by(0, false);
+    build(b)
+}
+
+/// Q5: local supplier volume. CUSTOMER ⋈ ORDERS ⋈ LINEITEM ⋈ SUPPLIER ⋈
+/// NATION ⋈ REGION, with the customer and supplier forced into the same
+/// nation.
+pub fn q5() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let c = b.table("customer");
+    let o = b.table("orders");
+    let l = b.table("lineitem");
+    let s = b.table("supplier");
+    let n = b.table("nation");
+    let r = b.table("region");
+    b.join(c, customer::CUSTKEY, o, orders::CUSTKEY);
+    b.join(l, lineitem::ORDERKEY, o, orders::ORDERKEY);
+    b.join(l, lineitem::SUPPKEY, s, supplier::SUPPKEY);
+    b.join(c, customer::NATIONKEY, s, supplier::NATIONKEY);
+    b.join(s, supplier::NATIONKEY, n, nation::NATIONKEY);
+    b.join(n, nation::REGIONKEY, r, region::REGIONKEY);
+    b.filter(r, Expr::col(r, region::NAME).eq(Expr::lit("ASIA")));
+    b.filter(
+        o,
+        Expr::col(o, orders::ORDERDATE)
+            .between(Expr::lit(Value::Date(0)), Expr::lit(Value::Date(365))),
+    );
+    b.aggregate(
+        &[(n, nation::NAME)],
+        vec![AggFunc::Sum(ColId::new(l, lineitem::EXTENDEDPRICE))],
+    );
+    b.order_by(1, true);
+    build(b)
+}
+
+/// Q7: volume shipping between two nations (NATION self-join).
+pub fn q7() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let s = b.table("supplier");
+    let l = b.table("lineitem");
+    let o = b.table("orders");
+    let c = b.table("customer");
+    let n1 = b.table("nation");
+    let n2 = b.table("nation");
+    b.join(s, supplier::SUPPKEY, l, lineitem::SUPPKEY);
+    b.join(o, orders::ORDERKEY, l, lineitem::ORDERKEY);
+    b.join(c, customer::CUSTKEY, o, orders::CUSTKEY);
+    b.join(s, supplier::NATIONKEY, n1, nation::NATIONKEY);
+    b.join(c, customer::NATIONKEY, n2, nation::NATIONKEY);
+    let two = vec![Value::str("FRANCE"), Value::str("GERMANY")];
+    b.filter(n1, Expr::col(n1, nation::NAME).in_list(two.clone()));
+    b.filter(n2, Expr::col(n2, nation::NAME).in_list(two));
+    b.filter(
+        l,
+        Expr::col(l, lineitem::SHIPDATE)
+            .between(Expr::lit(Value::Date(730)), Expr::lit(Value::Date(1460))),
+    );
+    b.aggregate(
+        &[(n1, nation::NAME), (n2, nation::NAME)],
+        vec![AggFunc::Sum(ColId::new(l, lineitem::EXTENDEDPRICE))],
+    );
+    b.order_by(0, false);
+    build(b)
+}
+
+/// Q8: national market share — the widest join in the suite (8 tables,
+/// two NATION references).
+pub fn q8() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let p = b.table("part");
+    let s = b.table("supplier");
+    let l = b.table("lineitem");
+    let o = b.table("orders");
+    let c = b.table("customer");
+    let n1 = b.table("nation"); // customer nation, restricted by region
+    let n2 = b.table("nation"); // supplier nation, grouped
+    let r = b.table("region");
+    b.join(p, part::PARTKEY, l, lineitem::PARTKEY);
+    b.join(s, supplier::SUPPKEY, l, lineitem::SUPPKEY);
+    b.join(l, lineitem::ORDERKEY, o, orders::ORDERKEY);
+    b.join(o, orders::CUSTKEY, c, customer::CUSTKEY);
+    b.join(c, customer::NATIONKEY, n1, nation::NATIONKEY);
+    b.join(n1, nation::REGIONKEY, r, region::REGIONKEY);
+    b.join(s, supplier::NATIONKEY, n2, nation::NATIONKEY);
+    b.filter(r, Expr::col(r, region::NAME).eq(Expr::lit("AMERICA")));
+    b.filter(
+        o,
+        Expr::col(o, orders::ORDERDATE)
+            .between(Expr::lit(Value::Date(730)), Expr::lit(Value::Date(1460))),
+    );
+    b.filter(
+        p,
+        Expr::col(p, part::TYPE).eq(Expr::lit("ECONOMY ANODIZED STEEL")),
+    );
+    b.aggregate(
+        &[(n2, nation::NAME)],
+        vec![AggFunc::Sum(ColId::new(l, lineitem::EXTENDEDPRICE))],
+    );
+    b.order_by(0, false);
+    build(b)
+}
+
+/// Q9: product-type profit. PART ⋈ SUPPLIER ⋈ LINEITEM ⋈ PARTSUPP ⋈
+/// ORDERS ⋈ NATION, with a LIKE on p_name.
+pub fn q9() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let p = b.table("part");
+    let s = b.table("supplier");
+    let l = b.table("lineitem");
+    let ps = b.table("partsupp");
+    let o = b.table("orders");
+    let n = b.table("nation");
+    b.join(s, supplier::SUPPKEY, l, lineitem::SUPPKEY);
+    b.join(ps, partsupp::SUPPKEY, l, lineitem::SUPPKEY);
+    b.join(ps, partsupp::PARTKEY, l, lineitem::PARTKEY);
+    b.join(p, part::PARTKEY, l, lineitem::PARTKEY);
+    b.join(o, orders::ORDERKEY, l, lineitem::ORDERKEY);
+    b.join(s, supplier::NATIONKEY, n, nation::NATIONKEY);
+    b.filter(p, Expr::col(p, part::NAME).like("%green%"));
+    b.aggregate(
+        &[(n, nation::NAME)],
+        vec![AggFunc::Sum(ColId::new(l, lineitem::EXTENDEDPRICE))],
+    );
+    b.order_by(0, false);
+    build(b)
+}
+
+/// Q10 with a parameter marker: the paper's robustness experiment (§5.1)
+/// replaces the literal of the LINEITEM selection with a marker, forcing
+/// the optimizer onto a default selectivity. Here the predicate is
+/// `l_quantity <= ?0`, whose true selectivity sweeps 0→100% as the bound
+/// value sweeps 0→50.
+///
+/// CUSTOMER ⋈ ORDERS ⋈ LINEITEM ⋈ NATION, grouped by customer.
+pub fn q10() -> QuerySpec {
+    q10_inner(Expr::col(2, lineitem::QUANTITY).le(Expr::Param(0)))
+}
+
+/// Q10 with the selectivity literal inlined (the "correct selectivity
+/// estimate" reference curve of Figure 11).
+pub fn q10_selectivity_literal(quantity: i64) -> QuerySpec {
+    q10_inner(Expr::col(2, lineitem::QUANTITY).le(Expr::lit(quantity)))
+}
+
+fn q10_inner(lineitem_pred: Expr) -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let c = b.table("customer");
+    let o = b.table("orders");
+    let l = b.table("lineitem");
+    let n = b.table("nation");
+    debug_assert_eq!(l, 2, "q10 lineitem predicate references table 2");
+    b.join(c, customer::CUSTKEY, o, orders::CUSTKEY);
+    b.join(l, lineitem::ORDERKEY, o, orders::ORDERKEY);
+    b.join(c, customer::NATIONKEY, n, nation::NATIONKEY);
+    b.filter(l, lineitem_pred);
+    b.aggregate(
+        &[(c, customer::CUSTKEY)],
+        vec![
+            AggFunc::Sum(ColId::new(l, lineitem::EXTENDEDPRICE)),
+            AggFunc::Count,
+        ],
+    );
+    b.order_by(1, true);
+    build(b)
+}
+
+/// Q11: important stock per part in one nation.
+/// PARTSUPP ⋈ SUPPLIER ⋈ NATION.
+pub fn q11() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let ps = b.table("partsupp");
+    let s = b.table("supplier");
+    let n = b.table("nation");
+    b.join(ps, partsupp::SUPPKEY, s, supplier::SUPPKEY);
+    b.join(s, supplier::NATIONKEY, n, nation::NATIONKEY);
+    b.filter(n, Expr::col(n, nation::NAME).eq(Expr::lit("GERMANY")));
+    b.aggregate(
+        &[(ps, partsupp::PARTKEY)],
+        vec![AggFunc::Sum(ColId::new(ps, partsupp::SUPPLYCOST))],
+    );
+    b.order_by(1, true);
+    build(b)
+}
+
+/// Q18: large-volume customers — CUSTOMER ⋈ ORDERS ⋈ LINEITEM grouped by
+/// (customer, order), `HAVING sum(l_quantity) > 120`, top 100.
+pub fn q18() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let c = b.table("customer");
+    let o = b.table("orders");
+    let l = b.table("lineitem");
+    b.join(c, customer::CUSTKEY, o, orders::CUSTKEY);
+    b.join(o, orders::ORDERKEY, l, lineitem::ORDERKEY);
+    b.aggregate(
+        &[(c, customer::CUSTKEY), (o, orders::ORDERKEY)],
+        vec![AggFunc::Sum(ColId::new(l, lineitem::QUANTITY))],
+    );
+    b.having(2, pop_expr::CmpOp::Gt, 120i64);
+    b.order_by(2, true);
+    b.limit(100);
+    build(b)
+}
+
+/// The query set used by the paper's figures, by name.
+pub fn all_queries() -> Vec<(&'static str, QuerySpec)> {
+    vec![
+        ("Q2", q2()),
+        ("Q3", q3()),
+        ("Q4", q4()),
+        ("Q5", q5()),
+        ("Q7", q7()),
+        ("Q8", q8()),
+        ("Q9", q9()),
+        ("Q11", q11()),
+        ("Q18", q18()),
+    ]
+}
+
+/// The full implemented suite, including the single-table and two-table
+/// queries not used by the paper's figures.
+pub fn extended_queries() -> Vec<(&'static str, QuerySpec)> {
+    let mut qs = vec![
+        ("Q1", q1()),
+        ("Q6", q6()),
+        ("Q12", q12()),
+        ("Q14", q14()),
+        ("Q16", q16()),
+        ("Q17", q17()),
+        ("Q19", q19()),
+        ("Q22", q22()),
+    ];
+    qs.extend(all_queries());
+    qs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_validate() {
+        for (name, q) in extended_queries() {
+            assert!(q.validate().is_ok(), "{name} invalid");
+        }
+        assert!(q10().validate().is_ok());
+        assert!(q10_selectivity_literal(25).validate().is_ok());
+    }
+
+    #[test]
+    fn extended_suite_covers_seventeen_queries() {
+        assert_eq!(extended_queries().len(), 17);
+        assert_eq!(q1().tables.len(), 1);
+        assert_eq!(q6().tables.len(), 1);
+        assert_eq!(q12().tables.len(), 2);
+        assert_eq!(q19().tables.len(), 2);
+    }
+
+    #[test]
+    fn q10_uses_parameter_marker() {
+        let q = q10();
+        let params: Vec<usize> = q
+            .local_preds
+            .iter()
+            .flat_map(|(_, e)| e.params_used())
+            .collect();
+        assert_eq!(params, vec![0]);
+        let lit = q10_selectivity_literal(25);
+        assert!(lit
+            .local_preds
+            .iter()
+            .all(|(_, e)| e.params_used().is_empty()));
+    }
+
+    #[test]
+    fn q8_has_eight_tables_with_nation_self_join() {
+        let q = q8();
+        assert_eq!(q.tables.len(), 8);
+        let nations = q.tables.iter().filter(|t| t.table == "nation").count();
+        assert_eq!(nations, 2);
+    }
+
+    #[test]
+    fn query_table_counts() {
+        assert_eq!(q2().tables.len(), 5);
+        assert_eq!(q3().tables.len(), 3);
+        assert_eq!(q4().tables.len(), 2);
+        assert_eq!(q5().tables.len(), 6);
+        assert_eq!(q7().tables.len(), 6);
+        assert_eq!(q9().tables.len(), 6);
+        assert_eq!(q11().tables.len(), 3);
+        assert_eq!(q18().tables.len(), 3);
+        assert_eq!(q10().tables.len(), 4);
+    }
+}

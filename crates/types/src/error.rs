@@ -1,0 +1,72 @@
+//! The engine-wide error type.
+
+use std::fmt;
+
+/// Result alias used throughout the engine.
+pub type PopResult<T> = Result<T, PopError>;
+
+/// Errors surfaced by the POP engine.
+///
+/// Note that a CHECK violation is *not* an error: it is an internal control
+/// signal handled by the POP driver (see `pop-exec::ExecSignal`). `PopError`
+/// covers genuine failures: unknown tables, type mismatches, malformed
+/// queries, unbound parameter markers, and so on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PopError {
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// An expression was applied to values of the wrong type.
+    TypeMismatch(String),
+    /// A parameter marker was used at runtime without a binding.
+    UnboundParameter(usize),
+    /// The query specification is malformed (e.g. disconnected join graph).
+    InvalidQuery(String),
+    /// The optimizer could not produce a plan.
+    Planning(String),
+    /// A runtime execution failure.
+    Execution(String),
+    /// Catalog manipulation failure (e.g. duplicate table name).
+    Catalog(String),
+}
+
+impl fmt::Display for PopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PopError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            PopError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            PopError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            PopError::UnboundParameter(i) => write!(f, "unbound parameter marker ?{i}"),
+            PopError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            PopError::Planning(m) => write!(f, "planning failed: {m}"),
+            PopError::Execution(m) => write!(f, "execution failed: {m}"),
+            PopError::Catalog(m) => write!(f, "catalog error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PopError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            PopError::UnknownTable("t".into()).to_string(),
+            "unknown table: t"
+        );
+        assert_eq!(
+            PopError::UnboundParameter(2).to_string(),
+            "unbound parameter marker ?2"
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(PopError::Planning("x".into()));
+        assert!(e.to_string().contains("planning"));
+    }
+}

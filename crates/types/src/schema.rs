@@ -1,0 +1,134 @@
+//! Schemas and column identifiers.
+
+use crate::DataType;
+use std::fmt;
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (unqualified).
+    pub name: String,
+    /// Data type.
+    pub dtype: DataType,
+}
+
+impl ColumnDef {
+    /// Construct a column definition.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema from column definitions.
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        Schema { columns }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema {
+            columns: pairs
+                .iter()
+                .map(|(n, t)| ColumnDef::new(*n, *t))
+                .collect(),
+        }
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True iff the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Position of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column definition at `idx`.
+    pub fn col(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Identifies a column of one of a query's tables: `(query table index,
+/// column index within that table)`. The *query table index* is the
+/// position of the table reference in the query specification, so
+/// self-joins of the same base table are distinguished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColId {
+    /// Index of the table reference within the query.
+    pub table: usize,
+    /// Column index within that table's schema.
+    pub col: usize,
+}
+
+impl ColId {
+    /// Construct a column id.
+    pub fn new(table: usize, col: usize) -> Self {
+        ColId { table, col }
+    }
+}
+
+impl fmt::Display for ColId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}.c{}", self.table, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Str)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert_eq!(s.col(0).name, "a");
+    }
+
+    #[test]
+    fn schema_display() {
+        let s = Schema::from_pairs(&[("a", DataType::Int)]);
+        assert_eq!(s.to_string(), "(a INT)");
+    }
+
+    #[test]
+    fn colid_display() {
+        assert_eq!(ColId::new(2, 3).to_string(), "t2.c3");
+    }
+}

@@ -1,0 +1,2 @@
+//! Workspace root crate: re-exports the public API (see `pop`).
+pub use pop as api;

@@ -1,0 +1,248 @@
+//! End-to-end behaviour of the five checkpoint flavors (§3 of the paper),
+//! including ECDC's deferred compensation and exactly-once side effects.
+
+use pop::{CheckFlavor, FlavorSet, PopConfig, PopExecutor};
+use pop_expr::{Expr, Params};
+use pop_plan::QueryBuilder;
+use pop_storage::{Catalog, IndexKind};
+use pop_types::{DataType, Schema, Value};
+
+/// Catalog with a correlation that breaks independence: grp_a == grp_b,
+/// so `grp_a = k AND grp_b = k AND grp_c = k` is underestimated 16x.
+fn correlated_db() -> Catalog {
+    let cat = Catalog::new();
+    cat.create_table(
+        "customer",
+        Schema::from_pairs(&[
+            ("cid", DataType::Int),
+            ("grp_a", DataType::Int),
+            ("grp_b", DataType::Int),
+            ("grp_c", DataType::Int),
+        ]),
+        (0..5000)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 4),
+                    Value::Int(i % 4),
+                    Value::Int(i % 4),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    cat.create_table(
+        "orders",
+        Schema::from_pairs(&[("oid", DataType::Int), ("cust", DataType::Int)]),
+        (0..50_000)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 1000)])
+            .collect(),
+    )
+    .unwrap();
+    cat.create_index("orders", "cust", IndexKind::Hash).unwrap();
+    cat.create_index("customer", "cid", IndexKind::Hash).unwrap();
+    cat
+}
+
+/// SPJ query (pipelined — no aggregation) with the correlated filter.
+fn spj_query() -> pop::QuerySpec {
+    let mut b = QueryBuilder::new();
+    let c = b.table("customer");
+    let o = b.table("orders");
+    b.join(c, 0, o, 1);
+    b.filter(
+        c,
+        Expr::col(c, 1)
+            .eq(Expr::lit(3i64))
+            .and(Expr::col(c, 2).eq(Expr::lit(3i64)))
+            .and(Expr::col(c, 3).eq(Expr::lit(3i64))),
+    );
+    b.project(&[(c, 0), (o, 0)]);
+    b.build().unwrap()
+}
+
+const EXPECTED_ROWS: usize = 12_500;
+
+fn config_with(flavors: FlavorSet) -> PopConfig {
+    let mut cfg = PopConfig::default();
+    cfg.optimizer.flavors = flavors;
+    cfg
+}
+
+fn run_and_check(flavors: FlavorSet, expect_flavor: Option<CheckFlavor>) -> pop::RunReport {
+    let exec = PopExecutor::new(correlated_db(), config_with(flavors)).unwrap();
+    let q = spj_query();
+    let res = exec.run(&q, &Params::none()).unwrap();
+    // Correctness: right count, no duplicates.
+    assert_eq!(res.rows.len(), EXPECTED_ROWS, "row count");
+    let mut rows = res.rows.clone();
+    rows.sort();
+    rows.dedup();
+    assert_eq!(rows.len(), EXPECTED_ROWS, "duplicates returned");
+    if let Some(f) = expect_flavor {
+        let fired = res
+            .report
+            .steps
+            .iter()
+            .filter_map(|s| s.violation.as_ref())
+            .any(|v| v.flavor == f);
+        assert!(
+            fired,
+            "expected a {f} violation; steps: {:#?}",
+            res.report
+                .steps
+                .iter()
+                .map(|s| (&s.shape, &s.violation))
+                .collect::<Vec<_>>()
+        );
+    }
+    res.report
+}
+
+#[test]
+fn lcem_fires_and_recovers() {
+    let report = run_and_check(
+        FlavorSet {
+            lc: true,
+            lcem: true,
+            ecb: false,
+            ecwc: false,
+            ecdc: false,
+        },
+        Some(CheckFlavor::Lcem),
+    );
+    assert!(report.reopt_count >= 1);
+}
+
+#[test]
+fn ecb_fires_before_materialization_completes() {
+    let report = run_and_check(
+        FlavorSet {
+            lc: false,
+            lcem: false,
+            ecb: true,
+            ecwc: false,
+            ecdc: false,
+        },
+        Some(CheckFlavor::Ecb),
+    );
+    assert!(report.reopt_count >= 1);
+    // ECB aborts mid-stream: the observation is a lower bound, not exact.
+    let v = report
+        .steps
+        .iter()
+        .filter_map(|s| s.violation.as_ref())
+        .find(|v| v.flavor == CheckFlavor::Ecb)
+        .expect("ecb violation");
+    assert!(
+        matches!(v.observed, pop::ObservedCard::AtLeast(_)),
+        "ECB must report a lower bound, got {:?}",
+        v.observed
+    );
+}
+
+#[test]
+fn ecdc_compensates_already_returned_rows() {
+    let report = run_and_check(
+        FlavorSet {
+            lc: false,
+            lcem: false,
+            ecb: false,
+            ecwc: false,
+            ecdc: true,
+        },
+        Some(CheckFlavor::Ecdc),
+    );
+    assert!(report.reopt_count >= 1);
+    // The pipelined first step returned rows before the violation; the
+    // re-optimized step must have compensated (no duplicates asserted in
+    // run_and_check). Verify rows were indeed emitted early.
+    let first = &report.steps[0];
+    assert!(
+        first.rows_emitted > 0,
+        "ECDC test should emit rows before the violation"
+    );
+    assert!(first.rows_emitted < EXPECTED_ROWS);
+}
+
+#[test]
+fn ecwc_checks_below_materializations() {
+    // ECWC alone never fires here unless a materialization exists above;
+    // enable LC too so sorts/temps appear, then verify ECWC checks are
+    // placed and the query still returns correct results.
+    let exec = PopExecutor::new(
+        correlated_db(),
+        config_with(FlavorSet {
+            lc: true,
+            lcem: true,
+            ecb: false,
+            ecwc: true,
+            ecdc: false,
+        }),
+    )
+    .unwrap();
+    let q = spj_query();
+    let res = exec.run(&q, &Params::none()).unwrap();
+    assert_eq!(res.rows.len(), EXPECTED_ROWS);
+}
+
+#[test]
+fn all_flavors_together_are_consistent() {
+    let report = run_and_check(
+        FlavorSet {
+            lc: true,
+            lcem: true,
+            ecb: true,
+            ecwc: true,
+            ecdc: true,
+        },
+        None,
+    );
+    assert!(report.reopt_count >= 1);
+}
+
+#[test]
+fn side_effects_apply_exactly_once_across_reopt() {
+    let cat = correlated_db();
+    cat.create_table(
+        "sink",
+        Schema::from_pairs(&[("cid", DataType::Int), ("oid", DataType::Int)]),
+        vec![],
+    )
+    .unwrap();
+    let exec = PopExecutor::new(cat, PopConfig::default()).unwrap();
+    let mut b = QueryBuilder::new();
+    let c = b.table("customer");
+    let o = b.table("orders");
+    b.join(c, 0, o, 1);
+    b.filter(
+        c,
+        Expr::col(c, 1)
+            .eq(Expr::lit(3i64))
+            .and(Expr::col(c, 2).eq(Expr::lit(3i64)))
+            .and(Expr::col(c, 3).eq(Expr::lit(3i64))),
+    );
+    b.project(&[(c, 0), (o, 0)]);
+    b.insert_into("sink");
+    let q = b.build().unwrap();
+    let res = exec.run(&q, &Params::none()).unwrap();
+    let sink = exec.catalog().table("sink").unwrap();
+    assert_eq!(
+        sink.row_count(),
+        EXPECTED_ROWS,
+        "side effect applied wrong number of times (reopts={})",
+        res.report.reopt_count
+    );
+}
+
+#[test]
+fn fixed_threshold_mode_fires_on_large_errors() {
+    let mut cfg = PopConfig::default();
+    cfg.optimizer.validity_mode = pop::ValidityMode::FixedFactor(4.0);
+    let exec = PopExecutor::new(correlated_db(), cfg).unwrap();
+    let q = spj_query();
+    let res = exec.run(&q, &Params::none()).unwrap();
+    // 16x misestimate > 4x threshold: must fire.
+    assert!(res.report.reopt_count >= 1);
+    assert_eq!(res.rows.len(), EXPECTED_ROWS);
+}

@@ -1,0 +1,72 @@
+//! End-to-end integration: the 39-query DMV workload (§6 of the paper)
+//! with and without POP.
+
+use pop::{PopConfig, PopExecutor};
+use pop_expr::Params;
+use pop_dmv::{dmv_catalog, dmv_queries};
+use pop_types::Value;
+
+const SCALE: f64 = 0.0003; // 2400 cars / 1800 owners: fast CI scale
+
+fn assert_rows_equal(mut a: Vec<Vec<Value>>, mut b: Vec<Vec<Value>>, what: &str) {
+    a.sort();
+    b.sort();
+    assert_eq!(a.len(), b.len(), "{what}: row count differs");
+    for (ra, rb) in a.iter().zip(b.iter()) {
+        for (va, vb) in ra.iter().zip(rb.iter()) {
+            match (va, vb) {
+                (Value::Float(x), Value::Float(y)) => {
+                    let tol = 1e-6 * (1.0 + x.abs().max(y.abs()));
+                    assert!((x - y).abs() <= tol, "{what}: {x} vs {y}");
+                }
+                _ => assert_eq!(va, vb, "{what}: value differs"),
+            }
+        }
+    }
+}
+
+#[test]
+fn dmv_workload_runs_and_pop_preserves_semantics() {
+    let with_pop = PopExecutor::new(dmv_catalog(SCALE).unwrap(), PopConfig::default()).unwrap();
+    let without = PopExecutor::new(dmv_catalog(SCALE).unwrap(), PopConfig::without_pop()).unwrap();
+    let mut total_reopts = 0usize;
+    let mut improved = 0usize;
+    let mut ran = 0usize;
+    for q in dmv_queries() {
+        let a = with_pop
+            .run(&q.spec, &Params::none())
+            .unwrap_or_else(|e| panic!("{} with POP failed: {e}", q.name));
+        let b = without
+            .run(&q.spec, &Params::none())
+            .unwrap_or_else(|e| panic!("{} without POP failed: {e}", q.name));
+        assert_rows_equal(a.rows.clone(), b.rows.clone(), &q.name);
+        total_reopts += a.report.reopt_count;
+        if a.report.total_work < b.report.total_work {
+            improved += 1;
+        }
+        ran += 1;
+    }
+    assert_eq!(ran, 39);
+    // The correlated predicates must trigger at least some
+    // re-optimizations across the workload.
+    assert!(
+        total_reopts >= 5,
+        "expected re-optimizations across the DMV workload, got {total_reopts}"
+    );
+    // And POP should speed up a nontrivial share of the queries.
+    assert!(improved >= 5, "only {improved} queries improved");
+}
+
+#[test]
+fn dmv_reopt_count_is_bounded_by_config() {
+    let exec = PopExecutor::new(dmv_catalog(SCALE).unwrap(), PopConfig::default()).unwrap();
+    for q in dmv_queries().into_iter().take(10) {
+        let res = exec.run(&q.spec, &Params::none()).unwrap();
+        assert!(
+            res.report.reopt_count <= exec.config().max_reopts + 1,
+            "{}: {} reopts",
+            q.name,
+            res.report.reopt_count
+        );
+    }
+}
