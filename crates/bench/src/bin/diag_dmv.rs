@@ -17,7 +17,10 @@ fn main() {
     static_cfg.cost_model.mem_rows = 4000.0;
     let with_pop = PopExecutor::new(dmv_catalog(scale).unwrap(), cfg).unwrap();
     let without = PopExecutor::new(dmv_catalog(scale).unwrap(), static_cfg).unwrap();
-    println!("{:<8} {:>6} {:>12} {:>12} {:>8} {:>6} shapes", "query", "tables", "pop_work", "static_work", "speedup", "reopts");
+    println!(
+        "{:<8} {:>6} {:>12} {:>12} {:>8} {:>6} shapes",
+        "query", "tables", "pop_work", "static_work", "speedup", "reopts"
+    );
     let mut improved = 0;
     for q in dmv_queries() {
         let a = with_pop.run(&q.spec, &Params::none()).unwrap();

@@ -22,7 +22,13 @@ fn main() {
         }
         let a = with_pop.run(&q.spec, &Params::none()).unwrap();
         let b = without.run(&q.spec, &Params::none()).unwrap();
-        println!("==== {} tables={} static_work={:.0} pop_work={:.0}", q.name, q.spec.tables.len(), b.report.total_work, a.report.total_work);
+        println!(
+            "==== {} tables={} static_work={:.0} pop_work={:.0}",
+            q.name,
+            q.spec.tables.len(),
+            b.report.total_work,
+            a.report.total_work
+        );
         for (i, s) in a.report.steps.iter().enumerate() {
             println!(
                 "-- step {i}: est_cost={:.0} work={:.0} mvs_used={} emitted={}",

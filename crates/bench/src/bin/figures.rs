@@ -77,9 +77,15 @@ fn run(which: &str) {
         }
         "ablations" => {
             for (name, r) in [
-                ("ablation_thresholds", ablation::thresholds().expect("thresholds")),
+                (
+                    "ablation_thresholds",
+                    ablation::thresholds().expect("thresholds"),
+                ),
                 ("ablation_mv_reuse", ablation::mv_reuse().expect("mv_reuse")),
-                ("ablation_max_reopts", ablation::max_reopts().expect("max_reopts")),
+                (
+                    "ablation_max_reopts",
+                    ablation::max_reopts().expect("max_reopts"),
+                ),
                 ("ablation_flavors", ablation::flavors().expect("flavors")),
             ] {
                 print!("{}", ablation::render(&r));
@@ -99,8 +105,16 @@ fn main() {
     let which = args.first().map(String::as_str).unwrap_or("all");
     if which == "all" {
         for name in [
-            "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table1", "validity",
-            "ablations", "extensions",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "table1",
+            "validity",
+            "ablations",
+            "extensions",
         ] {
             println!("================ {name} ================");
             run(name);

@@ -1,0 +1,141 @@
+//! `planlint`: run static plan verification over the DMV and TPC-H
+//! workloads and pretty-print every diagnostic.
+//!
+//! For each query the optimizer plans under several checkpoint-flavor
+//! configurations (none, each single flavor, all five) and the resulting
+//! physical plan is linted with full catalog/query context. Exits
+//! non-zero if any Deny-severity finding is produced — wired into CI as
+//! a smoke test that the optimizer only emits invariant-clean plans.
+//!
+//! Usage: `planlint [dmv|tpch|all] [--verbose]`
+
+use pop::{lint_plan, FlavorSet, LintContext, PopConfig, PopExecutor, Severity};
+use pop_dmv::{dmv_catalog, dmv_queries};
+use pop_expr::Params;
+use pop_plan::QuerySpec;
+use pop_storage::Catalog;
+use pop_tpch::{all_queries, tpch_catalog};
+
+struct Totals {
+    plans: usize,
+    warns: usize,
+    denies: usize,
+}
+
+fn flavor_configs() -> Vec<(&'static str, FlavorSet)> {
+    let all = FlavorSet {
+        lc: true,
+        lcem: true,
+        ecb: true,
+        ecwc: true,
+        ecdc: true,
+    };
+    vec![
+        ("default", FlavorSet::default()),
+        ("none", FlavorSet::none()),
+        ("lc", FlavorSet::only(pop::CheckFlavor::Lc)),
+        ("lcem", FlavorSet::only(pop::CheckFlavor::Lcem)),
+        ("ecb", FlavorSet::only(pop::CheckFlavor::Ecb)),
+        ("ecwc", FlavorSet::only(pop::CheckFlavor::Ecwc)),
+        ("ecdc", FlavorSet::only(pop::CheckFlavor::Ecdc)),
+        ("all", all),
+    ]
+}
+
+fn lint_workload(
+    label: &str,
+    catalog: Catalog,
+    queries: &[(String, QuerySpec)],
+    verbose: bool,
+    totals: &mut Totals,
+) {
+    println!(
+        "== {label}: {} queries x {} flavor configs",
+        queries.len(),
+        flavor_configs().len()
+    );
+    for (flavor_name, flavors) in flavor_configs() {
+        let mut config = PopConfig::default();
+        config.optimizer.flavors = flavors;
+        config.cost_model.mem_rows = 4000.0;
+        let expect_coverage = flavors.lc;
+        let exec = PopExecutor::new(catalog.clone(), config).expect("analyze");
+        for (name, spec) in queries {
+            let plan = match exec.plan(spec, &Params::none()) {
+                Ok(p) => p,
+                Err(e) => {
+                    println!("{label}/{name} [{flavor_name}]: PLANNING FAILED: {e}");
+                    totals.denies += 1;
+                    continue;
+                }
+            };
+            totals.plans += 1;
+            let ctx =
+                LintContext::full(exec.catalog(), spec).expect_check_coverage(expect_coverage);
+            let diags = lint_plan(&plan, &ctx);
+            if diags.is_empty() {
+                if verbose {
+                    println!("{label}/{name} [{flavor_name}]: ok");
+                }
+                continue;
+            }
+            println!("{label}/{name} [{flavor_name}]: {} finding(s)", diags.len());
+            for d in &diags {
+                println!("  {d}");
+                match d.severity {
+                    Severity::Deny => totals.denies += 1,
+                    Severity::Warn => totals.warns += 1,
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+    let workload = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let mut totals = Totals {
+        plans: 0,
+        warns: 0,
+        denies: 0,
+    };
+    if workload == "dmv" || workload == "all" {
+        let queries: Vec<(String, QuerySpec)> = dmv_queries()
+            .into_iter()
+            .map(|q| (q.name, q.spec))
+            .collect();
+        lint_workload(
+            "dmv",
+            dmv_catalog(0.0003).expect("dmv catalog"),
+            &queries,
+            verbose,
+            &mut totals,
+        );
+    }
+    if workload == "tpch" || workload == "all" {
+        let queries: Vec<(String, QuerySpec)> = all_queries()
+            .into_iter()
+            .map(|(n, spec)| (n.to_string(), spec))
+            .collect();
+        lint_workload(
+            "tpch",
+            tpch_catalog(0.005).expect("tpch catalog"),
+            &queries,
+            verbose,
+            &mut totals,
+        );
+    }
+    println!(
+        "{} plan(s) linted: {} warning(s), {} denial(s)",
+        totals.plans, totals.warns, totals.denies
+    );
+    if totals.denies > 0 {
+        std::process::exit(1);
+    }
+}

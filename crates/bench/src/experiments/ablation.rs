@@ -109,7 +109,11 @@ pub fn thresholds() -> PopResult<Ablation> {
 pub fn mv_reuse() -> PopResult<Ablation> {
     let base = static_baseline()?;
     let mut rows = Vec::new();
-    rows.push(measure("mv-reuse: cost-based (POP)", dmv_config(true), &base)?);
+    rows.push(measure(
+        "mv-reuse: cost-based (POP)",
+        dmv_config(true),
+        &base,
+    )?);
     let mut cfg = dmv_config(true);
     cfg.optimizer.use_temp_mvs = false;
     rows.push(measure("mv-reuse: never", cfg, &base)?);
@@ -170,7 +174,13 @@ pub fn render(a: &Ablation) -> String {
     for r in &a.rows {
         out.push_str(&format!(
             "{:<28} {:>12.0} {:>9.3} {:>7} {:>9} {:>10} {:>12.0}\n",
-            r.config, r.total_work, r.vs_static, r.reopts, r.improved, r.regressed, r.max_query_work
+            r.config,
+            r.total_work,
+            r.vs_static,
+            r.reopts,
+            r.improved,
+            r.regressed,
+            r.max_query_work
         ));
     }
     out

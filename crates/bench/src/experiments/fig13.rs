@@ -78,7 +78,10 @@ pub fn run() -> PopResult<Fig13> {
 pub fn render(r: &Fig13) -> String {
     let mut out = String::new();
     out.push_str("Figure 13 — Cost of LCEM (no re-optimization), normalized\n");
-    out.push_str(&format!("{:>4} {:>10} {:>8}\n", "qry", "normalized", "#LCEM"));
+    out.push_str(&format!(
+        "{:>4} {:>10} {:>8}\n",
+        "qry", "normalized", "#LCEM"
+    ));
     for b in &r.bars {
         out.push_str(&format!(
             "{:>4} {:>10.4} {:>8}\n",

@@ -107,9 +107,11 @@ pub fn render(r: &Fig14) -> String {
         "qry", "kind", "start", "end"
     ));
     let mut sorted = r.points.clone();
-    sorted.sort_by(|a, b| (a.query.clone(), a.end_frac.total_cmp(&b.end_frac) as i32)
-        .partial_cmp(&(b.query.clone(), 0))
-        .unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| {
+        (a.query.clone(), a.end_frac.total_cmp(&b.end_frac) as i32)
+            .partial_cmp(&(b.query.clone(), 0))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     for p in &r.points {
         if p.kind == "ecb" {
             out.push_str(&format!(

@@ -112,8 +112,8 @@ pub fn render_fig16(r: &Fig15) -> String {
     out.push_str("Figure 16 — Speedup(+)/Regression(-) factor per DMV query\n");
     for p in &r.points {
         let bar_len = (p.factor.abs().min(20.0) * 2.0) as usize;
-        let bar: String = std::iter::repeat_n(if p.factor >= 0.0 { '+' } else { '-' }, bar_len)
-            .collect();
+        let bar: String =
+            std::iter::repeat_n(if p.factor >= 0.0 { '+' } else { '-' }, bar_len).collect();
         out.push_str(&format!("{:>6} {:>7.2} {}\n", p.query, p.factor, bar));
     }
     out.push_str(&format!(

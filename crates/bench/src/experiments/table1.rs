@@ -45,11 +45,31 @@ pub fn run() -> PopResult<Table1> {
         base_work.push(plain.run(q, &Params::none())?.report.total_work);
     }
     let flavors = [
-        (CheckFlavor::Lc, "above materialization points (SORT/TEMP/HJ build)", "very low: counting only"),
-        (CheckFlavor::Lcem, "TEMP+CHECK pairs on NLJN outers", "low: extra materialization"),
-        (CheckFlavor::Ecb, "BUFCHECK on NLJN outers", "high: exact card unavailable on failure"),
-        (CheckFlavor::Ecwc, "below materialization points", "high: may discard arbitrary work"),
-        (CheckFlavor::Ecdc, "anywhere in SPJ plans (rid side table)", "high: may discard arbitrary work"),
+        (
+            CheckFlavor::Lc,
+            "above materialization points (SORT/TEMP/HJ build)",
+            "very low: counting only",
+        ),
+        (
+            CheckFlavor::Lcem,
+            "TEMP+CHECK pairs on NLJN outers",
+            "low: extra materialization",
+        ),
+        (
+            CheckFlavor::Ecb,
+            "BUFCHECK on NLJN outers",
+            "high: exact card unavailable on failure",
+        ),
+        (
+            CheckFlavor::Ecwc,
+            "below materialization points",
+            "high: may discard arbitrary work",
+        ),
+        (
+            CheckFlavor::Ecdc,
+            "anywhere in SPJ plans (rid side table)",
+            "high: may discard arbitrary work",
+        ),
     ];
     let mut rows = Vec::new();
     for (flavor, placement, paper_risk) in flavors {
@@ -77,7 +97,11 @@ pub fn run() -> PopResult<Table1> {
             paper_risk,
             overhead: total_ratio / queries.len() as f64,
             opportunities_per_query: n_checks as f64 / queries.len() as f64,
-            mean_position: if pos_n == 0 { 0.0 } else { pos_sum / pos_n as f64 },
+            mean_position: if pos_n == 0 {
+                0.0
+            } else {
+                pos_sum / pos_n as f64
+            },
         });
     }
     Ok(Table1 { rows })

@@ -3,6 +3,21 @@
 use pop_optimizer::OptimizerConfig;
 use pop_plan::CostModel;
 
+/// How the driver reacts to static plan-verification findings
+/// (`pop-planlint`) on each plan produced by the optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintMode {
+    /// Skip plan verification entirely.
+    Off,
+    /// Run the analyzer and report every finding as a warning on the
+    /// step report, but never reject a plan.
+    Warn,
+    /// Reject any plan with a Deny-severity finding before execution;
+    /// Warn-severity findings are reported on the step report.
+    #[default]
+    Enforce,
+}
+
 /// Configuration of the full POP loop.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PopConfig {
@@ -40,6 +55,10 @@ pub struct PopConfig {
     /// cardinalities learned from earlier executions and usually needs no
     /// re-optimization at all.
     pub learn_across_queries: bool,
+    /// Static plan verification: every plan the optimizer hands to the
+    /// executor (initial and re-optimized) is linted against structural
+    /// invariants first. See [`LintMode`].
+    pub lint: LintMode,
 }
 
 impl Default for PopConfig {
@@ -53,6 +72,7 @@ impl Default for PopConfig {
             force_reopt_at: None,
             observe_only: false,
             learn_across_queries: false,
+            lint: LintMode::default(),
         }
     }
 }
@@ -77,5 +97,6 @@ mod tests {
         assert!(c.enabled);
         assert_eq!(c.max_reopts, 3);
         assert!(!PopConfig::without_pop().enabled);
+        assert_eq!(c.lint, LintMode::Enforce);
     }
 }

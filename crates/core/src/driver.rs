@@ -1,13 +1,15 @@
 //! The POP driver: alternate optimization and execution steps until the
 //! query completes (§2.1, Figure 3 of the paper).
 
-use crate::{PopConfig, QueryResult, RunReport, StepReport};
+use crate::{LintMode, PopConfig, QueryResult, RunReport, StepReport};
 use pop_exec::{execute, ExecCtx, RunOutcome};
 use pop_optimizer::{optimize, CardFact, FeedbackCache, FlavorSet, OptimizerContext};
-use pop_plan::{canonical_layout, subplan_signature_with_params, PhysNode, QuerySpec, TableSet};
+use pop_plan::{
+    canonical_layout, subplan_signature_with_params, PhysNode, QuerySpec, TableSet, ValidityRange,
+};
 use pop_stats::{StatsRegistry, TableStats};
 use pop_storage::{Catalog, Table, TempMv};
-use pop_types::{ColumnDef, PopResult, Rid, Row, Schema};
+use pop_types::{ColumnDef, PopError, PopResult, Rid, Row, Schema};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -16,6 +18,7 @@ use std::sync::Arc;
 ///
 /// One executor runs one query at a time (temporary materialized views are
 /// scoped to the running query and cleaned up when it finishes, §2.3).
+#[derive(Debug)]
 pub struct PopExecutor {
     catalog: Catalog,
     stats: StatsRegistry,
@@ -115,7 +118,14 @@ impl PopExecutor {
         }
         let mut report = RunReport::default();
         let mut collected: Vec<Row> = Vec::new();
-        let result = self.run_loop(spec, params, &feedback, &mut ctx, &mut report, &mut collected);
+        let result = self.run_loop(
+            spec,
+            params,
+            &feedback,
+            &mut ctx,
+            &mut report,
+            &mut collected,
+        );
         // Post-query cleanup: drop the temporary MVs (§2.3) whether the
         // query succeeded or failed.
         self.catalog.clear_temp_mvs();
@@ -162,12 +172,19 @@ impl PopExecutor {
             // returned to the application, anti-join the new plan's output
             // against the rid side table.
             if !ctx.prev_returned.is_empty() {
-                let props = plan.props().clone();
+                let mut props = plan.props().clone();
+                // The wrapper has a single pass-through input: the cloned
+                // child props may carry per-join edge ranges that describe
+                // no edge of this node.
+                props.edge_ranges = vec![ValidityRange::unbounded()];
                 plan = PhysNode::AntiJoinRids {
                     input: Box::new(plan),
                     props,
                 };
             }
+            // Static plan verification: every plan crossing the
+            // optimizer -> executor boundary is vetted first.
+            let lint_warnings = self.vet_plan(&plan, spec)?;
             let signatures = collect_signatures(spec, &plan, params);
             let mut mvs_used = 0usize;
             plan.visit(&mut |n| {
@@ -187,6 +204,7 @@ impl PopExecutor {
                 violation: None,
                 mvs_used,
                 rows_emitted: outcome.rows().len(),
+                lint_warnings,
             };
             match outcome {
                 RunOutcome::Complete { rows } => {
@@ -238,6 +256,97 @@ impl PopExecutor {
                 }
             }
         }
+    }
+
+    /// Statically verify a plan before execution (the `pop-planlint`
+    /// gate). Returns the findings to surface as step-report warnings;
+    /// under [`LintMode::Enforce`], a Deny-severity finding rejects the
+    /// plan with [`PopError::InvalidPlan`].
+    fn vet_plan(&self, plan: &PhysNode, spec: &QuerySpec) -> PopResult<Vec<String>> {
+        if self.config.lint == LintMode::Off {
+            return Ok(Vec::new());
+        }
+        // With LC checks on, the placement pass guards every
+        // materialization point, so an unguarded one is suspect.
+        let expect_coverage = self.config.enabled && self.config.optimizer.flavors.lc;
+        let lctx = pop_planlint::LintContext::full(&self.catalog, spec)
+            .expect_check_coverage(expect_coverage);
+        let diags = pop_planlint::lint_plan(plan, &lctx);
+        if self.config.lint == LintMode::Enforce && pop_planlint::has_deny(&diags) {
+            return Err(PopError::InvalidPlan(pop_planlint::deny_summary(&diags)));
+        }
+        Ok(diags.iter().map(|d| d.to_string()).collect())
+    }
+
+    /// Optimize without executing; returns the physical plan the driver
+    /// would start the POP loop with. Pairs with [`execute_plan`] and
+    /// external analysis via `pop-planlint`.
+    ///
+    /// [`execute_plan`]: PopExecutor::execute_plan
+    pub fn plan(&self, spec: &QuerySpec, params: &pop_expr::Params) -> PopResult<PhysNode> {
+        spec.validate()?;
+        let opt_config = self.effective_optimizer_config();
+        let feedback = FeedbackCache::new();
+        let octx = OptimizerContext::new(
+            &self.catalog,
+            &self.stats,
+            &opt_config,
+            &self.config.cost_model,
+            Some(params),
+            &feedback,
+        );
+        optimize(spec, &octx)
+    }
+
+    /// Execute a caller-supplied plan for `spec` after passing it through
+    /// the same static verification gate the driver applies to its own
+    /// plans. The plan runs exactly once with checkpoints disabled — no
+    /// re-optimization loop — so the result reflects that plan alone.
+    pub fn execute_plan(
+        &self,
+        spec: &QuerySpec,
+        plan: &PhysNode,
+        params: &pop_expr::Params,
+    ) -> PopResult<QueryResult> {
+        spec.validate()?;
+        let lint_warnings = self.vet_plan(plan, spec)?;
+        let mut ctx = ExecCtx::new(
+            self.catalog.clone(),
+            params.clone(),
+            self.config.cost_model.clone(),
+        );
+        ctx.checks_enabled = false;
+        let signatures = collect_signatures(spec, plan, params);
+        let result = execute(plan, &mut ctx, &signatures);
+        self.catalog.clear_temp_mvs();
+        let rows = match result? {
+            RunOutcome::Complete { rows } => rows,
+            RunOutcome::Suspended { .. } => {
+                return Err(PopError::Execution(
+                    "plan suspended although checkpoints were disabled".into(),
+                ))
+            }
+        };
+        let mut collected: Vec<Row> = Vec::new();
+        collect_rows(&mut collected, &mut ctx, rows);
+        let mut report = RunReport::default();
+        report.steps.push(StepReport {
+            plan: plan.to_string(),
+            shape: plan.join_shape(),
+            est_cost: plan.props().cost,
+            work_start: 0.0,
+            work_end: ctx.work,
+            check_events: ctx.check_events.clone(),
+            violation: None,
+            mvs_used: 0,
+            rows_emitted: collected.len(),
+            lint_warnings,
+        });
+        report.total_work = ctx.work;
+        Ok(QueryResult {
+            rows: collected,
+            report,
+        })
     }
 
     /// Promote one harvested materialization to a temp MV, when it covers
@@ -372,7 +481,8 @@ mod tests {
         )
         .unwrap();
         cat.create_index("orders", "cust", IndexKind::Hash).unwrap();
-        cat.create_index("customer", "cid", IndexKind::Hash).unwrap();
+        cat.create_index("customer", "cid", IndexKind::Hash)
+            .unwrap();
         cat
     }
 
@@ -404,7 +514,11 @@ mod tests {
         assert!(
             res.report.reopt_count >= 1,
             "expected a re-optimization; report: {:#?}",
-            res.report.steps.iter().map(|s| &s.shape).collect::<Vec<_>>()
+            res.report
+                .steps
+                .iter()
+                .map(|s| &s.shape)
+                .collect::<Vec<_>>()
         );
         // Temp MVs are cleaned up afterwards.
         assert_eq!(exec.catalog().temp_mv_count(), 0);
@@ -420,7 +534,10 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b, "POP must not change query semantics");
-        assert_eq!(without.run(&q, &Params::none()).unwrap().report.reopt_count, 0);
+        assert_eq!(
+            without.run(&q, &Params::none()).unwrap().report.reopt_count,
+            0
+        );
     }
 
     #[test]
@@ -486,6 +603,20 @@ mod tests {
         let res = exec.run(&q, &Params::none()).unwrap();
         assert_eq!(res.rows.len(), CORRELATED_ROWS);
         assert!(res.report.reopt_count <= 1);
+    }
+
+    #[test]
+    fn plans_pass_static_verification_cleanly() {
+        // Default config is LintMode::Enforce: the run would fail on any
+        // Deny finding, and a clean plan must not produce warnings either
+        // — across the initial plan AND every re-optimized plan (which
+        // carry MVSCAN and ANTIJOIN-RIDS wrappers).
+        let exec = PopExecutor::new(correlated_db(), PopConfig::default()).unwrap();
+        let res = exec.run(&correlated_query(), &Params::none()).unwrap();
+        assert!(res.report.reopt_count >= 1);
+        for s in &res.report.steps {
+            assert!(s.lint_warnings.is_empty(), "{:?}", s.lint_warnings);
+        }
     }
 
     #[test]

@@ -65,7 +65,7 @@ mod config;
 mod driver;
 mod report;
 
-pub use config::PopConfig;
+pub use config::{LintMode, PopConfig};
 pub use driver::PopExecutor;
 pub use report::{QueryResult, RunReport, StepReport};
 
@@ -75,8 +75,8 @@ pub use pop_optimizer::{
     CardFact, FeedbackCache, FlavorSet, JoinMethods, OptimizerConfig, ValidityMode,
 };
 pub use pop_plan::{
-    AggFunc, CheckContext, CheckFlavor, CostModel, PhysNode, QueryBuilder, QuerySpec,
-    ValidityRange,
+    AggFunc, CheckContext, CheckFlavor, CostModel, PhysNode, QueryBuilder, QuerySpec, ValidityRange,
 };
+pub use pop_planlint::{lint_plan, LintContext, PlanDiagnostic, Severity};
 pub use pop_stats::StatsRegistry;
 pub use pop_storage::{Catalog, IndexKind};

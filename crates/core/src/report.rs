@@ -24,6 +24,10 @@ pub struct StepReport {
     pub mvs_used: usize,
     /// Rows returned to the application during this step.
     pub rows_emitted: usize,
+    /// Warn-severity findings from static plan verification of this
+    /// step's plan (empty when the lint mode is `Off` or the plan is
+    /// clean; Deny-severity findings abort the query instead).
+    pub lint_warnings: Vec<String>,
 }
 
 impl StepReport {
@@ -51,9 +55,7 @@ pub struct RunReport {
 impl RunReport {
     /// Did any re-optimization change the join shape?
     pub fn plan_changed(&self) -> bool {
-        self.steps
-            .windows(2)
-            .any(|w| w[0].shape != w[1].shape)
+        self.steps.windows(2).any(|w| w[0].shape != w[1].shape)
     }
 
     /// The final plan's shape.
@@ -91,6 +93,9 @@ impl RunReport {
                 s.mvs_used
             );
             let _ = writeln!(out, "  shape: {}", s.shape);
+            for w in &s.lint_warnings {
+                let _ = writeln!(out, "  lint: {w}");
+            }
             for ev in &s.check_events {
                 let _ = writeln!(
                     out,
@@ -141,6 +146,7 @@ mod tests {
             violation: None,
             mvs_used: 0,
             rows_emitted: 0,
+            lint_warnings: vec![],
         }
     }
 

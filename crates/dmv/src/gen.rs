@@ -7,10 +7,36 @@ use rand::{Rng, SeedableRng};
 
 /// Car makes (30, as in "the CAR table contains major correlations").
 pub const MAKES: [&str; 30] = [
-    "TOYOTA", "HONDA", "FORD", "CHEVROLET", "NISSAN", "BMW", "MERCEDES", "AUDI", "VOLKSWAGEN",
-    "HYUNDAI", "KIA", "SUBARU", "MAZDA", "LEXUS", "ACURA", "VOLVO", "JEEP", "DODGE", "RAM",
-    "GMC", "BUICK", "CADILLAC", "LINCOLN", "INFINITI", "MITSUBISHI", "PORSCHE", "JAGUAR",
-    "LANDROVER", "FIAT", "MINI",
+    "TOYOTA",
+    "HONDA",
+    "FORD",
+    "CHEVROLET",
+    "NISSAN",
+    "BMW",
+    "MERCEDES",
+    "AUDI",
+    "VOLKSWAGEN",
+    "HYUNDAI",
+    "KIA",
+    "SUBARU",
+    "MAZDA",
+    "LEXUS",
+    "ACURA",
+    "VOLVO",
+    "JEEP",
+    "DODGE",
+    "RAM",
+    "GMC",
+    "BUICK",
+    "CADILLAC",
+    "LINCOLN",
+    "INFINITI",
+    "MITSUBISHI",
+    "PORSCHE",
+    "JAGUAR",
+    "LANDROVER",
+    "FIAT",
+    "MINI",
 ];
 
 /// Models per make: `model_id / MODELS_PER_MAKE == make_id` (the
@@ -35,7 +61,14 @@ const VIOLATION_TYPES: [(&str, i64); 10] = [
     ("PHONE USE", 2),
 ];
 const PROVIDERS: [&str; 8] = [
-    "GEICO", "STATEFARM", "PROGRESSIVE", "ALLSTATE", "LIBERTY", "NATIONWIDE", "FARMERS", "USAA",
+    "GEICO",
+    "STATEFARM",
+    "PROGRESSIVE",
+    "ALLSTATE",
+    "LIBERTY",
+    "NATIONWIDE",
+    "FARMERS",
+    "USAA",
 ];
 
 /// DMV database generator. `scale = 1.0` ≈ the paper's 8M-car database;
@@ -159,7 +192,7 @@ impl DmvGen {
             .map(|i| {
                 let age = rng.gen_range(18..=90i64);
                 let city = rng.gen_range(0..n_city) as i64;
-                let zip = 10000 + city * 100 + rng.gen_range(0..100);
+                let zip = 10000 + city * 100 + rng.gen_range(0..100i64);
                 owner_age.push(age);
                 owner_zip.push(zip);
                 vec![
@@ -168,7 +201,7 @@ impl DmvGen {
                     Value::Int(age),
                     Value::Int(zip),
                     Value::Int(city),
-                    Value::str(["A", "B", "C", "CDL"][rng.gen_range(0..4)]),
+                    Value::str(["A", "B", "C", "CDL"][rng.gen_range(0..4usize)]),
                 ]
             })
             .collect();
@@ -220,14 +253,14 @@ impl DmvGen {
                 // Age bands prefer different make bands (soft correlation).
                 let band = ((age - 18) / 15).min(4) as usize; // 0..5
                 let make = if rng.gen_bool(0.7) {
-                    (band * 6 + rng.gen_range(0..6)) % MAKES.len()
+                    (band * 6 + rng.gen_range(0..6usize)) % MAKES.len()
                 } else {
                     rng.gen_range(0..MAKES.len())
                 };
                 let model = make * MODELS_PER_MAKE + rng.gen_range(0..MODELS_PER_MAKE);
                 let palette = &model_colors[model];
                 let color = COLORS[palette[rng.gen_range(0..palette.len())]];
-                let weight = model_weight[model] + rng.gen_range(-25..=25);
+                let weight = model_weight[model] + rng.gen_range(-25i64..=25);
                 let zip = owner_zip[owner];
                 vec![
                     Value::Int(i as i64),
@@ -496,7 +529,11 @@ mod tests {
             palettes.entry(model).or_default().insert(color);
         }
         for (model, colors) in palettes {
-            assert!(colors.len() <= 4, "model {model} has {} colors", colors.len());
+            assert!(
+                colors.len() <= 4,
+                "model {model} has {} colors",
+                colors.len()
+            );
         }
     }
 
@@ -541,8 +578,19 @@ mod tests {
     fn all_tables_exist() {
         let cat = dmv_catalog(0.0005).unwrap();
         for t in [
-            "make", "model", "city", "owner", "dealer", "car", "provider", "insurance",
-            "violation_type", "violation", "station", "inspection", "accident",
+            "make",
+            "model",
+            "city",
+            "owner",
+            "dealer",
+            "car",
+            "provider",
+            "insurance",
+            "violation_type",
+            "violation",
+            "station",
+            "inspection",
+            "accident",
         ] {
             assert!(cat.table(t).is_ok(), "missing {t}");
         }

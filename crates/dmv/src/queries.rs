@@ -182,8 +182,7 @@ impl Builder {
         self.violation = Some(v);
         let t = if with_type {
             let t = self.b.table("violation_type");
-            self.b
-                .join(v, c::violation::TYPE_ID, t, c::vtype::TYPE_ID);
+            self.b.join(v, c::violation::TYPE_ID, t, c::vtype::TYPE_ID);
             Some(t)
         } else {
             None
@@ -230,9 +229,7 @@ fn make_level_cluster(b: &mut Builder, rng: &mut StdRng) {
     } else {
         rng.gen_range(0..5usize)
     };
-    let makes: Vec<Value> = (0..6)
-        .map(|k| Value::Int((band * 6 + k) as i64))
-        .collect();
+    let makes: Vec<Value> = (0..6).map(|k| Value::Int((band * 6 + k) as i64)).collect();
     let first = (band * 6 * MODELS_PER_MAKE) as i64;
     let last = first + (6 * MODELS_PER_MAKE) as i64 - 1;
     let car = b.car;
@@ -264,16 +261,14 @@ fn correlated_car_cluster(b: &mut Builder, rng: &mut StdRng) {
 /// model's whole weight range.
 fn weight_cluster(b: &mut Builder, rng: &mut StdRng) {
     let model = rng.gen_range(0..MAKES.len() * MODELS_PER_MAKE) as i64;
-    let base = 900 + 250 * (model % MODELS_PER_MAKE as i64) + (model / MODELS_PER_MAKE as i64 % 7) * 40;
+    let base =
+        900 + 250 * (model % MODELS_PER_MAKE as i64) + (model / MODELS_PER_MAKE as i64 % 7) * 40;
     let car = b.car;
     b.b.filter(
         car,
-        Expr::col(car, c::car::MODEL_ID)
-            .eq(Expr::lit(model))
-            .and(Expr::col(car, c::car::WEIGHT).between(
-                Expr::lit(base - 30),
-                Expr::lit(base + 30),
-            )),
+        Expr::col(car, c::car::MODEL_ID).eq(Expr::lit(model)).and(
+            Expr::col(car, c::car::WEIGHT).between(Expr::lit(base - 30), Expr::lit(base + 30)),
+        ),
     );
 }
 
@@ -358,7 +353,7 @@ pub fn dmv_queries() -> Vec<DmvQuery> {
             }
             if let Some(p) = p {
                 if rng.gen_bool(0.5) {
-                    let provider = ["GEICO", "STATEFARM", "USAA"][rng.gen_range(0..3)];
+                    let provider = ["GEICO", "STATEFARM", "USAA"][rng.gen_range(0..3usize)];
                     b.b.filter(p, Expr::col(p, c::provider::NAME).eq(Expr::lit(provider)));
                 }
             }
@@ -478,8 +473,7 @@ mod tests {
     #[test]
     fn queries_are_wide_joins() {
         let qs = dmv_queries();
-        let avg: f64 =
-            qs.iter().map(|q| q.spec.tables.len() as f64).sum::<f64>() / qs.len() as f64;
+        let avg: f64 = qs.iter().map(|q| q.spec.tables.len() as f64).sum::<f64>() / qs.len() as f64;
         assert!(avg >= 5.0, "average join width {avg}");
         assert!(qs.iter().any(|q| q.spec.tables.len() >= 9));
     }
@@ -487,7 +481,11 @@ mod tests {
     #[test]
     fn every_query_has_a_predicate() {
         for q in dmv_queries() {
-            assert!(!q.spec.local_preds.is_empty(), "{} has no predicates", q.name);
+            assert!(
+                !q.spec.local_preds.is_empty(),
+                "{} has no predicates",
+                q.name
+            );
         }
     }
 }

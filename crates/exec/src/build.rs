@@ -1,13 +1,13 @@
 //! Translate a physical plan ([`PhysNode`]) into an executable operator
 //! tree — the "code generator" of the paper's architecture diagram.
 
+use crate::operators::agg::AggKind;
+use crate::operators::materialize::HarvestInfo;
 use crate::operators::{
     AntiJoinRidsOp, BufCheckOp, CheckOp, HashAggOp, HavingOp, HsjnOp, IndexRangeScanOp, InsertOp,
     LimitOp, MgjnOp, MvScanOp, NljnOp, Operator, ProjectOp, RidSinkOp, SemiProbeOp, SortOp,
     TableScanOp, TempOp,
 };
-use crate::operators::agg::AggKind;
-use crate::operators::materialize::HarvestInfo;
 use pop_expr::{BoundExpr, Expr};
 use pop_plan::{AggFunc, LayoutCol, PhysNode, SortKeyRef};
 use pop_storage::Catalog;
@@ -60,8 +60,8 @@ fn harvest_info(node: &PhysNode, signatures: &Signatures) -> Option<HarvestInfo>
     }
     let perm = canonical
         .iter()
-        .map(|c| base.iter().position(|b| b == c).expect("member"))
-        .collect();
+        .map(|c| base.iter().position(|b| b == c))
+        .collect::<Option<Vec<_>>>()?;
     Some(HarvestInfo {
         signature,
         canonical_layout: canonical,
@@ -85,7 +85,9 @@ pub fn build_operator(
     signatures: &Signatures,
 ) -> PopResult<Box<dyn Operator>> {
     Ok(match node {
-        PhysNode::TableScan { table, pred, props, .. } => {
+        PhysNode::TableScan {
+            table, pred, props, ..
+        } => {
             let t = catalog.table(table)?;
             let bound = pred.as_ref().map(|p| bind(p, &props.layout)).transpose()?;
             Box::new(TableScanOp::new(t, bound))
@@ -117,7 +119,9 @@ pub fn build_operator(
                 bound,
             ))
         }
-        PhysNode::MvScan { mv_name, signature, .. } => {
+        PhysNode::MvScan {
+            mv_name, signature, ..
+        } => {
             let t = catalog.table(mv_name)?;
             let lineage = catalog.temp_mv(signature).and_then(|mv| mv.lineage);
             Box::new(MvScanOp::new(t, lineage))
@@ -182,9 +186,7 @@ pub fn build_operator(
             // potential reuse after a CHECK failure (the enhancement the
             // paper's prototype planned, §4).
             let build_harvest = harvest_info(build, signatures);
-            Box::new(
-                HsjnOp::new(build_op, probe_op, bpos, ppos).with_build_harvest(build_harvest),
-            )
+            Box::new(HsjnOp::new(build_op, probe_op, bpos, ppos).with_build_harvest(build_harvest))
         }
         PhysNode::Mgjn {
             left,
@@ -195,8 +197,13 @@ pub fn build_operator(
         } => {
             let left_op = build_operator(left, catalog, signatures)?;
             let right_op = build_operator(right, catalog, signatures)?;
-            let lpos = pos_of(&left.props().layout, left_keys[0])?;
-            let rpos = pos_of(&right.props().layout, right_keys[0])?;
+            let (Some(lk), Some(rk)) = (left_keys.first(), right_keys.first()) else {
+                return Err(PopError::Planning(
+                    "MGJN requires at least one join key per side".into(),
+                ));
+            };
+            let lpos = pos_of(&left.props().layout, *lk)?;
+            let rpos = pos_of(&right.props().layout, *rk)?;
             Box::new(MgjnOp::new(left_op, right_op, lpos, rpos))
         }
         PhysNode::Sort {
@@ -207,7 +214,12 @@ pub fn build_operator(
                 SortKeyRef::Col(c) => pos_of(&input.props().layout, *c)?,
                 SortKeyRef::Pos(p) => *p,
             };
-            Box::new(SortOp::new(child, pos, *desc, harvest_info(node, signatures)))
+            Box::new(SortOp::new(
+                child,
+                pos,
+                *desc,
+                harvest_info(node, signatures),
+            ))
         }
         PhysNode::Temp { input, .. } => {
             let child = build_operator(input, catalog, signatures)?;

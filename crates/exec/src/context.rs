@@ -65,6 +65,7 @@ pub struct CheckEvent {
 }
 
 /// Mutable execution state threaded through every operator call.
+#[derive(Debug)]
 pub struct ExecCtx {
     /// Catalog for scans, index probes and side-effect targets.
     pub catalog: Catalog,

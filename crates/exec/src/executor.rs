@@ -40,7 +40,11 @@ impl RunOutcome {
 
 /// Execute one step of a plan. Per-run instrumentation in `ctx` is reset;
 /// cross-run compensation state is preserved.
-pub fn execute(plan: &PhysNode, ctx: &mut ExecCtx, signatures: &Signatures) -> PopResult<RunOutcome> {
+pub fn execute(
+    plan: &PhysNode,
+    ctx: &mut ExecCtx,
+    signatures: &Signatures,
+) -> PopResult<RunOutcome> {
     ctx.begin_run();
     let mut op = build_operator(plan, &ctx.catalog.clone(), signatures)?;
     let mut rows: Vec<ExecRow> = Vec::new();
@@ -153,10 +157,7 @@ mod tests {
             RunOutcome::Suspended { rows, violation } => {
                 assert_eq!(rows.len(), 7);
                 assert_eq!(violation.check_id, 0);
-                assert_eq!(
-                    violation.observed,
-                    crate::ObservedCard::AtLeast(8)
-                );
+                assert_eq!(violation.observed, crate::ObservedCard::AtLeast(8));
             }
             other => panic!("expected suspension, got {other:?}"),
         }

@@ -45,13 +45,13 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, kind: AggKind, row: &[Value]) {
+    fn update(&mut self, kind: AggKind, row: &[Value]) -> OpResult<()> {
         match (self, kind) {
             (AggState::Count(n), AggKind::Count) => *n += 1,
             (AggState::Sum { sum, all_int, any }, AggKind::Sum(pos)) => {
                 let v = &row[pos];
                 if v.is_null() {
-                    return;
+                    return Ok(());
                 }
                 if !matches!(v, Value::Int(_)) {
                     *all_int = false;
@@ -80,8 +80,13 @@ impl AggState {
                     *n += 1;
                 }
             }
-            _ => unreachable!("agg state/kind mismatch"),
+            _ => {
+                return Err(super::protocol_err(
+                    "aggregate state does not match its kind",
+                ))
+            }
         }
+        Ok(())
     }
 
     fn finish(self) -> Value {
@@ -146,7 +151,7 @@ impl Operator for HashAggOp {
                 .entry(key)
                 .or_insert_with(|| self.aggs.iter().map(|a| AggState::new(*a)).collect());
             for (state, kind) in states.iter_mut().zip(self.aggs.iter()) {
-                state.update(*kind, &r.values);
+                state.update(*kind, &r.values)?;
             }
         }
         // Scalar aggregate over an empty input still yields one row.
@@ -299,7 +304,11 @@ impl Operator for ProjectOp {
         match self.input.next(ctx)? {
             None => Ok(None),
             Some(r) => Ok(Some(ExecRow {
-                values: self.positions.iter().map(|p| r.values[*p].clone()).collect(),
+                values: self
+                    .positions
+                    .iter()
+                    .map(|p| r.values[*p].clone())
+                    .collect(),
                 lineage: r.lineage,
             })),
         }
@@ -445,3 +454,5 @@ mod tests {
         assert_eq!(out, vec![vec![Value::Float(3.5)]]);
     }
 }
+
+crate::operators::opaque_debug!(HashAggOp, HavingOp, LimitOp, ProjectOp);

@@ -106,7 +106,13 @@ impl CheckOp {
             record_event(ctx, &self.spec, outcome, observed, self.started_at);
             return Err(violation(&self.spec, observed, in_range));
         }
-        record_event(ctx, &self.spec, CheckOutcome::Passed, observed, self.started_at);
+        record_event(
+            ctx,
+            &self.spec,
+            CheckOutcome::Passed,
+            observed,
+            self.started_at,
+        );
         Ok(())
     }
 
@@ -120,7 +126,13 @@ impl CheckOp {
             self.resolved = true;
             self.raised = true;
             let observed = ObservedCard::AtLeast(self.count);
-            record_event(ctx, &self.spec, CheckOutcome::Violated, observed, self.started_at);
+            record_event(
+                ctx,
+                &self.spec,
+                CheckOutcome::Violated,
+                observed,
+                self.started_at,
+            );
             return Err(violation(&self.spec, observed, false));
         }
         Ok(())
@@ -229,7 +241,13 @@ impl BufCheckOp {
             self.resolved = true;
             self.raised = true;
             let observed = ObservedCard::AtLeast(self.count);
-            record_event(ctx, &self.spec, CheckOutcome::Violated, observed, self.started_at);
+            record_event(
+                ctx,
+                &self.spec,
+                CheckOutcome::Violated,
+                observed,
+                self.started_at,
+            );
             return Err(violation(&self.spec, observed, false));
         }
         Ok(())
@@ -259,7 +277,13 @@ impl BufCheckOp {
             record_event(ctx, &self.spec, outcome, observed, self.started_at);
             return Err(violation(&self.spec, observed, in_range));
         }
-        record_event(ctx, &self.spec, CheckOutcome::Passed, observed, self.started_at);
+        record_event(
+            ctx,
+            &self.spec,
+            CheckOutcome::Passed,
+            observed,
+            self.started_at,
+        );
         Ok(())
     }
 }
@@ -502,3 +526,5 @@ mod tests {
         assert_eq!(rows, 100, "the row that tripped the check is not lost");
     }
 }
+
+crate::operators::opaque_debug!(CheckOp, BufCheckOp);

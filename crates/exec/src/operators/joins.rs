@@ -70,7 +70,7 @@ impl Operator for NljnOp {
         let inner_rows = self
             .inner_rows
             .as_ref()
-            .expect("nljn next() before open()")
+            .ok_or_else(|| super::protocol_err("NLJN next() before open()"))?
             .clone();
         loop {
             // Drain pending matches of the current outer row.
@@ -84,7 +84,10 @@ impl Operator for NljnOp {
                         continue;
                     }
                 }
-                let outer = self.current_outer.as_ref().expect("outer row");
+                let outer = self
+                    .current_outer
+                    .as_ref()
+                    .ok_or_else(|| super::protocol_err("NLJN match without an outer row"))?;
                 let mut ok = true;
                 for (outer_pos, inner_col) in &self.residual {
                     match outer.values[*outer_pos].sql_cmp(&inner_row[*inner_col]) {
@@ -218,7 +221,10 @@ impl Operator for HsjnOp {
             if self.current_pos < self.current.len() {
                 let build_row = self.current[self.current_pos].clone();
                 self.current_pos += 1;
-                let probe_row = self.current_probe.as_ref().expect("probe row");
+                let probe_row = self
+                    .current_probe
+                    .as_ref()
+                    .ok_or_else(|| super::protocol_err("HSJN match without a probe row"))?;
                 return Ok(Some(build_row.concat(probe_row)));
             }
             match self.probe.next(ctx)? {
@@ -294,7 +300,7 @@ impl Operator for SemiProbeOp {
         let inner_rows = self
             .inner_rows
             .as_ref()
-            .expect("semi probe next() before open()")
+            .ok_or_else(|| super::protocol_err("semi probe next() before open()"))?
             .clone();
         loop {
             match self.input.next(ctx)? {
@@ -573,10 +579,30 @@ mod tests {
     fn expected_join() -> Vec<Vec<Value>> {
         // l.k = r.k: rows with k=2 on both sides -> 2x2 = 4 rows.
         let mut v = vec![
-            vec![Value::Int(2), Value::str("b"), Value::Int(2), Value::str("x")],
-            vec![Value::Int(2), Value::str("b"), Value::Int(2), Value::str("y")],
-            vec![Value::Int(2), Value::str("c"), Value::Int(2), Value::str("x")],
-            vec![Value::Int(2), Value::str("c"), Value::Int(2), Value::str("y")],
+            vec![
+                Value::Int(2),
+                Value::str("b"),
+                Value::Int(2),
+                Value::str("x"),
+            ],
+            vec![
+                Value::Int(2),
+                Value::str("b"),
+                Value::Int(2),
+                Value::str("y"),
+            ],
+            vec![
+                Value::Int(2),
+                Value::str("c"),
+                Value::Int(2),
+                Value::str("x"),
+            ],
+            vec![
+                Value::Int(2),
+                Value::str("c"),
+                Value::Int(2),
+                Value::str("y"),
+            ],
         ];
         v.sort();
         v
@@ -663,3 +689,5 @@ mod tests {
         assert!(drain(&mut op, &mut ctx).is_empty());
     }
 }
+
+crate::operators::opaque_debug!(NljnOp, HsjnOp, SemiProbeOp, MgjnOp);

@@ -274,3 +274,5 @@ mod tests {
         assert_eq!(h.rows[0], vec![Value::Int(2), Value::Int(1)]);
     }
 }
+
+crate::operators::opaque_debug!(SortOp, TempOp);

@@ -16,6 +16,19 @@ pub use materialize::{SortOp, TempOp};
 pub use scan::{IndexRangeScanOp, MvScanOp, TableScanOp};
 pub use side::{AntiJoinRidsOp, InsertOp, RidSinkOp};
 
+/// Operators hold `Box<dyn Operator>` children and table handles with no
+/// useful `Debug` rendering; show them opaquely by type name.
+macro_rules! opaque_debug {
+    ($($t:ident),* $(,)?) => {$(
+        impl std::fmt::Debug for $t {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct(stringify!($t)).finish_non_exhaustive()
+            }
+        }
+    )*};
+}
+pub(crate) use opaque_debug;
+
 /// The Volcano iterator contract.
 ///
 /// `open` prepares the operator (materializing operators consume their
@@ -37,6 +50,15 @@ pub trait Operator {
     fn materialized_count(&self) -> Option<u64> {
         None
     }
+}
+
+/// Typed error for an operator-protocol violation (e.g. `next()` before
+/// `open()`): a harness bug, surfaced as an error instead of a panic so a
+/// malformed driver cannot take the process down.
+pub(crate) fn protocol_err(msg: &str) -> crate::ExecSignal {
+    crate::ExecSignal::Error(pop_types::PopError::Execution(format!(
+        "operator protocol violation: {msg}"
+    )))
 }
 
 /// Canonical key for a row's lineage, independent of the join order that

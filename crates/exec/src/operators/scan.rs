@@ -38,7 +38,7 @@ impl Operator for TableScanOp {
         let rows = self
             .snapshot
             .as_ref()
-            .expect("scan next() before open()")
+            .ok_or_else(|| super::protocol_err("table scan next() before open()"))?
             .clone();
         while self.pos < rows.len() {
             let pos = self.pos;
@@ -123,7 +123,7 @@ impl Operator for IndexRangeScanOp {
         let rows = self
             .snapshot
             .as_ref()
-            .expect("index range scan next() before open()")
+            .ok_or_else(|| super::protocol_err("index range scan next() before open()"))?
             .clone();
         while self.pos < self.positions.len() {
             let p = self.positions[self.pos] as usize;
@@ -184,7 +184,7 @@ impl Operator for MvScanOp {
         let rows = self
             .snapshot
             .as_ref()
-            .expect("mv scan next() before open()")
+            .ok_or_else(|| super::protocol_err("MV scan next() before open()"))?
             .clone();
         if self.pos >= rows.len() {
             return Ok(None);
@@ -226,7 +226,9 @@ mod tests {
             .create_table(
                 "t",
                 Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]),
-                (0..10).map(|i| vec![Value::Int(i), Value::Int(i % 3)]).collect(),
+                (0..10)
+                    .map(|i| vec![Value::Int(i), Value::Int(i % 3)])
+                    .collect(),
             )
             .unwrap();
         let ctx = ExecCtx::new(cat, Params::none(), CostModel::default());
@@ -262,7 +264,7 @@ mod tests {
         let mut op = TableScanOp::new(t, Some(pred));
         let rows = drain(&mut op, &mut ctx);
         assert_eq!(rows.len(), 4); // b=0 for i in {0,3,6,9}
-        // The scan still touches all 10 rows.
+                                   // The scan still touches all 10 rows.
         assert_eq!(ctx.work, 10.0 * ctx.model.seq_row);
     }
 
@@ -277,3 +279,5 @@ mod tests {
         assert_eq!(r.lineage, vec![Rid::new(9, 0)]);
     }
 }
+
+crate::operators::opaque_debug!(TableScanOp, IndexRangeScanOp, MvScanOp);

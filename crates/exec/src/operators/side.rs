@@ -228,3 +228,5 @@ mod tests {
         assert_eq!(a, b);
     }
 }
+
+crate::operators::opaque_debug!(InsertOp, RidSinkOp, AntiJoinRidsOp);

@@ -14,13 +14,17 @@ fn catalog() -> Catalog {
     cat.create_table(
         "t",
         Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]),
-        (0..50).map(|i| vec![Value::Int(i), Value::Int(i % 5)]).collect(),
+        (0..50)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 5)])
+            .collect(),
     )
     .unwrap();
     cat.create_table(
         "u",
         Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]),
-        (0..25).map(|i| vec![Value::Int(i % 5), Value::Int(i)]).collect(),
+        (0..25)
+            .map(|i| vec![Value::Int(i % 5), Value::Int(i)])
+            .collect(),
     )
     .unwrap();
     cat.create_index("u", "k", IndexKind::Hash).unwrap();
@@ -36,7 +40,9 @@ fn scan(qidx: usize, table: &str, ncols: usize, card: f64) -> PhysNode {
             TableSet::single(qidx),
             card,
             card,
-            (0..ncols).map(|c| LayoutCol::Base(ColId::new(qidx, c))).collect(),
+            (0..ncols)
+                .map(|c| LayoutCol::Base(ColId::new(qidx, c)))
+                .collect(),
         ),
     }
 }

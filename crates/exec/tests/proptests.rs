@@ -62,10 +62,7 @@ fn drain(op: &mut dyn Operator, ctx: &mut ExecCtx) -> Vec<Vec<Value>> {
 }
 
 /// Reference join: nested loops over the raw data.
-fn reference_join(
-    left: &[(Option<i64>, i64)],
-    right: &[(Option<i64>, i64)],
-) -> Vec<Vec<Value>> {
+fn reference_join(left: &[(Option<i64>, i64)], right: &[(Option<i64>, i64)]) -> Vec<Vec<Value>> {
     let mut out = Vec::new();
     for (lk, lv) in left {
         for (rk, rv) in right {

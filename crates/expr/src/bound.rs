@@ -65,9 +65,7 @@ impl BoundExpr {
             ),
             Expr::Not(e) => BoundExpr::Not(Box::new(Self::bind(e, layout)?)),
             Expr::Like(e, p) => BoundExpr::Like(Box::new(Self::bind(e, layout)?), p.clone()),
-            Expr::InList(e, vs) => {
-                BoundExpr::InList(Box::new(Self::bind(e, layout)?), vs.clone())
-            }
+            Expr::InList(e, vs) => BoundExpr::InList(Box::new(Self::bind(e, layout)?), vs.clone()),
             Expr::Between(e, lo, hi) => BoundExpr::Between(
                 Box::new(Self::bind(e, layout)?),
                 Box::new(Self::bind(lo, layout)?),

@@ -205,10 +205,22 @@ mod tests {
     #[test]
     fn comparisons() {
         let row = vec![Value::Int(5), Value::str("x")];
-        assert_eq!(ev(&Expr::col(0, 0).lt(Expr::lit(6i64)), &row), Value::Bool(true));
-        assert_eq!(ev(&Expr::col(0, 0).ge(Expr::lit(6i64)), &row), Value::Bool(false));
-        assert_eq!(ev(&Expr::col(0, 0).eq(Expr::lit(5i64)), &row), Value::Bool(true));
-        assert_eq!(ev(&Expr::col(0, 0).ne(Expr::lit(5i64)), &row), Value::Bool(false));
+        assert_eq!(
+            ev(&Expr::col(0, 0).lt(Expr::lit(6i64)), &row),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ev(&Expr::col(0, 0).ge(Expr::lit(6i64)), &row),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            ev(&Expr::col(0, 0).eq(Expr::lit(5i64)), &row),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ev(&Expr::col(0, 0).ne(Expr::lit(5i64)), &row),
+            Value::Bool(false)
+        );
     }
 
     #[test]
@@ -319,8 +331,14 @@ mod tests {
     #[test]
     fn is_null_eval() {
         let row = vec![Value::Null, Value::Int(1)];
-        assert_eq!(ev(&Expr::IsNull(Box::new(Expr::col(0, 0))), &row), Value::Bool(true));
-        assert_eq!(ev(&Expr::IsNull(Box::new(Expr::col(0, 1))), &row), Value::Bool(false));
+        assert_eq!(
+            ev(&Expr::IsNull(Box::new(Expr::col(0, 0))), &row),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ev(&Expr::IsNull(Box::new(Expr::col(0, 1))), &row),
+            Value::Bool(false)
+        );
     }
 
     #[test]

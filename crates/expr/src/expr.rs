@@ -420,10 +420,7 @@ mod tests {
         let e = Expr::col(1, 2)
             .eq(Expr::col(0, 0))
             .and(Expr::col(1, 2).gt(Expr::lit(4i64)));
-        assert_eq!(
-            e.columns_used(),
-            vec![ColId::new(0, 0), ColId::new(1, 2)]
-        );
+        assert_eq!(e.columns_used(), vec![ColId::new(0, 0), ColId::new(1, 2)]);
     }
 
     #[test]

@@ -9,9 +9,7 @@ use proptest::prelude::*;
 fn like_ref(text: &[char], pat: &[char]) -> bool {
     match (text.first(), pat.first()) {
         (_, None) => text.is_empty(),
-        (_, Some('%')) => {
-            (0..=text.len()).any(|k| like_ref(&text[k..], &pat[1..]))
-        }
+        (_, Some('%')) => (0..=text.len()).any(|k| like_ref(&text[k..], &pat[1..])),
         (Some(t), Some('_')) => {
             let _ = t;
             like_ref(&text[1..], &pat[1..])

@@ -26,6 +26,7 @@ struct SetFact {
 /// checks clamp the final estimate — implementing the paper's
 /// "actual cardinalities measured during the initial run help the
 /// re-optimization step avoid the same mistake" (§2.1).
+#[derive(Debug)]
 pub struct CardEstimator {
     spec: QuerySpec,
     params: Option<pop_expr::Params>,
@@ -80,9 +81,7 @@ impl CardEstimator {
             // workloads here n <= 16 always holds.
             if n <= 16 {
                 for mask in 1u64..(1u64 << n) {
-                    let set = TableSet::from_iter(
-                        (0..n).filter(|i| mask & (1 << i) != 0),
-                    );
+                    let set = TableSet::from_iter((0..n).filter(|i| mask & (1 << i) != 0));
                     let sig = subplan_signature_with_params(spec, set, ctx.params);
                     if let Some(fact) = ctx.feedback.get(&sig) {
                         let (value, exact) = match fact {
@@ -188,8 +187,8 @@ mod tests {
     use super::*;
     use crate::{CardFact, CostModel, FeedbackCache, OptimizerConfig};
     use pop_expr::Expr;
-    use pop_plan::QueryBuilder;
     use pop_plan::subplan_signature;
+    use pop_plan::QueryBuilder;
     use pop_stats::StatsRegistry;
     use pop_storage::Catalog;
     use pop_types::{DataType, Schema, Value};

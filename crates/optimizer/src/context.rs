@@ -6,6 +6,7 @@ use pop_stats::{SelectivityDefaults, StatsRegistry};
 use pop_storage::Catalog;
 
 /// Everything the optimizer needs, bundled for convenient passing.
+#[derive(Debug)]
 pub struct OptimizerContext<'a> {
     /// Table/index resolution.
     pub catalog: &'a Catalog,

@@ -12,9 +12,7 @@
 
 use crate::{validity, Candidate, CardEstimator, OptimizerContext, RootCostSpec};
 use pop_expr::Expr;
-use pop_plan::{
-    InnerProbe, LayoutCol, PhysNode, PlanProps, SortKeyRef, TableSet, ValidityRange,
-};
+use pop_plan::{InnerProbe, LayoutCol, PhysNode, PlanProps, SortKeyRef, TableSet, ValidityRange};
 use pop_types::{ColId, PopError, PopResult};
 use std::collections::HashMap;
 
@@ -73,10 +71,7 @@ pub fn optimize_join_order(
     }
 
     memo.remove(&full.mask())
-        .and_then(|list| {
-            list.into_iter()
-                .min_by(|a, b| a.cost.total_cmp(&b.cost))
-        })
+        .and_then(|list| list.into_iter().min_by(|a, b| a.cost.total_cmp(&b.cost)))
         .ok_or_else(|| {
             PopError::Planning("no feasible join plan (check join graph and indexes)".into())
         })
@@ -102,7 +97,11 @@ fn add_partition_candidates(
         return;
     }
     // Canonical edge order: smaller mask first.
-    let (a, b) = if s1.mask() < s2.mask() { (s1, s2) } else { (s2, s1) };
+    let (a, b) = if s1.mask() < s2.mask() {
+        (s1, s2)
+    } else {
+        (s2, s1)
+    };
     let edge_cards = vec![est.card(a), est.card(b)];
     let out_card = est.card(a.union(b));
     let preds = spec.join_preds_between(a, b);
@@ -492,10 +491,7 @@ fn combine_local_preds(preds: Vec<&Expr>) -> Option<Expr> {
 }
 
 /// Cheapest candidate for a set, any order.
-fn cheapest(
-    memo: &HashMap<u64, Vec<Candidate>>,
-    set: TableSet,
-) -> Option<&Candidate> {
+fn cheapest(memo: &HashMap<u64, Vec<Candidate>>, set: TableSet) -> Option<&Candidate> {
     memo.get(&set.mask())?
         .iter()
         .min_by(|x, y| x.cost.total_cmp(&y.cost))
@@ -519,10 +515,7 @@ fn pick_for_order(
     {
         return (Some(sorted), false);
     }
-    (
-        list.iter().min_by(|x, y| x.cost.total_cmp(&y.cost)),
-        true,
-    )
+    (list.iter().min_by(|x, y| x.cost.total_cmp(&y.cost)), true)
 }
 
 /// Wrap a node in an enforcer sort when needed.
@@ -799,7 +792,9 @@ mod tests {
             id,
             "__mv_test",
             Schema::from_pairs(&[("id", DataType::Int), ("grp", DataType::Int)]),
-            (0..10).map(|i| vec![Value::Int(i), Value::Int(3)]).collect(),
+            (0..10)
+                .map(|i| vec![Value::Int(i), Value::Int(3)])
+                .collect(),
         ));
         cat.register_temp_mv(pop_storage::TempMv {
             table: mv_table,

@@ -57,6 +57,12 @@ pub struct FeedbackCache {
     inner: Arc<RwLock<HashMap<String, CardFact>>>,
 }
 
+impl std::fmt::Debug for FeedbackCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.inner.read().iter()).finish()
+    }
+}
+
 impl FeedbackCache {
     /// Empty cache.
     pub fn new() -> Self {

@@ -39,8 +39,7 @@ pub fn optimize(spec: &QuerySpec, ctx: &OptimizerContext<'_>) -> PopResult<PhysN
                 .min(in_card)
                 .max(1.0)
         };
-        let mut layout: Vec<LayoutCol> =
-            agg.group_by.iter().map(|c| LayoutCol::Base(*c)).collect();
+        let mut layout: Vec<LayoutCol> = agg.group_by.iter().map(|c| LayoutCol::Base(*c)).collect();
         for i in 0..agg.aggs.len() {
             layout.push(LayoutCol::Agg(i));
         }
@@ -59,7 +58,11 @@ pub fn optimize(spec: &QuerySpec, ctx: &OptimizerContext<'_>) -> PopResult<PhysN
             props,
         };
     } else if !spec.projection.is_empty() {
-        let cols: Vec<LayoutCol> = spec.projection.iter().map(|c| LayoutCol::Base(*c)).collect();
+        let cols: Vec<LayoutCol> = spec
+            .projection
+            .iter()
+            .map(|c| LayoutCol::Base(*c))
+            .collect();
         let props = PlanProps {
             tables: node.props().tables,
             card: node.props().card,
@@ -175,7 +178,10 @@ mod tests {
         let c = b.table("customer");
         let o = b.table("orders");
         b.join(c, 0, o, 1);
-        b.aggregate(&[(c, 1)], vec![AggFunc::Sum(ColId::new(o, 2)), AggFunc::Count]);
+        b.aggregate(
+            &[(c, 1)],
+            vec![AggFunc::Sum(ColId::new(o, 2)), AggFunc::Count],
+        );
         b.order_by(1, true);
         let q = b.build().unwrap();
         let plan = optimize(&q, &ctx).unwrap();

@@ -66,9 +66,7 @@ pub fn place_checkpoints(
     est: &CardEstimator,
     ctx: &OptimizerContext<'_>,
 ) -> PhysNode {
-    if !ctx.config.flavors.any()
-        || plan.props().cost < ctx.config.check_cost_threshold
-    {
+    if !ctx.config.flavors.any() || plan.props().cost < ctx.config.check_cost_threshold {
         return plan;
     }
     let is_spj = est.spec().aggregate.is_none() && est.spec().side_effect.is_none();
@@ -172,9 +170,10 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
             outer,
             outer_key,
             inner,
-            props,
+            mut props,
         } => {
-            let outer_range = props.edge_ranges[0];
+            let outer_range = edge_range(&props, 0);
+            let outer_cost = outer.props().cost;
             let mut new_outer = rebuild(*outer, outer_range, st);
             let already_materialized = materialized_through_checks(&new_outer);
             // ECB below, LCEM above (§3.4: "couple both approaches,
@@ -185,19 +184,28 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
             }
             if flavors.lcem && !already_materialized {
                 new_outer = wrap_temp(new_outer, st);
-                new_outer = wrap_check(new_outer, CheckFlavor::Lcem, outer_range, CheckContext::NljnOuter, st);
+                new_outer = wrap_check(
+                    new_outer,
+                    CheckFlavor::Lcem,
+                    outer_range,
+                    CheckContext::NljnOuter,
+                    st,
+                );
             }
             // ECDC: a purely pipelined check on the outer edge (Figure 9's
             // P1/P2 split) — only when no blocking guard sits there already.
-            if flavors.ecdc
-                && st.is_spj
-                && !already_materialized
-                && !flavors.lcem
-                && !flavors.ecb
-            {
-                new_outer =
-                    wrap_check(new_outer, CheckFlavor::Ecdc, outer_range, CheckContext::Pipeline, st);
+            if flavors.ecdc && st.is_spj && !already_materialized && !flavors.lcem && !flavors.ecb {
+                new_outer = wrap_check(
+                    new_outer,
+                    CheckFlavor::Ecdc,
+                    outer_range,
+                    CheckContext::Pipeline,
+                    st,
+                );
             }
+            // Keep cumulative costs consistent: inserted checks/temps
+            // raised the subtree cost below us.
+            props.cost += new_outer.props().cost - outer_cost;
             let rebuilt = PhysNode::Nljn {
                 outer: Box::new(new_outer),
                 outer_key,
@@ -211,24 +219,39 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
             probe,
             build_keys,
             probe_keys,
-            props,
+            mut props,
         } => {
-            let build_range = props.edge_ranges[0];
-            let probe_range = props.edge_ranges[1];
+            let build_range = edge_range(&props, 0);
+            let probe_range = edge_range(&props, 1);
+            let build_cost = build.props().cost;
+            let probe_cost = probe.props().cost;
             let mut new_build = rebuild(*build, build_range, st);
             // The hash-join build is a materialization point: an LC on its
             // input edge costs nothing and fires when the build completes
             // (or overflows its range mid-build).
             if flavors.lc && !matches!(new_build, PhysNode::Check { .. }) {
-                new_build = wrap_check(new_build, CheckFlavor::Lc, build_range, CheckContext::HashBuild, st);
+                new_build = wrap_check(
+                    new_build,
+                    CheckFlavor::Lc,
+                    build_range,
+                    CheckContext::HashBuild,
+                    st,
+                );
             }
             let mut new_probe = rebuild(*probe, probe_range, st);
             // ECDC: the probe side streams to the consumer; a pipelined
             // check there catches probe-cardinality errors.
             if flavors.ecdc && st.is_spj && !matches!(new_probe, PhysNode::Check { .. }) {
-                new_probe =
-                    wrap_check(new_probe, CheckFlavor::Ecdc, probe_range, CheckContext::Pipeline, st);
+                new_probe = wrap_check(
+                    new_probe,
+                    CheckFlavor::Ecdc,
+                    probe_range,
+                    CheckContext::Pipeline,
+                    st,
+                );
             }
+            props.cost +=
+                (new_build.props().cost - build_cost) + (new_probe.props().cost - probe_cost);
             let rebuilt = PhysNode::Hsjn {
                 build: Box::new(new_build),
                 probe: Box::new(new_probe),
@@ -243,22 +266,34 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
             right,
             left_keys,
             right_keys,
-            props,
+            mut props,
         } => {
-            let lr = props.edge_ranges[0];
-            let rr = props.edge_ranges[1];
+            let lr = edge_range(&props, 0);
+            let rr = edge_range(&props, 1);
+            let left_cost = left.props().cost;
+            let right_cost = right.props().cost;
+            let new_left = rebuild(*left, lr, st);
+            let new_right = rebuild(*right, rr, st);
+            props.cost +=
+                (new_left.props().cost - left_cost) + (new_right.props().cost - right_cost);
             let rebuilt = PhysNode::Mgjn {
-                left: Box::new(rebuild(*left, lr, st)),
-                right: Box::new(rebuild(*right, rr, st)),
+                left: Box::new(new_left),
+                right: Box::new(new_right),
                 left_keys,
                 right_keys,
                 props,
             };
             maybe_ecdc(rebuilt, incoming, st)
         }
-        PhysNode::Sort { input, key, desc, props } => {
+        PhysNode::Sort {
+            input,
+            key,
+            desc,
+            mut props,
+        } => {
             // Ranges propagate through the count-preserving sort.
             let child_range = incoming.intersect(&edge_range(&props, 0));
+            let input_cost = input.props().cost;
             let mut new_input = rebuild(*input, child_range, st);
             if flavors.ecwc && !matches!(new_input, PhysNode::Check { .. }) {
                 new_input = wrap_check(
@@ -269,6 +304,7 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
                     st,
                 );
             }
+            props.cost += new_input.props().cost - input_cost;
             let rebuilt = PhysNode::Sort {
                 input: Box::new(new_input),
                 key,
@@ -276,13 +312,20 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
                 props,
             };
             if flavors.lc {
-                wrap_check(rebuilt, CheckFlavor::Lc, incoming, CheckContext::AboveSort, st)
+                wrap_check(
+                    rebuilt,
+                    CheckFlavor::Lc,
+                    incoming,
+                    CheckContext::AboveSort,
+                    st,
+                )
             } else {
                 rebuilt
             }
         }
-        PhysNode::Temp { input, props } => {
+        PhysNode::Temp { input, mut props } => {
             let child_range = incoming.intersect(&edge_range(&props, 0));
+            let input_cost = input.props().cost;
             let mut new_input = rebuild(*input, child_range, st);
             if flavors.ecwc && !matches!(new_input, PhysNode::Check { .. }) {
                 new_input = wrap_check(
@@ -293,29 +336,50 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
                     st,
                 );
             }
+            props.cost += new_input.props().cost - input_cost;
             let rebuilt = PhysNode::Temp {
                 input: Box::new(new_input),
                 props,
             };
             if flavors.lc {
-                wrap_check(rebuilt, CheckFlavor::Lc, incoming, CheckContext::AboveTemp, st)
+                wrap_check(
+                    rebuilt,
+                    CheckFlavor::Lc,
+                    incoming,
+                    CheckContext::AboveTemp,
+                    st,
+                )
             } else {
                 rebuilt
             }
         }
         // Count-preserving single-child wrappers: pass the range down.
-        PhysNode::Project { input, cols, props } => {
+        PhysNode::Project {
+            input,
+            cols,
+            mut props,
+        } => {
             let child_range = incoming.intersect(&edge_range(&props, 0));
+            let input_cost = input.props().cost;
+            let new_input = rebuild(*input, child_range, st);
+            props.cost += new_input.props().cost - input_cost;
             PhysNode::Project {
-                input: Box::new(rebuild(*input, child_range, st)),
+                input: Box::new(new_input),
                 cols,
                 props,
             }
         }
-        PhysNode::Insert { input, target, props } => {
+        PhysNode::Insert {
+            input,
+            target,
+            mut props,
+        } => {
             let child_range = incoming.intersect(&edge_range(&props, 0));
+            let input_cost = input.props().cost;
+            let new_input = rebuild(*input, child_range, st);
+            props.cost += new_input.props().cost - input_cost;
             PhysNode::Insert {
-                input: Box::new(rebuild(*input, child_range, st)),
+                input: Box::new(new_input),
                 target,
                 props,
             }
@@ -324,12 +388,15 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
             input,
             group_by,
             aggs,
-            props,
+            mut props,
         } => {
             // Aggregation changes counts: do not propagate incoming.
             let child_range = edge_range(&props, 0);
+            let input_cost = input.props().cost;
+            let new_input = rebuild(*input, child_range, st);
+            props.cost += new_input.props().cost - input_cost;
             PhysNode::HashAgg {
-                input: Box::new(rebuild(*input, child_range, st)),
+                input: Box::new(new_input),
                 group_by,
                 aggs,
                 props,
@@ -337,21 +404,48 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
         }
         // Count-changing wrappers above the aggregate: recurse, do not
         // propagate the incoming range.
-        PhysNode::SemiProbe { input, clause, props } => PhysNode::SemiProbe {
-            input: Box::new(rebuild(*input, edge_range(&props, 0), st)),
+        PhysNode::SemiProbe {
+            input,
             clause,
-            props,
-        },
-        PhysNode::Having { input, preds, props } => PhysNode::Having {
-            input: Box::new(rebuild(*input, edge_range(&props, 0), st)),
+            mut props,
+        } => {
+            let input_cost = input.props().cost;
+            let new_input = rebuild(*input, edge_range(&props, 0), st);
+            props.cost += new_input.props().cost - input_cost;
+            PhysNode::SemiProbe {
+                input: Box::new(new_input),
+                clause,
+                props,
+            }
+        }
+        PhysNode::Having {
+            input,
             preds,
-            props,
-        },
-        PhysNode::Limit { input, n, props } => PhysNode::Limit {
-            input: Box::new(rebuild(*input, edge_range(&props, 0), st)),
+            mut props,
+        } => {
+            let input_cost = input.props().cost;
+            let new_input = rebuild(*input, edge_range(&props, 0), st);
+            props.cost += new_input.props().cost - input_cost;
+            PhysNode::Having {
+                input: Box::new(new_input),
+                preds,
+                props,
+            }
+        }
+        PhysNode::Limit {
+            input,
             n,
-            props,
-        },
+            mut props,
+        } => {
+            let input_cost = input.props().cost;
+            let new_input = rebuild(*input, edge_range(&props, 0), st);
+            props.cost += new_input.props().cost - input_cost;
+            PhysNode::Limit {
+                input: Box::new(new_input),
+                n,
+                props,
+            }
+        }
         // Leaves and POP nodes (none exist pre-placement) stay as-is.
         other => {
             let _ = count_preserving(&other);
@@ -363,7 +457,13 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
 /// ECDC: eager check above a join in a pipelined SPJ plan.
 fn maybe_ecdc(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> PhysNode {
     if st.ctx.config.flavors.ecdc && st.is_spj {
-        wrap_check(node, CheckFlavor::Ecdc, incoming, CheckContext::Pipeline, st)
+        wrap_check(
+            node,
+            CheckFlavor::Ecdc,
+            incoming,
+            CheckContext::Pipeline,
+            st,
+        )
     } else {
         node
     }
@@ -380,9 +480,7 @@ fn edge_range(props: &pop_plan::PlanProps, edge: usize) -> ValidityRange {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        CardEstimator, CostModel, FeedbackCache, FlavorSet, JoinMethods, OptimizerConfig,
-    };
+    use crate::{CardEstimator, CostModel, FeedbackCache, FlavorSet, JoinMethods, OptimizerConfig};
     use pop_expr::Expr;
     use pop_plan::{CheckFlavor, QueryBuilder, QuerySpec};
     use pop_stats::StatsRegistry;
@@ -540,10 +638,7 @@ mod tests {
             matches!(plan, PhysNode::RidSink { .. }),
             "ECDC plans record returned rids at the root:\n{plan}"
         );
-        assert!(plan
-            .checks()
-            .iter()
-            .any(|c| c.flavor == CheckFlavor::Ecdc));
+        assert!(plan.checks().iter().any(|c| c.flavor == CheckFlavor::Ecdc));
     }
 
     #[test]

@@ -28,11 +28,7 @@ const BISECT_ITERS: usize = 20;
 /// Newton-Raphson of Figure 5. `diff(c) = cost_alt(c) - cost_opt(c)` must
 /// be positive at `est` (the optimum really is cheaper). Returns `None` if
 /// no crossing is found within `iters` Newton-Raphson steps.
-pub fn find_upper_crossing(
-    diff: impl Fn(f64) -> f64,
-    est: f64,
-    iters: usize,
-) -> Option<f64> {
+pub fn find_upper_crossing(diff: impl Fn(f64) -> f64, est: f64, iters: usize) -> Option<f64> {
     if est <= 0.0 || !est.is_finite() || est.is_nan() {
         return None;
     }
@@ -76,11 +72,7 @@ pub fn find_upper_crossing(
 /// Mirror of [`find_upper_crossing`] for shrinking cardinalities: the
 /// largest verified `c < est` with `diff(c) <= 0`. Returns `None` if no
 /// crossing exists down to (effectively) zero.
-pub fn find_lower_crossing(
-    diff: impl Fn(f64) -> f64,
-    est: f64,
-    iters: usize,
-) -> Option<f64> {
+pub fn find_lower_crossing(diff: impl Fn(f64) -> f64, est: f64, iters: usize) -> Option<f64> {
     if est <= 0.0 || !est.is_finite() || est.is_nan() {
         return None;
     }

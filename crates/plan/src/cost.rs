@@ -161,6 +161,9 @@ mod tests {
     #[test]
     fn temp_cost_covers_write_and_read() {
         let m = CostModel::default();
-        assert_eq!(m.temp_cost(100.0), 100.0 * (m.temp_write_row + m.temp_read_row));
+        assert_eq!(
+            m.temp_cost(100.0),
+            100.0 * (m.temp_write_row + m.temp_read_row)
+        );
     }
 }

@@ -48,7 +48,9 @@ fn render(node: &PhysNode, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Res
                 write!(f, " residual={e}")?;
             }
         }
-        PhysNode::MvScan { signature, mv_name, .. } => {
+        PhysNode::MvScan {
+            signature, mv_name, ..
+        } => {
             write!(f, "MVSCAN {mv_name} sig={}", short_hash(signature))?;
         }
         PhysNode::Nljn {
@@ -68,7 +70,10 @@ fn render(node: &PhysNode, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Res
             probe_keys,
             ..
         } => {
-            write!(f, "HSJN build_keys={build_keys:?} probe_keys={probe_keys:?}")?;
+            write!(
+                f,
+                "HSJN build_keys={build_keys:?} probe_keys={probe_keys:?}"
+            )?;
         }
         PhysNode::Mgjn {
             left_keys,
@@ -103,7 +108,11 @@ fn render(node: &PhysNode, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Res
             write!(
                 f,
                 "{} {} on {}.c{} = {}",
-                if clause.negated { "ANTIPROBE" } else { "SEMIPROBE" },
+                if clause.negated {
+                    "ANTIPROBE"
+                } else {
+                    "SEMIPROBE"
+                },
                 clause.table,
                 clause.table,
                 clause.inner_col,

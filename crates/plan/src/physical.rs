@@ -502,9 +502,7 @@ impl PhysNode {
         }
         match self {
             PhysNode::TableScan { table, qidx, .. } => out.push(format!("{table}#{qidx}")),
-            PhysNode::IndexRangeScan { table, qidx, .. } => {
-                out.push(format!("ix:{table}#{qidx}"))
-            }
+            PhysNode::IndexRangeScan { table, qidx, .. } => out.push(format!("ix:{table}#{qidx}")),
             PhysNode::MvScan { signature, .. } => {
                 out.push(format!("MV[{}]", short_hash(signature)))
             }

@@ -221,8 +221,7 @@ impl QuerySpec {
             for c in e.pred.iter().flat_map(|p| p.columns_used()) {
                 if c.table != 0 {
                     return Err(PopError::InvalidQuery(
-                        "EXISTS inner predicate must reference the inner table as table 0"
-                            .into(),
+                        "EXISTS inner predicate must reference the inner table as table 0".into(),
                     ));
                 }
             }
@@ -284,7 +283,6 @@ pub struct QueryBuilder {
     spec: QuerySpec,
 }
 
-
 impl QueryBuilder {
     /// Start an empty query.
     pub fn new() -> Self {
@@ -293,9 +291,7 @@ impl QueryBuilder {
 
     /// Add a table reference; returns its query table index.
     pub fn table(&mut self, name: impl Into<String>) -> usize {
-        self.spec.tables.push(TableRef {
-            table: name.into(),
-        });
+        self.spec.tables.push(TableRef { table: name.into() });
         self.spec.tables.len() - 1
     }
 
@@ -373,7 +369,12 @@ impl QueryBuilder {
     }
 
     /// Add a HAVING predicate: `output[pos] OP value`.
-    pub fn having(&mut self, pos: usize, op: CmpOp, value: impl Into<pop_types::Value>) -> &mut Self {
+    pub fn having(
+        &mut self,
+        pos: usize,
+        op: CmpOp,
+        value: impl Into<pop_types::Value>,
+    ) -> &mut Self {
         self.spec.having.push(HavingPred {
             pos,
             op,

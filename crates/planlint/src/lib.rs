@@ -1,0 +1,415 @@
+//! Static plan-invariant analyzer ("planlint") for POP physical plans.
+//!
+//! POP's correctness rests on invariants that are produced in one layer and
+//! consumed in another: validity ranges computed by the optimizer's
+//! sensitivity analysis (§2.2) must bracket the optimizer's own estimate,
+//! CHECK operators must be placed according to the Table 1 flavor rules
+//! (§3), operator layouts must compose so the executor's column binding
+//! cannot miss, and re-optimized plans may only reuse temporary MVs whose
+//! recorded schema matches the subplan they replace (§2.3). This crate
+//! checks all of them *statically*, between optimization and execution, so
+//! a malformed plan is rejected up front instead of surfacing as a wrong
+//! answer or a panic mid-query.
+//!
+//! Five passes run over the [`PhysNode`] tree:
+//!
+//! 1. **Schema/layout** (`PL0xx`) — every column reference in filters,
+//!    join keys, aggregates, projections and sort keys resolves against
+//!    the child's [`LayoutCol`] layout; every node's own output layout is
+//!    consistent with its children; types agree where they are knowable.
+//! 2. **Validity ranges** (`PL1xx`) — every [`CheckSpec`] and edge range
+//!    is non-empty, well-formed, and brackets the estimate at that edge.
+//! 3. **CHECK placement** (`PL2xx`) — the structural encoding of Table 1:
+//!    LC only above materialized inputs, LCEM as a CHECK-above-TEMP pair,
+//!    ECB only as BUFCHECK, ECWC only below a materialization point, ECDC
+//!    only under a rid side-table sink; checkpoint ids unique.
+//! 4. **Cost/cardinality sanity** (`PL3xx`) — cumulative cost is monotone
+//!    up the tree; estimates are finite and non-negative.
+//! 5. **MV reuse** (`PL4xx`) — every MVSCAN names a registered temp MV
+//!    whose recorded layout matches the scan's output layout.
+//!
+//! The analyzer is advisory: it returns a flat [`Vec<PlanDiagnostic>`]
+//! and never mutates the plan. The POP driver decides what to do with
+//! `Deny` findings (see `pop::LintMode`).
+
+#![forbid(unsafe_code)]
+
+mod cost;
+mod diag;
+mod layout;
+mod mv;
+mod placement;
+mod validity;
+
+pub use diag::{DiagCode, PlanDiagnostic, Severity};
+
+use pop_plan::{PhysNode, QuerySpec};
+use pop_storage::Catalog;
+
+/// Tunable behaviour of the analyzer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LintOptions {
+    /// Expect every materialization point (SORT/TEMP) to be guarded by a
+    /// checkpoint (`PL104`). Only meaningful when POP placed checkpoints
+    /// at all, so the rule stays quiet on plans with no checks (e.g. below
+    /// the cost threshold). The driver enables this when the LC flavor is
+    /// on.
+    pub expect_check_coverage: bool,
+}
+
+/// What the analyzer may consult besides the plan itself. Both references
+/// are optional: without a catalog the MV pass and type checks are
+/// skipped; without a query spec only layout-internal checks run.
+#[derive(Clone, Copy)]
+pub struct LintContext<'a> {
+    /// Catalog, for temp-MV lookups, inner-table schemas and column types.
+    pub catalog: Option<&'a Catalog>,
+    /// The query spec the plan was compiled from, for type resolution.
+    pub spec: Option<&'a QuerySpec>,
+    /// Options.
+    pub options: LintOptions,
+}
+
+impl std::fmt::Debug for LintContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LintContext")
+            .field("catalog", &self.catalog.is_some())
+            .field("spec", &self.spec.is_some())
+            .field("options", &self.options)
+            .finish()
+    }
+}
+
+impl<'a> LintContext<'a> {
+    /// Context with no external information: structural checks only.
+    pub fn bare() -> Self {
+        LintContext {
+            catalog: None,
+            spec: None,
+            options: LintOptions::default(),
+        }
+    }
+
+    /// Full context: catalog and query spec available.
+    pub fn full(catalog: &'a Catalog, spec: &'a QuerySpec) -> Self {
+        LintContext {
+            catalog: Some(catalog),
+            spec: Some(spec),
+            options: LintOptions::default(),
+        }
+    }
+
+    /// Set [`LintOptions::expect_check_coverage`].
+    pub fn expect_check_coverage(mut self, on: bool) -> Self {
+        self.options.expect_check_coverage = on;
+        self
+    }
+}
+
+/// One ancestor step of the walk: the ancestor node and which child edge
+/// the walk descended through.
+#[derive(Clone, Copy)]
+pub(crate) struct Frame<'a> {
+    pub(crate) node: &'a PhysNode,
+    pub(crate) child_idx: usize,
+}
+
+/// Collects diagnostics during the walk.
+pub(crate) struct Sink {
+    diags: Vec<PlanDiagnostic>,
+}
+
+impl Sink {
+    pub(crate) fn emit(
+        &mut self,
+        code: DiagCode,
+        node: &PhysNode,
+        path: &[usize],
+        message: String,
+    ) {
+        self.diags.push(PlanDiagnostic {
+            code,
+            severity: code.severity(),
+            node: node.name(),
+            path: render_path(path),
+            message,
+        });
+    }
+}
+
+/// Render a child-index path as `$`, `$.0`, `$.0.1`, ...
+fn render_path(path: &[usize]) -> String {
+    let mut s = String::from("$");
+    for i in path {
+        s.push('.');
+        s.push_str(&i.to_string());
+    }
+    s
+}
+
+/// Look through CHECK/BUFCHECK wrappers to the node they guard.
+pub(crate) fn through_checks(mut node: &PhysNode) -> &PhysNode {
+    while let PhysNode::Check { input, .. } | PhysNode::BufCheck { input, .. } = node {
+        node = input;
+    }
+    node
+}
+
+/// Run all five passes over `plan` and return every finding, in tree
+/// pre-order (whole-plan rules like duplicate-id detection come last).
+pub fn lint_plan(plan: &PhysNode, ctx: &LintContext<'_>) -> Vec<PlanDiagnostic> {
+    let mut sink = Sink { diags: Vec::new() };
+    let mut path: Vec<usize> = Vec::new();
+    let mut frames: Vec<Frame<'_>> = Vec::new();
+    walk(plan, ctx, &mut path, &mut frames, &mut sink);
+    placement::check_unique_ids(plan, &mut sink);
+    placement::check_coverage(plan, ctx, &mut sink);
+    sink.diags
+}
+
+/// True iff any finding is `Deny`-severity.
+pub fn has_deny(diags: &[PlanDiagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Deny)
+}
+
+/// The `Deny`-severity findings, rendered one per line (for error
+/// messages).
+pub fn deny_summary(diags: &[PlanDiagnostic]) -> String {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+fn walk<'a>(
+    node: &'a PhysNode,
+    ctx: &LintContext<'_>,
+    path: &mut Vec<usize>,
+    frames: &mut Vec<Frame<'a>>,
+    sink: &mut Sink,
+) {
+    layout::check_node(node, ctx, path, sink);
+    validity::check_node(node, path, sink);
+    placement::check_node(node, frames, path, sink);
+    cost::check_node(node, path, sink);
+    mv::check_node(node, ctx, path, sink);
+    for (i, child) in node.children().into_iter().enumerate() {
+        path.push(i);
+        frames.push(Frame { node, child_idx: i });
+        walk(child, ctx, path, frames, sink);
+        frames.pop();
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Builders for small (and deliberately broken) plans used across the
+    //! pass tests.
+
+    use pop_plan::{
+        CheckContext, CheckFlavor, CheckSpec, LayoutCol, PhysNode, PlanProps, TableSet,
+        ValidityRange,
+    };
+    use pop_types::ColId;
+
+    /// A scan of query table `qidx` with `ncols` columns.
+    pub fn leaf(qidx: usize, table: &str, ncols: usize, card: f64) -> PhysNode {
+        PhysNode::TableScan {
+            qidx,
+            table: table.into(),
+            pred: None,
+            props: PlanProps::leaf(
+                TableSet::single(qidx),
+                card,
+                card,
+                (0..ncols)
+                    .map(|c| LayoutCol::Base(ColId::new(qidx, c)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Hash join of two subplans on `(0,0) = (1,0)` with a correctly
+    /// composed layout.
+    pub fn hsjn(build: PhysNode, probe: PhysNode, card: f64) -> PhysNode {
+        let props = PlanProps {
+            tables: build.props().tables.union(probe.props().tables),
+            card,
+            cost: build.props().cost + probe.props().cost + card,
+            layout: build
+                .props()
+                .layout
+                .iter()
+                .chain(probe.props().layout.iter())
+                .cloned()
+                .collect(),
+            sorted_by: None,
+            edge_ranges: vec![ValidityRange::unbounded(), ValidityRange::unbounded()],
+        };
+        PhysNode::Hsjn {
+            build: Box::new(build),
+            probe: Box::new(probe),
+            build_keys: vec![ColId::new(0, 0)],
+            probe_keys: vec![ColId::new(1, 0)],
+            props,
+        }
+    }
+
+    /// A TEMP wrapper (pass-through layout, cost bumped).
+    pub fn temp(input: PhysNode) -> PhysNode {
+        let mut props = input.props().clone();
+        props.cost += props.card;
+        props.edge_ranges = vec![ValidityRange::unbounded()];
+        PhysNode::Temp {
+            input: Box::new(input),
+            props,
+        }
+    }
+
+    /// A CHECK wrapper with the given flavor/context and a range
+    /// bracketing the input's estimate.
+    pub fn check(input: PhysNode, flavor: CheckFlavor, context: CheckContext) -> PhysNode {
+        let est = input.props().card;
+        check_with_range(
+            input,
+            flavor,
+            context,
+            ValidityRange::new(0.0, est * 10.0 + 10.0),
+        )
+    }
+
+    /// A CHECK wrapper with an explicit range.
+    pub fn check_with_range(
+        input: PhysNode,
+        flavor: CheckFlavor,
+        context: CheckContext,
+        range: ValidityRange,
+    ) -> PhysNode {
+        let mut props = input.props().clone();
+        props.cost += props.card;
+        props.edge_ranges = vec![range];
+        PhysNode::Check {
+            spec: CheckSpec {
+                id: 0,
+                flavor,
+                range,
+                est_card: input.props().card,
+                signature: "sig".into(),
+                context,
+            },
+            input: Box::new(input),
+            props,
+        }
+    }
+
+    /// Diagnostics of a given code within a finding list.
+    pub fn codes(diags: &[crate::PlanDiagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+    use pop_expr::{Expr, Params};
+    use pop_optimizer::{optimize, FeedbackCache, FlavorSet, OptimizerConfig, OptimizerContext};
+    use pop_plan::{CostModel, QueryBuilder};
+    use pop_stats::StatsRegistry;
+    use pop_storage::IndexKind;
+    use pop_types::{DataType, Schema, Value};
+
+    fn setup() -> (Catalog, StatsRegistry) {
+        let cat = Catalog::new();
+        cat.create_table(
+            "customer",
+            Schema::from_pairs(&[("id", DataType::Int), ("grp", DataType::Int)]),
+            (0..200)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 20)])
+                .collect(),
+        )
+        .unwrap();
+        cat.create_table(
+            "orders",
+            Schema::from_pairs(&[("oid", DataType::Int), ("cust", DataType::Int)]),
+            (0..20_000)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 200)])
+                .collect(),
+        )
+        .unwrap();
+        cat.create_index("orders", "cust", IndexKind::Hash).unwrap();
+        let stats = StatsRegistry::new();
+        stats.analyze_all(&cat).unwrap();
+        (cat, stats)
+    }
+
+    fn optimize_with(flavors: FlavorSet) -> (Catalog, pop_plan::QuerySpec, PhysNode) {
+        let (cat, stats) = setup();
+        let cfg = OptimizerConfig {
+            flavors,
+            ..OptimizerConfig::default()
+        };
+        let cost = CostModel::default();
+        let fb = FeedbackCache::new();
+        let mut b = QueryBuilder::new();
+        let c = b.table("customer");
+        let o = b.table("orders");
+        b.join(c, 0, o, 1);
+        b.filter(c, Expr::col(c, 1).eq(Expr::lit(3i64)));
+        let q = b.build().unwrap();
+        let params = Params::none();
+        let plan = {
+            let octx = OptimizerContext::new(&cat, &stats, &cfg, &cost, Some(&params), &fb);
+            optimize(&q, &octx).unwrap()
+        };
+        (cat, q, plan)
+    }
+
+    #[test]
+    fn real_plan_lints_clean() {
+        let (cat, q, plan) = optimize_with(FlavorSet::default());
+        let ctx = LintContext::full(&cat, &q).expect_check_coverage(true);
+        let diags = lint_plan(&plan, &ctx);
+        assert!(diags.is_empty(), "expected no findings, got: {diags:?}");
+    }
+
+    #[test]
+    fn real_plan_lints_clean_with_all_flavors() {
+        let (cat, q, plan) = optimize_with(FlavorSet {
+            lc: true,
+            lcem: true,
+            ecb: true,
+            ecwc: true,
+            ecdc: true,
+        });
+        let ctx = LintContext::full(&cat, &q).expect_check_coverage(true);
+        let diags = lint_plan(&plan, &ctx);
+        assert!(diags.is_empty(), "expected no findings, got: {diags:?}");
+    }
+
+    #[test]
+    fn well_formed_handbuilt_plan_is_clean() {
+        let plan = hsjn(leaf(0, "a", 2, 100.0), leaf(1, "b", 2, 1000.0), 500.0);
+        assert!(lint_plan(&plan, &LintContext::bare()).is_empty());
+    }
+
+    #[test]
+    fn deny_helpers() {
+        let mut bad = hsjn(leaf(0, "a", 2, 100.0), leaf(1, "b", 2, 1000.0), 500.0);
+        bad.props_mut().card = f64::NAN;
+        let diags = lint_plan(&bad, &LintContext::bare());
+        assert!(has_deny(&diags));
+        assert!(deny_summary(&diags).contains("PL302"));
+        let good = hsjn(leaf(0, "a", 2, 100.0), leaf(1, "b", 2, 1000.0), 500.0);
+        assert!(!has_deny(&lint_plan(&good, &LintContext::bare())));
+    }
+
+    #[test]
+    fn path_rendering() {
+        assert_eq!(render_path(&[]), "$");
+        assert_eq!(render_path(&[0, 1]), "$.0.1");
+    }
+}

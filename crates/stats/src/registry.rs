@@ -14,6 +14,14 @@ pub struct StatsRegistry {
     inner: Arc<RwLock<HashMap<String, Arc<TableStats>>>>,
 }
 
+impl std::fmt::Debug for StatsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatsRegistry")
+            .field("tables", &self.inner.read().len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl StatsRegistry {
     /// Empty registry.
     pub fn new() -> Self {
@@ -24,9 +32,7 @@ impl StatsRegistry {
     pub fn analyze(&self, catalog: &Catalog, table: &str) -> PopResult<Arc<TableStats>> {
         let t = catalog.table(table)?;
         let stats = Arc::new(analyze_table(&t));
-        self.inner
-            .write()
-            .insert(table.to_string(), stats.clone());
+        self.inner.write().insert(table.to_string(), stats.clone());
         Ok(stats)
     }
 

@@ -94,7 +94,10 @@ fn estimate(
         Expr::Like(e, pattern) => {
             // A leading literal prefix narrows the match; otherwise default.
             let _ = e;
-            let prefix_len = pattern.chars().take_while(|c| *c != '%' && *c != '_').count();
+            let prefix_len = pattern
+                .chars()
+                .take_while(|c| *c != '%' && *c != '_')
+                .count();
             match prefix_len {
                 0 => defaults.like,
                 1 => defaults.like * 0.8,
@@ -276,12 +279,7 @@ mod tests {
     fn flipped_comparison() {
         let st = stats();
         // 49 >= col  ==  col <= 49
-        let s = estimate_selectivity(
-            &Expr::lit(49i64).ge(Expr::col(0, 0)),
-            &st,
-            &d(),
-            None,
-        );
+        let s = estimate_selectivity(&Expr::lit(49i64).ge(Expr::col(0, 0)), &st, &d(), None);
         assert!((s - 0.5).abs() < 0.06, "got {s}");
     }
 
@@ -370,12 +368,7 @@ mod tests {
             .map(|i| vec![if i < 3 { Value::Null } else { Value::Int(i) }])
             .collect();
         let st = crate::analyze_table(&Table::new(0, "t", schema, rows));
-        let s = estimate_selectivity(
-            &Expr::IsNull(Box::new(Expr::col(0, 0))),
-            &st,
-            &d(),
-            None,
-        );
+        let s = estimate_selectivity(&Expr::IsNull(Box::new(Expr::col(0, 0))), &st, &d(), None);
         assert!((s - 0.3).abs() < 1e-9);
     }
 }

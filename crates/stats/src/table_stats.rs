@@ -141,7 +141,11 @@ mod tests {
                 vec![
                     Value::Int(i % 10),
                     Value::str(format!("s{}", i % 4)),
-                    if i % 5 == 0 { Value::Null } else { Value::Int(i) },
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i)
+                    },
                 ]
             })
             .collect();

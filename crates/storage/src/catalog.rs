@@ -25,6 +25,15 @@ pub struct Catalog {
     inner: Arc<RwLock<Inner>>,
 }
 
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Catalog")
+            .field("tables", &self.table_names())
+            .field("temp_mvs", &self.temp_mv_count())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Catalog {
     /// Empty catalog.
     pub fn new() -> Self {
@@ -280,7 +289,8 @@ mod tests {
             .create_table("t", schema(), vec![vec![Value::Int(1), Value::str("x")]])
             .unwrap();
         cat.create_index("t", "a", IndexKind::Hash).unwrap();
-        t.insert(vec![vec![Value::Int(2), Value::str("y")]]).unwrap();
+        t.insert(vec![vec![Value::Int(2), Value::str("y")]])
+            .unwrap();
         // Stale: the new row is invisible to the old index.
         let idx = cat.find_index(t.id(), 0, false).unwrap();
         assert!(idx.probe(&Value::Int(2)).is_empty());

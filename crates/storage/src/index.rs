@@ -139,7 +139,9 @@ mod tests {
     fn sorted_probe_and_range() {
         let idx = Index::build(IndexKind::Sorted, 0, &rows());
         assert_eq!(idx.probe(&Value::Int(3)), &[1]);
-        let r = idx.range(Some(&Value::Int(3)), Some(&Value::Int(5))).unwrap();
+        let r = idx
+            .range(Some(&Value::Int(3)), Some(&Value::Int(5)))
+            .unwrap();
         assert_eq!(r, vec![1, 0, 2]);
         let r = idx.range(None, Some(&Value::Int(4))).unwrap();
         assert_eq!(r, vec![1]);

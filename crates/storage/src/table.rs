@@ -101,7 +101,8 @@ mod tests {
     fn snapshot_isolated_from_insert() {
         let t = table();
         let snap = t.snapshot();
-        t.insert(vec![vec![Value::Int(3), Value::str("z")]]).unwrap();
+        t.insert(vec![vec![Value::Int(3), Value::str("z")]])
+            .unwrap();
         assert_eq!(snap.len(), 2);
         assert_eq!(t.row_count(), 3);
     }

@@ -15,7 +15,11 @@ fn schema() -> Schema {
 fn snapshots_are_immune_to_concurrent_inserts() {
     let cat = Catalog::new();
     let t = cat
-        .create_table("t", schema(), (0..1000).map(|i| vec![Value::Int(i)]).collect())
+        .create_table(
+            "t",
+            schema(),
+            (0..1000).map(|i| vec![Value::Int(i)]).collect(),
+        )
         .unwrap();
     let snap = t.snapshot();
     let handles: Vec<_> = (0..4)
@@ -23,7 +27,8 @@ fn snapshots_are_immune_to_concurrent_inserts() {
             let t = t.clone();
             thread::spawn(move || {
                 for i in 0..250 {
-                    t.insert(vec![vec![Value::Int(10_000 + k * 1000 + i)]]).unwrap();
+                    t.insert(vec![vec![Value::Int(10_000 + k * 1000 + i)]])
+                        .unwrap();
                 }
             })
         })

@@ -36,7 +36,13 @@ const NATIONS: [(&str, i64); 25] = [
     ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
@@ -168,7 +174,7 @@ impl TpchGen {
                 vec![
                     Value::Int(i as i64),
                     Value::Int(rng.gen_range(0..sz.customer as i64)),
-                    Value::str(["F", "O", "P"][rng.gen_range(0..3)]),
+                    Value::str(["F", "O", "P"][rng.gen_range(0..3usize)]),
                     Value::Float((rng.gen_range(1_000..=500_000) as f64) / 100.0),
                     Value::Date(rng.gen_range(0..DATE_RANGE)),
                     Value::str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]),
@@ -202,7 +208,11 @@ impl TpchGen {
                 vec![
                     Value::Int(i as i64),
                     Value::str(format!("{w1} {w2} part")),
-                    Value::str(format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5))),
+                    Value::str(format!(
+                        "Brand#{}{}",
+                        rng.gen_range(1..=5),
+                        rng.gen_range(1..=5)
+                    )),
                     Value::str(ptype),
                     Value::Int(rng.gen_range(1..=50)),
                     Value::Float((rng.gen_range(90_000..=200_000) as f64) / 100.0),

@@ -192,7 +192,10 @@ pub fn q22() -> QuerySpec {
     b.not_exists("orders", (c, customer::CUSTKEY), orders::CUSTKEY, None);
     b.aggregate(
         &[(n, nation::NAME)],
-        vec![AggFunc::Count, AggFunc::Sum(ColId::new(c, customer::ACCTBAL))],
+        vec![
+            AggFunc::Count,
+            AggFunc::Sum(ColId::new(c, customer::ACCTBAL)),
+        ],
     );
     b.order_by(0, false);
     build(b)
@@ -235,8 +238,14 @@ pub fn q3() -> QuerySpec {
         c,
         Expr::col(c, customer::MKTSEGMENT).eq(Expr::lit("BUILDING")),
     );
-    b.filter(o, Expr::col(o, orders::ORDERDATE).lt(Expr::lit(Value::Date(1200))));
-    b.filter(l, Expr::col(l, lineitem::SHIPDATE).gt(Expr::lit(Value::Date(1200))));
+    b.filter(
+        o,
+        Expr::col(o, orders::ORDERDATE).lt(Expr::lit(Value::Date(1200))),
+    );
+    b.filter(
+        l,
+        Expr::col(l, lineitem::SHIPDATE).gt(Expr::lit(Value::Date(1200))),
+    );
     b.aggregate(
         &[(l, lineitem::ORDERKEY)],
         vec![AggFunc::Sum(ColId::new(l, lineitem::EXTENDEDPRICE))],
@@ -254,10 +263,8 @@ pub fn q4() -> QuerySpec {
     b.join(o, orders::ORDERKEY, l, lineitem::ORDERKEY);
     b.filter(
         o,
-        Expr::col(o, orders::ORDERDATE).between(
-            Expr::lit(Value::Date(800)),
-            Expr::lit(Value::Date(890)),
-        ),
+        Expr::col(o, orders::ORDERDATE)
+            .between(Expr::lit(Value::Date(800)), Expr::lit(Value::Date(890))),
     );
     // l_commitdate < l_receiptdate: a column-column predicate the
     // optimizer can only default-estimate — an estimation-error source.

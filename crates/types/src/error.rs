@@ -25,6 +25,9 @@ pub enum PopError {
     InvalidQuery(String),
     /// The optimizer could not produce a plan.
     Planning(String),
+    /// A produced physical plan violates a structural invariant (caught by
+    /// static plan verification before execution).
+    InvalidPlan(String),
     /// A runtime execution failure.
     Execution(String),
     /// Catalog manipulation failure (e.g. duplicate table name).
@@ -40,6 +43,7 @@ impl fmt::Display for PopError {
             PopError::UnboundParameter(i) => write!(f, "unbound parameter marker ?{i}"),
             PopError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
             PopError::Planning(m) => write!(f, "planning failed: {m}"),
+            PopError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
             PopError::Execution(m) => write!(f, "execution failed: {m}"),
             PopError::Catalog(m) => write!(f, "catalog error: {m}"),
         }

@@ -268,10 +268,7 @@ mod tests {
     fn sql_cmp_null_is_unknown() {
         assert_eq!(Value::Null.sql_cmp(&Value::Int(3)), None);
         assert_eq!(Value::Int(3).sql_cmp(&Value::Null), None);
-        assert_eq!(
-            Value::Int(3).sql_cmp(&Value::Int(3)),
-            Some(Ordering::Equal)
-        );
+        assert_eq!(Value::Int(3).sql_cmp(&Value::Int(3)), Some(Ordering::Equal));
     }
 
     #[test]

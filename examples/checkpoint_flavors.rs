@@ -46,7 +46,8 @@ fn db() -> Catalog {
     )
     .unwrap();
     cat.create_index("orders", "cust", IndexKind::Hash).unwrap();
-    cat.create_index("customer", "cid", IndexKind::Hash).unwrap();
+    cat.create_index("customer", "cid", IndexKind::Hash)
+        .unwrap();
     cat
 }
 

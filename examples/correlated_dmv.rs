@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             best = (q.name.clone(), speedup);
         }
     }
-    println!("\n{improved}/39 queries improved; best: {} at {:.2}x", best.0, best.1);
+    println!(
+        "\n{improved}/39 queries improved; best: {} at {:.2}x",
+        best.0, best.1
+    );
     println!(
         "whole workload: {:.0} work units with POP vs {:.0} without ({:.1}% saved)",
         total_pop,

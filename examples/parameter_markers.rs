@@ -15,8 +15,8 @@ use pop_types::Value;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sf = 0.002; // 12k lineitems
-    // Default selectivity for the marker predicate: highly selective, as
-    // for an indexed column (see EXPERIMENTS.md, Figure 11).
+                    // Default selectivity for the marker predicate: highly selective, as
+                    // for an indexed column (see EXPERIMENTS.md, Figure 11).
     let mut with_pop = PopConfig::default();
     with_pop.optimizer.selectivity_defaults.range = 0.015;
     let mut without_pop = PopConfig::without_pop();
@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // true selectivity (quantity is uniform in 1..=50).
     let query = q10();
 
-    println!("{:>6} {:>10} {:>14} {:>14} {:>8}", "bound", "sel(true)", "work with POP", "work w/o POP", "reopts");
+    println!(
+        "{:>6} {:>10} {:>14} {:>14} {:>8}",
+        "bound", "sel(true)", "work with POP", "work w/o POP", "reopts"
+    );
     for bound in [2i64, 10, 25, 50] {
         let params = Params::new(vec![Value::Int(bound)]);
         let a = pop_exec.run(&query, &params)?;

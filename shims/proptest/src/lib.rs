@@ -1,0 +1,407 @@
+//! Offline shim for `proptest`.
+//!
+//! The build container cannot fetch crates.io, so this crate provides a
+//! deterministic, non-shrinking subset of the proptest API the workspace
+//! uses: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`,
+//! `prop_oneof!`, `Just`, `any`, range and string-pattern strategies,
+//! `prop::collection::{vec, btree_set}`, `prop::option::of`, tuple
+//! strategies and `.prop_map`.
+//!
+//! Semantics differences vs. upstream worth knowing:
+//! * no shrinking — a failing case reports its inputs via the panic
+//!   message of the assertion that fired;
+//! * the default number of cases is 64 (upstream: 256) to keep the suite
+//!   fast on small CI machines; `ProptestConfig::with_cases` overrides;
+//! * string strategies accept only the `[class]{m,n}` / `\PC{m,n}`
+//!   pattern shapes the workspace actually uses.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-balanced, wide-magnitude floats.
+            let unit = ((rng.next_u64() >> 11) as f64) / (1u64 << 53) as f64;
+            let mag = (unit * 600.0) - 300.0; // exponent in [-300, 300)
+            let mantissa = ((rng.next_u64() >> 11) as f64) / (1u64 << 53) as f64;
+            (mantissa * 2.0 - 1.0) * 10f64.powf(mag / 10.0)
+        }
+    }
+
+    /// Strategy wrapper returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `sizes`.
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    /// `Vec` of values from `element`, with length in `sizes`
+    /// (half-open, like upstream's `SizeRange` from a `Range`).
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.sizes.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    /// `BTreeSet` of values from `element`; the target size is drawn from
+    /// `sizes`, and duplicates may make the realized set smaller.
+    pub fn btree_set<S>(element: S, sizes: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, sizes }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.usize_in(self.sizes.clone());
+            let mut out = BTreeSet::new();
+            // Bounded attempts: sparse domains may not reach the target.
+            for _ in 0..target.saturating_mul(4) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        sizes: Range<usize>,
+    }
+
+    /// `BTreeMap` with keys/values from the given strategies.
+    pub fn btree_map<K, V>(key: K, value: V, sizes: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { key, value, sizes }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = rng.usize_in(self.sizes.clone());
+            let mut out = BTreeMap::new();
+            for _ in 0..target.saturating_mul(4) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` about a quarter of the time, otherwise `Some` of `element`.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` path used by `use proptest::prelude::*` call sites.
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert inside a property. Like upstream, this returns
+/// `Err(TestCaseError)` from the enclosing function rather than
+/// panicking, so it composes with `?` and helper closures returning
+/// [`test_runner::TestCaseResult`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right` (left: `{:?}`, right: `{:?}`)",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right` (left: `{:?}`, right: `{:?}`): {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right` (both: `{:?}`)",
+            left
+        );
+    }};
+}
+
+/// Skip cases not meeting a precondition (they are not counted as runs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The `proptest!` test-block macro: runs each property over
+/// `ProptestConfig::cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut ran: u32 = 0;
+                // Rejected cases (prop_assume!) retry with fresh inputs,
+                // up to a bounded number of attempts.
+                for _attempt in 0..config.cases.saturating_mul(16) {
+                    if ran >= config.cases {
+                        break;
+                    }
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                    let case = move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    let outcome: $crate::test_runner::TestCaseResult = case();
+                    match outcome {
+                        Ok(()) => ran += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property {} failed: {}", stringify!($name), msg)
+                        }
+                    }
+                }
+                assert!(
+                    ran > 0,
+                    "property {}: every generated case was rejected",
+                    stringify!($name)
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),*) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0i64..10, 5u32..6), flag in any::<bool>()) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert_eq!(b, 5);
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_and_oneof(
+            v in prop::collection::vec(prop::option::of(0i64..3), 0..8),
+            x in prop_oneof![Just(1i64), 10i64..20, any::<i64>().prop_map(|n| n.wrapping_abs())],
+        ) {
+            prop_assert!(v.len() < 8);
+            for item in v.iter().flatten() {
+                prop_assert!((0..3).contains(item));
+            }
+            let _ = x;
+        }
+
+        #[test]
+        fn string_patterns(s in "[ab]{0,4}", t in "\\PC{0,5}") {
+            prop_assert!(s.len() <= 4);
+            prop_assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+            prop_assert!(t.chars().count() <= 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn config_is_respected(seen in 0i64..100) {
+            let _ = seen;
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(0i64..1000, 3..10);
+        let a: Vec<i64> = s.generate(&mut TestRng::from_name("x"));
+        let b: Vec<i64> = s.generate(&mut TestRng::from_name("x"));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,210 @@
+//! The [`Strategy`] trait and the primitive strategies: constants, maps,
+//! unions, numeric ranges, tuples and string patterns.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A boxed, type-erased strategy (what `.boxed()` returns).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (what `prop_oneof!` builds).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options`; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.usize_in(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.sample(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.sample(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.sample(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.sample(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// String literals are pattern strategies. Supported shapes (the ones
+/// this workspace uses): `[class]{m,n}` where the class mixes literal
+/// characters and `a-z` ranges, and `\PC{m,n}` for printable characters.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, reps) = parse_pattern(self);
+        let len = rng.usize_in(reps.0..reps.1 + 1);
+        (0..len)
+            .map(|_| alphabet[rng.usize_in(0..alphabet.len())])
+            .collect()
+    }
+}
+
+/// Split a pattern into its alphabet and `(min, max)` repetition counts.
+fn parse_pattern(pat: &str) -> (Vec<char>, (usize, usize)) {
+    let (alphabet, rest) = if let Some(body) = pat.strip_prefix('[') {
+        let close = body.find(']').unwrap_or_else(|| bad_pattern(pat));
+        (parse_class(&body[..close], pat), &body[close + 1..])
+    } else if let Some(rest) = pat.strip_prefix("\\PC") {
+        // Printable ASCII, like upstream's \PC minus exotic unicode.
+        ((0x20u8..0x7f).map(char::from).collect(), rest)
+    } else {
+        bad_pattern(pat)
+    };
+    (alphabet, parse_reps(rest, pat))
+}
+
+/// Expand a character class body: literal chars plus `a-z` style ranges.
+fn parse_class(body: &str, pat: &str) -> Vec<char> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            if lo > hi {
+                bad_pattern(pat)
+            }
+            out.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    if out.is_empty() {
+        bad_pattern(pat)
+    }
+    out
+}
+
+/// Parse the `{m,n}` suffix.
+fn parse_reps(rest: &str, pat: &str) -> (usize, usize) {
+    let body = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| bad_pattern(pat));
+    let (lo, hi) = body.split_once(',').unwrap_or_else(|| bad_pattern(pat));
+    let lo: usize = lo.trim().parse().unwrap_or_else(|_| bad_pattern(pat));
+    let hi: usize = hi.trim().parse().unwrap_or_else(|_| bad_pattern(pat));
+    assert!(lo <= hi, "bad repetition range in pattern {pat:?}");
+    (lo, hi)
+}
+
+fn bad_pattern(pat: &str) -> ! {
+    panic!(
+        "proptest shim: unsupported string pattern {pat:?} \
+         (supported: \"[class]{{m,n}}\" and \"\\\\PC{{m,n}}\")"
+    )
+}

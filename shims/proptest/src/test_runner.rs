@@ -1,0 +1,100 @@
+//! Test configuration and the deterministic RNG driving generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+use std::ops::Range;
+
+/// Why a single test case did not pass: a failed assertion, or a
+/// `prop_assume!` rejection (the case is skipped, not failed).
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed with this message.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` of this condition.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection of the given condition.
+    pub fn reject(cond: impl Into<String>) -> Self {
+        TestCaseError::Reject(cond.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(c) => write!(f, "rejected: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Outcome of one test case; `prop_assert!` returns early with `Err`.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (shim of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the suite quick on the small
+        // CI machines this shim targets while still exercising variety.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generation RNG: each property gets a stream seeded from
+/// its own name, so failures reproduce run-to-run and test order does not
+/// perturb the values any property sees.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seed a stream from a property name (FNV-1a over the name bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// The next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw from any range the `rand` shim can sample.
+    pub fn sample<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        self.0.gen_range(range)
+    }
+
+    /// Uniform `usize` from a possibly-empty half-open range (empty
+    /// ranges — e.g. a `0..0` collection size — yield the start).
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        if range.is_empty() {
+            range.start
+        } else {
+            self.0.gen_range(range)
+        }
+    }
+}

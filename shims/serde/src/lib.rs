@@ -1,0 +1,175 @@
+//! Offline shim for `serde`, reduced to what this workspace needs:
+//! a [`Serialize`] trait that lowers values to an in-memory
+//! [`JsonValue`] tree, plus `#[derive(Serialize)]` for plain structs
+//! (provided by the sibling `serde_derive` proc-macro shim).
+//!
+//! `serde_json` (also shimmed) renders the tree to text.
+
+// The derive emits `impl serde::Serialize`; make that path resolve even
+// inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// An in-memory JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (rendered like Rust's `{}` for the source type).
+    Number(String),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Types that can lower themselves to a [`JsonValue`].
+pub trait Serialize {
+    /// Lower to a JSON tree.
+    fn to_json_value(&self) -> JsonValue;
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Number(self.to_string())
+            }
+        }
+    )*};
+}
+
+serialize_int!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, usize, isize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue {
+                if self.is_finite() {
+                    JsonValue::Number(format!("{self}"))
+                } else {
+                    // JSON has no Inf/NaN; serde_json emits null.
+                    JsonValue::Null
+                }
+            }
+        }
+    )*};
+}
+
+serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(3i64.to_json_value(), JsonValue::Number("3".into()));
+        assert_eq!(2.5f64.to_json_value(), JsonValue::Number("2.5".into()));
+        assert_eq!(f64::NAN.to_json_value(), JsonValue::Null);
+        assert_eq!(true.to_json_value(), JsonValue::Bool(true));
+        assert_eq!(
+            Some("x".to_string()).to_json_value(),
+            JsonValue::String("x".into())
+        );
+        assert_eq!(None::<f64>.to_json_value(), JsonValue::Null);
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(
+            vec![1u64, 2].to_json_value(),
+            JsonValue::Array(vec![
+                JsonValue::Number("1".into()),
+                JsonValue::Number("2".into())
+            ])
+        );
+    }
+
+    #[test]
+    fn derive_named_struct() {
+        #[derive(Serialize)]
+        struct S {
+            a: i64,
+            b: String,
+            c: Vec<f64>,
+        }
+        let v = S {
+            a: 1,
+            b: "hi".into(),
+            c: vec![0.5],
+        }
+        .to_json_value();
+        assert_eq!(
+            v,
+            JsonValue::Object(vec![
+                ("a".into(), JsonValue::Number("1".into())),
+                ("b".into(), JsonValue::String("hi".into())),
+                (
+                    "c".into(),
+                    JsonValue::Array(vec![JsonValue::Number("0.5".into())])
+                ),
+            ])
+        );
+    }
+}

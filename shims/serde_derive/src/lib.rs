@@ -1,0 +1,90 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` for structs
+//! with named fields, written directly against `proc_macro` (the build
+//! container cannot fetch `syn`/`quote`).
+//!
+//! The generated impl lowers each field in declaration order into a
+//! `serde::JsonValue::Object`. Enums, tuple structs, generics and serde
+//! attributes are not supported — the workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, fields) = parse_struct(&tokens);
+    let mut pushes = String::new();
+    for f in &fields {
+        pushes.push_str(&format!(
+            "fields.push((\"{f}\".to_string(), serde::Serialize::to_json_value(&self.{f})));\n"
+        ));
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> serde::JsonValue {{\n\
+                 let mut fields: Vec<(String, serde::JsonValue)> = Vec::new();\n\
+                 {pushes}\
+                 serde::JsonValue::Object(fields)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Extract the struct name and its field names from the token stream.
+fn parse_struct(tokens: &[TokenTree]) -> (String, Vec<String>) {
+    let mut iter = tokens.iter().peekable();
+    // Skip attributes and visibility up to the `struct` keyword.
+    for tt in iter.by_ref() {
+        if matches!(tt, TokenTree::Ident(i) if i.to_string() == "struct") {
+            break;
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("derive(Serialize): expected struct name, got {other:?}"),
+    };
+    let body = iter
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("derive(Serialize): struct {name} must have named fields"));
+    (name, field_names(body))
+}
+
+/// Field names: the identifier immediately before each top-level single
+/// `:` (the `::` of type paths is recognized by its joint spacing and
+/// skipped).
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut depth = 0usize; // inside generic angle brackets of a field type
+    let mut last_ident: Option<String> = None;
+    let mut in_path_sep = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ':' if in_path_sep => in_path_sep = false,
+                ':' if p.spacing() == proc_macro::Spacing::Joint => in_path_sep = true,
+                ':' if depth == 0 => {
+                    if let Some(name) = last_ident.take() {
+                        names.push(name);
+                    }
+                }
+                ',' if depth == 0 => last_ident = None,
+                _ => {}
+            },
+            TokenTree::Ident(i) => {
+                let s = i.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}

@@ -1,0 +1,161 @@
+//! Offline shim for `serde_json`: renders the serde shim's
+//! [`JsonValue`] tree as (pretty) JSON text.
+
+use serde::{JsonValue, Serialize};
+use std::fmt;
+
+/// Serialization error. The shim's rendering is infallible, but the type
+/// keeps call sites (`serde_json::to_string_pretty(..)?` / `match`) intact.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Render a value as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_json_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Render a value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(&value.to_json_value(), &mut out);
+    Ok(out)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn write_value(v: &JsonValue, level: usize, out: &mut String) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Number(n) => out.push_str(n),
+        JsonValue::String(s) => write_escaped(s, out),
+        JsonValue::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                indent(level + 1, out);
+                write_value(item, level + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(level, out);
+            out.push(']');
+        }
+        JsonValue::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, item)) in fields.iter().enumerate() {
+                indent(level + 1, out);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_value(item, level + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(level, out);
+            out.push('}');
+        }
+    }
+}
+
+fn write_compact(v: &JsonValue, out: &mut String) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Number(n) => out.push_str(n),
+        JsonValue::String(s) => write_escaped(s, out),
+        JsonValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(fields) => {
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Point {
+        x: f64,
+        label: String,
+    }
+
+    #[test]
+    fn pretty_roundtrip_shape() {
+        let p = Point {
+            x: 1.5,
+            label: "a\"b".into(),
+        };
+        let s = to_string_pretty(&p).unwrap();
+        assert_eq!(s, "{\n  \"x\": 1.5,\n  \"label\": \"a\\\"b\"\n}");
+        assert_eq!(to_string(&p).unwrap(), "{\"x\":1.5,\"label\":\"a\\\"b\"}");
+    }
+
+    #[test]
+    fn arrays_and_empties() {
+        assert_eq!(to_string_pretty(&Vec::<i64>::new()).unwrap(), "[]");
+        assert_eq!(to_string(&vec![1i64, 2]).unwrap(), "[1,2]");
+    }
+}

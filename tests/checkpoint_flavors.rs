@@ -40,7 +40,8 @@ fn correlated_db() -> Catalog {
     )
     .unwrap();
     cat.create_index("orders", "cust", IndexKind::Hash).unwrap();
-    cat.create_index("customer", "cid", IndexKind::Hash).unwrap();
+    cat.create_index("customer", "cid", IndexKind::Hash)
+        .unwrap();
     cat
 }
 

@@ -2,8 +2,8 @@
 //! with and without POP.
 
 use pop::{PopConfig, PopExecutor};
-use pop_expr::Params;
 use pop_dmv::{dmv_catalog, dmv_queries};
+use pop_expr::Params;
 use pop_types::Value;
 
 const SCALE: f64 = 0.0003; // 2400 cars / 1800 owners: fast CI scale

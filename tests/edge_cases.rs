@@ -125,7 +125,10 @@ fn aggregate_over_empty_join_is_scalar_row() {
     let l = b.table("l");
     let r = b.table("r");
     b.join(l, 0, r, 0);
-    b.aggregate(&[], vec![pop::AggFunc::Count, pop::AggFunc::Sum(ColId::new(l, 1))]);
+    b.aggregate(
+        &[],
+        vec![pop::AggFunc::Count, pop::AggFunc::Sum(ColId::new(l, 1))],
+    );
     let q = b.build().unwrap();
     let res = exec.run(&q, &Params::none()).unwrap();
     assert_eq!(res.rows, vec![vec![Value::Int(0), Value::Null]]);

@@ -37,7 +37,8 @@ fn db() -> Catalog {
     )
     .unwrap();
     cat.create_index("orders", "cust", IndexKind::Hash).unwrap();
-    cat.create_index("customer", "cid", IndexKind::Hash).unwrap();
+    cat.create_index("customer", "cid", IndexKind::Hash)
+        .unwrap();
     cat
 }
 
@@ -93,8 +94,10 @@ fn exists_with_inner_predicate() {
     let q = b.build().unwrap();
     let res = exec.run(&q, &Params::none()).unwrap();
     // amount = i % 100 == 99 for i in {99,199,...}: custs (99%500)*2 etc.
-    let expected: std::collections::HashSet<i64> =
-        (0..5000).filter(|i| i % 100 == 99).map(|i| (i % 500) * 2).collect();
+    let expected: std::collections::HashSet<i64> = (0..5000)
+        .filter(|i| i % 100 == 99)
+        .map(|i| (i % 500) * 2)
+        .collect();
     assert_eq!(res.rows.len(), expected.len());
     for row in &res.rows {
         assert!(expected.contains(&row[0].as_i64().unwrap()));
@@ -127,17 +130,18 @@ fn exists_and_not_exists_partition_the_table() {
 #[test]
 fn q4_exists_form_matches_join_form() {
     use pop_tpch::cols::{lineitem, orders};
-    let exec =
-        PopExecutor::new(pop_tpch::tpch_catalog(0.0005).unwrap(), PopConfig::default()).unwrap();
+    let exec = PopExecutor::new(
+        pop_tpch::tpch_catalog(0.0005).unwrap(),
+        PopConfig::default(),
+    )
+    .unwrap();
     // EXISTS form: orders with a late lineitem, counted by priority.
     let mut b = QueryBuilder::new();
     let o = b.table("orders");
     b.filter(
         o,
-        Expr::col(o, orders::ORDERDATE).between(
-            Expr::lit(Value::Date(800)),
-            Expr::lit(Value::Date(890)),
-        ),
+        Expr::col(o, orders::ORDERDATE)
+            .between(Expr::lit(Value::Date(800)), Expr::lit(Value::Date(890))),
     );
     b.exists(
         "lineitem",

@@ -39,7 +39,8 @@ fn correlated_db() -> Catalog {
     )
     .unwrap();
     cat.create_index("orders", "cust", IndexKind::Hash).unwrap();
-    cat.create_index("customer", "cid", IndexKind::Hash).unwrap();
+    cat.create_index("customer", "cid", IndexKind::Hash)
+        .unwrap();
     cat
 }
 
@@ -181,7 +182,6 @@ fn runtime_never_charges_the_robustness_penalty() {
     assert_eq!(ra.report.total_work, rb.report.total_work);
 }
 
-
 #[test]
 fn learned_facts_do_not_leak_across_parameter_bindings() {
     // Regression test: a cardinality fact learned under one parameter
@@ -208,9 +208,11 @@ fn learned_facts_do_not_leak_across_parameter_bindings() {
         .run(&q, &pop_expr::Params::new(vec![Value::Int(1)]))
         .unwrap();
     let expected = {
-        let fresh =
-            PopExecutor::new(pop_tpch::tpch_catalog(0.001).unwrap(), PopConfig::without_pop())
-                .unwrap();
+        let fresh = PopExecutor::new(
+            pop_tpch::tpch_catalog(0.001).unwrap(),
+            PopConfig::without_pop(),
+        )
+        .unwrap();
         fresh
             .run(
                 &pop_tpch::q10_selectivity_literal(1),

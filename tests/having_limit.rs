@@ -140,8 +140,11 @@ fn limit_on_pipelined_query_saves_work() {
 
 #[test]
 fn q18_having_limit_shape() {
-    let exec =
-        PopExecutor::new(pop_tpch::tpch_catalog(0.0005).unwrap(), PopConfig::default()).unwrap();
+    let exec = PopExecutor::new(
+        pop_tpch::tpch_catalog(0.0005).unwrap(),
+        PopConfig::default(),
+    )
+    .unwrap();
     let res = exec.run(&pop_tpch::q18(), &Params::none()).unwrap();
     assert!(res.rows.len() <= 100, "LIMIT 100 violated");
     for row in &res.rows {

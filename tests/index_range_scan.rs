@@ -17,7 +17,13 @@ fn db() -> Catalog {
             ("kind", DataType::Int),
         ]),
         (0..20_000)
-            .map(|i| vec![Value::Int(i), Value::Date((i % 1000) as i32), Value::Int(i % 7)])
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Date((i % 1000) as i32),
+                    Value::Int(i % 7),
+                ]
+            })
             .collect(),
     )
     .unwrap();
@@ -29,7 +35,8 @@ fn db() -> Catalog {
             .collect(),
     )
     .unwrap();
-    cat.create_index("events", "day", IndexKind::Sorted).unwrap();
+    cat.create_index("events", "day", IndexKind::Sorted)
+        .unwrap();
     cat.create_index("events", "id", IndexKind::Hash).unwrap();
     cat.create_index("kinds", "kind", IndexKind::Hash).unwrap();
     cat
@@ -53,7 +60,10 @@ fn selective_range_uses_index_scan() {
     let exec = PopExecutor::new(db(), PopConfig::default()).unwrap();
     // 3/1000 of the table: far below the random-vs-sequential breakeven.
     let plan = exec.explain(&range_query(10, 12), &Params::none()).unwrap();
-    assert!(plan.contains("IXSCAN"), "expected an index range scan:\n{plan}");
+    assert!(
+        plan.contains("IXSCAN"),
+        "expected an index range scan:\n{plan}"
+    );
 }
 
 #[test]
@@ -123,8 +133,5 @@ fn strict_bounds_are_rechecked_by_residual() {
     let q = b.build().unwrap();
     let res = exec.run(&q, &Params::none()).unwrap();
     assert_eq!(res.rows.len(), 100); // days 0..=4, 20 each
-    assert!(res
-        .rows
-        .iter()
-        .all(|r| r[0].as_f64().unwrap() < 5.0));
+    assert!(res.rows.iter().all(|r| r[0].as_f64().unwrap() < 5.0));
 }

@@ -14,8 +14,8 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct Db {
-    left: Vec<(i64, i64, i64)>,  // (pk, fk-ish key, attr)
-    right: Vec<(i64, i64)>,      // (key, attr)
+    left: Vec<(i64, i64, i64)>, // (pk, fk-ish key, attr)
+    right: Vec<(i64, i64)>,     // (key, attr)
 }
 
 fn arb_db() -> impl Strategy<Value = Db> {
@@ -39,8 +39,8 @@ enum Pred {
     AttrLe(i64),
     AttrEq(i64),
     KeyIn(Vec<i64>),
-    Conj(i64, i64),   // attr <= a AND key >= b
-    Disj(i64, i64),   // attr = a OR key = b
+    Conj(i64, i64), // attr <= a AND key >= b
+    Disj(i64, i64), // attr = a OR key = b
 }
 
 fn arb_pred() -> impl Strategy<Value = Pred> {
@@ -57,9 +57,7 @@ fn pred_expr(table: usize, p: &Pred) -> Expr {
     match p {
         Pred::AttrLe(a) => Expr::col(table, 2).le(Expr::lit(*a)),
         Pred::AttrEq(a) => Expr::col(table, 2).eq(Expr::lit(*a)),
-        Pred::KeyIn(ks) => {
-            Expr::col(table, 1).in_list(ks.iter().map(|k| Value::Int(*k)).collect())
-        }
+        Pred::KeyIn(ks) => Expr::col(table, 1).in_list(ks.iter().map(|k| Value::Int(*k)).collect()),
         Pred::Conj(a, b) => Expr::col(table, 2)
             .le(Expr::lit(*a))
             .and(Expr::col(table, 1).ge(Expr::lit(*b))),

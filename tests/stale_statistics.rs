@@ -104,7 +104,8 @@ fn fresh_statistics_avoid_the_reopt() {
     let exec = PopExecutor::with_stats(cat, fresh, cfg);
     let res = exec.run(&query(), &Params::none()).unwrap();
     assert_eq!(
-        res.report.reopt_count, 0,
+        res.report.reopt_count,
+        0,
         "accurate statistics should plan right the first time:\n{}",
         res.report.summary()
     );

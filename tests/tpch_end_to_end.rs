@@ -72,8 +72,14 @@ fn q10_large_actual_selectivity_triggers_reopt() {
     // pass everything (3x the estimate), stressing the NLJN outer.
     let res = exec.run(&q, &Params::new(vec![Value::Int(50)])).unwrap();
     // Results must match the literal-predicate run regardless of reopt.
-    let lit = exec.run(&q10_selectivity_literal(50), &Params::none()).unwrap();
-    assert_rows_equal(res.rows.clone(), lit.rows.clone(), "q10 at full selectivity");
+    let lit = exec
+        .run(&q10_selectivity_literal(50), &Params::none())
+        .unwrap();
+    assert_rows_equal(
+        res.rows.clone(),
+        lit.rows.clone(),
+        "q10 at full selectivity",
+    );
 }
 
 #[test]
