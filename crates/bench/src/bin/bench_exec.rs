@@ -1,0 +1,159 @@
+//! Executor throughput: row-at-a-time vs vectorized batch execution.
+//!
+//! ```text
+//! bench_exec [--quick]
+//! ```
+//!
+//! Runs four representative queries — a scan-heavy half-selectivity
+//! selection over LINEITEM, a low-selectivity predicate scan (TPC-H Q6),
+//! an aggregation pipeline (TPC-H Q1) and a join (TPC-H Q3) — once with
+//! `batch_size = 1` (which reproduces the classic Volcano row engine) and
+//! once with the default batch size, and reports rows/second over the
+//! query's dominant input table. POP checks are disabled so the numbers
+//! isolate raw executor throughput from re-optimization policy.
+//!
+//! Text goes to stdout; raw data is written to `results/BENCH_exec.json`.
+
+use pop::{PopConfig, PopExecutor, QuerySpec};
+use pop_exec::DEFAULT_BATCH_SIZE;
+use pop_expr::{Expr, Params};
+use pop_plan::QueryBuilder;
+use pop_tpch::{cols::lineitem, q1, q3, q6, tpch_catalog};
+use serde::Serialize;
+use std::fs;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+struct ModeResult {
+    batch_size: usize,
+    elapsed_ms: f64,
+    rows_per_sec: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct QueryResultLine {
+    name: String,
+    kind: String,
+    input_rows: usize,
+    rows_returned: usize,
+    row_mode: ModeResult,
+    batch_mode: ModeResult,
+    speedup: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    scale_factor: f64,
+    reps: usize,
+    queries: Vec<QueryResultLine>,
+}
+
+/// Half-selectivity selection with a narrow projection: the scan-heavy
+/// shape where per-row iterator overhead dominates, because roughly every
+/// second row is materialized into the output stream.
+fn scan_sel() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let l = b.table("lineitem");
+    b.filter(l, Expr::col(l, lineitem::QUANTITY).le(Expr::lit(25i64)));
+    b.project(&[
+        (l, lineitem::ORDERKEY),
+        (l, lineitem::QUANTITY),
+        (l, lineitem::EXTENDEDPRICE),
+    ]);
+    b.build().expect("scan_sel query")
+}
+
+fn executor_at(cat: &pop::Catalog, batch_size: usize) -> PopExecutor {
+    let mut cfg = PopConfig::without_pop();
+    cfg.batch_size = batch_size;
+    PopExecutor::new(cat.clone(), cfg).expect("executor")
+}
+
+/// Best-of-`reps` wall-clock for both modes, interleaved rep by rep so
+/// machine-load drift penalizes both modes equally.
+fn time_both(cat: &pop::Catalog, q: &QuerySpec, reps: usize) -> (f64, f64, usize) {
+    let params = Params::none();
+    let row_exec = executor_at(cat, 1);
+    let batch_exec = executor_at(cat, DEFAULT_BATCH_SIZE);
+    let mut row_best = f64::INFINITY;
+    let mut batch_best = f64::INFINITY;
+    let mut rows = 0;
+    // Untimed warm-up of both modes, then keep each mode's fastest run.
+    // Each result is dropped before the other mode is timed so a large
+    // result set does not sit on the heap distorting the other side.
+    for i in 0..=reps {
+        let t = Instant::now();
+        let row_res = row_exec.run(q, &params).expect("query");
+        let row_ms = t.elapsed().as_secs_f64() * 1e3;
+        let row_rows = row_res.rows.len();
+        drop(row_res);
+        let t = Instant::now();
+        let batch_res = batch_exec.run(q, &params).expect("query");
+        let batch_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(row_rows, batch_res.rows.len(), "row/batch modes disagree");
+        drop(batch_res);
+        rows = row_rows;
+        if i > 0 {
+            row_best = row_best.min(row_ms);
+            batch_best = batch_best.min(batch_ms);
+        }
+    }
+    (row_best, batch_best, rows)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sf, reps) = if quick { (0.002, 1) } else { (0.1, 7) };
+    let cat = tpch_catalog(sf).expect("catalog");
+    let lineitem_rows = cat.table("lineitem").expect("lineitem").row_count();
+    let queries: Vec<(&str, &str, QuerySpec, usize)> = vec![
+        ("lineitem_sel", "scan", scan_sel(), lineitem_rows),
+        ("tpch_q6", "scan", q6(), lineitem_rows),
+        ("tpch_q1", "agg", q1(), lineitem_rows),
+        ("tpch_q3", "join", q3(), lineitem_rows),
+    ];
+    let mut report = BenchReport {
+        scale_factor: sf,
+        reps,
+        queries: Vec::new(),
+    };
+    println!("executor throughput, TPC-H SF {sf} (best of {reps}):");
+    for (name, kind, q, input_rows) in queries {
+        let (row_ms, batch_ms, rows_a) = time_both(&cat, &q, reps);
+        let row_rps = input_rows as f64 / (row_ms / 1e3);
+        let batch_rps = input_rows as f64 / (batch_ms / 1e3);
+        let speedup = batch_rps / row_rps;
+        println!(
+            "  {name:8} [{kind:4}] row-mode {row_ms:8.2} ms ({row_rps:>12.0} rows/s)  \
+             batch-mode {batch_ms:8.2} ms ({batch_rps:>12.0} rows/s)  speedup {speedup:.2}x"
+        );
+        report.queries.push(QueryResultLine {
+            name: name.to_string(),
+            kind: kind.to_string(),
+            input_rows,
+            rows_returned: rows_a,
+            row_mode: ModeResult {
+                batch_size: 1,
+                elapsed_ms: row_ms,
+                rows_per_sec: row_rps,
+            },
+            batch_mode: ModeResult {
+                batch_size: DEFAULT_BATCH_SIZE,
+                elapsed_ms: batch_ms,
+                rows_per_sec: batch_rps,
+            },
+            speedup,
+        });
+    }
+    let _ = fs::create_dir_all("results");
+    match serde_json::to_string_pretty(&report) {
+        Ok(s) => {
+            if let Err(e) = fs::write("results/BENCH_exec.json", s) {
+                eprintln!("warning: could not write results/BENCH_exec.json: {e}");
+            } else {
+                println!("wrote results/BENCH_exec.json");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize report: {e}"),
+    }
+}

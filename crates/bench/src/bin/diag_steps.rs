@@ -31,11 +31,12 @@ fn main() {
         );
         for (i, s) in a.report.steps.iter().enumerate() {
             println!(
-                "-- step {i}: est_cost={:.0} work={:.0} mvs_used={} emitted={}",
+                "-- step {i}: est_cost={:.0} work={:.0} mvs_used={} emitted={} batches={}",
                 s.est_cost,
                 s.work(),
                 s.mvs_used,
-                s.rows_emitted
+                s.rows_emitted,
+                s.batches_emitted
             );
             if let Some(v) = &s.violation {
                 println!(

@@ -59,6 +59,22 @@ pub struct PopConfig {
     /// executor (initial and re-optimized) is linted against structural
     /// invariants first. See [`LintMode`].
     pub lint: LintMode,
+    /// Rows per execution batch. Batch boundaries carry no semantics —
+    /// `1` reproduces classic row-at-a-time Volcano execution — so this
+    /// only trades per-call overhead against read-ahead granularity.
+    /// Defaults to [`pop_exec::DEFAULT_BATCH_SIZE`], overridable with the
+    /// `POP_BATCH_SIZE` environment variable.
+    pub batch_size: usize,
+}
+
+/// Batch size from `POP_BATCH_SIZE`, falling back to the engine default.
+/// Unparsable or zero values fall back rather than erroring.
+fn batch_size_from_env() -> usize {
+    std::env::var("POP_BATCH_SIZE")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(pop_exec::DEFAULT_BATCH_SIZE)
 }
 
 impl Default for PopConfig {
@@ -73,6 +89,7 @@ impl Default for PopConfig {
             observe_only: false,
             learn_across_queries: false,
             lint: LintMode::default(),
+            batch_size: batch_size_from_env(),
         }
     }
 }
@@ -98,5 +115,6 @@ mod tests {
         assert_eq!(c.max_reopts, 3);
         assert!(!PopConfig::without_pop().enabled);
         assert_eq!(c.lint, LintMode::Enforce);
+        assert!(c.batch_size >= 1);
     }
 }

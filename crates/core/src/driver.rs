@@ -110,6 +110,7 @@ impl PopExecutor {
             params.clone(),
             self.config.cost_model.clone(),
         );
+        ctx.batch_size = self.config.batch_size.max(1);
         if self.config.enabled {
             ctx.force_reopt_at = self.config.force_reopt_at;
         }
@@ -193,6 +194,7 @@ impl PopExecutor {
                 }
             });
             let work_start = ctx.work;
+            let batches_start = ctx.batches_emitted;
             let outcome = execute(&plan, ctx, &signatures)?;
             let mut step = StepReport {
                 plan: plan.to_string(),
@@ -204,6 +206,7 @@ impl PopExecutor {
                 violation: None,
                 mvs_used,
                 rows_emitted: outcome.rows().len(),
+                batches_emitted: (ctx.batches_emitted - batches_start) as usize,
                 lint_warnings,
             };
             match outcome {
@@ -316,6 +319,7 @@ impl PopExecutor {
             self.config.cost_model.clone(),
         );
         ctx.checks_enabled = false;
+        ctx.batch_size = self.config.batch_size.max(1);
         let signatures = collect_signatures(spec, plan, params);
         let result = execute(plan, &mut ctx, &signatures);
         self.catalog.clear_temp_mvs();
@@ -340,6 +344,7 @@ impl PopExecutor {
             violation: None,
             mvs_used: 0,
             rows_emitted: collected.len(),
+            batches_emitted: ctx.batches_emitted as usize,
             lint_warnings,
         });
         report.total_work = ctx.work;

@@ -24,6 +24,9 @@ pub struct StepReport {
     pub mvs_used: usize,
     /// Rows returned to the application during this step.
     pub rows_emitted: usize,
+    /// Batches the root operator produced during this step (the rows
+    /// above arrived in this many `next_batch` calls).
+    pub batches_emitted: usize,
     /// Warn-severity findings from static plan verification of this
     /// step's plan (empty when the lint mode is `Off` or the plan is
     /// clean; Deny-severity findings abort the query instead).
@@ -86,10 +89,11 @@ impl RunReport {
         for (i, s) in self.steps.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "step {}: work {:.0}, emitted {} row(s), {} MV(s) reused",
+                "step {}: work {:.0}, emitted {} row(s) in {} batch(es), {} MV(s) reused",
                 i,
                 s.work(),
                 s.rows_emitted,
+                s.batches_emitted,
                 s.mvs_used
             );
             let _ = writeln!(out, "  shape: {}", s.shape);
@@ -146,6 +150,7 @@ mod tests {
             violation: None,
             mvs_used: 0,
             rows_emitted: 0,
+            batches_emitted: 0,
             lint_warnings: vec![],
         }
     }

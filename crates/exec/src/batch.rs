@@ -1,0 +1,462 @@
+//! Batches of rows flowing between operators.
+//!
+//! The engine moves data in chunks of up to [`ExecCtx::batch_size`]
+//! (default [`DEFAULT_BATCH_SIZE`]) rows instead of one row per `next()`
+//! call. A [`RowBatch`] carries the column values and the base-row lineage
+//! of every row, plus an optional **selection vector**: filtering
+//! operators (predicates, HAVING, the ECDC anti-join) drop rows by
+//! shrinking the selection instead of copying the survivors, so a batch
+//! flows through a pipeline with zero per-row allocation until something
+//! actually needs to restructure it.
+//!
+//! Storage is flat: all values live in one buffer (`width` values per
+//! row) and all lineage rids in another with per-row offsets. A batch of
+//! 1024 rows costs a handful of allocations, not thousands — per-row
+//! `Vec`s only reappear at the boundaries that need owned rows
+//! ([`RowBatch::into_rows`], [`RowBatch::take_row_at`]).
+//!
+//! Invariants relied on across the engine:
+//! * a selection vector is strictly increasing (preserves row order);
+//! * operators never emit an all-dead batch — `next_batch` returns `None`
+//!   at end of stream instead;
+//! * every row in a batch has the same number of values (`width`);
+//! * batch boundaries are *not* semantically meaningful: any re-chunking
+//!   of the same row stream is equivalent (checked by the equivalence
+//!   suite, which runs every query at several batch sizes).
+//!
+//! [`ExecCtx::batch_size`]: crate::ExecCtx::batch_size
+
+use crate::ExecRow;
+use pop_types::{Rid, Row, Value};
+
+/// Default number of rows per batch (the `POP_BATCH_SIZE` knob and
+/// [`ExecCtx::batch_size`] override it per run).
+///
+/// [`ExecCtx::batch_size`]: crate::ExecCtx::batch_size
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// A chunk of rows with lineage and an optional selection vector.
+///
+/// Rows at positions absent from the selection are *dead*: they are
+/// skipped by every consumer and dropped on [`RowBatch::compact`]. When
+/// `sel` is `None` every row is live.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowBatch {
+    /// Flat values: row `i` occupies `vals[i*width .. (i+1)*width]`.
+    vals: Vec<Value>,
+    /// Values per row; set by the first push.
+    width: usize,
+    /// Physical row count (needed because `width` may be zero).
+    rows: usize,
+    /// Flat lineage rids for all rows.
+    lin: Vec<Rid>,
+    /// `rows + 1` offsets into `lin`; row `i` owns `lin_off[i]..lin_off[i+1]`.
+    lin_off: Vec<u32>,
+    sel: Option<Vec<u32>>,
+}
+
+impl Default for RowBatch {
+    fn default() -> Self {
+        RowBatch::with_capacity(0)
+    }
+}
+
+impl RowBatch {
+    /// Empty batch.
+    pub fn new() -> Self {
+        RowBatch::with_capacity(0)
+    }
+
+    /// Empty batch with room for `n` rows.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut lin_off = Vec::with_capacity(n + 1);
+        lin_off.push(0);
+        RowBatch {
+            vals: Vec::new(),
+            width: 0,
+            rows: 0,
+            lin: Vec::with_capacity(n),
+            lin_off,
+            sel: None,
+        }
+    }
+
+    /// Batch from fully-materialized rows (all live).
+    pub fn from_rows(rows: Vec<ExecRow>) -> Self {
+        let mut b = RowBatch::with_capacity(rows.len());
+        for r in rows {
+            b.push(r.values, r.lineage);
+        }
+        b
+    }
+
+    #[inline]
+    fn begin_push(&mut self, width: usize) {
+        debug_assert!(self.sel.is_none(), "push into a filtered batch");
+        if self.rows == 0 {
+            self.width = width;
+        } else {
+            debug_assert_eq!(width, self.width, "row width mismatch");
+        }
+    }
+
+    #[inline]
+    fn finish_push(&mut self) {
+        self.rows += 1;
+        self.lin_off.push(self.lin.len() as u32);
+    }
+
+    /// Append a live row from owned parts. Must not be called once a
+    /// selection exists (appended rows would be dead, which no producer
+    /// intends).
+    pub fn push(&mut self, values: Row, lineage: Vec<Rid>) {
+        self.begin_push(values.len());
+        self.vals.extend(values);
+        self.lin.extend(lineage);
+        self.finish_push();
+    }
+
+    /// Append a live row by cloning from borrowed parts — the hot path
+    /// for scans: no per-row `Vec` is ever allocated.
+    pub fn push_row(&mut self, values: &[Value], lineage: &[Rid]) {
+        self.begin_push(values.len());
+        self.vals.extend_from_slice(values);
+        self.lin.extend_from_slice(lineage);
+        self.finish_push();
+    }
+
+    /// Append a live row that concatenates two halves — the hot path for
+    /// join outputs (`left ++ right` values and lineage), allocation-free
+    /// per row.
+    pub fn push_concat(&mut self, a: &[Value], b: &[Value], la: &[Rid], lb: &[Rid]) {
+        self.begin_push(a.len() + b.len());
+        self.vals.extend_from_slice(a);
+        self.vals.extend_from_slice(b);
+        self.lin.extend_from_slice(la);
+        self.lin.extend_from_slice(lb);
+        self.finish_push();
+    }
+
+    /// Physical row count, dead rows included.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Is the batch physically empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of live rows.
+    pub fn live_count(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.rows,
+        }
+    }
+
+    /// The selection vector, if any row has been filtered out.
+    pub fn sel(&self) -> Option<&[u32]> {
+        self.sel.as_deref()
+    }
+
+    /// Physical indices of the live rows, in row order.
+    pub fn live_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        let (sel, all) = match &self.sel {
+            Some(s) => (Some(s.iter().map(|i| *i as usize)), None),
+            None => (None, Some(0..self.rows)),
+        };
+        sel.into_iter().flatten().chain(all.into_iter().flatten())
+    }
+
+    /// Values of the row at physical index `i`.
+    pub fn values_at(&self, i: usize) -> &[Value] {
+        &self.vals[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Lineage of the row at physical index `i`.
+    pub fn lineage_at(&self, i: usize) -> &[Rid] {
+        &self.lin[self.lin_off[i] as usize..self.lin_off[i + 1] as usize]
+    }
+
+    /// Keep only live rows for which `keep(values, lineage)` holds.
+    pub fn retain_live<F: FnMut(&[Value], &[Rid]) -> bool>(&mut self, mut keep: F) {
+        let old: Vec<u32> = match self.sel.take() {
+            Some(s) => s,
+            None => (0..self.rows as u32).collect(),
+        };
+        let mut new = Vec::with_capacity(old.len());
+        for i in old {
+            if keep(self.values_at(i as usize), self.lineage_at(i as usize)) {
+                new.push(i);
+            }
+        }
+        self.sel = Some(new);
+    }
+
+    /// Fallible [`RowBatch::retain_live`]: the first error aborts and is
+    /// returned with the selection left partially refined (callers treat
+    /// the batch as poisoned and propagate the error).
+    pub fn try_retain_live<E, F: FnMut(&[Value], &[Rid]) -> Result<bool, E>>(
+        &mut self,
+        mut keep: F,
+    ) -> Result<(), E> {
+        let old: Vec<u32> = match self.sel.take() {
+            Some(s) => s,
+            None => (0..self.rows as u32).collect(),
+        };
+        let mut new = Vec::with_capacity(old.len());
+        for i in old {
+            if keep(self.values_at(i as usize), self.lineage_at(i as usize))? {
+                new.push(i);
+            }
+        }
+        self.sel = Some(new);
+        Ok(())
+    }
+
+    /// Keep only the first `n` live rows.
+    pub fn truncate_live(&mut self, n: usize) {
+        match &mut self.sel {
+            Some(s) => s.truncate(n),
+            None => {
+                if n < self.rows {
+                    self.vals.truncate(n * self.width);
+                    self.lin.truncate(self.lin_off[n] as usize);
+                    self.lin_off.truncate(n + 1);
+                    self.rows = n;
+                }
+            }
+        }
+    }
+
+    /// Drop dead rows, leaving a batch with no selection vector.
+    pub fn compact(&mut self) {
+        if let Some(sel) = self.sel.take() {
+            let w = self.width;
+            let mut vals = Vec::with_capacity(sel.len() * w);
+            let mut lin = Vec::with_capacity(sel.len());
+            let mut lin_off = Vec::with_capacity(sel.len() + 1);
+            lin_off.push(0);
+            for &i in &sel {
+                let i = i as usize;
+                for j in i * w..(i + 1) * w {
+                    vals.push(std::mem::replace(&mut self.vals[j], Value::Null));
+                }
+                lin.extend_from_slice(
+                    &self.lin[self.lin_off[i] as usize..self.lin_off[i + 1] as usize],
+                );
+                lin_off.push(lin.len() as u32);
+            }
+            self.rows = sel.len();
+            self.vals = vals;
+            self.lin = lin;
+            self.lin_off = lin_off;
+        }
+    }
+
+    /// Split after the first `k` live rows: `(first k, rest)`. Both halves
+    /// come out compacted. Used by CHECK to hand the rows counted before a
+    /// violation downstream while stashing the tripping row and everything
+    /// after it for replay.
+    pub fn split_live(mut self, k: usize) -> (RowBatch, RowBatch) {
+        self.compact();
+        let k = k.min(self.rows);
+        let rest_vals = self.vals.split_off(k * self.width);
+        let cut = self.lin_off[k];
+        let rest_lin = self.lin.split_off(cut as usize);
+        let mut rest_off = Vec::with_capacity(self.rows - k + 1);
+        rest_off.extend(self.lin_off[k..=self.rows].iter().map(|o| o - cut));
+        let rest = RowBatch {
+            vals: rest_vals,
+            width: self.width,
+            rows: self.rows - k,
+            lin: rest_lin,
+            lin_off: rest_off,
+            sel: None,
+        };
+        self.lin_off.truncate(k + 1);
+        self.rows = k;
+        (self, rest)
+    }
+
+    /// Consume into owned rows (live rows only, in order).
+    pub fn into_rows(mut self) -> Vec<ExecRow> {
+        self.compact();
+        let RowBatch {
+            vals,
+            width,
+            rows,
+            lin,
+            lin_off,
+            ..
+        } = self;
+        let mut out = Vec::with_capacity(rows);
+        let mut vals = vals.into_iter();
+        for i in 0..rows {
+            out.push(ExecRow {
+                values: vals.by_ref().take(width).collect(),
+                lineage: lin[lin_off[i] as usize..lin_off[i + 1] as usize].to_vec(),
+            });
+        }
+        out
+    }
+
+    /// Project each live row to the given layout positions (values are
+    /// cloned, lineage is kept as-is). The result has no selection vector
+    /// and no per-row allocations.
+    pub fn project(mut self, positions: &[usize]) -> RowBatch {
+        self.compact();
+        let w = self.width;
+        let mut vals = Vec::with_capacity(self.rows * positions.len());
+        for i in 0..self.rows {
+            let row = &self.vals[i * w..(i + 1) * w];
+            for p in positions {
+                vals.push(row[*p].clone());
+            }
+        }
+        RowBatch {
+            vals,
+            width: positions.len(),
+            rows: self.rows,
+            lin: self.lin,
+            lin_off: self.lin_off,
+            sel: None,
+        }
+    }
+
+    /// Move the row at physical index `i` out of the batch, leaving dead
+    /// (`Null`) values behind. Only [`crate::operators::BatchCursor`] uses
+    /// this, consuming each live slot exactly once.
+    pub(crate) fn take_row_at(&mut self, i: usize) -> ExecRow {
+        let w = self.width;
+        let mut values = Vec::with_capacity(w);
+        for j in i * w..(i + 1) * w {
+            values.push(std::mem::replace(&mut self.vals[j], Value::Null));
+        }
+        ExecRow {
+            values,
+            lineage: self.lineage_at(i).to_vec(),
+        }
+    }
+
+    /// Physical index of the `k`-th live row, if any.
+    pub(crate) fn live_index(&self, k: usize) -> Option<usize> {
+        match &self.sel {
+            Some(s) => s.get(k).map(|i| *i as usize),
+            None => (k < self.rows).then_some(k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(n: i64) -> RowBatch {
+        let mut b = RowBatch::new();
+        for i in 0..n {
+            b.push(vec![Value::Int(i)], vec![Rid::new(0, i as u64)]);
+        }
+        b
+    }
+
+    fn int_at(v: &[Value]) -> i64 {
+        match v[0] {
+            Value::Int(i) => i,
+            _ => panic!("not an int"),
+        }
+    }
+
+    #[test]
+    fn retain_builds_and_refines_selection() {
+        let mut b = batch(10);
+        b.retain_live(|v, _| int_at(v) % 2 == 0); // 0 2 4 6 8
+        assert_eq!(b.live_count(), 5);
+        assert_eq!(b.len(), 10);
+        b.retain_live(|v, _| int_at(v) > 3); // 4 6 8
+        let live: Vec<usize> = b.live_indices().collect();
+        assert_eq!(live, vec![4, 6, 8]);
+    }
+
+    #[test]
+    fn compact_drops_dead_rows_in_order() {
+        let mut b = batch(5);
+        b.retain_live(|v, _| int_at(v) != 2);
+        b.compact();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.sel(), None);
+        let vals: Vec<&Value> = b.live_indices().map(|i| &b.values_at(i)[0]).collect();
+        assert_eq!(
+            vals,
+            vec![
+                &Value::Int(0),
+                &Value::Int(1),
+                &Value::Int(3),
+                &Value::Int(4)
+            ]
+        );
+    }
+
+    #[test]
+    fn split_live_respects_selection() {
+        let mut b = batch(6);
+        b.retain_live(|v, _| int_at(v) % 2 == 1); // 1 3 5
+        let (head, tail) = b.split_live(1);
+        assert_eq!(head.live_count(), 1);
+        assert_eq!(head.values_at(0)[0], Value::Int(1));
+        assert_eq!(tail.live_count(), 2);
+        assert_eq!(tail.values_at(0)[0], Value::Int(3));
+        assert_eq!(tail.lineage_at(1), &[Rid::new(0, 5)]);
+    }
+
+    #[test]
+    fn into_rows_applies_selection() {
+        let mut b = batch(4);
+        b.truncate_live(2);
+        let rows = b.into_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].lineage, vec![Rid::new(0, 1)]);
+    }
+
+    #[test]
+    fn project_reorders_and_keeps_lineage() {
+        let mut b = RowBatch::new();
+        b.push(
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Rid::new(0, 0), Rid::new(1, 7)],
+        );
+        let p = b.project(&[1]);
+        assert_eq!(p.values_at(0), &[Value::Int(2)][..]);
+        assert_eq!(p.lineage_at(0), &[Rid::new(0, 0), Rid::new(1, 7)]);
+    }
+
+    #[test]
+    fn push_concat_joins_values_and_lineage() {
+        let mut b = RowBatch::new();
+        b.push_concat(
+            &[Value::Int(1)],
+            &[Value::Int(2), Value::Int(3)],
+            &[Rid::new(0, 4)],
+            &[Rid::new(1, 5)],
+        );
+        assert_eq!(
+            b.values_at(0),
+            &[Value::Int(1), Value::Int(2), Value::Int(3)][..]
+        );
+        assert_eq!(b.lineage_at(0), &[Rid::new(0, 4), Rid::new(1, 5)]);
+    }
+
+    #[test]
+    fn try_retain_propagates_error() {
+        let mut b = batch(3);
+        let r: Result<(), &str> = b.try_retain_live(|v, _| {
+            if int_at(v) == 1 {
+                Err("boom")
+            } else {
+                Ok(true)
+            }
+        });
+        assert_eq!(r, Err("boom"));
+    }
+}

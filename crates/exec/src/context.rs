@@ -97,6 +97,13 @@ pub struct ExecCtx {
     pub side_effects_applied: HashSet<Vec<Rid>>,
     /// Rows fetched from base tables (diagnostics).
     pub rows_scanned: u64,
+    /// Target rows per batch for every operator in this run. `1` degrades
+    /// the engine to row-at-a-time (the reference mode of the equivalence
+    /// suite); results are independent of the value.
+    pub batch_size: usize,
+    /// Batches handed to the application by the executor loop, cumulative
+    /// across execution steps (the driver reports per-step deltas).
+    pub batches_emitted: u64,
 }
 
 impl ExecCtx {
@@ -115,6 +122,8 @@ impl ExecCtx {
             prev_returned: HashSet::new(),
             side_effects_applied: HashSet::new(),
             rows_scanned: 0,
+            batch_size: crate::batch::DEFAULT_BATCH_SIZE,
+            batches_emitted: 0,
         }
     }
 

@@ -63,10 +63,11 @@ pub fn execute(
         }
     }
     loop {
-        match op.next(ctx) {
-            Ok(Some(r)) => {
-                ctx.charge(ctx.model.output_row);
-                rows.push(r);
+        match op.next_batch(ctx) {
+            Ok(Some(b)) => {
+                ctx.batches_emitted += 1;
+                ctx.charge(b.live_count() as f64 * ctx.model.output_row);
+                rows.extend(b.into_rows());
             }
             Ok(None) => break,
             Err(ExecSignal::Reopt(v)) => {

@@ -1,6 +1,11 @@
-//! The Volcano-style execution engine with POP runtime support.
+//! The Volcano-style execution engine with POP runtime support,
+//! vectorized: operators implement `open`/`next_batch`/`close` and move
+//! data in [`RowBatch`] chunks of up to [`ExecCtx::batch_size`] rows
+//! (default [`DEFAULT_BATCH_SIZE`], `POP_BATCH_SIZE` at the driver
+//! level). Batch boundaries carry no semantics — running with
+//! `batch_size = 1` reproduces classic row-at-a-time Volcano behaviour
+//! bit for bit, which the equivalence suite exploits.
 //!
-//! Operators implement the classic `open`/`next`/`close` iterator model.
 //! POP-specific runtime behaviour (paper §2.1, §3):
 //!
 //! * **CHECK / BUFCHECK** operators count rows against their check range
@@ -20,6 +25,7 @@
 //!   enabling ECDC's deferred compensation (anti-join against already
 //!   returned rows, Figure 9) and exactly-once side effects.
 
+mod batch;
 mod build;
 mod context;
 mod executor;
@@ -27,6 +33,7 @@ pub mod operators;
 mod row;
 mod signal;
 
+pub use batch::{RowBatch, DEFAULT_BATCH_SIZE};
 pub use build::build_operator;
 pub use context::{CheckEvent, CheckOutcome, ExecCtx, Harvest};
 pub use executor::{execute, RunOutcome};

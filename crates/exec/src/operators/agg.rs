@@ -1,7 +1,7 @@
 //! Hash aggregation and projection.
 
-use crate::operators::Operator;
-use crate::{ExecCtx, ExecRow, OpResult};
+use crate::operators::{emit_chunk, Operator};
+use crate::{ExecCtx, ExecRow, OpResult, RowBatch};
 use pop_types::Value;
 use std::collections::HashMap;
 
@@ -114,9 +114,9 @@ impl AggState {
     }
 }
 
-/// Hash aggregation: consumes the input at `open`, emits one row per group
-/// (group key columns followed by aggregate values), **sorted by group
-/// key** for deterministic output.
+/// Hash aggregation: consumes the input at `open` batch by batch, emits
+/// one row per group (group key columns followed by aggregate values),
+/// **sorted by group key** for deterministic output.
 pub struct HashAggOp {
     input: Box<dyn Operator>,
     key_pos: Vec<usize>,
@@ -143,15 +143,18 @@ impl Operator for HashAggOp {
         self.input.open(ctx)?;
         let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
         let mut saw_any = false;
-        while let Some(r) = self.input.next(ctx)? {
-            ctx.charge(ctx.model.agg_row);
-            saw_any = true;
-            let key: Vec<Value> = self.key_pos.iter().map(|p| r.values[*p].clone()).collect();
-            let states = groups
-                .entry(key)
-                .or_insert_with(|| self.aggs.iter().map(|a| AggState::new(*a)).collect());
-            for (state, kind) in states.iter_mut().zip(self.aggs.iter()) {
-                state.update(*kind, &r.values)?;
+        while let Some(b) = self.input.next_batch(ctx)? {
+            ctx.charge(b.live_count() as f64 * ctx.model.agg_row);
+            for i in b.live_indices() {
+                saw_any = true;
+                let row = b.values_at(i);
+                let key: Vec<Value> = self.key_pos.iter().map(|p| row[*p].clone()).collect();
+                let states = groups
+                    .entry(key)
+                    .or_insert_with(|| self.aggs.iter().map(|a| AggState::new(*a)).collect());
+                for (state, kind) in states.iter_mut().zip(self.aggs.iter()) {
+                    state.update(*kind, row)?;
+                }
             }
         }
         // Scalar aggregate over an empty input still yields one row.
@@ -174,13 +177,8 @@ impl Operator for HashAggOp {
         Ok(())
     }
 
-    fn next(&mut self, _ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
-        if self.pos >= self.out.len() {
-            return Ok(None);
-        }
-        let r = self.out[self.pos].clone();
-        self.pos += 1;
-        Ok(Some(r))
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        Ok(emit_chunk(&self.out, &mut self.pos, ctx))
     }
 
     fn close(&mut self, ctx: &mut ExecCtx) {
@@ -190,7 +188,7 @@ impl Operator for HashAggOp {
 }
 
 /// HAVING filter: conjunctive positional predicates over the aggregate
-/// output row.
+/// output row, applied batch-wise through the selection vector.
 pub struct HavingOp {
     input: Box<dyn Operator>,
     preds: Vec<pop_plan::HavingPred>,
@@ -208,29 +206,28 @@ impl Operator for HavingOp {
         self.input.open(ctx)
     }
 
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
-        'rows: loop {
-            match self.input.next(ctx)? {
-                None => return Ok(None),
-                Some(r) => {
-                    for p in &self.preds {
-                        let holds = match r.values[p.pos].sql_cmp(&p.value) {
-                            None => false,
-                            Some(ord) => match p.op {
-                                pop_expr::CmpOp::Eq => ord == std::cmp::Ordering::Equal,
-                                pop_expr::CmpOp::Ne => ord != std::cmp::Ordering::Equal,
-                                pop_expr::CmpOp::Lt => ord == std::cmp::Ordering::Less,
-                                pop_expr::CmpOp::Le => ord != std::cmp::Ordering::Greater,
-                                pop_expr::CmpOp::Gt => ord == std::cmp::Ordering::Greater,
-                                pop_expr::CmpOp::Ge => ord != std::cmp::Ordering::Less,
-                            },
-                        };
-                        if !holds {
-                            continue 'rows;
-                        }
-                    }
-                    return Ok(Some(r));
-                }
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        loop {
+            let Some(mut b) = self.input.next_batch(ctx)? else {
+                return Ok(None);
+            };
+            b.retain_live(|values, _| {
+                self.preds
+                    .iter()
+                    .all(|p| match values[p.pos].sql_cmp(&p.value) {
+                        None => false,
+                        Some(ord) => match p.op {
+                            pop_expr::CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                            pop_expr::CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                            pop_expr::CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                            pop_expr::CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                            pop_expr::CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                            pop_expr::CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                        },
+                    })
+            });
+            if b.live_count() > 0 {
+                return Ok(Some(b));
             }
         }
     }
@@ -240,7 +237,8 @@ impl Operator for HavingOp {
     }
 }
 
-/// LIMIT: stops pulling from the input after `n` rows.
+/// LIMIT: stops pulling from the input after `n` rows, truncating the
+/// batch that crosses the limit.
 pub struct LimitOp {
     input: Box<dyn Operator>,
     n: usize,
@@ -264,15 +262,19 @@ impl Operator for LimitOp {
         self.input.open(ctx)
     }
 
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
         if self.emitted >= self.n {
             return Ok(None);
         }
-        match self.input.next(ctx)? {
+        match self.input.next_batch(ctx)? {
             None => Ok(None),
-            Some(r) => {
-                self.emitted += 1;
-                Ok(Some(r))
+            Some(mut b) => {
+                b.truncate_live(self.n - self.emitted);
+                self.emitted += b.live_count();
+                if b.live_count() == 0 {
+                    return Ok(None);
+                }
+                Ok(Some(b))
             }
         }
     }
@@ -300,17 +302,10 @@ impl Operator for ProjectOp {
         self.input.open(ctx)
     }
 
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
-        match self.input.next(ctx)? {
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        match self.input.next_batch(ctx)? {
             None => Ok(None),
-            Some(r) => Ok(Some(ExecRow {
-                values: self
-                    .positions
-                    .iter()
-                    .map(|p| r.values[*p].clone())
-                    .collect(),
-                lineage: r.lineage,
-            })),
+            Some(b) => Ok(Some(b.project(&self.positions))),
         }
     }
 
@@ -344,8 +339,8 @@ mod tests {
     fn drain(op: &mut dyn Operator, ctx: &mut ExecCtx) -> Vec<Vec<Value>> {
         op.open(ctx).unwrap();
         let mut out = Vec::new();
-        while let Some(r) = op.next(ctx).unwrap() {
-            out.push(r.values);
+        while let Some(b) = op.next_batch(ctx).unwrap() {
+            out.extend(b.into_rows().into_iter().map(|r| r.values));
         }
         op.close(ctx);
         out
@@ -432,6 +427,20 @@ mod tests {
         let mut op = ProjectOp::new(scan, vec![1]);
         let out = drain(&mut op, &mut ctx);
         assert_eq!(out, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn limit_truncates_mid_batch() {
+        let (mut ctx, scan) = setup(
+            (0..10)
+                .map(|i| vec![Value::Int(i), Value::Int(0)])
+                .collect(),
+        );
+        ctx.batch_size = 4;
+        let mut op = LimitOp::new(scan, 6);
+        let out = drain(&mut op, &mut ctx);
+        assert_eq!(out.len(), 6);
+        assert_eq!(out[5][0], Value::Int(5));
     }
 
     #[test]

@@ -1,9 +1,20 @@
-//! The CHECK and BUFCHECK operators — Figure 10 of the paper.
+//! The CHECK and BUFCHECK operators — Figure 10 of the paper — counting
+//! at batch granularity.
+//!
+//! Counters update once per batch: a batch of `n` rows that cannot cross
+//! the upper bound is admitted with a single `count += n` and one work
+//! charge, so checkpoint overhead is O(batches), not O(rows). When a
+//! batch *would* cross the bound, the operator finds the exact tripping
+//! row (the same row that would have fired under row-at-a-time
+//! execution), returns the rows counted before it as a short batch, then
+//! raises the violation on the following call, keeping the suffix —
+//! tripping row included — pending for replay. Observed cardinalities and
+//! event ordering are therefore identical at every batch size.
 
 use crate::context::{CheckEvent, CheckOutcome};
 use crate::operators::Operator;
 use crate::signal::{ExecSignal, ObservedCard, Violation};
-use crate::{ExecCtx, ExecRow, OpResult};
+use crate::{ExecCtx, OpResult, RowBatch};
 use pop_plan::CheckSpec;
 use std::collections::VecDeque;
 
@@ -40,6 +51,45 @@ fn violation(spec: &CheckSpec, observed: ObservedCard, forced: bool) -> ExecSign
     }))
 }
 
+/// Is this check currently armed to raise mid-stream? (Mirrors the
+/// suppression rules of the forced-reopt experiments: when a dummy
+/// re-optimization is forced at one checkpoint, every other checkpoint
+/// observes without raising.)
+fn armed(ctx: &ExecCtx, spec: &CheckSpec, resolved: bool, raised: bool) -> bool {
+    let suppressed = ctx.force_reopt_at.is_some() && ctx.force_reopt_at != Some(spec.id);
+    !resolved && !raised && ctx.checks_enabled && !suppressed
+}
+
+/// Count `n` live rows against the running upper bound, charging
+/// `per_row` work units per counted row.
+///
+/// Returns `None` when the whole batch is admitted (`count += n`), or
+/// `Some(j)` when the `(j+1)`-th row of the batch crosses `hi` — exactly
+/// the row on which row-at-a-time counting would have fired. Only the
+/// `j+1` rows up to and including the tripping row are counted and
+/// charged.
+fn count_against_hi(
+    count: &mut u64,
+    hi: f64,
+    is_armed: bool,
+    n: u64,
+    per_row: f64,
+    ctx: &mut ExecCtx,
+) -> Option<u64> {
+    if is_armed && (*count + n) as f64 > hi {
+        let mut j = 0u64;
+        while ((*count + j + 1) as f64) <= hi {
+            j += 1;
+        }
+        *count += j + 1;
+        ctx.charge((j + 1) as f64 * per_row);
+        return Some(j);
+    }
+    *count += n;
+    ctx.charge(n as f64 * per_row);
+    None
+}
+
 /// CHECK (Figure 10, left): counts rows flowing from producer to consumer
 /// and raises a re-optimization signal when the count leaves the check
 /// range.
@@ -61,7 +111,12 @@ pub struct CheckOp {
     count: u64,
     resolved: bool,
     raised: bool,
-    pending: Option<ExecRow>,
+    /// Rows from the tripping row onward, replayed after the violation so
+    /// resuming execution without re-optimizing loses nothing.
+    pending: Option<RowBatch>,
+    /// A violation held back while the pre-violation prefix of its batch
+    /// is delivered; raised on the following call.
+    pending_signal: Option<ExecSignal>,
     started_at: f64,
 }
 
@@ -77,6 +132,7 @@ impl CheckOp {
             resolved: false,
             raised: false,
             pending: None,
+            pending_signal: None,
             started_at: 0.0,
         }
     }
@@ -115,28 +171,6 @@ impl CheckOp {
         );
         Ok(())
     }
-
-    /// Evaluate the running count mid-stream (upper bound only).
-    fn evaluate_running(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
-        let suppressed = ctx.force_reopt_at.is_some() && ctx.force_reopt_at != Some(self.spec.id);
-        if self.resolved || self.raised || !ctx.checks_enabled || suppressed {
-            return Ok(());
-        }
-        if (self.count as f64) > self.spec.range.hi {
-            self.resolved = true;
-            self.raised = true;
-            let observed = ObservedCard::AtLeast(self.count);
-            record_event(
-                ctx,
-                &self.spec,
-                CheckOutcome::Violated,
-                observed,
-                self.started_at,
-            );
-            return Err(violation(&self.spec, observed, false));
-        }
-        Ok(())
-    }
 }
 
 impl Operator for CheckOp {
@@ -145,6 +179,7 @@ impl Operator for CheckOp {
         self.resolved = false;
         self.raised = false;
         self.pending = None;
+        self.pending_signal = None;
         self.started_at = ctx.work;
         self.input.open(ctx)?;
         if self.materialized_child {
@@ -159,23 +194,50 @@ impl Operator for CheckOp {
         Ok(())
     }
 
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
-        // A row that tripped the check is replayed after the violation, so
-        // resuming execution without re-optimizing loses nothing.
-        if let Some(r) = self.pending.take() {
-            return Ok(Some(r));
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        if let Some(sig) = self.pending_signal.take() {
+            return Err(sig);
         }
-        match self.input.next(ctx)? {
-            Some(r) => {
-                if !self.materialized_child {
-                    self.count += 1;
-                    ctx.charge(ctx.model.check_row);
-                    if let Err(e) = self.evaluate_running(ctx) {
-                        self.pending = Some(r);
-                        return Err(e);
+        if let Some(b) = self.pending.take() {
+            return Ok(Some(b));
+        }
+        match self.input.next_batch(ctx)? {
+            Some(b) => {
+                if self.materialized_child {
+                    return Ok(Some(b));
+                }
+                let n = b.live_count() as u64;
+                let is_armed = armed(ctx, &self.spec, self.resolved, self.raised);
+                match count_against_hi(
+                    &mut self.count,
+                    self.spec.range.hi,
+                    is_armed,
+                    n,
+                    ctx.model.check_row,
+                    ctx,
+                ) {
+                    None => Ok(Some(b)),
+                    Some(j) => {
+                        self.resolved = true;
+                        self.raised = true;
+                        let observed = ObservedCard::AtLeast(self.count);
+                        record_event(
+                            ctx,
+                            &self.spec,
+                            CheckOutcome::Violated,
+                            observed,
+                            self.started_at,
+                        );
+                        let sig = violation(&self.spec, observed, false);
+                        let (prefix, suffix) = b.split_live(j as usize);
+                        self.pending = Some(suffix);
+                        if prefix.live_count() == 0 {
+                            return Err(sig);
+                        }
+                        self.pending_signal = Some(sig);
+                        Ok(Some(prefix))
                     }
                 }
-                Ok(Some(r))
             }
             None => {
                 if !self.materialized_child {
@@ -203,16 +265,24 @@ impl Operator for CheckOp {
 /// exceeds `hi` (fail immediately — *before* any materialization below
 /// completes) or the producer is exhausted (then `lo` is verified). Once
 /// the buffer capacity is reached without a decision, the operator opens
-/// the valve and streams, still counting against `hi`.
+/// the valve and streams, still counting against `hi`. A batch straddling
+/// the capacity boundary is split there: the head is buffered (and counted
+/// at the buffering rate), the tail is held as overflow and counted in the
+/// streaming phase — so the valve's decision points are identical at every
+/// batch size.
 pub struct BufCheckOp {
     input: Box<dyn Operator>,
     spec: CheckSpec,
     capacity: usize,
-    buffer: VecDeque<ExecRow>,
+    buffer: VecDeque<RowBatch>,
+    /// Tail of the batch that straddled the capacity boundary, not yet
+    /// counted; processed by the streaming phase before new input.
+    overflow: Option<RowBatch>,
     count: u64,
     eof: bool,
     resolved: bool,
     raised: bool,
+    pending_signal: Option<ExecSignal>,
     started_at: f64,
 }
 
@@ -224,33 +294,55 @@ impl BufCheckOp {
             spec,
             capacity: capacity.max(1),
             buffer: VecDeque::new(),
+            overflow: None,
             count: 0,
             eof: false,
             resolved: false,
             raised: false,
+            pending_signal: None,
             started_at: 0.0,
         }
     }
 
-    fn fail_upper(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
-        let suppressed = ctx.force_reopt_at.is_some() && ctx.force_reopt_at != Some(self.spec.id);
-        if self.resolved || self.raised || !ctx.checks_enabled || suppressed {
-            return Ok(());
+    /// Count a batch in the streaming (post-valve) phase; on a crossing,
+    /// deliver the pre-violation prefix and stash the rest.
+    fn stream_batch(&mut self, ctx: &mut ExecCtx, b: RowBatch) -> OpResult<Option<RowBatch>> {
+        let n = b.live_count() as u64;
+        let is_armed = armed(ctx, &self.spec, self.resolved, self.raised);
+        match count_against_hi(
+            &mut self.count,
+            self.spec.range.hi,
+            is_armed,
+            n,
+            ctx.model.check_row,
+            ctx,
+        ) {
+            None => Ok(Some(b)),
+            Some(j) => {
+                let sig = self.raise_upper(ctx);
+                let (prefix, suffix) = b.split_live(j as usize);
+                self.buffer.push_back(suffix);
+                if prefix.live_count() == 0 {
+                    return Err(sig);
+                }
+                self.pending_signal = Some(sig);
+                Ok(Some(prefix))
+            }
         }
-        if (self.count as f64) > self.spec.range.hi {
-            self.resolved = true;
-            self.raised = true;
-            let observed = ObservedCard::AtLeast(self.count);
-            record_event(
-                ctx,
-                &self.spec,
-                CheckOutcome::Violated,
-                observed,
-                self.started_at,
-            );
-            return Err(violation(&self.spec, observed, false));
-        }
-        Ok(())
+    }
+
+    fn raise_upper(&mut self, ctx: &mut ExecCtx) -> ExecSignal {
+        self.resolved = true;
+        self.raised = true;
+        let observed = ObservedCard::AtLeast(self.count);
+        record_event(
+            ctx,
+            &self.spec,
+            CheckOutcome::Violated,
+            observed,
+            self.started_at,
+        );
+        violation(&self.spec, observed, false)
     }
 
     fn finish_exact(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
@@ -291,59 +383,82 @@ impl BufCheckOp {
 impl Operator for BufCheckOp {
     fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
         self.buffer.clear();
+        self.overflow = None;
         self.count = 0;
         self.eof = false;
         self.resolved = false;
         self.raised = false;
+        self.pending_signal = None;
         self.started_at = ctx.work;
         self.input.open(ctx)?;
-        // Fill the valve.
-        while self.buffer.len() < self.capacity {
-            match self.input.next(ctx)? {
+        // Fill the valve (charging the buffering surcharge per row).
+        let mut buffered = 0usize;
+        while buffered < self.capacity {
+            match self.input.next_batch(ctx)? {
                 None => {
                     self.eof = true;
                     self.finish_exact(ctx)?;
                     break;
                 }
-                Some(r) => {
-                    self.count += 1;
-                    ctx.charge(ctx.model.check_row + ctx.model.temp_write_row * 0.5);
-                    self.buffer.push_back(r);
-                    self.fail_upper(ctx)?;
+                Some(b) => {
+                    let room = self.capacity - buffered;
+                    let (head, tail) = if b.live_count() > room {
+                        let (head, tail) = b.split_live(room);
+                        (head, Some(tail))
+                    } else {
+                        (b, None)
+                    };
+                    let n = head.live_count();
+                    let is_armed = armed(ctx, &self.spec, self.resolved, self.raised);
+                    let crossed = count_against_hi(
+                        &mut self.count,
+                        self.spec.range.hi,
+                        is_armed,
+                        n as u64,
+                        ctx.model.check_row + ctx.model.temp_write_row * 0.5,
+                        ctx,
+                    );
+                    // The head stays buffered either way, so a resumed
+                    // (checks-disabled) run replays every row.
+                    self.buffer.push_back(head);
+                    buffered += n;
+                    self.overflow = tail;
+                    if crossed.is_some() {
+                        return Err(self.raise_upper(ctx));
+                    }
                 }
             }
         }
         Ok(())
     }
 
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
-        if let Some(r) = self.buffer.pop_front() {
-            return Ok(Some(r));
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        if let Some(sig) = self.pending_signal.take() {
+            return Err(sig);
+        }
+        if let Some(b) = self.buffer.pop_front() {
+            return Ok(Some(b));
+        }
+        if let Some(b) = self.overflow.take() {
+            return self.stream_batch(ctx, b);
         }
         if self.eof {
             return Ok(None);
         }
-        match self.input.next(ctx)? {
+        match self.input.next_batch(ctx)? {
             None => {
                 self.eof = true;
                 self.finish_exact(ctx)?;
                 Ok(None)
             }
-            Some(r) => {
-                self.count += 1;
-                ctx.charge(ctx.model.check_row);
-                if let Err(e) = self.fail_upper(ctx) {
-                    self.buffer.push_back(r);
-                    return Err(e);
-                }
-                Ok(Some(r))
-            }
+            Some(b) => self.stream_batch(ctx, b),
         }
     }
 
     fn close(&mut self, ctx: &mut ExecCtx) {
         self.input.close(ctx);
         self.buffer.clear();
+        self.overflow = None;
     }
 }
 
@@ -351,6 +466,7 @@ impl Operator for BufCheckOp {
 mod tests {
     use super::*;
     use crate::operators::{TableScanOp, TempOp};
+    use crate::ExecRow;
     use pop_expr::Params;
     use pop_plan::{CheckFlavor, CostModel, ValidityRange};
     use pop_storage::Catalog;
@@ -387,16 +503,30 @@ mod tests {
         }
     }
 
+    /// Drain rows one logical row at a time, counting rows delivered and
+    /// collecting violations as they interleave with the stream.
+    fn drain_counting(op: &mut dyn Operator, ctx: &mut ExecCtx) -> (usize, Vec<Violation>) {
+        let mut rows = 0;
+        let mut violations = Vec::new();
+        loop {
+            match op.next_batch(ctx) {
+                Ok(Some(b)) => rows += b.live_count(),
+                Ok(None) => break,
+                Err(ExecSignal::Reopt(v)) => violations.push(*v),
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        (rows, violations)
+    }
+
     #[test]
     fn check_passes_within_range() {
         let (mut ctx, scan) = scan_of(10);
         let mut op = CheckOp::new(scan, spec(5.0, 20.0), false);
         op.open(&mut ctx).unwrap();
-        let mut n = 0;
-        while op.next(&mut ctx).unwrap().is_some() {
-            n += 1;
-        }
+        let (n, violations) = drain_counting(&mut op, &mut ctx);
         assert_eq!(n, 10);
+        assert!(violations.is_empty());
         assert_eq!(ctx.check_events.len(), 1);
         assert_eq!(ctx.check_events[0].outcome, CheckOutcome::Passed);
         assert_eq!(ctx.check_events[0].observed, ObservedCard::Exact(10));
@@ -404,21 +534,24 @@ mod tests {
 
     #[test]
     fn check_fires_upper_bound_mid_stream() {
-        let (mut ctx, scan) = scan_of(100);
-        let mut op = CheckOp::new(scan, spec(0.0, 5.0), false);
-        op.open(&mut ctx).unwrap();
-        let mut seen = 0;
-        let v = loop {
-            match op.next(&mut ctx) {
-                Ok(Some(_)) => seen += 1,
-                Ok(None) => panic!("should have violated"),
-                Err(s) => break expect_reopt::<()>(Err(s)),
-            }
-        };
-        // Fires on the 6th row, before returning it.
-        assert_eq!(seen, 5);
-        assert_eq!(v.observed, ObservedCard::AtLeast(6));
-        assert!(!v.forced);
+        for batch_size in [1usize, 3, 1024] {
+            let (mut ctx, scan) = scan_of(100);
+            ctx.batch_size = batch_size;
+            let mut op = CheckOp::new(scan, spec(0.0, 5.0), false);
+            op.open(&mut ctx).unwrap();
+            let mut seen = 0;
+            let v = loop {
+                match op.next_batch(&mut ctx) {
+                    Ok(Some(b)) => seen += b.live_count(),
+                    Ok(None) => panic!("should have violated"),
+                    Err(s) => break expect_reopt::<()>(Err(s)),
+                }
+            };
+            // Fires on the 6th row, before returning it — at every batch size.
+            assert_eq!(seen, 5, "batch_size={batch_size}");
+            assert_eq!(v.observed, ObservedCard::AtLeast(6));
+            assert!(!v.forced);
+        }
     }
 
     #[test]
@@ -426,10 +559,9 @@ mod tests {
         let (mut ctx, scan) = scan_of(3);
         let mut op = CheckOp::new(scan, spec(10.0, 100.0), false);
         op.open(&mut ctx).unwrap();
-        for _ in 0..3 {
-            op.next(&mut ctx).unwrap().unwrap();
-        }
-        let v = expect_reopt(op.next(&mut ctx));
+        let b = op.next_batch(&mut ctx).unwrap().unwrap();
+        assert_eq!(b.live_count(), 3);
+        let v = expect_reopt(op.next_batch(&mut ctx));
         assert_eq!(v.observed, ObservedCard::Exact(3));
     }
 
@@ -448,11 +580,9 @@ mod tests {
         ctx.checks_enabled = false;
         let mut op = CheckOp::new(scan, spec(0.0, 5.0), false);
         op.open(&mut ctx).unwrap();
-        let mut n = 0;
-        while op.next(&mut ctx).unwrap().is_some() {
-            n += 1;
-        }
+        let (n, violations) = drain_counting(&mut op, &mut ctx);
         assert_eq!(n, 100);
+        assert!(violations.is_empty());
     }
 
     #[test]
@@ -461,19 +591,9 @@ mod tests {
         ctx.force_reopt_at = Some(0);
         let mut op = CheckOp::new(scan, spec(0.0, 100.0), false);
         op.open(&mut ctx).unwrap();
-        let mut got: Option<Violation> = None;
-        loop {
-            match op.next(&mut ctx) {
-                Ok(Some(_)) => {}
-                Ok(None) => break,
-                Err(ExecSignal::Reopt(v)) => {
-                    got = Some(*v);
-                    break;
-                }
-                Err(e) => panic!("unexpected {e:?}"),
-            }
-        }
-        let v = got.expect("forced violation");
+        let (_, violations) = drain_counting(&mut op, &mut ctx);
+        assert_eq!(violations.len(), 1);
+        let v = &violations[0];
         assert!(v.forced);
         assert_eq!(v.observed, ObservedCard::Exact(10));
         assert!(ctx.forced_fired);
@@ -490,13 +610,12 @@ mod tests {
     #[test]
     fn bufcheck_succeeds_and_streams_all_rows() {
         let (mut ctx, scan) = scan_of(10);
+        ctx.batch_size = 2;
         let mut op = BufCheckOp::new(scan, spec(2.0, 50.0), 4);
         op.open(&mut ctx).unwrap();
-        let mut n = 0;
-        while op.next(&mut ctx).unwrap().is_some() {
-            n += 1;
-        }
+        let (n, violations) = drain_counting(&mut op, &mut ctx);
         assert_eq!(n, 10);
+        assert!(violations.is_empty());
     }
 
     #[test]
@@ -508,22 +627,65 @@ mod tests {
     }
 
     #[test]
+    fn bufcheck_streaming_violation_splits_batch() {
+        // Valve of 2, hi = 5: rows 1-2 buffered, violation trips on row 6
+        // while streaming. The 3 streamed rows before the tripping row are
+        // delivered before the signal at any batch size.
+        for batch_size in [1usize, 4, 1024] {
+            let (mut ctx, scan) = scan_of(50);
+            ctx.batch_size = batch_size;
+            let mut op = BufCheckOp::new(scan, spec(0.0, 5.0), 2);
+            op.open(&mut ctx).unwrap();
+            let mut seen = 0;
+            let v = loop {
+                match op.next_batch(&mut ctx) {
+                    Ok(Some(b)) => seen += b.live_count(),
+                    Ok(None) => panic!("should have violated"),
+                    Err(s) => break expect_reopt::<()>(Err(s)),
+                }
+            };
+            assert_eq!(seen, 5, "batch_size={batch_size}");
+            assert_eq!(v.observed, ObservedCard::AtLeast(6));
+        }
+    }
+
+    #[test]
     fn check_raises_only_once_then_passes_through() {
-        let (mut ctx, scan) = scan_of(100);
-        let mut op = CheckOp::new(scan, spec(0.0, 5.0), false);
+        for batch_size in [1usize, 7, 1024] {
+            let (mut ctx, scan) = scan_of(100);
+            ctx.batch_size = batch_size;
+            let mut op = CheckOp::new(scan, spec(0.0, 5.0), false);
+            op.open(&mut ctx).unwrap();
+            let (rows, violations) = drain_counting(&mut op, &mut ctx);
+            assert_eq!(violations.len(), 1);
+            assert_eq!(rows, 100, "the rows that tripped the check are not lost");
+        }
+    }
+
+    #[test]
+    fn mid_batch_violation_neither_drops_nor_duplicates() {
+        let (mut ctx, scan) = scan_of(20);
+        let mut op = CheckOp::new(scan, spec(0.0, 7.0), false);
         op.open(&mut ctx).unwrap();
+        let mut rows: Vec<ExecRow> = Vec::new();
         let mut violations = 0;
-        let mut rows = 0;
         loop {
-            match op.next(&mut ctx) {
-                Ok(Some(_)) => rows += 1,
+            match op.next_batch(&mut ctx) {
+                Ok(Some(b)) => rows.extend(b.into_rows()),
                 Ok(None) => break,
                 Err(ExecSignal::Reopt(_)) => violations += 1,
                 Err(e) => panic!("unexpected {e:?}"),
             }
         }
         assert_eq!(violations, 1);
-        assert_eq!(rows, 100, "the row that tripped the check is not lost");
+        let vals: Vec<i64> = rows
+            .iter()
+            .map(|r| match &r.values[0] {
+                Value::Int(i) => *i,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(vals, (0..20).collect::<Vec<_>>());
     }
 }
 

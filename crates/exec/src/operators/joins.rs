@@ -1,8 +1,13 @@
 //! The three join methods: index nested-loop, hash, and merge join.
+//!
+//! Joins consume their streaming inputs through a [`BatchCursor`] (rows
+//! are moved out of the buffered batch, never cloned) and accumulate
+//! output into a [`RowBatch`] of up to [`ExecCtx::batch_size`] rows per
+//! call.
 
 use crate::operators::materialize::{snapshot_harvest, HarvestInfo};
-use crate::operators::Operator;
-use crate::{ExecCtx, ExecRow, OpResult};
+use crate::operators::{BatchCursor, Operator};
+use crate::{ExecCtx, ExecRow, OpResult, RowBatch};
 use pop_expr::BoundExpr;
 use pop_storage::{Index, Table};
 use pop_types::{Rid, Row, Value};
@@ -26,9 +31,11 @@ pub struct NljnOp {
     /// `(outer position, inner column)` residual equi-join conditions.
     residual: Vec<(usize, usize)>,
     inner_rows: Option<Arc<Vec<Row>>>,
+    cursor: BatchCursor,
     current_outer: Option<ExecRow>,
     matches: Vec<u64>,
     match_pos: usize,
+    pending_signal: Option<crate::ExecSignal>,
 }
 
 impl NljnOp {
@@ -49,9 +56,11 @@ impl NljnOp {
             inner_pred,
             residual,
             inner_rows: None,
+            cursor: BatchCursor::new(),
             current_outer: None,
             matches: Vec::new(),
             match_pos: 0,
+            pending_signal: None,
         }
     }
 }
@@ -60,24 +69,30 @@ impl Operator for NljnOp {
     fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
         self.outer.open(ctx)?;
         self.inner_rows = Some(self.inner_table.snapshot());
+        self.cursor.reset();
         self.current_outer = None;
         self.matches.clear();
         self.match_pos = 0;
+        self.pending_signal = None;
         Ok(())
     }
 
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
         let inner_rows = self
             .inner_rows
             .as_ref()
-            .ok_or_else(|| super::protocol_err("NLJN next() before open()"))?
+            .ok_or_else(|| super::protocol_err("NLJN next_batch() before open()"))?
             .clone();
+        if let Some(sig) = self.pending_signal.take() {
+            return Err(sig);
+        }
+        let target = ctx.batch_size.max(1);
+        let mut out = RowBatch::with_capacity(target);
         loop {
             // Drain pending matches of the current outer row.
             while self.match_pos < self.matches.len() {
                 let pos = self.matches[self.match_pos] as usize;
                 self.match_pos += 1;
-                ctx.charge(ctx.model.index_fetch_row);
                 let inner_row = &inner_rows[pos];
                 if let Some(p) = &self.inner_pred {
                     if !p.passes(inner_row, &ctx.params)? {
@@ -101,20 +116,29 @@ impl Operator for NljnOp {
                 if !ok {
                     continue;
                 }
-                let joined = outer.clone().concat(&ExecRow::base(
-                    inner_row.clone(),
-                    Rid::new(self.inner_table.id(), pos as u64),
-                ));
-                return Ok(Some(joined));
+                out.push_concat(
+                    &outer.values,
+                    inner_row,
+                    &outer.lineage,
+                    &[Rid::new(self.inner_table.id(), pos as u64)],
+                );
+                if out.len() >= target {
+                    return Ok(Some(out));
+                }
             }
-            // Advance the outer.
-            match self.outer.next(ctx)? {
-                None => return Ok(None),
-                Some(outer_row) => {
-                    ctx.charge(ctx.model.index_probe);
+            // Advance the outer; fetch charges for the whole match list are
+            // taken up front at probe time.
+            match self.cursor.next_row(self.outer.as_mut(), ctx) {
+                Err(sig) => return super::stash_or_raise(sig, out, &mut self.pending_signal),
+                Ok(None) => return Ok(if out.is_empty() { None } else { Some(out) }),
+                Ok(Some(outer_row)) => {
                     let key = &outer_row.values[self.outer_key_pos];
                     self.matches = self.inner_index.probe(key).to_vec();
                     self.match_pos = 0;
+                    ctx.charge(
+                        ctx.model.index_probe
+                            + self.matches.len() as f64 * ctx.model.index_fetch_row,
+                    );
                     self.current_outer = Some(outer_row);
                 }
             }
@@ -124,13 +148,16 @@ impl Operator for NljnOp {
     fn close(&mut self, ctx: &mut ExecCtx) {
         self.outer.close(ctx);
         self.inner_rows = None;
+        self.cursor.reset();
     }
 }
 
-/// Hash join: the build side is fully materialized into a hash table at
-/// `open`; the probe side streams. Build overflow past the memory budget
-/// charges simulated spill passes, mirroring the cost model's step
-/// function.
+/// Hash join: the build side is fully materialized into a row arena plus
+/// a hash table of arena indices at `open`; the probe side streams. Probe
+/// hits reference arena rows by index and are copied out once into the
+/// join output — the build row is never re-cloned per bucket. Build
+/// overflow past the memory budget charges simulated spill passes,
+/// mirroring the cost model's step function.
 pub struct HsjnOp {
     build: Box<dyn Operator>,
     probe: Box<dyn Operator>,
@@ -140,12 +167,16 @@ pub struct HsjnOp {
     /// intermediate result — the hash-join-build reuse the paper lists as
     /// a planned enhancement of its prototype (§4).
     build_harvest: Option<HarvestInfo>,
-    table: HashMap<Vec<Value>, Vec<ExecRow>>,
-    build_rows: u64,
+    /// Build rows, stored exactly once.
+    arena: Vec<ExecRow>,
+    /// Join key → arena indices.
+    table: HashMap<Vec<Value>, Vec<u32>>,
     spill_passes: f64,
-    current: Vec<ExecRow>,
+    cursor: BatchCursor,
+    current: Vec<u32>,
     current_pos: usize,
     current_probe: Option<ExecRow>,
+    pending_signal: Option<crate::ExecSignal>,
 }
 
 impl HsjnOp {
@@ -162,12 +193,14 @@ impl HsjnOp {
             build_key_pos,
             probe_key_pos,
             build_harvest: None,
+            arena: Vec::new(),
             table: HashMap::new(),
-            build_rows: 0,
             spill_passes: 0.0,
+            cursor: BatchCursor::new(),
             current: Vec::new(),
             current_pos: 0,
             current_probe: None,
+            pending_signal: None,
         }
     }
 
@@ -181,55 +214,70 @@ impl HsjnOp {
 impl Operator for HsjnOp {
     fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
         self.build.open(ctx)?;
+        self.arena.clear();
         self.table.clear();
-        self.build_rows = 0;
-        let mut harvest_rows: Vec<ExecRow> = Vec::new();
-        while let Some(row) = self.build.next(ctx)? {
-            ctx.charge(ctx.model.hash_build_row);
-            self.build_rows += 1;
-            if self.build_harvest.is_some() {
-                harvest_rows.push(row.clone());
+        while let Some(b) = self.build.next_batch(ctx)? {
+            ctx.charge(b.live_count() as f64 * ctx.model.hash_build_row);
+            for row in b.into_rows() {
+                let key: Vec<Value> = self
+                    .build_key_pos
+                    .iter()
+                    .map(|p| row.values[*p].clone())
+                    .collect();
+                let idx = self.arena.len() as u32;
+                self.arena.push(row);
+                if key.iter().any(Value::is_null) {
+                    continue; // NULL keys never join
+                }
+                self.table.entry(key).or_default().push(idx);
             }
-            let key: Vec<Value> = self
-                .build_key_pos
-                .iter()
-                .map(|p| row.values[*p].clone())
-                .collect();
-            if key.iter().any(Value::is_null) {
-                continue; // NULL keys never join
-            }
-            self.table.entry(key).or_default().push(row);
         }
         if let Some(info) = &self.build_harvest {
-            ctx.harvests.push(snapshot_harvest(info, &harvest_rows));
+            ctx.harvests.push(snapshot_harvest(info, &self.arena));
         }
         // Simulated grace-hash spill: the same step function the optimizer
         // models, so misestimated builds really do cost what the model says.
-        self.spill_passes = ctx.model.spill_passes(self.build_rows as f64);
+        self.spill_passes = ctx.model.spill_passes(self.arena.len() as f64);
         if self.spill_passes > 0.0 {
-            ctx.charge(self.spill_passes * self.build_rows as f64 * ctx.model.spill_row);
+            ctx.charge(self.spill_passes * self.arena.len() as f64 * ctx.model.spill_row);
         }
         self.probe.open(ctx)?;
+        self.cursor.reset();
         self.current.clear();
         self.current_pos = 0;
         self.current_probe = None;
+        self.pending_signal = None;
         Ok(())
     }
 
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        if let Some(sig) = self.pending_signal.take() {
+            return Err(sig);
+        }
+        let target = ctx.batch_size.max(1);
+        let mut out = RowBatch::with_capacity(target);
         loop {
-            if self.current_pos < self.current.len() {
-                let build_row = self.current[self.current_pos].clone();
+            while self.current_pos < self.current.len() {
+                let build_row = &self.arena[self.current[self.current_pos] as usize];
                 self.current_pos += 1;
                 let probe_row = self
                     .current_probe
                     .as_ref()
                     .ok_or_else(|| super::protocol_err("HSJN match without a probe row"))?;
-                return Ok(Some(build_row.concat(probe_row)));
+                out.push_concat(
+                    &build_row.values,
+                    &probe_row.values,
+                    &build_row.lineage,
+                    &probe_row.lineage,
+                );
+                if out.len() >= target {
+                    return Ok(Some(out));
+                }
             }
-            match self.probe.next(ctx)? {
-                None => return Ok(None),
-                Some(row) => {
+            match self.cursor.next_row(self.probe.as_mut(), ctx) {
+                Err(sig) => return super::stash_or_raise(sig, out, &mut self.pending_signal),
+                Ok(None) => return Ok(if out.is_empty() { None } else { Some(out) }),
+                Ok(Some(row)) => {
                     ctx.charge(ctx.model.hash_probe_row + self.spill_passes * ctx.model.spill_row);
                     let key: Vec<Value> = self
                         .probe_key_pos
@@ -250,13 +298,16 @@ impl Operator for HsjnOp {
     fn close(&mut self, ctx: &mut ExecCtx) {
         self.build.close(ctx);
         self.probe.close(ctx);
+        self.arena.clear();
         self.table.clear();
+        self.cursor.reset();
     }
 }
 
 /// Semi/anti probe for a correlated EXISTS clause: for each input row,
 /// probe the inner table's index on the link column and test whether any
-/// matching inner row satisfies the clause predicate.
+/// matching inner row satisfies the clause predicate. Rows that fail the
+/// existential test are dropped from the batch via its selection vector.
 pub struct SemiProbeOp {
     input: Box<dyn Operator>,
     outer_pos: usize,
@@ -296,35 +347,39 @@ impl Operator for SemiProbeOp {
         Ok(())
     }
 
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
         let inner_rows = self
             .inner_rows
             .as_ref()
-            .ok_or_else(|| super::protocol_err("semi probe next() before open()"))?
+            .ok_or_else(|| super::protocol_err("semi probe next_batch() before open()"))?
             .clone();
         loop {
-            match self.input.next(ctx)? {
-                None => return Ok(None),
-                Some(row) => {
-                    ctx.charge(ctx.model.index_probe);
-                    let key = &row.values[self.outer_pos];
-                    let mut found = false;
-                    for pos in self.inner_index.probe(key) {
-                        ctx.charge(ctx.model.index_fetch_row);
-                        let inner = &inner_rows[*pos as usize];
-                        let ok = match &self.pred {
-                            Some(p) => p.passes(inner, &ctx.params)?,
-                            None => true,
-                        };
-                        if ok {
-                            found = true;
-                            break; // existential: first qualifying match decides
-                        }
-                    }
-                    if found != self.negated {
-                        return Ok(Some(row));
+            let Some(mut b) = self.input.next_batch(ctx)? else {
+                return Ok(None);
+            };
+            let mut charge = 0.0;
+            let result: OpResult<()> = b.try_retain_live(|values, _| {
+                charge += ctx.model.index_probe;
+                let key = &values[self.outer_pos];
+                let mut found = false;
+                for pos in self.inner_index.probe(key) {
+                    charge += ctx.model.index_fetch_row;
+                    let inner = &inner_rows[*pos as usize];
+                    let ok = match &self.pred {
+                        Some(p) => p.passes(inner, &ctx.params)?,
+                        None => true,
+                    };
+                    if ok {
+                        found = true;
+                        break; // existential: first qualifying match decides
                     }
                 }
+                Ok(found != self.negated)
+            });
+            ctx.charge(charge);
+            result?;
+            if b.live_count() > 0 {
+                return Ok(Some(b));
             }
         }
     }
@@ -337,18 +392,23 @@ impl Operator for SemiProbeOp {
 
 /// Merge join over inputs sorted on the join key (single-column). Buffers
 /// groups of equal right-side keys so duplicate keys on both sides produce
-/// the full cross product.
+/// the full cross product. The row-level merge state machine is unchanged
+/// from the row-at-a-time engine; rows arrive through cursors and output
+/// accumulates into batches.
 pub struct MgjnOp {
     left: Box<dyn Operator>,
     right: Box<dyn Operator>,
     left_key_pos: usize,
     right_key_pos: usize,
+    left_cursor: BatchCursor,
+    right_cursor: BatchCursor,
     left_row: Option<ExecRow>,
     group: Vec<ExecRow>,
     group_key: Option<Value>,
     group_pos: usize,
     right_pending: Option<ExecRow>,
     right_eof: bool,
+    pending_signal: Option<crate::ExecSignal>,
 }
 
 impl MgjnOp {
@@ -364,18 +424,21 @@ impl MgjnOp {
             right,
             left_key_pos,
             right_key_pos,
+            left_cursor: BatchCursor::new(),
+            right_cursor: BatchCursor::new(),
             left_row: None,
             group: Vec::new(),
             group_key: None,
             group_pos: 0,
             right_pending: None,
             right_eof: false,
+            pending_signal: None,
         }
     }
 
     fn advance_left(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
         loop {
-            self.left_row = self.left.next(ctx)?;
+            self.left_row = self.left_cursor.next_row(self.left.as_mut(), ctx)?;
             if let Some(r) = &self.left_row {
                 ctx.charge(ctx.model.merge_row);
                 if r.values[self.left_key_pos].is_null() {
@@ -394,7 +457,7 @@ impl MgjnOp {
             return Ok(None);
         }
         loop {
-            match self.right.next(ctx)? {
+            match self.right_cursor.next_row(self.right.as_mut(), ctx)? {
                 None => {
                     self.right_eof = true;
                     return Ok(None);
@@ -452,23 +515,9 @@ impl MgjnOp {
             }
         }
     }
-}
 
-impl Operator for MgjnOp {
-    fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
-        self.left.open(ctx)?;
-        self.right.open(ctx)?;
-        self.left_row = None;
-        self.group.clear();
-        self.group_key = None;
-        self.group_pos = 0;
-        self.right_pending = None;
-        self.right_eof = false;
-        self.advance_left(ctx)?;
-        Ok(())
-    }
-
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+    /// One step of the merge state machine: the next joined row, if any.
+    fn next_joined(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
         loop {
             let Some(left) = self.left_row.clone() else {
                 return Ok(None);
@@ -517,10 +566,46 @@ impl Operator for MgjnOp {
             }
         }
     }
+}
+
+impl Operator for MgjnOp {
+    fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        self.left.open(ctx)?;
+        self.right.open(ctx)?;
+        self.left_cursor.reset();
+        self.right_cursor.reset();
+        self.left_row = None;
+        self.group.clear();
+        self.group_key = None;
+        self.group_pos = 0;
+        self.right_pending = None;
+        self.right_eof = false;
+        self.pending_signal = None;
+        self.advance_left(ctx)?;
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        if let Some(sig) = self.pending_signal.take() {
+            return Err(sig);
+        }
+        let target = ctx.batch_size.max(1);
+        let mut out = RowBatch::with_capacity(target);
+        while out.len() < target {
+            match self.next_joined(ctx) {
+                Err(sig) => return super::stash_or_raise(sig, out, &mut self.pending_signal),
+                Ok(None) => break,
+                Ok(Some(r)) => out.push(r.values, r.lineage),
+            }
+        }
+        Ok(if out.is_empty() { None } else { Some(out) })
+    }
 
     fn close(&mut self, ctx: &mut ExecCtx) {
         self.left.close(ctx);
         self.right.close(ctx);
+        self.left_cursor.reset();
+        self.right_cursor.reset();
         self.group.clear();
     }
 }
@@ -568,8 +653,8 @@ mod tests {
     fn drain(op: &mut dyn Operator, ctx: &mut ExecCtx) -> Vec<Vec<Value>> {
         op.open(ctx).unwrap();
         let mut out = Vec::new();
-        while let Some(r) = op.next(ctx).unwrap() {
-            out.push(r.values);
+        while let Some(b) = op.next_batch(ctx).unwrap() {
+            out.extend(b.into_rows().into_iter().map(|r| r.values));
         }
         op.close(ctx);
         out.sort();
@@ -624,6 +709,22 @@ mod tests {
         let p = Box::new(TableScanOp::new(right, None));
         let mut op = HsjnOp::new(b, p, vec![0], vec![0]);
         assert_eq!(drain(&mut op, &mut ctx), expected_join());
+    }
+
+    #[test]
+    fn hsjn_single_batch_splits_at_batch_size() {
+        let (mut ctx, left, right) = setup();
+        ctx.batch_size = 3;
+        let b = Box::new(TableScanOp::new(left, None));
+        let p = Box::new(TableScanOp::new(right, None));
+        let mut op = HsjnOp::new(b, p, vec![0], vec![0]);
+        op.open(&mut ctx).unwrap();
+        let first = op.next_batch(&mut ctx).unwrap().unwrap();
+        assert_eq!(first.live_count(), 3);
+        let second = op.next_batch(&mut ctx).unwrap().unwrap();
+        assert_eq!(second.live_count(), 1);
+        assert!(op.next_batch(&mut ctx).unwrap().is_none());
+        op.close(&mut ctx);
     }
 
     #[test]
@@ -687,6 +788,21 @@ mod tests {
         // Residual: l.v (pos 1) must equal r.w (col 1) — never true here.
         let mut op = NljnOp::new(outer, 0, right, idx, None, vec![(1, 1)]);
         assert!(drain(&mut op, &mut ctx).is_empty());
+    }
+
+    #[test]
+    fn semi_probe_keeps_matching_rows_only() {
+        let (mut ctx, left, right) = setup();
+        let idx = ctx.catalog.find_index(right.id(), 0, false).unwrap();
+        let input = Box::new(TableScanOp::new(left.clone(), None));
+        // EXISTS (right.k = left.k): keeps the two k=2 rows.
+        let mut op = SemiProbeOp::new(input, 0, right.clone(), idx.clone(), None, false);
+        let out = drain(&mut op, &mut ctx);
+        assert_eq!(out.len(), 2);
+        // NOT EXISTS keeps the rest (NULL key probes find nothing).
+        let input = Box::new(TableScanOp::new(left, None));
+        let mut op = SemiProbeOp::new(input, 0, right, idx, None, true);
+        assert_eq!(drain(&mut op, &mut ctx).len(), 2);
     }
 }
 

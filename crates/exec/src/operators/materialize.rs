@@ -2,8 +2,8 @@
 //! points, and the source of reusable intermediate results.
 
 use crate::context::Harvest;
-use crate::operators::Operator;
-use crate::{ExecCtx, ExecRow, OpResult};
+use crate::operators::{emit_chunk, Operator};
+use crate::{ExecCtx, ExecRow, OpResult, RowBatch};
 use pop_types::ColId;
 
 /// Harvest descriptor attached to a materializing operator at build time:
@@ -36,7 +36,7 @@ pub(crate) fn snapshot_harvest(info: &HarvestInfo, rows: &[ExecRow]) -> Harvest 
 
 /// Materializing sort. The entire input is consumed at `open`; the sorted
 /// result is registered as a harvest (in canonical column order) for
-/// potential reuse after a CHECK failure.
+/// potential reuse after a CHECK failure, then re-emitted in batches.
 pub struct SortOp {
     input: Box<dyn Operator>,
     key_pos: usize,
@@ -72,8 +72,8 @@ impl Operator for SortOp {
         self.input.open(ctx)?;
         self.rows.clear();
         self.pos = 0;
-        while let Some(r) = self.input.next(ctx)? {
-            self.rows.push(r);
+        while let Some(b) = self.input.next_batch(ctx)? {
+            self.rows.extend(b.into_rows());
         }
         let key = self.key_pos;
         // Stable sort: chained sorts implement multi-key ORDER BY.
@@ -91,14 +91,8 @@ impl Operator for SortOp {
         Ok(())
     }
 
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
-        let _ = ctx;
-        if self.pos >= self.rows.len() {
-            return Ok(None);
-        }
-        let r = self.rows[self.pos].clone();
-        self.pos += 1;
-        Ok(Some(r))
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        Ok(emit_chunk(&self.rows, &mut self.pos, ctx))
     }
 
     fn close(&mut self, ctx: &mut ExecCtx) {
@@ -117,8 +111,8 @@ impl Operator for SortOp {
 }
 
 /// Explicit materialization (TEMP): buffers its input completely at
-/// `open`, then streams it. Introduced by LCEM placement on NLJN outers,
-/// and usable as a blocking buffer anywhere.
+/// `open`, then streams it in batches. Introduced by LCEM placement on
+/// NLJN outers, and usable as a blocking buffer anywhere.
 pub struct TempOp {
     input: Box<dyn Operator>,
     harvest: Option<HarvestInfo>,
@@ -145,9 +139,9 @@ impl Operator for TempOp {
         self.input.open(ctx)?;
         self.rows.clear();
         self.pos = 0;
-        while let Some(r) = self.input.next(ctx)? {
-            ctx.charge(ctx.model.temp_write_row);
-            self.rows.push(r);
+        while let Some(b) = self.input.next_batch(ctx)? {
+            ctx.charge(b.live_count() as f64 * ctx.model.temp_write_row);
+            self.rows.extend(b.into_rows());
         }
         if let Some(info) = &self.harvest {
             ctx.harvests.push(snapshot_harvest(info, &self.rows));
@@ -156,14 +150,12 @@ impl Operator for TempOp {
         Ok(())
     }
 
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
-        if self.pos >= self.rows.len() {
-            return Ok(None);
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        let out = emit_chunk(&self.rows, &mut self.pos, ctx);
+        if let Some(b) = &out {
+            ctx.charge(b.live_count() as f64 * ctx.model.temp_read_row);
         }
-        ctx.charge(ctx.model.temp_read_row);
-        let r = self.rows[self.pos].clone();
-        self.pos += 1;
-        Ok(Some(r))
+        Ok(out)
     }
 
     fn close(&mut self, ctx: &mut ExecCtx) {
@@ -207,16 +199,21 @@ mod tests {
         (ctx, Box::new(TableScanOp::new(t, None)))
     }
 
+    fn drain_values(op: &mut dyn Operator, ctx: &mut ExecCtx) -> Vec<Value> {
+        let mut vals = Vec::new();
+        while let Some(b) = op.next_batch(ctx).unwrap() {
+            vals.extend(b.into_rows().into_iter().map(|r| r.values[0].clone()));
+        }
+        vals
+    }
+
     #[test]
     fn sort_orders_rows() {
         let (mut ctx, scan) = ctx_and_scan();
         let mut op = SortOp::new(scan, 0, false, None);
         op.open(&mut ctx).unwrap();
         assert_eq!(op.materialized_count(), Some(3));
-        let mut vals = Vec::new();
-        while let Some(r) = op.next(&mut ctx).unwrap() {
-            vals.push(r.values[0].clone());
-        }
+        let vals = drain_values(&mut op, &mut ctx);
         assert_eq!(vals, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
     }
 
@@ -225,8 +222,21 @@ mod tests {
         let (mut ctx, scan) = ctx_and_scan();
         let mut op = SortOp::new(scan, 0, true, None);
         op.open(&mut ctx).unwrap();
-        let r = op.next(&mut ctx).unwrap().unwrap();
-        assert_eq!(r.values[0], Value::Int(3));
+        let b = op.next_batch(&mut ctx).unwrap().unwrap();
+        assert_eq!(b.values_at(0)[0], Value::Int(3));
+    }
+
+    #[test]
+    fn sort_emits_in_batches() {
+        let (mut ctx, scan) = ctx_and_scan();
+        ctx.batch_size = 2;
+        let mut op = SortOp::new(scan, 0, false, None);
+        op.open(&mut ctx).unwrap();
+        let first = op.next_batch(&mut ctx).unwrap().unwrap();
+        assert_eq!(first.live_count(), 2);
+        let second = op.next_batch(&mut ctx).unwrap().unwrap();
+        assert_eq!(second.live_count(), 1);
+        assert!(op.next_batch(&mut ctx).unwrap().is_none());
     }
 
     #[test]
@@ -252,10 +262,7 @@ mod tests {
         let (mut ctx, scan) = ctx_and_scan();
         let mut op = TempOp::new(scan, None);
         op.open(&mut ctx).unwrap();
-        let mut n = 0;
-        while op.next(&mut ctx).unwrap().is_some() {
-            n += 1;
-        }
+        let n = drain_values(&mut op, &mut ctx).len();
         assert_eq!(n, 3);
         // write+read charged on top of the scan
         let expect = 3.0 * (ctx.model.seq_row + ctx.model.temp_write_row + ctx.model.temp_read_row);

@@ -1,6 +1,6 @@
 //! The operator trait and the physical operator implementations.
 
-use crate::{ExecCtx, ExecRow, OpResult};
+use crate::{ExecCtx, ExecRow, OpResult, RowBatch};
 
 pub(crate) mod agg;
 mod check;
@@ -29,18 +29,23 @@ macro_rules! opaque_debug {
 }
 pub(crate) use opaque_debug;
 
-/// The Volcano iterator contract.
+/// The batched iterator contract (Volcano open/next/close, one
+/// [`RowBatch`] per call instead of one row).
 ///
 /// `open` prepares the operator (materializing operators consume their
-/// entire input here); `next` produces one row or `None` at end of stream;
-/// `close` releases resources. All three may raise an
+/// entire input here); `next_batch` produces a batch with **at least one
+/// live row**, or `None` at end of stream; `close` releases resources.
+/// Batch boundaries carry no meaning — any re-chunking of the stream is
+/// equivalent, and [`crate::ExecCtx::batch_size`] of 1 reproduces classic
+/// row-at-a-time execution exactly. All three calls may raise an
 /// [`crate::ExecSignal`] — either a genuine error or a re-optimization
-/// request from a CHECK.
+/// request from a CHECK; a CHECK that fires mid-batch first emits the rows
+/// counted before the violation as a short batch, then raises.
 pub trait Operator {
     /// Prepare for iteration.
     fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()>;
-    /// Produce the next row, or `None` at end of stream.
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>>;
+    /// Produce the next batch (≥ 1 live row), or `None` at end of stream.
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>>;
     /// Release resources.
     fn close(&mut self, ctx: &mut ExecCtx);
     /// For materializing operators: the exact row count of the completed
@@ -52,9 +57,89 @@ pub trait Operator {
     }
 }
 
-/// Typed error for an operator-protocol violation (e.g. `next()` before
-/// `open()`): a harness bug, surfaced as an error instead of a panic so a
-/// malformed driver cannot take the process down.
+/// Row-at-a-time adapter over a batched child, for operators whose logic
+/// is inherently per-row (join probes, merge state machines). Rows are
+/// moved out of the buffered batch, not cloned.
+#[derive(Debug, Default)]
+pub(crate) struct BatchCursor {
+    batch: Option<RowBatch>,
+    pos: usize,
+}
+
+impl BatchCursor {
+    pub(crate) fn new() -> Self {
+        BatchCursor::default()
+    }
+
+    /// Drop any buffered batch (on open/close).
+    pub(crate) fn reset(&mut self) {
+        self.batch = None;
+        self.pos = 0;
+    }
+
+    /// Pull the next live row from `input`, refilling from `next_batch`
+    /// as needed.
+    pub(crate) fn next_row(
+        &mut self,
+        input: &mut dyn Operator,
+        ctx: &mut ExecCtx,
+    ) -> OpResult<Option<ExecRow>> {
+        loop {
+            if let Some(b) = &mut self.batch {
+                if let Some(i) = b.live_index(self.pos) {
+                    self.pos += 1;
+                    return Ok(Some(b.take_row_at(i)));
+                }
+                self.batch = None;
+            }
+            match input.next_batch(ctx)? {
+                None => return Ok(None),
+                Some(b) => {
+                    self.batch = Some(b);
+                    self.pos = 0;
+                }
+            }
+        }
+    }
+}
+
+/// Emit the next chunk of an already-materialized result, cloning up to
+/// `ctx.batch_size` rows per call. Shared by SORT/TEMP/aggregation output.
+pub(crate) fn emit_chunk(rows: &[ExecRow], pos: &mut usize, ctx: &ExecCtx) -> Option<RowBatch> {
+    if *pos >= rows.len() {
+        return None;
+    }
+    let end = (*pos + ctx.batch_size.max(1)).min(rows.len());
+    let mut out = RowBatch::with_capacity(end - *pos);
+    for r in &rows[*pos..end] {
+        out.push_row(&r.values, &r.lineage);
+    }
+    *pos = end;
+    Some(out)
+}
+
+/// Resolve a signal a child raised while this operator holds buffered
+/// output. A re-optimization signal must not discard rows that already
+/// cleared every CHECK below — in the row engine they reached the
+/// application one at a time before the violating pull — so the buffered
+/// batch is returned first and the signal stashed for the next call.
+/// Hard errors (and signals with nothing buffered) propagate at once.
+pub(crate) fn stash_or_raise(
+    sig: crate::ExecSignal,
+    out: RowBatch,
+    pending: &mut Option<crate::ExecSignal>,
+) -> OpResult<Option<RowBatch>> {
+    if out.is_empty() || matches!(sig, crate::ExecSignal::Error(_)) {
+        Err(sig)
+    } else {
+        *pending = Some(sig);
+        Ok(Some(out))
+    }
+}
+
+/// Typed error for an operator-protocol violation (e.g. `next_batch()`
+/// before `open()`): a harness bug, surfaced as an error instead of a
+/// panic so a malformed driver cannot take the process down.
 pub(crate) fn protocol_err(msg: &str) -> crate::ExecSignal {
     crate::ExecSignal::Error(pop_types::PopError::Execution(format!(
         "operator protocol violation: {msg}"

@@ -1,18 +1,23 @@
-//! Base-table and materialized-view scans.
+//! Base-table and materialized-view scans, batch-at-a-time.
 
 use crate::operators::Operator;
-use crate::{ExecCtx, ExecRow, OpResult};
+use crate::{ExecCtx, OpResult, RowBatch};
 use pop_expr::BoundExpr;
 use pop_storage::Table;
 use pop_types::{Rid, Row};
 use std::sync::Arc;
 
-/// Sequential scan with an optional pushed-down predicate.
+/// Sequential scan with an optional pushed-down predicate. Each
+/// `next_batch` call charges and filters one snapshot chunk; the predicate
+/// runs over the whole chunk via a selection vector, and only passing rows
+/// are copied out.
 pub struct TableScanOp {
     table: Arc<Table>,
     pred: Option<BoundExpr>,
     snapshot: Option<Arc<Vec<Row>>>,
     pos: usize,
+    /// Selection-vector scratch, reused across chunks.
+    sel: Vec<u32>,
 }
 
 impl TableScanOp {
@@ -23,6 +28,7 @@ impl TableScanOp {
             pred,
             snapshot: None,
             pos: 0,
+            sel: Vec::new(),
         }
     }
 }
@@ -34,28 +40,42 @@ impl Operator for TableScanOp {
         Ok(())
     }
 
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
         let rows = self
             .snapshot
             .as_ref()
-            .ok_or_else(|| super::protocol_err("table scan next() before open()"))?
+            .ok_or_else(|| super::protocol_err("table scan next_batch() before open()"))?
             .clone();
-        while self.pos < rows.len() {
-            let pos = self.pos;
-            self.pos += 1;
-            ctx.charge(ctx.model.seq_row);
-            ctx.rows_scanned += 1;
-            let row = &rows[pos];
-            let passes = match &self.pred {
-                Some(p) => p.passes(row, &ctx.params)?,
-                None => true,
+        while let Some((start, chunk)) = pop_storage::chunk(&rows, self.pos, ctx.batch_size) {
+            self.pos = start + chunk.len();
+            ctx.charge(chunk.len() as f64 * ctx.model.seq_row);
+            ctx.rows_scanned += chunk.len() as u64;
+            let out = match &self.pred {
+                None => {
+                    let mut out = RowBatch::with_capacity(chunk.len());
+                    for (i, row) in chunk.iter().enumerate() {
+                        out.push_row(row, &[Rid::new(self.table.id(), (start + i) as u64)]);
+                    }
+                    out
+                }
+                Some(p) => {
+                    self.sel.clear();
+                    self.sel.extend(0..chunk.len() as u32);
+                    p.filter_batch(chunk, &ctx.params, &mut self.sel)?;
+                    if self.sel.is_empty() {
+                        continue; // whole chunk filtered out: keep scanning
+                    }
+                    let mut out = RowBatch::with_capacity(self.sel.len());
+                    for &i in &self.sel {
+                        out.push_row(
+                            &chunk[i as usize],
+                            &[Rid::new(self.table.id(), (start + i as usize) as u64)],
+                        );
+                    }
+                    out
+                }
             };
-            if passes {
-                return Ok(Some(ExecRow::base(
-                    row.clone(),
-                    Rid::new(self.table.id(), pos as u64),
-                )));
-            }
+            return Ok(Some(out));
         }
         Ok(None)
     }
@@ -67,7 +87,7 @@ impl Operator for TableScanOp {
 
 /// Range scan over a sorted index: fetches only the rows whose indexed
 /// column lies in `[lo, hi]`, in index (ascending key) order, then applies
-/// the residual predicate.
+/// the residual predicate — one batch of positions per call.
 pub struct IndexRangeScanOp {
     table: Arc<Table>,
     index: Arc<pop_storage::Index>,
@@ -119,27 +139,30 @@ impl Operator for IndexRangeScanOp {
         Ok(())
     }
 
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
         let rows = self
             .snapshot
             .as_ref()
-            .ok_or_else(|| super::protocol_err("index range scan next() before open()"))?
+            .ok_or_else(|| super::protocol_err("index range scan next_batch() before open()"))?
             .clone();
         while self.pos < self.positions.len() {
-            let p = self.positions[self.pos] as usize;
-            self.pos += 1;
-            ctx.charge(ctx.model.index_fetch_row);
-            ctx.rows_scanned += 1;
-            let row = &rows[p];
-            let passes = match &self.residual {
-                Some(r) => r.passes(row, &ctx.params)?,
-                None => true,
-            };
-            if passes {
-                return Ok(Some(ExecRow::base(
-                    row.clone(),
-                    Rid::new(self.table.id(), p as u64),
-                )));
+            let end = (self.pos + ctx.batch_size.max(1)).min(self.positions.len());
+            let chunk = &self.positions[self.pos..end];
+            self.pos = end;
+            ctx.charge(chunk.len() as f64 * ctx.model.index_fetch_row);
+            ctx.rows_scanned += chunk.len() as u64;
+            let mut out = RowBatch::with_capacity(chunk.len());
+            for (p, row) in pop_storage::gather(&rows, chunk) {
+                let passes = match &self.residual {
+                    Some(r) => r.passes(row, &ctx.params)?,
+                    None => true,
+                };
+                if passes {
+                    out.push_row(row, &[Rid::new(self.table.id(), p)]);
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
             }
         }
         Ok(None)
@@ -180,27 +203,28 @@ impl Operator for MvScanOp {
         Ok(())
     }
 
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
         let rows = self
             .snapshot
             .as_ref()
-            .ok_or_else(|| super::protocol_err("MV scan next() before open()"))?
+            .ok_or_else(|| super::protocol_err("MV scan next_batch() before open()"))?
             .clone();
-        if self.pos >= rows.len() {
+        let Some((start, chunk)) = pop_storage::chunk(&rows, self.pos, ctx.batch_size) else {
             return Ok(None);
+        };
+        self.pos = start + chunk.len();
+        ctx.charge(chunk.len() as f64 * ctx.model.temp_read_row);
+        let mut out = RowBatch::with_capacity(chunk.len());
+        for (i, row) in chunk.iter().enumerate() {
+            let lineage = self
+                .lineage
+                .as_ref()
+                .and_then(|l| l.get(start + i))
+                .map(|l| l.as_slice())
+                .unwrap_or(&[]);
+            out.push_row(row, lineage);
         }
-        let pos = self.pos;
-        self.pos += 1;
-        ctx.charge(ctx.model.temp_read_row);
-        let lineage = self
-            .lineage
-            .as_ref()
-            .and_then(|l| l.get(pos).cloned())
-            .unwrap_or_default();
-        Ok(Some(ExecRow {
-            values: rows[pos].clone(),
-            lineage,
-        }))
+        Ok(Some(out))
     }
 
     fn close(&mut self, _ctx: &mut ExecCtx) {
@@ -215,6 +239,7 @@ impl Operator for MvScanOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ExecRow;
     use pop_expr::{Expr, Params};
     use pop_plan::CostModel;
     use pop_storage::Catalog;
@@ -238,8 +263,8 @@ mod tests {
     fn drain(op: &mut dyn Operator, ctx: &mut ExecCtx) -> Vec<ExecRow> {
         op.open(ctx).unwrap();
         let mut out = Vec::new();
-        while let Some(r) = op.next(ctx).unwrap() {
-            out.push(r);
+        while let Some(b) = op.next_batch(ctx).unwrap() {
+            out.extend(b.into_rows());
         }
         op.close(ctx);
         out
@@ -269,14 +294,32 @@ mod tests {
     }
 
     #[test]
+    fn tiny_batches_return_same_rows() {
+        let (mut ctx, t) = ctx_and_table();
+        ctx.batch_size = 3;
+        let mut op = TableScanOp::new(t.clone(), None);
+        op.open(&mut ctx).unwrap();
+        let mut sizes = Vec::new();
+        let mut rows = Vec::new();
+        while let Some(b) = op.next_batch(&mut ctx).unwrap() {
+            sizes.push(b.live_count());
+            rows.extend(b.into_rows());
+        }
+        op.close(&mut ctx);
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[7].lineage, vec![Rid::new(t.id(), 7)]);
+    }
+
+    #[test]
     fn mv_scan_restores_lineage() {
         let (mut ctx, t) = ctx_and_table();
         let lineage = Arc::new((0..10).map(|i| vec![Rid::new(9, i)]).collect::<Vec<_>>());
         let mut op = MvScanOp::new(t, Some(lineage));
         op.open(&mut ctx).unwrap();
         assert_eq!(op.materialized_count(), Some(10));
-        let r = op.next(&mut ctx).unwrap().unwrap();
-        assert_eq!(r.lineage, vec![Rid::new(9, 0)]);
+        let b = op.next_batch(&mut ctx).unwrap().unwrap();
+        assert_eq!(b.lineage_at(0), &[Rid::new(9, 0)]);
     }
 }
 

@@ -2,7 +2,7 @@
 //! rid-side-table anti-join (Figure 9 of the paper).
 
 use crate::operators::{lineage_key, Operator};
-use crate::{ExecCtx, ExecRow, OpResult};
+use crate::{ExecCtx, OpResult, RowBatch};
 use pop_storage::Table;
 use pop_types::PopError;
 use std::sync::Arc;
@@ -33,30 +33,43 @@ impl Operator for InsertOp {
         self.input.open(ctx)
     }
 
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
-        match self.input.next(ctx)? {
-            None => Ok(None),
-            Some(r) => {
-                let key = lineage_key(&r.lineage);
-                if !ctx.side_effects_applied.contains(&key) {
-                    if r.values.len() != self.target.schema().len() {
-                        return Err(PopError::Execution(format!(
-                            "INSERT into {}: row arity {} != schema arity {}",
-                            self.target.name(),
-                            r.values.len(),
-                            self.target.schema().len()
-                        ))
-                        .into());
-                    }
-                    ctx.charge(ctx.model.temp_write_row);
-                    self.target
-                        .insert(vec![r.values.clone()])
-                        .map_err(crate::ExecSignal::Error)?;
-                    ctx.side_effects_applied.insert(key);
-                }
-                Ok(Some(r))
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        let Some(b) = self.input.next_batch(ctx)? else {
+            return Ok(None);
+        };
+        let arity = self.target.schema().len();
+        let mut to_insert: Vec<Vec<pop_types::Value>> = Vec::new();
+        let mut bad: Option<usize> = None;
+        for i in b.live_indices() {
+            let key = lineage_key(b.lineage_at(i));
+            if ctx.side_effects_applied.contains(&key) {
+                continue;
             }
+            if b.values_at(i).len() != arity {
+                bad = Some(b.values_at(i).len());
+                break;
+            }
+            ctx.charge(ctx.model.temp_write_row);
+            to_insert.push(b.values_at(i).to_vec());
+            ctx.side_effects_applied.insert(key);
         }
+        // Rows accepted before a bad row stay applied, exactly as when
+        // inserting one row at a time.
+        if !to_insert.is_empty() {
+            self.target
+                .insert(to_insert)
+                .map_err(crate::ExecSignal::Error)?;
+        }
+        if let Some(got) = bad {
+            return Err(PopError::Execution(format!(
+                "INSERT into {}: row arity {} != schema arity {}",
+                self.target.name(),
+                got,
+                arity
+            ))
+            .into());
+        }
+        Ok(Some(b))
     }
 
     fn close(&mut self, ctx: &mut ExecCtx) {
@@ -85,12 +98,12 @@ impl Operator for RidSinkOp {
         self.input.open(ctx)
     }
 
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
-        let r = self.input.next(ctx)?;
-        if r.is_some() {
-            ctx.charge(ctx.model.check_row);
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        let b = self.input.next_batch(ctx)?;
+        if let Some(b) = &b {
+            ctx.charge(b.live_count() as f64 * ctx.model.check_row);
         }
-        Ok(r)
+        Ok(b)
     }
 
     fn close(&mut self, ctx: &mut ExecCtx) {
@@ -101,7 +114,7 @@ impl Operator for RidSinkOp {
 /// Anti-join against the rid side table: drops rows whose lineage was
 /// already returned to the application by a previous execution step, so
 /// re-optimized pipelined plans never emit duplicates (ECDC compensation,
-/// Figure 9).
+/// Figure 9). Dropped rows simply leave the batch's selection vector.
 pub struct AntiJoinRidsOp {
     input: Box<dyn Operator>,
 }
@@ -118,18 +131,16 @@ impl Operator for AntiJoinRidsOp {
         self.input.open(ctx)
     }
 
-    fn next(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<ExecRow>> {
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
         loop {
-            match self.input.next(ctx)? {
-                None => return Ok(None),
-                Some(r) => {
-                    ctx.charge(ctx.model.hash_probe_row);
-                    let key = lineage_key(&r.lineage);
-                    if ctx.prev_returned.contains(&key) {
-                        continue;
-                    }
-                    return Ok(Some(r));
-                }
+            let Some(mut b) = self.input.next_batch(ctx)? else {
+                return Ok(None);
+            };
+            ctx.charge(b.live_count() as f64 * ctx.model.hash_probe_row);
+            let prev = &ctx.prev_returned;
+            b.retain_live(|_, lineage| !prev.contains(&lineage_key(lineage)));
+            if b.live_count() > 0 {
+                return Ok(Some(b));
             }
         }
     }
@@ -143,6 +154,7 @@ impl Operator for AntiJoinRidsOp {
 mod tests {
     use super::*;
     use crate::operators::TableScanOp;
+    use crate::ExecRow;
     use pop_expr::Params;
     use pop_plan::CostModel;
     use pop_storage::Catalog;
@@ -167,8 +179,8 @@ mod tests {
     fn drain(op: &mut dyn Operator, ctx: &mut ExecCtx) -> Vec<ExecRow> {
         op.open(ctx).unwrap();
         let mut out = Vec::new();
-        while let Some(r) = op.next(ctx).unwrap() {
-            out.push(r);
+        while let Some(b) = op.next_batch(ctx).unwrap() {
+            out.extend(b.into_rows());
         }
         op.close(ctx);
         out
@@ -199,7 +211,7 @@ mod tests {
             .unwrap();
         let mut op = InsertOp::new(Box::new(TableScanOp::new(src, None)), wide);
         op.open(&mut ctx).unwrap();
-        assert!(op.next(&mut ctx).is_err());
+        assert!(op.next_batch(&mut ctx).is_err());
     }
 
     #[test]

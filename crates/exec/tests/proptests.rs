@@ -3,7 +3,7 @@
 //! implementation on arbitrary data, including duplicates and NULLs.
 
 use pop_exec::operators::{HsjnOp, MgjnOp, NljnOp, SortOp, TableScanOp};
-use pop_exec::{ExecCtx, ExecRow, OpResult, Operator};
+use pop_exec::{ExecCtx, Operator};
 use pop_expr::Params;
 use pop_plan::CostModel;
 use pop_storage::{Catalog, IndexKind};
@@ -49,12 +49,8 @@ fn setup(
 fn drain(op: &mut dyn Operator, ctx: &mut ExecCtx) -> Vec<Vec<Value>> {
     op.open(ctx).unwrap();
     let mut out = Vec::new();
-    loop {
-        let r: OpResult<Option<ExecRow>> = op.next(ctx);
-        match r.unwrap() {
-            Some(row) => out.push(row.values),
-            None => break,
-        }
+    while let Some(b) = op.next_batch(ctx).unwrap() {
+        out.extend(b.into_rows().into_iter().map(|r| r.values));
     }
     op.close(ctx);
     out.sort();
@@ -88,11 +84,17 @@ fn arb_table() -> impl Strategy<Value = Vec<(Option<i64>, i64)>> {
 
 proptest! {
     #[test]
-    fn all_join_methods_agree_with_reference(left in arb_table(), right in arb_table()) {
+    fn all_join_methods_agree_with_reference(
+        left in arb_table(),
+        right in arb_table(),
+        batch_idx in 0usize..4,
+    ) {
+        let batch_size = [1usize, 2, 7, 1024][batch_idx];
         let expected = reference_join(&left, &right);
 
         // NLJN (index probe).
         let (mut ctx, l, r) = setup(&left, &right);
+        ctx.batch_size = batch_size;
         let idx = ctx.catalog.find_index(r.id(), 0, false).unwrap();
         let outer = Box::new(TableScanOp::new(l.clone(), None));
         let mut nljn = NljnOp::new(outer, 0, r.clone(), idx, None, vec![]);
@@ -100,6 +102,7 @@ proptest! {
 
         // HSJN.
         let (mut ctx, l, r) = setup(&left, &right);
+        ctx.batch_size = batch_size;
         let mut hsjn = HsjnOp::new(
             Box::new(TableScanOp::new(l.clone(), None)),
             Box::new(TableScanOp::new(r.clone(), None)),
@@ -110,6 +113,7 @@ proptest! {
 
         // MGJN over sorted inputs.
         let (mut ctx, l, r) = setup(&left, &right);
+        ctx.batch_size = batch_size;
         let sl = SortOp::new(Box::new(TableScanOp::new(l, None)), 0, false, None);
         let sr = SortOp::new(Box::new(TableScanOp::new(r, None)), 0, false, None);
         let mut mgjn = MgjnOp::new(Box::new(sl), Box::new(sr), 0, 0);
@@ -123,8 +127,8 @@ proptest! {
         let mut sort = SortOp::new(Box::new(TableScanOp::new(l, None)), 0, false, None);
         sort.open(&mut ctx).unwrap();
         let mut out = Vec::new();
-        while let Some(r) = sort.next(&mut ctx).unwrap() {
-            out.push(r.values);
+        while let Some(b) = sort.next_batch(&mut ctx).unwrap() {
+            out.extend(b.into_rows().into_iter().map(|r| r.values));
         }
         // Permutation check.
         let mut a: Vec<Vec<Value>> = rows

@@ -138,7 +138,7 @@ impl BoundExpr {
     }
 }
 
-fn cmp_holds(op: CmpOp, ord: Ordering) -> bool {
+pub(crate) fn cmp_holds(op: CmpOp, ord: Ordering) -> bool {
     match op {
         CmpOp::Eq => ord == Ordering::Equal,
         CmpOp::Ne => ord != Ordering::Equal,

@@ -12,6 +12,7 @@
 //! * canonical fingerprints used to match intermediate-result materialized
 //!   views during re-optimization (§2.3).
 
+mod batch;
 mod bound;
 mod eval;
 mod expr;

@@ -31,6 +31,13 @@
 //! The analyzer is advisory: it returns a flat [`Vec<PlanDiagnostic>`]
 //! and never mutates the plan. The POP driver decides what to do with
 //! `Deny` findings (see `pop::LintMode`).
+//!
+//! The analyzer is independent of the executor's data-flow granularity:
+//! the runtime moves rows in batches (`pop_exec::RowBatch`, selection
+//! vectors and all), but batch boundaries carry no plan-level semantics —
+//! every invariant checked here constrains the *row stream* an operator
+//! produces, which is identical at any batch size. Nothing in this crate
+//! may ever key off `PopConfig::batch_size`.
 
 #![forbid(unsafe_code)]
 

@@ -1,0 +1,98 @@
+//! Batched access paths over table snapshots.
+//!
+//! Scan operators consume snapshots in fixed-size chunks instead of one
+//! row per call; these helpers keep the chunking arithmetic (and its
+//! borrow shape: a chunk is a plain sub-slice of the snapshot) in the
+//! storage layer.
+
+use pop_types::Row;
+
+/// The chunk of `rows` starting at `start`, at most `size` rows long.
+/// Returns `None` once `start` is past the end. `size` of 0 is treated
+/// as 1 so a caller can never loop without progress.
+pub fn chunk(rows: &[Row], start: usize, size: usize) -> Option<(usize, &[Row])> {
+    if start >= rows.len() {
+        return None;
+    }
+    let end = start.saturating_add(size.max(1)).min(rows.len());
+    Some((start, &rows[start..end]))
+}
+
+/// Iterator over consecutive chunks of a snapshot, yielding
+/// `(start offset, chunk)`.
+#[derive(Debug, Clone)]
+pub struct RowChunks<'a> {
+    rows: &'a [Row],
+    pos: usize,
+    size: usize,
+}
+
+impl<'a> RowChunks<'a> {
+    /// Chunked view of `rows` with the given chunk size.
+    pub fn new(rows: &'a [Row], size: usize) -> Self {
+        RowChunks {
+            rows,
+            pos: 0,
+            size: size.max(1),
+        }
+    }
+}
+
+impl<'a> Iterator for RowChunks<'a> {
+    type Item = (usize, &'a [Row]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let c = chunk(self.rows, self.pos, self.size)?;
+        self.pos += c.1.len();
+        Some(c)
+    }
+}
+
+/// Gather rows at the given positions (an index probe or range result),
+/// yielding `(position, row)`. Positions past the end of the snapshot are
+/// skipped — an index can briefly trail the snapshot it is paired with.
+pub fn gather<'a>(
+    rows: &'a [Row],
+    positions: &'a [u64],
+) -> impl Iterator<Item = (u64, &'a Row)> + 'a {
+    positions
+        .iter()
+        .filter_map(|&p| rows.get(p as usize).map(|r| (p, r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_types::Value;
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n).map(|i| vec![Value::Int(i)]).collect()
+    }
+
+    #[test]
+    fn chunks_cover_exactly_once() {
+        let r = rows(10);
+        let got: Vec<(usize, usize)> = RowChunks::new(&r, 4).map(|(s, c)| (s, c.len())).collect();
+        assert_eq!(got, vec![(0, 4), (4, 4), (8, 2)]);
+    }
+
+    #[test]
+    fn zero_size_still_progresses() {
+        let r = rows(3);
+        assert_eq!(RowChunks::new(&r, 0).count(), 3);
+    }
+
+    #[test]
+    fn chunk_past_end_is_none() {
+        let r = rows(3);
+        assert!(chunk(&r, 3, 8).is_none());
+        assert_eq!(chunk(&r, 2, 8).unwrap().1.len(), 1);
+    }
+
+    #[test]
+    fn gather_skips_out_of_range() {
+        let r = rows(3);
+        let got: Vec<u64> = gather(&r, &[2, 9, 0]).map(|(p, _)| p).collect();
+        assert_eq!(got, vec![2, 0]);
+    }
+}

@@ -8,11 +8,13 @@
 //! instead of recomputing the corresponding subplan. The runtime removes
 //! them after the query completes.
 
+mod batch;
 mod catalog;
 mod index;
 mod table;
 mod tempmv;
 
+pub use batch::{chunk, gather, RowChunks};
 pub use catalog::Catalog;
 pub use index::{Index, IndexKind};
 pub use table::{Table, TableId};
