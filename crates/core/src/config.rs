@@ -1,5 +1,6 @@
 //! POP driver configuration.
 
+use pop_guard::{Budget, FaultPlan};
 use pop_optimizer::OptimizerConfig;
 use pop_plan::CostModel;
 
@@ -65,20 +66,42 @@ pub struct PopConfig {
     /// Defaults to [`pop_exec::DEFAULT_BATCH_SIZE`], overridable with the
     /// `POP_BATCH_SIZE` environment variable.
     pub batch_size: usize,
+    /// Per-query resource budget (work units, rows, wall-clock time,
+    /// resident operator bytes), enforced at batch boundaries by the
+    /// execution governor. Unlimited by default; the `POP_MAX_WORK`,
+    /// `POP_MAX_ROWS`, `POP_MAX_WALL_MS` and `POP_MAX_BYTES` environment
+    /// variables set individual limits.
+    pub budget: Budget,
+    /// Deterministic fault-injection plan for chaos runs; `None` (the
+    /// default) leaves every hook disarmed. The `POP_FAULT_PLAN` /
+    /// `POP_FAULT_SEED` environment variables set it.
+    pub faults: Option<FaultPlan>,
+    /// Graceful degradation: when *re*-optimization fails (optimizer
+    /// error, lint rejection, injected fault), fall back to the last
+    /// successfully vetted plan and run it to completion with checks
+    /// disabled, instead of aborting a query that already has a working
+    /// plan. A failure of the *initial* optimization is always an error.
+    pub graceful_degradation: bool,
+    /// Warnings produced while reading `POP_*` environment variables
+    /// (invalid values fall back to defaults but are never silently
+    /// swallowed); surfaced on every `RunReport`.
+    pub env_warnings: Vec<String>,
 }
 
 /// Batch size from `POP_BATCH_SIZE`, falling back to the engine default.
-/// Unparsable or zero values fall back rather than erroring.
-fn batch_size_from_env() -> usize {
-    std::env::var("POP_BATCH_SIZE")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|n| *n > 0)
+/// Unparsable or zero values fall back — recording a warning — rather
+/// than erroring.
+fn batch_size_from_env(warnings: &mut Vec<String>) -> usize {
+    pop_guard::env_parsed("POP_BATCH_SIZE", |n: &usize| *n > 0, warnings)
         .unwrap_or(pop_exec::DEFAULT_BATCH_SIZE)
 }
 
 impl Default for PopConfig {
     fn default() -> Self {
+        let mut env_warnings = Vec::new();
+        let batch_size = batch_size_from_env(&mut env_warnings);
+        let budget = Budget::from_env(&mut env_warnings);
+        let faults = FaultPlan::from_env(&mut env_warnings);
         PopConfig {
             enabled: true,
             optimizer: OptimizerConfig::default(),
@@ -89,7 +112,11 @@ impl Default for PopConfig {
             observe_only: false,
             learn_across_queries: false,
             lint: LintMode::default(),
-            batch_size: batch_size_from_env(),
+            batch_size,
+            budget,
+            faults,
+            graceful_degradation: true,
+            env_warnings,
         }
     }
 }
@@ -116,5 +143,20 @@ mod tests {
         assert!(!PopConfig::without_pop().enabled);
         assert_eq!(c.lint, LintMode::Enforce);
         assert!(c.batch_size >= 1);
+        assert!(c.graceful_degradation);
+        // Guardrails are off unless configured: zero-cost default path.
+        assert!(!c.budget.is_limited());
+        assert!(c.faults.is_none() || std::env::var("POP_FAULT_SEED").is_ok());
+    }
+
+    #[test]
+    fn invalid_batch_size_env_is_warned_not_swallowed() {
+        // Exercise the parser directly (not via set_var + Default, which
+        // would race with parallel tests reading the environment).
+        let mut w = Vec::new();
+        let n = pop_guard::env_parsed("POP_BATCH_SIZE_ABSENT_FOR_TEST", |n: &usize| *n > 0, &mut w)
+            .unwrap_or(pop_exec::DEFAULT_BATCH_SIZE);
+        assert_eq!(n, pop_exec::DEFAULT_BATCH_SIZE);
+        assert!(w.is_empty());
     }
 }

@@ -3,15 +3,31 @@
 
 use crate::{LintMode, PopConfig, QueryResult, RunReport, StepReport};
 use pop_exec::{execute, ExecCtx, RunOutcome};
+use pop_guard::{CancelToken, CleanupRegistry, FaultInjector, Governor};
 use pop_optimizer::{optimize, CardFact, FeedbackCache, FlavorSet, OptimizerContext};
 use pop_plan::{
-    canonical_layout, subplan_signature_with_params, PhysNode, QuerySpec, TableSet, ValidityRange,
+    canonical_layout, subplan_signature_with_params, CheckFlavor, PhysNode, QuerySpec, TableSet,
+    ValidityRange,
 };
 use pop_stats::{StatsRegistry, TableStats};
 use pop_storage::{Catalog, Table, TempMv};
 use pop_types::{ColumnDef, PopError, PopResult, Rid, Row, Schema};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// RAII guard for the query-scoped temporary MVs (§2.3): dropping it
+/// clears them from the catalog, so *every* exit path — completion,
+/// typed error, injected fault, even a panic unwinding through the
+/// driver — leaves no `__pop_mv_*` table behind.
+struct MvCleanup<'a> {
+    catalog: &'a Catalog,
+}
+
+impl Drop for MvCleanup<'_> {
+    fn drop(&mut self) {
+        self.catalog.clear_temp_mvs();
+    }
+}
 
 /// The public entry point: owns a catalog, its statistics, and a
 /// [`PopConfig`], and executes queries with progressive re-optimization.
@@ -96,6 +112,18 @@ impl PopExecutor {
 
     /// Execute a query under POP.
     pub fn run(&self, spec: &QuerySpec, params: &pop_expr::Params) -> PopResult<QueryResult> {
+        self.run_with(spec, params, None)
+    }
+
+    /// Execute a query under POP, observing `cancel` (when supplied) at
+    /// every batch boundary: a client thread holding a clone of the token
+    /// can abort the query with [`pop_types::PopError::Cancelled`].
+    pub fn run_with(
+        &self,
+        spec: &QuerySpec,
+        params: &pop_expr::Params,
+        cancel: Option<CancelToken>,
+    ) -> PopResult<QueryResult> {
         spec.validate()?;
         // With learning enabled the cache is shared across queries
         // (subplan signatures include tables and predicates, so facts
@@ -111,26 +139,32 @@ impl PopExecutor {
             self.config.cost_model.clone(),
         );
         ctx.batch_size = self.config.batch_size.max(1);
+        ctx.guard = Governor::new(self.config.budget, cancel);
+        ctx.faults = self.config.faults.clone().map(FaultInjector::new);
         if self.config.enabled {
             ctx.force_reopt_at = self.config.force_reopt_at;
         }
         if self.config.observe_only {
             ctx.checks_enabled = false;
         }
-        let mut report = RunReport::default();
+        let mut report = RunReport {
+            warnings: self.config.env_warnings.clone(),
+            ..Default::default()
+        };
         let mut collected: Vec<Row> = Vec::new();
-        let result = self.run_loop(
+        // Post-query cleanup: the RAII guard drops the temporary MVs
+        // (§2.3) whether the query completes, errors or panics.
+        let _cleanup = MvCleanup {
+            catalog: &self.catalog,
+        };
+        self.run_loop(
             spec,
             params,
             &feedback,
             &mut ctx,
             &mut report,
             &mut collected,
-        );
-        // Post-query cleanup: drop the temporary MVs (§2.3) whether the
-        // query succeeded or failed.
-        self.catalog.clear_temp_mvs();
-        result?;
+        )?;
         report.total_work = ctx.work;
         Ok(QueryResult {
             rows: collected,
@@ -157,6 +191,9 @@ impl PopExecutor {
     ) -> PopResult<()> {
         let opt_config = self.effective_optimizer_config();
         let mut mv_counter = 0usize;
+        // The last successfully vetted plan (unwrapped), kept as the
+        // graceful-degradation fallback when a *re*-optimization fails.
+        let mut fallback: Option<PhysNode> = None;
         loop {
             // (Re-)optimize with everything learned so far: feedback facts
             // and temp MVs both enter through the optimizer context.
@@ -168,24 +205,31 @@ impl PopExecutor {
                 Some(params),
                 feedback,
             );
-            let mut plan = optimize(spec, &octx)?;
-            // Deferred compensation (Figure 9): if any rows were already
-            // returned to the application, anti-join the new plan's output
-            // against the rid side table.
-            if !ctx.prev_returned.is_empty() {
-                let mut props = plan.props().clone();
-                // The wrapper has a single pass-through input: the cloned
-                // child props may carry per-join edge ranges that describe
-                // no edge of this node.
-                props.edge_ranges = vec![ValidityRange::unbounded()];
-                plan = PhysNode::AntiJoinRids {
-                    input: Box::new(plan),
-                    props,
-                };
-            }
-            // Static plan verification: every plan crossing the
-            // optimizer -> executor boundary is vetted first.
-            let lint_warnings = self.vet_plan(&plan, spec)?;
+            let (plan, lint_warnings) = match self.plan_step(spec, &octx, ctx) {
+                Ok((bare, plan, lint_warnings)) => {
+                    fallback = Some(bare);
+                    (plan, lint_warnings)
+                }
+                // Graceful degradation: a query that already has a working
+                // plan should not abort because *re*-planning failed
+                // (optimizer error, lint rejection, injected fault). Keep
+                // the previous plan and run it to completion with checks
+                // disabled. A first-optimization failure stays fatal —
+                // there is nothing to fall back to.
+                Err(e) => match fallback.take() {
+                    Some(prev) if self.config.graceful_degradation => {
+                        report.degraded = true;
+                        report.warnings.push(format!(
+                            "re-optimization failed ({e}); continuing with the previous plan, checks disabled"
+                        ));
+                        ctx.checks_enabled = false;
+                        // The fallback was vetted when it first ran; the
+                        // only new node is the compensation wrapper.
+                        (wrap_compensation(prev, ctx), Vec::new())
+                    }
+                    _ => return Err(e),
+                },
+            };
             let signatures = collect_signatures(spec, &plan, params);
             let mut mvs_used = 0usize;
             plan.visit(&mut |n| {
@@ -245,6 +289,19 @@ impl PopExecutor {
                         }
                         self.promote_harvest(spec, h, &mut mv_counter)?;
                     }
+                    // Injected corrupted statistics: poison the violated
+                    // signature's fed-back cardinality with an absurd
+                    // value, after all truthful facts, so the poison wins.
+                    // The re-optimizer may now pick a bad plan; the chaos
+                    // suite asserts the *answer* stays correct regardless.
+                    // Never applied to the cross-query learning cache.
+                    if !self.config.learn_across_queries {
+                        if let Some(inj) = ctx.faults.as_mut() {
+                            if inj.corrupt_stats() {
+                                feedback.record(violation.signature.clone(), CardFact::Exact(1e12));
+                            }
+                        }
+                    }
                     step.work_end = ctx.work;
                     step.violation = Some(violation);
                     report.steps.push(step);
@@ -261,6 +318,27 @@ impl PopExecutor {
         }
     }
 
+    /// One planning step of the loop: the optimizer-failure fault hook,
+    /// optimization, compensation wrapping and static verification.
+    /// Returns the bare (unwrapped) plan for the degradation fallback
+    /// alongside the executable plan and its lint warnings.
+    fn plan_step(
+        &self,
+        spec: &QuerySpec,
+        octx: &OptimizerContext<'_>,
+        ctx: &mut ExecCtx,
+    ) -> PopResult<(PhysNode, PhysNode, Vec<String>)> {
+        if let Some(inj) = ctx.faults.as_mut() {
+            if let Some(err) = inj.optimizer_fail() {
+                return Err(err);
+            }
+        }
+        let bare = optimize(spec, octx)?;
+        let plan = wrap_compensation(bare.clone(), ctx);
+        let lint_warnings = self.vet_plan(&plan, spec)?;
+        Ok((bare, plan, lint_warnings))
+    }
+
     /// Statically verify a plan before execution (the `pop-planlint`
     /// gate). Returns the findings to surface as step-report warnings;
     /// under [`LintMode::Enforce`], a Deny-severity finding rejects the
@@ -272,8 +350,20 @@ impl PopExecutor {
         // With LC checks on, the placement pass guards every
         // materialization point, so an unguarded one is suspect.
         let expect_coverage = self.config.enabled && self.config.optimizer.flavors.lc;
+        // Per-query cleanup registry for the PL208 rule: the rid side
+        // table of every ECDC checkpoint lives in the `ExecCtx` and the
+        // temp MVs under the `MvCleanup` RAII guard, so the driver
+        // registers every ECDC signature it is responsible for. A plan
+        // carrying an ECDC check the registry misses is rejected.
+        let mut cleanups = CleanupRegistry::new();
+        for c in plan.checks() {
+            if c.flavor == CheckFlavor::Ecdc {
+                cleanups.register_side_table(&c.signature);
+            }
+        }
         let lctx = pop_planlint::LintContext::full(&self.catalog, spec)
-            .expect_check_coverage(expect_coverage);
+            .expect_check_coverage(expect_coverage)
+            .with_cleanups(&cleanups);
         let diags = pop_planlint::lint_plan(plan, &lctx);
         if self.config.lint == LintMode::Enforce && pop_planlint::has_deny(&diags) {
             return Err(PopError::InvalidPlan(pop_planlint::deny_summary(&diags)));
@@ -320,10 +410,12 @@ impl PopExecutor {
         );
         ctx.checks_enabled = false;
         ctx.batch_size = self.config.batch_size.max(1);
+        ctx.guard = Governor::new(self.config.budget, None);
         let signatures = collect_signatures(spec, plan, params);
-        let result = execute(plan, &mut ctx, &signatures);
-        self.catalog.clear_temp_mvs();
-        let rows = match result? {
+        let _cleanup = MvCleanup {
+            catalog: &self.catalog,
+        };
+        let rows = match execute(plan, &mut ctx, &signatures)? {
             RunOutcome::Complete { rows } => rows,
             RunOutcome::Suspended { .. } => {
                 return Err(PopError::Execution(
@@ -405,6 +497,23 @@ impl PopExecutor {
             lineage: Some(Arc::new(h.lineage)),
         });
         Ok(())
+    }
+}
+
+/// Deferred compensation (Figure 9): if any rows were already returned to
+/// the application, anti-join the plan's output against the rid side
+/// table so no duplicates escape.
+fn wrap_compensation(plan: PhysNode, ctx: &ExecCtx) -> PhysNode {
+    if ctx.prev_returned.is_empty() {
+        return plan;
+    }
+    let mut props = plan.props().clone();
+    // The wrapper has a single pass-through input: the cloned child props
+    // may carry per-join edge ranges that describe no edge of this node.
+    props.edge_ranges = vec![ValidityRange::unbounded()];
+    PhysNode::AntiJoinRids {
+        input: Box::new(plan),
+        props,
     }
 }
 

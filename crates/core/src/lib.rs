@@ -71,6 +71,9 @@ pub use report::{QueryResult, RunReport, StepReport};
 
 // Re-export the crates a downstream user needs to drive the API.
 pub use pop_exec::{CheckEvent, CheckOutcome, ObservedCard, Violation};
+pub use pop_guard::{
+    Budget, CancelToken, CleanupRegistry, FaultInjector, FaultKind, FaultPlan, FaultSpec, Governor,
+};
 pub use pop_optimizer::{
     CardFact, FeedbackCache, FlavorSet, JoinMethods, OptimizerConfig, ValidityMode,
 };

@@ -53,6 +53,13 @@ pub struct RunReport {
     /// True if the re-optimization budget was exhausted and the final plan
     /// ran with checks disabled.
     pub budget_exhausted: bool,
+    /// True if a re-optimization failed and the driver fell back to the
+    /// previous plan (graceful degradation) instead of aborting.
+    pub degraded: bool,
+    /// Non-fatal warnings: invalid `POP_*` environment values that fell
+    /// back to defaults, degradation notices, and similar conditions the
+    /// caller should see but that do not fail the query.
+    pub warnings: Vec<String>,
 }
 
 impl RunReport {
@@ -82,10 +89,15 @@ impl RunReport {
             self.total_work,
             if self.budget_exhausted {
                 " (re-optimization budget exhausted)"
+            } else if self.degraded {
+                " (degraded: re-optimization failed, previous plan kept)"
             } else {
                 ""
             }
         );
+        for w in &self.warnings {
+            let _ = writeln!(out, "warning: {w}");
+        }
         for (i, s) in self.steps.iter().enumerate() {
             let _ = writeln!(
                 out,

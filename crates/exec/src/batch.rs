@@ -147,6 +147,15 @@ impl RowBatch {
         self.rows == 0
     }
 
+    /// Approximate resident size in bytes: the flat value and lineage
+    /// buffers (offsets and selection are noise by comparison). Used by
+    /// materializing operators to charge the resource governor's
+    /// resident-byte budget.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.vals.len() * std::mem::size_of::<Value>()
+            + self.lin.len() * std::mem::size_of::<Rid>()) as u64
+    }
+
     /// Number of live rows.
     pub fn live_count(&self) -> usize {
         match &self.sel {

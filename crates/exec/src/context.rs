@@ -3,9 +3,10 @@
 
 use crate::signal::ObservedCard;
 use pop_expr::Params;
+use pop_guard::{FaultInjector, Governor};
 use pop_plan::{CheckContext, CheckFlavor, CostModel, ValidityRange};
 use pop_storage::Catalog;
-use pop_types::{ColId, Rid, Row};
+use pop_types::{ColId, PopError, Rid, Row};
 use std::collections::HashSet;
 
 /// A completed materialization, snapshotted for potential promotion to a
@@ -104,6 +105,13 @@ pub struct ExecCtx {
     /// Batches handed to the application by the executor loop, cumulative
     /// across execution steps (the driver reports per-step deltas).
     pub batches_emitted: u64,
+    /// Resource governor: per-query budgets plus cooperative cancellation,
+    /// checked at batch boundaries. Disabled (one branch per check) unless
+    /// a budget limit or a cancel token was supplied.
+    pub guard: Governor,
+    /// Deterministic fault injector for chaos runs; `None` (one branch per
+    /// hook site) in normal operation.
+    pub faults: Option<FaultInjector>,
 }
 
 impl ExecCtx {
@@ -124,6 +132,8 @@ impl ExecCtx {
             rows_scanned: 0,
             batch_size: crate::batch::DEFAULT_BATCH_SIZE,
             batches_emitted: 0,
+            guard: Governor::disabled(),
+            faults: None,
         }
     }
 
@@ -138,6 +148,50 @@ impl ExecCtx {
     #[inline]
     pub fn charge(&mut self, units: f64) {
         self.work += units;
+    }
+
+    /// Batch-boundary guardrail check: cancellation, work, row and
+    /// wall-clock budgets. One predictable branch when the governor is
+    /// disabled.
+    #[inline]
+    pub fn guard_tick(&self) -> Result<(), PopError> {
+        self.guard.tick(self.work)
+    }
+
+    /// Reserve resident operator memory (hash builds, sort/TEMP buffers,
+    /// check valves, promoted temp MVs) against the byte budget.
+    #[inline]
+    pub fn guard_reserve(&mut self, bytes: u64) -> Result<(), PopError> {
+        self.guard.reserve(bytes)
+    }
+
+    /// Release a previous reservation.
+    #[inline]
+    pub fn guard_release(&mut self, bytes: u64) {
+        self.guard.release(bytes)
+    }
+
+    /// Fault hook: a scan is about to read from `table`. One branch when
+    /// no injector is armed.
+    #[inline]
+    pub fn fault_storage_read(&mut self, table: &str) -> Result<(), PopError> {
+        match &mut self.faults {
+            None => Ok(()),
+            Some(inj) => match inj.storage_read(table) {
+                Some(err) => Err(err),
+                None => Ok(()),
+            },
+        }
+    }
+
+    /// Fault hook: should this in-range CHECK observation report a
+    /// spurious violation?
+    #[inline]
+    pub fn fault_spurious_check(&mut self) -> bool {
+        match &mut self.faults {
+            None => false,
+            Some(inj) => inj.spurious_check(),
+        }
     }
 }
 

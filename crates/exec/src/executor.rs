@@ -67,6 +67,11 @@ pub fn execute(
             Ok(Some(b)) => {
                 ctx.batches_emitted += 1;
                 ctx.charge(b.live_count() as f64 * ctx.model.output_row);
+                ctx.guard.add_rows(b.live_count() as u64);
+                if let Err(e) = ctx.guard_tick() {
+                    op.close(ctx);
+                    return Err(e);
+                }
                 rows.extend(b.into_rows());
             }
             Ok(None) => break,

@@ -145,6 +145,7 @@ impl Operator for HashAggOp {
         let mut saw_any = false;
         while let Some(b) = self.input.next_batch(ctx)? {
             ctx.charge(b.live_count() as f64 * ctx.model.agg_row);
+            ctx.guard_tick()?;
             for i in b.live_indices() {
                 saw_any = true;
                 let row = b.values_at(i);

@@ -151,16 +151,22 @@ impl CheckOp {
         // cost is pure re-optimization overhead (Figure 12).
         let may_raise = ctx.checks_enabled
             && (ctx.force_reopt_at.is_none() || ctx.force_reopt_at == Some(self.spec.id));
-        if may_raise && !self.raised && (!in_range || forced) {
+        // Fault hook: an armed, in-range check may be ordered to report a
+        // spurious violation. The observation it carries stays truthful,
+        // so the driver's feedback/re-optimization path runs with correct
+        // cardinalities and must converge.
+        let spurious =
+            may_raise && !self.raised && in_range && !forced && ctx.fault_spurious_check();
+        if may_raise && !self.raised && (!in_range || forced || spurious) {
             self.raised = true;
-            let outcome = if in_range {
+            let outcome = if in_range && !spurious {
                 ctx.forced_fired = true;
                 CheckOutcome::Forced
             } else {
                 CheckOutcome::Violated
             };
             record_event(ctx, &self.spec, outcome, observed, self.started_at);
-            return Err(violation(&self.spec, observed, in_range));
+            return Err(violation(&self.spec, observed, in_range && !spurious));
         }
         record_event(
             ctx,
@@ -284,6 +290,8 @@ pub struct BufCheckOp {
     raised: bool,
     pending_signal: Option<ExecSignal>,
     started_at: f64,
+    /// Resident bytes charged to the governor for the valve buffer.
+    reserved: u64,
 }
 
 impl BufCheckOp {
@@ -301,6 +309,7 @@ impl BufCheckOp {
             raised: false,
             pending_signal: None,
             started_at: 0.0,
+            reserved: 0,
         }
     }
 
@@ -358,16 +367,19 @@ impl BufCheckOp {
         // cost is pure re-optimization overhead (Figure 12).
         let may_raise = ctx.checks_enabled
             && (ctx.force_reopt_at.is_none() || ctx.force_reopt_at == Some(self.spec.id));
-        if may_raise && !self.raised && (!in_range || forced) {
+        // Fault hook, mirroring CheckOp::evaluate_exact.
+        let spurious =
+            may_raise && !self.raised && in_range && !forced && ctx.fault_spurious_check();
+        if may_raise && !self.raised && (!in_range || forced || spurious) {
             self.raised = true;
-            let outcome = if in_range {
+            let outcome = if in_range && !spurious {
                 ctx.forced_fired = true;
                 CheckOutcome::Forced
             } else {
                 CheckOutcome::Violated
             };
             record_event(ctx, &self.spec, outcome, observed, self.started_at);
-            return Err(violation(&self.spec, observed, in_range));
+            return Err(violation(&self.spec, observed, in_range && !spurious));
         }
         record_event(
             ctx,
@@ -420,6 +432,10 @@ impl Operator for BufCheckOp {
                     );
                     // The head stays buffered either way, so a resumed
                     // (checks-disabled) run replays every row.
+                    let bytes = head.approx_bytes();
+                    self.reserved += bytes;
+                    ctx.guard_reserve(bytes)?;
+                    ctx.guard_tick()?;
                     self.buffer.push_back(head);
                     buffered += n;
                     self.overflow = tail;
@@ -459,6 +475,8 @@ impl Operator for BufCheckOp {
         self.input.close(ctx);
         self.buffer.clear();
         self.overflow = None;
+        ctx.guard_release(self.reserved);
+        self.reserved = 0;
     }
 }
 

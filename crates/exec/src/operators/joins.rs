@@ -177,6 +177,8 @@ pub struct HsjnOp {
     current_pos: usize,
     current_probe: Option<ExecRow>,
     pending_signal: Option<crate::ExecSignal>,
+    /// Resident bytes charged to the governor for the build arena.
+    reserved: u64,
 }
 
 impl HsjnOp {
@@ -201,6 +203,7 @@ impl HsjnOp {
             current_pos: 0,
             current_probe: None,
             pending_signal: None,
+            reserved: 0,
         }
     }
 
@@ -218,6 +221,10 @@ impl Operator for HsjnOp {
         self.table.clear();
         while let Some(b) = self.build.next_batch(ctx)? {
             ctx.charge(b.live_count() as f64 * ctx.model.hash_build_row);
+            let bytes = b.approx_bytes();
+            self.reserved += bytes;
+            ctx.guard_reserve(bytes)?;
+            ctx.guard_tick()?;
             for row in b.into_rows() {
                 let key: Vec<Value> = self
                     .build_key_pos
@@ -301,6 +308,8 @@ impl Operator for HsjnOp {
         self.arena.clear();
         self.table.clear();
         self.cursor.reset();
+        ctx.guard_release(self.reserved);
+        self.reserved = 0;
     }
 }
 

@@ -45,6 +45,8 @@ pub struct SortOp {
     rows: Vec<ExecRow>,
     pos: usize,
     opened: bool,
+    /// Resident bytes charged to the governor for the sort buffer.
+    reserved: u64,
 }
 
 impl SortOp {
@@ -63,6 +65,7 @@ impl SortOp {
             rows: Vec::new(),
             pos: 0,
             opened: false,
+            reserved: 0,
         }
     }
 }
@@ -73,6 +76,10 @@ impl Operator for SortOp {
         self.rows.clear();
         self.pos = 0;
         while let Some(b) = self.input.next_batch(ctx)? {
+            let bytes = b.approx_bytes();
+            self.reserved += bytes;
+            ctx.guard_reserve(bytes)?;
+            ctx.guard_tick()?;
             self.rows.extend(b.into_rows());
         }
         let key = self.key_pos;
@@ -98,6 +105,8 @@ impl Operator for SortOp {
     fn close(&mut self, ctx: &mut ExecCtx) {
         self.input.close(ctx);
         self.rows.clear();
+        ctx.guard_release(self.reserved);
+        self.reserved = 0;
         self.opened = false;
     }
 
@@ -119,6 +128,8 @@ pub struct TempOp {
     rows: Vec<ExecRow>,
     pos: usize,
     opened: bool,
+    /// Resident bytes charged to the governor for the TEMP buffer.
+    reserved: u64,
 }
 
 impl TempOp {
@@ -130,6 +141,7 @@ impl TempOp {
             rows: Vec::new(),
             pos: 0,
             opened: false,
+            reserved: 0,
         }
     }
 }
@@ -141,6 +153,10 @@ impl Operator for TempOp {
         self.pos = 0;
         while let Some(b) = self.input.next_batch(ctx)? {
             ctx.charge(b.live_count() as f64 * ctx.model.temp_write_row);
+            let bytes = b.approx_bytes();
+            self.reserved += bytes;
+            ctx.guard_reserve(bytes)?;
+            ctx.guard_tick()?;
             self.rows.extend(b.into_rows());
         }
         if let Some(info) = &self.harvest {
@@ -161,6 +177,8 @@ impl Operator for TempOp {
     fn close(&mut self, ctx: &mut ExecCtx) {
         self.input.close(ctx);
         self.rows.clear();
+        ctx.guard_release(self.reserved);
+        self.reserved = 0;
         self.opened = false;
     }
 

@@ -41,6 +41,7 @@ impl Operator for TableScanOp {
     }
 
     fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        ctx.fault_storage_read(self.table.name())?;
         let rows = self
             .snapshot
             .as_ref()
@@ -140,6 +141,7 @@ impl Operator for IndexRangeScanOp {
     }
 
     fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        ctx.fault_storage_read(self.table.name())?;
         let rows = self
             .snapshot
             .as_ref()
@@ -204,6 +206,7 @@ impl Operator for MvScanOp {
     }
 
     fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        ctx.fault_storage_read(self.table.name())?;
         let rows = self
             .snapshot
             .as_ref()

@@ -1,0 +1,76 @@
+//! Registration of per-query side state that must be cleaned up.
+
+use std::collections::BTreeSet;
+
+/// A ledger of per-query side state with cleanup registered.
+///
+/// The driver registers every side table it creates (ECDC rid side
+/// tables keyed by check signature, promoted temp MVs) *before* the plan
+/// is vetted; `pop-planlint` then refuses plans containing an ECDC
+/// checkpoint whose signature has no registered cleanup (diagnostic
+/// `PL208`). This makes "no leaked side state" a statically checkable
+/// property rather than a convention.
+#[derive(Debug, Clone, Default)]
+pub struct CleanupRegistry {
+    side_tables: BTreeSet<String>,
+}
+
+impl CleanupRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        CleanupRegistry::default()
+    }
+
+    /// Record that the side table keyed by `signature` has cleanup
+    /// registered for this query.
+    pub fn register_side_table(&mut self, signature: &str) {
+        self.side_tables.insert(signature.to_string());
+    }
+
+    /// Is the side table keyed by `signature` covered?
+    pub fn covers_side_table(&self, signature: &str) -> bool {
+        self.side_tables.contains(signature)
+    }
+
+    /// Number of registered side tables.
+    pub fn len(&self) -> usize {
+        self.side_tables.len()
+    }
+
+    /// No side tables registered?
+    pub fn is_empty(&self) -> bool {
+        self.side_tables.is_empty()
+    }
+
+    /// The registered signatures, in sorted order.
+    pub fn side_tables(&self) -> impl Iterator<Item = &str> {
+        self.side_tables.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_cover() {
+        let mut r = CleanupRegistry::new();
+        assert!(r.is_empty());
+        assert!(!r.covers_side_table("ecdc:42"));
+        r.register_side_table("ecdc:42");
+        assert!(r.covers_side_table("ecdc:42"));
+        assert!(!r.covers_side_table("ecdc:43"));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_sorted() {
+        let mut r = CleanupRegistry::new();
+        r.register_side_table("b");
+        r.register_side_table("a");
+        r.register_side_table("b");
+        assert_eq!(r.len(), 2);
+        let names: Vec<&str> = r.side_tables().collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

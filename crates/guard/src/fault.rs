@@ -1,0 +1,330 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! A [`FaultPlan`] names *where* faults fire: each [`FaultSpec`] pairs a
+//! [`FaultKind`] with an occurrence index, and the [`FaultInjector`]
+//! counts how many times each hook site has been reached. The same plan
+//! against the same query therefore always fires at the same points —
+//! chaos runs are byte-for-byte reproducible, and a failing seed is a
+//! complete repro.
+
+use crate::budget::env_parsed;
+use pop_types::PopError;
+
+/// The kinds of fault the engine knows how to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A storage-layer read error: a scan's `next_batch` fails with a
+    /// typed execution error mid-stream.
+    StorageRead,
+    /// The re-optimization step fails (optimizer error or lint
+    /// rejection); exercises the graceful-degradation path.
+    OptimizerFail,
+    /// Cardinality feedback is corrupted with an absurd estimate before
+    /// re-optimization, simulating bad statistics.
+    CorruptStats,
+    /// A CHECK node reports a spurious violation even though the
+    /// observed cardinality is inside its validity range.
+    SpuriousCheck,
+}
+
+impl FaultKind {
+    /// All kinds, in hook-counter order.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::StorageRead,
+        FaultKind::OptimizerFail,
+        FaultKind::CorruptStats,
+        FaultKind::SpuriousCheck,
+    ];
+
+    /// Stable short name, used in `POP_FAULT_PLAN` specs and messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::StorageRead => "storage",
+            FaultKind::OptimizerFail => "optfail",
+            FaultKind::CorruptStats => "stats",
+            FaultKind::SpuriousCheck => "check",
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::StorageRead => 0,
+            FaultKind::OptimizerFail => 1,
+            FaultKind::CorruptStats => 2,
+            FaultKind::SpuriousCheck => 3,
+        }
+    }
+}
+
+/// One injection point: fire `kind` at the `at`-th time (0-based) its
+/// hook site is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// 0-based occurrence index of the hook site at which to fire.
+    pub at: u64,
+}
+
+/// A deterministic schedule of faults for one query run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The injection points. Order is irrelevant; each spec fires once.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// A plan with the given injection points.
+    pub fn new(specs: Vec<FaultSpec>) -> Self {
+        FaultPlan { specs }
+    }
+
+    /// A plan with a single injection point.
+    pub fn single(kind: FaultKind, at: u64) -> Self {
+        FaultPlan {
+            specs: vec![FaultSpec { kind, at }],
+        }
+    }
+
+    /// No faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Derive a plan from a seed: one to three specs with small
+    /// occurrence indices (0..8), chosen by an xorshift64 generator.
+    /// The same seed always yields the same plan.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n = 1 + (next() % 3) as usize;
+        let specs = (0..n)
+            .map(|_| {
+                let kind = FaultKind::ALL[(next() % 4) as usize];
+                FaultSpec {
+                    kind,
+                    at: next() % 8,
+                }
+            })
+            .collect();
+        FaultPlan { specs }
+    }
+
+    /// Plan from the environment: `POP_FAULT_PLAN` (explicit spec string,
+    /// e.g. `"storage@2,optfail@0"`) wins over `POP_FAULT_SEED` (a `u64`
+    /// fed to [`FaultPlan::from_seed`]). Returns `None` when neither is
+    /// set; malformed values push a warning and are ignored.
+    pub fn from_env(warnings: &mut Vec<String>) -> Option<Self> {
+        if let Ok(raw) = std::env::var("POP_FAULT_PLAN") {
+            match Self::parse_spec(&raw) {
+                Some(plan) => return Some(plan),
+                None => warnings.push(format!(
+                    "POP_FAULT_PLAN: invalid spec {raw:?} (want e.g. \"storage@2,optfail@0\"); ignored"
+                )),
+            }
+        }
+        env_parsed("POP_FAULT_SEED", |_: &u64| true, warnings).map(Self::from_seed)
+    }
+
+    /// Parse a `"kind@idx,kind@idx"` spec string.
+    pub fn parse_spec(raw: &str) -> Option<Self> {
+        let mut specs = Vec::new();
+        for part in raw.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (kind, at) = part.split_once('@')?;
+            specs.push(FaultSpec {
+                kind: FaultKind::parse(kind.trim())?,
+                at: at.trim().parse().ok()?,
+            });
+        }
+        Some(FaultPlan { specs })
+    }
+}
+
+/// Runtime state for a [`FaultPlan`]: per-kind occurrence counters plus
+/// the hook methods the engine calls at its fault sites. Each hook is a
+/// counter bump and a scan of the (tiny) spec list; when the engine has
+/// no injector at all, the sites are a single `Option` test.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Times each kind's hook site has been reached, indexed by
+    /// [`FaultKind::index`].
+    counters: [u64; 4],
+    /// Faults actually fired, for reporting.
+    fired: Vec<FaultSpec>,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            counters: [0; 4],
+            fired: Vec::new(),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Faults that have fired so far, in firing order.
+    pub fn fired(&self) -> &[FaultSpec] {
+        &self.fired
+    }
+
+    /// Count an occurrence of `kind`'s hook site; true if a spec fires.
+    fn hit(&mut self, kind: FaultKind) -> bool {
+        let n = self.counters[kind.index()];
+        self.counters[kind.index()] += 1;
+        let fires = self.plan.specs.iter().any(|s| s.kind == kind && s.at == n);
+        if fires {
+            self.fired.push(FaultSpec { kind, at: n });
+        }
+        fires
+    }
+
+    /// Hook site: a scan is about to read a batch from `table`. Returns
+    /// the injected storage error if this occurrence is scheduled.
+    pub fn storage_read(&mut self, table: &str) -> Option<PopError> {
+        self.hit(FaultKind::StorageRead)
+            .then(|| PopError::Execution(format!("injected fault: storage read failed on {table}")))
+    }
+
+    /// Hook site: the optimizer is about to (re)plan. Returns the
+    /// injected planning error if this occurrence is scheduled.
+    pub fn optimizer_fail(&mut self) -> Option<PopError> {
+        self.hit(FaultKind::OptimizerFail)
+            .then(|| PopError::Planning("injected fault: optimizer failure".to_string()))
+    }
+
+    /// Hook site: cardinality feedback is about to be recorded. True if
+    /// this occurrence should be corrupted with an absurd estimate.
+    pub fn corrupt_stats(&mut self) -> bool {
+        self.hit(FaultKind::CorruptStats)
+    }
+
+    /// Hook site: an armed CHECK observed an in-range cardinality. True
+    /// if it should report a spurious violation anyway.
+    pub fn spurious_check(&mut self) -> bool {
+        self.hit(FaultKind::SpuriousCheck)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(FaultPlan::from_seed(seed), FaultPlan::from_seed(seed));
+        }
+        // Different seeds should (for these values) differ.
+        assert_ne!(FaultPlan::from_seed(1), FaultPlan::from_seed(2));
+    }
+
+    #[test]
+    fn seeded_plans_are_small_and_bounded() {
+        for seed in 0..64u64 {
+            let plan = FaultPlan::from_seed(seed);
+            assert!((1..=3).contains(&plan.specs.len()), "seed {seed}: {plan:?}");
+            assert!(plan.specs.iter().all(|s| s.at < 8), "seed {seed}: {plan:?}");
+        }
+    }
+
+    #[test]
+    fn injector_fires_at_exact_occurrence() {
+        let mut inj = FaultInjector::new(FaultPlan::single(FaultKind::StorageRead, 2));
+        assert!(inj.storage_read("t").is_none());
+        assert!(inj.storage_read("t").is_none());
+        let err = inj.storage_read("t").unwrap();
+        assert!(matches!(err, PopError::Execution(_)), "{err}");
+        // Fires once, not on every later occurrence.
+        assert!(inj.storage_read("t").is_none());
+        assert_eq!(inj.fired().len(), 1);
+    }
+
+    #[test]
+    fn kinds_count_independently() {
+        let mut inj = FaultInjector::new(FaultPlan::new(vec![
+            FaultSpec {
+                kind: FaultKind::OptimizerFail,
+                at: 0,
+            },
+            FaultSpec {
+                kind: FaultKind::SpuriousCheck,
+                at: 1,
+            },
+        ]));
+        // Storage reads never fire under this plan.
+        assert!(inj.storage_read("t").is_none());
+        assert!(inj.optimizer_fail().is_some());
+        assert!(!inj.spurious_check());
+        assert!(inj.spurious_check());
+        assert!(!inj.corrupt_stats());
+    }
+
+    #[test]
+    fn spec_string_round_trip() {
+        let plan = FaultPlan::parse_spec("storage@2, optfail@0,check@5").unwrap();
+        assert_eq!(
+            plan.specs,
+            vec![
+                FaultSpec {
+                    kind: FaultKind::StorageRead,
+                    at: 2
+                },
+                FaultSpec {
+                    kind: FaultKind::OptimizerFail,
+                    at: 0
+                },
+                FaultSpec {
+                    kind: FaultKind::SpuriousCheck,
+                    at: 5
+                },
+            ]
+        );
+        assert!(FaultPlan::parse_spec("bogus@1").is_none());
+        assert!(FaultPlan::parse_spec("storage").is_none());
+        assert!(FaultPlan::parse_spec("storage@x").is_none());
+    }
+
+    // Single test for everything touching POP_FAULT_* so parallel test
+    // threads never race on the shared process environment.
+    #[test]
+    fn from_env_prefers_explicit_plan() {
+        std::env::set_var("POP_FAULT_PLAN", "stats@0");
+        std::env::set_var("POP_FAULT_SEED", "7");
+        let mut w = Vec::new();
+        let plan = FaultPlan::from_env(&mut w).unwrap();
+        assert_eq!(plan, FaultPlan::single(FaultKind::CorruptStats, 0));
+        assert!(w.is_empty());
+        std::env::remove_var("POP_FAULT_PLAN");
+        let plan = FaultPlan::from_env(&mut w).unwrap();
+        assert_eq!(plan, FaultPlan::from_seed(7));
+        std::env::remove_var("POP_FAULT_SEED");
+        assert!(FaultPlan::from_env(&mut w).is_none());
+        assert!(w.is_empty());
+
+        std::env::set_var("POP_FAULT_PLAN", "nonsense");
+        assert!(FaultPlan::from_env(&mut w).is_none());
+        assert_eq!(w.len(), 1);
+        assert!(w[0].contains("POP_FAULT_PLAN"), "{w:?}");
+        std::env::remove_var("POP_FAULT_PLAN");
+    }
+}

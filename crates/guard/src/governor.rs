@@ -1,0 +1,253 @@
+//! The resource governor: enforces a [`Budget`] plus a [`CancelToken`]
+//! at batch boundaries.
+
+use crate::{Budget, CancelToken};
+use pop_types::PopError;
+use std::time::Instant;
+
+/// Per-query guardrail state.
+///
+/// The executor calls [`Governor::tick`] at every batch boundary (root
+/// emission and inside materializing loops) and
+/// [`Governor::reserve`]/[`Governor::release`] around memory-resident
+/// operator state. With no budget and no caller-held token the governor
+/// is *disabled* and every hook reduces to one predictable branch —
+/// the "zero cost when disabled" contract the bench suite verifies.
+#[derive(Debug)]
+pub struct Governor {
+    budget: Budget,
+    cancel: Option<CancelToken>,
+    /// Precomputed deadline for the wall-clock limit.
+    deadline: Option<Instant>,
+    /// Rows delivered to the application so far.
+    rows_emitted: u64,
+    /// Bytes currently reserved by materializing operator state.
+    resident_bytes: u64,
+    /// High-water mark of `resident_bytes` (diagnostics).
+    peak_resident_bytes: u64,
+    enabled: bool,
+}
+
+impl Default for Governor {
+    fn default() -> Self {
+        Governor::disabled()
+    }
+}
+
+impl Governor {
+    /// A governor that enforces nothing (the default for bare contexts).
+    pub fn disabled() -> Self {
+        Governor {
+            budget: Budget::unlimited(),
+            cancel: None,
+            deadline: None,
+            rows_emitted: 0,
+            resident_bytes: 0,
+            peak_resident_bytes: 0,
+            enabled: false,
+        }
+    }
+
+    /// A governor enforcing `budget`, optionally observing `cancel`.
+    /// The wall-clock deadline (if any) starts now.
+    pub fn new(budget: Budget, cancel: Option<CancelToken>) -> Self {
+        let enabled = budget.is_limited() || cancel.is_some();
+        let deadline = budget
+            .max_wall_ms
+            .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
+        Governor {
+            budget,
+            cancel,
+            deadline,
+            rows_emitted: 0,
+            resident_bytes: 0,
+            peak_resident_bytes: 0,
+            enabled,
+        }
+    }
+
+    /// Is any limit or token being enforced?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The budget being enforced.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Rows the root operator has delivered so far.
+    pub fn rows_emitted(&self) -> u64 {
+        self.rows_emitted
+    }
+
+    /// High-water mark of reserved resident bytes.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_resident_bytes
+    }
+
+    /// Record `n` rows delivered to the application (root batches only).
+    #[inline]
+    pub fn add_rows(&mut self, n: u64) {
+        if self.enabled {
+            self.rows_emitted += n;
+        }
+    }
+
+    /// Batch-boundary check: cancellation, work, rows and wall-clock.
+    /// `work` is the context's cumulative work counter.
+    #[inline]
+    pub fn tick(&self, work: f64) -> Result<(), PopError> {
+        if !self.enabled {
+            return Ok(());
+        }
+        self.tick_slow(work)
+    }
+
+    #[cold]
+    fn tick_slow(&self, work: f64) -> Result<(), PopError> {
+        if let Some(t) = &self.cancel {
+            if t.is_cancelled() {
+                return Err(PopError::Cancelled);
+            }
+        }
+        if let Some(max) = self.budget.max_work {
+            if work > max {
+                return Err(PopError::BudgetExceeded(format!(
+                    "work {work:.0} exceeds budget {max:.0} units"
+                )));
+            }
+        }
+        if let Some(max) = self.budget.max_rows {
+            if self.rows_emitted > max {
+                return Err(PopError::BudgetExceeded(format!(
+                    "{} rows produced exceeds budget of {max}",
+                    self.rows_emitted
+                )));
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                return Err(PopError::BudgetExceeded(format!(
+                    "wall-clock limit of {} ms exceeded",
+                    self.budget.max_wall_ms.unwrap_or(0)
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reserve `bytes` of resident operator memory (hash build, sort/TEMP
+    /// buffer, BUFCHECK valve, temp MV). Fails with a typed error when the
+    /// reservation would cross the resident-byte budget.
+    #[inline]
+    pub fn reserve(&mut self, bytes: u64) -> Result<(), PopError> {
+        if !self.enabled {
+            return Ok(());
+        }
+        self.resident_bytes = self.resident_bytes.saturating_add(bytes);
+        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+        if let Some(max) = self.budget.max_resident_bytes {
+            if self.resident_bytes > max {
+                return Err(PopError::BudgetExceeded(format!(
+                    "resident operator state of {} bytes exceeds budget of {max} bytes",
+                    self.resident_bytes
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Release a previous reservation (operator close / buffer drained).
+    #[inline]
+    pub fn release(&mut self, bytes: u64) {
+        if self.enabled {
+            self.resident_bytes = self.resident_bytes.saturating_sub(bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_governor_never_trips() {
+        let mut g = Governor::disabled();
+        assert!(!g.is_enabled());
+        assert!(g.tick(1e18).is_ok());
+        assert!(g.reserve(u64::MAX).is_ok());
+        g.add_rows(1_000_000);
+        assert!(g.tick(0.0).is_ok());
+    }
+
+    #[test]
+    fn work_budget_trips() {
+        let g = Governor::new(
+            Budget {
+                max_work: Some(100.0),
+                ..Budget::default()
+            },
+            None,
+        );
+        assert!(g.tick(99.0).is_ok());
+        let err = g.tick(101.0).unwrap_err();
+        assert!(matches!(err, PopError::BudgetExceeded(_)), "{err}");
+    }
+
+    #[test]
+    fn row_budget_trips() {
+        let mut g = Governor::new(
+            Budget {
+                max_rows: Some(5),
+                ..Budget::default()
+            },
+            None,
+        );
+        g.add_rows(5);
+        assert!(g.tick(0.0).is_ok());
+        g.add_rows(1);
+        assert!(matches!(g.tick(0.0), Err(PopError::BudgetExceeded(_))));
+    }
+
+    #[test]
+    fn resident_byte_budget_trips_and_releases() {
+        let mut g = Governor::new(
+            Budget {
+                max_resident_bytes: Some(1000),
+                ..Budget::default()
+            },
+            None,
+        );
+        assert!(g.reserve(600).is_ok());
+        assert!(g.reserve(500).is_err());
+        // The failed reservation still counted (the allocation happened);
+        // releasing brings the ledger back down.
+        g.release(1100);
+        assert!(g.reserve(900).is_ok());
+        assert!(g.peak_resident_bytes() >= 1100);
+    }
+
+    #[test]
+    fn cancellation_trips() {
+        let token = CancelToken::new();
+        let g = Governor::new(Budget::unlimited(), Some(token.clone()));
+        assert!(g.is_enabled());
+        assert!(g.tick(0.0).is_ok());
+        token.cancel();
+        assert!(matches!(g.tick(0.0), Err(PopError::Cancelled)));
+    }
+
+    #[test]
+    fn wall_clock_budget_trips() {
+        let g = Governor::new(
+            Budget {
+                max_wall_ms: Some(1),
+                ..Budget::default()
+            },
+            None,
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(matches!(g.tick(0.0), Err(PopError::BudgetExceeded(_))));
+    }
+}

@@ -50,6 +50,7 @@ pub enum DiagCode {
     Pl205,
     Pl206,
     Pl207,
+    Pl208,
     Pl301,
     Pl302,
     Pl303,
@@ -77,6 +78,7 @@ impl DiagCode {
             DiagCode::Pl205 => "PL205",
             DiagCode::Pl206 => "PL206",
             DiagCode::Pl207 => "PL207",
+            DiagCode::Pl208 => "PL208",
             DiagCode::Pl301 => "PL301",
             DiagCode::Pl302 => "PL302",
             DiagCode::Pl303 => "PL303",
@@ -104,6 +106,7 @@ impl DiagCode {
             DiagCode::Pl205 => "checkpoint flavor does not match operator or context",
             DiagCode::Pl206 => "duplicate checkpoint id",
             DiagCode::Pl207 => "BUFCHECK buffer too small for its range",
+            DiagCode::Pl208 => "ECDC checkpoint side table has no registered cleanup",
             DiagCode::Pl301 => "parent cumulative cost below child cost",
             DiagCode::Pl302 => "non-finite or negative cardinality estimate",
             DiagCode::Pl303 => "non-finite or negative cost estimate",

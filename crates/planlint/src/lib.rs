@@ -50,6 +50,7 @@ mod validity;
 
 pub use diag::{DiagCode, PlanDiagnostic, Severity};
 
+use pop_guard::CleanupRegistry;
 use pop_plan::{PhysNode, QuerySpec};
 use pop_storage::Catalog;
 
@@ -73,6 +74,11 @@ pub struct LintContext<'a> {
     pub catalog: Option<&'a Catalog>,
     /// The query spec the plan was compiled from, for type resolution.
     pub spec: Option<&'a QuerySpec>,
+    /// Per-query cleanup registry: which side tables (ECDC rid side
+    /// tables) have cleanup registered. When supplied, every ECDC
+    /// checkpoint's side table must be covered (`PL208`); `None` skips
+    /// the rule (external analysis without a running query).
+    pub cleanups: Option<&'a CleanupRegistry>,
     /// Options.
     pub options: LintOptions,
 }
@@ -82,6 +88,7 @@ impl std::fmt::Debug for LintContext<'_> {
         f.debug_struct("LintContext")
             .field("catalog", &self.catalog.is_some())
             .field("spec", &self.spec.is_some())
+            .field("cleanups", &self.cleanups.is_some())
             .field("options", &self.options)
             .finish()
     }
@@ -93,6 +100,7 @@ impl<'a> LintContext<'a> {
         LintContext {
             catalog: None,
             spec: None,
+            cleanups: None,
             options: LintOptions::default(),
         }
     }
@@ -102,6 +110,7 @@ impl<'a> LintContext<'a> {
         LintContext {
             catalog: Some(catalog),
             spec: Some(spec),
+            cleanups: None,
             options: LintOptions::default(),
         }
     }
@@ -109,6 +118,14 @@ impl<'a> LintContext<'a> {
     /// Set [`LintOptions::expect_check_coverage`].
     pub fn expect_check_coverage(mut self, on: bool) -> Self {
         self.options.expect_check_coverage = on;
+        self
+    }
+
+    /// Supply the per-query [`CleanupRegistry`], enabling the `PL208`
+    /// rule: every ECDC checkpoint's rid side table must have its
+    /// cleanup registered before the plan may execute.
+    pub fn with_cleanups(mut self, cleanups: &'a CleanupRegistry) -> Self {
+        self.cleanups = Some(cleanups);
         self
     }
 }
@@ -199,7 +216,7 @@ fn walk<'a>(
 ) {
     layout::check_node(node, ctx, path, sink);
     validity::check_node(node, path, sink);
-    placement::check_node(node, frames, path, sink);
+    placement::check_node(node, ctx, frames, path, sink);
     cost::check_node(node, path, sink);
     mv::check_node(node, ctx, path, sink);
     for (i, child) in node.children().into_iter().enumerate() {

@@ -129,6 +129,7 @@ mod tests {
         let ctx = LintContext {
             catalog: Some(cat),
             spec: None,
+            cleanups: None,
             options: Default::default(),
         };
         codes(&lint_plan(plan, &ctx))

@@ -1,4 +1,4 @@
-//! Pass 3: CHECK-placement rules (`PL201`–`PL207`, plus `PL104`).
+//! Pass 3: CHECK-placement rules (`PL201`–`PL208`, plus `PL104`).
 //!
 //! Structural encoding of Table 1 of the paper:
 //!
@@ -13,7 +13,10 @@
 //! * **ECWC** forgoes compensation, which is only sound when an ancestor
 //!   blocks output: a materialization point or a hash-join build edge.
 //! * **ECDC** may sit anywhere in a pipelined region, but only if a
-//!   RIDSINK ancestor records returned rows for later compensation.
+//!   RIDSINK ancestor records returned rows for later compensation —
+//!   and, when the caller supplies a cleanup registry, only if the rid
+//!   side table it feeds has its cleanup registered (`PL208`), so a
+//!   suspended query can never leak side-table state.
 //!
 //! Each flavor also carries the [`CheckContext`] it was placed under;
 //! a flavor/context disagreement (`PL205`) means the placement pass and
@@ -23,23 +26,31 @@ use crate::{through_checks, DiagCode, Frame, LintContext, Sink};
 use pop_plan::{CheckContext, CheckFlavor, CheckSpec, PhysNode};
 use std::collections::HashMap;
 
-pub(crate) fn check_node(node: &PhysNode, frames: &[Frame<'_>], path: &[usize], sink: &mut Sink) {
+pub(crate) fn check_node(
+    node: &PhysNode,
+    ctx: &LintContext<'_>,
+    frames: &[Frame<'_>],
+    path: &[usize],
+    sink: &mut Sink,
+) {
     match node {
         PhysNode::Check { input, spec, .. } => {
-            check_flavor(node, input, spec, false, frames, path, sink)
+            check_flavor(node, input, spec, false, ctx, frames, path, sink)
         }
         PhysNode::BufCheck { input, spec, .. } => {
-            check_flavor(node, input, spec, true, frames, path, sink)
+            check_flavor(node, input, spec, true, ctx, frames, path, sink)
         }
         _ => {}
     }
 }
 
+#[allow(clippy::too_many_arguments)] // internal walker callback
 fn check_flavor(
     node: &PhysNode,
     input: &PhysNode,
     spec: &CheckSpec,
     buffered: bool,
+    ctx: &LintContext<'_>,
     frames: &[Frame<'_>],
     path: &[usize],
     sink: &mut Sink,
@@ -160,6 +171,23 @@ fn check_flavor(
                         spec.id
                     ),
                 );
+            }
+            // PL208: deferred compensation accumulates rid side-table
+            // state; when the caller supplies the per-query cleanup
+            // registry, the side table (keyed by the check's subplan
+            // signature) must have its cleanup registered.
+            if let Some(reg) = ctx.cleanups {
+                if !reg.covers_side_table(&spec.signature) {
+                    sink.emit(
+                        DiagCode::Pl208,
+                        node,
+                        path,
+                        format!(
+                            "ECDC checkpoint #{} side table {:?} has no registered cleanup",
+                            spec.id, spec.signature
+                        ),
+                    );
+                }
             }
         }
     }
@@ -310,6 +338,33 @@ mod tests {
             props,
         };
         assert!(diags_of(&plan).is_empty(), "{:?}", diags_of(&plan));
+    }
+
+    #[test]
+    fn pl208_ecdc_side_table_without_cleanup() {
+        let checked = check(
+            hsjn(leaf(0, "a", 2, 100.0), leaf(1, "b", 2, 1000.0), 500.0),
+            CheckFlavor::Ecdc,
+            CheckContext::Pipeline,
+        );
+        let props = checked.props().clone();
+        let plan = PhysNode::RidSink {
+            input: Box::new(checked),
+            props,
+        };
+        // An empty registry covers nothing: PL208 (the testutil check
+        // signature is "sig").
+        let empty = pop_guard::CleanupRegistry::new();
+        let ctx = LintContext::bare().with_cleanups(&empty);
+        let diags = lint_plan(&plan, &ctx);
+        assert!(codes(&diags).contains(&"PL208"), "{diags:?}");
+        // Registering the side table silences the rule.
+        let mut reg = pop_guard::CleanupRegistry::new();
+        reg.register_side_table("sig");
+        let ctx = LintContext::bare().with_cleanups(&reg);
+        assert!(lint_plan(&plan, &ctx).is_empty());
+        // And without a registry the rule does not apply at all.
+        assert!(lint_plan(&plan, &LintContext::bare()).is_empty());
     }
 
     #[test]

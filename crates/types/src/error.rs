@@ -32,6 +32,11 @@ pub enum PopError {
     Execution(String),
     /// Catalog manipulation failure (e.g. duplicate table name).
     Catalog(String),
+    /// A per-query resource budget (work units, rows, wall-clock time or
+    /// resident bytes) was exceeded; the message names the limit.
+    BudgetExceeded(String),
+    /// The query was cancelled via a `CancelToken` before it completed.
+    Cancelled,
 }
 
 impl fmt::Display for PopError {
@@ -46,6 +51,8 @@ impl fmt::Display for PopError {
             PopError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
             PopError::Execution(m) => write!(f, "execution failed: {m}"),
             PopError::Catalog(m) => write!(f, "catalog error: {m}"),
+            PopError::BudgetExceeded(m) => write!(f, "resource budget exceeded: {m}"),
+            PopError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }
@@ -65,6 +72,21 @@ mod tests {
         assert_eq!(
             PopError::UnboundParameter(2).to_string(),
             "unbound parameter marker ?2"
+        );
+    }
+
+    #[test]
+    fn guardrail_variants_display() {
+        assert_eq!(
+            PopError::BudgetExceeded("5 rows over".into()).to_string(),
+            "resource budget exceeded: 5 rows over"
+        );
+        assert_eq!(PopError::Cancelled.to_string(), "query cancelled");
+        // Typed errors stay comparable so tests can assert exact outcomes.
+        assert_eq!(PopError::Cancelled, PopError::Cancelled);
+        assert_ne!(
+            PopError::BudgetExceeded("a".into()),
+            PopError::BudgetExceeded("b".into())
         );
     }
 
