@@ -46,7 +46,7 @@ pub fn execute(
     signatures: &Signatures,
 ) -> PopResult<RunOutcome> {
     ctx.begin_run();
-    let mut op = build_operator(plan, &ctx.catalog.clone(), signatures)?;
+    let mut op = build_operator(plan, &ctx.catalog, signatures)?;
     let mut rows: Vec<ExecRow> = Vec::new();
     match op.open(ctx) {
         Ok(()) => {}
