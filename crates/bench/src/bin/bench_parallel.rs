@@ -1,0 +1,203 @@
+//! Partition-parallel speedup: serial vs a 4-way worker pool.
+//!
+//! ```text
+//! bench_parallel [--quick] [--assert]
+//! ```
+//!
+//! Runs representative TPC-H and DMV queries twice — `threads = 1` and
+//! `threads = 4` (both with POP enabled, identical configuration
+//! otherwise) — asserting the row multisets agree, and reports the
+//! wall-clock speedup. The planner's region size gate is dropped
+//! (`min_parallel_rows = 0`) so region formation is decided by the cost
+//! model alone, as it would be on data this shape at full scale.
+//!
+//! `--assert` fails the process when any asserted query speeds up less
+//! than 2x — but only on hosts with at least 4 physical slots:
+//! `std::thread::available_parallelism` is recorded in the report and
+//! the assertion is skipped (with a message) when it is under 4, since a
+//! 4-way pool cannot beat serial on fewer cores. Raw data goes to
+//! `results/BENCH_parallel.json`.
+
+use pop::{PopConfig, PopExecutor, QuerySpec};
+use pop_dmv::{dmv_catalog, dmv_queries};
+use pop_expr::Params;
+use pop_tpch::{q1, q3, q6, tpch_catalog};
+use serde::Serialize;
+use std::fs;
+use std::time::Instant;
+
+const THREADS: usize = 4;
+const SPEEDUP_FLOOR: f64 = 2.0;
+
+#[derive(Debug, Clone, Serialize)]
+struct QueryLine {
+    name: String,
+    workload: String,
+    rows_returned: usize,
+    parallel_plan_has_gather: bool,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    asserted: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    threads: usize,
+    available_cores: usize,
+    tpch_scale_factor: f64,
+    dmv_scale: f64,
+    reps: usize,
+    speedup_floor: f64,
+    assertion_ran: bool,
+    queries: Vec<QueryLine>,
+}
+
+fn config(threads: usize) -> PopConfig {
+    let mut cfg = PopConfig::default();
+    cfg.optimizer.threads = threads;
+    cfg.optimizer.min_parallel_rows = 0.0;
+    cfg
+}
+
+fn sorted(mut rows: Vec<Vec<pop_types::Value>>) -> Vec<Vec<pop_types::Value>> {
+    rows.sort();
+    rows
+}
+
+/// Best-of-`reps` wall-clock for both modes, interleaved rep by rep so
+/// machine-load drift penalizes both equally. Returns (serial_ms,
+/// parallel_ms, rows, parallel plan contains a GATHER region).
+fn time_both(cat: &pop::Catalog, q: &QuerySpec, reps: usize) -> (f64, f64, usize, bool) {
+    let params = Params::none();
+    let serial = PopExecutor::new(cat.clone(), config(1)).expect("serial executor");
+    let parallel = PopExecutor::new(cat.clone(), config(THREADS)).expect("parallel executor");
+    let mut serial_best = f64::INFINITY;
+    let mut parallel_best = f64::INFINITY;
+    let mut rows = 0;
+    let mut has_gather = false;
+    for i in 0..=reps {
+        let t = Instant::now();
+        let s_res = serial.run(q, &params).expect("serial run");
+        let s_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let p_res = parallel.run(q, &params).expect("parallel run");
+        let p_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            sorted(s_res.rows),
+            sorted(p_res.rows),
+            "parallel run changed the answer"
+        );
+        has_gather = p_res
+            .report
+            .steps
+            .iter()
+            .any(|step| step.plan.contains("GATHER"));
+        rows = p_res.report.steps.last().map_or(0, |s| s.rows_emitted);
+        if i > 0 {
+            serial_best = serial_best.min(s_ms);
+            parallel_best = parallel_best.min(p_ms);
+        }
+    }
+    (serial_best, parallel_best, rows, has_gather)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let assert_floor = std::env::args().any(|a| a == "--assert");
+    let (sf, dmv_scale, reps) = if quick {
+        (0.01, 0.002, 3)
+    } else {
+        (0.05, 0.01, 5)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let assertion_ran = assert_floor && cores >= THREADS;
+
+    let tpch = tpch_catalog(sf).expect("tpch catalog");
+    let dmv = dmv_catalog(dmv_scale).expect("dmv catalog");
+
+    // The asserted set: one aggregation-heavy TPC-H query and one DMV
+    // join query (the ISSUE floor is >= 1 of each); the rest are
+    // reported for context but never gate CI.
+    let mut queries: Vec<(String, &pop::Catalog, QuerySpec, bool)> = vec![
+        ("tpch_q1".into(), &tpch, q1(), true),
+        ("tpch_q6".into(), &tpch, q6(), false),
+        ("tpch_q3".into(), &tpch, q3(), false),
+    ];
+    for (i, q) in dmv_queries().into_iter().take(2).enumerate() {
+        queries.push((format!("dmv_{}", q.name), &dmv, q.spec, i == 0));
+    }
+
+    let mut report = BenchReport {
+        threads: THREADS,
+        available_cores: cores,
+        tpch_scale_factor: sf,
+        dmv_scale,
+        reps,
+        speedup_floor: SPEEDUP_FLOOR,
+        assertion_ran,
+        queries: Vec::new(),
+    };
+    println!(
+        "partition-parallel speedup, {THREADS} threads on {cores} cores \
+         (TPC-H SF {sf}, DMV scale {dmv_scale}, best of {reps}):"
+    );
+    let mut failures = Vec::new();
+    for (name, cat, q, asserted) in &queries {
+        let (s_ms, p_ms, rows, has_gather) = time_both(cat, q, reps);
+        let speedup = s_ms / p_ms;
+        println!(
+            "  {name:12} serial {s_ms:8.2} ms  x{THREADS} {p_ms:8.2} ms  \
+             speedup {speedup:5.2}x  gather={has_gather}"
+        );
+        if assertion_ran && *asserted {
+            if !has_gather {
+                failures.push(format!("{name}: no parallel region formed"));
+            } else if speedup < SPEEDUP_FLOOR {
+                failures.push(format!(
+                    "{name}: speedup {speedup:.2}x below the {SPEEDUP_FLOOR}x floor"
+                ));
+            }
+        }
+        report.queries.push(QueryLine {
+            name: name.clone(),
+            workload: if name.starts_with("tpch") {
+                "tpch".into()
+            } else {
+                "dmv".into()
+            },
+            rows_returned: rows,
+            parallel_plan_has_gather: has_gather,
+            serial_ms: s_ms,
+            parallel_ms: p_ms,
+            speedup,
+            asserted: *asserted,
+        });
+    }
+
+    let _ = fs::create_dir_all("results");
+    match serde_json::to_string_pretty(&report) {
+        Ok(s) => {
+            if let Err(e) = fs::write("results/BENCH_parallel.json", s) {
+                eprintln!("warning: could not write results/BENCH_parallel.json: {e}");
+            } else {
+                println!("wrote results/BENCH_parallel.json");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize report: {e}"),
+    }
+
+    if assert_floor && !assertion_ran {
+        println!(
+            "speedup assertion SKIPPED: {cores} available core(s) < {THREADS} \
+             (a {THREADS}-way pool cannot beat serial here; recorded in the report)"
+        );
+    } else if assertion_ran {
+        assert!(
+            failures.is_empty(),
+            "speedup assertion failed:\n  {}",
+            failures.join("\n  ")
+        );
+        println!("speedup assertion passed");
+    }
+}

@@ -96,15 +96,25 @@ fn batch_size_from_env(warnings: &mut Vec<String>) -> usize {
         .unwrap_or(pop_exec::DEFAULT_BATCH_SIZE)
 }
 
+/// Partition-parallel degree from `POP_THREADS`: `1` keeps everything
+/// serial (the default). Zero/unparsable values fall back with a warning.
+fn threads_from_env(warnings: &mut Vec<String>) -> usize {
+    pop_guard::env_parsed("POP_THREADS", |n: &usize| *n > 0, warnings).unwrap_or(1)
+}
+
 impl Default for PopConfig {
     fn default() -> Self {
         let mut env_warnings = Vec::new();
         let batch_size = batch_size_from_env(&mut env_warnings);
         let budget = Budget::from_env(&mut env_warnings);
         let faults = FaultPlan::from_env(&mut env_warnings);
+        let optimizer = OptimizerConfig {
+            threads: threads_from_env(&mut env_warnings),
+            ..OptimizerConfig::default()
+        };
         PopConfig {
             enabled: true,
-            optimizer: OptimizerConfig::default(),
+            optimizer,
             cost_model: CostModel::default(),
             max_reopts: 3,
             reopt_work: 200.0,

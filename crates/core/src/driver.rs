@@ -177,6 +177,12 @@ impl PopExecutor {
         if !self.config.enabled {
             cfg.flavors = FlavorSet::none();
         }
+        // A forced (dummy) re-optimization targets one specific serial
+        // CHECK's firing point (Figure 12's overhead measurement); keep
+        // those runs serial so the firing point is exactly reproducible.
+        if self.config.force_reopt_at.is_some() {
+            cfg.threads = 1;
+        }
         cfg
     }
 

@@ -2,24 +2,85 @@
 //! tree — the "code generator" of the paper's architecture diagram.
 
 use crate::operators::agg::AggKind;
+use crate::operators::joins::BuildState;
 use crate::operators::materialize::HarvestInfo;
+use crate::operators::parallel::{ExchangeSourceOp, ExchangeState, FoldCell, FoldCheckOp};
 use crate::operators::{
-    AntiJoinRidsOp, BufCheckOp, CheckOp, HashAggOp, HavingOp, HsjnOp, IndexRangeScanOp, InsertOp,
-    LimitOp, MgjnOp, MvScanOp, NljnOp, Operator, ProjectOp, RidSinkOp, SemiProbeOp, SortOp,
-    TableScanOp, TempOp,
+    AntiJoinRidsOp, BufCheckOp, CheckOp, GatherOp, HashAggOp, HavingOp, HsjnOp, IndexRangeScanOp,
+    InsertOp, LimitOp, MgjnOp, MvScanOp, NljnOp, Operator, ProjectOp, RidSinkOp, SemiProbeOp,
+    SortOp, TableScanOp, TempOp,
 };
 use pop_expr::{BoundExpr, Expr};
 use pop_plan::{AggFunc, LayoutCol, PhysNode, SortKeyRef};
 use pop_storage::Catalog;
 use pop_types::{ColId, PopError, PopResult};
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Signatures of subplans by table-set mask, used to label harvested
 /// materializations so re-optimization can match them to the query.
 pub type Signatures = HashMap<u64, String>;
 
+/// Per-partition build environment: when present, the operator tree being
+/// built is one partition's instance of a parallel region (below a
+/// `Gather`). Scans take their partition slice, hash joins reference the
+/// controller's shared builds, fold-registered CHECKs attach to their
+/// shared [`FoldCell`], and an `Exchange` node becomes this consumer's
+/// receive leaf.
+///
+/// Shared builds and fold cells are consumed via cursors in **spine
+/// pre-order** — the same order the region controller collected them in
+/// ([`crate::operators::parallel::visit_spine`]) — which is what keeps the
+/// k partition instances attached to the right shared state.
+pub(crate) struct PartitionEnv {
+    part: usize,
+    parts: usize,
+    builds: Vec<Arc<BuildState>>,
+    folds: Vec<Arc<FoldCell>>,
+    exchange: Option<Arc<ExchangeState>>,
+    build_cursor: Cell<usize>,
+    fold_cursor: Cell<usize>,
+}
+
+impl PartitionEnv {
+    pub(crate) fn new(
+        part: usize,
+        parts: usize,
+        builds: Vec<Arc<BuildState>>,
+        folds: Vec<Arc<FoldCell>>,
+        exchange: Option<Arc<ExchangeState>>,
+    ) -> Self {
+        PartitionEnv {
+            part,
+            parts,
+            builds,
+            folds,
+            exchange,
+            build_cursor: Cell::new(0),
+            fold_cursor: Cell::new(0),
+        }
+    }
+
+    fn next_build(&self) -> PopResult<Arc<BuildState>> {
+        let i = self.build_cursor.get();
+        self.build_cursor.set(i + 1);
+        self.builds.get(i).cloned().ok_or_else(|| {
+            PopError::Planning("parallel region has more hash joins than shared builds".into())
+        })
+    }
+
+    fn next_fold(&self) -> PopResult<Arc<FoldCell>> {
+        let i = self.fold_cursor.get();
+        self.fold_cursor.set(i + 1);
+        self.folds.get(i).cloned().ok_or_else(|| {
+            PopError::Planning("parallel region has more fold checks than fold cells".into())
+        })
+    }
+}
+
 /// Position of a base column within a layout.
-fn pos_of(layout: &[LayoutCol], col: ColId) -> PopResult<usize> {
+pub(crate) fn pos_of(layout: &[LayoutCol], col: ColId) -> PopResult<usize> {
     layout
         .iter()
         .position(|c| matches!(c, LayoutCol::Base(b) if *b == col))
@@ -42,7 +103,7 @@ fn bind(expr: &Expr, layout: &[LayoutCol]) -> PopResult<BoundExpr> {
 
 /// Harvest descriptor for a materializing node, when its output is a pure
 /// base-column layout covered by a known signature.
-fn harvest_info(node: &PhysNode, signatures: &Signatures) -> Option<HarvestInfo> {
+pub(crate) fn harvest_info(node: &PhysNode, signatures: &Signatures) -> Option<HarvestInfo> {
     let props = node.props();
     let signature = signatures.get(&props.tables.mask())?.clone();
     let mut base: Vec<ColId> = Vec::with_capacity(props.layout.len());
@@ -71,7 +132,7 @@ fn harvest_info(node: &PhysNode, signatures: &Signatures) -> Option<HarvestInfo>
 
 /// Is the node a materializing operator (for the Figure 10 "check once
 /// after materialization" optimization)?
-fn is_materializing(node: &PhysNode) -> bool {
+pub(crate) fn is_materializing(node: &PhysNode) -> bool {
     matches!(
         node,
         PhysNode::Sort { .. } | PhysNode::Temp { .. } | PhysNode::MvScan { .. }
@@ -84,13 +145,51 @@ pub fn build_operator(
     catalog: &Catalog,
     signatures: &Signatures,
 ) -> PopResult<Box<dyn Operator>> {
+    build_with_env(node, catalog, signatures, None)
+}
+
+/// [`build_operator`], optionally inside a parallel region: with an env,
+/// this builds *one partition's* instance of the region spine.
+pub(crate) fn build_with_env(
+    node: &PhysNode,
+    catalog: &Catalog,
+    signatures: &Signatures,
+    env: Option<&PartitionEnv>,
+) -> PopResult<Box<dyn Operator>> {
+    // Operators whose semantics are inherently global (total order, global
+    // limit, cross-step compensation, side effects) never appear inside a
+    // region — the parallelize pass keeps them above the Gather and
+    // planlint (PL304) re-verifies. Refuse at build time as the last line
+    // of defense.
+    if env.is_some() {
+        match node {
+            PhysNode::Sort { .. }
+            | PhysNode::Mgjn { .. }
+            | PhysNode::MvScan { .. }
+            | PhysNode::BufCheck { .. }
+            | PhysNode::Limit { .. }
+            | PhysNode::RidSink { .. }
+            | PhysNode::AntiJoinRids { .. }
+            | PhysNode::Insert { .. } => {
+                return Err(PopError::Planning(format!(
+                    "{} inside a parallel region is not supported",
+                    node.name()
+                )))
+            }
+            _ => {}
+        }
+    }
     Ok(match node {
         PhysNode::TableScan {
             table, pred, props, ..
         } => {
             let t = catalog.table(table)?;
             let bound = pred.as_ref().map(|p| bind(p, &props.layout)).transpose()?;
-            Box::new(TableScanOp::new(t, bound))
+            let op = TableScanOp::new(t, bound);
+            match env {
+                Some(e) => Box::new(op.with_partition(e.part, e.parts)),
+                None => Box::new(op),
+            }
         }
         PhysNode::IndexRangeScan {
             table,
@@ -111,13 +210,11 @@ pub fn build_operator(
                 .as_ref()
                 .map(|p| bind(p, &props.layout))
                 .transpose()?;
-            Box::new(IndexRangeScanOp::new(
-                t,
-                index,
-                lo.clone(),
-                hi.clone(),
-                bound,
-            ))
+            let op = IndexRangeScanOp::new(t, index, lo.clone(), hi.clone(), bound);
+            match env {
+                Some(e) => Box::new(op.with_partition(e.part, e.parts)),
+                None => Box::new(op),
+            }
         }
         PhysNode::MvScan {
             mv_name, signature, ..
@@ -132,7 +229,7 @@ pub fn build_operator(
             inner,
             ..
         } => {
-            let outer_op = build_operator(outer, catalog, signatures)?;
+            let outer_op = build_with_env(outer, catalog, signatures, env)?;
             let outer_pos = pos_of(&outer.props().layout, *outer_key)?;
             let inner_table = catalog.table(&inner.table)?;
             let index = catalog
@@ -172,15 +269,24 @@ pub fn build_operator(
             probe_keys,
             ..
         } => {
+            let ppos = probe_keys
+                .iter()
+                .map(|k| pos_of(&probe.props().layout, *k))
+                .collect::<PopResult<Vec<_>>>()?;
+            if let Some(e) = env {
+                // Inside a region the controller built this join's hash
+                // table once; attach this partition's probe to it. The
+                // shared-build cursor advances *before* the probe subtree
+                // is built: spine pre-order, matching the controller.
+                let state = e.next_build()?;
+                let probe_op = build_with_env(probe, catalog, signatures, env)?;
+                return Ok(Box::new(HsjnOp::with_shared_build(probe_op, ppos, state)));
+            }
             let build_op = build_operator(build, catalog, signatures)?;
             let probe_op = build_operator(probe, catalog, signatures)?;
             let bpos = build_keys
                 .iter()
                 .map(|k| pos_of(&build.props().layout, *k))
-                .collect::<PopResult<Vec<_>>>()?;
-            let ppos = probe_keys
-                .iter()
-                .map(|k| pos_of(&probe.props().layout, *k))
                 .collect::<PopResult<Vec<_>>>()?;
             // Hash-join builds are materializations too: snapshot them for
             // potential reuse after a CHECK failure (the enhancement the
@@ -195,8 +301,8 @@ pub fn build_operator(
             right_keys,
             ..
         } => {
-            let left_op = build_operator(left, catalog, signatures)?;
-            let right_op = build_operator(right, catalog, signatures)?;
+            let left_op = build_with_env(left, catalog, signatures, env)?;
+            let right_op = build_with_env(right, catalog, signatures, env)?;
             let (Some(lk), Some(rk)) = (left_keys.first(), right_keys.first()) else {
                 return Err(PopError::Planning(
                     "MGJN requires at least one join key per side".into(),
@@ -209,7 +315,7 @@ pub fn build_operator(
         PhysNode::Sort {
             input, key, desc, ..
         } => {
-            let child = build_operator(input, catalog, signatures)?;
+            let child = build_with_env(input, catalog, signatures, env)?;
             let pos = match key {
                 SortKeyRef::Col(c) => pos_of(&input.props().layout, *c)?,
                 SortKeyRef::Pos(p) => *p,
@@ -222,11 +328,11 @@ pub fn build_operator(
             ))
         }
         PhysNode::Temp { input, .. } => {
-            let child = build_operator(input, catalog, signatures)?;
+            let child = build_with_env(input, catalog, signatures, env)?;
             Box::new(TempOp::new(child, harvest_info(node, signatures)))
         }
         PhysNode::Project { input, cols, .. } => {
-            let child = build_operator(input, catalog, signatures)?;
+            let child = build_with_env(input, catalog, signatures, env)?;
             let positions = cols
                 .iter()
                 .map(|c| match c {
@@ -249,7 +355,7 @@ pub fn build_operator(
             aggs,
             ..
         } => {
-            let child = build_operator(input, catalog, signatures)?;
+            let child = build_with_env(input, catalog, signatures, env)?;
             let keys = group_by
                 .iter()
                 .map(|k| pos_of(&input.props().layout, *k))
@@ -269,6 +375,27 @@ pub fn build_operator(
             Box::new(HashAggOp::new(child, keys, kinds))
         }
         PhysNode::Check { input, spec, .. } => {
+            if let Some(e) = env {
+                // Inside a region a CHECK compares per-partition counts
+                // against a global range unless it folds into the shared
+                // counter — refuse anything unregistered (PL306 statically,
+                // this error dynamically).
+                if !spec.fold {
+                    return Err(PopError::Planning(format!(
+                        "CHECK #{} inside a parallel region lacks fold registration",
+                        spec.id
+                    )));
+                }
+                let cell = e.next_fold()?; // pre-order, before the child
+                                           // Same eager/exact split as the serial CheckOp: above a
+                                           // materialization the serial check evaluates once against
+                                           // the exact count, so the fold must defer to the region
+                                           // controller's exact evaluation instead of tripping
+                                           // mid-stream with an `AtLeast` bound.
+                let eager = !is_materializing(input);
+                let child = build_with_env(input, catalog, signatures, env)?;
+                return Ok(Box::new(FoldCheckOp::new(child, spec.clone(), cell, eager)));
+            }
             let materialized = is_materializing(input);
             let child = build_operator(input, catalog, signatures)?;
             Box::new(CheckOp::new(child, spec.clone(), materialized))
@@ -283,7 +410,7 @@ pub fn build_operator(
             Box::new(BufCheckOp::new(child, spec.clone(), *buffer))
         }
         PhysNode::SemiProbe { input, clause, .. } => {
-            let child = build_operator(input, catalog, signatures)?;
+            let child = build_with_env(input, catalog, signatures, env)?;
             let outer_pos = pos_of(&input.props().layout, clause.outer_col)?;
             let inner_table = catalog.table(&clause.table)?;
             let index = catalog
@@ -312,7 +439,7 @@ pub fn build_operator(
             ))
         }
         PhysNode::Having { input, preds, .. } => Box::new(HavingOp::new(
-            build_operator(input, catalog, signatures)?,
+            build_with_env(input, catalog, signatures, env)?,
             preds.clone(),
         )),
         PhysNode::Limit { input, n, .. } => Box::new(LimitOp::new(
@@ -330,6 +457,36 @@ pub fn build_operator(
             Box::new(InsertOp::new(
                 build_operator(input, catalog, signatures)?,
                 t,
+            ))
+        }
+        PhysNode::Exchange { .. } => match env {
+            // One partition's view of an exchange is its receive leaf; the
+            // producer stage below is built (and run) by separate workers.
+            Some(e) => match &e.exchange {
+                Some(state) => Box::new(ExchangeSourceOp::new(Arc::clone(state), e.part, e.parts)),
+                None => {
+                    return Err(PopError::Planning(
+                        "EXCHANGE nested inside a producer stage".into(),
+                    ))
+                }
+            },
+            None => {
+                return Err(PopError::Planning(
+                    "EXCHANGE outside a GATHER region".into(),
+                ))
+            }
+        },
+        PhysNode::Gather { input, parts, .. } => {
+            if env.is_some() {
+                return Err(PopError::Planning(
+                    "GATHER nested inside a parallel region".into(),
+                ));
+            }
+            Box::new(GatherOp::new(
+                (**input).clone(),
+                *parts,
+                catalog.clone(),
+                signatures.clone(),
             ))
         }
     })

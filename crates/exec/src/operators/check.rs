@@ -511,6 +511,7 @@ mod tests {
             est_card: (lo + hi) / 2.0,
             signature: "sig".into(),
             context: pop_plan::CheckContext::AboveTemp,
+            fold: false,
         }
     }
 

@@ -152,14 +152,82 @@ impl Operator for NljnOp {
     }
 }
 
+/// The completed build phase of a hash join: the row arena, the key →
+/// arena-index table, the simulated spill factor, and the bytes reserved
+/// against the governor. Built once — either privately by [`HsjnOp::open`]
+/// or serially by a parallel region's controller, which then shares one
+/// `Arc<BuildState>` across all partition probe instances ("build once,
+/// probe in parallel").
+pub struct BuildState {
+    /// Build rows, stored exactly once.
+    pub(crate) arena: Vec<ExecRow>,
+    /// Join key → arena indices.
+    pub(crate) table: HashMap<Vec<Value>, Vec<u32>>,
+    pub(crate) spill_passes: f64,
+    /// Resident bytes charged to the governor; released by the owner.
+    pub(crate) reserved: u64,
+}
+
+/// Run the build phase: drain `build` into an arena + hash table,
+/// charging `hash_build_row` per row, reserving the arena bytes, and
+/// snapshotting the harvest (if any) into `ctx`. The caller owns the
+/// returned state's byte reservation.
+pub(crate) fn run_hash_build(
+    build: &mut dyn Operator,
+    build_key_pos: &[usize],
+    build_harvest: Option<&HarvestInfo>,
+    ctx: &mut ExecCtx,
+) -> OpResult<BuildState> {
+    let mut state = BuildState {
+        arena: Vec::new(),
+        table: HashMap::new(),
+        spill_passes: 0.0,
+        reserved: 0,
+    };
+    while let Some(b) = build.next_batch(ctx)? {
+        ctx.charge(b.live_count() as f64 * ctx.model.hash_build_row);
+        let bytes = b.approx_bytes();
+        state.reserved += bytes;
+        ctx.guard_reserve(bytes)?;
+        ctx.guard_tick()?;
+        for row in b.into_rows() {
+            let key: Vec<Value> = build_key_pos
+                .iter()
+                .map(|p| row.values[*p].clone())
+                .collect();
+            let idx = state.arena.len() as u32;
+            state.arena.push(row);
+            if key.iter().any(Value::is_null) {
+                continue; // NULL keys never join
+            }
+            state.table.entry(key).or_default().push(idx);
+        }
+    }
+    if let Some(info) = build_harvest {
+        ctx.harvests.push(snapshot_harvest(info, &state.arena));
+    }
+    // Simulated grace-hash spill: the same step function the optimizer
+    // models, so misestimated builds really do cost what the model says.
+    state.spill_passes = ctx.model.spill_passes(state.arena.len() as f64);
+    if state.spill_passes > 0.0 {
+        ctx.charge(state.spill_passes * state.arena.len() as f64 * ctx.model.spill_row);
+    }
+    Ok(state)
+}
+
 /// Hash join: the build side is fully materialized into a row arena plus
 /// a hash table of arena indices at `open`; the probe side streams. Probe
 /// hits reference arena rows by index and are copied out once into the
 /// join output — the build row is never re-cloned per bucket. Build
 /// overflow past the memory budget charges simulated spill passes,
 /// mirroring the cost model's step function.
+///
+/// Inside a parallel region the controller builds once and every
+/// partition's probe instance references the same [`BuildState`] through
+/// [`HsjnOp::with_shared_build`]; such an instance has no build child and
+/// does not own the arena's byte reservation.
 pub struct HsjnOp {
-    build: Box<dyn Operator>,
+    build: Option<Box<dyn Operator>>,
     probe: Box<dyn Operator>,
     build_key_pos: Vec<usize>,
     probe_key_pos: Vec<usize>,
@@ -167,18 +235,15 @@ pub struct HsjnOp {
     /// intermediate result — the hash-join-build reuse the paper lists as
     /// a planned enhancement of its prototype (§4).
     build_harvest: Option<HarvestInfo>,
-    /// Build rows, stored exactly once.
-    arena: Vec<ExecRow>,
-    /// Join key → arena indices.
-    table: HashMap<Vec<Value>, Vec<u32>>,
-    spill_passes: f64,
+    /// Privately-owned build (serial mode), populated at `open`.
+    own: Option<BuildState>,
+    /// Controller-owned build shared across partitions (parallel mode).
+    shared: Option<Arc<BuildState>>,
     cursor: BatchCursor,
     current: Vec<u32>,
     current_pos: usize,
     current_probe: Option<ExecRow>,
     pending_signal: Option<crate::ExecSignal>,
-    /// Resident bytes charged to the governor for the build arena.
-    reserved: u64,
 }
 
 impl HsjnOp {
@@ -190,20 +255,41 @@ impl HsjnOp {
         probe_key_pos: Vec<usize>,
     ) -> Self {
         HsjnOp {
-            build,
+            build: Some(build),
             probe,
             build_key_pos,
             probe_key_pos,
             build_harvest: None,
-            arena: Vec::new(),
-            table: HashMap::new(),
-            spill_passes: 0.0,
+            own: None,
+            shared: None,
             cursor: BatchCursor::new(),
             current: Vec::new(),
             current_pos: 0,
             current_probe: None,
             pending_signal: None,
-            reserved: 0,
+        }
+    }
+
+    /// Create a probe-only hash join over a build completed elsewhere.
+    /// The byte reservation stays with the build's owner.
+    pub(crate) fn with_shared_build(
+        probe: Box<dyn Operator>,
+        probe_key_pos: Vec<usize>,
+        build: Arc<BuildState>,
+    ) -> Self {
+        HsjnOp {
+            build: None,
+            probe,
+            build_key_pos: Vec::new(),
+            probe_key_pos,
+            build_harvest: None,
+            own: None,
+            shared: Some(build),
+            cursor: BatchCursor::new(),
+            current: Vec::new(),
+            current_pos: 0,
+            current_probe: None,
+            pending_signal: None,
         }
     }
 
@@ -216,37 +302,18 @@ impl HsjnOp {
 
 impl Operator for HsjnOp {
     fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
-        self.build.open(ctx)?;
-        self.arena.clear();
-        self.table.clear();
-        while let Some(b) = self.build.next_batch(ctx)? {
-            ctx.charge(b.live_count() as f64 * ctx.model.hash_build_row);
-            let bytes = b.approx_bytes();
-            self.reserved += bytes;
-            ctx.guard_reserve(bytes)?;
-            ctx.guard_tick()?;
-            for row in b.into_rows() {
-                let key: Vec<Value> = self
-                    .build_key_pos
-                    .iter()
-                    .map(|p| row.values[*p].clone())
-                    .collect();
-                let idx = self.arena.len() as u32;
-                self.arena.push(row);
-                if key.iter().any(Value::is_null) {
-                    continue; // NULL keys never join
-                }
-                self.table.entry(key).or_default().push(idx);
-            }
-        }
-        if let Some(info) = &self.build_harvest {
-            ctx.harvests.push(snapshot_harvest(info, &self.arena));
-        }
-        // Simulated grace-hash spill: the same step function the optimizer
-        // models, so misestimated builds really do cost what the model says.
-        self.spill_passes = ctx.model.spill_passes(self.arena.len() as f64);
-        if self.spill_passes > 0.0 {
-            ctx.charge(self.spill_passes * self.arena.len() as f64 * ctx.model.spill_row);
+        if self.shared.is_none() {
+            let build = self
+                .build
+                .as_mut()
+                .ok_or_else(|| super::protocol_err("HSJN without a build child or shared build"))?;
+            build.open(ctx)?;
+            self.own = Some(run_hash_build(
+                build.as_mut(),
+                &self.build_key_pos,
+                self.build_harvest.as_ref(),
+                ctx,
+            )?);
         }
         self.probe.open(ctx)?;
         self.cursor.reset();
@@ -265,12 +332,18 @@ impl Operator for HsjnOp {
         let mut out = RowBatch::with_capacity(target);
         loop {
             while self.current_pos < self.current.len() {
-                let build_row = &self.arena[self.current[self.current_pos] as usize];
+                let idx = self.current[self.current_pos] as usize;
                 self.current_pos += 1;
                 let probe_row = self
                     .current_probe
                     .as_ref()
                     .ok_or_else(|| super::protocol_err("HSJN match without a probe row"))?;
+                let state = self
+                    .shared
+                    .as_deref()
+                    .or(self.own.as_ref())
+                    .ok_or_else(|| super::protocol_err("HSJN next_batch() before open()"))?;
+                let build_row = &state.arena[idx];
                 out.push_concat(
                     &build_row.values,
                     &probe_row.values,
@@ -285,16 +358,28 @@ impl Operator for HsjnOp {
                 Err(sig) => return super::stash_or_raise(sig, out, &mut self.pending_signal),
                 Ok(None) => return Ok(if out.is_empty() { None } else { Some(out) }),
                 Ok(Some(row)) => {
-                    ctx.charge(ctx.model.hash_probe_row + self.spill_passes * ctx.model.spill_row);
-                    let key: Vec<Value> = self
-                        .probe_key_pos
-                        .iter()
-                        .map(|p| row.values[*p].clone())
-                        .collect();
-                    if key.iter().any(Value::is_null) {
-                        continue;
-                    }
-                    self.current = self.table.get(&key).cloned().unwrap_or_default();
+                    let matches = {
+                        let state =
+                            self.shared
+                                .as_deref()
+                                .or(self.own.as_ref())
+                                .ok_or_else(|| {
+                                    super::protocol_err("HSJN next_batch() before open()")
+                                })?;
+                        ctx.charge(
+                            ctx.model.hash_probe_row + state.spill_passes * ctx.model.spill_row,
+                        );
+                        let key: Vec<Value> = self
+                            .probe_key_pos
+                            .iter()
+                            .map(|p| row.values[*p].clone())
+                            .collect();
+                        if key.iter().any(Value::is_null) {
+                            continue;
+                        }
+                        state.table.get(&key).cloned().unwrap_or_default()
+                    };
+                    self.current = matches;
                     self.current_pos = 0;
                     self.current_probe = Some(row);
                 }
@@ -303,13 +388,16 @@ impl Operator for HsjnOp {
     }
 
     fn close(&mut self, ctx: &mut ExecCtx) {
-        self.build.close(ctx);
+        if let Some(b) = &mut self.build {
+            b.close(ctx);
+        }
         self.probe.close(ctx);
-        self.arena.clear();
-        self.table.clear();
         self.cursor.reset();
-        ctx.guard_release(self.reserved);
-        self.reserved = 0;
+        // Only a privately-built arena's reservation is ours to release;
+        // a shared build belongs to the region controller.
+        if let Some(own) = self.own.take() {
+            ctx.guard_release(own.reserved);
+        }
     }
 }
 

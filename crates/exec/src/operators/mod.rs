@@ -4,8 +4,9 @@ use crate::{ExecCtx, ExecRow, OpResult, RowBatch};
 
 pub(crate) mod agg;
 mod check;
-mod joins;
+pub(crate) mod joins;
 pub(crate) mod materialize;
+pub(crate) mod parallel;
 mod scan;
 mod side;
 
@@ -13,6 +14,7 @@ pub use agg::{HashAggOp, HavingOp, LimitOp, ProjectOp};
 pub use check::{BufCheckOp, CheckOp};
 pub use joins::{HsjnOp, MgjnOp, NljnOp, SemiProbeOp};
 pub use materialize::{SortOp, TempOp};
+pub use parallel::GatherOp;
 pub use scan::{IndexRangeScanOp, MvScanOp, TableScanOp};
 pub use side::{AntiJoinRidsOp, InsertOp, RidSinkOp};
 

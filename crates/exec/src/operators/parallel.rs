@@ -1,0 +1,1111 @@
+//! Partition-parallel execution: the GATHER region controller, the
+//! EXCHANGE runtime (bounded queues + hash routing), and the folded CHECK
+//! that keeps the paper's §3 semantics global across partitions.
+//!
+//! A `Gather` plan node marks the boundary between the serial plan above
+//! and a **parallel region** below. [`GatherOp`] is the region
+//! controller: its `open` executes the whole region — serial shared
+//! hash-join builds first, then `parts` partition chains on scoped worker
+//! threads — buffers the region's output, and re-emits it in batches.
+//! Everything above the `Gather` (final CHECKs, SORT, the executor loop)
+//! stays byte-for-byte serial.
+//!
+//! **Determinism.** Partitions are *contiguous ranges* of the serial scan
+//! order, per-partition chains are order-preserving, and the controller
+//! concatenates partition outputs in partition order — so a range region
+//! reproduces the serial row order (and float accumulation order)
+//! exactly, at any thread count. Hash-repartitioned (`Exchange`) stages
+//! replay each consumer's input producer-major, which pins the row order
+//! per consumer; outputs are deterministic per thread count and
+//! multiset-identical across thread counts.
+//!
+//! **CHECK folding (§2.1/§3).** A CHECK inside a region counts locally
+//! but folds into one shared atomic counter ([`FoldCell`]), so a validity
+//! range is compared against the *global* cardinality:
+//!
+//! * upper bound: the partition whose batch crosses `hi` trips the cell
+//!   exactly once and raises with observed `AtLeast(floor(hi)+1)` — the
+//!   same observation serial row-at-a-time counting reports;
+//! * lower bound / exact evaluation: once every partition reaches end of
+//!   stream the controller evaluates the folded exact count once, on the
+//!   main context, and records a single [`CheckEvent`].
+//!
+//! A violation (or any error) sets the region **stop flag** and stops all
+//! exchange queues; blocked producers and consumers wake up and quiesce,
+//! the scope joins, and the controller discards the region's buffered
+//! rows — no row of a violating step is ever emitted, so no deferred
+//! compensation is needed for them — then folds completed per-partition
+//! TEMP materializations into whole harvests (exact, summed stats, §2.3)
+//! before re-raising the violation to the driver.
+
+use crate::build::{build_with_env, pos_of, PartitionEnv, Signatures};
+use crate::context::{CheckEvent, CheckOutcome, Harvest};
+use crate::operators::{emit_chunk, Operator};
+use crate::signal::{ExecSignal, ObservedCard, Violation};
+use crate::{ExecCtx, ExecRow, OpResult, RowBatch};
+use pop_plan::{CheckSpec, PhysNode};
+use pop_storage::Catalog;
+use pop_types::{PopError, Value};
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Messages flowing through an exchange: a producer tag plus a run of
+/// rows, so the consumer can replay producer-major.
+type Msg = (usize, Vec<ExecRow>);
+
+/// Messages buffered per queue before producers block (the "bounded
+/// channel" of the exchange stage).
+const EXCHANGE_QUEUE_CAP: usize = 4;
+
+/// Region-wide coordination: one sticky stop flag. Any worker that
+/// raises — violation or error — sets it; every worker polls it at batch
+/// boundaries and every queue wait observes it, so quiescing never
+/// deadlocks on a full or empty bounded queue.
+#[derive(Default)]
+pub(crate) struct RegionShared {
+    stop: AtomicBool,
+}
+
+impl RegionShared {
+    fn set_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// Shared state of one folded CHECK: the global row count, a trip-once
+/// latch so exactly one partition reports an upper-bound violation, and —
+/// for checks above a materialization point — a cancellable rendezvous
+/// where all partitions meet once their TEMP shares are materialized, so
+/// the check is decided against the exact global count at the same point
+/// of the open cascade where the serial plan decides it (Figure 10).
+pub(crate) struct FoldCell {
+    count: AtomicU64,
+    tripped: AtomicBool,
+    parts: usize,
+    rv: Mutex<RvState>,
+    cv: Condvar,
+}
+
+struct RvState {
+    arrived: usize,
+    decided: bool,
+    violated: bool,
+    cancelled: bool,
+}
+
+/// What one partition takes away from a materialization rendezvous.
+enum RvOutcome {
+    /// All partitions arrived and the global count holds: keep going.
+    Passed,
+    /// Violated, and this partition (the last arriver) raises the one
+    /// re-optimization signal, carrying the exact global count.
+    Winner(u64),
+    /// Violated, but another partition raises: quiesce quietly.
+    Peer,
+    /// The region is stopping (a peer raised elsewhere): quiesce.
+    Cancelled,
+}
+
+impl FoldCell {
+    fn new(parts: usize) -> Self {
+        FoldCell {
+            count: AtomicU64::new(0),
+            tripped: AtomicBool::new(false),
+            parts: parts.max(1),
+            rv: Mutex::new(RvState {
+                arrived: 0,
+                decided: false,
+                violated: false,
+                cancelled: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Block until every partition of the stage has added its
+    /// materialized share to the counter. The last arriver evaluates the
+    /// global count (`is_violated`), publishes the verdict, and — on
+    /// violation — trips the cell and becomes the raiser. `cancel` wakes
+    /// every waiter so a quiescing region can never deadlock here.
+    fn rendezvous(&self, is_violated: impl FnOnce(u64) -> bool) -> RvOutcome {
+        let mut s = self.rv.lock().expect("fold rendezvous poisoned");
+        if s.cancelled {
+            return RvOutcome::Cancelled;
+        }
+        s.arrived += 1;
+        if s.arrived >= self.parts {
+            let total = self.total();
+            s.decided = true;
+            s.violated = is_violated(total);
+            let violated = s.violated;
+            self.cv.notify_all();
+            drop(s);
+            if violated {
+                self.tripped.store(true, Ordering::Release);
+                return RvOutcome::Winner(total);
+            }
+            return RvOutcome::Passed;
+        }
+        while !s.decided && !s.cancelled {
+            s = self.cv.wait(s).expect("fold rendezvous poisoned");
+        }
+        if !s.decided {
+            RvOutcome::Cancelled
+        } else if s.violated {
+            RvOutcome::Peer
+        } else {
+            RvOutcome::Passed
+        }
+    }
+
+    /// Wake every rendezvous waiter with a cancellation verdict.
+    fn cancel(&self) {
+        let mut s = self.rv.lock().expect("fold rendezvous poisoned");
+        s.cancelled = true;
+        self.cv.notify_all();
+    }
+
+    /// Did a rendezvous complete here with a passing verdict? (Then the
+    /// counter holds the exact global cardinality.)
+    fn decided_passed(&self) -> bool {
+        let s = self.rv.lock().expect("fold rendezvous poisoned");
+        s.decided && !s.violated
+    }
+}
+
+/// Worker-side CHECK with fold registration (`CheckSpec::fold`): counts
+/// into the shared [`FoldCell`] so the upper bound is compared against
+/// the global cardinality. For a pipelined check (`eager`) the first
+/// partition to cross `hi` trips the cell and raises, mirroring the
+/// serial mid-stream `AtLeast` observation; a check over a materializing
+/// child only accumulates, because its serial counterpart evaluates once
+/// against the exact materialized count (Figure 10) — the region
+/// controller performs that exact evaluation once all partitions are
+/// done, so both report `Exact(total)`.
+pub(crate) struct FoldCheckOp {
+    input: Box<dyn Operator>,
+    spec: CheckSpec,
+    cell: Arc<FoldCell>,
+    eager: bool,
+    /// Set when the check was decided at the open-time rendezvous:
+    /// batches stream through uncounted, like the serial fast path.
+    resolved_at_open: bool,
+}
+
+impl FoldCheckOp {
+    pub(crate) fn new(
+        input: Box<dyn Operator>,
+        spec: CheckSpec,
+        cell: Arc<FoldCell>,
+        eager: bool,
+    ) -> Self {
+        FoldCheckOp {
+            input,
+            spec,
+            cell,
+            eager,
+            resolved_at_open: false,
+        }
+    }
+}
+
+impl Operator for FoldCheckOp {
+    fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        self.resolved_at_open = false;
+        self.input.open(ctx)?;
+        if self.eager {
+            return Ok(());
+        }
+        let Some(n) = self.input.materialized_count() else {
+            // Defensive: no exact count after all — fall back to
+            // streaming accumulation (controller evaluates at the end).
+            return Ok(());
+        };
+        // The serial counterpart decides here, once, against the exact
+        // materialized count — before anything above it materializes or
+        // streams. Mirror that: fold the local share in, meet the other
+        // partitions, and let the last arriver decide on the global
+        // count. Leaf-to-root ordering across nested materializations is
+        // inherited from the open cascade itself.
+        self.resolved_at_open = true;
+        self.cell.count.fetch_add(n, Ordering::AcqRel);
+        ctx.charge(ctx.model.check_row);
+        let armed = ctx.checks_enabled && ctx.force_reopt_at.is_none();
+        let range = self.spec.range;
+        match self
+            .cell
+            .rendezvous(|total| armed && !range.contains(total as f64))
+        {
+            RvOutcome::Passed => Ok(()),
+            RvOutcome::Winner(total) => Err(ExecSignal::Reopt(Box::new(Violation {
+                check_id: self.spec.id,
+                flavor: self.spec.flavor,
+                signature: self.spec.signature.clone(),
+                observed: ObservedCard::Exact(total),
+                est_card: self.spec.est_card,
+                range: self.spec.range,
+                forced: false,
+            }))),
+            RvOutcome::Peer | RvOutcome::Cancelled => Err(ExecSignal::Error(PopError::Cancelled)),
+        }
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        let Some(b) = self.input.next_batch(ctx)? else {
+            return Ok(None);
+        };
+        if self.resolved_at_open {
+            return Ok(Some(b));
+        }
+        let n = b.live_count() as u64;
+        ctx.charge(n as f64 * ctx.model.check_row);
+        // Suppression mirrors the serial `armed()` rules; forced reopts
+        // run serial plans, so inside a region force_reopt_at is only
+        // ever a suppressor.
+        let armed = self.eager
+            && ctx.checks_enabled
+            && ctx.force_reopt_at.is_none()
+            && !self.cell.tripped.load(Ordering::Acquire);
+        let new_total = self.cell.count.fetch_add(n, Ordering::AcqRel) + n;
+        if armed && new_total as f64 > self.spec.range.hi {
+            // First crossing wins; later partitions pass through.
+            if !self.cell.tripped.swap(true, Ordering::AcqRel) {
+                // Row-at-a-time counting fires on the first row that
+                // crosses `hi`, having observed exactly floor(hi)+1 rows
+                // — reproduce that observation from the bound itself so
+                // it is independent of batch shape and thread count.
+                let observed = ObservedCard::AtLeast(self.spec.range.hi.floor() as u64 + 1);
+                return Err(ExecSignal::Reopt(Box::new(Violation {
+                    check_id: self.spec.id,
+                    flavor: self.spec.flavor,
+                    signature: self.spec.signature.clone(),
+                    observed,
+                    est_card: self.spec.est_card,
+                    range: self.spec.range,
+                    forced: false,
+                })));
+            }
+        }
+        Ok(Some(b))
+    }
+
+    fn close(&mut self, ctx: &mut ExecCtx) {
+        self.input.close(ctx);
+    }
+}
+
+enum Pop {
+    Item(Msg),
+    Done,
+    Stopped,
+}
+
+struct QueueState {
+    items: VecDeque<Msg>,
+    producers_done: usize,
+    stopped: bool,
+}
+
+/// A bounded MPSC queue with cooperative stop: producers block when the
+/// queue is full, the consumer blocks when it is empty, and `stop()`
+/// wakes everyone so a quiescing region can never deadlock.
+pub(crate) struct BoundedQueue {
+    state: Mutex<QueueState>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    producers: usize,
+}
+
+impl BoundedQueue {
+    fn new(capacity: usize, producers: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                producers_done: 0,
+                stopped: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+            producers,
+        }
+    }
+
+    /// Push a message; `false` when the queue was stopped.
+    fn push(&self, msg: Msg) -> bool {
+        let mut s = self.state.lock().expect("exchange queue poisoned");
+        while s.items.len() >= self.capacity && !s.stopped {
+            s = self.not_full.wait(s).expect("exchange queue poisoned");
+        }
+        if s.stopped {
+            return false;
+        }
+        s.items.push_back(msg);
+        self.not_empty.notify_one();
+        true
+    }
+
+    fn pop(&self) -> Pop {
+        let mut s = self.state.lock().expect("exchange queue poisoned");
+        loop {
+            if s.stopped {
+                return Pop::Stopped;
+            }
+            if let Some(m) = s.items.pop_front() {
+                self.not_full.notify_one();
+                return Pop::Item(m);
+            }
+            if s.producers_done >= self.producers {
+                return Pop::Done;
+            }
+            s = self.not_empty.wait(s).expect("exchange queue poisoned");
+        }
+    }
+
+    fn producer_done(&self) {
+        let mut s = self.state.lock().expect("exchange queue poisoned");
+        s.producers_done += 1;
+        self.not_empty.notify_all();
+    }
+
+    fn stop(&self) {
+        let mut s = self.state.lock().expect("exchange queue poisoned");
+        s.stopped = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+/// The runtime of one `Exchange` node: one bounded queue per consumer.
+pub(crate) struct ExchangeState {
+    queues: Vec<BoundedQueue>,
+}
+
+impl ExchangeState {
+    fn new(parts: usize) -> Self {
+        ExchangeState {
+            queues: (0..parts)
+                .map(|_| BoundedQueue::new(EXCHANGE_QUEUE_CAP, parts))
+                .collect(),
+        }
+    }
+
+    fn stop_all(&self) {
+        for q in &self.queues {
+            q.stop();
+        }
+    }
+}
+
+/// Deterministic hash routing of a row to one of `parts` consumers.
+fn route(values: &[Value], key_pos: &[usize], parts: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for p in key_pos {
+        values[*p].hash(&mut h);
+    }
+    (h.finish() % parts as u64) as usize
+}
+
+/// Consumer-side leaf of an exchange: receives this consumer's hash
+/// bucket from every producer, buffers it, and replays it
+/// **producer-major** (all of producer 0's rows in their original order,
+/// then producer 1's, ...) so the consumer's input order is a pure
+/// function of the plan and the data, never of thread scheduling.
+pub(crate) struct ExchangeSourceOp {
+    state: Arc<ExchangeState>,
+    consumer: usize,
+    producers: usize,
+    rows: Vec<ExecRow>,
+    pos: usize,
+}
+
+impl ExchangeSourceOp {
+    pub(crate) fn new(state: Arc<ExchangeState>, consumer: usize, producers: usize) -> Self {
+        ExchangeSourceOp {
+            state,
+            consumer,
+            producers,
+            rows: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl Operator for ExchangeSourceOp {
+    fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        let mut buckets: Vec<Vec<ExecRow>> = (0..self.producers).map(|_| Vec::new()).collect();
+        loop {
+            match self.state.queues[self.consumer].pop() {
+                Pop::Item((producer, rows)) => buckets[producer].extend(rows),
+                Pop::Done => break,
+                // Converted to a quiesce by the worker loop (the region
+                // stop flag is already set whenever a queue stops).
+                Pop::Stopped => return Err(ExecSignal::Error(PopError::Cancelled)),
+            }
+        }
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        ctx.charge(total as f64 * ctx.model.exchange_row);
+        self.rows = buckets.into_iter().flatten().collect();
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        Ok(emit_chunk(&self.rows, &mut self.pos, ctx))
+    }
+
+    fn close(&mut self, _ctx: &mut ExecCtx) {
+        self.rows.clear();
+    }
+}
+
+/// What one worker thread brought back.
+struct PartOutcome {
+    /// Region output rows (empty for producers and quiesced workers).
+    rows: Vec<ExecRow>,
+    /// The raised signal, if this worker is the one that raised.
+    raised: Option<ExecSignal>,
+    work: f64,
+    rows_scanned: u64,
+    harvests: Vec<Harvest>,
+}
+
+impl PartOutcome {
+    fn empty() -> Self {
+        PartOutcome {
+            rows: Vec::new(),
+            raised: None,
+            work: 0.0,
+            rows_scanned: 0,
+            harvests: Vec::new(),
+        }
+    }
+}
+
+/// Sets the stop flag (and stops the exchange queues and fold
+/// rendezvous) unless disarmed — armed across the whole worker body so a
+/// panic can never leave peers blocked on a queue or a rendezvous.
+struct Quiesce<'a> {
+    shared: &'a RegionShared,
+    exchange: Option<&'a ExchangeState>,
+    folds: &'a [Arc<FoldCell>],
+    armed: bool,
+}
+
+impl Drop for Quiesce<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.shared.set_stop();
+            if let Some(x) = self.exchange {
+                x.stop_all();
+            }
+            for f in self.folds {
+                f.cancel();
+            }
+        }
+    }
+}
+
+/// Everything a worker needs to build its execution context, cloned from
+/// the main context before the scope spawns.
+struct WorkerSeed {
+    catalog: Catalog,
+    params: pop_expr::Params,
+    model: pop_plan::CostModel,
+    checks_enabled: bool,
+    force_reopt_at: Option<usize>,
+    batch_size: usize,
+    guard: pop_guard::Governor,
+    faults: Option<pop_guard::FaultInjector>,
+}
+
+impl WorkerSeed {
+    fn from_ctx(ctx: &ExecCtx) -> Self {
+        WorkerSeed {
+            catalog: ctx.catalog.clone(),
+            params: ctx.params.clone(),
+            model: ctx.model.clone(),
+            checks_enabled: ctx.checks_enabled,
+            force_reopt_at: ctx.force_reopt_at,
+            batch_size: ctx.batch_size,
+            guard: ctx.guard.clone_shared(),
+            faults: ctx.faults.clone(),
+        }
+    }
+
+    fn make_ctx(&self) -> ExecCtx {
+        let mut w = ExecCtx::new(
+            self.catalog.clone(),
+            self.params.clone(),
+            self.model.clone(),
+        );
+        w.checks_enabled = self.checks_enabled;
+        w.force_reopt_at = self.force_reopt_at;
+        w.batch_size = self.batch_size;
+        w.guard = self.guard.clone_shared();
+        w.faults = self.faults.clone();
+        w
+    }
+}
+
+/// Pre-order walk of the region's **partitioned spine**: the path of
+/// operators instantiated once per partition. Hash joins contribute their
+/// probe side (builds are serial and shared), an exchange contributes its
+/// input (the producer stage), and every pass-through contributes its
+/// only child. Controller, chain builder and planlint all walk this same
+/// path, which is what keeps shared-build and fold-cell indices aligned.
+pub(crate) fn visit_spine<'a>(node: &'a PhysNode, f: &mut impl FnMut(&'a PhysNode)) {
+    f(node);
+    match node {
+        PhysNode::Hsjn { probe, .. } => visit_spine(probe, f),
+        PhysNode::Exchange { input, .. } => visit_spine(input, f),
+        PhysNode::Nljn { outer, .. } => visit_spine(outer, f),
+        _ => {
+            let ch = node.children();
+            if ch.len() == 1 {
+                visit_spine(ch[0], f);
+            }
+        }
+    }
+}
+
+/// The region controller. `open` runs the entire region to completion
+/// (or violation); `next_batch` re-chunks the buffered output.
+///
+/// `materialized_count` deliberately stays `None`: a CHECK directly above
+/// a `Gather` must count the gathered stream like any pipeline check, not
+/// take the materialized fast path — that keeps its observations
+/// identical to the serial plan's.
+pub struct GatherOp {
+    region: PhysNode,
+    parts: usize,
+    catalog: Catalog,
+    signatures: Signatures,
+    rows: Vec<ExecRow>,
+    pos: usize,
+    opened: bool,
+}
+
+impl GatherOp {
+    /// Create a gather over `region`, to run at `parts` partitions.
+    pub fn new(region: PhysNode, parts: usize, catalog: Catalog, signatures: Signatures) -> Self {
+        GatherOp {
+            region,
+            parts: parts.max(1),
+            catalog,
+            signatures,
+            rows: Vec::new(),
+            pos: 0,
+            opened: false,
+        }
+    }
+
+    /// Serially execute the build side of every spine hash join, in spine
+    /// order, charging the main context (one build, shared by all
+    /// partition probes). Returns the builds plus the spine's fold-check
+    /// specs and the exchange node, if any, with the builds/folds counts
+    /// that belong to the consumer stage (above the exchange).
+    #[allow(clippy::type_complexity)]
+    fn prepare(
+        &self,
+        ctx: &mut ExecCtx,
+    ) -> OpResult<(
+        Vec<Arc<crate::operators::joins::BuildState>>,
+        Vec<(CheckSpec, Arc<FoldCell>, bool)>,
+        Option<&PhysNode>,
+        usize,
+        usize,
+    )> {
+        let parts = self.parts;
+        let mut hsjns: Vec<&PhysNode> = Vec::new();
+        let mut folds: Vec<(CheckSpec, Arc<FoldCell>, bool)> = Vec::new();
+        let mut exchange: Option<&PhysNode> = None;
+        let mut above_builds = 0usize;
+        let mut above_folds = 0usize;
+        visit_spine(&self.region, &mut |n| {
+            match n {
+                PhysNode::Exchange { .. } if exchange.is_none() => {
+                    exchange = Some(n);
+                    above_builds = hsjns.len();
+                    above_folds = folds.len();
+                }
+                PhysNode::Hsjn { .. } => hsjns.push(n),
+                PhysNode::Check { input, spec, .. } if spec.fold => {
+                    let eager = !crate::build::is_materializing(input);
+                    folds.push((spec.clone(), Arc::new(FoldCell::new(parts)), eager));
+                }
+                _ => {}
+            };
+        });
+        let mut builds = Vec::with_capacity(hsjns.len());
+        for node in hsjns {
+            let PhysNode::Hsjn {
+                build, build_keys, ..
+            } = node
+            else {
+                unreachable!("collected non-HSJN spine node");
+            };
+            let mut op = crate::build::build_operator(build, &self.catalog, &self.signatures)?;
+            let bpos = build_keys
+                .iter()
+                .map(|k| pos_of(&build.props().layout, *k))
+                .collect::<Result<Vec<_>, _>>()?;
+            let harvest = crate::build::harvest_info(build, &self.signatures);
+            op.open(ctx)?;
+            let state =
+                crate::operators::joins::run_hash_build(op.as_mut(), &bpos, harvest.as_ref(), ctx);
+            op.close(ctx);
+            builds.push(Arc::new(state?));
+        }
+        Ok((builds, folds, exchange, above_builds, above_folds))
+    }
+}
+
+/// Run one partition chain to end of stream, folding batches into a local
+/// row buffer. Publishes locally-counted work to the shared governor
+/// ledger at every batch boundary so global budgets see all workers.
+fn run_chain(
+    mut op: Box<dyn Operator>,
+    wctx: &mut ExecCtx,
+    shared: &RegionShared,
+    mut on_batch: impl FnMut(&mut ExecCtx, RowBatch) -> Result<(), ExecSignal>,
+) -> Option<ExecSignal> {
+    let mut published = 0.0;
+    let publish = |wctx: &mut ExecCtx, published: &mut f64| {
+        wctx.guard.publish_work(wctx.work - *published);
+        *published = wctx.work;
+    };
+    let raised = (|| {
+        if let Err(sig) = op.open(wctx) {
+            return Some(sig);
+        }
+        loop {
+            if shared.stopped() {
+                return None;
+            }
+            match op.next_batch(wctx) {
+                Ok(Some(b)) => {
+                    if let Err(sig) = on_batch(wctx, b) {
+                        return Some(sig);
+                    }
+                    publish(wctx, &mut published);
+                    // Tick with 0 local: everything published already.
+                    if let Err(e) = wctx.guard.tick(wctx.work - published) {
+                        return Some(ExecSignal::Error(e));
+                    }
+                }
+                Ok(None) => return None,
+                Err(sig) => return Some(sig),
+            }
+        }
+    })();
+    op.close(wctx);
+    publish(wctx, &mut published);
+    raised
+}
+
+impl Operator for GatherOp {
+    fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
+        self.rows.clear();
+        self.pos = 0;
+        self.opened = true;
+        let parts = self.parts;
+        let region_start_work = ctx.work;
+
+        // Phase 1 (serial): shared hash-join builds, on the main context.
+        let (builds, folds, exchange_node, above_builds, above_folds) = self.prepare(ctx)?;
+        let release_builds = |ctx: &mut ExecCtx| {
+            for b in &builds {
+                ctx.guard_release(b.reserved);
+            }
+        };
+
+        // Phase 2 (parallel): partition chains under a scoped worker set.
+        let shared = RegionShared::default();
+        let seed = WorkerSeed::from_ctx(ctx);
+        // Base work published so worker ticks compare the true global
+        // counter; withdrawn below once worker work folds back in.
+        seed.guard.publish_work(region_start_work);
+        let exchange_state = exchange_node.map(|_| Arc::new(ExchangeState::new(parts)));
+        let fold_cells: Vec<Arc<FoldCell>> = folds.iter().map(|(_, c, _)| Arc::clone(c)).collect();
+
+        // Producer-stage routing positions (exchange only).
+        let producer_cfg = match exchange_node {
+            Some(PhysNode::Exchange { input, keys, .. }) => {
+                let key_pos = keys
+                    .iter()
+                    .map(|k| pos_of(&input.props().layout, *k))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Some((input.as_ref(), key_pos))
+            }
+            _ => None,
+        };
+
+        let mut outcomes: Vec<PartOutcome> = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            let shared = &shared;
+            let seed = &seed;
+            let builds = &builds;
+            let fold_cells = &fold_cells;
+            let region = &self.region;
+            let catalog = &self.catalog;
+            let signatures = &self.signatures;
+            let exchange_state = exchange_state.as_ref();
+
+            if let Some((producer_root, key_pos)) = &producer_cfg {
+                let producer_root = *producer_root;
+                let xstate: &ExchangeState = exchange_state
+                    .expect("exchange state for exchange region")
+                    .as_ref();
+                // k producers: run the stage below the exchange and route
+                // rows by hash to the consumer queues.
+                for part in 0..parts {
+                    let key_pos = key_pos.clone();
+                    handles.push(s.spawn(move || {
+                        let mut quiesce = Quiesce {
+                            shared,
+                            exchange: Some(xstate),
+                            folds: fold_cells,
+                            armed: true,
+                        };
+                        let mut out = PartOutcome::empty();
+                        let mut wctx = seed.make_ctx();
+                        let env = PartitionEnv::new(
+                            part,
+                            parts,
+                            builds[above_builds..].to_vec(),
+                            fold_cells[above_folds..].to_vec(),
+                            None,
+                        );
+                        let op =
+                            match build_with_env(producer_root, catalog, signatures, Some(&env)) {
+                                Ok(op) => op,
+                                Err(e) => {
+                                    out.raised = Some(ExecSignal::Error(e));
+                                    return out; // quiesce guard stops the region
+                                }
+                            };
+                        let raised = run_chain(op, &mut wctx, shared, |wctx, b| {
+                            let rows = b.into_rows();
+                            wctx.charge(rows.len() as f64 * wctx.model.exchange_row);
+                            let mut buckets: Vec<Vec<ExecRow>> =
+                                (0..parts).map(|_| Vec::new()).collect();
+                            for row in rows {
+                                buckets[route(&row.values, &key_pos, parts)].push(row);
+                            }
+                            for (c, bucket) in buckets.into_iter().enumerate() {
+                                if !bucket.is_empty() && !xstate.queues[c].push((part, bucket)) {
+                                    // Queue stopped: quiesce quietly.
+                                    return Err(ExecSignal::Error(PopError::Cancelled));
+                                }
+                            }
+                            Ok(())
+                        });
+                        match raised {
+                            Some(sig) => out.raised = Some(sig),
+                            None => {
+                                for q in &xstate.queues {
+                                    q.producer_done();
+                                }
+                                quiesce.armed = false;
+                            }
+                        }
+                        out.work = wctx.work;
+                        out.rows_scanned = wctx.rows_scanned;
+                        out.harvests = std::mem::take(&mut wctx.harvests);
+                        out
+                    }));
+                }
+            }
+
+            // k partition (or consumer) chains over the full region.
+            for part in 0..parts {
+                handles.push(s.spawn(move || {
+                    let mut quiesce = Quiesce {
+                        shared,
+                        exchange: exchange_state.map(|a| a.as_ref()),
+                        folds: fold_cells,
+                        armed: true,
+                    };
+                    let mut out = PartOutcome::empty();
+                    let mut wctx = seed.make_ctx();
+                    let (pbuilds, pfolds) = match exchange_state {
+                        // Consumer stage: only the builds/folds above the
+                        // exchange belong to this chain.
+                        Some(_) => (
+                            builds[..above_builds].to_vec(),
+                            fold_cells[..above_folds].to_vec(),
+                        ),
+                        None => (builds.to_vec(), fold_cells.to_vec()),
+                    };
+                    let env = PartitionEnv::new(
+                        part,
+                        parts,
+                        pbuilds,
+                        pfolds,
+                        exchange_state.map(Arc::clone),
+                    );
+                    let op = match build_with_env(region, catalog, signatures, Some(&env)) {
+                        Ok(op) => op,
+                        Err(e) => {
+                            out.raised = Some(ExecSignal::Error(e));
+                            return out;
+                        }
+                    };
+                    let mut rows = Vec::new();
+                    let raised = run_chain(op, &mut wctx, shared, |_wctx, b| {
+                        rows.extend(b.into_rows());
+                        Ok(())
+                    });
+                    match raised {
+                        Some(sig) => out.raised = Some(sig),
+                        None => {
+                            quiesce.armed = false;
+                            out.rows = rows;
+                        }
+                    }
+                    out.work = wctx.work;
+                    out.rows_scanned = wctx.rows_scanned;
+                    out.harvests = std::mem::take(&mut wctx.harvests);
+                    out
+                }));
+            }
+
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        let mut out = PartOutcome::empty();
+                        out.raised = Some(ExecSignal::Error(PopError::Execution(
+                            "partition worker panicked".into(),
+                        )));
+                        out
+                    })
+                })
+                .collect()
+        });
+
+        // Fold instrumentation back in deterministic worker order.
+        let mut folded_work = 0.0;
+        for o in &outcomes {
+            folded_work += o.work;
+            ctx.rows_scanned += o.rows_scanned;
+        }
+        ctx.work += folded_work;
+        // Workers published their work; the controller's counter now
+        // carries it, so withdraw the published total (plus the base).
+        seed.guard.withdraw_work(region_start_work + folded_work);
+
+        // Fold completed per-partition TEMP materializations into whole
+        // harvests (§2.3): a signature harvested by *every* worker of its
+        // stage concatenates, in worker order, into one exact snapshot.
+        // Partial groups (some partition quiesced early) are dropped —
+        // their stats would not be exact.
+        let stage_size = parts;
+        let mut groups: Vec<(String, Vec<&Harvest>)> = Vec::new();
+        for o in &outcomes {
+            for h in &o.harvests {
+                match groups.iter_mut().find(|(sig, _)| *sig == h.signature) {
+                    Some((_, v)) => v.push(h),
+                    None => groups.push((h.signature.clone(), vec![h])),
+                }
+            }
+        }
+        for (signature, parts_of) in groups {
+            if parts_of.len() != stage_size {
+                continue;
+            }
+            let mut merged = Harvest {
+                signature,
+                layout: parts_of[0].layout.clone(),
+                rows: Vec::new(),
+                lineage: Vec::new(),
+            };
+            for h in parts_of {
+                merged.rows.extend(h.rows.iter().cloned());
+                merged.lineage.extend(h.lineage.iter().cloned());
+            }
+            ctx.harvests.push(merged);
+        }
+
+        // Raised-signal priority: a genuine re-optimization beats errors;
+        // a real error beats the Cancelled artifacts of quiescing.
+        let mut raised: Option<ExecSignal> = None;
+        let rank = |s: &ExecSignal| match s {
+            ExecSignal::Reopt(_) => 0,
+            ExecSignal::Error(PopError::Cancelled) => 2,
+            ExecSignal::Error(_) => 1,
+        };
+        for o in outcomes.iter_mut() {
+            let Some(sig) = o.raised.take() else { continue };
+            let better = match &raised {
+                None => true,
+                Some(r) => rank(&sig) < rank(r),
+            };
+            if better {
+                raised = Some(sig);
+            }
+        }
+        if let Some(sig) = raised {
+            release_builds(ctx);
+            if let ExecSignal::Reopt(v) = &sig {
+                // Folds *below* the raiser that had already resolved
+                // globally recorded a Passed event in the serial plan
+                // before the violation fired — replay those first, in the
+                // same leaf-to-root order. A materialization fold below
+                // the raiser has always rendezvoused (every partition
+                // passed it to get there); a pipelined fold is only
+                // globally complete below the shallowest such rendezvous,
+                // exactly where its serial counterpart had reached end of
+                // stream inside a finished materialization.
+                let raiser = folds.iter().position(|(s, _, _)| s.id == v.check_id);
+                if let Some(p) = raiser {
+                    let shallowest_done =
+                        (p + 1..folds.len()).find(|&i| !folds[i].2 && folds[i].1.decided_passed());
+                    for i in (p + 1..folds.len()).rev() {
+                        let (spec, cell, eager) = &folds[i];
+                        let complete = if *eager {
+                            matches!(shallowest_done, Some(r) if i > r)
+                        } else {
+                            cell.decided_passed()
+                        };
+                        if !complete {
+                            continue;
+                        }
+                        ctx.check_events.push(CheckEvent {
+                            check_id: spec.id,
+                            flavor: spec.flavor,
+                            context: spec.context,
+                            outcome: CheckOutcome::Passed,
+                            at_work: ctx.work,
+                            started_at: region_start_work,
+                            observed: ObservedCard::Exact(cell.total()),
+                            est_card: spec.est_card,
+                            range: spec.range,
+                            signature: spec.signature.clone(),
+                        });
+                    }
+                }
+                // Record the single, global check event for the fold.
+                let context = folds
+                    .iter()
+                    .find(|(s, _, _)| s.id == v.check_id)
+                    .map(|(s, _, _)| s.context)
+                    .unwrap_or(pop_plan::CheckContext::Pipeline);
+                ctx.check_events.push(CheckEvent {
+                    check_id: v.check_id,
+                    flavor: v.flavor,
+                    context,
+                    outcome: CheckOutcome::Violated,
+                    at_work: ctx.work,
+                    started_at: region_start_work,
+                    observed: v.observed,
+                    est_card: v.est_card,
+                    range: v.range,
+                    signature: v.signature.clone(),
+                });
+            }
+            // No row of this step is emitted: the buffered partition
+            // output is discarded wholesale, so ECDC compensation state
+            // is untouched by the violating step.
+            return Err(sig);
+        }
+
+        // All partitions done: evaluate each fold's exact global count
+        // once, leaf-to-root — the order in which serial end-of-stream
+        // evaluation unwinds (an inner check sees its end of stream
+        // before the checks above it do). Folds decided at an open-time
+        // rendezvous are already tripped (violation) or simply re-record
+        // the same exact count (pass).
+        for (spec, cell, _) in folds.iter().rev() {
+            let total = cell.total();
+            let observed = ObservedCard::Exact(total);
+            let in_range = spec.range.contains(total as f64);
+            let may_raise = ctx.checks_enabled
+                && (ctx.force_reopt_at.is_none() || ctx.force_reopt_at == Some(spec.id));
+            let already_raised = cell.tripped.load(Ordering::Acquire);
+            let forced = ctx.force_reopt_at == Some(spec.id) && !ctx.forced_fired;
+            let spurious =
+                may_raise && !already_raised && in_range && !forced && ctx.fault_spurious_check();
+            if may_raise && !already_raised && (!in_range || forced || spurious) {
+                let outcome = if in_range && !spurious {
+                    ctx.forced_fired = true;
+                    CheckOutcome::Forced
+                } else {
+                    CheckOutcome::Violated
+                };
+                ctx.check_events.push(CheckEvent {
+                    check_id: spec.id,
+                    flavor: spec.flavor,
+                    context: spec.context,
+                    outcome,
+                    at_work: ctx.work,
+                    started_at: region_start_work,
+                    observed,
+                    est_card: spec.est_card,
+                    range: spec.range,
+                    signature: spec.signature.clone(),
+                });
+                release_builds(ctx);
+                return Err(ExecSignal::Reopt(Box::new(Violation {
+                    check_id: spec.id,
+                    flavor: spec.flavor,
+                    signature: spec.signature.clone(),
+                    observed,
+                    est_card: spec.est_card,
+                    range: spec.range,
+                    forced: in_range && !spurious,
+                })));
+            }
+            ctx.check_events.push(CheckEvent {
+                check_id: spec.id,
+                flavor: spec.flavor,
+                context: spec.context,
+                outcome: CheckOutcome::Passed,
+                at_work: ctx.work,
+                started_at: region_start_work,
+                observed,
+                est_card: spec.est_card,
+                range: spec.range,
+                signature: spec.signature.clone(),
+            });
+        }
+
+        release_builds(ctx);
+        // Concatenate partition outputs in partition order (for exchange
+        // regions the consumers are the trailing `parts` outcomes).
+        let mut rows = Vec::new();
+        for o in outcomes {
+            rows.extend(o.rows);
+        }
+        ctx.charge(rows.len() as f64 * ctx.model.exchange_row);
+        self.rows = rows;
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        if !self.opened {
+            return Err(super::protocol_err("gather next_batch() before open()"));
+        }
+        Ok(emit_chunk(&self.rows, &mut self.pos, ctx))
+    }
+
+    fn close(&mut self, _ctx: &mut ExecCtx) {
+        self.rows.clear();
+        self.pos = 0;
+        self.opened = false;
+    }
+}
+
+crate::operators::opaque_debug!(GatherOp, FoldCheckOp, ExchangeSourceOp);

@@ -14,8 +14,16 @@ use std::sync::Arc;
 pub struct TableScanOp {
     table: Arc<Table>,
     pred: Option<BoundExpr>,
+    /// Contiguous range partition `(part, parts)`: this instance scans
+    /// only rows `[part*n/parts, (part+1)*n/parts)` of the snapshot.
+    /// `None` scans everything. Contiguous (not round-robin) assignment
+    /// keeps each partition's output a contiguous slice of the serial
+    /// scan order, so concatenating partition outputs in partition order
+    /// reproduces the serial row order exactly.
+    partition: Option<(usize, usize)>,
     snapshot: Option<Arc<Vec<Row>>>,
     pos: usize,
+    end: usize,
     /// Selection-vector scratch, reused across chunks.
     sel: Vec<u32>,
 }
@@ -26,17 +34,34 @@ impl TableScanOp {
         TableScanOp {
             table,
             pred,
+            partition: None,
             snapshot: None,
             pos: 0,
+            end: usize::MAX,
             sel: Vec::new(),
         }
     }
+
+    /// Restrict the scan to range partition `part` of `parts`.
+    pub fn with_partition(mut self, part: usize, parts: usize) -> Self {
+        self.partition = Some((part, parts.max(1)));
+        self
+    }
+}
+
+/// Row range `[lo, hi)` of partition `part` of `parts` over `n` rows.
+pub(crate) fn partition_bounds(n: usize, part: usize, parts: usize) -> (usize, usize) {
+    (part * n / parts, (part + 1) * n / parts)
 }
 
 impl Operator for TableScanOp {
     fn open(&mut self, _ctx: &mut ExecCtx) -> OpResult<()> {
-        self.snapshot = Some(self.table.snapshot());
-        self.pos = 0;
+        let snapshot = self.table.snapshot();
+        (self.pos, self.end) = match self.partition {
+            None => (0, snapshot.len()),
+            Some((part, parts)) => partition_bounds(snapshot.len(), part, parts),
+        };
+        self.snapshot = Some(snapshot);
         Ok(())
     }
 
@@ -47,7 +72,10 @@ impl Operator for TableScanOp {
             .as_ref()
             .ok_or_else(|| super::protocol_err("table scan next_batch() before open()"))?
             .clone();
-        while let Some((start, chunk)) = pop_storage::chunk(&rows, self.pos, ctx.batch_size) {
+        let limit = self.end.min(rows.len());
+        while let Some((start, chunk)) =
+            pop_storage::chunk(&rows[..limit], self.pos, ctx.batch_size)
+        {
             self.pos = start + chunk.len();
             ctx.charge(chunk.len() as f64 * ctx.model.seq_row);
             ctx.rows_scanned += chunk.len() as u64;
@@ -95,6 +123,10 @@ pub struct IndexRangeScanOp {
     lo: Option<pop_types::Value>,
     hi: Option<pop_types::Value>,
     residual: Option<BoundExpr>,
+    /// Contiguous range partition over the matching index positions (see
+    /// [`TableScanOp::partition`]); each partition fetches a contiguous
+    /// slice of the index-order position list.
+    partition: Option<(usize, usize)>,
     snapshot: Option<Arc<Vec<Row>>>,
     positions: Vec<u64>,
     pos: usize,
@@ -115,17 +147,24 @@ impl IndexRangeScanOp {
             lo,
             hi,
             residual,
+            partition: None,
             snapshot: None,
             positions: Vec::new(),
             pos: 0,
         }
+    }
+
+    /// Restrict the scan to range partition `part` of `parts`.
+    pub fn with_partition(mut self, part: usize, parts: usize) -> Self {
+        self.partition = Some((part, parts.max(1)));
+        self
     }
 }
 
 impl Operator for IndexRangeScanOp {
     fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
         self.snapshot = Some(self.table.snapshot());
-        self.positions = self
+        let mut positions = self
             .index
             .range(self.lo.as_ref(), self.hi.as_ref())
             .ok_or_else(|| {
@@ -135,6 +174,11 @@ impl Operator for IndexRangeScanOp {
                     self.index.column()
                 ))
             })?;
+        if let Some((part, parts)) = self.partition {
+            let (lo, hi) = partition_bounds(positions.len(), part, parts);
+            positions = positions[lo..hi].to_vec();
+        }
+        self.positions = positions;
         ctx.charge(ctx.model.index_probe);
         self.pos = 0;
         Ok(())

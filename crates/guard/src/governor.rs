@@ -3,7 +3,30 @@
 
 use crate::{Budget, CancelToken};
 use pop_types::PopError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Work units are published to the shared ledger in fixed-point
+/// milli-units so the counter can live in an `AtomicU64`.
+const WORK_SCALE: f64 = 1000.0;
+
+/// The shared mutable part of a governor: row, byte and published-work
+/// counters live behind an `Arc` so every [`Governor::clone_shared`]
+/// handle — one per partition worker — charges the *same* global ledger.
+#[derive(Debug, Default)]
+struct Ledger {
+    /// Rows delivered to the application so far.
+    rows_emitted: AtomicU64,
+    /// Bytes currently reserved by materializing operator state.
+    resident_bytes: AtomicU64,
+    /// High-water mark of `resident_bytes` (diagnostics).
+    peak_resident_bytes: AtomicU64,
+    /// Work published by parallel workers (milli-units). Added on top of
+    /// the caller-local work counter in [`Governor::tick`] so the work
+    /// budget stays global while each worker context counts from zero.
+    published_work_mu: AtomicU64,
+}
 
 /// Per-query guardrail state.
 ///
@@ -13,18 +36,17 @@ use std::time::Instant;
 /// operator state. With no budget and no caller-held token the governor
 /// is *disabled* and every hook reduces to one predictable branch —
 /// the "zero cost when disabled" contract the bench suite verifies.
+///
+/// Counters live in a shared [`Ledger`]; [`Governor::clone_shared`] hands
+/// partition workers a handle onto the same ledger so row, byte and work
+/// budgets stay global across a parallel region.
 #[derive(Debug)]
 pub struct Governor {
     budget: Budget,
     cancel: Option<CancelToken>,
     /// Precomputed deadline for the wall-clock limit.
     deadline: Option<Instant>,
-    /// Rows delivered to the application so far.
-    rows_emitted: u64,
-    /// Bytes currently reserved by materializing operator state.
-    resident_bytes: u64,
-    /// High-water mark of `resident_bytes` (diagnostics).
-    peak_resident_bytes: u64,
+    ledger: Arc<Ledger>,
     enabled: bool,
 }
 
@@ -41,9 +63,7 @@ impl Governor {
             budget: Budget::unlimited(),
             cancel: None,
             deadline: None,
-            rows_emitted: 0,
-            resident_bytes: 0,
-            peak_resident_bytes: 0,
+            ledger: Arc::new(Ledger::default()),
             enabled: false,
         }
     }
@@ -59,10 +79,21 @@ impl Governor {
             budget,
             cancel,
             deadline,
-            rows_emitted: 0,
-            resident_bytes: 0,
-            peak_resident_bytes: 0,
+            ledger: Arc::new(Ledger::default()),
             enabled,
+        }
+    }
+
+    /// A handle onto the *same* ledger (rows, bytes, published work) and
+    /// cancel token, for a partition worker. Budget limits and the
+    /// wall-clock deadline are carried over unchanged.
+    pub fn clone_shared(&self) -> Governor {
+        Governor {
+            budget: self.budget,
+            cancel: self.cancel.clone(),
+            deadline: self.deadline,
+            ledger: Arc::clone(&self.ledger),
+            enabled: self.enabled,
         }
     }
 
@@ -78,24 +109,55 @@ impl Governor {
 
     /// Rows the root operator has delivered so far.
     pub fn rows_emitted(&self) -> u64 {
-        self.rows_emitted
+        self.ledger.rows_emitted.load(Ordering::Relaxed)
     }
 
     /// High-water mark of reserved resident bytes.
     pub fn peak_resident_bytes(&self) -> u64 {
-        self.peak_resident_bytes
+        self.ledger.peak_resident_bytes.load(Ordering::Relaxed)
     }
 
     /// Record `n` rows delivered to the application (root batches only).
     #[inline]
     pub fn add_rows(&mut self, n: u64) {
         if self.enabled {
-            self.rows_emitted += n;
+            self.ledger.rows_emitted.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Publish `units` of locally-counted work to the shared ledger so
+    /// other workers' `tick` calls see it. Workers call this with their
+    /// delta at batch boundaries; the region controller withdraws the
+    /// total again (via [`Governor::withdraw_work`]) once it folds worker
+    /// work back into the main context's counter.
+    #[inline]
+    pub fn publish_work(&self, units: f64) {
+        if self.enabled && units > 0.0 {
+            self.ledger
+                .published_work_mu
+                .fetch_add((units * WORK_SCALE) as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Withdraw previously published work (region end: the controller has
+    /// folded worker work into the serial counter it ticks with).
+    #[inline]
+    pub fn withdraw_work(&self, units: f64) {
+        if self.enabled && units > 0.0 {
+            let mu = (units * WORK_SCALE) as u64;
+            // Saturating: concurrent publishes can only make the counter
+            // larger, never smaller than what was published.
+            let _ = self.ledger.published_work_mu.fetch_update(
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+                |v| Some(v.saturating_sub(mu)),
+            );
         }
     }
 
     /// Batch-boundary check: cancellation, work, rows and wall-clock.
-    /// `work` is the context's cumulative work counter.
+    /// `work` is the calling context's cumulative work counter; work
+    /// published by concurrent workers is added on top.
     #[inline]
     pub fn tick(&self, work: f64) -> Result<(), PopError> {
         if !self.enabled {
@@ -112,6 +174,9 @@ impl Governor {
             }
         }
         if let Some(max) = self.budget.max_work {
+            let published =
+                self.ledger.published_work_mu.load(Ordering::Relaxed) as f64 / WORK_SCALE;
+            let work = work + published;
             if work > max {
                 return Err(PopError::BudgetExceeded(format!(
                     "work {work:.0} exceeds budget {max:.0} units"
@@ -119,10 +184,10 @@ impl Governor {
             }
         }
         if let Some(max) = self.budget.max_rows {
-            if self.rows_emitted > max {
+            if self.rows_emitted() > max {
                 return Err(PopError::BudgetExceeded(format!(
                     "{} rows produced exceeds budget of {max}",
-                    self.rows_emitted
+                    self.rows_emitted()
                 )));
             }
         }
@@ -145,13 +210,18 @@ impl Governor {
         if !self.enabled {
             return Ok(());
         }
-        self.resident_bytes = self.resident_bytes.saturating_add(bytes);
-        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+        let now = self
+            .ledger
+            .resident_bytes
+            .fetch_add(bytes, Ordering::Relaxed)
+            .saturating_add(bytes);
+        self.ledger
+            .peak_resident_bytes
+            .fetch_max(now, Ordering::Relaxed);
         if let Some(max) = self.budget.max_resident_bytes {
-            if self.resident_bytes > max {
+            if now > max {
                 return Err(PopError::BudgetExceeded(format!(
-                    "resident operator state of {} bytes exceeds budget of {max} bytes",
-                    self.resident_bytes
+                    "resident operator state of {now} bytes exceeds budget of {max} bytes"
                 )));
             }
         }
@@ -162,7 +232,11 @@ impl Governor {
     #[inline]
     pub fn release(&mut self, bytes: u64) {
         if self.enabled {
-            self.resident_bytes = self.resident_bytes.saturating_sub(bytes);
+            let _ = self.ledger.resident_bytes.fetch_update(
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+                |v| Some(v.saturating_sub(bytes)),
+            );
         }
     }
 }
@@ -249,5 +323,54 @@ mod tests {
         );
         std::thread::sleep(std::time::Duration::from_millis(5));
         assert!(matches!(g.tick(0.0), Err(PopError::BudgetExceeded(_))));
+    }
+
+    #[test]
+    fn shared_clones_charge_one_ledger() {
+        let mut a = Governor::new(
+            Budget {
+                max_rows: Some(10),
+                max_resident_bytes: Some(1000),
+                ..Budget::default()
+            },
+            None,
+        );
+        let mut b = a.clone_shared();
+        a.add_rows(4);
+        b.add_rows(4);
+        assert_eq!(a.rows_emitted(), 8);
+        assert!(a.tick(0.0).is_ok());
+        b.add_rows(3);
+        assert!(matches!(a.tick(0.0), Err(PopError::BudgetExceeded(_))));
+        assert!(a.reserve(600).is_ok());
+        assert!(b.reserve(500).is_err());
+        b.release(500);
+        assert_eq!(a.peak_resident_bytes(), 1100);
+    }
+
+    #[test]
+    fn published_work_counts_toward_budget_and_withdraws() {
+        let g = Governor::new(
+            Budget {
+                max_work: Some(100.0),
+                ..Budget::default()
+            },
+            None,
+        );
+        let worker = g.clone_shared();
+        worker.publish_work(60.0);
+        assert!(g.tick(30.0).is_ok());
+        assert!(matches!(g.tick(50.0), Err(PopError::BudgetExceeded(_))));
+        g.withdraw_work(60.0);
+        assert!(g.tick(50.0).is_ok());
+    }
+
+    #[test]
+    fn shared_cancel_crosses_clones() {
+        let token = CancelToken::new();
+        let g = Governor::new(Budget::unlimited(), Some(token.clone()));
+        let worker = g.clone_shared();
+        token.cancel();
+        assert!(matches!(worker.tick(0.0), Err(PopError::Cancelled)));
     }
 }

@@ -144,6 +144,14 @@ pub struct OptimizerConfig {
     /// statistics (most importantly parameter markers). Experiments vary
     /// these to reproduce the paper's default-selectivity regime (§5.1).
     pub selectivity_defaults: SelectivityDefaults,
+    /// Degree of partition parallelism the parallelize post-pass may plan
+    /// for (`Gather`/`Exchange` regions). `1` disables the pass entirely —
+    /// the serial default; the driver sets this from `POP_THREADS`.
+    pub threads: usize,
+    /// Estimated region cardinality below which parallelization is never
+    /// attempted: for small intermediate results the per-partition launch
+    /// overhead (`CostModel::parallel_startup`) outweighs any speedup.
+    pub min_parallel_rows: f64,
 }
 
 impl Default for OptimizerConfig {
@@ -162,6 +170,8 @@ impl Default for OptimizerConfig {
             reopt_gain_margin_abs: 200.0,
             reopt_gain_margin_frac: 0.05,
             selectivity_defaults: SelectivityDefaults::default(),
+            threads: 1,
+            min_parallel_rows: 8192.0,
         }
     }
 }

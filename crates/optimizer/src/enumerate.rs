@@ -12,7 +12,9 @@
 
 use crate::{validity, Candidate, CardEstimator, OptimizerContext, RootCostSpec};
 use pop_expr::Expr;
-use pop_plan::{InnerProbe, LayoutCol, PhysNode, PlanProps, SortKeyRef, TableSet, ValidityRange};
+use pop_plan::{
+    InnerProbe, LayoutCol, Partitioning, PhysNode, PlanProps, SortKeyRef, TableSet, ValidityRange,
+};
 use pop_types::{ColId, PopError, PopResult};
 use std::collections::HashMap;
 
@@ -151,6 +153,7 @@ fn add_partition_candidates(
                     layout,
                     sorted_by: order,
                     edge_ranges: vec![ValidityRange::unbounded(); 2],
+                    partitioning: Partitioning::Single,
                 },
             };
             insert_candidate(
@@ -242,6 +245,7 @@ fn add_partition_candidates(
                     layout,
                     sorted_by: order,
                     edge_ranges: vec![ValidityRange::unbounded(); 1],
+                    partitioning: Partitioning::Single,
                 },
             };
             // Canonical edges [a, b]; only the outer edge maps to a child.
@@ -306,6 +310,7 @@ fn add_partition_candidates(
                 layout,
                 sorted_by: Some(key_a),
                 edge_ranges: vec![ValidityRange::unbounded(); 2],
+                partitioning: Partitioning::Single,
             },
         };
         insert_candidate(

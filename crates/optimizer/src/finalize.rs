@@ -1,8 +1,10 @@
 //! Top-level plan assembly: join order → aggregation / projection →
 //! ordering → side effects → checkpoint placement.
 
-use crate::{optimize_join_order, place_checkpoints, CardEstimator, OptimizerContext};
-use pop_plan::{LayoutCol, PhysNode, PlanProps, QuerySpec, SortKeyRef, ValidityRange};
+use crate::{optimize_join_order, parallelize, place_checkpoints, CardEstimator, OptimizerContext};
+use pop_plan::{
+    LayoutCol, Partitioning, PhysNode, PlanProps, QuerySpec, SortKeyRef, ValidityRange,
+};
 use pop_types::PopResult;
 
 /// Optimize a query into an executable physical plan, with checkpoints
@@ -50,6 +52,7 @@ pub fn optimize(spec: &QuerySpec, ctx: &OptimizerContext<'_>) -> PopResult<PhysN
             layout,
             sorted_by: None,
             edge_ranges: vec![ValidityRange::unbounded()],
+            partitioning: Partitioning::Single,
         };
         node = PhysNode::HashAgg {
             input: Box::new(node),
@@ -70,6 +73,7 @@ pub fn optimize(spec: &QuerySpec, ctx: &OptimizerContext<'_>) -> PopResult<PhysN
             layout: cols.clone(),
             sorted_by: node.props().sorted_by,
             edge_ranges: vec![ValidityRange::unbounded()],
+            partitioning: Partitioning::Single,
         };
         node = PhysNode::Project {
             input: Box::new(node),
@@ -126,7 +130,7 @@ pub fn optimize(spec: &QuerySpec, ctx: &OptimizerContext<'_>) -> PopResult<PhysN
         };
     }
 
-    Ok(place_checkpoints(node, &est, ctx))
+    Ok(parallelize(place_checkpoints(node, &est, ctx), ctx))
 }
 
 #[cfg(test)]

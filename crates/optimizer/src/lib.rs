@@ -26,6 +26,7 @@ pub mod cost;
 mod enumerate;
 mod feedback;
 mod finalize;
+pub mod parallelize;
 pub mod placement;
 pub mod validity;
 
@@ -37,4 +38,5 @@ pub use cost::CostModel;
 pub use enumerate::optimize_join_order;
 pub use feedback::{CardFact, FeedbackCache};
 pub use finalize::optimize;
+pub use parallelize::parallelize;
 pub use placement::place_checkpoints;

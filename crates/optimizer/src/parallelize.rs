@@ -1,0 +1,468 @@
+//! The parallelize post-pass: wrap eligible subplans in a `Gather`
+//! (partition-parallel region), inserting an `Exchange` repartition stage
+//! where hash aggregation needs co-located groups.
+//!
+//! Runs after checkpoint placement, so every CHECK that lands on a
+//! region's partitioned spine gets **fold registration**
+//! (`CheckSpec::fold`): at runtime the k partition instances of the check
+//! count into one shared counter and the violation decision compares the
+//! *global* cardinality against the validity range — per-partition counts
+//! against a global range would be meaningless (planlint PL306 rejects
+//! exactly that). Checks on hash-join build sides stay serial and
+//! unfolded: build sides run once, in the region controller.
+//!
+//! Two region shapes are produced:
+//!
+//! * **Shape A — pipeline region**: a spine of scans, join probes,
+//!   filters, projections, temps and checks. The base scan is split into
+//!   k contiguous ranges; each partition runs the full chain; the Gather
+//!   concatenates in partition order, which reproduces the serial row
+//!   order exactly (so any input sort order survives for free).
+//! * **Shape B — aggregation region**: `Gather(HashAgg(Exchange(input)))`.
+//!   The input pipeline runs range-partitioned as in shape A; the
+//!   Exchange hash-routes rows on the group-by keys so each consumer owns
+//!   complete groups; per-consumer HashAggs then aggregate independently
+//!   and concatenate without a merge phase.
+//!
+//! Nodes with inherently global semantics — SORT (total order), MGJN
+//! (order-dependent), LIMIT (global count), MVSCAN (compensation
+//! lineage), BUFCHECK, RIDSINK/ANTIJOINRIDS/INSERT (cross-step
+//! compensation and side effects) — never enter a region; the pass keeps
+//! them above the Gather or declines to parallelize.
+//!
+//! The pass is cost-gated: a region is formed only when the modeled
+//! parallel latency (serial work divided by `k · parallel_efficiency`,
+//! plus per-partition startup and per-row exchange overhead) beats the
+//! serial cost, and the region's estimated cardinality clears
+//! `OptimizerConfig::min_parallel_rows`. Plan `cost` stays total work
+//! (monotone up the tree) — only the gating decision uses the latency
+//! form, so costs above a Gather remain comparable to serial plans.
+
+use crate::OptimizerContext;
+use pop_plan::{AggFunc, CostModel, Partitioning, PhysNode, PlanProps, TableSet, ValidityRange};
+use pop_types::ColId;
+
+/// Apply the parallelize post-pass to a finished, checkpointed plan.
+pub fn parallelize(plan: PhysNode, ctx: &OptimizerContext<'_>) -> PhysNode {
+    let k = ctx.config.threads;
+    if k <= 1 {
+        return plan;
+    }
+    let pass = Pass {
+        k,
+        min_rows: ctx.config.min_parallel_rows,
+        cost: ctx.cost,
+    };
+    pass.descend(plan)
+}
+
+struct Pass<'a> {
+    k: usize,
+    min_rows: f64,
+    cost: &'a CostModel,
+}
+
+impl Pass<'_> {
+    /// Modeled wall-clock of running `serial_cost` work across k
+    /// partitions, with `exchanged_rows` crossing a gather/exchange edge.
+    fn latency(&self, serial_cost: f64, exchanged_rows: f64) -> f64 {
+        let k = self.k as f64;
+        serial_cost / (k * self.cost.parallel_efficiency)
+            + k * self.cost.parallel_startup
+            + exchanged_rows * self.cost.exchange_row
+    }
+
+    /// Should a region with these estimates be formed at all?
+    fn worthwhile(&self, serial_cost: f64, card: f64, exchanged_rows: f64) -> bool {
+        card >= self.min_rows && self.latency(serial_cost, exchanged_rows) < serial_cost
+    }
+
+    /// Walk down from the root through nodes that must stay serial
+    /// (above any region), wrapping the first eligible subtree.
+    fn descend(&self, node: PhysNode) -> PhysNode {
+        // Shape B: aggregation over a partitionable pipeline.
+        if let PhysNode::HashAgg {
+            input,
+            group_by,
+            aggs,
+            props,
+        } = node
+        {
+            if !group_by.is_empty()
+                && region_safe(&input)
+                && self.worthwhile(
+                    props.cost,
+                    input.props().card,
+                    input.props().card + props.card,
+                )
+            {
+                return self.wrap_agg(*input, group_by, aggs, props);
+            }
+            // Not taken as shape B — a shape-A region may still fit below.
+            let before = input.props().cost;
+            let input = self.descend(*input);
+            let mut props = props;
+            // Keep cumulative cost monotone over the region's exchange
+            // surcharge.
+            props.cost += (input.props().cost - before).max(0.0);
+            return PhysNode::HashAgg {
+                input: Box::new(input),
+                group_by,
+                aggs,
+                props,
+            };
+        }
+        // Shape A: the whole subtree is an order-preserving pipeline.
+        if region_safe(&node) {
+            let props = node.props();
+            if self.worthwhile(props.cost, props.card, props.card) {
+                return self.wrap_pipeline(node);
+            }
+            return node;
+        }
+        // Serial-only node: keep it above the boundary, look one level
+        // further down. Multi-child serial nodes (MGJN) end the search — a
+        // region buried in one side of a serial join is out of scope.
+        let mut node = node;
+        if node.children().len() == 1 {
+            let slot = node.children_mut().pop().expect("one child");
+            let child = std::mem::replace(slot, dummy());
+            let before = child.props().cost;
+            let child = self.descend(child);
+            let delta = (child.props().cost - before).max(0.0);
+            *slot = child;
+            // Keep cumulative cost monotone over the region's exchange
+            // surcharge.
+            node.props_mut().cost += delta;
+        }
+        node
+    }
+
+    /// Shape A: mark the spine partitioned, wrap in a Gather.
+    fn wrap_pipeline(&self, mut region: PhysNode) -> PhysNode {
+        mark_region(&mut region, &Partitioning::Range(self.k));
+        let mut props = region.props().clone();
+        props.cost += props.card * self.cost.exchange_row;
+        props.partitioning = Partitioning::Single;
+        props.edge_ranges = vec![ValidityRange::unbounded()];
+        PhysNode::Gather {
+            input: Box::new(region),
+            parts: self.k,
+            props,
+        }
+    }
+
+    /// Shape B: `Gather(HashAgg(Exchange(pipeline)))`.
+    fn wrap_agg(
+        &self,
+        mut input: PhysNode,
+        group_by: Vec<ColId>,
+        aggs: Vec<AggFunc>,
+        agg_props: PlanProps,
+    ) -> PhysNode {
+        mark_region(&mut input, &Partitioning::Range(self.k));
+        let mut xprops = input.props().clone();
+        xprops.cost += xprops.card * self.cost.exchange_row;
+        xprops.partitioning = Partitioning::Hash(group_by.clone(), self.k);
+        xprops.edge_ranges = vec![ValidityRange::unbounded()];
+        // Hash routing scrambles arrival order; per-consumer replay is
+        // deterministic but not the serial order.
+        xprops.sorted_by = None;
+        let exchange = PhysNode::Exchange {
+            input: Box::new(input),
+            keys: group_by.clone(),
+            parts: self.k,
+            props: xprops,
+        };
+        let mut aprops = agg_props;
+        aprops.cost += exchange.props().card * self.cost.exchange_row;
+        aprops.partitioning = Partitioning::Hash(group_by.clone(), self.k);
+        aprops.sorted_by = None;
+        let agg = PhysNode::HashAgg {
+            input: Box::new(exchange),
+            group_by,
+            aggs,
+            props: aprops,
+        };
+        let mut gprops = agg.props().clone();
+        gprops.cost += gprops.card * self.cost.exchange_row;
+        gprops.partitioning = Partitioning::Single;
+        gprops.edge_ranges = vec![ValidityRange::unbounded()];
+        PhysNode::Gather {
+            input: Box::new(agg),
+            parts: self.k,
+            props: gprops,
+        }
+    }
+}
+
+/// Throwaway node used to take ownership of a boxed child.
+fn dummy() -> PhysNode {
+    PhysNode::TableScan {
+        qidx: 0,
+        table: String::new(),
+        pred: None,
+        props: PlanProps::leaf(TableSet::single(0), 0.0, 0.0, vec![]),
+    }
+}
+
+/// May this whole subtree run as one partition's chain? The partitioned
+/// spine (probe/outer sides, single-child chains) must consist of
+/// partition-safe operators; hash-join **build** sides are exempt — they
+/// run serially, once, in the region controller.
+fn region_safe(node: &PhysNode) -> bool {
+    match node {
+        PhysNode::TableScan { .. } | PhysNode::IndexRangeScan { .. } => true,
+        PhysNode::Hsjn { probe, .. } => region_safe(probe),
+        PhysNode::Nljn { outer, .. } => region_safe(outer),
+        PhysNode::SemiProbe { input, .. }
+        | PhysNode::Project { input, .. }
+        | PhysNode::Having { input, .. }
+        | PhysNode::Check { input, .. }
+        | PhysNode::Temp { input, .. } => region_safe(input),
+        _ => false,
+    }
+}
+
+/// Mark every spine node of a region: set its partitioning property and
+/// give its CHECKs fold registration. Build sides are left untouched
+/// (serial, `Single`).
+fn mark_region(node: &mut PhysNode, part: &Partitioning) {
+    node.props_mut().partitioning = part.clone();
+    match node {
+        PhysNode::Check { spec, input, .. } => {
+            spec.fold = true;
+            mark_region(input, part);
+        }
+        PhysNode::Hsjn { probe, .. } => mark_region(probe, part),
+        PhysNode::Nljn { outer, .. } => mark_region(outer, part),
+        PhysNode::SemiProbe { input, .. }
+        | PhysNode::Project { input, .. }
+        | PhysNode::Having { input, .. }
+        | PhysNode::Temp { input, .. } => mark_region(input, part),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimize, CostModel, FeedbackCache, OptimizerConfig};
+    use pop_plan::{CheckContext, CheckFlavor, CheckSpec, LayoutCol, QueryBuilder};
+    use pop_stats::StatsRegistry;
+    use pop_storage::{Catalog, IndexKind};
+    use pop_types::{DataType, Schema, Value};
+
+    fn setup() -> (Catalog, StatsRegistry) {
+        let cat = Catalog::new();
+        cat.create_table(
+            "customer",
+            Schema::from_pairs(&[("id", DataType::Int), ("grp", DataType::Int)]),
+            (0..500)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 20)])
+                .collect(),
+        )
+        .unwrap();
+        cat.create_table(
+            "orders",
+            Schema::from_pairs(&[("oid", DataType::Int), ("cust", DataType::Int)]),
+            (0..50_000)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 500)])
+                .collect(),
+        )
+        .unwrap();
+        cat.create_index("orders", "cust", IndexKind::Hash).unwrap();
+        let stats = StatsRegistry::new();
+        stats.analyze_all(&cat).unwrap();
+        (cat, stats)
+    }
+
+    fn join_plan(cfg: &OptimizerConfig, agg: bool) -> PhysNode {
+        let (cat, stats) = setup();
+        let cost = CostModel::default();
+        let fb = FeedbackCache::new();
+        let ctx = crate::OptimizerContext::new(&cat, &stats, cfg, &cost, None, &fb);
+        let mut b = QueryBuilder::new();
+        let c = b.table("customer");
+        let o = b.table("orders");
+        b.join(c, 0, o, 1);
+        if agg {
+            b.aggregate(&[(c, 1)], vec![AggFunc::Count]);
+        }
+        let q = b.build().unwrap();
+        optimize(&q, &ctx).unwrap()
+    }
+
+    fn threads_cfg(threads: usize, min_parallel_rows: f64) -> OptimizerConfig {
+        OptimizerConfig {
+            threads,
+            min_parallel_rows,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    #[test]
+    fn serial_config_leaves_plan_untouched() {
+        let plan = join_plan(&threads_cfg(1, 0.0), false);
+        let mut has_gather = false;
+        plan.visit(&mut |n| has_gather |= matches!(n, PhysNode::Gather { .. }));
+        assert!(!has_gather, "plan:\n{plan}");
+    }
+
+    #[test]
+    fn join_pipeline_gets_gather_region() {
+        let plan = join_plan(&threads_cfg(4, 0.0), false);
+        let mut gathers = 0;
+        plan.visit(&mut |n| {
+            if let PhysNode::Gather { parts, input, .. } = n {
+                gathers += 1;
+                assert_eq!(*parts, 4);
+                assert!(
+                    input.props().partitioning.is_partitioned(),
+                    "region input not partitioned:\n{input}"
+                );
+            }
+        });
+        assert_eq!(gathers, 1, "plan:\n{plan}");
+        // The plan root itself must be serial (the Gather is the boundary).
+        assert_eq!(plan.props().partitioning, Partitioning::Single);
+    }
+
+    #[test]
+    fn small_inputs_stay_serial() {
+        let plan = join_plan(&threads_cfg(4, 1e12), false);
+        let mut has_gather = false;
+        plan.visit(&mut |n| has_gather |= matches!(n, PhysNode::Gather { .. }));
+        assert!(!has_gather, "plan:\n{plan}");
+    }
+
+    #[test]
+    fn aggregation_gets_exchange_on_group_keys() {
+        let plan = join_plan(&threads_cfg(4, 0.0), true);
+        let mut found = false;
+        plan.visit(&mut |n| {
+            if let PhysNode::Exchange {
+                keys, parts, props, ..
+            } = n
+            {
+                found = true;
+                assert_eq!(*parts, 4);
+                assert!(!keys.is_empty());
+                assert_eq!(props.partitioning, Partitioning::Hash(keys.clone(), *parts));
+            }
+        });
+        assert!(found, "no exchange in aggregate plan:\n{plan}");
+    }
+
+    #[test]
+    fn spine_checks_get_fold_registration() {
+        // Hand-built: CHECK above a big scan — the whole chain is a
+        // region, so the check must come out fold-registered.
+        let scan = PhysNode::TableScan {
+            qidx: 0,
+            table: "t".into(),
+            pred: None,
+            props: PlanProps::leaf(
+                TableSet::single(0),
+                100_000.0,
+                100_000.0,
+                vec![LayoutCol::Base(ColId::new(0, 0))],
+            ),
+        };
+        let mut props = scan.props().clone();
+        props.edge_ranges = vec![ValidityRange::new(0.0, 50_000.0)];
+        let plan = PhysNode::Check {
+            input: Box::new(scan),
+            spec: CheckSpec {
+                id: 7,
+                flavor: CheckFlavor::Ecdc,
+                range: ValidityRange::new(0.0, 50_000.0),
+                est_card: 100_000.0,
+                signature: "sig".into(),
+                context: CheckContext::Pipeline,
+                fold: false,
+            },
+            props,
+        };
+        let cost = CostModel::default();
+        let pass = Pass {
+            k: 4,
+            min_rows: 0.0,
+            cost: &cost,
+        };
+        let out = pass.descend(plan);
+        let PhysNode::Gather { input, parts, .. } = out else {
+            panic!("expected a gather root");
+        };
+        assert_eq!(parts, 4);
+        let PhysNode::Check { spec, input, .. } = *input else {
+            panic!("expected check under gather");
+        };
+        assert!(spec.fold, "spine check not fold-registered");
+        assert_eq!(input.props().partitioning, Partitioning::Range(4));
+    }
+
+    #[test]
+    fn build_side_checks_stay_serial() {
+        let leaf = |qidx: usize, table: &str, card: f64| PhysNode::TableScan {
+            qidx,
+            table: table.into(),
+            pred: None,
+            props: PlanProps::leaf(
+                TableSet::single(qidx),
+                card,
+                card,
+                vec![LayoutCol::Base(ColId::new(qidx, 0))],
+            ),
+        };
+        let build = leaf(0, "b", 1000.0);
+        let mut cprops = build.props().clone();
+        cprops.edge_ranges = vec![ValidityRange::new(0.0, 2000.0)];
+        let checked_build = PhysNode::Check {
+            input: Box::new(build),
+            spec: CheckSpec {
+                id: 1,
+                flavor: CheckFlavor::Lc,
+                range: ValidityRange::new(0.0, 2000.0),
+                est_card: 1000.0,
+                signature: "b".into(),
+                context: CheckContext::HashBuild,
+                fold: false,
+            },
+            props: cprops,
+        };
+        let probe = leaf(1, "p", 200_000.0);
+        let jprops = PlanProps {
+            tables: TableSet::from_iter([0, 1]),
+            card: 200_000.0,
+            cost: 500_000.0,
+            layout: probe.props().layout.clone(),
+            sorted_by: None,
+            edge_ranges: vec![ValidityRange::unbounded(), ValidityRange::unbounded()],
+            partitioning: Partitioning::Single,
+        };
+        let plan = PhysNode::Hsjn {
+            build: Box::new(checked_build),
+            probe: Box::new(probe),
+            build_keys: vec![ColId::new(0, 0)],
+            probe_keys: vec![ColId::new(1, 0)],
+            props: jprops,
+        };
+        let cost = CostModel::default();
+        let pass = Pass {
+            k: 4,
+            min_rows: 0.0,
+            cost: &cost,
+        };
+        let out = pass.descend(plan);
+        let mut saw_build_check = false;
+        out.visit(&mut |n| {
+            if let PhysNode::Check { spec, .. } = n {
+                saw_build_check = true;
+                assert!(!spec.fold, "build-side check must not fold");
+                assert_eq!(n.props().partitioning, Partitioning::Single);
+            }
+        });
+        assert!(saw_build_check);
+    }
+}

@@ -55,6 +55,7 @@ impl<'a, 'b> PlaceState<'a, 'b> {
             est_card,
             signature: self.est.signature(below.props().tables),
             context,
+            fold: false,
         }
     }
 }

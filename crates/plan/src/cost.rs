@@ -66,6 +66,19 @@ pub struct CostModel {
     /// points. The runtime never charges this penalty — it only biases
     /// plan choice.
     pub robustness_penalty: f64,
+    /// Per-row cost of moving a row through an exchange or gather boundary
+    /// (hashing/routing plus channel transfer). Charged by the runtime and
+    /// added to a parallel plan's total work by the parallelize pass.
+    pub exchange_row: f64,
+    /// Fixed cost of launching one partition chain (thread hand-off,
+    /// per-partition operator construction). Planning-side latency input
+    /// to the serial-vs-parallel decision; the runtime does not charge it.
+    pub parallel_startup: f64,
+    /// Fraction of perfect speedup a parallel region achieves (scheduling
+    /// and memory-bandwidth losses). Planning-only, like
+    /// `robustness_penalty`: the modeled latency of a region at `k`
+    /// partitions is `serial / (k * parallel_efficiency) + k * parallel_startup`.
+    pub parallel_efficiency: f64,
 }
 
 impl Default for CostModel {
@@ -87,6 +100,9 @@ impl Default for CostModel {
             spill_fanout: 8.0,
             spill_row: 3.0,
             robustness_penalty: 0.0,
+            exchange_row: 0.05,
+            parallel_startup: 50.0,
+            parallel_efficiency: 0.85,
         }
     }
 }

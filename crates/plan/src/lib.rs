@@ -25,7 +25,9 @@ mod table_set;
 
 pub use check::{CheckContext, CheckFlavor, CheckSpec, ValidityRange};
 pub use cost::CostModel;
-pub use physical::{AggFunc, AggSpec, InnerProbe, LayoutCol, PhysNode, PlanProps, SortKeyRef};
+pub use physical::{
+    AggFunc, AggSpec, InnerProbe, LayoutCol, Partitioning, PhysNode, PlanProps, SortKeyRef,
+};
 pub use query::{
     node_count, Aggregate, ExistsClause, HavingPred, JoinPred, OrderKey, QueryBuilder, QuerySpec,
     TableRef,

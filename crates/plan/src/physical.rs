@@ -42,6 +42,53 @@ pub enum AggFunc {
 /// Alias kept for API symmetry with the query spec.
 pub type AggSpec = AggFunc;
 
+/// How a node's output rows are distributed over execution partitions.
+///
+/// `Single` is the serial default. The parallelize post-pass marks the
+/// nodes inside a [`PhysNode::Gather`] region with a non-`Single`
+/// partitioning; planlint verifies that partitioned nodes appear only
+/// under a `Gather` boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Partitioning {
+    /// One serial stream (the default everywhere outside parallel regions).
+    #[default]
+    Single,
+    /// `k` partitions driven by contiguous row ranges of the region's
+    /// driving base scan. Range (rather than round-robin) assignment keeps
+    /// the concatenation of partition outputs identical to the serial row
+    /// order, which is what makes parallel execution thread-count
+    /// invariant (see DESIGN.md §12).
+    Range(usize),
+    /// `k` partitions formed by hashing the given key columns — the
+    /// distribution produced by a [`PhysNode::Exchange`].
+    Hash(Vec<ColId>, usize),
+}
+
+impl Partitioning {
+    /// Number of partitions (1 for `Single`).
+    pub fn parts(&self) -> usize {
+        match self {
+            Partitioning::Single => 1,
+            Partitioning::Range(k) | Partitioning::Hash(_, k) => *k,
+        }
+    }
+
+    /// Is this a parallel (non-`Single`) distribution?
+    pub fn is_partitioned(&self) -> bool {
+        !matches!(self, Partitioning::Single)
+    }
+}
+
+impl std::fmt::Display for Partitioning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Partitioning::Single => write!(f, "single"),
+            Partitioning::Range(k) => write!(f, "range({k})"),
+            Partitioning::Hash(keys, k) => write!(f, "hash({} keys,{k})", keys.len()),
+        }
+    }
+}
+
 /// Estimated properties of a plan node, filled in by the optimizer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanProps {
@@ -60,6 +107,8 @@ pub struct PlanProps {
     /// analysis during pruning (§2.2); the CHECK placement post-pass copies
     /// them into [`CheckSpec`]s.
     pub edge_ranges: Vec<ValidityRange>,
+    /// Partition distribution of the node's output rows.
+    pub partitioning: Partitioning,
 }
 
 impl PlanProps {
@@ -72,6 +121,7 @@ impl PlanProps {
             layout,
             sorted_by: None,
             edge_ranges: Vec::new(),
+            partitioning: Partitioning::Single,
         }
     }
 
@@ -321,6 +371,35 @@ pub enum PhysNode {
         /// Node properties.
         props: PlanProps,
     },
+    /// Repartition: redistributes the `parts` range partitions of its
+    /// input into `parts` hash partitions on `keys` (all-to-all over
+    /// bounded channels at runtime). Used to parallelize grouped
+    /// aggregation: hashing on the group keys makes every partition's
+    /// groups complete, so per-partition results concatenate without a
+    /// merge phase.
+    Exchange {
+        /// Input (range-partitioned).
+        input: Box<PhysNode>,
+        /// Hash partitioning keys.
+        keys: Vec<ColId>,
+        /// Partition count.
+        parts: usize,
+        /// Node properties.
+        props: PlanProps,
+    },
+    /// Merge-to-one: the serial/parallel boundary. The subtree below runs
+    /// as `parts` per-partition operator chains on the worker runtime; the
+    /// gather concatenates their outputs in partition order — which, with
+    /// range partitioning, reproduces the serial row order exactly (so an
+    /// input sort order is preserved for free).
+    Gather {
+        /// Input (partitioned).
+        input: Box<PhysNode>,
+        /// Partition count.
+        parts: usize,
+        /// Node properties.
+        props: PlanProps,
+    },
 }
 
 impl PhysNode {
@@ -344,7 +423,9 @@ impl PhysNode {
             | PhysNode::SemiProbe { props, .. }
             | PhysNode::Having { props, .. }
             | PhysNode::Limit { props, .. }
-            | PhysNode::Insert { props, .. } => props,
+            | PhysNode::Insert { props, .. }
+            | PhysNode::Exchange { props, .. }
+            | PhysNode::Gather { props, .. } => props,
         }
     }
 
@@ -368,7 +449,9 @@ impl PhysNode {
             | PhysNode::SemiProbe { props, .. }
             | PhysNode::Having { props, .. }
             | PhysNode::Limit { props, .. }
-            | PhysNode::Insert { props, .. } => props,
+            | PhysNode::Insert { props, .. }
+            | PhysNode::Exchange { props, .. }
+            | PhysNode::Gather { props, .. } => props,
         }
     }
 
@@ -392,7 +475,9 @@ impl PhysNode {
             | PhysNode::SemiProbe { input, .. }
             | PhysNode::Having { input, .. }
             | PhysNode::Limit { input, .. }
-            | PhysNode::Insert { input, .. } => vec![input],
+            | PhysNode::Insert { input, .. }
+            | PhysNode::Exchange { input, .. }
+            | PhysNode::Gather { input, .. } => vec![input],
         }
     }
 
@@ -416,7 +501,9 @@ impl PhysNode {
             | PhysNode::SemiProbe { input, .. }
             | PhysNode::Having { input, .. }
             | PhysNode::Limit { input, .. }
-            | PhysNode::Insert { input, .. } => vec![input],
+            | PhysNode::Insert { input, .. }
+            | PhysNode::Exchange { input, .. }
+            | PhysNode::Gather { input, .. } => vec![input],
         }
     }
 
@@ -447,6 +534,8 @@ impl PhysNode {
             PhysNode::Having { .. } => "HAVING",
             PhysNode::Limit { .. } => "LIMIT",
             PhysNode::Insert { .. } => "INSERT",
+            PhysNode::Exchange { .. } => "EXCHANGE",
+            PhysNode::Gather { .. } => "GATHER",
         }
     }
 
@@ -558,6 +647,7 @@ mod tests {
                 .collect(),
             sorted_by: None,
             edge_ranges: vec![ValidityRange::unbounded(), ValidityRange::unbounded()],
+            partitioning: Partitioning::Single,
         };
         PhysNode::Hsjn {
             build: Box::new(l),
@@ -590,6 +680,7 @@ mod tests {
                 est_card: 10.0,
                 signature: "sig".into(),
                 context: crate::CheckContext::AboveTemp,
+                fold: false,
             },
             props,
         };
@@ -636,6 +727,7 @@ mod tests {
             ],
             sorted_by: None,
             edge_ranges: vec![],
+            partitioning: Partitioning::Single,
         };
         assert_eq!(
             props.base_layout(),

@@ -11,7 +11,7 @@
 //! a malformed plan is rejected up front instead of surfacing as a wrong
 //! answer or a panic mid-query.
 //!
-//! Five passes run over the [`PhysNode`] tree:
+//! Six passes run over the [`PhysNode`] tree:
 //!
 //! 1. **Schema/layout** (`PL0xx`) — every column reference in filters,
 //!    join keys, aggregates, projections and sort keys resolves against
@@ -27,6 +27,13 @@
 //!    up the tree; estimates are finite and non-negative.
 //! 5. **MV reuse** (`PL4xx`) — every MVSCAN names a registered temp MV
 //!    whose recorded layout matches the scan's output layout.
+//! 6. **Parallel boundaries** (`PL304`–`PL306`) — GATHER is exactly the
+//!    serial/parallel boundary (partitioned input, `Single` output, no
+//!    nesting, no partitioned node leaking above it), EXCHANGE hash keys
+//!    are covered by the downstream consumer's keys, and CHECK
+//!    partitioning agrees with fold registration (a partitioned CHECK
+//!    folds into the shared global counter; BUFCHECK is never
+//!    partitioned).
 //!
 //! The analyzer is advisory: it returns a flat [`Vec<PlanDiagnostic>`]
 //! and never mutates the plan. The POP driver decides what to do with
@@ -45,6 +52,7 @@ mod cost;
 mod diag;
 mod layout;
 mod mv;
+mod parallel;
 mod placement;
 mod validity;
 
@@ -179,7 +187,7 @@ pub(crate) fn through_checks(mut node: &PhysNode) -> &PhysNode {
     node
 }
 
-/// Run all five passes over `plan` and return every finding, in tree
+/// Run all six passes over `plan` and return every finding, in tree
 /// pre-order (whole-plan rules like duplicate-id detection come last).
 pub fn lint_plan(plan: &PhysNode, ctx: &LintContext<'_>) -> Vec<PlanDiagnostic> {
     let mut sink = Sink { diags: Vec::new() };
@@ -219,6 +227,7 @@ fn walk<'a>(
     placement::check_node(node, ctx, frames, path, sink);
     cost::check_node(node, path, sink);
     mv::check_node(node, ctx, path, sink);
+    parallel::check_node(node, frames, path, sink);
     for (i, child) in node.children().into_iter().enumerate() {
         path.push(i);
         frames.push(Frame { node, child_idx: i });
@@ -272,6 +281,7 @@ pub(crate) mod testutil {
                 .collect(),
             sorted_by: None,
             edge_ranges: vec![ValidityRange::unbounded(), ValidityRange::unbounded()],
+            partitioning: pop_plan::Partitioning::Single,
         };
         PhysNode::Hsjn {
             build: Box::new(build),
@@ -323,6 +333,7 @@ pub(crate) mod testutil {
                 est_card: input.props().card,
                 signature: "sig".into(),
                 context,
+                fold: false,
             },
             input: Box::new(input),
             props,
@@ -409,6 +420,35 @@ mod tests {
             ecwc: true,
             ecdc: true,
         });
+        let ctx = LintContext::full(&cat, &q).expect_check_coverage(true);
+        let diags = lint_plan(&plan, &ctx);
+        assert!(diags.is_empty(), "expected no findings, got: {diags:?}");
+    }
+
+    #[test]
+    fn real_parallel_plan_lints_clean() {
+        let (cat, stats) = setup();
+        let cfg = OptimizerConfig {
+            threads: 4,
+            min_parallel_rows: 0.0,
+            ..OptimizerConfig::default()
+        };
+        let cost = CostModel::default();
+        let fb = FeedbackCache::new();
+        let mut b = QueryBuilder::new();
+        let c = b.table("customer");
+        let o = b.table("orders");
+        b.join(c, 0, o, 1);
+        b.aggregate(&[(c, 1)], vec![pop_plan::AggFunc::Count]);
+        let q = b.build().unwrap();
+        let params = Params::none();
+        let plan = {
+            let octx = OptimizerContext::new(&cat, &stats, &cfg, &cost, Some(&params), &fb);
+            optimize(&q, &octx).unwrap()
+        };
+        let mut has_gather = false;
+        plan.visit(&mut |n| has_gather |= matches!(n, PhysNode::Gather { .. }));
+        assert!(has_gather, "expected a parallel region:\n{plan}");
         let ctx = LintContext::full(&cat, &q).expect_check_coverage(true);
         let diags = lint_plan(&plan, &ctx);
         assert!(diags.is_empty(), "expected no findings, got: {diags:?}");

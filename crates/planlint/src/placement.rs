@@ -435,6 +435,7 @@ mod tests {
                 est_card: 100.0,
                 signature: "sig".into(),
                 context: CheckContext::NljnOuter,
+                fold: false,
             },
             input: Box::new(input),
             buffer: 10, // needs 501

@@ -233,6 +233,206 @@ fn ecdc_mid_batch_violation_neither_drops_nor_duplicates() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Thread-count invariance of partition-parallel execution.
+//
+// Plans DIFFER between thread counts (a parallel plan carries GATHER /
+// EXCHANGE nodes and fold-registered checks), so unlike the batch-size
+// comparison above we do not compare plan strings or per-step row
+// counts: a violated parallel region discards its buffered rows and
+// re-emits nothing, whereas a violated serial pipeline hands back the
+// rows counted before the violation (deferred compensation makes the
+// final multiset identical either way). What must be invariant: the
+// final row multiset, the re-optimization decisions, and every check
+// event's stable fields (id, flavor, outcome, observed cardinality,
+// signature).
+// ---------------------------------------------------------------------
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn config_with_threads(batch_size: usize, threads: usize) -> PopConfig {
+    let mut cfg = config_with_batch(batch_size);
+    cfg.optimizer.threads = threads;
+    // Test catalogs are tiny; drop the size gate so regions actually form.
+    cfg.optimizer.min_parallel_rows = 0.0;
+    cfg
+}
+
+/// The thread-count-invariant projection of a run report.
+fn stable_summary(rep: &RunReport) -> Vec<(usize, String)> {
+    let mut events: Vec<(usize, String)> = rep
+        .steps
+        .iter()
+        .flat_map(|s| s.check_events.iter())
+        .map(|e| {
+            (
+                e.check_id,
+                format!(
+                    "{:?}/{:?}/{:?}/{}",
+                    e.flavor, e.outcome, e.observed, e.signature
+                ),
+            )
+        })
+        .collect();
+    events.sort();
+    events
+}
+
+fn run_workload_threads(
+    catalog: Catalog,
+    queries: &[(String, pop::QuerySpec)],
+    batch_size: usize,
+    threads: usize,
+) -> Vec<(Vec<Vec<Value>>, RunReport)> {
+    let exec = PopExecutor::new(catalog, config_with_threads(batch_size, threads)).unwrap();
+    queries
+        .iter()
+        .map(|(name, q)| {
+            let res = exec.run(q, &Params::none()).unwrap_or_else(|e| {
+                panic!("{name} @ batch {batch_size} threads {threads} failed: {e}")
+            });
+            let mut rows = res.rows;
+            rows.sort();
+            (rows, res.report)
+        })
+        .collect()
+}
+
+fn assert_thread_invariant(
+    make_catalog: impl Fn() -> Catalog,
+    queries: Vec<(String, pop::QuerySpec)>,
+    label: &str,
+) {
+    for bs in [1usize, 1024] {
+        let reference = run_workload_threads(make_catalog(), &queries, bs, 1);
+        for threads in THREAD_COUNTS {
+            let got = run_workload_threads(make_catalog(), &queries, bs, threads);
+            for (((rows_ref, rep_ref), (rows, rep)), (name, _)) in
+                reference.iter().zip(got.iter()).zip(queries.iter())
+            {
+                let what = format!("{label}/{name} @ batch {bs} threads {threads}");
+                assert_eq!(rows_ref, rows, "{what}: row multiset differs from serial");
+                assert_eq!(
+                    rep_ref.reopt_count, rep.reopt_count,
+                    "{what}: reopt count differs"
+                );
+                assert_eq!(
+                    stable_summary(rep_ref),
+                    stable_summary(rep),
+                    "{what}: check events differ"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dmv_workload_is_thread_count_invariant() {
+    let queries: Vec<(String, pop::QuerySpec)> = dmv_queries()
+        .into_iter()
+        .map(|q| (q.name.clone(), q.spec))
+        .collect();
+    assert_thread_invariant(|| dmv_catalog(DMV_SCALE).unwrap(), queries, "dmv");
+}
+
+#[test]
+fn tpch_suite_is_thread_count_invariant() {
+    let queries: Vec<(String, pop::QuerySpec)> = all_queries()
+        .into_iter()
+        .map(|(name, spec)| (name.to_string(), spec))
+        .collect();
+    assert_thread_invariant(|| tpch_catalog(TPCH_SF).unwrap(), queries, "tpch");
+}
+
+/// Parallel plans must actually form on this workload — otherwise the
+/// invariance suite silently degenerates into serial-vs-serial.
+#[test]
+fn parallel_regions_actually_form() {
+    let exec = PopExecutor::new(correlated_db(), config_with_threads(1024, 4)).unwrap();
+    let plan = exec.plan(&spj_query(), &Params::none()).unwrap();
+    assert!(
+        plan.to_string().contains("GATHER"),
+        "no parallel region in:\n{plan}"
+    );
+}
+
+/// The ECDC mid-batch violation scenario, under a parallel region: the
+/// fold-registered check trips on the *global* count, the region
+/// discards its buffered rows, and deferred compensation still yields
+/// exactly the serial multiset at every thread count.
+#[test]
+fn ecdc_violation_is_thread_count_invariant() {
+    let mut reference: Option<(Vec<Vec<Value>>, usize)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        for bs in [1usize, 1024] {
+            let mut cfg = config_with_threads(bs, threads);
+            cfg.optimizer.flavors = FlavorSet::only(CheckFlavor::Ecdc);
+            let exec = PopExecutor::new(correlated_db(), cfg).unwrap();
+            let res = exec.run(&spj_query(), &Params::none()).unwrap();
+            assert_eq!(
+                res.rows.len(),
+                EXPECTED_ROWS,
+                "threads {threads} batch {bs}: dropped or duplicated rows"
+            );
+            let mut sorted = res.rows.clone();
+            sorted.sort();
+            let n = sorted.len();
+            sorted.dedup();
+            assert_eq!(
+                sorted.len(),
+                n,
+                "threads {threads} batch {bs}: duplicate rows returned"
+            );
+            assert!(
+                res.report.reopt_count >= 1,
+                "threads {threads} batch {bs}: expected the ECDC check to fire"
+            );
+            match &reference {
+                None => reference = Some((sorted, res.report.reopt_count)),
+                Some((rows_ref, reopt_ref)) => {
+                    assert_eq!(
+                        rows_ref, &sorted,
+                        "threads {threads} batch {bs}: rows differ"
+                    );
+                    assert_eq!(
+                        *reopt_ref, res.report.reopt_count,
+                        "threads {threads} batch {bs}: reopt count differs"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Same scenario but with hash joins forced, so the violation happens
+/// under a parallel probe of a shared (controller-built) hash table.
+#[test]
+fn ecdc_violation_under_parallel_hash_probe() {
+    let mut reference: Option<Vec<Vec<Value>>> = None;
+    for threads in [1usize, 4] {
+        let mut cfg = config_with_threads(1024, threads);
+        cfg.optimizer.flavors = FlavorSet::only(CheckFlavor::Ecdc);
+        cfg.optimizer.joins = pop::JoinMethods {
+            nljn: false,
+            hsjn: true,
+            mgjn: false,
+        };
+        let exec = PopExecutor::new(correlated_db(), cfg).unwrap();
+        let res = exec.run(&spj_query(), &Params::none()).unwrap();
+        let mut sorted = res.rows;
+        sorted.sort();
+        assert_eq!(
+            sorted.len(),
+            EXPECTED_ROWS,
+            "threads {threads}: wrong row count"
+        );
+        match &reference {
+            None => reference = Some(sorted),
+            Some(r) => assert_eq!(r, &sorted, "threads {threads}: rows differ"),
+        }
+    }
+}
+
 /// Exact observations (checks that drained their producer, including
 /// CHECKs above materializations) must report the same materialized
 /// count at every batch size.
