@@ -66,6 +66,13 @@ pub struct PopConfig {
     /// Defaults to [`pop_exec::DEFAULT_BATCH_SIZE`], overridable with the
     /// `POP_BATCH_SIZE` environment variable.
     pub batch_size: usize,
+    /// Rows per morsel in parallel regions. Purely a scheduling
+    /// granularity — results are independent of the value, like
+    /// `batch_size` — trading work-stealing balance (small morsels)
+    /// against per-morsel chain-construction overhead (large morsels).
+    /// Defaults to [`pop_exec::DEFAULT_MORSEL_SIZE`], overridable with
+    /// the `POP_MORSEL_SIZE` environment variable.
+    pub morsel_size: usize,
     /// Per-query resource budget (work units, rows, wall-clock time,
     /// resident operator bytes), enforced at batch boundaries by the
     /// execution governor. Unlimited by default; the `POP_MAX_WORK`,
@@ -96,6 +103,14 @@ fn batch_size_from_env(warnings: &mut Vec<String>) -> usize {
         .unwrap_or(pop_exec::DEFAULT_BATCH_SIZE)
 }
 
+/// Morsel size from `POP_MORSEL_SIZE`, falling back to the engine
+/// default. Unparsable or zero values fall back — recording a warning —
+/// rather than erroring.
+fn morsel_size_from_env(warnings: &mut Vec<String>) -> usize {
+    pop_guard::env_parsed("POP_MORSEL_SIZE", |n: &usize| *n > 0, warnings)
+        .unwrap_or(pop_exec::DEFAULT_MORSEL_SIZE)
+}
+
 /// Partition-parallel degree from `POP_THREADS`: `1` keeps everything
 /// serial (the default). Zero/unparsable values fall back with a warning.
 fn threads_from_env(warnings: &mut Vec<String>) -> usize {
@@ -106,6 +121,7 @@ impl Default for PopConfig {
     fn default() -> Self {
         let mut env_warnings = Vec::new();
         let batch_size = batch_size_from_env(&mut env_warnings);
+        let morsel_size = morsel_size_from_env(&mut env_warnings);
         let budget = Budget::from_env(&mut env_warnings);
         let faults = FaultPlan::from_env(&mut env_warnings);
         let optimizer = OptimizerConfig {
@@ -123,6 +139,7 @@ impl Default for PopConfig {
             learn_across_queries: false,
             lint: LintMode::default(),
             batch_size,
+            morsel_size,
             budget,
             faults,
             graceful_degradation: true,

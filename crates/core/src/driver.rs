@@ -139,6 +139,7 @@ impl PopExecutor {
             self.config.cost_model.clone(),
         );
         ctx.batch_size = self.config.batch_size.max(1);
+        ctx.morsel_size = self.config.morsel_size.max(1);
         ctx.guard = Governor::new(self.config.budget, cancel);
         ctx.faults = self.config.faults.clone().map(FaultInjector::new);
         if self.config.enabled {
@@ -257,6 +258,7 @@ impl PopExecutor {
                 mvs_used,
                 rows_emitted: outcome.rows().len(),
                 batches_emitted: (ctx.batches_emitted - batches_start) as usize,
+                parallel: std::mem::take(&mut ctx.region_diags),
                 lint_warnings,
             };
             match outcome {
@@ -416,6 +418,7 @@ impl PopExecutor {
         );
         ctx.checks_enabled = false;
         ctx.batch_size = self.config.batch_size.max(1);
+        ctx.morsel_size = self.config.morsel_size.max(1);
         ctx.guard = Governor::new(self.config.budget, None);
         let signatures = collect_signatures(spec, plan, params);
         let _cleanup = MvCleanup {
@@ -443,6 +446,7 @@ impl PopExecutor {
             mvs_used: 0,
             rows_emitted: collected.len(),
             batches_emitted: ctx.batches_emitted as usize,
+            parallel: std::mem::take(&mut ctx.region_diags),
             lint_warnings,
         });
         report.total_work = ctx.work;

@@ -70,7 +70,9 @@ pub use driver::PopExecutor;
 pub use report::{QueryResult, RunReport, StepReport};
 
 // Re-export the crates a downstream user needs to drive the API.
-pub use pop_exec::{CheckEvent, CheckOutcome, ObservedCard, Violation};
+pub use pop_exec::{
+    CheckEvent, CheckOutcome, ObservedCard, RegionDiag, RegionMode, Violation, WorkerDiag,
+};
 pub use pop_guard::{
     Budget, CancelToken, CleanupRegistry, FaultInjector, FaultKind, FaultPlan, FaultSpec, Governor,
 };

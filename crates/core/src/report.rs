@@ -1,6 +1,6 @@
 //! Query results and execution reports.
 
-use pop_exec::{CheckEvent, Violation};
+use pop_exec::{CheckEvent, RegionDiag, Violation};
 use pop_types::Row;
 
 /// One optimize-execute step of the POP loop.
@@ -27,6 +27,10 @@ pub struct StepReport {
     /// Batches the root operator produced during this step (the rows
     /// above arrived in this many `next_batch` calls).
     pub batches_emitted: usize,
+    /// Diagnostics of every parallel region this step executed (empty
+    /// for serial plans): degree of parallelism, scheduling mode, morsel
+    /// count, and per-worker morsel/steal/wait/compute figures.
+    pub parallel: Vec<RegionDiag>,
     /// Warn-severity findings from static plan verification of this
     /// step's plan (empty when the lint mode is `Off` or the plan is
     /// clean; Deny-severity findings abort the query instead).
@@ -112,6 +116,9 @@ impl RunReport {
             for w in &s.lint_warnings {
                 let _ = writeln!(out, "  lint: {w}");
             }
+            for d in &s.parallel {
+                let _ = writeln!(out, "  parallel: {}", d.summary());
+            }
             for ev in &s.check_events {
                 let _ = writeln!(
                     out,
@@ -163,6 +170,7 @@ mod tests {
             mvs_used: 0,
             rows_emitted: 0,
             batches_emitted: 0,
+            parallel: vec![],
             lint_warnings: vec![],
         }
     }

@@ -81,6 +81,18 @@ impl RowBatch {
         }
     }
 
+    /// Clear all contents while keeping the allocated capacity — the
+    /// free-list reuse hook of the exchange routing path.
+    pub fn reset(&mut self) {
+        self.vals.clear();
+        self.width = 0;
+        self.rows = 0;
+        self.lin.clear();
+        self.lin_off.clear();
+        self.lin_off.push(0);
+        self.sel = None;
+    }
+
     /// Batch from fully-materialized rows (all live).
     pub fn from_rows(rows: Vec<ExecRow>) -> Self {
         let mut b = RowBatch::with_capacity(rows.len());

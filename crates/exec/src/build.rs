@@ -463,7 +463,7 @@ pub(crate) fn build_with_env(
             // One partition's view of an exchange is its receive leaf; the
             // producer stage below is built (and run) by separate workers.
             Some(e) => match &e.exchange {
-                Some(state) => Box::new(ExchangeSourceOp::new(Arc::clone(state), e.part, e.parts)),
+                Some(state) => Box::new(ExchangeSourceOp::new(Arc::clone(state), e.part)),
                 None => {
                     return Err(PopError::Planning(
                         "EXCHANGE nested inside a producer stage".into(),

@@ -29,6 +29,7 @@ mod batch;
 mod build;
 mod context;
 mod executor;
+mod morsel;
 pub mod operators;
 mod row;
 mod signal;
@@ -37,6 +38,7 @@ pub use batch::{RowBatch, DEFAULT_BATCH_SIZE};
 pub use build::build_operator;
 pub use context::{CheckEvent, CheckOutcome, ExecCtx, Harvest};
 pub use executor::{execute, RunOutcome};
+pub use morsel::{RegionDiag, RegionMode, WorkerDiag, DEFAULT_MORSEL_SIZE};
 pub use operators::Operator;
 pub use row::ExecRow;
 pub use signal::{ExecSignal, ObservedCard, OpResult, Violation};

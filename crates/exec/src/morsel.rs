@@ -1,0 +1,206 @@
+//! Morsel scheduling for parallel regions: the shared work queue that
+//! workers claim batch-sized input slices from, plus the per-region
+//! diagnostics that make parallel slowdowns diagnosable from a
+//! [`RunReport`](../../pop_core) alone.
+//!
+//! A parallel region decomposes its driving scan into `M` **morsels** —
+//! contiguous row ranges of roughly [`ExecCtx::morsel_size`] rows — on a
+//! [`MorselQueue`]. Each worker owns a contiguous *home span* of the
+//! morsel index space and claims from it front-to-back; when its span is
+//! exhausted it **steals** from the other spans in round-robin order.
+//! Determinism does not depend on who runs which morsel: a morsel's
+//! identity (its index) fully determines its row range, and the region
+//! controller merges task outputs by morsel index, reproducing the
+//! serial row order no matter how claims interleaved.
+//!
+//! [`ExecCtx::morsel_size`]: crate::ExecCtx::morsel_size
+
+use crate::RowBatch;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default rows per morsel (the `POP_MORSEL_SIZE` knob and
+/// [`ExecCtx::morsel_size`] override it per run). Large enough that
+/// per-morsel chain construction amortizes to noise; small enough that a
+/// few hundred thousand input rows still yield meaningful parallelism.
+///
+/// [`ExecCtx::morsel_size`]: crate::ExecCtx::morsel_size
+pub const DEFAULT_MORSEL_SIZE: usize = 16_384;
+
+/// Cap on recycled batches a [`BatchPool`] retains.
+const POOL_CAP: usize = 16;
+
+/// Per-worker diagnostics for one parallel region.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerDiag {
+    /// Work units (morsels, or fixed chains in range mode) this worker ran.
+    pub morsels: u64,
+    /// How many of those were claimed outside the worker's home span.
+    pub steals: u64,
+    /// Wall-clock nanoseconds spent blocked on exchange queues.
+    pub queue_wait_ns: u64,
+    /// Wall-clock nanoseconds spent computing (task time minus queue wait).
+    pub compute_ns: u64,
+}
+
+/// How a region's partitioned stage was executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionMode {
+    /// Morsel-driven: dynamic work queue, work-stealing workers.
+    Morsel,
+    /// Legacy fixed contiguous-range chains (one per partition) — used
+    /// when a stage fold needs the fixed-chain-count rendezvous.
+    Range,
+}
+
+impl std::fmt::Display for RegionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionMode::Morsel => write!(f, "morsel"),
+            RegionMode::Range => write!(f, "range"),
+        }
+    }
+}
+
+/// Diagnostics for one executed parallel region, collected by the region
+/// controller and surfaced per step in the run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionDiag {
+    /// Planned degree of parallelism (the `Gather` node's `parts`).
+    pub dop: usize,
+    /// Execution mode of the partitioned stage.
+    pub mode: RegionMode,
+    /// Morsel count of the partitioned stage (= `dop` in range mode).
+    pub morsels: usize,
+    /// One entry per worker thread: partitioned-stage workers first,
+    /// then exchange consumers (if the region repartitions).
+    pub workers: Vec<WorkerDiag>,
+}
+
+impl RegionDiag {
+    /// Total steals across workers.
+    pub fn steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// One-line rendering for report summaries.
+    pub fn summary(&self) -> String {
+        let wait: u64 = self.workers.iter().map(|w| w.queue_wait_ns).sum();
+        let compute: u64 = self.workers.iter().map(|w| w.compute_ns).sum();
+        let per_worker: Vec<String> = self
+            .workers
+            .iter()
+            .map(|w| format!("{}m/{}s", w.morsels, w.steals))
+            .collect();
+        format!(
+            "dop={} mode={} morsels={} workers=[{}] wait={:.1}ms compute={:.1}ms",
+            self.dop,
+            self.mode,
+            self.morsels,
+            per_worker.join(" "),
+            wait as f64 / 1e6,
+            compute as f64 / 1e6,
+        )
+    }
+}
+
+/// The shared morsel queue of one region stage: `total` morsel indices
+/// split into one contiguous home span per worker, each claimed
+/// front-to-back by an atomic cursor. Claiming never blocks; a worker
+/// that finds every span exhausted is done.
+pub(crate) struct MorselQueue {
+    cursors: Vec<AtomicUsize>,
+    bounds: Vec<(usize, usize)>,
+}
+
+impl MorselQueue {
+    pub(crate) fn new(total: usize, workers: usize) -> Self {
+        let w = workers.max(1);
+        let bounds: Vec<(usize, usize)> = (0..w)
+            .map(|i| (i * total / w, (i + 1) * total / w))
+            .collect();
+        MorselQueue {
+            cursors: bounds.iter().map(|(lo, _)| AtomicUsize::new(*lo)).collect(),
+            bounds,
+        }
+    }
+
+    /// Claim the next morsel for `worker`: its own span first, then the
+    /// peers' spans in round-robin order. Returns `(morsel, stolen)`.
+    pub(crate) fn claim(&self, worker: usize) -> Option<(usize, bool)> {
+        let w = self.bounds.len();
+        for i in 0..w {
+            let victim = (worker + i) % w;
+            let (_, end) = self.bounds[victim];
+            let m = self.cursors[victim].fetch_add(1, Ordering::Relaxed);
+            if m < end {
+                return Some((m, i != 0));
+            }
+        }
+        None
+    }
+}
+
+/// A tiny free-list of [`RowBatch`] buffers for the exchange routing
+/// path: routed-out input batches are reset (keeping their allocations)
+/// and handed back out as bucket batches, so steady-state routing
+/// allocates nothing per batch.
+#[derive(Default)]
+pub(crate) struct BatchPool {
+    free: Vec<RowBatch>,
+}
+
+impl BatchPool {
+    pub(crate) fn get(&mut self) -> RowBatch {
+        self.free.pop().unwrap_or_default()
+    }
+
+    pub(crate) fn put(&mut self, mut b: RowBatch) {
+        if self.free.len() < POOL_CAP {
+            b.reset();
+            self.free.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_types::{Rid, Value};
+
+    #[test]
+    fn claim_covers_every_morsel_exactly_once() {
+        for (total, workers) in [(10, 3), (1, 4), (8, 8), (7, 2), (5, 1)] {
+            let q = MorselQueue::new(total, workers);
+            let mut seen = vec![0usize; total];
+            for w in 0..workers {
+                while let Some((m, _)) = q.claim(w) {
+                    seen[m] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "{total}/{workers}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn exhausted_home_span_steals() {
+        let q = MorselQueue::new(4, 2);
+        // Worker 0 drains its span [0,2), then steals from worker 1's.
+        assert_eq!(q.claim(0), Some((0, false)));
+        assert_eq!(q.claim(0), Some((1, false)));
+        assert_eq!(q.claim(0), Some((2, true)));
+        assert_eq!(q.claim(0), Some((3, true)));
+        assert_eq!(q.claim(0), None);
+        assert_eq!(q.claim(1), None);
+    }
+
+    #[test]
+    fn pool_recycles_reset_batches() {
+        let mut pool = BatchPool::default();
+        let mut b = RowBatch::new();
+        b.push(vec![Value::Int(1)], vec![Rid::new(0, 0)]);
+        pool.put(b);
+        let b = pool.get();
+        assert!(b.is_empty());
+        assert!(pool.get().is_empty()); // pool empty: fresh batch
+    }
+}

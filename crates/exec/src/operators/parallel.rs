@@ -1,68 +1,85 @@
-//! Partition-parallel execution: the GATHER region controller, the
+//! Morsel-driven parallel execution: the GATHER region controller, the
 //! EXCHANGE runtime (bounded queues + hash routing), and the folded CHECK
-//! that keeps the paper's §3 semantics global across partitions.
+//! that keeps the paper's §3 semantics global across workers.
 //!
 //! A `Gather` plan node marks the boundary between the serial plan above
 //! and a **parallel region** below. [`GatherOp`] is the region
 //! controller: its `open` executes the whole region — serial shared
-//! hash-join builds first, then `parts` partition chains on scoped worker
-//! threads — buffers the region's output, and re-emits it in batches.
+//! hash-join builds first, then the partitioned stage on scoped worker
+//! threads — buffers the region's output batches, and re-emits them.
 //! Everything above the `Gather` (final CHECKs, SORT, the executor loop)
 //! stays byte-for-byte serial.
 //!
-//! **Determinism.** Partitions are *contiguous ranges* of the serial scan
-//! order, per-partition chains are order-preserving, and the controller
-//! concatenates partition outputs in partition order — so a range region
-//! reproduces the serial row order (and float accumulation order)
-//! exactly, at any thread count. Hash-repartitioned (`Exchange`) stages
-//! replay each consumer's input producer-major, which pins the row order
-//! per consumer; outputs are deterministic per thread count and
-//! multiset-identical across thread counts.
+//! **Morsel scheduling.** A stage marked `Partitioning::Morsel(k)`
+//! decomposes its driving scan into `M = ceil(rows / morsel_size)`
+//! contiguous **morsels** on a shared [`MorselQueue`]; `min(k, M)`
+//! workers claim morsels (own home span first, then work-stealing) and
+//! instantiate the stage chain per morsel via the same
+//! [`PartitionEnv`] machinery, with `(part, parts) = (m, M)`. A stage
+//! marked `Partitioning::Range(k)` — one whose CHECK sits directly above
+//! a materialization and therefore needs the fixed-chain-count fold
+//! rendezvous — runs in the legacy mode: exactly `k` fixed chains, one
+//! per worker. Single-marked stages (hand-built plans) also take the
+//! legacy path.
+//!
+//! **Determinism.** Morsels are *contiguous ranges* of the serial scan
+//! order, chains are order-preserving, and the controller concatenates
+//! task outputs in morsel-index order — so a region reproduces the
+//! serial row order (and float accumulation order) exactly, at any
+//! thread count and any morsel size. Hash-repartitioned (`Exchange`)
+//! stages tag every batch with its source morsel and each consumer
+//! replays its input in tag order, which again pins the per-consumer
+//! row order to the serial order of the producing stage.
 //!
 //! **CHECK folding (§2.1/§3).** A CHECK inside a region counts locally
 //! but folds into one shared atomic counter ([`FoldCell`]), so a validity
 //! range is compared against the *global* cardinality:
 //!
-//! * upper bound: the partition whose batch crosses `hi` trips the cell
+//! * upper bound: the task whose batch crosses `hi` trips the cell
 //!   exactly once and raises with observed `AtLeast(floor(hi)+1)` — the
 //!   same observation serial row-at-a-time counting reports;
-//! * lower bound / exact evaluation: once every partition reaches end of
+//! * lower bound / exact evaluation: once every task reaches end of
 //!   stream the controller evaluates the folded exact count once, on the
 //!   main context, and records a single [`CheckEvent`].
 //!
 //! A violation (or any error) sets the region **stop flag** and stops all
-//! exchange queues; blocked producers and consumers wake up and quiesce,
-//! the scope joins, and the controller discards the region's buffered
-//! rows — no row of a violating step is ever emitted, so no deferred
-//! compensation is needed for them — then folds completed per-partition
-//! TEMP materializations into whole harvests (exact, summed stats, §2.3)
-//! before re-raising the violation to the driver.
+//! exchange queues; workers quiesce at the next morsel boundary (blocked
+//! producers and consumers wake up), the scope joins, and the controller
+//! discards the region's buffered output — no row of a violating step is
+//! ever emitted, so no deferred compensation is needed for them — then
+//! folds completed per-task TEMP materializations into whole harvests
+//! (exact, summed stats, §2.3) before re-raising the violation to the
+//! driver. The violation's observed cardinality feeds re-planning, which
+//! may widen, narrow, or drop the region's degree of parallelism.
 
 use crate::build::{build_with_env, pos_of, PartitionEnv, Signatures};
 use crate::context::{CheckEvent, CheckOutcome, Harvest};
-use crate::operators::{emit_chunk, Operator};
+use crate::morsel::{BatchPool, MorselQueue, RegionDiag, RegionMode, WorkerDiag};
+use crate::operators::Operator;
 use crate::signal::{ExecSignal, ObservedCard, Violation};
-use crate::{ExecCtx, ExecRow, OpResult, RowBatch};
-use pop_plan::{CheckSpec, PhysNode};
+use crate::{ExecCtx, OpResult, RowBatch};
+use pop_plan::{CheckSpec, Partitioning, PhysNode};
 use pop_storage::Catalog;
 use pop_types::{PopError, Value};
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
-/// Messages flowing through an exchange: a producer tag plus a run of
-/// rows, so the consumer can replay producer-major.
-type Msg = (usize, Vec<ExecRow>);
+/// Messages flowing through an exchange: the producing task's tag (morsel
+/// index, or partition index in range mode) plus one batch, so the
+/// consumer can replay its input in producing-stage serial order.
+type Msg = (usize, RowBatch);
 
 /// Messages buffered per queue before producers block (the "bounded
 /// channel" of the exchange stage).
-const EXCHANGE_QUEUE_CAP: usize = 4;
+const EXCHANGE_QUEUE_CAP: usize = 8;
 
 /// Region-wide coordination: one sticky stop flag. Any worker that
 /// raises — violation or error — sets it; every worker polls it at batch
-/// boundaries and every queue wait observes it, so quiescing never
-/// deadlocks on a full or empty bounded queue.
+/// and morsel boundaries and every queue wait observes it, so quiescing
+/// never deadlocks on a full or empty bounded queue.
 #[derive(Default)]
 pub(crate) struct RegionShared {
     stop: AtomicBool,
@@ -79,11 +96,12 @@ impl RegionShared {
 }
 
 /// Shared state of one folded CHECK: the global row count, a trip-once
-/// latch so exactly one partition reports an upper-bound violation, and —
-/// for checks above a materialization point — a cancellable rendezvous
-/// where all partitions meet once their TEMP shares are materialized, so
-/// the check is decided against the exact global count at the same point
-/// of the open cascade where the serial plan decides it (Figure 10).
+/// latch so exactly one task reports an upper-bound violation, and —
+/// for checks above a materialization point, in range mode — a
+/// cancellable rendezvous where all partition chains meet once their
+/// TEMP shares are materialized, so the check is decided against the
+/// exact global count at the same point of the open cascade where the
+/// serial plan decides it (Figure 10).
 pub(crate) struct FoldCell {
     count: AtomicU64,
     tripped: AtomicBool,
@@ -186,12 +204,12 @@ impl FoldCell {
 /// Worker-side CHECK with fold registration (`CheckSpec::fold`): counts
 /// into the shared [`FoldCell`] so the upper bound is compared against
 /// the global cardinality. For a pipelined check (`eager`) the first
-/// partition to cross `hi` trips the cell and raises, mirroring the
-/// serial mid-stream `AtLeast` observation; a check over a materializing
-/// child only accumulates, because its serial counterpart evaluates once
+/// task to cross `hi` trips the cell and raises, mirroring the serial
+/// mid-stream `AtLeast` observation; a check over a materializing child
+/// only accumulates, because its serial counterpart evaluates once
 /// against the exact materialized count (Figure 10) — the region
-/// controller performs that exact evaluation once all partitions are
-/// done, so both report `Exact(total)`.
+/// controller performs that exact evaluation once all tasks are done,
+/// so both report `Exact(total)`.
 pub(crate) struct FoldCheckOp {
     input: Box<dyn Operator>,
     spec: CheckSpec,
@@ -278,12 +296,13 @@ impl Operator for FoldCheckOp {
             && !self.cell.tripped.load(Ordering::Acquire);
         let new_total = self.cell.count.fetch_add(n, Ordering::AcqRel) + n;
         if armed && new_total as f64 > self.spec.range.hi {
-            // First crossing wins; later partitions pass through.
+            // First crossing wins; later tasks pass through.
             if !self.cell.tripped.swap(true, Ordering::AcqRel) {
                 // Row-at-a-time counting fires on the first row that
                 // crosses `hi`, having observed exactly floor(hi)+1 rows
                 // — reproduce that observation from the bound itself so
-                // it is independent of batch shape and thread count.
+                // it is independent of batch shape, thread count and
+                // morsel size.
                 let observed = ObservedCard::AtLeast(self.spec.range.hi.floor() as u64 + 1);
                 return Err(ExecSignal::Reopt(Box::new(Violation {
                     check_id: self.spec.id,
@@ -387,16 +406,17 @@ impl BoundedQueue {
     }
 }
 
-/// The runtime of one `Exchange` node: one bounded queue per consumer.
+/// The runtime of one `Exchange` node: one bounded queue per consumer,
+/// fed by however many workers the partitioned stage runs.
 pub(crate) struct ExchangeState {
     queues: Vec<BoundedQueue>,
 }
 
 impl ExchangeState {
-    fn new(parts: usize) -> Self {
+    fn new(consumers: usize, producers: usize) -> Self {
         ExchangeState {
-            queues: (0..parts)
-                .map(|_| BoundedQueue::new(EXCHANGE_QUEUE_CAP, parts))
+            queues: (0..consumers)
+                .map(|_| BoundedQueue::new(EXCHANGE_QUEUE_CAP, producers))
                 .collect(),
         }
     }
@@ -418,25 +438,25 @@ fn route(values: &[Value], key_pos: &[usize], parts: usize) -> usize {
 }
 
 /// Consumer-side leaf of an exchange: receives this consumer's hash
-/// bucket from every producer, buffers it, and replays it
-/// **producer-major** (all of producer 0's rows in their original order,
-/// then producer 1's, ...) so the consumer's input order is a pure
-/// function of the plan and the data, never of thread scheduling.
+/// bucket from every producing task, buffers the batches, and replays
+/// them sorted by source tag (stable, so a task's batches keep their
+/// production order) — all of morsel 0's rows in their original order,
+/// then morsel 1's, ... The consumer's input order is therefore a pure
+/// function of the plan and the data, never of thread scheduling or
+/// morsel size.
 pub(crate) struct ExchangeSourceOp {
     state: Arc<ExchangeState>,
     consumer: usize,
-    producers: usize,
-    rows: Vec<ExecRow>,
+    batches: Vec<Msg>,
     pos: usize,
 }
 
 impl ExchangeSourceOp {
-    pub(crate) fn new(state: Arc<ExchangeState>, consumer: usize, producers: usize) -> Self {
+    pub(crate) fn new(state: Arc<ExchangeState>, consumer: usize) -> Self {
         ExchangeSourceOp {
             state,
             consumer,
-            producers,
-            rows: Vec::new(),
+            batches: Vec::new(),
             pos: 0,
         }
     }
@@ -444,53 +464,66 @@ impl ExchangeSourceOp {
 
 impl Operator for ExchangeSourceOp {
     fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
-        let mut buckets: Vec<Vec<ExecRow>> = (0..self.producers).map(|_| Vec::new()).collect();
+        self.batches.clear();
+        self.pos = 0;
         loop {
-            match self.state.queues[self.consumer].pop() {
-                Pop::Item((producer, rows)) => buckets[producer].extend(rows),
+            let t0 = Instant::now();
+            let popped = self.state.queues[self.consumer].pop();
+            ctx.queue_wait_ns += t0.elapsed().as_nanos() as u64;
+            match popped {
+                Pop::Item(m) => self.batches.push(m),
                 Pop::Done => break,
                 // Converted to a quiesce by the worker loop (the region
                 // stop flag is already set whenever a queue stops).
                 Pop::Stopped => return Err(ExecSignal::Error(PopError::Cancelled)),
             }
         }
-        let total: usize = buckets.iter().map(Vec::len).sum();
+        self.batches.sort_by_key(|(tag, _)| *tag);
+        let total: usize = self.batches.iter().map(|(_, b)| b.live_count()).sum();
         ctx.charge(total as f64 * ctx.model.exchange_row);
-        self.rows = buckets.into_iter().flatten().collect();
-        self.pos = 0;
         Ok(())
     }
 
-    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
-        Ok(emit_chunk(&self.rows, &mut self.pos, ctx))
+    fn next_batch(&mut self, _ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+        while self.pos < self.batches.len() {
+            let (_, b) = std::mem::take(&mut self.batches[self.pos]);
+            self.pos += 1;
+            if b.live_count() > 0 {
+                return Ok(Some(b));
+            }
+        }
+        Ok(None)
     }
 
     fn close(&mut self, _ctx: &mut ExecCtx) {
-        self.rows.clear();
+        self.batches.clear();
+        self.pos = 0;
     }
+}
+
+/// Output of one completed task (one morsel chain, or one fixed
+/// partition / consumer chain).
+struct TaskOut {
+    /// Merge key: morsel index, or consumer partition index.
+    tag: usize,
+    batches: Vec<RowBatch>,
 }
 
 /// What one worker thread brought back.
-struct PartOutcome {
-    /// Region output rows (empty for producers and quiesced workers).
-    rows: Vec<ExecRow>,
-    /// The raised signal, if this worker is the one that raised.
-    raised: Option<ExecSignal>,
+#[derive(Default)]
+struct WorkerOut {
+    /// Completed output-producing tasks (empty for exchange producers
+    /// and quiesced workers).
+    tasks: Vec<TaskOut>,
+    /// The raised signal, if this worker raised: `(stage_a, tag, signal)`
+    /// — the stage flag and tag order raiser selection deterministically.
+    raised: Option<(bool, usize, ExecSignal)>,
     work: f64,
     rows_scanned: u64,
-    harvests: Vec<Harvest>,
-}
-
-impl PartOutcome {
-    fn empty() -> Self {
-        PartOutcome {
-            rows: Vec::new(),
-            raised: None,
-            work: 0.0,
-            rows_scanned: 0,
-            harvests: Vec::new(),
-        }
-    }
+    /// Harvests with their producing stage and tag, for per-stage
+    /// completeness grouping and tag-ordered merging.
+    harvests: Vec<(bool, usize, Harvest)>,
+    diag: WorkerDiag,
 }
 
 /// Sets the stop flag (and stops the exchange queues and fold
@@ -544,6 +577,9 @@ impl WorkerSeed {
         }
     }
 
+    /// Fresh context for one task. Cloning the fault injector per task
+    /// keeps chaos runs schedule-independent: every morsel sees the same
+    /// injector state no matter which worker claims it.
     fn make_ctx(&self) -> ExecCtx {
         let mut w = ExecCtx::new(
             self.catalog.clone(),
@@ -560,7 +596,7 @@ impl WorkerSeed {
 }
 
 /// Pre-order walk of the region's **partitioned spine**: the path of
-/// operators instantiated once per partition. Hash joins contribute their
+/// operators instantiated once per task. Hash joins contribute their
 /// probe side (builds are serial and shared), an exchange contributes its
 /// input (the producer stage), and every pass-through contributes its
 /// only child. Controller, chain builder and planlint all walk this same
@@ -580,8 +616,32 @@ pub(crate) fn visit_spine<'a>(node: &'a PhysNode, f: &mut impl FnMut(&'a PhysNod
     }
 }
 
+/// Base-table row count of the stage's driving scan, when it can be
+/// determined — the denominator of the morsel count. `None` (no base
+/// scan drives the stage) falls back to range mode.
+fn stage_leaf_rows(stage: &PhysNode, catalog: &Catalog) -> Option<usize> {
+    let mut node = stage;
+    loop {
+        match node {
+            PhysNode::TableScan { table, .. } | PhysNode::IndexRangeScan { table, .. } => {
+                return catalog.table(table).ok().map(|t| t.row_count());
+            }
+            PhysNode::Hsjn { probe, .. } => node = probe,
+            PhysNode::Nljn { outer, .. } => node = outer,
+            other => {
+                let ch = other.children();
+                if ch.len() == 1 {
+                    node = ch[0];
+                } else {
+                    return None;
+                }
+            }
+        }
+    }
+}
+
 /// The region controller. `open` runs the entire region to completion
-/// (or violation); `next_batch` re-chunks the buffered output.
+/// (or violation); `next_batch` re-emits the buffered output batches.
 ///
 /// `materialized_count` deliberately stays `None`: a CHECK directly above
 /// a `Gather` must count the gathered stream like any pipeline check, not
@@ -592,20 +652,21 @@ pub struct GatherOp {
     parts: usize,
     catalog: Catalog,
     signatures: Signatures,
-    rows: Vec<ExecRow>,
+    batches: Vec<RowBatch>,
     pos: usize,
     opened: bool,
 }
 
 impl GatherOp {
-    /// Create a gather over `region`, to run at `parts` partitions.
+    /// Create a gather over `region`, planned at `parts` degree of
+    /// parallelism.
     pub fn new(region: PhysNode, parts: usize, catalog: Catalog, signatures: Signatures) -> Self {
         GatherOp {
             region,
             parts: parts.max(1),
             catalog,
             signatures,
-            rows: Vec::new(),
+            batches: Vec::new(),
             pos: 0,
             opened: false,
         }
@@ -672,9 +733,9 @@ impl GatherOp {
     }
 }
 
-/// Run one partition chain to end of stream, folding batches into a local
-/// row buffer. Publishes locally-counted work to the shared governor
-/// ledger at every batch boundary so global budgets see all workers.
+/// Run one task chain to end of stream, folding batches into the given
+/// sink. Publishes locally-counted work to the shared governor ledger at
+/// every batch boundary so global budgets see all workers.
 fn run_chain(
     mut op: Box<dyn Operator>,
     wctx: &mut ExecCtx,
@@ -717,7 +778,7 @@ fn run_chain(
 
 impl Operator for GatherOp {
     fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
-        self.rows.clear();
+        self.batches.clear();
         self.pos = 0;
         self.opened = true;
         let parts = self.parts;
@@ -731,16 +792,9 @@ impl Operator for GatherOp {
             }
         };
 
-        // Phase 2 (parallel): partition chains under a scoped worker set.
-        let shared = RegionShared::default();
-        let seed = WorkerSeed::from_ctx(ctx);
-        // Base work published so worker ticks compare the true global
-        // counter; withdrawn below once worker work folds back in.
-        seed.guard.publish_work(region_start_work);
-        let exchange_state = exchange_node.map(|_| Arc::new(ExchangeState::new(parts)));
-        let fold_cells: Vec<Arc<FoldCell>> = folds.iter().map(|(_, c, _)| Arc::clone(c)).collect();
-
-        // Producer-stage routing positions (exchange only).
+        // Stage layout: the partitioned stage root (below the exchange,
+        // or the whole region) plus routing keys if the region
+        // repartitions.
         let producer_cfg = match exchange_node {
             Some(PhysNode::Exchange { input, keys, .. }) => {
                 let key_pos = keys
@@ -751,146 +805,239 @@ impl Operator for GatherOp {
             }
             _ => None,
         };
+        let stage_root: &PhysNode = producer_cfg
+            .as_ref()
+            .map(|(r, _)| *r)
+            .unwrap_or(&self.region);
 
-        let mut outcomes: Vec<PartOutcome> = std::thread::scope(|s| {
+        // Execution mode. Morsel-driven needs every stage fold eager
+        // (the fixed-chain rendezvous of a materialization fold cannot
+        // meet a dynamic task count — the parallelize pass marks those
+        // stages `Range`, this is the runtime double-check) and a
+        // determinable driving-scan size.
+        let stage_eager = folds[above_folds..].iter().all(|(_, _, eager)| *eager);
+        let morsel_total = match stage_root.props().partitioning {
+            Partitioning::Morsel(_) if stage_eager => stage_leaf_rows(stage_root, &self.catalog)
+                .map(|n| n.div_ceil(ctx.morsel_size.max(1)).max(1)),
+            _ => None,
+        };
+        let (mode, m_total, w) = match morsel_total {
+            Some(m) => (RegionMode::Morsel, m, parts.min(m)),
+            None => (RegionMode::Range, parts, parts),
+        };
+
+        // Phase 2 (parallel): the partitioned stage as a morsel pool (or
+        // fixed chains), plus fixed consumer chains above any exchange,
+        // under one scoped worker set.
+        let shared = RegionShared::default();
+        let seed = WorkerSeed::from_ctx(ctx);
+        // Base work published so worker ticks compare the true global
+        // counter; withdrawn below once worker work folds back in.
+        seed.guard.publish_work(region_start_work);
+        let exchange_state = exchange_node.map(|_| Arc::new(ExchangeState::new(parts, w)));
+        let fold_cells: Vec<Arc<FoldCell>> = folds.iter().map(|(_, c, _)| Arc::clone(c)).collect();
+        let queue = MorselQueue::new(m_total, w);
+
+        let mut outcomes: Vec<WorkerOut> = std::thread::scope(|s| {
             let mut handles = Vec::new();
             let shared = &shared;
             let seed = &seed;
+            let queue = &queue;
             let builds = &builds;
             let fold_cells = &fold_cells;
             let region = &self.region;
             let catalog = &self.catalog;
             let signatures = &self.signatures;
             let exchange_state = exchange_state.as_ref();
+            let xref: Option<&ExchangeState> = exchange_state.map(|a| a.as_ref());
+            let key_pos: Option<&[usize]> = producer_cfg.as_ref().map(|(_, k)| k.as_slice());
+            // Stage-A shared state: everything below the exchange, or the
+            // whole spine when the region does not repartition.
+            let stage_builds = &builds[above_builds..];
+            let stage_cells = &fold_cells[above_folds..];
 
-            if let Some((producer_root, key_pos)) = &producer_cfg {
-                let producer_root = *producer_root;
-                let xstate: &ExchangeState = exchange_state
-                    .expect("exchange state for exchange region")
-                    .as_ref();
-                // k producers: run the stage below the exchange and route
-                // rows by hash to the consumer queues.
+            // min(k, M) stage workers pulling tasks from the morsel queue.
+            for widx in 0..w {
+                handles.push(s.spawn(move || {
+                    let mut quiesce = Quiesce {
+                        shared,
+                        exchange: xref,
+                        folds: fold_cells,
+                        armed: true,
+                    };
+                    let mut out = WorkerOut::default();
+                    let mut pool = BatchPool::default();
+                    loop {
+                        if shared.stopped() {
+                            break; // quiesce at the morsel boundary
+                        }
+                        let Some((m, stolen)) = queue.claim(widx) else {
+                            break;
+                        };
+                        out.diag.morsels += 1;
+                        if stolen {
+                            out.diag.steals += 1;
+                        }
+                        let t0 = Instant::now();
+                        let mut wctx = seed.make_ctx();
+                        let env = PartitionEnv::new(
+                            m,
+                            m_total,
+                            stage_builds.to_vec(),
+                            stage_cells.to_vec(),
+                            None,
+                        );
+                        let op = match build_with_env(stage_root, catalog, signatures, Some(&env)) {
+                            Ok(op) => op,
+                            Err(e) => {
+                                out.raised = Some((true, m, ExecSignal::Error(e)));
+                                return out; // quiesce guard stops the region
+                            }
+                        };
+                        let raised = match (xref, key_pos) {
+                            // Producer task: route rows by hash into
+                            // per-consumer bucket batches, allocation-free
+                            // per row; routed-out input batches recycle
+                            // through the pool as future buckets.
+                            (Some(xstate), Some(keys)) => {
+                                let mut buckets: Vec<RowBatch> =
+                                    (0..parts).map(|_| pool.get()).collect();
+                                let mut raised = run_chain(op, &mut wctx, shared, |wctx, b| {
+                                    wctx.charge(b.live_count() as f64 * wctx.model.exchange_row);
+                                    for i in b.live_indices() {
+                                        let c = route(b.values_at(i), keys, parts);
+                                        buckets[c].push_row(b.values_at(i), b.lineage_at(i));
+                                    }
+                                    for (c, bucket) in buckets.iter_mut().enumerate() {
+                                        if bucket.len() >= wctx.batch_size {
+                                            let full = std::mem::replace(bucket, RowBatch::new());
+                                            let t = Instant::now();
+                                            let ok = xstate.queues[c].push((m, full));
+                                            wctx.queue_wait_ns += t.elapsed().as_nanos() as u64;
+                                            if !ok {
+                                                // Queue stopped: quiesce quietly.
+                                                return Err(ExecSignal::Error(PopError::Cancelled));
+                                            }
+                                        }
+                                    }
+                                    pool.put(b);
+                                    Ok(())
+                                });
+                                if raised.is_none() {
+                                    for (c, bucket) in buckets.into_iter().enumerate() {
+                                        if bucket.is_empty() {
+                                            pool.put(bucket);
+                                            continue;
+                                        }
+                                        let t = Instant::now();
+                                        let ok = xstate.queues[c].push((m, bucket));
+                                        wctx.queue_wait_ns += t.elapsed().as_nanos() as u64;
+                                        if !ok {
+                                            raised = Some(ExecSignal::Error(PopError::Cancelled));
+                                            break;
+                                        }
+                                    }
+                                }
+                                raised
+                            }
+                            // Output task: collect the chain's batches.
+                            _ => {
+                                let mut batches = Vec::new();
+                                let raised = run_chain(op, &mut wctx, shared, |_wctx, b| {
+                                    batches.push(b);
+                                    Ok(())
+                                });
+                                if raised.is_none() {
+                                    out.tasks.push(TaskOut { tag: m, batches });
+                                }
+                                raised
+                            }
+                        };
+                        out.diag.queue_wait_ns += wctx.queue_wait_ns;
+                        out.diag.compute_ns +=
+                            (t0.elapsed().as_nanos() as u64).saturating_sub(wctx.queue_wait_ns);
+                        out.work += wctx.work;
+                        out.rows_scanned += wctx.rows_scanned;
+                        out.harvests
+                            .extend(wctx.harvests.drain(..).map(|h| (true, m, h)));
+                        if let Some(sig) = raised {
+                            out.raised = Some((true, m, sig));
+                            return out; // quiesce guard stops the region
+                        }
+                    }
+                    if let Some(xstate) = xref {
+                        for q in &xstate.queues {
+                            q.producer_done();
+                        }
+                    }
+                    quiesce.armed = false;
+                    out
+                }));
+            }
+
+            // k fixed consumer chains above the exchange, if any.
+            if let Some(xarc) = exchange_state {
                 for part in 0..parts {
-                    let key_pos = key_pos.clone();
                     handles.push(s.spawn(move || {
                         let mut quiesce = Quiesce {
                             shared,
-                            exchange: Some(xstate),
+                            exchange: Some(xarc.as_ref()),
                             folds: fold_cells,
                             armed: true,
                         };
-                        let mut out = PartOutcome::empty();
+                        let mut out = WorkerOut::default();
+                        out.diag.morsels = 1;
+                        let t0 = Instant::now();
                         let mut wctx = seed.make_ctx();
                         let env = PartitionEnv::new(
                             part,
                             parts,
-                            builds[above_builds..].to_vec(),
-                            fold_cells[above_folds..].to_vec(),
-                            None,
+                            builds[..above_builds].to_vec(),
+                            fold_cells[..above_folds].to_vec(),
+                            Some(Arc::clone(xarc)),
                         );
-                        let op =
-                            match build_with_env(producer_root, catalog, signatures, Some(&env)) {
-                                Ok(op) => op,
-                                Err(e) => {
-                                    out.raised = Some(ExecSignal::Error(e));
-                                    return out; // quiesce guard stops the region
-                                }
-                            };
-                        let raised = run_chain(op, &mut wctx, shared, |wctx, b| {
-                            let rows = b.into_rows();
-                            wctx.charge(rows.len() as f64 * wctx.model.exchange_row);
-                            let mut buckets: Vec<Vec<ExecRow>> =
-                                (0..parts).map(|_| Vec::new()).collect();
-                            for row in rows {
-                                buckets[route(&row.values, &key_pos, parts)].push(row);
+                        let op = match build_with_env(region, catalog, signatures, Some(&env)) {
+                            Ok(op) => op,
+                            Err(e) => {
+                                out.raised = Some((false, part, ExecSignal::Error(e)));
+                                return out;
                             }
-                            for (c, bucket) in buckets.into_iter().enumerate() {
-                                if !bucket.is_empty() && !xstate.queues[c].push((part, bucket)) {
-                                    // Queue stopped: quiesce quietly.
-                                    return Err(ExecSignal::Error(PopError::Cancelled));
-                                }
-                            }
+                        };
+                        let mut batches = Vec::new();
+                        let raised = run_chain(op, &mut wctx, shared, |_wctx, b| {
+                            batches.push(b);
                             Ok(())
                         });
+                        out.diag.queue_wait_ns = wctx.queue_wait_ns;
+                        out.diag.compute_ns =
+                            (t0.elapsed().as_nanos() as u64).saturating_sub(wctx.queue_wait_ns);
+                        out.work = wctx.work;
+                        out.rows_scanned = wctx.rows_scanned;
+                        out.harvests = wctx.harvests.drain(..).map(|h| (false, part, h)).collect();
                         match raised {
-                            Some(sig) => out.raised = Some(sig),
+                            Some(sig) => out.raised = Some((false, part, sig)),
                             None => {
-                                for q in &xstate.queues {
-                                    q.producer_done();
-                                }
+                                out.tasks.push(TaskOut { tag: part, batches });
                                 quiesce.armed = false;
                             }
                         }
-                        out.work = wctx.work;
-                        out.rows_scanned = wctx.rows_scanned;
-                        out.harvests = std::mem::take(&mut wctx.harvests);
                         out
                     }));
                 }
             }
 
-            // k partition (or consumer) chains over the full region.
-            for part in 0..parts {
-                handles.push(s.spawn(move || {
-                    let mut quiesce = Quiesce {
-                        shared,
-                        exchange: exchange_state.map(|a| a.as_ref()),
-                        folds: fold_cells,
-                        armed: true,
-                    };
-                    let mut out = PartOutcome::empty();
-                    let mut wctx = seed.make_ctx();
-                    let (pbuilds, pfolds) = match exchange_state {
-                        // Consumer stage: only the builds/folds above the
-                        // exchange belong to this chain.
-                        Some(_) => (
-                            builds[..above_builds].to_vec(),
-                            fold_cells[..above_folds].to_vec(),
-                        ),
-                        None => (builds.to_vec(), fold_cells.to_vec()),
-                    };
-                    let env = PartitionEnv::new(
-                        part,
-                        parts,
-                        pbuilds,
-                        pfolds,
-                        exchange_state.map(Arc::clone),
-                    );
-                    let op = match build_with_env(region, catalog, signatures, Some(&env)) {
-                        Ok(op) => op,
-                        Err(e) => {
-                            out.raised = Some(ExecSignal::Error(e));
-                            return out;
-                        }
-                    };
-                    let mut rows = Vec::new();
-                    let raised = run_chain(op, &mut wctx, shared, |_wctx, b| {
-                        rows.extend(b.into_rows());
-                        Ok(())
-                    });
-                    match raised {
-                        Some(sig) => out.raised = Some(sig),
-                        None => {
-                            quiesce.armed = false;
-                            out.rows = rows;
-                        }
-                    }
-                    out.work = wctx.work;
-                    out.rows_scanned = wctx.rows_scanned;
-                    out.harvests = std::mem::take(&mut wctx.harvests);
-                    out
-                }));
-            }
-
             handles
                 .into_iter()
                 .map(|h| {
-                    h.join().unwrap_or_else(|_| {
-                        let mut out = PartOutcome::empty();
-                        out.raised = Some(ExecSignal::Error(PopError::Execution(
-                            "partition worker panicked".into(),
-                        )));
-                        out
+                    h.join().unwrap_or_else(|_| WorkerOut {
+                        raised: Some((
+                            false,
+                            usize::MAX,
+                            ExecSignal::Error(PopError::Execution(
+                                "partition worker panicked".into(),
+                            )),
+                        )),
+                        ..WorkerOut::default()
                     })
                 })
                 .collect()
@@ -906,33 +1053,45 @@ impl Operator for GatherOp {
         // Workers published their work; the controller's counter now
         // carries it, so withdraw the published total (plus the base).
         seed.guard.withdraw_work(region_start_work + folded_work);
+        ctx.region_diags.push(RegionDiag {
+            dop: parts,
+            mode,
+            morsels: m_total,
+            workers: outcomes.iter().map(|o| o.diag.clone()).collect(),
+        });
 
-        // Fold completed per-partition TEMP materializations into whole
-        // harvests (§2.3): a signature harvested by *every* worker of its
-        // stage concatenates, in worker order, into one exact snapshot.
-        // Partial groups (some partition quiesced early) are dropped —
-        // their stats would not be exact.
-        let stage_size = parts;
-        let mut groups: Vec<(String, Vec<&Harvest>)> = Vec::new();
+        // Fold completed per-task TEMP materializations into whole
+        // harvests (§2.3): a signature harvested by *every* task of its
+        // stage concatenates, in tag order, into one exact snapshot.
+        // Partial groups (some task quiesced early) are dropped — their
+        // stats would not be exact. Stage-A tasks number `m_total`;
+        // consumer chains number `parts`.
+        type HarvestGroup<'a> = (bool, String, Vec<(usize, &'a Harvest)>);
+        let mut groups: Vec<HarvestGroup<'_>> = Vec::new();
         for o in &outcomes {
-            for h in &o.harvests {
-                match groups.iter_mut().find(|(sig, _)| *sig == h.signature) {
-                    Some((_, v)) => v.push(h),
-                    None => groups.push((h.signature.clone(), vec![h])),
+            for (stage_a, tag, h) in &o.harvests {
+                match groups
+                    .iter_mut()
+                    .find(|(sa, sig, _)| sa == stage_a && *sig == h.signature)
+                {
+                    Some((_, _, v)) => v.push((*tag, h)),
+                    None => groups.push((*stage_a, h.signature.clone(), vec![(*tag, h)])),
                 }
             }
         }
-        for (signature, parts_of) in groups {
-            if parts_of.len() != stage_size {
+        for (stage_a, signature, mut pieces) in groups {
+            let expected = if stage_a { m_total } else { parts };
+            if pieces.len() != expected {
                 continue;
             }
+            pieces.sort_by_key(|(tag, _)| *tag);
             let mut merged = Harvest {
                 signature,
-                layout: parts_of[0].layout.clone(),
+                layout: pieces[0].1.layout.clone(),
                 rows: Vec::new(),
                 lineage: Vec::new(),
             };
-            for h in parts_of {
+            for (_, h) in pieces {
                 merged.rows.extend(h.rows.iter().cloned());
                 merged.lineage.extend(h.lineage.iter().cloned());
             }
@@ -940,24 +1099,28 @@ impl Operator for GatherOp {
         }
 
         // Raised-signal priority: a genuine re-optimization beats errors;
-        // a real error beats the Cancelled artifacts of quiescing.
-        let mut raised: Option<ExecSignal> = None;
+        // a real error beats the Cancelled artifacts of quiescing. Ties
+        // break toward the partitioned stage, then the lowest tag — the
+        // serial-stream-order raiser, independent of scheduling.
         let rank = |s: &ExecSignal| match s {
             ExecSignal::Reopt(_) => 0,
             ExecSignal::Error(PopError::Cancelled) => 2,
             ExecSignal::Error(_) => 1,
         };
+        let mut raised: Option<(bool, usize, ExecSignal)> = None;
         for o in outcomes.iter_mut() {
-            let Some(sig) = o.raised.take() else { continue };
+            let Some((sa, tag, sig)) = o.raised.take() else {
+                continue;
+            };
             let better = match &raised {
                 None => true,
-                Some(r) => rank(&sig) < rank(r),
+                Some((psa, ptag, psig)) => (rank(&sig), !sa, tag) < (rank(psig), !*psa, *ptag),
             };
             if better {
-                raised = Some(sig);
+                raised = Some((sa, tag, sig));
             }
         }
-        if let Some(sig) = raised {
+        if let Some((_, _, sig)) = raised {
             release_builds(ctx);
             if let ExecSignal::Reopt(v) = &sig {
                 // Folds *below* the raiser that had already resolved
@@ -1016,14 +1179,14 @@ impl Operator for GatherOp {
                     signature: v.signature.clone(),
                 });
             }
-            // No row of this step is emitted: the buffered partition
-            // output is discarded wholesale, so ECDC compensation state
-            // is untouched by the violating step.
+            // No row of this step is emitted: the buffered task output
+            // is discarded wholesale, so ECDC compensation state is
+            // untouched by the violating step.
             return Err(sig);
         }
 
-        // All partitions done: evaluate each fold's exact global count
-        // once, leaf-to-root — the order in which serial end-of-stream
+        // All tasks done: evaluate each fold's exact global count once,
+        // leaf-to-root — the order in which serial end-of-stream
         // evaluation unwinds (an inner check sees its end of stream
         // before the checks above it do). Folds decided at an open-time
         // rendezvous are already tripped (violation) or simply re-record
@@ -1083,26 +1246,40 @@ impl Operator for GatherOp {
         }
 
         release_builds(ctx);
-        // Concatenate partition outputs in partition order (for exchange
-        // regions the consumers are the trailing `parts` outcomes).
-        let mut rows = Vec::new();
-        for o in outcomes {
-            rows.extend(o.rows);
+        // Merge task outputs in tag order: morsel order for the
+        // partitioned stage, consumer order for exchange regions —
+        // reproducing the producing stage's serial row order.
+        let mut tasks: Vec<TaskOut> = outcomes.into_iter().flat_map(|o| o.tasks).collect();
+        tasks.sort_by_key(|t| t.tag);
+        let mut total_live = 0usize;
+        let mut batches = Vec::new();
+        for t in tasks {
+            for b in t.batches {
+                total_live += b.live_count();
+                batches.push(b);
+            }
         }
-        ctx.charge(rows.len() as f64 * ctx.model.exchange_row);
-        self.rows = rows;
+        ctx.charge(total_live as f64 * ctx.model.exchange_row);
+        self.batches = batches;
         Ok(())
     }
 
-    fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
+    fn next_batch(&mut self, _ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
         if !self.opened {
             return Err(super::protocol_err("gather next_batch() before open()"));
         }
-        Ok(emit_chunk(&self.rows, &mut self.pos, ctx))
+        while self.pos < self.batches.len() {
+            let b = std::mem::take(&mut self.batches[self.pos]);
+            self.pos += 1;
+            if b.live_count() > 0 {
+                return Ok(Some(b));
+            }
+        }
+        Ok(None)
     }
 
     fn close(&mut self, _ctx: &mut ExecCtx) {
-        self.rows.clear();
+        self.batches.clear();
         self.pos = 0;
         self.opened = false;
     }

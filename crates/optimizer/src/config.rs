@@ -152,6 +152,14 @@ pub struct OptimizerConfig {
     /// attempted: for small intermediate results the per-partition launch
     /// overhead (`CostModel::parallel_startup`) outweighs any speedup.
     pub min_parallel_rows: f64,
+    /// Rows per morsel the parallelize pass assumes when modeling a
+    /// region's morsel count: the degree of parallelism is capped at the
+    /// estimated morsel count of the region's driving scan (there is no
+    /// point scheduling more workers than morsels), which is what lets
+    /// CHECK feedback widen or narrow the DOP on re-optimization. A
+    /// planning estimate only — the runtime's morsel granularity is the
+    /// driver-level `POP_MORSEL_SIZE` knob.
+    pub morsel_rows: f64,
 }
 
 impl Default for OptimizerConfig {
@@ -172,6 +180,7 @@ impl Default for OptimizerConfig {
             selectivity_defaults: SelectivityDefaults::default(),
             threads: 1,
             min_parallel_rows: 8192.0,
+            morsel_rows: 16384.0,
         }
     }
 }

@@ -14,15 +14,22 @@
 //! Two region shapes are produced:
 //!
 //! * **Shape A — pipeline region**: a spine of scans, join probes,
-//!   filters, projections, temps and checks. The base scan is split into
-//!   k contiguous ranges; each partition runs the full chain; the Gather
-//!   concatenates in partition order, which reproduces the serial row
-//!   order exactly (so any input sort order survives for free).
+//!   filters, projections, temps and checks. The driving base scan is
+//!   decomposed into contiguous morsels claimed dynamically by k workers;
+//!   the Gather merges outputs in morsel order, which reproduces the
+//!   serial row order exactly (so any input sort order survives for
+//!   free).
 //! * **Shape B — aggregation region**: `Gather(HashAgg(Exchange(input)))`.
-//!   The input pipeline runs range-partitioned as in shape A; the
-//!   Exchange hash-routes rows on the group-by keys so each consumer owns
-//!   complete groups; per-consumer HashAggs then aggregate independently
-//!   and concatenate without a merge phase.
+//!   The input pipeline runs morsel-driven as in shape A; the Exchange
+//!   hash-routes rows on the group-by keys so each consumer owns complete
+//!   groups; per-consumer HashAggs then aggregate independently and
+//!   concatenate without a merge phase.
+//!
+//! Spines whose CHECKs sit above a materialization point need the
+//! all-partitions fold rendezvous, which assumes a fixed set of
+//! concurrently running chains — those regions are marked
+//! `Partitioning::Range(k)` and execute in the legacy fixed-partition
+//! mode; everything else is marked `Partitioning::Morsel(k)`.
 //!
 //! Nodes with inherently global semantics — SORT (total order), MGJN
 //! (order-dependent), LIMIT (global count), MVSCAN (compensation
@@ -30,13 +37,21 @@
 //! compensation and side effects) — never enter a region; the pass keeps
 //! them above the Gather or declines to parallelize.
 //!
-//! The pass is cost-gated: a region is formed only when the modeled
-//! parallel latency (serial work divided by `k · parallel_efficiency`,
-//! plus per-partition startup and per-row exchange overhead) beats the
-//! serial cost, and the region's estimated cardinality clears
-//! `OptimizerConfig::min_parallel_rows`. Plan `cost` stays total work
-//! (monotone up the tree) — only the gating decision uses the latency
-//! form, so costs above a Gather remain comparable to serial plans.
+//! **The degree of parallelism is a cost decision, re-made on every
+//! re-optimization.** For each candidate region the pass models the
+//! latency at every k up to `OptimizerConfig::threads` — serial work
+//! divided by `k · parallel_efficiency`, plus per-worker startup,
+//! per-morsel dispatch and per-row exchange overhead — and picks the
+//! argmin. k is additionally capped by the estimated morsel count of the
+//! region's driving scan (`driving rows / morsel_rows`, floored at 2):
+//! more workers than morsels cannot help. Because the driving
+//! cardinality is re-estimated from CHECK feedback after a violation,
+//! re-planning naturally *widens* the region when the observed input is
+//! larger than estimated, *narrows* it when smaller, and *drops* it
+//! entirely when the region no longer clears `min_parallel_rows` or the
+//! latency gate. Plan `cost` stays total work (monotone up the tree) —
+//! only the DOP decision uses the latency form, so costs above a Gather
+//! remain comparable to serial plans.
 
 use crate::OptimizerContext;
 use pop_plan::{AggFunc, CostModel, Partitioning, PhysNode, PlanProps, TableSet, ValidityRange};
@@ -49,32 +64,59 @@ pub fn parallelize(plan: PhysNode, ctx: &OptimizerContext<'_>) -> PhysNode {
         return plan;
     }
     let pass = Pass {
-        k,
+        threads: k,
         min_rows: ctx.config.min_parallel_rows,
+        morsel_rows: ctx.config.morsel_rows.max(1.0),
         cost: ctx.cost,
     };
     pass.descend(plan)
 }
 
 struct Pass<'a> {
-    k: usize,
+    threads: usize,
     min_rows: f64,
+    morsel_rows: f64,
     cost: &'a CostModel,
 }
 
 impl Pass<'_> {
-    /// Modeled wall-clock of running `serial_cost` work across k
-    /// partitions, with `exchanged_rows` crossing a gather/exchange edge.
-    fn latency(&self, serial_cost: f64, exchanged_rows: f64) -> f64 {
-        let k = self.k as f64;
-        serial_cost / (k * self.cost.parallel_efficiency)
-            + k * self.cost.parallel_startup
+    /// Modeled wall-clock of running `serial_cost` work across `k`
+    /// workers over `morsels` morsels, with `exchanged_rows` crossing a
+    /// gather/exchange edge.
+    fn latency(&self, k: usize, serial_cost: f64, exchanged_rows: f64, morsels: f64) -> f64 {
+        serial_cost / (k as f64 * self.cost.parallel_efficiency)
+            + k as f64 * self.cost.parallel_startup
+            + morsels * self.cost.morsel_overhead
             + exchanged_rows * self.cost.exchange_row
     }
 
-    /// Should a region with these estimates be formed at all?
-    fn worthwhile(&self, serial_cost: f64, card: f64, exchanged_rows: f64) -> bool {
-        card >= self.min_rows && self.latency(serial_cost, exchanged_rows) < serial_cost
+    /// Pick the degree of parallelism for a candidate region, or `None`
+    /// when it should stay serial. `driving_rows` is the estimated
+    /// cardinality of the region's driving scan: the DOP is capped by its
+    /// morsel count (floored at 2 so marginal regions still parallelize
+    /// and can widen later), and re-estimating it from CHECK feedback is
+    /// what lets re-optimization revise the DOP.
+    fn choose_dop(
+        &self,
+        serial_cost: f64,
+        card: f64,
+        exchanged_rows: f64,
+        driving_rows: f64,
+    ) -> Option<usize> {
+        if card < self.min_rows {
+            return None;
+        }
+        let morsels = (driving_rows / self.morsel_rows).ceil().max(1.0);
+        let cap = self.threads.min((morsels as usize).max(2));
+        let mut best: Option<(usize, f64)> = None;
+        for k in 2..=cap {
+            let l = self.latency(k, serial_cost, exchanged_rows, morsels);
+            if best.is_none_or(|(_, bl)| l < bl) {
+                best = Some((k, l));
+            }
+        }
+        let (k, l) = best?;
+        (l < serial_cost).then_some(k)
     }
 
     /// Walk down from the root through nodes that must stay serial
@@ -88,15 +130,18 @@ impl Pass<'_> {
             props,
         } = node
         {
-            if !group_by.is_empty()
-                && region_safe(&input)
-                && self.worthwhile(
-                    props.cost,
-                    input.props().card,
-                    input.props().card + props.card,
-                )
-            {
-                return self.wrap_agg(*input, group_by, aggs, props);
+            let dop = (!group_by.is_empty() && region_safe(&input))
+                .then(|| {
+                    self.choose_dop(
+                        props.cost,
+                        input.props().card,
+                        input.props().card + props.card,
+                        driving_rows(&input),
+                    )
+                })
+                .flatten();
+            if let Some(k) = dop {
+                return self.wrap_agg(*input, group_by, aggs, props, k);
             }
             // Not taken as shape B — a shape-A region may still fit below.
             let before = input.props().cost;
@@ -115,8 +160,10 @@ impl Pass<'_> {
         // Shape A: the whole subtree is an order-preserving pipeline.
         if region_safe(&node) {
             let props = node.props();
-            if self.worthwhile(props.cost, props.card, props.card) {
-                return self.wrap_pipeline(node);
+            if let Some(k) =
+                self.choose_dop(props.cost, props.card, props.card, driving_rows(&node))
+            {
+                return self.wrap_pipeline(node, k);
             }
             return node;
         }
@@ -139,15 +186,16 @@ impl Pass<'_> {
     }
 
     /// Shape A: mark the spine partitioned, wrap in a Gather.
-    fn wrap_pipeline(&self, mut region: PhysNode) -> PhysNode {
-        mark_region(&mut region, &Partitioning::Range(self.k));
+    fn wrap_pipeline(&self, mut region: PhysNode, k: usize) -> PhysNode {
+        let part = stage_partitioning(&region, k);
+        mark_region(&mut region, &part);
         let mut props = region.props().clone();
         props.cost += props.card * self.cost.exchange_row;
         props.partitioning = Partitioning::Single;
         props.edge_ranges = vec![ValidityRange::unbounded()];
         PhysNode::Gather {
             input: Box::new(region),
-            parts: self.k,
+            parts: k,
             props,
         }
     }
@@ -159,11 +207,13 @@ impl Pass<'_> {
         group_by: Vec<ColId>,
         aggs: Vec<AggFunc>,
         agg_props: PlanProps,
+        k: usize,
     ) -> PhysNode {
-        mark_region(&mut input, &Partitioning::Range(self.k));
+        let part = stage_partitioning(&input, k);
+        mark_region(&mut input, &part);
         let mut xprops = input.props().clone();
         xprops.cost += xprops.card * self.cost.exchange_row;
-        xprops.partitioning = Partitioning::Hash(group_by.clone(), self.k);
+        xprops.partitioning = Partitioning::Hash(group_by.clone(), k);
         xprops.edge_ranges = vec![ValidityRange::unbounded()];
         // Hash routing scrambles arrival order; per-consumer replay is
         // deterministic but not the serial order.
@@ -171,12 +221,12 @@ impl Pass<'_> {
         let exchange = PhysNode::Exchange {
             input: Box::new(input),
             keys: group_by.clone(),
-            parts: self.k,
+            parts: k,
             props: xprops,
         };
         let mut aprops = agg_props;
         aprops.cost += exchange.props().card * self.cost.exchange_row;
-        aprops.partitioning = Partitioning::Hash(group_by.clone(), self.k);
+        aprops.partitioning = Partitioning::Hash(group_by.clone(), k);
         aprops.sorted_by = None;
         let agg = PhysNode::HashAgg {
             input: Box::new(exchange),
@@ -190,9 +240,57 @@ impl Pass<'_> {
         gprops.edge_ranges = vec![ValidityRange::unbounded()];
         PhysNode::Gather {
             input: Box::new(agg),
-            parts: self.k,
+            parts: k,
             props: gprops,
         }
+    }
+}
+
+/// Estimated cardinality of the spine's driving scan — the row stream the
+/// morsel scheduler decomposes. This is the quantity CHECK feedback
+/// revises, so it is what the DOP cap keys on.
+fn driving_rows(node: &PhysNode) -> f64 {
+    match node {
+        PhysNode::Hsjn { probe, .. } => driving_rows(probe),
+        PhysNode::Nljn { outer, .. } => driving_rows(outer),
+        PhysNode::SemiProbe { input, .. }
+        | PhysNode::Project { input, .. }
+        | PhysNode::Having { input, .. }
+        | PhysNode::Check { input, .. }
+        | PhysNode::Temp { input, .. } => driving_rows(input),
+        _ => node.props().card,
+    }
+}
+
+/// Morsel mode unless some spine CHECK needs the fixed-chain fold
+/// rendezvous (a check above a materialization point evaluates once
+/// against the exact count, at a rendezvous of *all* chains of the stage
+/// — which presumes a fixed chain count, not a dynamic morsel pool).
+fn stage_partitioning(spine: &PhysNode, k: usize) -> Partitioning {
+    let mut needs_fixed = false;
+    let mut cur = spine;
+    loop {
+        cur = match cur {
+            PhysNode::Check { input, .. } => {
+                needs_fixed |= matches!(
+                    input.as_ref(),
+                    PhysNode::Sort { .. } | PhysNode::Temp { .. } | PhysNode::MvScan { .. }
+                );
+                input
+            }
+            PhysNode::Hsjn { probe, .. } => probe,
+            PhysNode::Nljn { outer, .. } => outer,
+            PhysNode::SemiProbe { input, .. }
+            | PhysNode::Project { input, .. }
+            | PhysNode::Having { input, .. }
+            | PhysNode::Temp { input, .. } => input,
+            _ => break,
+        };
+    }
+    if needs_fixed {
+        Partitioning::Range(k)
+    } else {
+        Partitioning::Morsel(k)
     }
 }
 
@@ -386,8 +484,9 @@ mod tests {
         };
         let cost = CostModel::default();
         let pass = Pass {
-            k: 4,
+            threads: 4,
             min_rows: 0.0,
+            morsel_rows: 16384.0,
             cost: &cost,
         };
         let out = pass.descend(plan);
@@ -399,7 +498,9 @@ mod tests {
             panic!("expected check under gather");
         };
         assert!(spec.fold, "spine check not fold-registered");
-        assert_eq!(input.props().partitioning, Partitioning::Range(4));
+        // A check over a plain scan needs no fixed-chain rendezvous, so
+        // the stage runs morsel-driven.
+        assert_eq!(input.props().partitioning, Partitioning::Morsel(4));
     }
 
     #[test]
@@ -450,8 +551,9 @@ mod tests {
         };
         let cost = CostModel::default();
         let pass = Pass {
-            k: 4,
+            threads: 4,
             min_rows: 0.0,
+            morsel_rows: 16384.0,
             cost: &cost,
         };
         let out = pass.descend(plan);

@@ -79,6 +79,12 @@ pub struct CostModel {
     /// `robustness_penalty`: the modeled latency of a region at `k`
     /// partitions is `serial / (k * parallel_efficiency) + k * parallel_startup`.
     pub parallel_efficiency: f64,
+    /// Fixed cost of dispatching one morsel (claiming it from the shared
+    /// queue plus instantiating the chain over its row range).
+    /// Planning-only latency input, charged once per modeled morsel when
+    /// the parallelize pass picks a degree of parallelism; the runtime
+    /// does not charge it.
+    pub morsel_overhead: f64,
 }
 
 impl Default for CostModel {
@@ -103,6 +109,7 @@ impl Default for CostModel {
             exchange_row: 0.05,
             parallel_startup: 50.0,
             parallel_efficiency: 0.85,
+            morsel_overhead: 2.0,
         }
     }
 }

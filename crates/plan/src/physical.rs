@@ -59,6 +59,13 @@ pub enum Partitioning {
     /// order, which is what makes parallel execution thread-count
     /// invariant (see DESIGN.md §12).
     Range(usize),
+    /// Morsel-driven execution at degree `k`: the driving scan is split
+    /// into many batch-sized contiguous morsels on a shared work queue and
+    /// `k` work-stealing workers claim them dynamically. Output is merged
+    /// in morsel order, so like `Range` it reproduces the serial row order
+    /// exactly — but load balances, and `k` is a *plan property* the
+    /// re-planner revises from CHECK feedback (see DESIGN.md §13).
+    Morsel(usize),
     /// `k` partitions formed by hashing the given key columns — the
     /// distribution produced by a [`PhysNode::Exchange`].
     Hash(Vec<ColId>, usize),
@@ -69,7 +76,7 @@ impl Partitioning {
     pub fn parts(&self) -> usize {
         match self {
             Partitioning::Single => 1,
-            Partitioning::Range(k) | Partitioning::Hash(_, k) => *k,
+            Partitioning::Range(k) | Partitioning::Morsel(k) | Partitioning::Hash(_, k) => *k,
         }
     }
 
@@ -84,6 +91,7 @@ impl std::fmt::Display for Partitioning {
         match self {
             Partitioning::Single => write!(f, "single"),
             Partitioning::Range(k) => write!(f, "range({k})"),
+            Partitioning::Morsel(k) => write!(f, "morsel({k})"),
             Partitioning::Hash(keys, k) => write!(f, "hash({} keys,{k})", keys.len()),
         }
     }

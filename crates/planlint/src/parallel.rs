@@ -332,4 +332,23 @@ mod tests {
         let diags = lint_plan(&plan, &LintContext::bare());
         assert!(diags.is_empty(), "{diags:?}");
     }
+
+    #[test]
+    fn morsel_region_is_clean() {
+        // A morsel-marked region is as well-formed as a range-marked one:
+        // the rules key on `parts()`/`is_partitioned()`, not the variant.
+        let mut n = leaf(0, "t", 2, 100.0);
+        n.props_mut().partitioning = Partitioning::Morsel(4);
+        let plan = gather(n, 4);
+        let diags = lint_plan(&plan, &LintContext::bare());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn pl304_morsel_partition_count_mismatch() {
+        let mut n = leaf(0, "t", 2, 100.0);
+        n.props_mut().partitioning = Partitioning::Morsel(2);
+        let plan = gather(n, 4);
+        assert!(codes(&lint_plan(&plan, &LintContext::bare())).contains(&"PL304"));
+    }
 }

@@ -1,0 +1,167 @@
+//! The degree of parallelism is a plan property, re-decided on every
+//! re-optimization: CHECK violations feed observed cardinalities back
+//! into the parallelize pass, which may **widen** a region (input much
+//! larger than estimated — more morsels to go around), **narrow** it, or
+//! **drop** it entirely (input so small the parallel overhead no longer
+//! pays). These tests pin both directions end to end: the violation is
+//! raised inside the running region, workers quiesce at morsel
+//! boundaries, and the re-planned step shows a different `GATHER` (or
+//! none) in the run report.
+
+use pop::{PopConfig, PopExecutor, StatsRegistry, ValidityMode};
+use pop_expr::{Expr, Params};
+use pop_plan::QueryBuilder;
+use pop_storage::{Catalog, IndexKind};
+use pop_types::{DataType, Schema, Value};
+
+/// `GATHER parts=k` of the first Gather in a rendered plan, if any.
+fn gather_parts(plan: &str) -> Option<usize> {
+    let at = plan.find("GATHER parts=")?;
+    let rest = &plan[at + "GATHER parts=".len()..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+fn parallel_config(threads: usize) -> PopConfig {
+    let mut cfg = PopConfig::default();
+    cfg.optimizer.threads = threads;
+    cfg.optimizer.min_parallel_rows = 0.0;
+    cfg
+}
+
+/// Stale statistics hide 50x growth of the probe input: the initial plan
+/// parallelizes at the floor DOP (the estimated input is a single
+/// morsel), the spill check fires mid-region, and the re-planned region
+/// — now sized from the observed cardinality — runs wider.
+#[test]
+fn violation_widens_region_dop() {
+    let cat = Catalog::new();
+    cat.create_table(
+        "users",
+        Schema::from_pairs(&[("uid", DataType::Int), ("segment", DataType::Int)]),
+        (0..2000)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 50)])
+            .collect(),
+    )
+    .unwrap();
+    cat.create_table(
+        "events",
+        Schema::from_pairs(&[("eid", DataType::Int), ("uid", DataType::Int)]),
+        (0..500)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 500)])
+            .collect(),
+    )
+    .unwrap();
+    cat.create_index("events", "uid", IndexKind::Hash).unwrap();
+    cat.create_index("users", "uid", IndexKind::Hash).unwrap();
+    let stats = StatsRegistry::new();
+    stats.analyze_all(&cat).unwrap();
+    // 200x growth after RUNSTATS: reality is ~100k events.
+    let events = cat.table("events").unwrap();
+    events
+        .insert(
+            (500..100_500)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 2000)])
+                .collect(),
+        )
+        .unwrap();
+    cat.refresh_indexes("events").unwrap();
+
+    let mut cfg = parallel_config(4);
+    // Generous validity ranges: the build-side check tolerates up to
+    // 100x the estimate before tripping, so when it does trip the
+    // `AtLeast(hi+1)` observation it feeds back is itself large enough
+    // to justify more morsels (a tight range would saturate the
+    // feedback at a cardinality too small to widen the region).
+    cfg.optimizer.validity_mode = ValidityMode::FixedFactor(100.0);
+    let exec = PopExecutor::with_stats(cat, stats, cfg);
+    let mut b = QueryBuilder::new();
+    let u = b.table("users");
+    let e = b.table("events");
+    b.join(u, 0, e, 1);
+    b.project(&[(u, 0), (e, 0)]);
+    let q = b.build().unwrap();
+
+    let res = exec.run(&q, &Params::none()).unwrap();
+    assert_eq!(res.rows.len(), 100_500, "every event joins one user");
+    assert!(
+        res.report.reopt_count >= 1,
+        "stale stats should trip a checkpoint:\n{}",
+        res.report.summary()
+    );
+    let first = gather_parts(&res.report.steps[0].plan);
+    let last = gather_parts(&res.report.steps.last().unwrap().plan);
+    match (first, last) {
+        (Some(a), Some(b)) => assert!(
+            b > a,
+            "expected the re-planned region to widen, got {a} -> {b}:\n{}",
+            res.report.summary()
+        ),
+        (None, Some(_)) => {} // serial -> parallel: an even stronger widen
+        other => panic!(
+            "expected a widened region, got {other:?}:\n{}",
+            res.report.summary()
+        ),
+    }
+}
+
+/// The optimizer over-estimates a skewed filter 20x (uniform-distinct
+/// heuristic); the region's folded scan CHECK under-runs its validity
+/// range, and the re-planned query — now knowing the input is tiny —
+/// drops the parallel region entirely.
+#[test]
+fn violation_drops_region_dop() {
+    let cat = Catalog::new();
+    cat.create_table(
+        "customer",
+        Schema::from_pairs(&[("cid", DataType::Int), ("flag", DataType::Int)]),
+        // Two distinct flag values, but 1 covers only 2.5% of rows: the
+        // 1/distinct estimate says 10 000, reality says 500.
+        (0..20_000)
+            .map(|i| vec![Value::Int(i), Value::Int(i64::from(i % 40 == 0))])
+            .collect(),
+    )
+    .unwrap();
+    cat.create_table(
+        "orders",
+        Schema::from_pairs(&[("oid", DataType::Int), ("cust", DataType::Int)]),
+        (0..30_000)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 20_000)])
+            .collect(),
+    )
+    .unwrap();
+    cat.create_index("orders", "cust", IndexKind::Hash).unwrap();
+    cat.create_index("customer", "cid", IndexKind::Hash)
+        .unwrap();
+
+    let mut cfg = parallel_config(4);
+    cfg.optimizer.min_parallel_rows = 1000.0;
+    cfg.optimizer.validity_mode = ValidityMode::FixedFactor(2.0);
+    let exec = PopExecutor::new(cat, cfg).unwrap();
+    let mut b = QueryBuilder::new();
+    let c = b.table("customer");
+    let o = b.table("orders");
+    b.join(c, 0, o, 1);
+    b.filter(c, Expr::col(c, 1).eq(Expr::lit(1i64)));
+    b.project(&[(c, 0), (o, 0)]);
+    let q = b.build().unwrap();
+
+    let res = exec.run(&q, &Params::none()).unwrap();
+    // 500 matching customers x 1.5 orders each.
+    assert_eq!(res.rows.len(), 750, "wrong join result");
+    assert!(
+        res.report.reopt_count >= 1,
+        "the under-run should trip the folded scan check:\n{}",
+        res.report.summary()
+    );
+    assert!(
+        gather_parts(&res.report.steps[0].plan).is_some(),
+        "initial plan should parallelize:\n{}",
+        res.report.steps[0].plan
+    );
+    let last = &res.report.steps.last().unwrap().plan;
+    assert!(
+        gather_parts(last).is_none(),
+        "re-planned query should drop the region:\n{last}"
+    );
+}

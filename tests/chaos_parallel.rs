@@ -226,6 +226,71 @@ fn parallel_cancellation_quiesces_cleanly() {
     assert_eq!(sorted(res.rows), expected, "live-token rows diverge");
 }
 
+/// A storage fault mid-morsel, under a work-stealing pool: tiny morsels
+/// force every region into a many-morsel schedule where workers race and
+/// steal across home spans, and each task's cloned injector arms the
+/// fault inside the morsel chain — so the raise happens mid-task,
+/// between morsel boundaries, on whichever worker (owner or thief) runs
+/// it. The quiesce and raiser-selection invariants must hold regardless:
+/// typed errors or exact baseline rows, no temp-MV leaks, and a
+/// schedule-independent outcome across repeated runs.
+#[test]
+fn parallel_chaos_fault_mid_morsel_under_stealing() {
+    let (cat, queries) = tpch_workload();
+    let base = baselines(&cat, &queries);
+    // Preflight, no faults: this workload at this morsel size must run
+    // morsel-driven regions with more morsels than workers — otherwise
+    // the sweep below exercises nothing mid-morsel.
+    let mut preflight = parallel_config();
+    preflight.morsel_size = 16;
+    let exec = PopExecutor::new(cat.clone(), preflight).unwrap();
+    let morsel_regions: usize = queries
+        .iter()
+        .map(|(name, q)| {
+            let res = exec
+                .run(q, &Params::none())
+                .unwrap_or_else(|e| panic!("{name} preflight failed: {e}"));
+            res.report
+                .steps
+                .iter()
+                .flat_map(|s| s.parallel.iter())
+                .filter(|d| d.mode == pop::RegionMode::Morsel && d.morsels > d.dop)
+                .count()
+        })
+        .sum();
+    assert!(morsel_regions > 0, "no query ran a morsel-driven region");
+    for at in 0..SWEEP_DEPTH {
+        let mut config = PopConfig {
+            faults: Some(FaultPlan::single(FaultKind::StorageRead, at)),
+            ..parallel_config()
+        };
+        config.morsel_size = 16; // many morsels per worker: steals happen
+        let exec = PopExecutor::new(cat.clone(), config.clone()).unwrap();
+        for ((name, q), expected) in queries.iter().zip(&base) {
+            let what = format!("{name} x{THREADS} morsel16 storage-read@{at}");
+            let fingerprint = |e: &PopExecutor| match e.run(q, &Params::none()) {
+                Ok(res) => format!(
+                    "ok rows={:?} reopts={}",
+                    sorted(res.rows),
+                    res.report.reopt_count
+                ),
+                Err(e) => format!("err {e}"),
+            };
+            let a = fingerprint(&exec);
+            match exec.run(q, &Params::none()) {
+                Ok(res) => assert_eq!(sorted(res.rows), *expected, "{what}: wrong rows"),
+                Err(e) => assert!(
+                    matches!(e, PopError::Execution(_) | PopError::Planning(_)),
+                    "{what}: unexpected error kind: {e}"
+                ),
+            }
+            assert_eq!(exec.catalog().temp_mv_count(), 0, "{what}: leaked temp MV");
+            let b = fingerprint(&PopExecutor::new(cat.clone(), config.clone()).unwrap());
+            assert_eq!(a, b, "{what}: outcome depends on the schedule");
+        }
+    }
+}
+
 /// A tight work budget trips mid-region (workers publish their work to
 /// the shared governor ledger); the abort must be typed and leak-free.
 #[test]

@@ -344,6 +344,68 @@ fn tpch_suite_is_thread_count_invariant() {
     assert_thread_invariant(|| tpch_catalog(TPCH_SF).unwrap(), queries, "tpch");
 }
 
+/// Morsel boundaries, like batch boundaries, must carry no semantics:
+/// any morsel size at any thread count reproduces the serial run's rows,
+/// step sequence and check events exactly. `1` degenerates to one chain
+/// per input row — the worst case for scheduling-order bugs.
+const MORSEL_SIZES: [usize; 4] = [1, 7, 64, 1024];
+
+fn run_workload_morsels(
+    catalog: Catalog,
+    queries: &[(String, pop::QuerySpec)],
+    morsel_size: usize,
+    threads: usize,
+) -> Vec<(Vec<Vec<Value>>, RunReport)> {
+    let mut cfg = config_with_threads(1024, threads);
+    cfg.morsel_size = morsel_size;
+    let exec = PopExecutor::new(catalog, cfg).unwrap();
+    queries
+        .iter()
+        .map(|(name, q)| {
+            let res = exec.run(q, &Params::none()).unwrap_or_else(|e| {
+                panic!("{name} @ morsel {morsel_size} threads {threads} failed: {e}")
+            });
+            let mut rows = res.rows;
+            rows.sort();
+            (rows, res.report)
+        })
+        .collect()
+}
+
+#[test]
+fn tpch_suite_is_morsel_size_invariant() {
+    let queries: Vec<(String, pop::QuerySpec)> = all_queries()
+        .into_iter()
+        .map(|(name, spec)| (name.to_string(), spec))
+        .collect();
+    let reference = run_workload_morsels(tpch_catalog(TPCH_SF).unwrap(), &queries, 1024, 1);
+    for ms in MORSEL_SIZES {
+        for threads in [1usize, 2, 4, 8] {
+            let got = run_workload_morsels(tpch_catalog(TPCH_SF).unwrap(), &queries, ms, threads);
+            for (((rows_ref, rep_ref), (rows, rep)), (name, _)) in
+                reference.iter().zip(got.iter()).zip(queries.iter())
+            {
+                let what = format!("tpch/{name} @ morsel {ms} threads {threads}");
+                assert_eq!(rows_ref, rows, "{what}: row multiset differs from serial");
+                assert_eq!(
+                    rep_ref.steps.len(),
+                    rep.steps.len(),
+                    "{what}: step count differs"
+                );
+                assert_eq!(
+                    rep_ref.reopt_count, rep.reopt_count,
+                    "{what}: reopt count differs"
+                );
+                assert_eq!(
+                    stable_summary(rep_ref),
+                    stable_summary(rep),
+                    "{what}: check events differ"
+                );
+            }
+        }
+    }
+}
+
 /// Parallel plans must actually form on this workload — otherwise the
 /// invariance suite silently degenerates into serial-vs-serial.
 #[test]
@@ -354,6 +416,47 @@ fn parallel_regions_actually_form() {
         plan.to_string().contains("GATHER"),
         "no parallel region in:\n{plan}"
     );
+}
+
+/// Every executed parallel region surfaces its scheduling diagnostics on
+/// the step report: degree of parallelism, mode, morsel count and
+/// per-worker morsel/steal/wait/compute figures. At least one TPC-H
+/// region must actually run morsel-driven (many morsels, work-stealing
+/// pool); regions whose CHECK needs the fixed-chain rendezvous stay
+/// `Range`.
+#[test]
+fn parallel_regions_report_morsel_diagnostics() {
+    let mut cfg = config_with_threads(1024, 4);
+    cfg.morsel_size = 64; // small morsels: many per worker
+    let exec = PopExecutor::new(tpch_catalog(TPCH_SF).unwrap(), cfg).unwrap();
+    let mut morsel_regions = 0usize;
+    let mut summary_seen = false;
+    for (name, q) in all_queries() {
+        let res = exec
+            .run(&q, &Params::none())
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        for d in res.report.steps.iter().flat_map(|s| s.parallel.iter()) {
+            assert!(
+                d.dop >= 2,
+                "{name}: diag on a serial region: {}",
+                d.summary()
+            );
+            assert!(!d.workers.is_empty(), "{name}: no worker diags");
+            let claimed: u64 = d.workers.iter().map(|w| w.morsels).sum();
+            assert!(
+                claimed >= d.morsels as u64,
+                "{name}: workers claimed {claimed} of {} morsels: {}",
+                d.morsels,
+                d.summary()
+            );
+            if d.mode == pop::RegionMode::Morsel && d.morsels > d.dop {
+                morsel_regions += 1;
+            }
+        }
+        summary_seen |= res.report.summary().contains("parallel: dop=");
+    }
+    assert!(morsel_regions > 0, "no region ran morsel-driven");
+    assert!(summary_seen, "region diagnostics missing from the summary");
 }
 
 /// The ECDC mid-batch violation scenario, under a parallel region: the
