@@ -171,7 +171,7 @@ fn main() {
     } else {
         (0.05, 0.01, 5)
     };
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let assertion_ran = assert_floor && cores >= THREADS;
     // On a narrow box the 4-way number is meaningless; record what the
     // host can actually run so the JSON stays actionable on small CI.

@@ -102,7 +102,7 @@ fn run(which: &str) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("all");
+    let which = args.first().map_or("all", String::as_str);
     if which == "all" {
         for name in [
             "fig11",

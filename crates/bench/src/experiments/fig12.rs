@@ -95,8 +95,14 @@ pub fn run() -> PopResult<Fig12> {
             cfg.force_reopt_at = Some(*id);
             let exec = crate::experiments::tpch_executor(cfg.clone())?;
             let res = exec.run(q, &Params::none())?;
-            let before = res.report.steps.first().map(|s| s.work()).unwrap_or(0.0);
-            let after: f64 = res.report.steps.iter().skip(1).map(|s| s.work()).sum();
+            let before = res.report.steps.first().map_or(0.0, pop::StepReport::work);
+            let after: f64 = res
+                .report
+                .steps
+                .iter()
+                .skip(1)
+                .map(pop::StepReport::work)
+                .sum();
             bars.push(Fig12Bar {
                 query: name.to_string(),
                 checkpoint: ["a", "b"][k].to_string(),

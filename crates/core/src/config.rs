@@ -60,6 +60,13 @@ pub struct PopConfig {
     /// executor (initial and re-optimized) is linted against structural
     /// invariants first. See [`LintMode`].
     pub lint: LintMode,
+    /// Risk threshold of the planlint interval analyses: how far a
+    /// node's provable cardinality interval must escape an edge's
+    /// validity range (worst-case ratio) before the edge counts as risky
+    /// for the `PL411` coverage proof and the robustness certificate.
+    /// `1.0` (the default) reports any provable escape; overridable with
+    /// the `POP_LINT_RISK_THRESHOLD` environment variable.
+    pub lint_risk_threshold: f64,
     /// Rows per execution batch. Batch boundaries carry no semantics —
     /// `1` reproduces classic row-at-a-time Volcano execution — so this
     /// only trades per-call overhead against read-ahead granularity.
@@ -117,6 +124,18 @@ fn threads_from_env(warnings: &mut Vec<String>) -> usize {
     pop_guard::env_parsed("POP_THREADS", |n: &usize| *n > 0, warnings).unwrap_or(1)
 }
 
+/// Lint risk threshold from `POP_LINT_RISK_THRESHOLD`. Values below 1.0
+/// (or non-finite) fall back — recording a warning — since a threshold
+/// under 1.0 is meaningless (no escape factor is below 1.0).
+fn lint_risk_threshold_from_env(warnings: &mut Vec<String>) -> f64 {
+    pop_guard::env_parsed(
+        "POP_LINT_RISK_THRESHOLD",
+        |t: &f64| t.is_finite() && *t >= 1.0,
+        warnings,
+    )
+    .unwrap_or(pop_planlint::DEFAULT_RISK_THRESHOLD)
+}
+
 impl Default for PopConfig {
     fn default() -> Self {
         let mut env_warnings = Vec::new();
@@ -124,6 +143,7 @@ impl Default for PopConfig {
         let morsel_size = morsel_size_from_env(&mut env_warnings);
         let budget = Budget::from_env(&mut env_warnings);
         let faults = FaultPlan::from_env(&mut env_warnings);
+        let lint_risk_threshold = lint_risk_threshold_from_env(&mut env_warnings);
         let optimizer = OptimizerConfig {
             threads: threads_from_env(&mut env_warnings),
             ..OptimizerConfig::default()
@@ -138,6 +158,7 @@ impl Default for PopConfig {
             observe_only: false,
             learn_across_queries: false,
             lint: LintMode::default(),
+            lint_risk_threshold,
             batch_size,
             morsel_size,
             budget,

@@ -15,6 +15,15 @@ use pop_types::{ColumnDef, PopError, PopResult, Rid, Row, Schema};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Result of statically vetting one plan: the rendered Warn-severity
+/// findings plus the robustness certificate of the plan's safety net.
+/// Both empty/absent when the lint mode is [`LintMode::Off`].
+#[derive(Debug, Default)]
+struct Vetting {
+    warnings: Vec<String>,
+    certificate: Option<pop_planlint::RobustnessCertificate>,
+}
+
 /// RAII guard for the query-scoped temporary MVs (§2.3): dropping it
 /// clears them from the catalog, so *every* exit path — completion,
 /// typed error, injected fault, even a panic unwinding through the
@@ -212,10 +221,10 @@ impl PopExecutor {
                 Some(params),
                 feedback,
             );
-            let (plan, lint_warnings) = match self.plan_step(spec, &octx, ctx) {
-                Ok((bare, plan, lint_warnings)) => {
+            let (plan, vetting) = match self.plan_step(spec, &octx, ctx) {
+                Ok((bare, plan, vetting)) => {
                     fallback = Some(bare);
-                    (plan, lint_warnings)
+                    (plan, vetting)
                 }
                 // Graceful degradation: a query that already has a working
                 // plan should not abort because *re*-planning failed
@@ -232,7 +241,7 @@ impl PopExecutor {
                         ctx.checks_enabled = false;
                         // The fallback was vetted when it first ran; the
                         // only new node is the compensation wrapper.
-                        (wrap_compensation(prev, ctx), Vec::new())
+                        (wrap_compensation(prev, ctx), Vetting::default())
                     }
                     _ => return Err(e),
                 },
@@ -259,7 +268,8 @@ impl PopExecutor {
                 rows_emitted: outcome.rows().len(),
                 batches_emitted: (ctx.batches_emitted - batches_start) as usize,
                 parallel: std::mem::take(&mut ctx.region_diags),
-                lint_warnings,
+                lint_warnings: vetting.warnings,
+                certificate: vetting.certificate,
             };
             match outcome {
                 RunOutcome::Complete { rows } => {
@@ -335,7 +345,7 @@ impl PopExecutor {
         spec: &QuerySpec,
         octx: &OptimizerContext<'_>,
         ctx: &mut ExecCtx,
-    ) -> PopResult<(PhysNode, PhysNode, Vec<String>)> {
+    ) -> PopResult<(PhysNode, PhysNode, Vetting)> {
         if let Some(inj) = ctx.faults.as_mut() {
             if let Some(err) = inj.optimizer_fail() {
                 return Err(err);
@@ -343,17 +353,18 @@ impl PopExecutor {
         }
         let bare = optimize(spec, octx)?;
         let plan = wrap_compensation(bare.clone(), ctx);
-        let lint_warnings = self.vet_plan(&plan, spec)?;
-        Ok((bare, plan, lint_warnings))
+        let vetting = self.vet_plan(&plan, spec)?;
+        Ok((bare, plan, vetting))
     }
 
     /// Statically verify a plan before execution (the `pop-planlint`
-    /// gate). Returns the findings to surface as step-report warnings;
-    /// under [`LintMode::Enforce`], a Deny-severity finding rejects the
-    /// plan with [`PopError::InvalidPlan`].
-    fn vet_plan(&self, plan: &PhysNode, spec: &QuerySpec) -> PopResult<Vec<String>> {
+    /// gate). Returns the findings to surface as step-report warnings
+    /// together with the plan's robustness certificate; under
+    /// [`LintMode::Enforce`], a Deny-severity finding rejects the plan
+    /// with [`PopError::InvalidPlan`].
+    fn vet_plan(&self, plan: &PhysNode, spec: &QuerySpec) -> PopResult<Vetting> {
         if self.config.lint == LintMode::Off {
-            return Ok(Vec::new());
+            return Ok(Vetting::default());
         }
         // With LC checks on, the placement pass guards every
         // materialization point, so an unguarded one is suspect.
@@ -371,12 +382,17 @@ impl PopExecutor {
         }
         let lctx = pop_planlint::LintContext::full(&self.catalog, spec)
             .expect_check_coverage(expect_coverage)
-            .with_cleanups(&cleanups);
+            .with_cleanups(&cleanups)
+            .with_stats(&self.stats)
+            .risk_threshold(self.config.lint_risk_threshold);
         let diags = pop_planlint::lint_plan(plan, &lctx);
         if self.config.lint == LintMode::Enforce && pop_planlint::has_deny(&diags) {
             return Err(PopError::InvalidPlan(pop_planlint::deny_summary(&diags)));
         }
-        Ok(diags.iter().map(|d| d.to_string()).collect())
+        Ok(Vetting {
+            warnings: diags.iter().map(std::string::ToString::to_string).collect(),
+            certificate: Some(pop_planlint::certify(plan, &lctx)),
+        })
     }
 
     /// Optimize without executing; returns the physical plan the driver
@@ -410,7 +426,7 @@ impl PopExecutor {
         params: &pop_expr::Params,
     ) -> PopResult<QueryResult> {
         spec.validate()?;
-        let lint_warnings = self.vet_plan(plan, spec)?;
+        let vetting = self.vet_plan(plan, spec)?;
         let mut ctx = ExecCtx::new(
             self.catalog.clone(),
             params.clone(),
@@ -447,7 +463,8 @@ impl PopExecutor {
             rows_emitted: collected.len(),
             batches_emitted: ctx.batches_emitted as usize,
             parallel: std::mem::take(&mut ctx.region_diags),
-            lint_warnings,
+            lint_warnings: vetting.warnings,
+            certificate: vetting.certificate,
         });
         report.total_work = ctx.work;
         Ok(QueryResult {
@@ -472,8 +489,7 @@ impl PopExecutor {
             .map(|t| {
                 self.catalog
                     .table(&t.table)
-                    .map(|tb| tb.schema().len())
-                    .unwrap_or(0)
+                    .map_or(0, |tb| tb.schema().len())
             })
             .collect();
         if h.layout != canonical_layout(set, &col_counts) {

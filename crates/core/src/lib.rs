@@ -82,6 +82,9 @@ pub use pop_optimizer::{
 pub use pop_plan::{
     AggFunc, CheckContext, CheckFlavor, CostModel, PhysNode, QueryBuilder, QuerySpec, ValidityRange,
 };
-pub use pop_planlint::{lint_plan, LintContext, PlanDiagnostic, Severity};
+pub use pop_planlint::{
+    certify, lint_plan, plan_intervals, CardInterval, DiagCode, LintContext, PlanDiagnostic,
+    RobustnessCertificate, Severity,
+};
 pub use pop_stats::StatsRegistry;
 pub use pop_storage::{Catalog, IndexKind};

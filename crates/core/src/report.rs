@@ -1,6 +1,7 @@
 //! Query results and execution reports.
 
 use pop_exec::{CheckEvent, RegionDiag, Violation};
+use pop_planlint::RobustnessCertificate;
 use pop_types::Row;
 
 /// One optimize-execute step of the POP loop.
@@ -35,6 +36,13 @@ pub struct StepReport {
     /// step's plan (empty when the lint mode is `Off` or the plan is
     /// clean; Deny-severity findings abort the query instead).
     pub lint_warnings: Vec<String>,
+    /// Robustness certificate of this step's plan: what the planlint
+    /// dataflow analyzer can prove about its safety net (guarded edges,
+    /// uncovered residual risk, worst-case re-optimization depth).
+    /// `None` when the lint mode is `Off`. Computed over the plan's
+    /// serial skeleton, so it is invariant across thread counts and
+    /// morsel sizes.
+    pub certificate: Option<RobustnessCertificate>,
 }
 
 impl StepReport {
@@ -74,7 +82,7 @@ impl RunReport {
 
     /// The final plan's shape.
     pub fn final_shape(&self) -> &str {
-        self.steps.last().map(|s| s.shape.as_str()).unwrap_or("")
+        self.steps.last().map_or("", |s| s.shape.as_str())
     }
 }
 
@@ -115,6 +123,9 @@ impl RunReport {
             let _ = writeln!(out, "  shape: {}", s.shape);
             for w in &s.lint_warnings {
                 let _ = writeln!(out, "  lint: {w}");
+            }
+            if let Some(c) = &s.certificate {
+                let _ = writeln!(out, "  {c}");
             }
             for d in &s.parallel {
                 let _ = writeln!(out, "  parallel: {}", d.summary());
@@ -172,6 +183,7 @@ mod tests {
             batches_emitted: 0,
             parallel: vec![],
             lint_warnings: vec![],
+            certificate: None,
         }
     }
 

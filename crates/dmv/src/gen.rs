@@ -175,9 +175,9 @@ impl DmvGen {
             (0..n_city)
                 .map(|i| {
                     vec![
-                        Value::Int(i as i64),
+                        Value::Int(i64::from(i)),
                         Value::str(format!("CITY{i:02}")),
-                        Value::Int((10000 + i * 100) as i64),
+                        Value::Int(i64::from(10000 + i * 100)),
                     ]
                 })
                 .collect(),
@@ -191,7 +191,7 @@ impl DmvGen {
         let owner_rows: Vec<Row> = (0..n_owner)
             .map(|i| {
                 let age = rng.gen_range(18..=90i64);
-                let city = rng.gen_range(0..n_city) as i64;
+                let city = i64::from(rng.gen_range(0..n_city));
                 let zip = 10000 + city * 100 + rng.gen_range(0..100i64);
                 owner_age.push(age);
                 owner_zip.push(zip);
@@ -233,7 +233,7 @@ impl DmvGen {
                     vec![
                         Value::Int(i as i64),
                         Value::str(format!("Dealer#{i:05}")),
-                        Value::Int(10000 + rng.gen_range(0..n_city as i64) * 100),
+                        Value::Int(10000 + rng.gen_range(0..i64::from(n_city)) * 100),
                         Value::Int((i % MAKES.len()) as i64),
                     ]
                 })
@@ -322,7 +322,7 @@ impl DmvGen {
                         Value::Int(i as i64),
                         Value::Int(rng.gen_range(0..n_car as i64)),
                         Value::Int(rng.gen_range(0..PROVIDERS.len() as i64)),
-                        Value::Float((rng.gen_range(40_000..300_000) as f64) / 100.0),
+                        Value::Float(f64::from(rng.gen_range(40_000..300_000)) / 100.0),
                         Value::Int(rng.gen_range(1995..=2004)),
                     ]
                 })
@@ -362,7 +362,7 @@ impl DmvGen {
                         Value::Int(rng.gen_range(0..n_car as i64)),
                         Value::Int(rng.gen_range(0..VIOLATION_TYPES.len() as i64)),
                         Value::Date(rng.gen_range(0..1825)),
-                        Value::Float((rng.gen_range(2_500..100_000) as f64) / 100.0),
+                        Value::Float(f64::from(rng.gen_range(2_500..100_000)) / 100.0),
                     ]
                 })
                 .collect(),
@@ -380,9 +380,9 @@ impl DmvGen {
             (0..n_station)
                 .map(|i| {
                     vec![
-                        Value::Int(i as i64),
+                        Value::Int(i64::from(i)),
                         Value::str(format!("Station#{i:03}")),
-                        Value::Int(10000 + rng.gen_range(0..n_city as i64) * 100),
+                        Value::Int(10000 + rng.gen_range(0..i64::from(n_city)) * 100),
                     ]
                 })
                 .collect(),
@@ -404,7 +404,7 @@ impl DmvGen {
                     vec![
                         Value::Int(i as i64),
                         Value::Int(rng.gen_range(0..n_car as i64)),
-                        Value::Int(rng.gen_range(0..n_station as i64)),
+                        Value::Int(rng.gen_range(0..i64::from(n_station))),
                         Value::Date(rng.gen_range(0..1825)),
                         Value::Bool(rng.gen_bool(0.85)),
                     ]
@@ -430,7 +430,7 @@ impl DmvGen {
                         Value::Int(rng.gen_range(0..n_car as i64)),
                         Value::Date(rng.gen_range(0..1825)),
                         Value::Int(rng.gen_range(1..=5)),
-                        Value::Int(10000 + rng.gen_range(0..n_city as i64) * 100),
+                        Value::Int(10000 + rng.gen_range(0..i64::from(n_city)) * 100),
                     ]
                 })
                 .collect(),
@@ -559,7 +559,7 @@ mod tests {
                 }
             }
         }
-        let frac = young_band0 as f64 / young_total as f64;
+        let frac = f64::from(young_band0) / f64::from(young_total);
         // Uniform would be 6/30 = 0.2; correlation pushes well above.
         assert!(frac > 0.5, "young band-0 fraction {frac}");
     }

@@ -184,7 +184,7 @@ impl ExecCtx {
     /// Release a previous reservation.
     #[inline]
     pub fn guard_release(&mut self, bytes: u64) {
-        self.guard.release(bytes)
+        self.guard.release(bytes);
     }
 
     /// Fault hook: a scan is about to read from `table`. One branch when

@@ -166,7 +166,7 @@ mod tests {
                 assert_eq!(violation.check_id, 0);
                 assert_eq!(violation.observed, crate::ObservedCard::AtLeast(8));
             }
-            other => panic!("expected suspension, got {other:?}"),
+            other @ RunOutcome::Complete { .. } => panic!("expected suspension, got {other:?}"),
         }
     }
 

@@ -204,3 +204,173 @@ mod tests {
         assert!(pool.get().is_empty()); // pool empty: fresh batch
     }
 }
+
+/// Hand-rolled concurrency model check for [`MorselQueue`] (loom/miri are
+/// unavailable in this toolchain, so the state space is explored by hand).
+///
+/// `claim` is a chain of single `fetch_add` ticket draws, one per victim
+/// span, and each draw is an atomic read-modify-write. Any concurrent
+/// execution is therefore equivalent to *some* interleaving of the
+/// individual draws, and because a ticket `m < end` is returned exactly
+/// when it is drawn, the dispenser can neither duplicate nor lose a
+/// morsel regardless of the schedule. The tests below check that claim
+/// from two directions:
+///
+/// * an exhaustive enumeration of every claim-granularity schedule for
+///   small `(total, workers)` configurations, replayed on a fresh queue
+///   per schedule (the queue has no snapshot/clone, so each path is
+///   re-executed from the root), asserting exactly-once coverage, steal
+///   flags, and stable exhaustion on every complete schedule;
+/// * a real multi-threaded stress run over larger configurations with a
+///   start barrier to maximise contention, asserting the same global
+///   invariants on the merged claim log.
+#[cfg(test)]
+mod model_check {
+    use super::MorselQueue;
+    use std::sync::{Arc, Barrier};
+
+    /// Home span of `worker` under the same split rule the queue uses.
+    fn home_span(total: usize, workers: usize, worker: usize) -> (usize, usize) {
+        let w = workers.max(1);
+        (worker * total / w, (worker + 1) * total / w)
+    }
+
+    /// Check the merged claim log of one complete schedule: every morsel
+    /// in `0..total` claimed exactly once, and each claim's steal flag
+    /// agrees with whether the morsel lies outside the claimer's home
+    /// span.
+    fn verify_claims(total: usize, workers: usize, claims: &[(usize, usize, bool)]) {
+        let mut seen = vec![0usize; total];
+        for &(worker, morsel, stolen) in claims {
+            assert!(morsel < total, "claimed out-of-range morsel {morsel}");
+            seen[morsel] += 1;
+            let (lo, hi) = home_span(total, workers, worker);
+            let own = morsel >= lo && morsel < hi;
+            assert_eq!(
+                stolen, !own,
+                "worker {worker} claimed morsel {morsel} (home span [{lo},{hi})) \
+                 with steal flag {stolen}"
+            );
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "coverage not exactly-once for total={total} workers={workers}: {seen:?}"
+        );
+    }
+
+    /// Replay `path` (a sequence of worker ids, each performing one
+    /// `claim`) on a fresh queue; returns the per-step results.
+    fn replay(total: usize, workers: usize, path: &[usize]) -> Vec<Option<(usize, bool)>> {
+        let q = MorselQueue::new(total, workers);
+        path.iter().map(|&w| q.claim(w)).collect()
+    }
+
+    /// Depth-first enumeration of all claim-granularity schedules: at each
+    /// step any worker that has not yet observed `None` may claim next. A
+    /// schedule is complete when every worker has drained to `None`.
+    fn enumerate_schedules(
+        total: usize,
+        workers: usize,
+        path: &mut Vec<usize>,
+        alive: &mut Vec<bool>,
+        schedules: &mut usize,
+    ) {
+        if alive.iter().all(|&a| !a) {
+            let results = replay(total, workers, path);
+            let claims: Vec<(usize, usize, bool)> = path
+                .iter()
+                .zip(&results)
+                .filter_map(|(&w, r)| r.map(|(m, s)| (w, m, s)))
+                .collect();
+            verify_claims(total, workers, &claims);
+            *schedules += 1;
+            return;
+        }
+        for w in 0..workers {
+            if !alive[w] {
+                continue;
+            }
+            path.push(w);
+            let drained = replay(total, workers, path).last().unwrap().is_none();
+            if drained {
+                alive[w] = false;
+            }
+            enumerate_schedules(total, workers, path, alive, schedules);
+            if drained {
+                alive[w] = true;
+            }
+            path.pop();
+        }
+    }
+
+    #[test]
+    fn morsel_claims_exactly_once_under_every_schedule() {
+        // total+workers bounds the schedule length; the largest case here
+        // explores 3^8 interior nodes with a <=8-op replay each.
+        for (total, workers) in [
+            (0, 1),
+            (0, 3),
+            (1, 2),
+            (2, 2),
+            (4, 2),
+            (2, 3),
+            (4, 3),
+            (5, 3),
+        ] {
+            let mut schedules = 0usize;
+            enumerate_schedules(
+                total,
+                workers,
+                &mut Vec::new(),
+                &mut vec![true; workers],
+                &mut schedules,
+            );
+            assert!(schedules > 0, "no complete schedule for {total}/{workers}");
+        }
+    }
+
+    #[test]
+    fn morsel_exhaustion_is_stable() {
+        // Once a worker sees None every later claim (from any worker)
+        // stays None: cursors only grow.
+        let q = MorselQueue::new(3, 2);
+        for w in 0..2 {
+            while q.claim(w).is_some() {}
+        }
+        for _ in 0..4 {
+            assert_eq!(q.claim(0), None);
+            assert_eq!(q.claim(1), None);
+        }
+    }
+
+    #[test]
+    fn morsel_stress_threads_cover_exactly_once() {
+        // Real threads, start-barrier to maximise contention. Includes
+        // workers > total (empty home spans) and an indivisible split.
+        for (total, workers) in [(64, 4), (7, 3), (3, 8), (101, 5)] {
+            for _round in 0..16 {
+                let q = Arc::new(MorselQueue::new(total, workers));
+                let gate = Arc::new(Barrier::new(workers));
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let q = Arc::clone(&q);
+                        let gate = Arc::clone(&gate);
+                        std::thread::spawn(move || {
+                            gate.wait();
+                            let mut log = Vec::new();
+                            while let Some((m, stolen)) = q.claim(w) {
+                                log.push((w, m, stolen));
+                            }
+                            log
+                        })
+                    })
+                    .collect();
+                let mut claims = Vec::new();
+                for h in handles {
+                    claims.extend(h.join().expect("worker thread panicked"));
+                }
+                verify_claims(total, workers, &claims);
+            }
+        }
+    }
+}

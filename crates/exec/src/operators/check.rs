@@ -207,50 +207,47 @@ impl Operator for CheckOp {
         if let Some(b) = self.pending.take() {
             return Ok(Some(b));
         }
-        match self.input.next_batch(ctx)? {
-            Some(b) => {
-                if self.materialized_child {
-                    return Ok(Some(b));
-                }
-                let n = b.live_count() as u64;
-                let is_armed = armed(ctx, &self.spec, self.resolved, self.raised);
-                match count_against_hi(
-                    &mut self.count,
-                    self.spec.range.hi,
-                    is_armed,
-                    n,
-                    ctx.model.check_row,
-                    ctx,
-                ) {
-                    None => Ok(Some(b)),
-                    Some(j) => {
-                        self.resolved = true;
-                        self.raised = true;
-                        let observed = ObservedCard::AtLeast(self.count);
-                        record_event(
-                            ctx,
-                            &self.spec,
-                            CheckOutcome::Violated,
-                            observed,
-                            self.started_at,
-                        );
-                        let sig = violation(&self.spec, observed, false);
-                        let (prefix, suffix) = b.split_live(j as usize);
-                        self.pending = Some(suffix);
-                        if prefix.live_count() == 0 {
-                            return Err(sig);
-                        }
-                        self.pending_signal = Some(sig);
-                        Ok(Some(prefix))
+        if let Some(b) = self.input.next_batch(ctx)? {
+            if self.materialized_child {
+                return Ok(Some(b));
+            }
+            let n = b.live_count() as u64;
+            let is_armed = armed(ctx, &self.spec, self.resolved, self.raised);
+            match count_against_hi(
+                &mut self.count,
+                self.spec.range.hi,
+                is_armed,
+                n,
+                ctx.model.check_row,
+                ctx,
+            ) {
+                None => Ok(Some(b)),
+                Some(j) => {
+                    self.resolved = true;
+                    self.raised = true;
+                    let observed = ObservedCard::AtLeast(self.count);
+                    record_event(
+                        ctx,
+                        &self.spec,
+                        CheckOutcome::Violated,
+                        observed,
+                        self.started_at,
+                    );
+                    let sig = violation(&self.spec, observed, false);
+                    let (prefix, suffix) = b.split_live(j as usize);
+                    self.pending = Some(suffix);
+                    if prefix.live_count() == 0 {
+                        return Err(sig);
                     }
+                    self.pending_signal = Some(sig);
+                    Ok(Some(prefix))
                 }
             }
-            None => {
-                if !self.materialized_child {
-                    self.evaluate_exact(ctx)?;
-                }
-                Ok(None)
+        } else {
+            if !self.materialized_child {
+                self.evaluate_exact(ctx)?;
             }
+            Ok(None)
         }
     }
 
@@ -508,7 +505,7 @@ mod tests {
             id: 0,
             flavor: CheckFlavor::Lc,
             range: ValidityRange::new(lo, hi),
-            est_card: (lo + hi) / 2.0,
+            est_card: f64::midpoint(lo, hi),
             signature: "sig".into(),
             context: pop_plan::CheckContext::AboveTemp,
             fold: false,

@@ -105,12 +105,12 @@ impl Operator for NljnOp {
                     .ok_or_else(|| super::protocol_err("NLJN match without an outer row"))?;
                 let mut ok = true;
                 for (outer_pos, inner_col) in &self.residual {
-                    match outer.values[*outer_pos].sql_cmp(&inner_row[*inner_col]) {
-                        Some(Ordering::Equal) => {}
-                        _ => {
-                            ok = false;
-                            break;
-                        }
+                    if let Some(Ordering::Equal) =
+                        outer.values[*outer_pos].sql_cmp(&inner_row[*inner_col])
+                    {
+                    } else {
+                        ok = false;
+                        break;
                     }
                 }
                 if !ok {
@@ -583,31 +583,27 @@ impl MgjnOp {
                 }
                 Some(r) => {
                     let k = r.values[self.right_key_pos].clone();
-                    match k.cmp_total(left_key) {
-                        Ordering::Less => continue,
-                        _ => {
-                            // Collect the full group of rows with key k.
-                            self.group.clear();
-                            self.group_key = Some(k.clone());
-                            self.group.push(r);
-                            loop {
-                                match self.pull_right(ctx)? {
-                                    None => break,
-                                    Some(r2) => {
-                                        if r2.values[self.right_key_pos].cmp_total(&k)
-                                            == Ordering::Equal
-                                        {
-                                            self.group.push(r2);
-                                        } else {
-                                            self.right_pending = Some(r2);
-                                            break;
-                                        }
-                                    }
+                    if k.cmp_total(left_key) == Ordering::Less {
+                        continue;
+                    }
+                    // Collect the full group of rows with key k.
+                    self.group.clear();
+                    self.group_key = Some(k.clone());
+                    self.group.push(r);
+                    loop {
+                        match self.pull_right(ctx)? {
+                            None => break,
+                            Some(r2) => {
+                                if r2.values[self.right_key_pos].cmp_total(&k) == Ordering::Equal {
+                                    self.group.push(r2);
+                                } else {
+                                    self.right_pending = Some(r2);
+                                    break;
                                 }
                             }
-                            return Ok(());
                         }
                     }
+                    return Ok(());
                 }
             }
         }
@@ -620,8 +616,8 @@ impl MgjnOp {
                 return Ok(None);
             };
             let left_key = left.values[self.left_key_pos].clone();
-            match self.group_key.clone() {
-                Some(gk) => match left_key.cmp_total(&gk) {
+            if let Some(gk) = self.group_key.clone() {
+                match left_key.cmp_total(&gk) {
                     Ordering::Equal => {
                         if self.group_pos < self.group.len() {
                             let r = self.group[self.group_pos].clone();
@@ -649,16 +645,15 @@ impl MgjnOp {
                         self.group_key = None;
                         self.group_pos = 0;
                     }
-                },
-                None => {
-                    if self.right_eof && self.right_pending.is_none() {
-                        return Ok(None);
-                    }
-                    self.load_group(ctx, &left_key)?;
-                    self.group_pos = 0;
-                    if self.group_key.is_none() {
-                        return Ok(None); // right exhausted
-                    }
+                }
+            } else {
+                if self.right_eof && self.right_pending.is_none() {
+                    return Ok(None);
+                }
+                self.load_group(ctx, &left_key)?;
+                self.group_pos = 0;
+                if self.group_key.is_none() {
+                    return Ok(None); // right exhausted
                 }
             }
         }

@@ -590,7 +590,7 @@ impl WorkerSeed {
         w.force_reopt_at = self.force_reopt_at;
         w.batch_size = self.batch_size;
         w.guard = self.guard.clone_shared();
-        w.faults = self.faults.clone();
+        w.faults.clone_from(&self.faults);
         w
     }
 }
@@ -694,20 +694,18 @@ impl GatherOp {
         let mut exchange: Option<&PhysNode> = None;
         let mut above_builds = 0usize;
         let mut above_folds = 0usize;
-        visit_spine(&self.region, &mut |n| {
-            match n {
-                PhysNode::Exchange { .. } if exchange.is_none() => {
-                    exchange = Some(n);
-                    above_builds = hsjns.len();
-                    above_folds = folds.len();
-                }
-                PhysNode::Hsjn { .. } => hsjns.push(n),
-                PhysNode::Check { input, spec, .. } if spec.fold => {
-                    let eager = !crate::build::is_materializing(input);
-                    folds.push((spec.clone(), Arc::new(FoldCell::new(parts)), eager));
-                }
-                _ => {}
-            };
+        visit_spine(&self.region, &mut |n| match n {
+            PhysNode::Exchange { .. } if exchange.is_none() => {
+                exchange = Some(n);
+                above_builds = hsjns.len();
+                above_folds = folds.len();
+            }
+            PhysNode::Hsjn { .. } => hsjns.push(n),
+            PhysNode::Check { input, spec, .. } if spec.fold => {
+                let eager = !crate::build::is_materializing(input);
+                folds.push((spec.clone(), Arc::new(FoldCell::new(parts)), eager));
+            }
+            _ => {}
         });
         let mut builds = Vec::with_capacity(hsjns.len());
         for node in hsjns {
@@ -805,10 +803,7 @@ impl Operator for GatherOp {
             }
             _ => None,
         };
-        let stage_root: &PhysNode = producer_cfg
-            .as_ref()
-            .map(|(r, _)| *r)
-            .unwrap_or(&self.region);
+        let stage_root: &PhysNode = producer_cfg.as_ref().map_or(&self.region, |(r, _)| *r);
 
         // Execution mode. Morsel-driven needs every stage fold eager
         // (the fixed-chain rendezvous of a materialization fold cannot
@@ -849,7 +844,7 @@ impl Operator for GatherOp {
             let catalog = &self.catalog;
             let signatures = &self.signatures;
             let exchange_state = exchange_state.as_ref();
-            let xref: Option<&ExchangeState> = exchange_state.map(|a| a.as_ref());
+            let xref: Option<&ExchangeState> = exchange_state.map(std::convert::AsRef::as_ref);
             let key_pos: Option<&[usize]> = producer_cfg.as_ref().map(|(_, k)| k.as_slice());
             // Stage-A shared state: everything below the exchange, or the
             // whole spine when the region does not repartition.
@@ -894,64 +889,61 @@ impl Operator for GatherOp {
                                 return out; // quiesce guard stops the region
                             }
                         };
-                        let raised = match (xref, key_pos) {
-                            // Producer task: route rows by hash into
-                            // per-consumer bucket batches, allocation-free
-                            // per row; routed-out input batches recycle
-                            // through the pool as future buckets.
-                            (Some(xstate), Some(keys)) => {
-                                let mut buckets: Vec<RowBatch> =
-                                    (0..parts).map(|_| pool.get()).collect();
-                                let mut raised = run_chain(op, &mut wctx, shared, |wctx, b| {
-                                    wctx.charge(b.live_count() as f64 * wctx.model.exchange_row);
-                                    for i in b.live_indices() {
-                                        let c = route(b.values_at(i), keys, parts);
-                                        buckets[c].push_row(b.values_at(i), b.lineage_at(i));
-                                    }
-                                    for (c, bucket) in buckets.iter_mut().enumerate() {
-                                        if bucket.len() >= wctx.batch_size {
-                                            let full = std::mem::replace(bucket, RowBatch::new());
-                                            let t = Instant::now();
-                                            let ok = xstate.queues[c].push((m, full));
-                                            wctx.queue_wait_ns += t.elapsed().as_nanos() as u64;
-                                            if !ok {
-                                                // Queue stopped: quiesce quietly.
-                                                return Err(ExecSignal::Error(PopError::Cancelled));
-                                            }
-                                        }
-                                    }
-                                    pool.put(b);
-                                    Ok(())
-                                });
-                                if raised.is_none() {
-                                    for (c, bucket) in buckets.into_iter().enumerate() {
-                                        if bucket.is_empty() {
-                                            pool.put(bucket);
-                                            continue;
-                                        }
+                        // Producer task: route rows by hash into
+                        // per-consumer bucket batches, allocation-free per
+                        // row (routed-out input batches recycle through
+                        // the pool as future buckets); an output task just
+                        // collects the chain's batches.
+                        let raised = if let (Some(xstate), Some(keys)) = (xref, key_pos) {
+                            let mut buckets: Vec<RowBatch> =
+                                (0..parts).map(|_| pool.get()).collect();
+                            let mut raised = run_chain(op, &mut wctx, shared, |wctx, b| {
+                                wctx.charge(b.live_count() as f64 * wctx.model.exchange_row);
+                                for i in b.live_indices() {
+                                    let c = route(b.values_at(i), keys, parts);
+                                    buckets[c].push_row(b.values_at(i), b.lineage_at(i));
+                                }
+                                for (c, bucket) in buckets.iter_mut().enumerate() {
+                                    if bucket.len() >= wctx.batch_size {
+                                        let full = std::mem::replace(bucket, RowBatch::new());
                                         let t = Instant::now();
-                                        let ok = xstate.queues[c].push((m, bucket));
+                                        let ok = xstate.queues[c].push((m, full));
                                         wctx.queue_wait_ns += t.elapsed().as_nanos() as u64;
                                         if !ok {
-                                            raised = Some(ExecSignal::Error(PopError::Cancelled));
-                                            break;
+                                            // Queue stopped: quiesce quietly.
+                                            return Err(ExecSignal::Error(PopError::Cancelled));
                                         }
                                     }
                                 }
-                                raised
-                            }
-                            // Output task: collect the chain's batches.
-                            _ => {
-                                let mut batches = Vec::new();
-                                let raised = run_chain(op, &mut wctx, shared, |_wctx, b| {
-                                    batches.push(b);
-                                    Ok(())
-                                });
-                                if raised.is_none() {
-                                    out.tasks.push(TaskOut { tag: m, batches });
+                                pool.put(b);
+                                Ok(())
+                            });
+                            if raised.is_none() {
+                                for (c, bucket) in buckets.into_iter().enumerate() {
+                                    if bucket.is_empty() {
+                                        pool.put(bucket);
+                                        continue;
+                                    }
+                                    let t = Instant::now();
+                                    let ok = xstate.queues[c].push((m, bucket));
+                                    wctx.queue_wait_ns += t.elapsed().as_nanos() as u64;
+                                    if !ok {
+                                        raised = Some(ExecSignal::Error(PopError::Cancelled));
+                                        break;
+                                    }
                                 }
-                                raised
                             }
+                            raised
+                        } else {
+                            let mut batches = Vec::new();
+                            let raised = run_chain(op, &mut wctx, shared, |_wctx, b| {
+                                batches.push(b);
+                                Ok(())
+                            });
+                            if raised.is_none() {
+                                out.tasks.push(TaskOut { tag: m, batches });
+                            }
+                            raised
                         };
                         out.diag.queue_wait_ns += wctx.queue_wait_ns;
                         out.diag.compute_ns +=
@@ -1014,12 +1006,11 @@ impl Operator for GatherOp {
                         out.work = wctx.work;
                         out.rows_scanned = wctx.rows_scanned;
                         out.harvests = wctx.harvests.drain(..).map(|h| (false, part, h)).collect();
-                        match raised {
-                            Some(sig) => out.raised = Some((false, part, sig)),
-                            None => {
-                                out.tasks.push(TaskOut { tag: part, batches });
-                                quiesce.armed = false;
-                            }
+                        if let Some(sig) = raised {
+                            out.raised = Some((false, part, sig));
+                        } else {
+                            out.tasks.push(TaskOut { tag: part, batches });
+                            quiesce.armed = false;
                         }
                         out
                     }));
@@ -1108,7 +1099,7 @@ impl Operator for GatherOp {
             ExecSignal::Error(_) => 1,
         };
         let mut raised: Option<(bool, usize, ExecSignal)> = None;
-        for o in outcomes.iter_mut() {
+        for o in &mut outcomes {
             let Some((sa, tag, sig)) = o.raised.take() else {
                 continue;
             };
@@ -1164,8 +1155,7 @@ impl Operator for GatherOp {
                 let context = folds
                     .iter()
                     .find(|(s, _, _)| s.id == v.check_id)
-                    .map(|(s, _, _)| s.context)
-                    .unwrap_or(pop_plan::CheckContext::Pipeline);
+                    .map_or(pop_plan::CheckContext::Pipeline, |(s, _, _)| s.context);
                 ctx.check_events.push(CheckEvent {
                     check_id: v.check_id,
                     flavor: v.flavor,
@@ -1286,3 +1276,238 @@ impl Operator for GatherOp {
 }
 
 crate::operators::opaque_debug!(GatherOp, FoldCheckOp, ExchangeSourceOp);
+
+/// Hand-rolled concurrency model check for [`FoldCell`] (no loom/miri in
+/// this toolchain). The rendezvous is serialized by a single mutex, so a
+/// concurrent execution is equivalent to some linear order of arrivals
+/// with `cancel` landing at one position in that order. The deterministic
+/// harness below therefore enumerates, for each partition count, every
+/// arrival permutation crossed with every cancel position (including "no
+/// cancel" and "cancel after the decision"), forcing each order with a
+/// per-thread release gate and observing arrivals through the cell's own
+/// state; a separate racing test lets real threads and a canceller
+/// contend freely and asserts the all-or-nothing invariant that linear
+/// order implies: either every partition gets a normal verdict (exactly
+/// one `Winner` iff violated) or every partition gets `Cancelled`.
+#[cfg(test)]
+mod model_check {
+    use super::{FoldCell, RvOutcome};
+    use std::sync::atomic::Ordering;
+    use std::sync::{mpsc, Arc, Barrier};
+    use std::time::{Duration, Instant};
+
+    const SHARE: u64 = 10;
+    const DEADLINE: Duration = Duration::from_secs(10);
+
+    /// Comparable mirror of [`RvOutcome`] for assertions.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum O {
+        Passed,
+        Winner(u64),
+        Peer,
+        Cancelled,
+    }
+
+    fn tag(o: &RvOutcome) -> O {
+        match o {
+            RvOutcome::Passed => O::Passed,
+            RvOutcome::Winner(t) => O::Winner(*t),
+            RvOutcome::Peer => O::Peer,
+            RvOutcome::Cancelled => O::Cancelled,
+        }
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        if n == 0 {
+            return vec![Vec::new()];
+        }
+        let mut out = Vec::new();
+        for rest in permutations(n - 1) {
+            for slot in 0..=rest.len() {
+                let mut p = rest.clone();
+                p.insert(slot, n - 1);
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Spin until `arrived` (read through the cell's own rendezvous
+    /// state) reaches `want`, so the next release happens strictly after
+    /// the previous thread is parked inside `rendezvous`.
+    fn wait_arrived(cell: &FoldCell, want: usize) {
+        let start = Instant::now();
+        loop {
+            if cell.rv.lock().expect("rv poisoned").arrived >= want {
+                return;
+            }
+            assert!(
+                start.elapsed() < DEADLINE,
+                "arrival {want} never observed: rendezvous deadlocked"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    /// Drive one fully-ordered schedule: threads arrive in `order`;
+    /// `cancel_after = Some(k)` fires `cancel` once exactly `k` threads
+    /// have arrived (and before the next release); `k == parts` cancels
+    /// after the decision, which must be a no-op.
+    fn run_ordered(parts: usize, order: &[usize], cancel_after: Option<usize>, violate: bool) {
+        let cell = Arc::new(FoldCell::new(parts));
+        let hi = parts as u64 * SHARE - u64::from(violate);
+        let (res_tx, res_rx) = mpsc::channel::<(usize, O)>();
+        let mut gates = Vec::new();
+        let handles: Vec<_> = (0..parts)
+            .map(|tid| {
+                let cell = Arc::clone(&cell);
+                let res_tx = res_tx.clone();
+                let (gate_tx, gate_rx) = mpsc::channel::<()>();
+                gates.push(gate_tx);
+                std::thread::spawn(move || {
+                    gate_rx.recv().expect("release gate dropped");
+                    cell.count.fetch_add(SHARE, Ordering::AcqRel);
+                    let out = cell.rendezvous(|t| t > hi);
+                    res_tx
+                        .send((tid, tag(&out)))
+                        .expect("result channel dropped");
+                })
+            })
+            .collect();
+
+        let mut cancelled_at = None;
+        for (step, &tid) in order.iter().enumerate() {
+            if cancel_after == Some(step) {
+                cell.cancel();
+                cancelled_at = Some(step);
+            }
+            gates[tid].send(()).expect("worker gone before release");
+            if cancelled_at.is_none() && step + 1 < parts {
+                wait_arrived(&cell, step + 1);
+            }
+        }
+        if cancel_after == Some(parts) {
+            // All partitions arrived: the decision is already published;
+            // a late cancel must not disturb it.
+            wait_arrived(&cell, parts);
+            cell.cancel();
+        }
+
+        let mut outcomes = vec![None; parts];
+        for _ in 0..parts {
+            let (tid, o) = res_rx
+                .recv_timeout(DEADLINE)
+                .expect("rendezvous deadlocked: missing outcome");
+            outcomes[tid] = Some(o);
+        }
+        for h in handles {
+            h.join().expect("partition thread panicked");
+        }
+        let outcomes: Vec<O> = outcomes.into_iter().map(Option::unwrap).collect();
+
+        match cancelled_at {
+            Some(_) => {
+                // Cancel preceded some arrival: no decision, everyone
+                // quiesces, nothing trips.
+                assert!(
+                    outcomes.iter().all(|&o| o == O::Cancelled),
+                    "cancel at {cancelled_at:?} order {order:?}: {outcomes:?}"
+                );
+                assert!(!cell.decided_passed());
+                assert!(!cell.tripped.load(Ordering::Acquire));
+            }
+            None if violate => {
+                // Exactly one Winner carrying the exact global count —
+                // the last arriver in the forced order — rest are Peers.
+                let total = parts as u64 * SHARE;
+                let winners = outcomes.iter().filter(|&&o| o == O::Winner(total)).count();
+                assert_eq!(winners, 1, "order {order:?}: {outcomes:?}");
+                assert_eq!(outcomes[*order.last().unwrap()], O::Winner(total));
+                assert!(outcomes
+                    .iter()
+                    .all(|&o| o == O::Peer || o == O::Winner(total)));
+                assert!(cell.tripped.load(Ordering::Acquire));
+                assert!(!cell.decided_passed());
+            }
+            None => {
+                assert!(
+                    outcomes.iter().all(|&o| o == O::Passed),
+                    "order {order:?}: {outcomes:?}"
+                );
+                assert!(cell.decided_passed());
+                assert_eq!(cell.total(), parts as u64 * SHARE);
+                assert!(!cell.tripped.load(Ordering::Acquire));
+            }
+        }
+    }
+
+    #[test]
+    fn fold_rendezvous_all_orders_and_cancel_positions() {
+        for parts in 1..=4 {
+            for order in permutations(parts) {
+                for violate in [false, true] {
+                    run_ordered(parts, &order, None, violate);
+                    for k in 0..=parts {
+                        run_ordered(parts, &order, Some(k), violate);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_rendezvous_race_is_all_or_nothing() {
+        // Unordered: partitions and a canceller race from a barrier. The
+        // single rendezvous mutex linearizes them, so every run must land
+        // in one of exactly two worlds: a full normal decision (one
+        // Winner iff violated) or a full cancellation.
+        for violate in [false, true] {
+            for _round in 0..64 {
+                let parts = 4usize;
+                let cell = Arc::new(FoldCell::new(parts));
+                let hi = parts as u64 * SHARE - u64::from(violate);
+                let gate = Arc::new(Barrier::new(parts + 1));
+                let canceller = {
+                    let cell = Arc::clone(&cell);
+                    let gate = Arc::clone(&gate);
+                    std::thread::spawn(move || {
+                        gate.wait();
+                        cell.cancel();
+                    })
+                };
+                let handles: Vec<_> = (0..parts)
+                    .map(|_| {
+                        let cell = Arc::clone(&cell);
+                        let gate = Arc::clone(&gate);
+                        std::thread::spawn(move || {
+                            gate.wait();
+                            cell.count.fetch_add(SHARE, Ordering::AcqRel);
+                            tag(&cell.rendezvous(|t| t > hi))
+                        })
+                    })
+                    .collect();
+                canceller.join().expect("canceller panicked");
+                let outcomes: Vec<O> = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("partition thread panicked"))
+                    .collect();
+
+                let cancelled = outcomes.iter().filter(|&&o| o == O::Cancelled).count();
+                if cancelled > 0 {
+                    assert_eq!(cancelled, parts, "mixed verdicts: {outcomes:?}");
+                    assert!(!cell.tripped.load(Ordering::Acquire));
+                } else if violate {
+                    let total = parts as u64 * SHARE;
+                    let winners = outcomes.iter().filter(|&&o| o == O::Winner(total)).count();
+                    assert_eq!(winners, 1, "{outcomes:?}");
+                    assert!(outcomes
+                        .iter()
+                        .all(|&o| o == O::Peer || o == O::Winner(total)));
+                } else {
+                    assert!(outcomes.iter().all(|&o| o == O::Passed), "{outcomes:?}");
+                    assert!(cell.decided_passed());
+                }
+            }
+        }
+    }
+}

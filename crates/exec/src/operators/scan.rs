@@ -263,12 +263,11 @@ impl Operator for MvScanOp {
         ctx.charge(chunk.len() as f64 * ctx.model.temp_read_row);
         let mut out = RowBatch::with_capacity(chunk.len());
         for (i, row) in chunk.iter().enumerate() {
-            let lineage = self
+            let lineage: &[Rid] = self
                 .lineage
                 .as_ref()
                 .and_then(|l| l.get(start + i))
-                .map(|l| l.as_slice())
-                .unwrap_or(&[]);
+                .map_or(&[], std::vec::Vec::as_slice);
             out.push_row(row, lineage);
         }
         Ok(Some(out))

@@ -110,7 +110,7 @@ fn sort_by_position_works_end_to_end() {
                 assert!(w[0].values[1] >= w[1].values[1], "descending order broken");
             }
         }
-        other => panic!("unexpected {other:?}"),
+        other @ RunOutcome::Suspended { .. } => panic!("unexpected {other:?}"),
     }
 }
 

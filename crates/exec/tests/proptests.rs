@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 fn opt_int(v: Option<i64>) -> Value {
-    v.map(Value::Int).unwrap_or(Value::Null)
+    v.map_or(Value::Null, Value::Int)
 }
 
 /// Build a catalog with two keyed tables from generated data.
@@ -145,7 +145,7 @@ proptest! {
         }
         // Stability: equal keys keep input order (v encodes input order
         // only when unique; check via positions of equal-key runs).
-        let mut last_pos: std::collections::HashMap<Value, usize> = Default::default();
+        let mut last_pos = std::collections::HashMap::<Value, usize>::default();
         let orig: Vec<Vec<Value>> = rows
             .iter()
             .map(|(k, v)| vec![opt_int(*k), Value::Int(*v)])

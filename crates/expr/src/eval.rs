@@ -166,13 +166,10 @@ fn arith(op: ArithOp, a: &Value, b: &Value) -> PopResult<Value> {
             }
         });
     }
-    let (x, y) = match (a.as_f64(), b.as_f64()) {
-        (Some(x), Some(y)) => (x, y),
-        _ => {
-            return Err(PopError::TypeMismatch(format!(
-                "arithmetic on non-numeric values {a} {op} {b}"
-            )))
-        }
+    let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) else {
+        return Err(PopError::TypeMismatch(format!(
+            "arithmetic on non-numeric values {a} {op} {b}"
+        )));
     };
     Ok(match op {
         ArithOp::Add => Value::Float(x + y),

@@ -286,7 +286,7 @@ impl Expr {
             Expr::And(v) => {
                 out.push_str("(and");
                 // Sort factor fingerprints so conjunct order is irrelevant.
-                let mut fps: Vec<String> = v.iter().map(|e| e.fingerprint()).collect();
+                let mut fps: Vec<String> = v.iter().map(Expr::fingerprint).collect();
                 fps.sort();
                 for fp in fps {
                     out.push(' ');
@@ -296,7 +296,7 @@ impl Expr {
             }
             Expr::Or(v) => {
                 out.push_str("(or");
-                let mut fps: Vec<String> = v.iter().map(|e| e.fingerprint()).collect();
+                let mut fps: Vec<String> = v.iter().map(Expr::fingerprint).collect();
                 fps.sort();
                 for fp in fps {
                     out.push(' ');

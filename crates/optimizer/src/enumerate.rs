@@ -127,8 +127,8 @@ fn add_partition_candidates(
                 continue;
             }
             let spec_root = RootCostSpec::Hsjn {
-                build_edge: if build_is_a { 0 } else { 1 },
-                probe_edge: if build_is_a { 1 } else { 0 },
+                build_edge: usize::from(!build_is_a),
+                probe_edge: usize::from(build_is_a),
             };
             let fixed = bc.cost + pc.cost;
             let local = crate::cost::root_local_cost(ctx.cost, &spec_root, &edge_cards);
@@ -138,7 +138,7 @@ fn add_partition_candidates(
                 .layout
                 .iter()
                 .chain(pc.node.props().layout.iter())
-                .cloned()
+                .copied()
                 .collect();
             let order = pc.order;
             let node = PhysNode::Hsjn {
@@ -215,7 +215,7 @@ fn add_partition_candidates(
             };
             let inner_pred = combine_local_preds(spec.local_preds_of(t));
             let matches = est.matches_per_probe(ColId::new(t, join_col));
-            let outer_edge = if inner_is_a { 1 } else { 0 };
+            let outer_edge = usize::from(inner_is_a);
             let spec_root = RootCostSpec::Nljn {
                 outer_edge,
                 matches_per_probe: matches,
@@ -296,7 +296,7 @@ fn add_partition_candidates(
             .layout
             .iter()
             .chain(right_node.props().layout.iter())
-            .cloned()
+            .copied()
             .collect();
         let node = PhysNode::Mgjn {
             left: Box::new(left_node),
@@ -492,7 +492,7 @@ fn mv_candidate(
 fn combine_local_preds(preds: Vec<&Expr>) -> Option<Expr> {
     let mut it = preds.into_iter().cloned();
     let first = it.next()?;
-    Some(it.fold(first, |acc, e| acc.and(e)))
+    Some(it.fold(first, pop_expr::Expr::and))
 }
 
 /// Cheapest candidate for a set, any order.
@@ -509,9 +509,8 @@ fn pick_for_order(
     set: TableSet,
     key: ColId,
 ) -> (Option<&Candidate>, bool) {
-    let list = match memo.get(&set.mask()) {
-        Some(l) => l,
-        None => return (None, true),
+    let Some(list) = memo.get(&set.mask()) else {
+        return (None, true);
     };
     if let Some(sorted) = list
         .iter()

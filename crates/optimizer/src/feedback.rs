@@ -20,7 +20,7 @@ impl CardFact {
     /// Merge a new observation into an existing fact, keeping the
     /// strongest information.
     pub fn merge(self, other: CardFact) -> CardFact {
-        use CardFact::*;
+        use CardFact::{AtLeast, Exact};
         match (self, other) {
             (Exact(a), Exact(b)) => Exact(a.max(b)), // latest exact counts agree in practice
             (Exact(a), AtLeast(b)) | (AtLeast(b), Exact(a)) => {

@@ -28,6 +28,7 @@ mod feedback;
 mod finalize;
 pub mod parallelize;
 pub mod placement;
+mod provenance;
 pub mod validity;
 
 pub use candidate::{Candidate, RootCostSpec};
@@ -40,3 +41,4 @@ pub use feedback::{CardFact, FeedbackCache};
 pub use finalize::optimize;
 pub use parallelize::parallelize;
 pub use placement::place_checkpoints;
+pub use provenance::{plan_provenance, EstimateProvenance, EstimateSource};

@@ -30,7 +30,20 @@ struct PlaceState<'a, 'b> {
     is_spj: bool,
 }
 
-impl<'a, 'b> PlaceState<'a, 'b> {
+impl PlaceState<'_, '_> {
+    /// The trigger range a check below `below` would actually get, after
+    /// the validity-mode override.
+    fn resolved_range(&self, below: &PhysNode, range: ValidityRange) -> ValidityRange {
+        match self.ctx.config.validity_mode {
+            ValidityMode::Ranges => range,
+            ValidityMode::FixedFactor(k) => {
+                let k = k.max(1.0);
+                let est_card = below.props().card;
+                ValidityRange::new(est_card / k, est_card * k)
+            }
+        }
+    }
+
     fn make_spec(
         &mut self,
         flavor: CheckFlavor,
@@ -41,13 +54,7 @@ impl<'a, 'b> PlaceState<'a, 'b> {
         let id = self.next_id;
         self.next_id += 1;
         let est_card = below.props().card;
-        let range = match self.ctx.config.validity_mode {
-            ValidityMode::Ranges => range,
-            ValidityMode::FixedFactor(k) => {
-                let k = k.max(1.0);
-                ValidityRange::new(est_card / k, est_card * k)
-            }
-        };
+        let range = self.resolved_range(below, range);
         CheckSpec {
             id,
             flavor,
@@ -97,6 +104,27 @@ fn materialized_through_checks(node: &PhysNode) -> bool {
             materialized_through_checks(input)
         }
         PhysNode::Sort { .. } | PhysNode::Temp { .. } | PhysNode::MvScan { .. } => true,
+        _ => false,
+    }
+}
+
+/// Is this subplan's cardinality exact at *runtime*, independent of
+/// statistics? A temp-MV scan replays rows materialized earlier in this
+/// very query, so its count is a physical fact, not an estimate;
+/// count-preserving wrappers keep the exactness. Checkpoints guard
+/// against estimation error, so one placed on such an edge can provably
+/// never fire (the planlint PL412 dead-check analysis) — placement skips
+/// it. Base-table scans do NOT qualify, even without a predicate:
+/// statistics can be stale, and catching exactly that is POP's job.
+fn provably_exact(node: &PhysNode) -> bool {
+    match node {
+        PhysNode::MvScan { .. } => true,
+        PhysNode::Sort { input, .. }
+        | PhysNode::Temp { input, .. }
+        | PhysNode::Project { input, .. }
+        | PhysNode::Check { input, .. }
+        | PhysNode::BufCheck { input, .. }
+        | PhysNode::RidSink { input, .. } => provably_exact(input),
         _ => false,
     }
 }
@@ -177,13 +205,17 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
             let outer_cost = outer.props().cost;
             let mut new_outer = rebuild(*outer, outer_range, st);
             let already_materialized = materialized_through_checks(&new_outer);
+            // A provably exact outer (e.g. a temp-MV reuse after
+            // re-optimization) needs no insurance: any check on it would
+            // be dead.
+            let exact = provably_exact(&new_outer);
             // ECB below, LCEM above (§3.4: "couple both approaches,
             // placing an LCEM above an ECB so that the ECB can prevent the
             // materialization from growing beyond bounds").
-            if flavors.ecb && !already_materialized {
+            if flavors.ecb && !already_materialized && !exact {
                 new_outer = wrap_bufcheck(new_outer, outer_range, st);
             }
-            if flavors.lcem && !already_materialized {
+            if flavors.lcem && !already_materialized && !exact {
                 new_outer = wrap_temp(new_outer, st);
                 new_outer = wrap_check(
                     new_outer,
@@ -195,7 +227,13 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
             }
             // ECDC: a purely pipelined check on the outer edge (Figure 9's
             // P1/P2 split) — only when no blocking guard sits there already.
-            if flavors.ecdc && st.is_spj && !already_materialized && !flavors.lcem && !flavors.ecb {
+            if flavors.ecdc
+                && st.is_spj
+                && !already_materialized
+                && !exact
+                && !flavors.lcem
+                && !flavors.ecb
+            {
                 new_outer = wrap_check(
                     new_outer,
                     CheckFlavor::Ecdc,
@@ -230,7 +268,10 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
             // The hash-join build is a materialization point: an LC on its
             // input edge costs nothing and fires when the build completes
             // (or overflows its range mid-build).
-            if flavors.lc && !matches!(new_build, PhysNode::Check { .. }) {
+            if flavors.lc
+                && !matches!(new_build, PhysNode::Check { .. })
+                && !provably_exact(&new_build)
+            {
                 new_build = wrap_check(
                     new_build,
                     CheckFlavor::Lc,
@@ -242,7 +283,11 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
             let mut new_probe = rebuild(*probe, probe_range, st);
             // ECDC: the probe side streams to the consumer; a pipelined
             // check there catches probe-cardinality errors.
-            if flavors.ecdc && st.is_spj && !matches!(new_probe, PhysNode::Check { .. }) {
+            if flavors.ecdc
+                && st.is_spj
+                && !matches!(new_probe, PhysNode::Check { .. })
+                && !provably_exact(&new_probe)
+            {
                 new_probe = wrap_check(
                     new_probe,
                     CheckFlavor::Ecdc,
@@ -296,7 +341,10 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
             let child_range = incoming.intersect(&edge_range(&props, 0));
             let input_cost = input.props().cost;
             let mut new_input = rebuild(*input, child_range, st);
-            if flavors.ecwc && !matches!(new_input, PhysNode::Check { .. }) {
+            if flavors.ecwc
+                && !matches!(new_input, PhysNode::Check { .. })
+                && !provably_exact(&new_input)
+            {
                 new_input = wrap_check(
                     new_input,
                     CheckFlavor::Ecwc,
@@ -312,7 +360,7 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
                 desc,
                 props,
             };
-            if flavors.lc {
+            if flavors.lc && !provably_exact(&rebuilt) {
                 wrap_check(
                     rebuilt,
                     CheckFlavor::Lc,
@@ -328,7 +376,10 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
             let child_range = incoming.intersect(&edge_range(&props, 0));
             let input_cost = input.props().cost;
             let mut new_input = rebuild(*input, child_range, st);
-            if flavors.ecwc && !matches!(new_input, PhysNode::Check { .. }) {
+            if flavors.ecwc
+                && !matches!(new_input, PhysNode::Check { .. })
+                && !provably_exact(&new_input)
+            {
                 new_input = wrap_check(
                     new_input,
                     CheckFlavor::Ecwc,
@@ -342,7 +393,7 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
                 input: Box::new(new_input),
                 props,
             };
-            if flavors.lc {
+            if flavors.lc && !provably_exact(&rebuilt) {
                 wrap_check(
                     rebuilt,
                     CheckFlavor::Lc,
@@ -394,7 +445,28 @@ fn rebuild(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> Phys
             // Aggregation changes counts: do not propagate incoming.
             let child_range = edge_range(&props, 0);
             let input_cost = input.props().cost;
-            let new_input = rebuild(*input, child_range, st);
+            let mut new_input = rebuild(*input, child_range, st);
+            // The aggregate's hash table is a materialization point that
+            // fully consumes its input before emitting: a pipelined input
+            // reaching it unobserved is the last chance to catch a
+            // cardinality error (the planlint PL411 coverage proof). LC
+            // guards the edge like any other materialization point.
+            if flavors.lc
+                && !matches!(
+                    new_input,
+                    PhysNode::Check { .. } | PhysNode::BufCheck { .. }
+                )
+                && !materialized_through_checks(&new_input)
+                && !provably_exact(&new_input)
+            {
+                new_input = wrap_check(
+                    new_input,
+                    CheckFlavor::Lc,
+                    child_range,
+                    CheckContext::AggBuild,
+                    st,
+                );
+            }
             props.cost += new_input.props().cost - input_cost;
             PhysNode::HashAgg {
                 input: Box::new(new_input),
@@ -471,11 +543,7 @@ fn maybe_ecdc(node: PhysNode, incoming: ValidityRange, st: &mut PlaceState) -> P
 }
 
 fn edge_range(props: &pop_plan::PlanProps, edge: usize) -> ValidityRange {
-    props
-        .edge_ranges
-        .get(edge)
-        .copied()
-        .unwrap_or_else(ValidityRange::unbounded)
+    props.edge_range(edge)
 }
 
 #[cfg(test)]
@@ -521,11 +589,11 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn place(cfg: OptimizerConfig) -> PhysNode {
+    fn place(cfg: &OptimizerConfig) -> PhysNode {
         let (cat, stats) = setup();
         let cost = CostModel::default();
         let fb = FeedbackCache::new();
-        let ctx = crate::OptimizerContext::new(&cat, &stats, &cfg, &cost, None, &fb);
+        let ctx = crate::OptimizerContext::new(&cat, &stats, cfg, &cost, None, &fb);
         let q = query();
         let est = CardEstimator::new(&q, &ctx).unwrap();
         let cand = crate::optimize_join_order(&est, &ctx).unwrap();
@@ -534,7 +602,7 @@ mod tests {
 
     #[test]
     fn lcem_guards_nljn_outer() {
-        let plan = place(OptimizerConfig::default());
+        let plan = place(&OptimizerConfig::default());
         let checks = plan.checks();
         assert!(
             checks.iter().any(|c| c.flavor == CheckFlavor::Lcem),
@@ -560,7 +628,7 @@ mod tests {
             flavors: FlavorSet::none(),
             ..Default::default()
         };
-        let plan = place(cfg);
+        let plan = place(&cfg);
         assert!(plan.checks().is_empty());
     }
 
@@ -570,7 +638,7 @@ mod tests {
             check_cost_threshold: f64::INFINITY,
             ..Default::default()
         };
-        let plan = place(cfg);
+        let plan = place(&cfg);
         assert!(plan.checks().is_empty());
     }
 
@@ -586,7 +654,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let plan = place(cfg);
+        let plan = place(&cfg);
         let mut bufchecks = 0;
         plan.visit(&mut |n| {
             if matches!(n, PhysNode::BufCheck { .. }) {
@@ -613,7 +681,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let plan = place(cfg);
+        let plan = place(&cfg);
         let lcs = plan
             .checks()
             .iter()
@@ -634,7 +702,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let plan = place(cfg);
+        let plan = place(&cfg);
         assert!(
             matches!(plan, PhysNode::RidSink { .. }),
             "ECDC plans record returned rids at the root:\n{plan}"
@@ -648,7 +716,7 @@ mod tests {
             validity_mode: ValidityMode::FixedFactor(4.0),
             ..Default::default()
         };
-        let plan = place(cfg);
+        let plan = place(&cfg);
         for c in plan.checks() {
             assert!(
                 (c.range.lo - c.est_card / 4.0).abs() < 1e-6
@@ -673,7 +741,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let plan = place(cfg);
+        let plan = place(&cfg);
         let mut ids: Vec<usize> = plan.checks().iter().map(|c| c.id).collect();
         let n = ids.len();
         ids.sort_unstable();

@@ -130,6 +130,11 @@ pub enum CheckContext {
     AboveTemp,
     /// LC on the build edge of a hash join.
     HashBuild,
+    /// LC on the input edge of a hash aggregate (the aggregate's hash
+    /// table is a materialization point that fully consumes its input
+    /// before emitting — the last observation opportunity before the
+    /// pipeline breaker).
+    AggBuild,
     /// LCEM/ECB guarding the outer of an NLJN.
     NljnOuter,
     /// ECWC below a materialization point.
@@ -144,6 +149,7 @@ impl std::fmt::Display for CheckContext {
             CheckContext::AboveSort => "above-sort",
             CheckContext::AboveTemp => "above-temp",
             CheckContext::HashBuild => "hash-build",
+            CheckContext::AggBuild => "agg-build",
             CheckContext::NljnOuter => "nljn-outer",
             CheckContext::BelowMaterialization => "below-mat",
             CheckContext::Pipeline => "pipeline",

@@ -135,7 +135,18 @@ impl PlanProps {
 
     /// Positions of base columns in the layout.
     pub fn base_layout(&self) -> Vec<ColId> {
-        self.layout.iter().filter_map(|c| c.as_base()).collect()
+        self.layout.iter().filter_map(LayoutCol::as_base).collect()
+    }
+
+    /// Validity range of input edge `i`, unbounded when none was
+    /// recorded. Callers that can see the node itself should prefer
+    /// [`PhysNode::edge_range`], which additionally guards against
+    /// ranges misaligned with the children.
+    pub fn edge_range(&self, i: usize) -> ValidityRange {
+        self.edge_ranges
+            .get(i)
+            .copied()
+            .unwrap_or_else(ValidityRange::unbounded)
     }
 }
 
@@ -553,11 +564,33 @@ impl PhysNode {
         matches!(self, PhysNode::Sort { .. } | PhysNode::Temp { .. })
     }
 
+    /// Validity range of input edge `i`, unbounded when the optimizer
+    /// recorded none — or when the recorded ranges are misaligned with
+    /// the children (wrappers cloned from a child's props may carry
+    /// stale extra entries), in which case alignment is not guaranteed
+    /// and every edge answers unbounded.
+    pub fn edge_range(&self, i: usize) -> ValidityRange {
+        if self.props().edge_ranges.len() == self.children().len() {
+            self.props().edge_range(i)
+        } else {
+            ValidityRange::unbounded()
+        }
+    }
+
     /// Visit every node of the tree (pre-order).
     pub fn visit(&self, f: &mut impl FnMut(&PhysNode)) {
         f(self);
         for c in self.children() {
             c.visit(f);
+        }
+    }
+
+    /// Visit every input edge of the tree (pre-order): the consumer, the
+    /// edge index, the producing child, and the edge's validity range.
+    pub fn visit_edges(&self, f: &mut impl FnMut(&PhysNode, usize, &PhysNode, ValidityRange)) {
+        for (i, c) in self.children().into_iter().enumerate() {
+            f(self, i, c, self.edge_range(i));
+            c.visit_edges(f);
         }
     }
 
@@ -601,10 +634,10 @@ impl PhysNode {
             PhysNode::TableScan { table, qidx, .. } => out.push(format!("{table}#{qidx}")),
             PhysNode::IndexRangeScan { table, qidx, .. } => out.push(format!("ix:{table}#{qidx}")),
             PhysNode::MvScan { signature, .. } => {
-                out.push(format!("MV[{}]", short_hash(signature)))
+                out.push(format!("MV[{}]", short_hash(signature)));
             }
             PhysNode::Nljn { inner, .. } => {
-                out.push(format!("NLJN(->{}#{})", inner.table, inner.qidx))
+                out.push(format!("NLJN(->{}#{})", inner.table, inner.qidx));
             }
             PhysNode::Hsjn { .. } => out.push("HSJN".into()),
             PhysNode::Mgjn { .. } => out.push("MGJN".into()),
@@ -617,7 +650,7 @@ impl PhysNode {
 pub(crate) fn short_hash(s: &str) -> String {
     let mut h: u64 = 0xcbf29ce484222325;
     for b in s.bytes() {
-        h ^= b as u64;
+        h ^= u64::from(b);
         h = h.wrapping_mul(0x100000001b3);
     }
     format!("{:08x}", (h >> 32) as u32)
@@ -651,7 +684,7 @@ mod tests {
                 .layout
                 .iter()
                 .chain(r.props().layout.iter())
-                .cloned()
+                .copied()
                 .collect(),
             sorted_by: None,
             edge_ranges: vec![ValidityRange::unbounded(), ValidityRange::unbounded()],

@@ -218,7 +218,7 @@ impl QuerySpec {
                     e.outer_col.table
                 )));
             }
-            for c in e.pred.iter().flat_map(|p| p.columns_used()) {
+            for c in e.pred.iter().flat_map(pop_expr::Expr::columns_used) {
                 if c.table != 0 {
                     return Err(PopError::InvalidQuery(
                         "EXISTS inner predicate must reference the inner table as table 0".into(),

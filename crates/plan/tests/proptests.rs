@@ -43,7 +43,7 @@ proptest! {
     #[test]
     fn proper_subsets_enumeration_is_complete(a in prop::collection::btree_set(0usize..10, 1..6)) {
         let ts = to_ts(&a);
-        let subs: BTreeSet<u64> = ts.proper_subsets().map(|s| s.mask()).collect();
+        let subs: BTreeSet<u64> = ts.proper_subsets().map(pop_plan::TableSet::mask).collect();
         // Count: 2^n - 2 (excludes empty and full).
         let expected = (1u64 << a.len()) - 2;
         prop_assert_eq!(subs.len() as u64, expected);

@@ -6,7 +6,8 @@
 //! work accounting of the driver, plan comparison during pruning — is
 //! reasoning over garbage.
 
-use crate::{DiagCode, Sink};
+use crate::dataflow::{NodeCx, Pass};
+use crate::{DiagCode, LintContext, Sink};
 use pop_plan::PhysNode;
 
 /// Relative + absolute slack for the monotonicity comparison: cumulative
@@ -14,7 +15,15 @@ use pop_plan::PhysNode;
 const REL_EPS: f64 = 1e-9;
 const ABS_EPS: f64 = 1e-6;
 
-pub(crate) fn check_node(node: &PhysNode, path: &[usize], sink: &mut Sink) {
+pub(crate) struct CostPass;
+
+impl Pass for CostPass {
+    fn check(&mut self, cx: &NodeCx<'_, '_>, _ctx: &LintContext<'_>, sink: &mut Sink) {
+        check_node(cx.node, cx.path, sink);
+    }
+}
+
+fn check_node(node: &PhysNode, path: &[usize], sink: &mut Sink) {
     let props = node.props();
     if props.card.is_nan() || props.card.is_infinite() || props.card < 0.0 {
         sink.emit(

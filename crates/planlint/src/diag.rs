@@ -31,7 +31,9 @@ impl fmt::Display for Severity {
 /// * `PL1xx` — validity-range consistency
 /// * `PL2xx` — CHECK placement (Table 1 of the paper)
 /// * `PL3xx` — cost/cardinality sanity
-/// * `PL4xx` — temp-MV reuse soundness
+/// * `PL40x` — temp-MV reuse soundness
+/// * `PL41x` — interval dataflow analyses (coverage proof, check
+///   reachability)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // each variant is documented by `title()`
 pub enum DiagCode {
@@ -60,9 +62,44 @@ pub enum DiagCode {
     Pl401,
     Pl402,
     Pl403,
+    Pl411,
+    Pl412,
+    Pl413,
 }
 
 impl DiagCode {
+    /// Every code, in code order (the source of truth for the
+    /// `planlint --codes` table).
+    pub const ALL: [DiagCode; 28] = [
+        DiagCode::Pl001,
+        DiagCode::Pl002,
+        DiagCode::Pl003,
+        DiagCode::Pl004,
+        DiagCode::Pl101,
+        DiagCode::Pl102,
+        DiagCode::Pl103,
+        DiagCode::Pl104,
+        DiagCode::Pl201,
+        DiagCode::Pl202,
+        DiagCode::Pl203,
+        DiagCode::Pl204,
+        DiagCode::Pl205,
+        DiagCode::Pl206,
+        DiagCode::Pl207,
+        DiagCode::Pl208,
+        DiagCode::Pl301,
+        DiagCode::Pl302,
+        DiagCode::Pl303,
+        DiagCode::Pl304,
+        DiagCode::Pl305,
+        DiagCode::Pl306,
+        DiagCode::Pl401,
+        DiagCode::Pl402,
+        DiagCode::Pl403,
+        DiagCode::Pl411,
+        DiagCode::Pl412,
+        DiagCode::Pl413,
+    ];
     /// The stable code string, e.g. `"PL001"`.
     pub fn as_str(&self) -> &'static str {
         match self {
@@ -91,6 +128,9 @@ impl DiagCode {
             DiagCode::Pl401 => "PL401",
             DiagCode::Pl402 => "PL402",
             DiagCode::Pl403 => "PL403",
+            DiagCode::Pl411 => "PL411",
+            DiagCode::Pl412 => "PL412",
+            DiagCode::Pl413 => "PL413",
         }
     }
 
@@ -122,13 +162,28 @@ impl DiagCode {
             DiagCode::Pl401 => "MV scan signature unknown to the catalog",
             DiagCode::Pl402 => "MV scan layout does not match the recorded MV",
             DiagCode::Pl403 => "MV scan estimate drifts from the MV's exact count",
+            DiagCode::Pl411 => "risky edge reaches a pipeline breaker unguarded",
+            DiagCode::Pl412 => "dead checkpoint: its trigger range can never fire",
+            DiagCode::Pl413 => "vacuous checkpoint: its trigger range always fires",
         }
     }
 
     /// The severity this code reports at.
+    ///
+    /// The interval analyses (`PL411`–`PL413`) are Warn by design:
+    /// their leaf intervals come from live statistics, and a chaos- or
+    /// feedback-poisoned estimate can legitimately place a check range
+    /// outside the provable interval — the plan still executes soundly,
+    /// it just carries dead weight worth reporting.
     pub fn severity(&self) -> Severity {
         match self {
-            DiagCode::Pl004 | DiagCode::Pl104 | DiagCode::Pl207 | DiagCode::Pl403 => Severity::Warn,
+            DiagCode::Pl004
+            | DiagCode::Pl104
+            | DiagCode::Pl207
+            | DiagCode::Pl403
+            | DiagCode::Pl411
+            | DiagCode::Pl412
+            | DiagCode::Pl413 => Severity::Warn,
             _ => Severity::Deny,
         }
     }

@@ -8,13 +8,22 @@
 //! exactly what its operator produces from its children, and (c) types
 //! agree where the catalog makes them knowable.
 
+use crate::dataflow::{NodeCx, Pass};
 use crate::{DiagCode, LintContext, Sink};
 use pop_expr::Expr;
 use pop_plan::{AggFunc, LayoutCol, PhysNode, PlanProps, SortKeyRef};
 use pop_storage::Catalog;
 use pop_types::{ColId, DataType, Value};
 
-pub(crate) fn check_node(node: &PhysNode, ctx: &LintContext<'_>, path: &[usize], sink: &mut Sink) {
+pub(crate) struct LayoutPass;
+
+impl Pass for LayoutPass {
+    fn check(&mut self, cx: &NodeCx<'_, '_>, ctx: &LintContext<'_>, sink: &mut Sink) {
+        check_node(cx.node, ctx, cx.path, sink);
+    }
+}
+
+fn check_node(node: &PhysNode, ctx: &LintContext<'_>, path: &[usize], sink: &mut Sink) {
     let env = TypeEnv::new(ctx);
     match node {
         PhysNode::TableScan {
@@ -125,7 +134,7 @@ pub(crate) fn check_node(node: &PhysNode, ctx: &LintContext<'_>, path: &[usize],
                 env.dtype(*outer_key),
                 env.table_col_dtype(&inner.table, inner.join_col),
             ) {
-                env.check_join_key_types(node, *outer_key, a, b, path, sink);
+                TypeEnv::check_join_key_types(node, *outer_key, a, b, path, sink);
             }
         }
         PhysNode::Hsjn {
@@ -188,7 +197,7 @@ pub(crate) fn check_node(node: &PhysNode, ctx: &LintContext<'_>, path: &[usize],
         } => {
             match key {
                 SortKeyRef::Col(c) => {
-                    check_col_resolves(node, *c, &input.props().layout, "sort key", path, sink)
+                    check_col_resolves(node, *c, &input.props().layout, "sort key", path, sink);
                 }
                 SortKeyRef::Pos(p) => {
                     if *p >= input.props().layout.len() {
@@ -420,7 +429,7 @@ fn check_concat_layout(
     path: &[usize],
     sink: &mut Sink,
 ) {
-    let expected: Vec<LayoutCol> = a.layout.iter().chain(b.layout.iter()).cloned().collect();
+    let expected: Vec<LayoutCol> = a.layout.iter().chain(b.layout.iter()).copied().collect();
     if props.layout != expected {
         sink.emit(
             DiagCode::Pl002,
@@ -535,7 +544,6 @@ impl<'a> TypeEnv<'a> {
     }
 
     fn check_join_key_types(
-        &self,
         node: &PhysNode,
         key: ColId,
         a: DataType,
@@ -563,7 +571,7 @@ impl<'a> TypeEnv<'a> {
     ) {
         for (ka, kb) in a.iter().zip(b.iter()) {
             if let (Some(ta), Some(tb)) = (self.dtype(*ka), self.dtype(*kb)) {
-                self.check_join_key_types(node, *ka, ta, tb, path, sink);
+                Self::check_join_key_types(node, *ka, ta, tb, path, sink);
             }
         }
     }

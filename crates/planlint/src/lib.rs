@@ -11,7 +11,16 @@
 //! a malformed plan is rejected up front instead of surfacing as a wrong
 //! answer or a panic mid-query.
 //!
-//! Six passes run over the [`PhysNode`] tree:
+//! The analyzer is a **dataflow framework**: a bottom-up abstract
+//! interpreter ([`dataflow`]) computes, per node, a cardinality interval
+//! (`[lo, hi]` bounds on the *actual* output cardinality, seeded from
+//! live statistics — [`CardInterval`]) together with the
+//! partitioning/materialization property lattice, via a generic
+//! `transfer(op, inputs) -> AbstractState` function. Every lint pass
+//! runs against those states in one shared pre-order walk; there are no
+//! per-pass traversals.
+//!
+//! Seven passes run over the [`PhysNode`] tree:
 //!
 //! 1. **Schema/layout** (`PL0xx`) — every column reference in filters,
 //!    join keys, aggregates, projections and sort keys resolves against
@@ -34,6 +43,18 @@
 //!    partitioning agrees with fold registration (a partitioned CHECK
 //!    folds into the shared global counter; BUFCHECK is never
 //!    partitioned).
+//! 7. **Interval analyses** (`PL41x`) — the CHECK-coverage proof (a
+//!    risky edge must meet a CHECK or materialization point before the
+//!    next pipeline breaker, else `PL411`) and validity-range
+//!    reachability (`PL412` dead checks that can never fire, `PL413`
+//!    vacuous checks that always fire). These require a
+//!    [`pop_stats::StatsRegistry`] in the context; without one the
+//!    intervals are unknown and the pass is silent.
+//!
+//! [`certify`] distils the same interpretation into a per-plan
+//! [`RobustnessCertificate`] — guarded edges, uncovered residual risk,
+//! worst-case re-optimization depth — that the driver attaches to its
+//! run report.
 //!
 //! The analyzer is advisory: it returns a flat [`Vec<PlanDiagnostic>`]
 //! and never mutates the plan. The POP driver decides what to do with
@@ -48,29 +69,55 @@
 
 #![forbid(unsafe_code)]
 
+mod certificate;
 mod cost;
+mod dataflow;
 mod diag;
+mod domain;
 mod layout;
 mod mv;
 mod parallel;
 mod placement;
 mod validity;
 
+pub use certificate::{certify, RobustnessCertificate};
 pub use diag::{DiagCode, PlanDiagnostic, Severity};
+pub use domain::CardInterval;
 
 use pop_guard::CleanupRegistry;
 use pop_plan::{PhysNode, QuerySpec};
+use pop_stats::StatsRegistry;
 use pop_storage::Catalog;
 
+/// Default [`LintOptions::risk_threshold`]: report an edge as risky as
+/// soon as its cardinality can leave the validity range at all.
+pub const DEFAULT_RISK_THRESHOLD: f64 = 1.0;
+
 /// Tunable behaviour of the analyzer.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LintOptions {
     /// Expect every materialization point (SORT/TEMP) to be guarded by a
-    /// checkpoint (`PL104`). Only meaningful when POP placed checkpoints
-    /// at all, so the rule stays quiet on plans with no checks (e.g. below
-    /// the cost threshold). The driver enables this when the LC flavor is
-    /// on.
+    /// checkpoint (`PL104`), and every risky edge to be dominated by a
+    /// CHECK or materialization point before the next pipeline breaker
+    /// (`PL411`). Only meaningful when POP placed checkpoints at all, so
+    /// the rules stay quiet on plans with no checks (e.g. below the cost
+    /// threshold). The driver enables this when the LC flavor is on.
     pub expect_check_coverage: bool,
+    /// How far a cardinality interval must escape an edge's validity
+    /// range (max of `interval.hi / range.hi` and `range.lo /
+    /// interval.lo`) before the edge counts as *risky* for `PL411` and
+    /// the robustness certificate. `1.0` means any provable escape;
+    /// larger values tolerate proportionally wider excursions.
+    pub risk_threshold: f64,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            expect_check_coverage: false,
+            risk_threshold: DEFAULT_RISK_THRESHOLD,
+        }
+    }
 }
 
 /// What the analyzer may consult besides the plan itself. Both references
@@ -87,6 +134,10 @@ pub struct LintContext<'a> {
     /// checkpoint's side table must be covered (`PL208`); `None` skips
     /// the rule (external analysis without a running query).
     pub cleanups: Option<&'a CleanupRegistry>,
+    /// Live table statistics, seeding the leaf cardinality intervals of
+    /// the abstract interpreter. Without them every interval is unknown
+    /// (`[0, inf)`) and the interval analyses (`PL41x`) stay silent.
+    pub stats: Option<&'a StatsRegistry>,
     /// Options.
     pub options: LintOptions,
 }
@@ -97,6 +148,7 @@ impl std::fmt::Debug for LintContext<'_> {
             .field("catalog", &self.catalog.is_some())
             .field("spec", &self.spec.is_some())
             .field("cleanups", &self.cleanups.is_some())
+            .field("stats", &self.stats.is_some())
             .field("options", &self.options)
             .finish()
     }
@@ -109,6 +161,7 @@ impl<'a> LintContext<'a> {
             catalog: None,
             spec: None,
             cleanups: None,
+            stats: None,
             options: LintOptions::default(),
         }
     }
@@ -119,6 +172,7 @@ impl<'a> LintContext<'a> {
             catalog: Some(catalog),
             spec: Some(spec),
             cleanups: None,
+            stats: None,
             options: LintOptions::default(),
         }
     }
@@ -126,6 +180,24 @@ impl<'a> LintContext<'a> {
     /// Set [`LintOptions::expect_check_coverage`].
     pub fn expect_check_coverage(mut self, on: bool) -> Self {
         self.options.expect_check_coverage = on;
+        self
+    }
+
+    /// Supply live table statistics, seeding the leaf intervals of the
+    /// abstract interpreter and enabling the `PL41x` analyses.
+    pub fn with_stats(mut self, stats: &'a StatsRegistry) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Set [`LintOptions::risk_threshold`]. Non-finite or sub-1.0 values
+    /// are clamped to the default.
+    pub fn risk_threshold(mut self, threshold: f64) -> Self {
+        self.options.risk_threshold = if threshold.is_finite() && threshold >= 1.0 {
+            threshold
+        } else {
+            DEFAULT_RISK_THRESHOLD
+        };
         self
     }
 
@@ -187,16 +259,56 @@ pub(crate) fn through_checks(mut node: &PhysNode) -> &PhysNode {
     node
 }
 
-/// Run all six passes over `plan` and return every finding, in tree
+/// Run all seven passes over `plan` and return every finding, in tree
 /// pre-order (whole-plan rules like duplicate-id detection come last).
+///
+/// Phase 1 abstract-interprets the plan bottom-up ([`dataflow`]); phase 2
+/// walks the tree pre-order handing every pass the node together with its
+/// computed [`dataflow`] states.
 pub fn lint_plan(plan: &PhysNode, ctx: &LintContext<'_>) -> Vec<PlanDiagnostic> {
     let mut sink = Sink { diags: Vec::new() };
-    let mut path: Vec<usize> = Vec::new();
-    let mut frames: Vec<Frame<'_>> = Vec::new();
-    walk(plan, ctx, &mut path, &mut frames, &mut sink);
-    placement::check_unique_ids(plan, &mut sink);
-    placement::check_coverage(plan, ctx, &mut sink);
+    let states = dataflow::interpret(plan, ctx);
+    let mut layout = layout::LayoutPass;
+    let mut validity = validity::ValidityPass;
+    let mut placement = placement::PlacementPass::new();
+    let mut cost = cost::CostPass;
+    let mut mv = mv::MvPass;
+    let mut parallel = parallel::ParallelPass;
+    let mut risk = dataflow::RiskPass::new();
+    let mut passes: [&mut dyn dataflow::Pass; 7] = [
+        &mut layout,
+        &mut validity,
+        &mut placement,
+        &mut cost,
+        &mut mv,
+        &mut parallel,
+        &mut risk,
+    ];
+    dataflow::drive(plan, ctx, &states, &mut passes, &mut sink);
     sink.diags
+}
+
+/// The abstract interpretation itself, exposed for cross-validation: the
+/// path, optimizer estimate and computed cardinality interval of every
+/// node, in pre-order.
+pub fn plan_intervals(plan: &PhysNode, ctx: &LintContext<'_>) -> Vec<(String, f64, CardInterval)> {
+    let states = dataflow::interpret(plan, ctx);
+    let mut meta: Vec<(String, f64)> = Vec::new();
+    let mut path = Vec::new();
+    collect_meta(plan, &mut path, &mut meta);
+    meta.into_iter()
+        .zip(states.states())
+        .map(|((p, est), st)| (p, est, st.interval))
+        .collect()
+}
+
+fn collect_meta(node: &PhysNode, path: &mut Vec<usize>, out: &mut Vec<(String, f64)>) {
+    out.push((render_path(path), node.props().card));
+    for (i, child) in node.children().into_iter().enumerate() {
+        path.push(i);
+        collect_meta(child, path, out);
+        path.pop();
+    }
 }
 
 /// True iff any finding is `Deny`-severity.
@@ -210,31 +322,9 @@ pub fn deny_summary(diags: &[PlanDiagnostic]) -> String {
     diags
         .iter()
         .filter(|d| d.severity == Severity::Deny)
-        .map(|d| d.to_string())
+        .map(std::string::ToString::to_string)
         .collect::<Vec<_>>()
         .join("; ")
-}
-
-fn walk<'a>(
-    node: &'a PhysNode,
-    ctx: &LintContext<'_>,
-    path: &mut Vec<usize>,
-    frames: &mut Vec<Frame<'a>>,
-    sink: &mut Sink,
-) {
-    layout::check_node(node, ctx, path, sink);
-    validity::check_node(node, path, sink);
-    placement::check_node(node, ctx, frames, path, sink);
-    cost::check_node(node, path, sink);
-    mv::check_node(node, ctx, path, sink);
-    parallel::check_node(node, frames, path, sink);
-    for (i, child) in node.children().into_iter().enumerate() {
-        path.push(i);
-        frames.push(Frame { node, child_idx: i });
-        walk(child, ctx, path, frames, sink);
-        frames.pop();
-        path.pop();
-    }
 }
 
 #[cfg(test)]
@@ -277,7 +367,7 @@ pub(crate) mod testutil {
                 .layout
                 .iter()
                 .chain(probe.props().layout.iter())
-                .cloned()
+                .copied()
                 .collect(),
             sorted_by: None,
             edge_ranges: vec![ValidityRange::unbounded(), ValidityRange::unbounded()],

@@ -8,10 +8,19 @@
 //!
 //! Requires a catalog in the [`LintContext`]; skipped without one.
 
+use crate::dataflow::{NodeCx, Pass};
 use crate::{DiagCode, LintContext, Sink};
 use pop_plan::{LayoutCol, PhysNode};
 
-pub(crate) fn check_node(node: &PhysNode, ctx: &LintContext<'_>, path: &[usize], sink: &mut Sink) {
+pub(crate) struct MvPass;
+
+impl Pass for MvPass {
+    fn check(&mut self, cx: &NodeCx<'_, '_>, ctx: &LintContext<'_>, sink: &mut Sink) {
+        check_node(cx.node, ctx, cx.path, sink);
+    }
+}
+
+fn check_node(node: &PhysNode, ctx: &LintContext<'_>, path: &[usize], sink: &mut Sink) {
     let (
         PhysNode::MvScan {
             mv_name,
@@ -130,7 +139,8 @@ mod tests {
             catalog: Some(cat),
             spec: None,
             cleanups: None,
-            options: Default::default(),
+            stats: None,
+            options: crate::LintOptions::default(),
         };
         codes(&lint_plan(plan, &ctx))
     }

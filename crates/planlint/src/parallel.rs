@@ -23,15 +23,27 @@
 //!   (`CheckSpec::fold`), serial CHECKs must not be, and BUFCHECK (which
 //!   has no fold path) must never be partitioned.
 
-use crate::{DiagCode, Frame, Sink};
+use crate::dataflow::{NodeCx, Pass};
+use crate::{DiagCode, Frame, LintContext, Sink};
 use pop_plan::{Partitioning, PhysNode};
 
-pub(crate) fn check_node(node: &PhysNode, frames: &[Frame<'_>], path: &[usize], sink: &mut Sink) {
+pub(crate) struct ParallelPass;
+
+impl Pass for ParallelPass {
+    fn check(&mut self, cx: &NodeCx<'_, '_>, _ctx: &LintContext<'_>, sink: &mut Sink) {
+        check_node(cx, sink);
+    }
+}
+
+fn check_node(cx: &NodeCx<'_, '_>, sink: &mut Sink) {
+    let (node, frames, path) = (cx.node, cx.frames, cx.path);
     let parent = frames.last().map(|f| f.node);
-    let part = &node.props().partitioning;
+    // Partition distributions come from the abstract states, not raw
+    // props: the transfer function mirrors them into the lattice.
+    let part = &cx.state.partitioning;
 
     match node {
-        PhysNode::Gather { input, parts, .. } => {
+        PhysNode::Gather { parts, .. } => {
             if part.is_partitioned() {
                 sink.emit(
                     DiagCode::Pl304,
@@ -40,7 +52,7 @@ pub(crate) fn check_node(node: &PhysNode, frames: &[Frame<'_>], path: &[usize], 
                     format!("GATHER output must be serial, found {part}"),
                 );
             }
-            let inpart = &input.props().partitioning;
+            let inpart = &cx.children[0].partitioning;
             if !inpart.is_partitioned() {
                 sink.emit(
                     DiagCode::Pl304,
@@ -65,10 +77,8 @@ pub(crate) fn check_node(node: &PhysNode, frames: &[Frame<'_>], path: &[usize], 
                 );
             }
         }
-        PhysNode::Exchange {
-            input, keys, parts, ..
-        } => {
-            if !input.props().partitioning.is_partitioned() {
+        PhysNode::Exchange { keys, parts, .. } => {
+            if !cx.children[0].partitioning.is_partitioned() {
                 sink.emit(
                     DiagCode::Pl304,
                     node,
@@ -161,7 +171,7 @@ pub(crate) fn check_node(node: &PhysNode, frames: &[Frame<'_>], path: &[usize], 
     if part.is_partitioned() && !matches!(node, PhysNode::Gather { .. }) {
         let ok = match parent {
             Some(PhysNode::Gather { .. }) => true,
-            Some(PhysNode::Hsjn { .. }) | Some(PhysNode::Nljn { .. }) => {
+            Some(PhysNode::Hsjn { .. } | PhysNode::Nljn { .. }) => {
                 // Probe/outer spines are partitioned with the join; build
                 // sides are serial children and never reach this branch.
                 parent_is_partitioned(parent)

@@ -22,39 +22,76 @@
 //! a flavor/context disagreement (`PL205`) means the placement pass and
 //! the opportunity analysis would report different things.
 
+use crate::dataflow::{NodeCx, Pass};
 use crate::{through_checks, DiagCode, Frame, LintContext, Sink};
 use pop_plan::{CheckContext, CheckFlavor, CheckSpec, PhysNode};
 use std::collections::HashMap;
 
-pub(crate) fn check_node(
-    node: &PhysNode,
-    ctx: &LintContext<'_>,
-    frames: &[Frame<'_>],
-    path: &[usize],
-    sink: &mut Sink,
-) {
-    match node {
-        PhysNode::Check { input, spec, .. } => {
-            check_flavor(node, input, spec, false, ctx, frames, path, sink)
-        }
-        PhysNode::BufCheck { input, spec, .. } => {
-            check_flavor(node, input, spec, true, ctx, frames, path, sink)
-        }
-        _ => {}
+pub(crate) struct PlacementPass {
+    /// Does the plan contain any checkpoints? (Computed lazily at the
+    /// root, which the driver visits first; gates `PL104`.)
+    has_checks: Option<bool>,
+}
+
+impl PlacementPass {
+    pub(crate) fn new() -> Self {
+        PlacementPass { has_checks: None }
     }
 }
 
-#[allow(clippy::too_many_arguments)] // internal walker callback
+impl Pass for PlacementPass {
+    fn check(&mut self, cx: &NodeCx<'_, '_>, ctx: &LintContext<'_>, sink: &mut Sink) {
+        match cx.node {
+            PhysNode::Check { input, spec, .. } => {
+                check_flavor(cx, input, spec, false, ctx, sink);
+            }
+            PhysNode::BufCheck { input, spec, .. } => {
+                check_flavor(cx, input, spec, true, ctx, sink);
+            }
+            _ => {}
+        }
+        // `PL104`: when POP placed checkpoints and the caller expects
+        // coverage, every materialization point should be guarded by a
+        // checkpoint directly above it (the LC rule of Table 1 —
+        // materializations are free check opportunities).
+        if ctx.options.expect_check_coverage
+            && cx.node.is_materialization_point()
+            && !matches!(
+                cx.frames.last().map(|f| f.node),
+                Some(PhysNode::Check { .. } | PhysNode::BufCheck { .. })
+            )
+        {
+            let has_checks = *self
+                .has_checks
+                .get_or_insert_with(|| !crate::dataflow::root_of(cx).checks().is_empty());
+            if has_checks {
+                sink.emit(
+                    DiagCode::Pl104,
+                    cx.node,
+                    cx.path,
+                    format!(
+                        "{} materialization point has no checkpoint above it",
+                        cx.node.name()
+                    ),
+                );
+            }
+        }
+    }
+
+    fn finish(&mut self, plan: &PhysNode, _ctx: &LintContext<'_>, sink: &mut Sink) {
+        check_unique_ids(plan, sink);
+    }
+}
+
 fn check_flavor(
-    node: &PhysNode,
+    cx: &NodeCx<'_, '_>,
     input: &PhysNode,
     spec: &CheckSpec,
     buffered: bool,
     ctx: &LintContext<'_>,
-    frames: &[Frame<'_>],
-    path: &[usize],
     sink: &mut Sink,
 ) {
+    let (node, frames, path) = (cx.node, cx.frames, cx.path);
     if buffered != (spec.flavor == CheckFlavor::Ecb) {
         sink.emit(
             DiagCode::Pl205,
@@ -73,10 +110,14 @@ fn check_flavor(
         (spec.flavor, spec.context),
         (
             CheckFlavor::Lc,
-            CheckContext::AboveSort | CheckContext::AboveTemp | CheckContext::HashBuild
-        ) | (CheckFlavor::Lcem, CheckContext::NljnOuter)
-            | (CheckFlavor::Ecb, CheckContext::NljnOuter)
-            | (CheckFlavor::Ecwc, CheckContext::BelowMaterialization)
+            CheckContext::AboveSort
+                | CheckContext::AboveTemp
+                | CheckContext::HashBuild
+                | CheckContext::AggBuild
+        ) | (
+            CheckFlavor::Lcem | CheckFlavor::Ecb,
+            CheckContext::NljnOuter
+        ) | (CheckFlavor::Ecwc, CheckContext::BelowMaterialization)
             | (CheckFlavor::Ecdc, CheckContext::Pipeline)
     );
     if !context_ok {
@@ -92,9 +133,10 @@ fn check_flavor(
     }
     match spec.flavor {
         CheckFlavor::Lc => {
-            let guarded = through_checks(input).is_materialization_point()
-                || matches!(through_checks(input), PhysNode::MvScan { .. })
-                || on_hash_build_edge(frames);
+            // The abstract domain already folds "materialization point or
+            // MV scan, looking through check wrappers" into the input's
+            // `materialized` bit.
+            let guarded = cx.children[0].materialized || on_build_edge(frames);
             if !guarded {
                 sink.emit(
                     DiagCode::Pl201,
@@ -193,13 +235,22 @@ fn check_flavor(
     }
 }
 
-/// Is the current node (whose ancestor stack is `frames`) on the build
-/// edge of a hash join, looking through any checkpoint wrappers between?
-fn on_hash_build_edge(frames: &[Frame<'_>]) -> bool {
+/// Is the current node (whose ancestor stack is `frames`) on a *build*
+/// edge — the build side of a hash join or the input of a hash aggregate
+/// — looking through any checkpoint wrappers between? Both consume the
+/// edge into a materialized hash table, so a lazy check there resolves
+/// when the build completes.
+fn on_build_edge(frames: &[Frame<'_>]) -> bool {
     for f in frames.iter().rev() {
         match f.node {
-            PhysNode::Check { .. } | PhysNode::BufCheck { .. } => continue,
+            // Checkpoint and partition-parallel wrappers are transparent:
+            // the rows crossing them are the same rows the build consumes.
+            PhysNode::Check { .. }
+            | PhysNode::BufCheck { .. }
+            | PhysNode::Exchange { .. }
+            | PhysNode::Gather { .. } => {}
             PhysNode::Hsjn { .. } => return f.child_idx == 0,
+            PhysNode::HashAgg { .. } => return true,
             _ => return false,
         }
     }
@@ -208,7 +259,7 @@ fn on_hash_build_edge(frames: &[Frame<'_>]) -> bool {
 
 /// `PL206`: checkpoint ids must be unique within a plan — the executor
 /// keys observed cardinalities and re-optimization events by id.
-pub(crate) fn check_unique_ids(plan: &PhysNode, sink: &mut Sink) {
+fn check_unique_ids(plan: &PhysNode, sink: &mut Sink) {
     let mut seen: HashMap<usize, usize> = HashMap::new();
     for spec in plan.checks() {
         *seen.entry(spec.id).or_insert(0) += 1;
@@ -222,47 +273,6 @@ pub(crate) fn check_unique_ids(plan: &PhysNode, sink: &mut Sink) {
             &[],
             format!("checkpoint id {id} appears {n} times"),
         );
-    }
-}
-
-/// `PL104`: when POP placed checkpoints and the caller expects coverage,
-/// every materialization point should be guarded by a checkpoint directly
-/// above it (the LC rule of Table 1 — materializations are free check
-/// opportunities).
-pub(crate) fn check_coverage(plan: &PhysNode, ctx: &LintContext<'_>, sink: &mut Sink) {
-    if !ctx.options.expect_check_coverage || plan.checks().is_empty() {
-        return;
-    }
-    let mut path: Vec<usize> = Vec::new();
-    coverage_walk(plan, None, &mut path, sink);
-}
-
-fn coverage_walk(
-    node: &PhysNode,
-    parent: Option<&PhysNode>,
-    path: &mut Vec<usize>,
-    sink: &mut Sink,
-) {
-    if node.is_materialization_point()
-        && !matches!(
-            parent,
-            Some(PhysNode::Check { .. } | PhysNode::BufCheck { .. })
-        )
-    {
-        sink.emit(
-            DiagCode::Pl104,
-            node,
-            path,
-            format!(
-                "{} materialization point has no checkpoint above it",
-                node.name()
-            ),
-        );
-    }
-    for (i, c) in node.children().into_iter().enumerate() {
-        path.push(i);
-        coverage_walk(c, Some(node), path, sink);
-        path.pop();
     }
 }
 

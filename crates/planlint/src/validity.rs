@@ -11,10 +11,19 @@
 //! `PL104` (unguarded materialization points) lives in the placement pass
 //! where the ancestor context is available.
 
-use crate::{DiagCode, Sink};
+use crate::dataflow::{NodeCx, Pass};
+use crate::{DiagCode, LintContext, Sink};
 use pop_plan::{PhysNode, ValidityRange};
 
-pub(crate) fn check_node(node: &PhysNode, path: &[usize], sink: &mut Sink) {
+pub(crate) struct ValidityPass;
+
+impl Pass for ValidityPass {
+    fn check(&mut self, cx: &NodeCx<'_, '_>, _ctx: &LintContext<'_>, sink: &mut Sink) {
+        check_node(cx.node, cx.path, sink);
+    }
+}
+
+fn check_node(node: &PhysNode, path: &[usize], sink: &mut Sink) {
     // Edge ranges, aligned with children. Alignment is only guaranteed
     // when the counts match (wrappers cloned from a child's props may
     // carry stale extra entries); the contains-check is skipped otherwise.

@@ -20,7 +20,7 @@ impl EquiDepthHistogram {
         if values.is_empty() || buckets == 0 {
             return None;
         }
-        values.sort_by(|a, b| a.total_cmp(b));
+        values.sort_by(f64::total_cmp);
         let n = values.len();
         let b = buckets.min(n);
         let mut bounds = Vec::with_capacity(b + 1);
@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn uniform_values() {
-        let vals: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let vals: Vec<f64> = (1..=100).map(f64::from).collect();
         let h = EquiDepthHistogram::build(vals, 10).unwrap();
         assert_eq!(h.buckets(), 10);
         assert_eq!(h.total(), 100);
@@ -129,7 +129,7 @@ mod tests {
     fn skewed_values_adapt() {
         // 90 copies of 1, then 2..=11: equi-depth puts many buckets on 1.
         let mut vals = vec![1.0; 90];
-        vals.extend((2..=11).map(|i| i as f64));
+        vals.extend((2..=11).map(f64::from));
         let h = EquiDepthHistogram::build(vals, 10).unwrap();
         assert!(h.frac_le(1.0) > 0.85);
         assert!((h.frac_range(Some(2.0), Some(11.0)) - 0.1).abs() < 0.12);
@@ -137,7 +137,7 @@ mod tests {
 
     #[test]
     fn range_estimates() {
-        let vals: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let vals: Vec<f64> = (1..=100).map(f64::from).collect();
         let h = EquiDepthHistogram::build(vals, 10).unwrap();
         let f = h.frac_range(Some(25.0), Some(75.0));
         assert!((f - 0.5).abs() < 0.1, "got {f}");
@@ -168,11 +168,11 @@ mod tests {
 
     #[test]
     fn monotone_frac_le() {
-        let vals: Vec<f64> = (0..50).map(|i| ((i * 37) % 100) as f64).collect();
+        let vals: Vec<f64> = (0..50).map(|i| f64::from((i * 37) % 100)).collect();
         let h = EquiDepthHistogram::build(vals, 8).unwrap();
         let mut prev = -1.0;
         for v in 0..110 {
-            let f = h.frac_le(v as f64);
+            let f = h.frac_le(f64::from(v));
             assert!(f >= prev - 1e-12, "frac_le not monotone at {v}");
             prev = f;
         }

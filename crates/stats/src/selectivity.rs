@@ -115,8 +115,8 @@ fn estimate(
         Expr::Between(e, lo, hi) => {
             if let Expr::Col(c) = e.as_ref() {
                 let cs = stats.col(c.col);
-                let lo_v = comparand(lo, params).and_then(|v| v.as_f64());
-                let hi_v = comparand(hi, params).and_then(|v| v.as_f64());
+                let lo_v = comparand(lo, params).and_then(pop_types::Value::as_f64);
+                let hi_v = comparand(hi, params).and_then(pop_types::Value::as_f64);
                 if let (Some(h), Some(lo_f), Some(hi_f)) = (&cs.histogram, lo_v, hi_v) {
                     return h.frac_range(Some(lo_f), Some(hi_f)) * (1.0 - cs.null_frac());
                 }
@@ -166,7 +166,7 @@ fn estimate_cmp(
             None => 1.0 - defaults.eq,
         },
         CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
-            let v = known.and_then(|v| v.as_f64());
+            let v = known.and_then(pop_types::Value::as_f64);
             match (v, &cs.histogram) {
                 (Some(v), Some(h)) => {
                     let le = h.frac_le(v);

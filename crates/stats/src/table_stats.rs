@@ -103,8 +103,8 @@ pub fn analyze_table(table: &Table) -> TableStats {
             }
         }
         let (min, max, histogram) = if all_numeric && !numeric.is_empty() {
-            let min = numeric.iter().cloned().fold(f64::INFINITY, f64::min);
-            let max = numeric.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let min = numeric.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = numeric.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let hist = EquiDepthHistogram::build(numeric, HISTOGRAM_BUCKETS);
             (Some(min), Some(max), hist)
         } else {

@@ -24,8 +24,8 @@ proptest! {
             prop_assert!(f >= prev - 1e-12, "non-monotone at {v}");
             prev = f;
         }
-        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert_eq!(h.frac_le(min - 1.0), 0.0);
         prop_assert_eq!(h.frac_le(max), 1.0);
     }

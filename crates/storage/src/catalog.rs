@@ -165,7 +165,7 @@ impl Catalog {
                 (None, _) => best = Some(idx.clone()),
                 // Prefer hash for pure equality probes.
                 (Some(b), IndexKind::Hash) if !need_range && b.kind() == IndexKind::Sorted => {
-                    best = Some(idx.clone())
+                    best = Some(idx.clone());
                 }
                 _ => {}
             }

@@ -91,8 +91,8 @@ impl Index {
             return &[];
         }
         match self.kind {
-            IndexKind::Hash => self.hash.get(key).map(|v| v.as_slice()).unwrap_or(&[]),
-            IndexKind::Sorted => self.sorted.get(key).map(|v| v.as_slice()).unwrap_or(&[]),
+            IndexKind::Hash => self.hash.get(key).map_or(&[], std::vec::Vec::as_slice),
+            IndexKind::Sorted => self.sorted.get(key).map_or(&[], std::vec::Vec::as_slice),
         }
     }
 

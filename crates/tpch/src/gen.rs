@@ -129,7 +129,7 @@ impl TpchGen {
                     Value::Int(i as i64),
                     Value::str(format!("Supplier#{i:09}")),
                     Value::Int(rng.gen_range(0..25)),
-                    Value::Float((rng.gen_range(-99_999..=999_999) as f64) / 100.0),
+                    Value::Float(f64::from(rng.gen_range(-99_999..=999_999)) / 100.0),
                 ]
             })
             .collect();
@@ -151,7 +151,7 @@ impl TpchGen {
                     Value::Int(i as i64),
                     Value::str(format!("Customer#{i:09}")),
                     Value::Int(rng.gen_range(0..25)),
-                    Value::Float((rng.gen_range(-99_999..=999_999) as f64) / 100.0),
+                    Value::Float(f64::from(rng.gen_range(-99_999..=999_999)) / 100.0),
                     Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
                 ]
             })
@@ -175,7 +175,7 @@ impl TpchGen {
                     Value::Int(i as i64),
                     Value::Int(rng.gen_range(0..sz.customer as i64)),
                     Value::str(["F", "O", "P"][rng.gen_range(0..3usize)]),
-                    Value::Float((rng.gen_range(1_000..=500_000) as f64) / 100.0),
+                    Value::Float(f64::from(rng.gen_range(1_000..=500_000)) / 100.0),
                     Value::Date(rng.gen_range(0..DATE_RANGE)),
                     Value::str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]),
                 ]
@@ -215,7 +215,7 @@ impl TpchGen {
                     )),
                     Value::str(ptype),
                     Value::Int(rng.gen_range(1..=50)),
-                    Value::Float((rng.gen_range(90_000..=200_000) as f64) / 100.0),
+                    Value::Float(f64::from(rng.gen_range(90_000..=200_000)) / 100.0),
                 ]
             })
             .collect();
@@ -239,7 +239,7 @@ impl TpchGen {
                     Value::Int((i / 4) as i64 % sz.part as i64),
                     Value::Int(rng.gen_range(0..sz.supplier as i64)),
                     Value::Int(rng.gen_range(1..=9999)),
-                    Value::Float((rng.gen_range(100..=100_000) as f64) / 100.0),
+                    Value::Float(f64::from(rng.gen_range(100..=100_000)) / 100.0),
                 ]
             })
             .collect();
@@ -271,8 +271,8 @@ impl TpchGen {
                     Value::Int(rng.gen_range(0..sz.part as i64)),
                     Value::Int(rng.gen_range(0..sz.supplier as i64)),
                     Value::Int(rng.gen_range(1..=50)),
-                    Value::Float((rng.gen_range(90_000..=10_000_000) as f64) / 100.0),
-                    Value::Float((rng.gen_range(0..=10) as f64) / 100.0),
+                    Value::Float(f64::from(rng.gen_range(90_000..=10_000_000)) / 100.0),
+                    Value::Float(f64::from(rng.gen_range(0..=10)) / 100.0),
                     Value::str(flag),
                     Value::Date(ship),
                     Value::Date(commit),

@@ -85,7 +85,7 @@ impl Value {
         match self {
             Value::Int(i) => Some(*i as f64),
             Value::Float(f) => Some(*f),
-            Value::Date(d) => Some(*d as f64),
+            Value::Date(d) => Some(f64::from(*d)),
             _ => None,
         }
     }
@@ -138,7 +138,7 @@ impl Value {
 
     /// Total comparison used for sorting and joining.
     pub fn cmp_total(&self, other: &Value) -> Ordering {
-        use Value::*;
+        use Value::{Bool, Date, Float, Int, Null, Str};
         match (self, other) {
             (Null, Null) => Ordering::Equal,
             (Int(a), Int(b)) => a.cmp(b),
@@ -149,10 +149,10 @@ impl Value {
             // Numeric cross-type comparisons.
             (Int(a), Float(b)) => (*a as f64).total_cmp(b),
             (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
-            (Int(a), Date(b)) => a.cmp(&(*b as i64)),
-            (Date(a), Int(b)) => (*a as i64).cmp(b),
-            (Float(a), Date(b)) => a.total_cmp(&(*b as f64)),
-            (Date(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Int(a), Date(b)) => a.cmp(&i64::from(*b)),
+            (Date(a), Int(b)) => i64::from(*a).cmp(b),
+            (Float(a), Date(b)) => a.total_cmp(&f64::from(*b)),
+            (Date(a), Float(b)) => f64::from(*a).total_cmp(b),
             _ => self.type_rank().cmp(&other.type_rank()),
         }
     }
@@ -198,7 +198,7 @@ impl Hash for Value {
             }
             Value::Date(d) => {
                 2u8.hash(state);
-                (*d as f64).to_bits().hash(state);
+                f64::from(*d).to_bits().hash(state);
             }
             Value::Str(s) => {
                 5u8.hash(state);

@@ -18,7 +18,7 @@ use pop_types::{DataType, Schema, Value};
 fn gather_parts(plan: &str) -> Option<usize> {
     let at = plan.find("GATHER parts=")?;
     let rest = &plan[at + "GATHER parts=".len()..];
-    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
     digits.parse().ok()
 }
 

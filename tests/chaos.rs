@@ -80,8 +80,8 @@ fn baselines(cat: &Catalog, queries: &[(String, QuerySpec)]) -> Vec<Vec<Vec<Valu
 
 /// Run the sweep over one workload: every fault kind at occurrence
 /// indices `0..SWEEP_DEPTH`, against every query.
-fn sweep(cat: Catalog, queries: &[(String, QuerySpec)]) {
-    let base = baselines(&cat, queries);
+fn sweep(cat: &Catalog, queries: &[(String, QuerySpec)]) {
+    let base = baselines(cat, queries);
     for kind in FaultKind::ALL {
         for at in 0..SWEEP_DEPTH {
             let config = PopConfig {
@@ -112,13 +112,13 @@ fn sweep(cat: Catalog, queries: &[(String, QuerySpec)]) {
 #[test]
 fn chaos_sweep_dmv() {
     let (cat, queries) = workload();
-    sweep(cat, &queries);
+    sweep(&cat, &queries);
 }
 
 #[test]
 fn chaos_sweep_tpch() {
     let (cat, queries) = tpch_workload();
-    sweep(cat, &queries);
+    sweep(&cat, &queries);
 }
 
 /// A compact, fully deterministic description of one run's outcome.

@@ -88,8 +88,8 @@ fn baselines(cat: &Catalog, queries: &[(String, QuerySpec)]) -> Vec<Vec<Vec<Valu
 
 /// Every fault kind at occurrence indices `0..SWEEP_DEPTH`, against every
 /// query, at 4 worker threads.
-fn sweep(cat: Catalog, queries: &[(String, QuerySpec)]) {
-    let base = baselines(&cat, queries);
+fn sweep(cat: &Catalog, queries: &[(String, QuerySpec)]) {
+    let base = baselines(cat, queries);
     for kind in FaultKind::ALL {
         for at in 0..SWEEP_DEPTH {
             let config = PopConfig {
@@ -115,13 +115,13 @@ fn sweep(cat: Catalog, queries: &[(String, QuerySpec)]) {
 #[test]
 fn parallel_chaos_sweep_dmv() {
     let (cat, queries) = workload();
-    sweep(cat, &queries);
+    sweep(&cat, &queries);
 }
 
 #[test]
 fn parallel_chaos_sweep_tpch() {
     let (cat, queries) = tpch_workload();
-    sweep(cat, &queries);
+    sweep(&cat, &queries);
 }
 
 #[test]

@@ -104,12 +104,12 @@ fn run_workload(
 
 fn assert_workload_invariant(
     make_catalog: impl Fn() -> Catalog,
-    queries: Vec<(String, pop::QuerySpec)>,
+    queries: &[(String, pop::QuerySpec)],
     label: &str,
 ) {
-    let reference = run_workload(make_catalog(), &queries, 1);
+    let reference = run_workload(make_catalog(), queries, 1);
     for bs in BATCH_SIZES {
-        let got = run_workload(make_catalog(), &queries, bs);
+        let got = run_workload(make_catalog(), queries, bs);
         for (((rows_ref, rep_ref), (rows, rep)), (name, _)) in
             reference.iter().zip(got.iter()).zip(queries.iter())
         {
@@ -126,7 +126,7 @@ fn dmv_workload_is_batch_size_invariant() {
         .into_iter()
         .map(|q| (q.name.clone(), q.spec))
         .collect();
-    assert_workload_invariant(|| dmv_catalog(DMV_SCALE).unwrap(), queries, "dmv");
+    assert_workload_invariant(|| dmv_catalog(DMV_SCALE).unwrap(), &queries, "dmv");
 }
 
 #[test]
@@ -135,7 +135,7 @@ fn tpch_suite_is_batch_size_invariant() {
         .into_iter()
         .map(|(name, spec)| (name.to_string(), spec))
         .collect();
-    assert_workload_invariant(|| tpch_catalog(TPCH_SF).unwrap(), queries, "tpch");
+    assert_workload_invariant(|| tpch_catalog(TPCH_SF).unwrap(), &queries, "tpch");
 }
 
 // ---------------------------------------------------------------------
@@ -300,13 +300,13 @@ fn run_workload_threads(
 
 fn assert_thread_invariant(
     make_catalog: impl Fn() -> Catalog,
-    queries: Vec<(String, pop::QuerySpec)>,
+    queries: &[(String, pop::QuerySpec)],
     label: &str,
 ) {
     for bs in [1usize, 1024] {
-        let reference = run_workload_threads(make_catalog(), &queries, bs, 1);
+        let reference = run_workload_threads(make_catalog(), queries, bs, 1);
         for threads in THREAD_COUNTS {
-            let got = run_workload_threads(make_catalog(), &queries, bs, threads);
+            let got = run_workload_threads(make_catalog(), queries, bs, threads);
             for (((rows_ref, rep_ref), (rows, rep)), (name, _)) in
                 reference.iter().zip(got.iter()).zip(queries.iter())
             {
@@ -332,7 +332,7 @@ fn dmv_workload_is_thread_count_invariant() {
         .into_iter()
         .map(|q| (q.name.clone(), q.spec))
         .collect();
-    assert_thread_invariant(|| dmv_catalog(DMV_SCALE).unwrap(), queries, "dmv");
+    assert_thread_invariant(|| dmv_catalog(DMV_SCALE).unwrap(), &queries, "dmv");
 }
 
 #[test]
@@ -341,7 +341,7 @@ fn tpch_suite_is_thread_count_invariant() {
         .into_iter()
         .map(|(name, spec)| (name.to_string(), spec))
         .collect();
-    assert_thread_invariant(|| tpch_catalog(TPCH_SF).unwrap(), queries, "tpch");
+    assert_thread_invariant(|| tpch_catalog(TPCH_SF).unwrap(), &queries, "tpch");
 }
 
 /// Morsel boundaries, like batch boundaries, must carry no semantics:

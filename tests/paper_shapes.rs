@@ -80,8 +80,8 @@ fn validity_ranges_show_the_paper_asymmetry() {
     // ...and slack varies over orders of magnitude: tiny edges tolerate
     // huge errors, big edges near plan changes do not.
     let slacks: Vec<f64> = r.ranges.iter().filter_map(|g| g.upper_slack).collect();
-    let min = slacks.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = slacks.iter().cloned().fold(0.0, f64::max);
+    let min = slacks.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = slacks.iter().copied().fold(0.0, f64::max);
     assert!(
         max / min > 20.0,
         "slack spread too small: {min:.2}..{max:.2}"

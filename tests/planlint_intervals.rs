@@ -1,0 +1,314 @@
+//! The planlint interval analyses, end to end:
+//!
+//! * cross-validation — the abstract interpreter's cardinality intervals
+//!   must contain the optimizer's own estimate at every node of every
+//!   DMV and TPC-H scenario plan (the two views are computed from the
+//!   same statistics, so an estimate outside the provable interval means
+//!   one of them is wrong);
+//! * the `LintMode` matrix for the interval diagnostics (`PL411`
+//!   coverage holes, `PL412` dead checks, `PL413` vacuous checks) —
+//!   Off stays silent, Warn/Enforce report, and none of them block
+//!   execution (the interval analyses are Warn severity by design);
+//! * robustness-certificate snapshots — the certificate attached to each
+//!   execution step is pinned and must be invariant across thread
+//!   counts and morsel sizes.
+
+use pop::{plan_intervals, LintContext, LintMode, PopConfig, PopExecutor};
+use pop_dmv::{dmv_catalog, dmv_queries};
+use pop_expr::{Expr, Params};
+use pop_plan::{CheckContext, CheckSpec, PhysNode, QueryBuilder, QuerySpec, ValidityRange};
+use pop_storage::Catalog;
+use pop_tpch::{q10, tpch_catalog};
+use pop_types::{DataType, Schema, Value};
+
+// ---------------------------------------------------------------------
+// Cross-validation: intervals vs. optimizer estimates
+// ---------------------------------------------------------------------
+
+/// Absolute + relative slack: the interpreter and the estimator round
+/// differently (`f64` products in different orders), so exact-boundary
+/// estimates may sit epsilon outside the interval.
+fn inside_with_slack(est: f64, lo: f64, hi: f64) -> bool {
+    let eps = 1e-6 + est.abs() * 1e-9;
+    est >= lo - eps && est <= hi + eps
+}
+
+fn cross_validate(label: &str, catalog: Catalog, queries: &[(String, QuerySpec)]) {
+    let exec = PopExecutor::new(catalog, PopConfig::default()).unwrap();
+    for (name, spec) in queries {
+        let plan = exec.plan(spec, &Params::none()).unwrap();
+        let ctx = LintContext::full(exec.catalog(), spec).with_stats(exec.stats());
+        let nodes = plan_intervals(&plan, &ctx);
+        assert!(!nodes.is_empty(), "{label}/{name}: empty interval table");
+        for (path, est, interval) in nodes {
+            assert!(
+                inside_with_slack(est, interval.lo, interval.hi),
+                "{label}/{name}: estimate {est} at {path} escapes the provable \
+                 interval {interval}"
+            );
+        }
+    }
+}
+
+#[test]
+fn intervals_contain_optimizer_estimates_on_dmv() {
+    let queries: Vec<(String, QuerySpec)> = dmv_queries()
+        .into_iter()
+        .map(|q| (q.name, q.spec))
+        .collect();
+    cross_validate("dmv", dmv_catalog(0.0003).unwrap(), &queries);
+}
+
+#[test]
+fn intervals_contain_optimizer_estimates_on_tpch() {
+    let queries: Vec<(String, QuerySpec)> = pop_tpch::all_queries()
+        .into_iter()
+        .map(|(n, spec)| (n.to_string(), spec))
+        .collect();
+    cross_validate("tpch", tpch_catalog(0.005).unwrap(), &queries);
+}
+
+// ---------------------------------------------------------------------
+// LintMode matrix for the PL41x diagnostics
+// ---------------------------------------------------------------------
+
+fn matrix_db() -> Catalog {
+    let cat = Catalog::new();
+    cat.create_table(
+        "customer",
+        Schema::from_pairs(&[("cid", DataType::Int), ("grp", DataType::Int)]),
+        (0..500)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 10)])
+            .collect(),
+    )
+    .unwrap();
+    cat.create_table(
+        "orders",
+        Schema::from_pairs(&[("oid", DataType::Int), ("cust", DataType::Int)]),
+        (0..5000)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 500)])
+            .collect(),
+    )
+    .unwrap();
+    cat
+}
+
+/// Join + group-by: the optimizer materializes through the aggregate's
+/// hash table, so LC places both a build-side check and an agg-input
+/// check — the fixtures below mutate or strip those.
+fn matrix_query() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let c = b.table("customer");
+    let o = b.table("orders");
+    b.join(c, 0, o, 1);
+    b.filter(c, Expr::col(c, 1).eq(Expr::lit(3i64)));
+    b.aggregate(&[(c, 1)], vec![pop::AggFunc::Count]);
+    b.build().unwrap()
+}
+
+fn matrix_config(mode: LintMode) -> PopConfig {
+    let mut config = PopConfig {
+        lint: mode,
+        // Checks only count here: the fixtures rewrite trigger ranges
+        // into deliberately absurd ones, and a runtime trip would tangle
+        // the matrix with re-optimization behaviour.
+        observe_only: true,
+        ..PopConfig::default()
+    };
+    config.cost_model.mem_rows = 400.0;
+    config
+}
+
+fn for_each_check_spec(node: &mut PhysNode, f: &mut impl FnMut(&mut CheckSpec)) {
+    if let PhysNode::Check { spec, .. } | PhysNode::BufCheck { spec, .. } = node {
+        f(spec);
+    }
+    for child in node.children_mut() {
+        for_each_check_spec(child, f);
+    }
+}
+
+/// Drop every agg-input LC check, leaving the rest of the safety net in
+/// place, and record a bounded validity range on the aggregate's input
+/// edge (edge ranges are optimizer metadata on plan props, like the
+/// corruption in `planlint_e2e`): the edge into the aggregate becomes an
+/// uncovered risky edge — exactly the coverage gap `PL411` proves.
+fn open_agg_coverage_hole(node: &mut PhysNode) {
+    loop {
+        let inner = match node {
+            PhysNode::Check { input, spec, .. } if spec.context == CheckContext::AggBuild => {
+                Some((**input).clone())
+            }
+            _ => None,
+        };
+        match inner {
+            Some(i) => *node = i,
+            None => break,
+        }
+    }
+    if matches!(node, PhysNode::HashAgg { .. }) {
+        node.props_mut().edge_ranges = vec![ValidityRange::new(76.0, 5530.0)];
+    }
+    for child in node.children_mut() {
+        open_agg_coverage_hole(child);
+    }
+}
+
+/// Run one mutated plan under one lint mode; return the step-0 warnings.
+fn lint_warnings_for(mode: LintMode, mutate: impl Fn(&mut PhysNode)) -> Vec<String> {
+    let exec = PopExecutor::new(matrix_db(), matrix_config(mode)).unwrap();
+    let q = matrix_query();
+    let mut plan = exec.plan(&q, &Params::none()).unwrap();
+    assert!(
+        !plan.checks().is_empty(),
+        "fixture plan lost its checkpoints; the matrix needs them"
+    );
+    mutate(&mut plan);
+    let res = exec.execute_plan(&q, &plan, &Params::none()).unwrap();
+    assert_eq!(res.rows.len(), 1, "one group survives the filter");
+    let step = &res.report.steps[0];
+    match mode {
+        LintMode::Off => assert!(step.certificate.is_none(), "Off must not certify"),
+        _ => assert!(
+            step.certificate.is_some(),
+            "vetted steps carry a certificate"
+        ),
+    }
+    step.lint_warnings.clone()
+}
+
+#[test]
+fn lint_mode_matrix_dead_check_pl412() {
+    // A bounded trigger range wide enough to swallow any reachable
+    // cardinality: the check can never fire.
+    let dead = |plan: &mut PhysNode| {
+        for_each_check_spec(plan, &mut |spec| {
+            spec.range = ValidityRange::new(0.0, 1e300);
+        });
+    };
+    assert!(lint_warnings_for(LintMode::Off, dead).is_empty());
+    for mode in [LintMode::Warn, LintMode::Enforce] {
+        let warnings = lint_warnings_for(mode, dead);
+        assert!(
+            warnings.iter().any(|w| w.contains("PL412")),
+            "{mode:?}: {warnings:?}"
+        );
+    }
+}
+
+#[test]
+fn lint_mode_matrix_vacuous_check_pl413() {
+    // A trigger range disjoint from every reachable cardinality: the
+    // check always fires.
+    let vacuous = |plan: &mut PhysNode| {
+        for_each_check_spec(plan, &mut |spec| {
+            spec.range = ValidityRange::new(1e300, 2e300);
+            // Keep the estimate inside the rewritten range: the fixture
+            // targets PL413 (reachability), not PL102 (self-consistency).
+            spec.est_card = 1.5e300;
+        });
+    };
+    assert!(lint_warnings_for(LintMode::Off, vacuous).is_empty());
+    for mode in [LintMode::Warn, LintMode::Enforce] {
+        let warnings = lint_warnings_for(mode, vacuous);
+        assert!(
+            warnings.iter().any(|w| w.contains("PL413")),
+            "{mode:?}: {warnings:?}"
+        );
+    }
+}
+
+#[test]
+fn lint_mode_matrix_coverage_hole_pl411() {
+    assert!(lint_warnings_for(LintMode::Off, open_agg_coverage_hole).is_empty());
+    for mode in [LintMode::Warn, LintMode::Enforce] {
+        let warnings = lint_warnings_for(mode, open_agg_coverage_hole);
+        assert!(
+            warnings.iter().any(|w| w.contains("PL411")),
+            "{mode:?}: {warnings:?}"
+        );
+    }
+}
+
+#[test]
+fn interval_diagnostics_never_block_execution() {
+    // PL41x findings are Warn severity by design: even Enforce mode must
+    // execute a plan whose only findings are interval advisories.
+    let warnings = lint_warnings_for(LintMode::Enforce, |p| {
+        for_each_check_spec(p, &mut |spec| {
+            spec.range = ValidityRange::new(0.0, 1e300);
+        });
+    });
+    assert!(!warnings.is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Robustness-certificate snapshots: threads x morsel sizes
+// ---------------------------------------------------------------------
+
+/// Per-step certificates of one run under a given parallel configuration.
+fn certificates(
+    catalog: Catalog,
+    spec: &QuerySpec,
+    params: &Params,
+    threads: usize,
+    morsel_size: usize,
+) -> Vec<String> {
+    let mut config = PopConfig::default();
+    config.optimizer.threads = threads;
+    config.morsel_size = morsel_size;
+    let exec = PopExecutor::new(catalog, config).unwrap();
+    let res = exec.run(spec, params).unwrap();
+    res.report
+        .steps
+        .iter()
+        .map(|s| {
+            s.certificate
+                .as_ref()
+                .expect("every vetted step carries a certificate")
+                .render()
+        })
+        .collect()
+}
+
+fn assert_certificates_invariant(
+    label: &str,
+    catalog: &Catalog,
+    spec: &QuerySpec,
+    params: &Params,
+) {
+    let baseline = certificates(catalog.clone(), spec, params, 1, 1);
+    assert!(!baseline.is_empty(), "{label}: no steps");
+    for cert in &baseline {
+        assert!(cert.starts_with("cert "), "{label}: {cert}");
+    }
+    for (threads, morsel) in [(1, 1024), (4, 1), (4, 1024)] {
+        let got = certificates(catalog.clone(), spec, params, threads, morsel);
+        assert_eq!(
+            got, baseline,
+            "{label}: certificate changed at threads={threads} morsel={morsel}"
+        );
+    }
+}
+
+#[test]
+fn q10_certificates_are_thread_and_morsel_invariant() {
+    let catalog = tpch_catalog(0.005).unwrap();
+    let q = q10();
+    // Quantity 25: mid selectivity, enough rows to form parallel regions.
+    let params = Params::new(vec![Value::Int(25)]);
+    assert_certificates_invariant("tpch/Q10", &catalog, &q, &params);
+}
+
+#[test]
+fn dmv_certificates_are_thread_and_morsel_invariant() {
+    let catalog = dmv_catalog(0.0003).unwrap();
+    for q in dmv_queries() {
+        assert_certificates_invariant(
+            &format!("dmv/{}", q.name),
+            &catalog,
+            &q.spec,
+            &Params::none(),
+        );
+    }
+}
