@@ -75,6 +75,10 @@ struct BenchReport {
     speedup_floor: f64,
     threads1_floor: f64,
     assertion_ran: bool,
+    /// True when the benchmark ran more worker threads than the host has
+    /// cores (`available_cores < threads`): parallel timings then measure
+    /// time-slicing, not speedup, and should be read accordingly.
+    oversubscribed: bool,
     queries: Vec<QueryLine>,
 }
 
@@ -202,6 +206,7 @@ fn main() {
         speedup_floor: SPEEDUP_FLOOR,
         threads1_floor: THREADS1_FLOOR,
         assertion_ran,
+        oversubscribed: cores < THREADS,
         queries: Vec::new(),
     };
     println!(

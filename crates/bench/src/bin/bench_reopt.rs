@@ -1,0 +1,396 @@
+//! Re-optimization latency: incremental memo vs from-scratch planning.
+//!
+//! ```text
+//! bench_reopt [--quick] [--assert]
+//! ```
+//!
+//! Two experiments:
+//!
+//! 1. **Re-opt latency on a 6-join chain** (7 tables, 127 join-order
+//!    groups), in two scenarios that bracket where a CHECK can fire:
+//!
+//!    * `root_check` — the violated check sits above the final join
+//!      (the LC check at the last materialization point, or the ECB
+//!      buffer at the root). Its cardinality fact lands on the full
+//!      table set, whose only superset is itself: dirty propagation
+//!      re-derives exactly one group and reuses the other 126. This is
+//!      the scenario the `--assert` flag holds to [`SPEEDUP_FLOOR`]x.
+//!    * `deep_check` — the violated check covers a two-table leaf
+//!      subplan. Every covering group's estimate genuinely changes
+//!      (2^5 = 32 of 127 re-derived), so the win is bounded; the
+//!      assertion only requires incremental to not be *slower*.
+//!
+//!    Each planner runs alone in its own steady-state loop over the
+//!    same injected-fact sequence (a deployed system runs one planner
+//!    or the other), the incremental side is checked for bit-identical
+//!    plan cost against an untimed from-scratch run every round, and
+//!    latency is summarized by the per-round median.
+//!
+//! 2. **Repeated parameterized Q10.** Under cross-query learning the
+//!    first run pays for its misestimate with a re-optimization; the
+//!    facts it publishes seed the second run's first plan (zero reopts),
+//!    and the validity-range plan cache serves the third run without
+//!    optimizing at all. `--assert` fails on any deviation.
+//!
+//! Raw data goes to `results/BENCH_reopt.json`.
+
+use pop::{PopConfig, PopExecutor};
+use pop_expr::{Expr, Params};
+use pop_optimizer::{
+    optimize, optimize_with_memo, CardFact, FeedbackCache, Memo, OptimizerContext,
+};
+use pop_plan::{subplan_signature, QueryBuilder, QuerySpec, TableSet};
+use pop_stats::StatsRegistry;
+use pop_storage::{Catalog, IndexKind};
+use pop_tpch::{q10, tpch_catalog};
+use pop_types::{DataType, Schema, Value};
+use serde::Serialize;
+use std::fs;
+use std::time::Instant;
+
+/// Seven tables make a 6-join chain.
+const CHAIN_TABLES: usize = 7;
+const SPEEDUP_FLOOR: f64 = 5.0;
+const TPCH_SF: f64 = 0.002;
+
+#[derive(Debug, Clone, Serialize)]
+struct ReoptScenario {
+    name: String,
+    /// Where the injected fact comes from, in CHECK terms.
+    description: String,
+    rounds: usize,
+    scratch_median_us: f64,
+    incremental_median_us: f64,
+    speedup: f64,
+    /// Mean groups re-derived per incremental re-optimization.
+    mean_groups_rederived: f64,
+    /// Floor `--assert` holds this scenario's speedup to.
+    asserted_floor: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ReoptLatency {
+    chain_tables: usize,
+    chain_joins: usize,
+    /// Join-order groups in the memo (2^n - 1 for the n-table chain).
+    groups_total: usize,
+    scenarios: Vec<ReoptScenario>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct RepeatedQ10 {
+    first_run_reopts: usize,
+    second_run_reopts: usize,
+    third_run_reopts: usize,
+    second_run_feedback_base_hits: u64,
+    third_run_plan_cache: String,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    speedup_floor: f64,
+    assertion_ran: bool,
+    reopt_latency: ReoptLatency,
+    repeated_q10: RepeatedQ10,
+}
+
+/// A 7-table chain with alternating sizes, so join-order choices are
+/// real and the enumeration space (2^7 - 1 = 127 groups) is non-trivial.
+fn chain_catalog() -> Catalog {
+    let cat = Catalog::new();
+    let sizes = [400usize, 2000, 120, 2600, 80, 1700, 900];
+    for (i, rows) in sizes.iter().enumerate() {
+        cat.create_table(
+            format!("t{i}"),
+            Schema::from_pairs(&[
+                ("pk", DataType::Int),
+                ("key", DataType::Int),
+                ("attr", DataType::Int),
+            ]),
+            (0..*rows)
+                .map(|r| {
+                    vec![
+                        Value::Int(r as i64),
+                        Value::Int((r % 64) as i64),
+                        Value::Int((r % 20) as i64),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        cat.create_index(&format!("t{i}"), "key", IndexKind::Hash)
+            .unwrap();
+    }
+    cat
+}
+
+fn chain_query() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let ids: Vec<usize> = (0..CHAIN_TABLES)
+        .map(|i| b.table(format!("t{i}")))
+        .collect();
+    for w in 1..CHAIN_TABLES {
+        b.join(ids[w - 1], 1, ids[w], 1);
+    }
+    b.filter(ids[0], Expr::col(ids[0], 2).le(Expr::lit(7i64)));
+    b.build().unwrap()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// One timed scenario. Each mode runs in its own steady-state loop over
+/// the *same* fact sequence — a deployed system runs one planner or the
+/// other, so neither should pay the other's cache churn — and latency is
+/// summarized by the per-round median. A separate untimed pass asserts
+/// the incremental plan costs bit-identically to from-scratch after
+/// every injection.
+fn run_scenario(
+    name: &str,
+    description: &str,
+    rounds: usize,
+    asserted_floor: f64,
+    fact_set: impl Fn(usize, &QuerySpec) -> TableSet,
+) -> (ReoptScenario, usize) {
+    let cat = chain_catalog();
+    let stats = StatsRegistry::new();
+    stats.analyze_all(&cat).unwrap();
+    let spec = chain_query();
+    let opt_cfg = pop_optimizer::OptimizerConfig::default();
+    let cost = PopConfig::default().cost_model;
+
+    // Phase 1: from-scratch planner, alone in its loop.
+    let feedback = FeedbackCache::new();
+    let octx = OptimizerContext::new(&cat, &stats, &opt_cfg, &cost, None, &feedback);
+    let warm = optimize(&spec, &octx).unwrap();
+    assert!(warm.props().cost.is_finite());
+    let mut scratch_us = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let set = fact_set(round, &spec);
+        // A fresh value every round so each round really re-plans.
+        let observed = (500 + 137 * round) as f64;
+        feedback.record(subplan_signature(&spec, set), CardFact::Exact(observed));
+        let t0 = Instant::now();
+        let plan = optimize(&spec, &octx).unwrap();
+        scratch_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        assert!(plan.props().cost.is_finite());
+    }
+
+    // Phase 2: equivalence verification, untimed — a fresh memo walks
+    // the same fact sequence and every round's incremental plan must
+    // cost bit-identically to a from-scratch plan.
+    let feedback = FeedbackCache::new();
+    let octx = OptimizerContext::new(&cat, &stats, &opt_cfg, &cost, None, &feedback);
+    let mut memo = Memo::new();
+    optimize_with_memo(&spec, &octx, &mut memo).unwrap();
+    let mut rederived_total = 0usize;
+    let mut groups_total = 0usize;
+    for round in 0..rounds {
+        let set = fact_set(round, &spec);
+        let observed = (500 + 137 * round) as f64;
+        feedback.record(subplan_signature(&spec, set), CardFact::Exact(observed));
+        let (inc, stats_rep) = optimize_with_memo(&spec, &octx, &mut memo).unwrap();
+        let scratch = optimize(&spec, &octx).unwrap();
+        assert_eq!(
+            scratch.props().cost.to_bits(),
+            inc.props().cost.to_bits(),
+            "{name} round {round}: memo and scratch diverged"
+        );
+        assert!(
+            !stats_rep.rebuilt,
+            "{name} round {round}: unexpected full rebuild"
+        );
+        assert!(
+            stats_rep.groups_rederived >= 1,
+            "{name} round {round}: fact did not dirty the memo"
+        );
+        rederived_total += stats_rep.groups_rederived;
+        groups_total = stats_rep.groups_total;
+    }
+
+    // Phase 3: persistent memo, same fact sequence, alone in its
+    // timed loop.
+    let feedback = FeedbackCache::new();
+    let octx = OptimizerContext::new(&cat, &stats, &opt_cfg, &cost, None, &feedback);
+    let mut memo = Memo::new();
+    // Warm: the first optimization builds every group (a query's initial
+    // plan always pays full price; re-optimizations are what POP repeats).
+    let (warm, _) = optimize_with_memo(&spec, &octx, &mut memo).unwrap();
+    assert!(warm.props().cost.is_finite());
+    let mut inc_us = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let set = fact_set(round, &spec);
+        let observed = (500 + 137 * round) as f64;
+        feedback.record(subplan_signature(&spec, set), CardFact::Exact(observed));
+        let t1 = Instant::now();
+        let (inc, _) = optimize_with_memo(&spec, &octx, &mut memo).unwrap();
+        inc_us.push(t1.elapsed().as_secs_f64() * 1e6);
+        assert!(inc.props().cost.is_finite());
+    }
+
+    let scratch_median_us = median(&mut scratch_us);
+    let incremental_median_us = median(&mut inc_us);
+    (
+        ReoptScenario {
+            name: name.into(),
+            description: description.into(),
+            rounds,
+            scratch_median_us,
+            incremental_median_us,
+            speedup: scratch_median_us / incremental_median_us,
+            mean_groups_rederived: rederived_total as f64 / rounds as f64,
+            asserted_floor,
+        },
+        groups_total,
+    )
+}
+
+fn reopt_latency(rounds: usize) -> ReoptLatency {
+    let (root, groups_total) = run_scenario(
+        "root_check",
+        "violated check above the final join (LC at the last \
+         materialization point / ECB at the root): the fact covers the \
+         full table set and dirties exactly one group",
+        rounds,
+        SPEEDUP_FLOOR,
+        |_, spec| spec.all_tables(),
+    );
+    let (deep, _) = run_scenario(
+        "deep_check",
+        "violated check over a rotating two-table leaf subplan: every \
+         covering group re-derives, bounding the win",
+        rounds,
+        1.0,
+        |round, _| {
+            let lo = round % (CHAIN_TABLES - 1);
+            TableSet::from_iter(lo..lo + 2)
+        },
+    );
+    ReoptLatency {
+        chain_tables: CHAIN_TABLES,
+        chain_joins: CHAIN_TABLES - 1,
+        groups_total,
+        scenarios: vec![root, deep],
+    }
+}
+
+fn repeated_q10() -> RepeatedQ10 {
+    // The Figure 11 environment: tight memory and a highly selective
+    // parameter-marker default, so binding 50 misestimates 67x.
+    let mut cfg = PopConfig {
+        learn_across_queries: true,
+        plan_cache: true,
+        ..PopConfig::default()
+    };
+    cfg.cost_model.mem_rows = 4000.0;
+    cfg.optimizer.selectivity_defaults.range = 0.015;
+    let exec = PopExecutor::new(tpch_catalog(TPCH_SF).unwrap(), cfg).unwrap();
+    let q = q10();
+    let params = Params::new(vec![Value::Int(50)]);
+    let first = exec.run(&q, &params).unwrap();
+    let second = exec.run(&q, &params).unwrap();
+    let third = exec.run(&q, &params).unwrap();
+    RepeatedQ10 {
+        first_run_reopts: first.report.reopt_count,
+        second_run_reopts: second.report.reopt_count,
+        third_run_reopts: third.report.reopt_count,
+        second_run_feedback_base_hits: second.report.feedback_base_hits,
+        third_run_plan_cache: third
+            .report
+            .plan_cache
+            .unwrap_or_else(|| "not consulted".into()),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let assert_floor = std::env::args().any(|a| a == "--assert");
+    let rounds = if quick { 40 } else { 200 };
+
+    let latency = reopt_latency(rounds);
+    println!(
+        "re-opt latency, {}-join chain ({} tables, {} groups), {} round(s) each:",
+        latency.chain_joins, latency.chain_tables, latency.groups_total, rounds
+    );
+    for s in &latency.scenarios {
+        println!(
+            "  {:10} from-scratch {:8.1} us   incremental {:8.1} us   \
+             speedup {:5.2}x   (mean {:.1} of {} groups re-derived)",
+            s.name,
+            s.scratch_median_us,
+            s.incremental_median_us,
+            s.speedup,
+            s.mean_groups_rederived,
+            latency.groups_total
+        );
+    }
+
+    let q10_line = repeated_q10();
+    println!(
+        "repeated Q10: reopts {} -> {} -> {}, second-run cross-query hits {}, \
+         third-run plan cache: {}",
+        q10_line.first_run_reopts,
+        q10_line.second_run_reopts,
+        q10_line.third_run_reopts,
+        q10_line.second_run_feedback_base_hits,
+        q10_line.third_run_plan_cache
+    );
+
+    let mut failures = Vec::new();
+    if assert_floor {
+        for s in &latency.scenarios {
+            if s.speedup < s.asserted_floor {
+                failures.push(format!(
+                    "{}: incremental re-optimization only {:.2}x cheaper than \
+                     from-scratch (floor {}x)",
+                    s.name, s.speedup, s.asserted_floor
+                ));
+            }
+        }
+        if q10_line.first_run_reopts == 0 {
+            failures.push("first Q10 run did not re-optimize (misestimate not triggered)".into());
+        }
+        if q10_line.second_run_reopts != 0 {
+            failures.push(format!(
+                "second Q10 run re-optimized {} time(s) despite learned facts",
+                q10_line.second_run_reopts
+            ));
+        }
+        if q10_line.second_run_feedback_base_hits == 0 {
+            failures.push("second Q10 run never consulted the cross-query store".into());
+        }
+        if !q10_line.third_run_plan_cache.starts_with("hit") {
+            failures.push(format!(
+                "third Q10 run did not hit the plan cache: {}",
+                q10_line.third_run_plan_cache
+            ));
+        }
+    }
+
+    let report = BenchReport {
+        speedup_floor: SPEEDUP_FLOOR,
+        assertion_ran: assert_floor,
+        reopt_latency: latency,
+        repeated_q10: q10_line,
+    };
+    let _ = fs::create_dir_all("results");
+    match serde_json::to_string_pretty(&report) {
+        Ok(s) => {
+            if let Err(e) = fs::write("results/BENCH_reopt.json", s) {
+                eprintln!("warning: could not write results/BENCH_reopt.json: {e}");
+            } else {
+                println!("wrote results/BENCH_reopt.json");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize report: {e}"),
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("ASSERTION FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

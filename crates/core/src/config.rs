@@ -54,8 +54,41 @@ pub struct PopConfig {
     /// citing [SLM+01]): retain cardinality feedback across queries, so a
     /// repeated (or overlapping) query is planned with the actual
     /// cardinalities learned from earlier executions and usually needs no
-    /// re-optimization at all.
+    /// re-optimization at all. Overridable with the `POP_FEEDBACK_LEARN`
+    /// environment variable (`true`/`false`).
     pub learn_across_queries: bool,
+    /// Maximum number of subplan signatures the cross-query feedback
+    /// store retains (0 = unbounded): once full, new signatures are
+    /// dropped while known ones still strengthen. Defaults to
+    /// [`pop_optimizer::DEFAULT_FEEDBACK_CAPACITY`]; overridable with the
+    /// `POP_FEEDBACK_CAPACITY` environment variable.
+    pub feedback_capacity: usize,
+    /// Incremental memo maintenance: keep the join-order memo across
+    /// re-optimization steps (and across queries) and re-derive only the
+    /// groups a cardinality fact or MV promotion actually reaches,
+    /// instead of re-enumerating the full join-order space on every
+    /// violation. Plans are provably identical either way; `false`
+    /// re-enumerates from scratch each step. Overridable with the
+    /// `POP_MEMO` environment variable.
+    pub incremental_memo: bool,
+    /// Differential self-check: run the from-scratch optimizer alongside
+    /// every incremental memo pass and fail the step on any divergence in
+    /// plan shape or cost. Expensive (defeats the point of the memo) —
+    /// meant for tests and debugging. Overridable with the
+    /// `POP_VERIFY_MEMO` environment variable.
+    pub verify_memo: bool,
+    /// Validity-range plan cache: reuse a previously finalized plan for
+    /// the same query template when the current binding's estimated
+    /// cardinalities fall inside every validity range the cached plan was
+    /// vetted for; outside any range the cache misses (with a recorded
+    /// reason) and the memo re-derives. Off by default; overridable with
+    /// the `POP_PLAN_CACHE` environment variable.
+    pub plan_cache: bool,
+    /// Maximum number of cached plans across all query templates
+    /// (0 = unbounded). Defaults to
+    /// [`pop_optimizer::DEFAULT_PLAN_CACHE_CAPACITY`]; overridable with
+    /// the `POP_PLAN_CACHE_CAPACITY` environment variable.
+    pub plan_cache_capacity: usize,
     /// Static plan verification: every plan the optimizer hands to the
     /// executor (initial and re-optimized) is linted against structural
     /// invariants first. See [`LintMode`].
@@ -124,6 +157,38 @@ fn threads_from_env(warnings: &mut Vec<String>) -> usize {
     pop_guard::env_parsed("POP_THREADS", |n: &usize| *n > 0, warnings).unwrap_or(1)
 }
 
+/// Cross-query learning switch from `POP_FEEDBACK_LEARN`.
+fn learn_from_env(warnings: &mut Vec<String>) -> bool {
+    pop_guard::env_parsed("POP_FEEDBACK_LEARN", |_: &bool| true, warnings).unwrap_or(false)
+}
+
+/// Feedback-store capacity from `POP_FEEDBACK_CAPACITY` (0 = unbounded).
+fn feedback_capacity_from_env(warnings: &mut Vec<String>) -> usize {
+    pop_guard::env_parsed("POP_FEEDBACK_CAPACITY", |_: &usize| true, warnings)
+        .unwrap_or(pop_optimizer::DEFAULT_FEEDBACK_CAPACITY)
+}
+
+/// Incremental memo switch from `POP_MEMO` (default on).
+fn memo_from_env(warnings: &mut Vec<String>) -> bool {
+    pop_guard::env_parsed("POP_MEMO", |_: &bool| true, warnings).unwrap_or(true)
+}
+
+/// Memo differential self-check switch from `POP_VERIFY_MEMO`.
+fn verify_memo_from_env(warnings: &mut Vec<String>) -> bool {
+    pop_guard::env_parsed("POP_VERIFY_MEMO", |_: &bool| true, warnings).unwrap_or(false)
+}
+
+/// Plan-cache switch from `POP_PLAN_CACHE` (default off).
+fn plan_cache_from_env(warnings: &mut Vec<String>) -> bool {
+    pop_guard::env_parsed("POP_PLAN_CACHE", |_: &bool| true, warnings).unwrap_or(false)
+}
+
+/// Plan-cache capacity from `POP_PLAN_CACHE_CAPACITY` (0 = unbounded).
+fn plan_cache_capacity_from_env(warnings: &mut Vec<String>) -> usize {
+    pop_guard::env_parsed("POP_PLAN_CACHE_CAPACITY", |_: &usize| true, warnings)
+        .unwrap_or(pop_optimizer::DEFAULT_PLAN_CACHE_CAPACITY)
+}
+
 /// Lint risk threshold from `POP_LINT_RISK_THRESHOLD`. Values below 1.0
 /// (or non-finite) fall back — recording a warning — since a threshold
 /// under 1.0 is meaningless (no escape factor is below 1.0).
@@ -156,7 +221,12 @@ impl Default for PopConfig {
             reopt_work: 200.0,
             force_reopt_at: None,
             observe_only: false,
-            learn_across_queries: false,
+            learn_across_queries: learn_from_env(&mut env_warnings),
+            feedback_capacity: feedback_capacity_from_env(&mut env_warnings),
+            incremental_memo: memo_from_env(&mut env_warnings),
+            verify_memo: verify_memo_from_env(&mut env_warnings),
+            plan_cache: plan_cache_from_env(&mut env_warnings),
+            plan_cache_capacity: plan_cache_capacity_from_env(&mut env_warnings),
             lint: LintMode::default(),
             lint_risk_threshold,
             batch_size,

@@ -2,12 +2,16 @@
 //! query completes (§2.1, Figure 3 of the paper).
 
 use crate::{LintMode, PopConfig, QueryResult, RunReport, StepReport};
+use parking_lot::Mutex;
 use pop_exec::{execute, ExecCtx, RunOutcome};
 use pop_guard::{CancelToken, CleanupRegistry, FaultInjector, Governor};
-use pop_optimizer::{optimize, CardFact, FeedbackCache, FlavorSet, OptimizerContext};
+use pop_optimizer::{
+    optimize, optimize_with_memo, CardEstimator, CardFact, FeedbackCache, FeedbackStore, FlavorSet,
+    Memo, MemoStats, OptimizerContext, PlanCache,
+};
 use pop_plan::{
-    canonical_layout, subplan_signature_with_params, CheckFlavor, PhysNode, QuerySpec, TableSet,
-    ValidityRange,
+    canonical_layout, spec_fingerprint, subplan_signature_with_params, CheckFlavor, PhysNode,
+    QuerySpec, TableSet, ValidityRange,
 };
 use pop_stats::{StatsRegistry, TableStats};
 use pop_storage::{Catalog, Table, TempMv};
@@ -48,9 +52,17 @@ pub struct PopExecutor {
     catalog: Catalog,
     stats: StatsRegistry,
     config: PopConfig,
-    /// Cardinality facts retained across queries when
-    /// [`PopConfig::learn_across_queries`] is set (§7, LEO-style).
-    learned: FeedbackCache,
+    /// Cross-query feedback store: cardinality facts published here when
+    /// a query completes under [`PopConfig::learn_across_queries`]
+    /// (§7, LEO-style). Per-query overlays seed their lookups from it.
+    learned: FeedbackStore,
+    /// Persistent join-order memo, maintained incrementally across the
+    /// re-optimization steps of one query and across queries (it clears
+    /// itself whenever the bound query changes).
+    memo: Mutex<Memo>,
+    /// Validity-range plan cache (consulted only under
+    /// [`PopConfig::plan_cache`]).
+    plan_cache: PlanCache,
 }
 
 impl PopExecutor {
@@ -59,22 +71,21 @@ impl PopExecutor {
     pub fn new(catalog: Catalog, config: PopConfig) -> PopResult<Self> {
         let stats = StatsRegistry::new();
         stats.analyze_all(&catalog)?;
-        Ok(PopExecutor {
-            catalog,
-            stats,
-            config,
-            learned: FeedbackCache::new(),
-        })
+        Ok(PopExecutor::with_stats(catalog, stats, config))
     }
 
     /// Create an executor with pre-collected statistics (e.g. deliberately
     /// stale ones, for experiments).
     pub fn with_stats(catalog: Catalog, stats: StatsRegistry, config: PopConfig) -> Self {
+        let learned = FeedbackStore::new(config.feedback_capacity);
+        let plan_cache = PlanCache::new(config.plan_cache_capacity);
         PopExecutor {
             catalog,
             stats,
             config,
-            learned: FeedbackCache::new(),
+            learned,
+            memo: Mutex::new(Memo::new()),
+            plan_cache,
         }
     }
 
@@ -113,10 +124,18 @@ impl PopExecutor {
         Ok(optimize(spec, &octx)?.to_string())
     }
 
-    /// Facts learned from previous queries (populated only when
-    /// [`PopConfig::learn_across_queries`] is enabled).
-    pub fn learned_facts(&self) -> &FeedbackCache {
+    /// The cross-query feedback store (populated only when
+    /// [`PopConfig::learn_across_queries`] is enabled: completed queries
+    /// publish their per-query overlays here).
+    pub fn learned_facts(&self) -> &FeedbackStore {
         &self.learned
+    }
+
+    /// The validity-range plan cache (consulted only under
+    /// [`PopConfig::plan_cache`]). Exposed for inspection: hit/miss
+    /// counters and entry counts.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
     }
 
     /// Execute a query under POP.
@@ -134,11 +153,14 @@ impl PopExecutor {
         cancel: Option<CancelToken>,
     ) -> PopResult<QueryResult> {
         spec.validate()?;
-        // With learning enabled the cache is shared across queries
-        // (subplan signatures include tables and predicates, so facts
-        // transfer exactly to repeated or overlapping subplans).
+        // With learning enabled the per-query overlay reads through to the
+        // shared store (subplan signatures include tables and predicates,
+        // so facts transfer exactly to repeated or overlapping subplans).
+        // Facts observed by this run stay in the overlay until the query
+        // *completes*, then publish — a failed or poisoned run never
+        // contaminates the store other queries plan against.
         let feedback = if self.config.learn_across_queries {
-            self.learned.clone()
+            FeedbackCache::with_base(self.learned.clone())
         } else {
             FeedbackCache::new()
         };
@@ -175,6 +197,12 @@ impl PopExecutor {
             &mut report,
             &mut collected,
         )?;
+        let (overlay_hits, base_hits) = feedback.hit_counts();
+        report.feedback_overlay_hits = overlay_hits;
+        report.feedback_base_hits = base_hits;
+        if self.config.learn_across_queries {
+            feedback.publish();
+        }
         report.total_work = ctx.work;
         Ok(QueryResult {
             rows: collected,
@@ -207,6 +235,25 @@ impl PopExecutor {
     ) -> PopResult<()> {
         let opt_config = self.effective_optimizer_config();
         let mut mv_counter = 0usize;
+        // The validity-range plan cache only applies to plain POP runs:
+        // fault injection, forced re-optimizations and observe-only mode
+        // all change what a "vetted" plan means.
+        let cache_key = if self.config.plan_cache
+            && self.config.enabled
+            && !self.config.observe_only
+            && self.config.faults.is_none()
+            && self.config.force_reopt_at.is_none()
+        {
+            Some(spec_fingerprint(spec))
+        } else {
+            None
+        };
+        let mut cache_hit = false;
+        let mut first_step = true;
+        // The persistent memo is held for the whole loop: each
+        // re-optimization step re-derives only the groups its new facts
+        // dirtied.
+        let mut memo = self.memo.lock();
         // The last successfully vetted plan (unwrapped), kept as the
         // graceful-degradation fallback when a *re*-optimization fails.
         let mut fallback: Option<PhysNode> = None;
@@ -221,30 +268,62 @@ impl PopExecutor {
                 Some(params),
                 feedback,
             );
-            let (plan, vetting) = match self.plan_step(spec, &octx, ctx) {
-                Ok((bare, plan, vetting)) => {
-                    fallback = Some(bare);
-                    (plan, vetting)
-                }
-                // Graceful degradation: a query that already has a working
-                // plan should not abort because *re*-planning failed
-                // (optimizer error, lint rejection, injected fault). Keep
-                // the previous plan and run it to completion with checks
-                // disabled. A first-optimization failure stays fatal —
-                // there is nothing to fall back to.
-                Err(e) => match fallback.take() {
-                    Some(prev) if self.config.graceful_degradation => {
-                        report.degraded = true;
-                        report.warnings.push(format!(
-                            "re-optimization failed ({e}); continuing with the previous plan, checks disabled"
-                        ));
-                        ctx.checks_enabled = false;
-                        // The fallback was vetted when it first ran; the
-                        // only new node is the compensation wrapper.
-                        (wrap_compensation(prev, ctx), Vetting::default())
+            // Plan-cache probe, first step only: reuse a previously vetted
+            // plan for this template when the current binding's estimates
+            // fall inside every validity guard the plan carries.
+            let mut cached_step: Option<(PhysNode, Vetting)> = None;
+            if first_step {
+                if let Some(key) = cache_key.as_deref() {
+                    let est = CardEstimator::new(spec, &octx)?;
+                    let (found, reason) = self.plan_cache.lookup(key, &est);
+                    report.plan_cache = Some(reason);
+                    if let Some(mut plan) = found {
+                        // Signatures fold parameter bindings in; re-key the
+                        // cached plan's checks for the current binding.
+                        rebind_check_signatures(&mut plan, spec, params);
+                        match self.vet_plan(&plan, spec) {
+                            Ok(vetting) => {
+                                fallback = Some(plan.clone());
+                                cache_hit = true;
+                                cached_step = Some((plan, vetting));
+                            }
+                            Err(e) => {
+                                report.plan_cache =
+                                    Some(format!("miss: cached plan failed verification ({e})"));
+                            }
+                        }
                     }
-                    _ => return Err(e),
-                },
+                }
+            }
+            first_step = false;
+            let (plan, vetting, memo_stats) = if let Some((plan, vetting)) = cached_step {
+                (plan, vetting, None)
+            } else {
+                match self.plan_step(spec, &octx, ctx, &mut memo) {
+                    Ok((bare, plan, vetting, stats)) => {
+                        fallback = Some(bare);
+                        (plan, vetting, stats)
+                    }
+                    // Graceful degradation: a query that already has a working
+                    // plan should not abort because *re*-planning failed
+                    // (optimizer error, lint rejection, injected fault). Keep
+                    // the previous plan and run it to completion with checks
+                    // disabled. A first-optimization failure stays fatal —
+                    // there is nothing to fall back to.
+                    Err(e) => match fallback.take() {
+                        Some(prev) if self.config.graceful_degradation => {
+                            report.degraded = true;
+                            report.warnings.push(format!(
+                                "re-optimization failed ({e}); continuing with the previous plan, checks disabled"
+                            ));
+                            ctx.checks_enabled = false;
+                            // The fallback was vetted when it first ran; the
+                            // only new node is the compensation wrapper.
+                            (wrap_compensation(prev, ctx), Vetting::default(), None)
+                        }
+                        _ => return Err(e),
+                    },
+                }
             };
             let signatures = collect_signatures(spec, &plan, params);
             let mut mvs_used = 0usize;
@@ -270,11 +349,22 @@ impl PopExecutor {
                 parallel: std::mem::take(&mut ctx.region_diags),
                 lint_warnings: vetting.warnings,
                 certificate: vetting.certificate,
+                memo: memo_stats,
             };
             match outcome {
                 RunOutcome::Complete { rows } => {
                     collect_rows(collected, ctx, rows);
                     report.steps.push(step);
+                    // Cache the completed run's final vetted plan for
+                    // future bindings of the same template (insert refuses
+                    // MV-bearing or guard-less plans itself). Degraded or
+                    // budget-exhausted runs ran with checks off — their
+                    // plans are not evidence of anything.
+                    if !cache_hit && !report.degraded && !report.budget_exhausted {
+                        if let (Some(key), Some(bare)) = (cache_key, fallback.as_ref()) {
+                            self.plan_cache.insert(key, bare);
+                        }
+                    }
                     return Ok(());
                 }
                 RunOutcome::Suspended { rows, violation } => {
@@ -337,24 +427,49 @@ impl PopExecutor {
     }
 
     /// One planning step of the loop: the optimizer-failure fault hook,
-    /// optimization, compensation wrapping and static verification.
-    /// Returns the bare (unwrapped) plan for the degradation fallback
-    /// alongside the executable plan and its lint warnings.
+    /// optimization (incremental through the memo, or from scratch),
+    /// compensation wrapping and static verification. Returns the bare
+    /// (unwrapped) plan for the degradation fallback alongside the
+    /// executable plan, its lint warnings, and the memo statistics (when
+    /// the incremental path ran).
     fn plan_step(
         &self,
         spec: &QuerySpec,
         octx: &OptimizerContext<'_>,
         ctx: &mut ExecCtx,
-    ) -> PopResult<(PhysNode, PhysNode, Vetting)> {
+        memo: &mut Memo,
+    ) -> PopResult<(PhysNode, PhysNode, Vetting, Option<MemoStats>)> {
         if let Some(inj) = ctx.faults.as_mut() {
             if let Some(err) = inj.optimizer_fail() {
                 return Err(err);
             }
         }
-        let bare = optimize(spec, octx)?;
+        let (bare, stats) = if self.config.incremental_memo {
+            let (bare, stats) = optimize_with_memo(spec, octx, memo)?;
+            // Differential oracle: under `verify_memo` every incremental
+            // answer is checked against a from-scratch optimization. Any
+            // divergence is a memo-maintenance bug, surfaced loudly.
+            if self.config.verify_memo {
+                let oracle = optimize(spec, octx)?;
+                if oracle.props().cost.to_bits() != bare.props().cost.to_bits()
+                    || oracle.to_string() != bare.to_string()
+                {
+                    return Err(PopError::Planning(format!(
+                        "memo/scratch divergence: incremental plan (cost {}) differs from \
+                         from-scratch plan (cost {})",
+                        bare.props().cost,
+                        oracle.props().cost
+                    )));
+                }
+            }
+            (bare, Some(stats))
+        } else {
+            memo.clear();
+            (optimize(spec, octx)?, None)
+        };
         let plan = wrap_compensation(bare.clone(), ctx);
         let vetting = self.vet_plan(&plan, spec)?;
-        Ok((bare, plan, vetting))
+        Ok((bare, plan, vetting, stats))
     }
 
     /// Statically verify a plan before execution (the `pop-planlint`
@@ -465,6 +580,7 @@ impl PopExecutor {
             parallel: std::mem::take(&mut ctx.region_diags),
             lint_warnings: vetting.warnings,
             certificate: vetting.certificate,
+            memo: None,
         });
         report.total_work = ctx.work;
         Ok(QueryResult {
@@ -523,6 +639,25 @@ impl PopExecutor {
             lineage: Some(Arc::new(h.lineage)),
         });
         Ok(())
+    }
+}
+
+/// Re-key every CHECK / BUFCHECK signature of a cached plan for the
+/// current parameter binding. Subplan signatures fold bindings in (so
+/// feedback facts and temp MVs never leak across bindings); a cached plan
+/// still carries the signatures of the binding that first produced it.
+fn rebind_check_signatures(plan: &mut PhysNode, spec: &QuerySpec, params: &pop_expr::Params) {
+    if let PhysNode::Check {
+        input, spec: cs, ..
+    }
+    | PhysNode::BufCheck {
+        input, spec: cs, ..
+    } = plan
+    {
+        cs.signature = subplan_signature_with_params(spec, input.props().tables, Some(params));
+    }
+    for child in plan.children_mut() {
+        rebind_check_signatures(child, spec, params);
     }
 }
 

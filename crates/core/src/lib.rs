@@ -77,10 +77,13 @@ pub use pop_guard::{
     Budget, CancelToken, CleanupRegistry, FaultInjector, FaultKind, FaultPlan, FaultSpec, Governor,
 };
 pub use pop_optimizer::{
-    CardFact, FeedbackCache, FlavorSet, JoinMethods, OptimizerConfig, ValidityMode,
+    CardFact, FeedbackCache, FeedbackStore, FlavorSet, JoinMethods, Memo, MemoStats,
+    OptimizerConfig, PlanCache, ValidityMode, DEFAULT_FEEDBACK_CAPACITY,
+    DEFAULT_PLAN_CACHE_CAPACITY,
 };
 pub use pop_plan::{
-    AggFunc, CheckContext, CheckFlavor, CostModel, PhysNode, QueryBuilder, QuerySpec, ValidityRange,
+    spec_fingerprint, AggFunc, CheckContext, CheckFlavor, CostModel, PhysNode, QueryBuilder,
+    QuerySpec, ValidityRange,
 };
 pub use pop_planlint::{
     certify, lint_plan, plan_intervals, CardInterval, DiagCode, LintContext, PlanDiagnostic,

@@ -1,6 +1,7 @@
 //! Query results and execution reports.
 
 use pop_exec::{CheckEvent, RegionDiag, Violation};
+use pop_optimizer::MemoStats;
 use pop_planlint::RobustnessCertificate;
 use pop_types::Row;
 
@@ -43,6 +44,11 @@ pub struct StepReport {
     /// serial skeleton, so it is invariant across thread counts and
     /// morsel sizes.
     pub certificate: Option<RobustnessCertificate>,
+    /// Memo maintenance statistics for this step's optimization: how many
+    /// join-order groups were reused versus re-derived. `None` when the
+    /// step did not run the incremental memo (memo disabled, degraded
+    /// fallback, plan-cache hit, or `execute_plan`).
+    pub memo: Option<MemoStats>,
 }
 
 impl StepReport {
@@ -72,6 +78,17 @@ pub struct RunReport {
     /// back to defaults, degradation notices, and similar conditions the
     /// caller should see but that do not fail the query.
     pub warnings: Vec<String>,
+    /// Plan-cache decision for this query, with its reason (e.g.
+    /// `hit: all 3 validity guards admit the binding` or `miss: estimate
+    /// outside vetted range`). `None` when the plan cache is disabled or
+    /// was not consulted (faults, forced re-optimization, observe-only).
+    pub plan_cache: Option<String>,
+    /// Feedback lookups answered by this query's own overlay (facts
+    /// recorded by checks during this very run).
+    pub feedback_overlay_hits: u64,
+    /// Feedback lookups answered by the cross-query store (facts earlier
+    /// queries paid for) — nonzero only with `learn_across_queries`.
+    pub feedback_base_hits: u64,
 }
 
 impl RunReport {
@@ -110,6 +127,16 @@ impl RunReport {
         for w in &self.warnings {
             let _ = writeln!(out, "warning: {w}");
         }
+        if let Some(pc) = &self.plan_cache {
+            let _ = writeln!(out, "plan cache: {pc}");
+        }
+        if self.feedback_overlay_hits + self.feedback_base_hits > 0 {
+            let _ = writeln!(
+                out,
+                "feedback hits: {} overlay, {} cross-query",
+                self.feedback_overlay_hits, self.feedback_base_hits
+            );
+        }
         for (i, s) in self.steps.iter().enumerate() {
             let _ = writeln!(
                 out,
@@ -121,6 +148,17 @@ impl RunReport {
                 s.mvs_used
             );
             let _ = writeln!(out, "  shape: {}", s.shape);
+            if let Some(m) = &s.memo {
+                let _ = writeln!(
+                    out,
+                    "  memo: {} group(s), {} reused, {} re-derived ({} dirty seed(s)){}",
+                    m.groups_total,
+                    m.groups_reused,
+                    m.groups_rederived,
+                    m.dirty_seeds,
+                    if m.rebuilt { ", full rebuild" } else { "" }
+                );
+            }
             for w in &s.lint_warnings {
                 let _ = writeln!(out, "  lint: {w}");
             }
@@ -184,6 +222,7 @@ mod tests {
             parallel: vec![],
             lint_warnings: vec![],
             certificate: None,
+            memo: None,
         }
     }
 

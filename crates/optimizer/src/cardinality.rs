@@ -1,9 +1,19 @@
 //! Per-query cardinality estimation with feedback overrides.
 
 use crate::OptimizerContext;
+use parking_lot::RwLock;
 use pop_plan::{subplan_signature_with_params, QuerySpec, TableSet};
 use pop_stats::{estimate_selectivity, join_selectivity};
 use pop_types::{ColId, PopResult};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared memo of subplan signatures keyed by table-set mask. Building a
+/// signature walks the spec's predicates and formats a string, which is
+/// the hottest part of fact probing and MV lookups; the [`crate::Memo`]
+/// owns one of these so the work is paid once per (spec, params), not
+/// once per optimization step.
+pub type SigCache = Arc<RwLock<HashMap<u64, String>>>;
 
 /// Resolved feedback fact for a table set.
 #[derive(Debug, Clone, Copy)]
@@ -35,12 +45,24 @@ pub struct CardEstimator {
     col_counts: Vec<usize>,
     distincts: Vec<Vec<f64>>,
     facts: Vec<SetFact>,
+    sigs: SigCache,
 }
 
 impl CardEstimator {
     /// Build the estimator: resolves tables, estimates local selectivities
     /// and resolves feedback signatures to table sets.
     pub fn new(spec: &QuerySpec, ctx: &OptimizerContext<'_>) -> PopResult<Self> {
+        CardEstimator::with_sig_cache(spec, ctx, SigCache::default())
+    }
+
+    /// Like [`CardEstimator::new`], but memoizing subplan signatures in a
+    /// caller-owned cache that outlives this estimator (the memo clears it
+    /// whenever the spec or parameter binding changes).
+    pub fn with_sig_cache(
+        spec: &QuerySpec,
+        ctx: &OptimizerContext<'_>,
+        sigs: SigCache,
+    ) -> PopResult<Self> {
         let params = ctx.estimation_params();
         let mut raw_cards = Vec::with_capacity(spec.tables.len());
         let mut base_cards = Vec::with_capacity(spec.tables.len());
@@ -72,7 +94,16 @@ impl CardEstimator {
         // `card()`. To keep `card()` cheap we pre-resolve here by probing
         // every subset only for small queries; larger queries probe per
         // lookup with memoization-free direct signature computation.
-        let mut facts = Vec::new();
+        let mut est = CardEstimator {
+            spec: spec.clone(),
+            params: ctx.params.cloned(),
+            raw_cards,
+            base_cards,
+            col_counts,
+            distincts,
+            facts: Vec::new(),
+            sigs,
+        };
         if !ctx.feedback.is_empty() {
             let n = spec.tables.len();
             // Probe all subsets when feasible (n <= 16); otherwise only
@@ -80,9 +111,10 @@ impl CardEstimator {
             // `fact_for`, which recomputes signatures on demand. For the
             // workloads here n <= 16 always holds.
             if n <= 16 {
+                let mut facts = Vec::new();
                 for mask in 1u64..(1u64 << n) {
                     let set = TableSet::from_iter((0..n).filter(|i| mask & (1 << i) != 0));
-                    let sig = subplan_signature_with_params(spec, set, ctx.params);
+                    let sig = est.signature(set);
                     if let Some(fact) = ctx.feedback.get(&sig) {
                         let (value, exact) = match fact {
                             crate::CardFact::Exact(v) => (v, true),
@@ -93,17 +125,10 @@ impl CardEstimator {
                 }
                 // Largest sets first so greedy coverage prefers them.
                 facts.sort_by_key(|f| std::cmp::Reverse(f.set.len()));
+                est.facts = facts;
             }
         }
-        Ok(CardEstimator {
-            spec: spec.clone(),
-            params: ctx.params.cloned(),
-            raw_cards,
-            base_cards,
-            col_counts,
-            distincts,
-            facts,
-        })
+        Ok(est)
     }
 
     /// The query spec this estimator serves.
@@ -138,9 +163,14 @@ impl CardEstimator {
     }
 
     /// Signature of the subplan over `set`, incorporating the query's
-    /// bound parameter values.
+    /// bound parameter values. Memoized in the shared [`SigCache`].
     pub fn signature(&self, set: TableSet) -> String {
-        subplan_signature_with_params(&self.spec, set, self.params.as_ref())
+        if let Some(sig) = self.sigs.read().get(&set.mask()) {
+            return sig.clone();
+        }
+        let sig = subplan_signature_with_params(&self.spec, set, self.params.as_ref());
+        self.sigs.write().insert(set.mask(), sig.clone());
+        sig
     }
 
     /// Estimated cardinality of the subplan joining exactly `set`.

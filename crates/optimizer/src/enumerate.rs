@@ -19,6 +19,12 @@ use pop_types::{ColId, PopError, PopResult};
 use std::collections::HashMap;
 
 /// Find the cheapest join plan for all tables of the query.
+///
+/// This is the from-scratch path: it enumerates every group on every
+/// call. [`crate::Memo::best_join_order`] builds the same groups through
+/// the same [`build_singleton_group`]/[`build_join_group`] helpers but
+/// re-derives only dirty ones; this function is kept as its
+/// differential-testing oracle.
 pub fn optimize_join_order(
     est: &CardEstimator,
     ctx: &OptimizerContext<'_>,
@@ -30,18 +36,12 @@ pub fn optimize_join_order(
 
     // Base relations: sequential scan, index range scans, temp MVs.
     for t in 0..n {
-        let mut list = Vec::new();
-        insert_candidate(&mut list, scan_candidate(t, est, ctx)?, ctx);
-        for cand in index_range_candidates(t, est, ctx)? {
-            insert_candidate(&mut list, cand, ctx);
-        }
-        if let Some(mv) = mv_candidate(TableSet::single(t), est, ctx) {
-            insert_candidate(&mut list, mv, ctx);
-        }
-        memo.insert(TableSet::single(t).mask(), list);
+        memo.insert(
+            TableSet::single(t).mask(),
+            build_singleton_group(t, est, ctx)?,
+        );
     }
 
-    let bushy = n <= ctx.config.bushy_limit;
     // Ascending mask order guarantees every proper subset is finished
     // before any superset is started, so validity ranges of children have
     // settled by the time they are cloned into parents.
@@ -50,25 +50,7 @@ pub fn optimize_join_order(
             continue;
         }
         let set = TableSet::from_iter((0..n).filter(|i| mask & (1 << i) != 0));
-        let mut list: Vec<Candidate> = Vec::new();
-        if let Some(mv) = mv_candidate(set, est, ctx) {
-            insert_candidate(&mut list, mv, ctx);
-        }
-        if bushy {
-            for s1 in set.proper_subsets() {
-                let s2 = set.minus(s1);
-                if s1.mask() > s2.mask() {
-                    continue; // unordered partition: visit once
-                }
-                add_partition_candidates(&mut list, s1, s2, &memo, est, ctx);
-            }
-        } else {
-            for t in set.iter() {
-                let s2 = TableSet::single(t);
-                let s1 = set.minus(s2);
-                add_partition_candidates(&mut list, s1, s2, &memo, est, ctx);
-            }
-        }
+        let list = build_join_group(set, &memo, est, ctx);
         memo.insert(mask, list);
     }
 
@@ -77,6 +59,60 @@ pub fn optimize_join_order(
         .ok_or_else(|| {
             PopError::Planning("no feasible join plan (check join graph and indexes)".into())
         })
+}
+
+/// Candidate list for a single base relation: sequential scan, index
+/// range scans, temp MVs — in that insertion order (pruning decisions,
+/// and so validity-range narrowing, depend on it).
+pub(crate) fn build_singleton_group(
+    t: usize,
+    est: &CardEstimator,
+    ctx: &OptimizerContext<'_>,
+) -> PopResult<Vec<Candidate>> {
+    let mut list = Vec::new();
+    insert_candidate(&mut list, scan_candidate(t, est, ctx)?, ctx);
+    for cand in index_range_candidates(t, est, ctx)? {
+        insert_candidate(&mut list, cand, ctx);
+    }
+    if let Some(mv) = mv_candidate(TableSet::single(t), est, ctx) {
+        insert_candidate(&mut list, mv, ctx);
+    }
+    Ok(list)
+}
+
+/// Candidate list for a join group (`set.len() >= 2`), reading child
+/// groups out of `memo`. Every proper subset of `set` must already be
+/// final in `memo`; partitions are visited in the same order as the
+/// from-scratch path so pruning sequences — and thus narrowed validity
+/// ranges — are bit-identical.
+pub(crate) fn build_join_group(
+    set: TableSet,
+    memo: &HashMap<u64, Vec<Candidate>>,
+    est: &CardEstimator,
+    ctx: &OptimizerContext<'_>,
+) -> Vec<Candidate> {
+    let n = est.spec().tables.len();
+    let bushy = n <= ctx.config.bushy_limit;
+    let mut list: Vec<Candidate> = Vec::new();
+    if let Some(mv) = mv_candidate(set, est, ctx) {
+        insert_candidate(&mut list, mv, ctx);
+    }
+    if bushy {
+        for s1 in set.proper_subsets() {
+            let s2 = set.minus(s1);
+            if s1.mask() > s2.mask() {
+                continue; // unordered partition: visit once
+            }
+            add_partition_candidates(&mut list, s1, s2, memo, est, ctx);
+        }
+    } else {
+        for t in set.iter() {
+            let s2 = TableSet::single(t);
+            let s1 = set.minus(s2);
+            add_partition_candidates(&mut list, s1, s2, memo, est, ctx);
+        }
+    }
+    list
 }
 
 /// Generate and insert all join candidates for one unordered partition.

@@ -1,7 +1,23 @@
-//! Cardinality feedback from previous execution steps.
+//! Cardinality feedback from previous execution steps — and, via the
+//! shared [`FeedbackStore`], from previous *queries*.
+//!
+//! Two layers (LEO-style, the paper's §7 "Learning for the Future"):
+//!
+//! * [`FeedbackStore`] — a process-wide base of facts keyed by subplan
+//!   signature, owned by the executor and surviving across queries. It is
+//!   capacity-bounded: once full, new signatures are dropped (existing
+//!   ones still strengthen), so a fleet of ad-hoc queries cannot grow it
+//!   without bound.
+//! * [`FeedbackCache`] — the per-query overlay the driver records into
+//!   while a query runs. Lookups fall through to the base, so a fresh
+//!   query is *seeded* with everything past CHECKs observed; the overlay
+//!   is published into the base only when the query completes (and
+//!   learning is enabled), so facts from abandoned or poisoned runs never
+//!   contaminate the fleet.
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A fact learned about a subplan's actual cardinality.
@@ -48,36 +64,55 @@ impl CardFact {
     }
 }
 
-/// Cardinality facts keyed by subplan signature
-/// ([`pop_plan::subplan_signature`]). Shared between the POP driver (which
-/// records facts when checks fire) and the optimizer (which prefers facts
-/// over estimates during re-optimization).
-#[derive(Clone, Default)]
-pub struct FeedbackCache {
+/// Default capacity of the cross-query [`FeedbackStore`].
+pub const DEFAULT_FEEDBACK_CAPACITY: usize = 4096;
+
+/// The process-wide feedback base: cardinality facts keyed by subplan
+/// signature ([`pop_plan::subplan_signature_with_params`]), shared by
+/// every query an executor runs. Cloning shares the underlying map.
+#[derive(Clone)]
+pub struct FeedbackStore {
     inner: Arc<RwLock<HashMap<String, CardFact>>>,
+    capacity: usize,
 }
 
-impl std::fmt::Debug for FeedbackCache {
+impl Default for FeedbackStore {
+    fn default() -> Self {
+        FeedbackStore::new(DEFAULT_FEEDBACK_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for FeedbackStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_map().entries(self.inner.read().iter()).finish()
     }
 }
 
-impl FeedbackCache {
-    /// Empty cache.
-    pub fn new() -> Self {
-        FeedbackCache::default()
+impl FeedbackStore {
+    /// Empty store holding at most `capacity` signatures (0 = unbounded).
+    pub fn new(capacity: usize) -> Self {
+        FeedbackStore {
+            inner: Arc::default(),
+            capacity,
+        }
     }
 
-    /// Record (or strengthen) a fact.
+    /// Record (or strengthen) a fact. New signatures are dropped once the
+    /// store is at capacity; known signatures always strengthen.
     pub fn record(&self, signature: impl Into<String>, fact: CardFact) {
         let mut map = self.inner.write();
         let sig = signature.into();
-        let merged = match map.get(&sig) {
-            Some(prev) => prev.merge(fact),
-            None => fact,
-        };
-        map.insert(sig, merged);
+        match map.get(&sig) {
+            Some(prev) => {
+                let merged = prev.merge(fact);
+                map.insert(sig, merged);
+            }
+            None => {
+                if self.capacity == 0 || map.len() < self.capacity {
+                    map.insert(sig, fact);
+                }
+            }
+        }
     }
 
     /// Look up the fact for a signature.
@@ -90,14 +125,134 @@ impl FeedbackCache {
         self.inner.read().len()
     }
 
-    /// Is the cache empty?
+    /// Is the store empty?
     pub fn is_empty(&self) -> bool {
         self.inner.read().is_empty()
     }
 
-    /// Drop all facts (end of query).
+    /// Drop all facts.
     pub fn clear(&self) {
         self.inner.write().clear();
+    }
+
+    /// Maximum number of signatures retained (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Per-query cardinality feedback: an overlay the POP driver records into
+/// when checks fire, over an optional cross-query [`FeedbackStore`] base
+/// that seeds estimates for signatures observed by *earlier* queries.
+/// The optimizer prefers these facts over statistics-derived estimates
+/// during (re-)optimization.
+#[derive(Clone, Default)]
+pub struct FeedbackCache {
+    overlay: Arc<RwLock<HashMap<String, CardFact>>>,
+    base: Option<FeedbackStore>,
+    overlay_hits: Arc<AtomicU64>,
+    base_hits: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for FeedbackCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeedbackCache")
+            .field("overlay", &*self.overlay.read())
+            .field("base", &self.base)
+            .field("overlay_hits", &self.overlay_hits)
+            .field("base_hits", &self.base_hits)
+            .finish()
+    }
+}
+
+impl FeedbackCache {
+    /// Empty cache with no cross-query base.
+    pub fn new() -> Self {
+        FeedbackCache::default()
+    }
+
+    /// Empty overlay over a shared cross-query base: lookups fall through
+    /// to `base`, records stay in the overlay until [`publish`] is called.
+    ///
+    /// [`publish`]: FeedbackCache::publish
+    pub fn with_base(base: FeedbackStore) -> Self {
+        FeedbackCache {
+            base: Some(base),
+            ..FeedbackCache::default()
+        }
+    }
+
+    /// Record (or strengthen) a fact in the overlay. The base is consulted
+    /// for the previous value (so strengthening rules see the strongest
+    /// known fact) but never written until [`FeedbackCache::publish`].
+    pub fn record(&self, signature: impl Into<String>, fact: CardFact) {
+        let mut map = self.overlay.write();
+        let sig = signature.into();
+        let prev = map
+            .get(&sig)
+            .copied()
+            .or_else(|| self.base.as_ref().and_then(|b| b.get(&sig)));
+        let merged = match prev {
+            Some(prev) => prev.merge(fact),
+            None => fact,
+        };
+        map.insert(sig, merged);
+    }
+
+    /// Look up the fact for a signature: the overlay wins, the base seeds.
+    pub fn get(&self, signature: &str) -> Option<CardFact> {
+        if let Some(fact) = self.overlay.read().get(signature).copied() {
+            self.overlay_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(fact);
+        }
+        if let Some(fact) = self.base.as_ref().and_then(|b| b.get(signature)) {
+            self.base_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(fact);
+        }
+        None
+    }
+
+    /// Number of distinct signatures visible (overlay plus base-only).
+    pub fn len(&self) -> usize {
+        let overlay = self.overlay.read();
+        let base_only = self.base.as_ref().map_or(0, |b| {
+            b.inner
+                .read()
+                .keys()
+                .filter(|k| !overlay.contains_key(*k))
+                .count()
+        });
+        overlay.len() + base_only
+    }
+
+    /// Is the cache empty (no overlay facts and no base facts)?
+    pub fn is_empty(&self) -> bool {
+        self.overlay.read().is_empty() && self.base.as_ref().is_none_or(FeedbackStore::is_empty)
+    }
+
+    /// Drop all overlay facts (end of query). The base is untouched.
+    pub fn clear(&self) {
+        self.overlay.write().clear();
+    }
+
+    /// Publish every overlay fact into the base store (no-op without a
+    /// base). Called by the driver when a query completes successfully and
+    /// cross-query learning is enabled — never for abandoned runs.
+    pub fn publish(&self) {
+        let Some(base) = &self.base else {
+            return;
+        };
+        for (sig, fact) in self.overlay.read().iter() {
+            base.record(sig.clone(), *fact);
+        }
+    }
+
+    /// How many lookups were answered by the overlay / the base so far.
+    pub fn hit_counts(&self) -> (u64, u64) {
+        (
+            self.overlay_hits.load(Ordering::Relaxed),
+            self.base_hits.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -141,5 +296,50 @@ mod tests {
         assert_eq!(fb.get("s"), Some(CardFact::AtLeast(30.0)));
         fb.record("s", CardFact::Exact(50.0));
         assert_eq!(fb.get("s"), Some(CardFact::Exact(50.0)));
+    }
+
+    #[test]
+    fn base_seeds_and_overlay_wins() {
+        let base = FeedbackStore::default();
+        base.record("s", CardFact::Exact(100.0));
+        let fb = FeedbackCache::with_base(base.clone());
+        assert!(!fb.is_empty());
+        assert_eq!(fb.len(), 1);
+        // Base seeds the lookup...
+        assert_eq!(fb.get("s"), Some(CardFact::Exact(100.0)));
+        // ...the overlay strengthens locally without touching the base...
+        fb.record("s", CardFact::AtLeast(250.0));
+        assert_eq!(fb.get("s"), Some(CardFact::AtLeast(250.0)));
+        assert_eq!(base.get("s"), Some(CardFact::Exact(100.0)));
+        // ...until published.
+        fb.publish();
+        assert_eq!(base.get("s"), Some(CardFact::AtLeast(250.0)));
+        let (overlay_hits, base_hits) = fb.hit_counts();
+        assert_eq!((overlay_hits, base_hits), (1, 1));
+    }
+
+    #[test]
+    fn clear_leaves_base_untouched() {
+        let base = FeedbackStore::default();
+        base.record("kept", CardFact::Exact(5.0));
+        let fb = FeedbackCache::with_base(base.clone());
+        fb.record("dropped", CardFact::Exact(7.0));
+        fb.clear();
+        assert_eq!(fb.get("kept"), Some(CardFact::Exact(5.0)));
+        assert_eq!(fb.get("dropped"), None);
+        assert_eq!(base.len(), 1);
+    }
+
+    #[test]
+    fn store_capacity_bounds_new_signatures() {
+        let base = FeedbackStore::new(2);
+        base.record("a", CardFact::Exact(1.0));
+        base.record("b", CardFact::Exact(2.0));
+        base.record("c", CardFact::Exact(3.0)); // dropped: at capacity
+        assert_eq!(base.len(), 2);
+        assert_eq!(base.get("c"), None);
+        // Known signatures still strengthen.
+        base.record("a", CardFact::Exact(10.0));
+        assert_eq!(base.get("a"), Some(CardFact::Exact(10.0)));
     }
 }

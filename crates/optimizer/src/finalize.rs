@@ -1,20 +1,52 @@
 //! Top-level plan assembly: join order → aggregation / projection →
 //! ordering → side effects → checkpoint placement.
 
-use crate::{optimize_join_order, parallelize, place_checkpoints, CardEstimator, OptimizerContext};
+use crate::{
+    optimize_join_order, parallelize, place_checkpoints, CardEstimator, Memo, MemoStats,
+    OptimizerContext,
+};
 use pop_plan::{
     LayoutCol, Partitioning, PhysNode, PlanProps, QuerySpec, SortKeyRef, ValidityRange,
 };
 use pop_types::PopResult;
 
 /// Optimize a query into an executable physical plan, with checkpoints
-/// placed per the context's configuration.
+/// placed per the context's configuration. From-scratch path: the full
+/// join-order space is enumerated on every call (this is the memo path's
+/// differential-testing oracle).
 pub fn optimize(spec: &QuerySpec, ctx: &OptimizerContext<'_>) -> PopResult<PhysNode> {
     spec.validate()?;
     let est = CardEstimator::new(spec, ctx)?;
     let cand = optimize_join_order(&est, ctx)?;
-    let mut node = cand.node;
+    Ok(assemble(cand.node, spec, &est, ctx))
+}
 
+/// Like [`optimize`], but maintaining the caller's persistent [`Memo`]
+/// incrementally: only groups affected by new cardinality facts or MV
+/// promotions since the previous call are re-derived. Also returns the
+/// pass's [`MemoStats`] for reporting.
+pub fn optimize_with_memo(
+    spec: &QuerySpec,
+    ctx: &OptimizerContext<'_>,
+    memo: &mut Memo,
+) -> PopResult<(PhysNode, MemoStats)> {
+    spec.validate()?;
+    memo.prepare(spec, ctx.params);
+    let est = CardEstimator::with_sig_cache(spec, ctx, memo.sig_cache())?;
+    let cand = memo.best_join_order(&est, ctx)?;
+    let plan = assemble(cand.node, spec, &est, ctx);
+    Ok((plan, memo.last_stats()))
+}
+
+/// Wrap the winning join tree with the query's non-join operators
+/// (EXISTS probes, aggregation/projection, HAVING, ORDER BY, LIMIT, side
+/// effects), then place checkpoints and parallelize.
+fn assemble(
+    mut node: PhysNode,
+    spec: &QuerySpec,
+    est: &CardEstimator,
+    ctx: &OptimizerContext<'_>,
+) -> PhysNode {
     // Correlated EXISTS clauses: semi/anti probes above the join tree.
     for clause in &spec.exists {
         let mut props = node.props().clone();
@@ -130,7 +162,7 @@ pub fn optimize(spec: &QuerySpec, ctx: &OptimizerContext<'_>) -> PopResult<PhysN
         };
     }
 
-    Ok(parallelize(place_checkpoints(node, &est, ctx), ctx))
+    parallelize(place_checkpoints(node, est, ctx), ctx)
 }
 
 #[cfg(test)]

@@ -26,19 +26,23 @@ pub mod cost;
 mod enumerate;
 mod feedback;
 mod finalize;
+mod memo;
 pub mod parallelize;
 pub mod placement;
+mod plan_cache;
 mod provenance;
 pub mod validity;
 
 pub use candidate::{Candidate, RootCostSpec};
-pub use cardinality::CardEstimator;
+pub use cardinality::{CardEstimator, SigCache};
 pub use config::{FlavorSet, JoinMethods, OptimizerConfig, ValidityMode};
 pub use context::OptimizerContext;
 pub use cost::CostModel;
 pub use enumerate::optimize_join_order;
-pub use feedback::{CardFact, FeedbackCache};
-pub use finalize::optimize;
+pub use feedback::{CardFact, FeedbackCache, FeedbackStore, DEFAULT_FEEDBACK_CAPACITY};
+pub use finalize::{optimize, optimize_with_memo};
+pub use memo::{Memo, MemoStats};
 pub use parallelize::parallelize;
 pub use placement::place_checkpoints;
+pub use plan_cache::{PlanCache, PlanGuard, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use provenance::{plan_provenance, EstimateProvenance, EstimateSource};

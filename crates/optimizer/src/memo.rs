@@ -1,0 +1,497 @@
+//! Incrementally-maintained optimizer memo.
+//!
+//! The classic POP loop re-runs the whole System-R enumeration on every
+//! CHECK violation, even though a violation changes the cardinality of
+//! *one* subplan and everything disjoint from it is provably unaffected.
+//! Following Liu/Ives/Loo ("Enabling Incremental Query Re-Optimization"),
+//! this module treats the DP table as a materialized view over the
+//! estimator's inputs and maintains it incrementally:
+//!
+//! * Each **group** is a table subset (mask) with its candidate list from
+//!   [`crate::enumerate::build_join_group`], plus a [`GroupMeta`] snapshot
+//!   of the inputs it was built from (estimated cardinality bits, temp-MV
+//!   state).
+//! * A re-optimization pass walks masks in ascending order. A group whose
+//!   snapshot still matches is a **clean** group; since ascending order
+//!   means all its subsets were visited first, every subset is also clean,
+//!   so its candidate list — including pruning decisions and narrowed
+//!   validity ranges — is bit-identical to what a from-scratch run would
+//!   produce, and it is reused as-is.
+//! * A changed snapshot marks the group **dirty**; dirtiness propagates to
+//!   every superset (`dirty(S) ⇐ dirty(S \ {b})` for any `b ∈ S`), and
+//!   exactly the dirty groups are re-derived through the same builders the
+//!   from-scratch oracle uses.
+//!
+//! The memo survives across re-optimization steps of one query *and*
+//! across queries: [`Memo::prepare`] compares the (spec, params) pair
+//! structurally and clears the groups when it changes, while config/
+//! cost-model/statistics changes are caught inside
+//! [`Memo::best_join_order`]. [`crate::optimize_join_order`] remains the
+//! differential-testing oracle; `OptimizerConfig::verify_memo` in the
+//! driver runs both and rejects any divergence.
+
+use crate::cardinality::SigCache;
+use crate::enumerate::{build_join_group, build_singleton_group};
+use crate::{Candidate, CardEstimator, OptimizerContext};
+use pop_plan::{QuerySpec, TableSet};
+use pop_types::{ColId, PopError, PopResult};
+use std::collections::HashMap;
+
+/// Statistics of one [`Memo::best_join_order`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// The pass rebuilt every group from scratch (first optimization, or
+    /// the spec / parameter binding / config / statistics changed).
+    pub rebuilt: bool,
+    /// Groups (table subsets) held by the memo after the pass.
+    pub groups_total: usize,
+    /// Clean groups whose candidate lists were reused unchanged.
+    pub groups_reused: usize,
+    /// Groups re-derived because a cardinality or MV change reached them.
+    pub groups_rederived: usize,
+    /// Groups whose own inputs changed (before dirty propagation).
+    pub dirty_seeds: usize,
+}
+
+/// Snapshot of the estimator inputs a group was last built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GroupMeta {
+    /// `f64::to_bits` of the estimated cardinality at build time — changes
+    /// exactly when a `CardFact` (or statistics change) reaches this set.
+    card_bits: u64,
+    /// Actual cardinality of a matching temp MV at build time, if any —
+    /// changes when a violation promotes (or cleanup drops) an MV.
+    mv_card: Option<u64>,
+}
+
+/// Persistent join-order memo with dirty-propagation maintenance.
+#[derive(Debug, Default)]
+pub struct Memo {
+    /// The (spec, params) pair the groups belong to. Stored structurally
+    /// (both derive `PartialEq`) so change detection costs a field-wise
+    /// compare instead of rebuilding a signature string per call.
+    bound: Option<(QuerySpec, Option<pop_expr::Params>)>,
+    /// Optimizer config + cost model the groups were built under.
+    env: Option<(crate::OptimizerConfig, pop_plan::CostModel)>,
+    /// Fingerprint of the estimator's statistics-derived inputs.
+    stats_fp: u64,
+    n: usize,
+    groups: HashMap<u64, Vec<Candidate>>,
+    meta: HashMap<u64, GroupMeta>,
+    sigs: SigCache,
+    last: MemoStats,
+}
+
+impl Memo {
+    /// Fresh, empty memo.
+    pub fn new() -> Self {
+        Memo::default()
+    }
+
+    /// Bind the memo to a (spec, params) pair before building an
+    /// estimator. When the pair differs from the previous binding, all
+    /// groups and cached signatures are dropped — incremental maintenance
+    /// only ever spans re-optimizations of one bound query.
+    pub fn prepare(&mut self, spec: &QuerySpec, params: Option<&pop_expr::Params>) {
+        let same = self
+            .bound
+            .as_ref()
+            .is_some_and(|(s, p)| s == spec && p.as_ref() == params);
+        if !same {
+            self.groups.clear();
+            self.meta.clear();
+            self.sigs.write().clear();
+            self.last = MemoStats::default();
+            self.bound = Some((spec.clone(), params.cloned()));
+        }
+    }
+
+    /// The signature cache to build the step's [`CardEstimator`] with
+    /// (via [`CardEstimator::with_sig_cache`]), so signature strings are
+    /// shared between estimator fact probing, MV lookups, and the memo's
+    /// own dirty detection.
+    pub fn sig_cache(&self) -> SigCache {
+        self.sigs.clone()
+    }
+
+    /// Statistics of the most recent [`Memo::best_join_order`] pass.
+    pub fn last_stats(&self) -> MemoStats {
+        self.last
+    }
+
+    /// Drop all state (used when incremental maintenance is disabled).
+    pub fn clear(&mut self) {
+        self.bound = None;
+        self.groups.clear();
+        self.meta.clear();
+        self.sigs.write().clear();
+        self.last = MemoStats::default();
+    }
+
+    /// Find the cheapest join plan for all tables, reusing every clean
+    /// group. Produces exactly the plan [`crate::optimize_join_order`]
+    /// would: clean groups are bit-identical by induction (all their
+    /// subsets are clean), dirty groups run the same builders in the same
+    /// ascending-mask order, and the final tie-break (`min_by`, last
+    /// minimum wins) is identical.
+    pub fn best_join_order(
+        &mut self,
+        est: &CardEstimator,
+        ctx: &OptimizerContext<'_>,
+    ) -> PopResult<Candidate> {
+        let spec = est.spec();
+        let n = spec.tables.len();
+        let full = spec.all_tables();
+        let same_env = self
+            .env
+            .as_ref()
+            .is_some_and(|(cfg, cost)| cfg == ctx.config && cost == ctx.cost);
+        let stats_fp = stats_fingerprint(est, n);
+        let rebuilt =
+            self.groups.is_empty() || self.n != n || !same_env || self.stats_fp != stats_fp;
+        if rebuilt {
+            self.groups.clear();
+            self.meta.clear();
+            self.n = n;
+            self.env = Some((ctx.config.clone(), ctx.cost.clone()));
+            self.stats_fp = stats_fp;
+        }
+
+        let mut stats = MemoStats {
+            rebuilt,
+            ..MemoStats::default()
+        };
+        // One lock acquisition per pass, not one per group: when no temp
+        // MVs exist (the common case between violations) every signature
+        // lookup below is skipped outright.
+        let any_mvs = ctx.config.use_temp_mvs && ctx.catalog.temp_mv_count() > 0;
+        let mut dirty = vec![false; 1usize << n];
+        // Ascending mask order: every subset of a group is final before the
+        // group itself is visited (same invariant as the scratch path).
+        for mask in 1u64..(1u64 << n) {
+            let set = TableSet::from_iter((0..n).filter(|i| mask & (1 << i) != 0));
+            // A group with an empty candidate list and no MV is empty for
+            // structural reasons (a disconnected subset): no cardinality
+            // change can give it a candidate, so its estimate needs no
+            // re-probing. Only a newly matching temp MV could revive it,
+            // and the MV probe below still runs when any MVs exist.
+            let structurally_empty = !rebuilt
+                && self.groups.get(&mask).is_some_and(Vec::is_empty)
+                && self.meta.get(&mask).is_some_and(|m| m.mv_card.is_none());
+            let current = GroupMeta {
+                card_bits: if structurally_empty {
+                    self.meta[&mask].card_bits
+                } else {
+                    est.card(set).to_bits()
+                },
+                mv_card: if any_mvs {
+                    current_mv_card(set, est, ctx)
+                } else {
+                    None
+                },
+            };
+            let seed = rebuilt || self.meta.get(&mask) != Some(&current);
+            if seed && !rebuilt {
+                stats.dirty_seeds += 1;
+            }
+            let mut is_dirty = seed;
+            if !is_dirty && mask.count_ones() >= 2 {
+                let mut bits = mask;
+                while bits != 0 {
+                    let b = bits & bits.wrapping_neg();
+                    if dirty[usize::try_from(mask & !b).expect("mask fits usize")] {
+                        is_dirty = true;
+                        break;
+                    }
+                    bits &= bits - 1;
+                }
+            }
+            dirty[usize::try_from(mask).expect("mask fits usize")] = is_dirty;
+            if is_dirty {
+                let list = if mask.is_power_of_two() {
+                    let t = set.iter().next().expect("singleton");
+                    build_singleton_group(t, est, ctx)?
+                } else {
+                    build_join_group(set, &self.groups, est, ctx)
+                };
+                self.groups.insert(mask, list);
+                self.meta.insert(mask, current);
+                stats.groups_rederived += 1;
+            } else {
+                stats.groups_reused += 1;
+            }
+        }
+        stats.groups_total = self.groups.len();
+        self.last = stats;
+
+        self.groups
+            .get(&full.mask())
+            .and_then(|list| list.iter().min_by(|a, b| a.cost.total_cmp(&b.cost)))
+            .cloned()
+            .ok_or_else(|| {
+                PopError::Planning("no feasible join plan (check join graph and indexes)".into())
+            })
+    }
+}
+
+/// Actual cardinality of a temp MV matching this set's signature, if any.
+fn current_mv_card(set: TableSet, est: &CardEstimator, ctx: &OptimizerContext<'_>) -> Option<u64> {
+    if !ctx.config.use_temp_mvs {
+        return None;
+    }
+    let sig = est.signature(set);
+    ctx.catalog.temp_mv(&sig).map(|mv| mv.actual_card)
+}
+
+/// FNV-1a over the estimator's statistics-derived inputs (raw/filtered
+/// base cardinalities and per-column distinct counts). A change here —
+/// re-analyzed stats, different selectivity defaults resolving — forces a
+/// full rebuild rather than trusting per-group snapshots.
+fn stats_fingerprint(est: &CardEstimator, n: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mix = |h: &mut u64, v: u64| {
+        for byte in v.to_le_bytes() {
+            *h ^= u64::from(byte);
+            *h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for t in 0..n {
+        mix(&mut h, est.raw_card(t).to_bits());
+        mix(&mut h, est.base_card(t).to_bits());
+        for c in 0..est.col_counts()[t] {
+            mix(&mut h, est.distinct(ColId::new(t, c)).to_bits());
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimize_join_order, CardFact, CostModel, FeedbackCache, OptimizerConfig};
+    use pop_plan::QueryBuilder;
+    use pop_stats::StatsRegistry;
+    use pop_storage::{Catalog, IndexKind};
+    use pop_types::{DataType, Schema, Value};
+
+    fn setup() -> (Catalog, StatsRegistry) {
+        let cat = Catalog::new();
+        cat.create_table(
+            "customer",
+            Schema::from_pairs(&[("id", DataType::Int), ("grp", DataType::Int)]),
+            (0..200)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 20)])
+                .collect(),
+        )
+        .unwrap();
+        cat.create_table(
+            "orders",
+            Schema::from_pairs(&[
+                ("oid", DataType::Int),
+                ("cust", DataType::Int),
+                ("amount", DataType::Int),
+            ]),
+            (0..20_000)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 200), Value::Int(i % 97)])
+                .collect(),
+        )
+        .unwrap();
+        cat.create_table(
+            "items",
+            Schema::from_pairs(&[("iid", DataType::Int), ("ord", DataType::Int)]),
+            (0..40_000)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 20_000)])
+                .collect(),
+        )
+        .unwrap();
+        cat.create_index("orders", "cust", IndexKind::Hash).unwrap();
+        cat.create_index("items", "ord", IndexKind::Hash).unwrap();
+        let stats = StatsRegistry::new();
+        stats.analyze_all(&cat).unwrap();
+        (cat, stats)
+    }
+
+    fn chain_query() -> pop_plan::QuerySpec {
+        let mut b = QueryBuilder::new();
+        let c = b.table("customer");
+        let o = b.table("orders");
+        let it = b.table("items");
+        b.join(c, 0, o, 1);
+        b.join(o, 0, it, 1);
+        b.filter(c, pop_expr::Expr::col(c, 1).eq(pop_expr::Expr::lit(3i64)));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn first_pass_rebuilds_then_reuses_everything() {
+        let (cat, stats) = setup();
+        let cfg = OptimizerConfig::default();
+        let cost = CostModel::default();
+        let fb = FeedbackCache::new();
+        let ctx = OptimizerContext::new(&cat, &stats, &cfg, &cost, None, &fb);
+        let q = chain_query();
+        let mut memo = Memo::new();
+        memo.prepare(&q, None);
+        let est = CardEstimator::with_sig_cache(&q, &ctx, memo.sig_cache()).unwrap();
+        let c1 = memo.best_join_order(&est, &ctx).unwrap();
+        assert!(memo.last_stats().rebuilt);
+        assert_eq!(memo.last_stats().groups_reused, 0);
+        // Nothing changed: second pass reuses every group.
+        let est = CardEstimator::with_sig_cache(&q, &ctx, memo.sig_cache()).unwrap();
+        let c2 = memo.best_join_order(&est, &ctx).unwrap();
+        let s = memo.last_stats();
+        assert!(!s.rebuilt);
+        assert_eq!(s.groups_rederived, 0);
+        assert_eq!(s.groups_reused, s.groups_total);
+        assert_eq!(c1.cost.to_bits(), c2.cost.to_bits());
+        assert_eq!(c1.node.to_string(), c2.node.to_string());
+    }
+
+    #[test]
+    fn card_fact_rederives_only_ancestors() {
+        let (cat, stats) = setup();
+        let cfg = OptimizerConfig::default();
+        let cost = CostModel::default();
+        let fb = FeedbackCache::new();
+        let q = chain_query();
+        let mut memo = Memo::new();
+        {
+            let ctx = OptimizerContext::new(&cat, &stats, &cfg, &cost, None, &fb);
+            memo.prepare(&q, None);
+            let est = CardEstimator::with_sig_cache(&q, &ctx, memo.sig_cache()).unwrap();
+            memo.best_join_order(&est, &ctx).unwrap();
+        }
+        // A fact on {customer} dirties {c}, {c,o}, {c,i}, {c,o,i} — the
+        // four ancestors — and leaves {o}, {i}, {o,i} untouched.
+        fb.record(
+            pop_plan::subplan_signature(&q, TableSet::single(0)),
+            CardFact::Exact(55.0),
+        );
+        let ctx = OptimizerContext::new(&cat, &stats, &cfg, &cost, None, &fb);
+        let est = CardEstimator::with_sig_cache(&q, &ctx, memo.sig_cache()).unwrap();
+        let inc = memo.best_join_order(&est, &ctx).unwrap();
+        let s = memo.last_stats();
+        assert!(!s.rebuilt, "a CardFact must not force a full rebuild");
+        assert_eq!(s.groups_rederived, 4, "{s:?}");
+        assert_eq!(s.groups_reused, 3, "{s:?}");
+        // And the result matches the from-scratch oracle exactly.
+        let scratch = optimize_join_order(&est, &ctx).unwrap();
+        assert_eq!(inc.cost.to_bits(), scratch.cost.to_bits());
+        assert_eq!(inc.node.to_string(), scratch.node.to_string());
+    }
+
+    #[test]
+    fn parameter_change_clears_the_memo() {
+        let (cat, stats) = setup();
+        let cfg = OptimizerConfig::default();
+        let cost = CostModel::default();
+        let fb = FeedbackCache::new();
+        let mut b = QueryBuilder::new();
+        let c = b.table("customer");
+        let o = b.table("orders");
+        b.join(c, 0, o, 1);
+        b.filter(c, pop_expr::Expr::col(c, 1).eq(pop_expr::Expr::Param(0)));
+        let q = b.build().unwrap();
+        let p1 = pop_expr::Params::new(vec![Value::Int(3)]);
+        let p2 = pop_expr::Params::new(vec![Value::Int(7)]);
+        let mut memo = Memo::new();
+        memo.prepare(&q, Some(&p1));
+        {
+            let ctx = OptimizerContext::new(&cat, &stats, &cfg, &cost, Some(&p1), &fb);
+            let est = CardEstimator::with_sig_cache(&q, &ctx, memo.sig_cache()).unwrap();
+            memo.best_join_order(&est, &ctx).unwrap();
+            assert!(memo.last_stats().rebuilt);
+        }
+        // Different binding: the memo must not carry groups across.
+        memo.prepare(&q, Some(&p2));
+        let ctx = OptimizerContext::new(&cat, &stats, &cfg, &cost, Some(&p2), &fb);
+        let est = CardEstimator::with_sig_cache(&q, &ctx, memo.sig_cache()).unwrap();
+        memo.best_join_order(&est, &ctx).unwrap();
+        assert!(memo.last_stats().rebuilt);
+        // Same binding again: fully reused.
+        memo.prepare(&q, Some(&p2));
+        let est = CardEstimator::with_sig_cache(&q, &ctx, memo.sig_cache()).unwrap();
+        memo.best_join_order(&est, &ctx).unwrap();
+        assert!(!memo.last_stats().rebuilt);
+        assert_eq!(memo.last_stats().groups_rederived, 0);
+    }
+
+    #[test]
+    fn mv_promotion_dirties_the_covered_group() {
+        let (cat, stats) = setup();
+        let cfg = OptimizerConfig::default();
+        let cost = CostModel::default();
+        let fb = FeedbackCache::new();
+        let q = chain_query();
+        let mut memo = Memo::new();
+        {
+            let ctx = OptimizerContext::new(&cat, &stats, &cfg, &cost, None, &fb);
+            memo.prepare(&q, None);
+            let est = CardEstimator::with_sig_cache(&q, &ctx, memo.sig_cache()).unwrap();
+            memo.best_join_order(&est, &ctx).unwrap();
+        }
+        // Promote an MV over the filtered customer subplan.
+        let sig = pop_plan::subplan_signature(&q, TableSet::single(0));
+        let id = cat.allocate_temp_id();
+        cat.register_temp_mv(pop_storage::TempMv {
+            table: std::sync::Arc::new(pop_storage::Table::new(
+                id,
+                "__mv_memo",
+                Schema::from_pairs(&[("id", DataType::Int), ("grp", DataType::Int)]),
+                (0..10)
+                    .map(|i| vec![Value::Int(i), Value::Int(3)])
+                    .collect(),
+            )),
+            signature: sig,
+            layout: vec![ColId::new(0, 0), ColId::new(0, 1)],
+            actual_card: 10,
+            lineage: None,
+        });
+        let ctx = OptimizerContext::new(&cat, &stats, &cfg, &cost, None, &fb);
+        let est = CardEstimator::with_sig_cache(&q, &ctx, memo.sig_cache()).unwrap();
+        let inc = memo.best_join_order(&est, &ctx).unwrap();
+        let s = memo.last_stats();
+        assert!(!s.rebuilt);
+        assert!(s.dirty_seeds >= 1, "{s:?}");
+        let scratch = optimize_join_order(&est, &ctx).unwrap();
+        assert_eq!(inc.cost.to_bits(), scratch.cost.to_bits());
+        assert_eq!(inc.node.to_string(), scratch.node.to_string());
+        let mut has_mv = false;
+        inc.node.visit(&mut |n| {
+            if matches!(n, pop_plan::PhysNode::MvScan { .. }) {
+                has_mv = true;
+            }
+        });
+        assert!(has_mv, "promoted MV must appear in the incremental plan");
+    }
+
+    #[test]
+    fn config_change_forces_full_rebuild() {
+        let (cat, stats) = setup();
+        let cost = CostModel::default();
+        let fb = FeedbackCache::new();
+        let q = chain_query();
+        let mut memo = Memo::new();
+        let cfg = OptimizerConfig::default();
+        {
+            let ctx = OptimizerContext::new(&cat, &stats, &cfg, &cost, None, &fb);
+            memo.prepare(&q, None);
+            let est = CardEstimator::with_sig_cache(&q, &ctx, memo.sig_cache()).unwrap();
+            memo.best_join_order(&est, &ctx).unwrap();
+        }
+        let cfg2 = OptimizerConfig {
+            joins: crate::JoinMethods {
+                nljn: false,
+                ..Default::default()
+            },
+            ..OptimizerConfig::default()
+        };
+        let ctx = OptimizerContext::new(&cat, &stats, &cfg2, &cost, None, &fb);
+        memo.prepare(&q, None);
+        let est = CardEstimator::with_sig_cache(&q, &ctx, memo.sig_cache()).unwrap();
+        let inc = memo.best_join_order(&est, &ctx).unwrap();
+        assert!(memo.last_stats().rebuilt);
+        let scratch = optimize_join_order(&est, &ctx).unwrap();
+        assert_eq!(inc.node.to_string(), scratch.node.to_string());
+    }
+}

@@ -33,6 +33,7 @@ pub use query::{
     TableRef,
 };
 pub use signature::{
-    canonical_layout, params_fingerprint, subplan_signature, subplan_signature_with_params,
+    canonical_layout, params_fingerprint, spec_fingerprint, subplan_signature,
+    subplan_signature_with_params,
 };
 pub use table_set::TableSet;

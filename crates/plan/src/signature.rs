@@ -80,6 +80,27 @@ pub fn subplan_signature(spec: &QuerySpec, set: TableSet) -> String {
     parts.join("|")
 }
 
+/// Parameter-independent fingerprint of a whole query *template*: the
+/// join-graph signature over all tables plus every non-join clause.
+/// Unlike [`subplan_signature_with_params`] this never incorporates bound
+/// parameter values — two executions of the same prepared statement with
+/// different bindings share one fingerprint, which is exactly what a
+/// parameterized plan cache keys on (validity-range guards, not the key,
+/// decide whether a cached plan fits a binding).
+pub fn spec_fingerprint(spec: &QuerySpec) -> String {
+    format!(
+        "{}||proj:{:?}|agg:{:?}|exists:{:?}|having:{:?}|order:{:?}|limit:{:?}|sink:{:?}",
+        subplan_signature(spec, spec.all_tables()),
+        spec.projection,
+        spec.aggregate,
+        spec.exists,
+        spec.having,
+        spec.order_by,
+        spec.limit,
+        spec.side_effect,
+    )
+}
+
 /// The canonical column layout for a materialized subplan over `set`:
 /// all columns of the member tables, ascending by query-table index then
 /// column index. `col_counts[t]` is the column count of query table `t`.

@@ -1,0 +1,166 @@
+//! Convergence of the fleet-wide feedback loop on the parameterized
+//! TPC-H Q10 (the paper's §5.1 robustness query): with cross-query
+//! learning, a repeated binding pays for its misestimate exactly once;
+//! with the validity-range plan cache, a repeated binding eventually
+//! skips optimization entirely, while an out-of-range binding misses
+//! with a reason and re-plans.
+
+use pop::{PopConfig, PopExecutor};
+use pop_expr::Params;
+use pop_tpch::{q10, tpch_catalog};
+use pop_types::Value;
+
+const SF: f64 = 0.002;
+
+fn params(v: i64) -> Params {
+    Params::new(vec![Value::Int(v)])
+}
+
+/// The Figure 11 environment: memory a fraction of the data and a highly
+/// selective default for the parameter-marker predicate, so the
+/// misestimate at large bindings is severe enough to re-optimize.
+fn fig11_config() -> PopConfig {
+    let mut cfg = PopConfig::default();
+    cfg.cost_model.mem_rows = 4000.0;
+    cfg.optimizer.selectivity_defaults.range = 0.015;
+    cfg
+}
+
+#[test]
+fn repeated_binding_reoptimizes_once_then_never_again() {
+    let cfg = PopConfig {
+        learn_across_queries: true,
+        ..fig11_config()
+    };
+    let exec = PopExecutor::new(tpch_catalog(SF).unwrap(), cfg).unwrap();
+    let q = q10();
+    // Binding 50 selects every lineitem; the parameter-marker default
+    // selectivity underestimates 3x, which triggers a re-optimization.
+    let first = exec.run(&q, &params(50)).unwrap();
+    assert!(
+        first.report.reopt_count >= 1,
+        "first run should hit the misestimate (steps: {:?})",
+        first
+            .report
+            .steps
+            .iter()
+            .map(|s| &s.shape)
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        !exec.learned_facts().is_empty(),
+        "completed run should publish its facts"
+    );
+
+    // Same binding again: the published facts seed the estimator, so the
+    // first plan is already right and no check fires.
+    let second = exec.run(&q, &params(50)).unwrap();
+    assert_eq!(
+        second.report.reopt_count, 0,
+        "learned facts should eliminate the repeat re-optimization"
+    );
+    assert!(
+        second.report.feedback_base_hits > 0,
+        "the estimator should have consulted cross-query facts"
+    );
+    let mut a = first.rows.clone();
+    let mut b = second.rows.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "learning must not change results");
+}
+
+#[test]
+fn plan_cache_hits_in_range_and_misses_out_of_range() {
+    // Correct parameterized estimates make the guards binding-sensitive:
+    // the cached plan's validity ranges admit bindings near the one that
+    // produced it and reject far-away ones.
+    let mut cfg = PopConfig {
+        plan_cache: true,
+        ..PopConfig::default()
+    };
+    cfg.optimizer.correct_param_estimates = true;
+    let exec = PopExecutor::new(tpch_catalog(SF).unwrap(), cfg).unwrap();
+    let q = q10();
+
+    // First run at a selective binding: nothing cached yet.
+    let r1 = exec.run(&q, &params(3)).unwrap();
+    let d1 = r1.report.plan_cache.as_deref().unwrap();
+    assert!(d1.starts_with("miss"), "first run must miss: {d1}");
+    assert!(!exec.plan_cache().is_empty(), "completed run should cache");
+
+    // Same binding again: every guard admits it — no optimization at all.
+    let r2 = exec.run(&q, &params(3)).unwrap();
+    let d2 = r2.report.plan_cache.as_deref().unwrap();
+    assert!(d2.starts_with("hit"), "repeat binding must hit: {d2}");
+    assert!(
+        r2.report.steps[0].memo.is_none(),
+        "a plan-cache hit must not have run the optimizer"
+    );
+    let mut a = r1.rows.clone();
+    let mut b = r2.rows.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "cached plan must return identical rows");
+
+    // A far-away binding (50 selects everything, ~17x the estimate at 3):
+    // some validity guard must reject it, with a reason.
+    let r3 = exec.run(&q, &params(50)).unwrap();
+    let d3 = r3.report.plan_cache.as_deref().unwrap();
+    assert!(
+        d3.starts_with("miss: estimate"),
+        "out-of-range binding must miss on a guard: {d3}"
+    );
+    assert!(
+        r3.report.steps[0].memo.is_some(),
+        "a miss must fall through to the optimizer"
+    );
+    // The miss re-planned and cached a second entry vetted for the new
+    // binding's neighborhood.
+    let r4 = exec.run(&q, &params(50)).unwrap();
+    let d4 = r4.report.plan_cache.as_deref().unwrap();
+    assert!(
+        d4.starts_with("hit"),
+        "re-planned binding must now hit: {d4}"
+    );
+    let (hits, misses) = exec.plan_cache().hit_miss();
+    assert_eq!((hits, misses), (2, 2));
+}
+
+#[test]
+fn learning_plus_plan_cache_converges_to_zero_overhead() {
+    let cfg = PopConfig {
+        learn_across_queries: true,
+        plan_cache: true,
+        ..fig11_config()
+    };
+    let exec = PopExecutor::new(tpch_catalog(SF).unwrap(), cfg).unwrap();
+    let q = q10();
+
+    // Run 1: misestimate, re-optimization, facts published. The final
+    // plan reuses a temp MV, so it is (correctly) refused by the cache.
+    let r1 = exec.run(&q, &params(50)).unwrap();
+    assert!(r1.report.reopt_count >= 1);
+
+    // Run 2: feedback-seeded first plan, no re-optimization; the clean
+    // single-step plan is cached.
+    let r2 = exec.run(&q, &params(50)).unwrap();
+    assert_eq!(
+        r2.report.reopt_count, 0,
+        "feedback should pre-correct run 2"
+    );
+
+    // Run 3: the plan cache serves the vetted plan outright.
+    let r3 = exec.run(&q, &params(50)).unwrap();
+    assert_eq!(r3.report.reopt_count, 0);
+    let d3 = r3.report.plan_cache.as_deref().unwrap();
+    assert!(
+        d3.starts_with("hit"),
+        "converged workload should hit the plan cache: {d3}"
+    );
+    let mut a = r1.rows.clone();
+    let mut c = r3.rows.clone();
+    a.sort();
+    c.sort();
+    assert_eq!(a, c, "convergence must not change results");
+}

@@ -1,0 +1,120 @@
+//! Property-based differential test of the incremental memo: for random
+//! join specs and random injected cardinality-fact sequences, optimizing
+//! through the persistent [`pop_optimizer::Memo`] must produce exactly
+//! the plan a from-scratch optimization produces after every injection —
+//! same cost (bit-identical), same rendered plan, same robustness-
+//! certificate skeleton hash.
+
+use pop::{certify, LintContext, PopConfig};
+use pop_expr::Expr;
+use pop_optimizer::{
+    optimize, optimize_with_memo, CardFact, FeedbackCache, Memo, OptimizerContext,
+};
+use pop_plan::{subplan_signature, QueryBuilder, QuerySpec, TableSet};
+use pop_stats::StatsRegistry;
+use pop_storage::{Catalog, IndexKind};
+use pop_types::{DataType, Schema, Value};
+use proptest::prelude::*;
+
+/// Four chain-joinable tables of different sizes, so join-order choices
+/// are real and feedback can flip them.
+fn catalog() -> Catalog {
+    let cat = Catalog::new();
+    for (i, rows) in [200usize, 1000, 60, 1500].iter().enumerate() {
+        cat.create_table(
+            format!("t{i}"),
+            Schema::from_pairs(&[
+                ("pk", DataType::Int),
+                ("key", DataType::Int),
+                ("attr", DataType::Int),
+            ]),
+            (0..*rows)
+                .map(|r| {
+                    vec![
+                        Value::Int(r as i64),
+                        Value::Int((r % 50) as i64),
+                        Value::Int((r % 20) as i64),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        cat.create_index(&format!("t{i}"), "key", IndexKind::Hash)
+            .unwrap();
+    }
+    cat
+}
+
+fn build_spec(n: usize, filters: &[(usize, i64)]) -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let ids: Vec<usize> = (0..n).map(|i| b.table(format!("t{i}"))).collect();
+    for w in 1..n {
+        b.join(ids[w - 1], 1, ids[w], 1);
+    }
+    for (t, lit) in filters {
+        if *t < n {
+            b.filter(ids[*t], Expr::col(ids[*t], 2).le(Expr::lit(*lit)));
+        }
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn incremental_memo_matches_scratch_under_random_feedback(
+        n in 2usize..5,
+        filters in prop::collection::vec((0usize..4, -2i64..25), 0..3),
+        facts in prop::collection::vec((1u64..64, any::<bool>(), 1u64..200_000), 0..6),
+    ) {
+        let cat = catalog();
+        let stats = StatsRegistry::new();
+        stats.analyze_all(&cat).unwrap();
+        let spec = build_spec(n, &filters);
+        let opt_cfg = pop_optimizer::OptimizerConfig::default();
+        let cost = PopConfig::default().cost_model;
+        let feedback = FeedbackCache::new();
+        let octx = OptimizerContext::new(&cat, &stats, &opt_cfg, &cost, None, &feedback);
+        let lctx = LintContext::full(&cat, &spec);
+        let mut memo = Memo::new();
+
+        // Step 0 (no facts), then one step after every injected fact: the
+        // memo's answer must be indistinguishable from scratch each time.
+        let full_mask = (1u64 << n) - 1;
+        let mut injected = 0usize;
+        for step in 0..=facts.len() {
+            let scratch = optimize(&spec, &octx).unwrap();
+            let (inc, stats_rep) = optimize_with_memo(&spec, &octx, &mut memo).unwrap();
+            prop_assert_eq!(
+                scratch.props().cost.to_bits(),
+                inc.props().cost.to_bits(),
+                "step {}: cost diverged (scratch {} vs memo {})",
+                step, scratch.props().cost, inc.props().cost
+            );
+            prop_assert_eq!(
+                scratch.to_string(), inc.to_string(),
+                "step {}: rendered plan diverged", step
+            );
+            prop_assert_eq!(
+                certify(&scratch, &lctx).plan_hash,
+                certify(&inc, &lctx).plan_hash,
+                "step {}: certificate skeleton hash diverged", step
+            );
+            prop_assert_eq!(stats_rep.rebuilt, step == 0, "step {}: unexpected rebuild", step);
+
+            if let Some((raw_mask, exact, val)) = facts.get(step) {
+                let mask = (raw_mask % full_mask) + 1; // any non-empty subset
+                let set = TableSet::from_iter((0..n).filter(|t| mask & (1 << t) != 0));
+                let fact = if *exact {
+                    CardFact::Exact(*val as f64)
+                } else {
+                    CardFact::AtLeast(*val as f64)
+                };
+                feedback.record(subplan_signature(&spec, set), fact);
+                injected += 1;
+            }
+        }
+        prop_assert_eq!(injected, facts.len());
+    }
+}
