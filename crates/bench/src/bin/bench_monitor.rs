@@ -1,0 +1,179 @@
+//! Continuous-suboptimality-monitor overhead: monitors off vs on.
+//!
+//! ```text
+//! bench_monitor [--quick] [--assert]
+//! ```
+//!
+//! Runs the Q6 scan path (plus a raw selective scan and Q1 for context)
+//! twice: once with the monitor layer disabled and once enabled. Both
+//! configurations turn every checkpoint flavor off, so the enabled run
+//! carries a monitor on *every* eligible node — the worst case for the
+//! per-batch counting — while the disabled run executes the identical
+//! bare plan. TPC-H estimates are accurate here, so no monitor ever
+//! trips: the gap is pure bookkeeping (one count accumulation and one
+//! threshold test per batch).
+//!
+//! `--assert` fails the process when the mean overhead exceeds 2%
+//! (the CI smoke). Text goes to stdout; raw data is written to
+//! `results/BENCH_monitor.json`.
+
+use pop::{FlavorSet, PopConfig, PopExecutor, QuerySpec};
+use pop_expr::{Expr, Params};
+use pop_plan::QueryBuilder;
+use pop_tpch::{cols::lineitem, q1, q6, tpch_catalog};
+use serde::Serialize;
+use std::fs;
+use std::time::Instant;
+
+const THRESHOLD_PCT: f64 = 2.0;
+
+#[derive(Debug, Clone, Serialize)]
+struct QueryLine {
+    name: String,
+    rows_returned: usize,
+    monitors_installed: usize,
+    disabled_ms: f64,
+    enabled_ms: f64,
+    overhead_pct: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    scale_factor: f64,
+    reps: usize,
+    threshold_pct: f64,
+    mean_overhead_pct: f64,
+    asserted: bool,
+    queries: Vec<QueryLine>,
+}
+
+fn scan_sel() -> QuerySpec {
+    let mut b = QueryBuilder::new();
+    let l = b.table("lineitem");
+    b.filter(l, Expr::col(l, lineitem::QUANTITY).le(Expr::lit(25i64)));
+    b.project(&[
+        (l, lineitem::ORDERKEY),
+        (l, lineitem::QUANTITY),
+        (l, lineitem::EXTENDEDPRICE),
+    ]);
+    b.build().expect("scan_sel query")
+}
+
+/// POP on, checkpoints off: the plan is bare, so the monitor layer (when
+/// enabled) covers every node instead of deferring to CHECK-counted
+/// streams — the upper bound on its per-batch cost.
+fn executor_with(cat: &pop::Catalog, monitor: bool) -> PopExecutor {
+    let mut cfg = PopConfig::default();
+    cfg.optimizer.flavors = FlavorSet::none();
+    cfg.monitor = monitor;
+    cfg.sample_vet = false;
+    PopExecutor::new(cat.clone(), cfg).expect("executor")
+}
+
+/// Best-of-`reps` wall-clock for both modes, interleaved rep by rep so
+/// machine-load drift penalizes both modes equally.
+fn time_both(cat: &pop::Catalog, q: &QuerySpec, reps: usize) -> (f64, f64, usize, usize) {
+    let params = Params::none();
+    let off = executor_with(cat, false);
+    let on = executor_with(cat, true);
+    let mut off_best = f64::INFINITY;
+    let mut on_best = f64::INFINITY;
+    let mut rows = 0;
+    let mut installed = 0;
+    for i in 0..=reps {
+        let t = Instant::now();
+        let off_res = off.run(q, &params).expect("query");
+        let off_ms = t.elapsed().as_secs_f64() * 1e3;
+        let off_rows = off_res.rows.len();
+        assert_eq!(
+            off_res.report.steps[0].monitors_installed, 0,
+            "disabled run still installed monitors"
+        );
+        drop(off_res);
+        let t = Instant::now();
+        let on_res = on.run(q, &params).expect("query");
+        let on_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(off_rows, on_res.rows.len(), "monitored run changed results");
+        assert_eq!(
+            on_res.report.reopt_count, 0,
+            "a monitor tripped on accurate estimates — the bench would \
+             measure a re-optimization, not the counting overhead"
+        );
+        installed = on_res.report.steps[0].monitors_installed;
+        drop(on_res);
+        rows = off_rows;
+        if i > 0 {
+            off_best = off_best.min(off_ms);
+            on_best = on_best.min(on_ms);
+        }
+    }
+    assert!(installed > 0, "enabled run installed no monitors");
+    (off_best, on_best, rows, installed)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let assert_threshold = std::env::args().any(|a| a == "--assert");
+    let (sf, mut reps) = if quick { (0.01, 3) } else { (0.1, 7) };
+    if assert_threshold {
+        // An assertion needs a stable minimum; never less than 5 reps.
+        reps = reps.max(5);
+    }
+    let cat = tpch_catalog(sf).expect("catalog");
+    let queries: Vec<(&str, QuerySpec)> = vec![
+        ("tpch_q6", q6()),
+        ("lineitem_sel", scan_sel()),
+        ("tpch_q1", q1()),
+    ];
+    let mut report = BenchReport {
+        scale_factor: sf,
+        reps,
+        threshold_pct: THRESHOLD_PCT,
+        mean_overhead_pct: 0.0,
+        asserted: assert_threshold,
+        queries: Vec::new(),
+    };
+    println!("suboptimality-monitor overhead, TPC-H SF {sf} (best of {reps}):");
+    let mut total_off = 0.0;
+    let mut total_on = 0.0;
+    for (name, q) in queries {
+        let (off_ms, on_ms, rows, installed) = time_both(&cat, &q, reps);
+        let overhead = (on_ms / off_ms - 1.0) * 100.0;
+        total_off += off_ms;
+        total_on += on_ms;
+        println!(
+            "  {name:12} off {off_ms:8.2} ms  on {on_ms:8.2} ms ({installed} monitors)  overhead {overhead:+.2}%"
+        );
+        report.queries.push(QueryLine {
+            name: name.to_string(),
+            rows_returned: rows,
+            monitors_installed: installed,
+            disabled_ms: off_ms,
+            enabled_ms: on_ms,
+            overhead_pct: overhead,
+        });
+    }
+    // Aggregate over total time, so fast queries cannot dominate with
+    // timing noise.
+    let mean = (total_on / total_off - 1.0) * 100.0;
+    report.mean_overhead_pct = mean;
+    println!("  mean overhead {mean:+.2}% (threshold {THRESHOLD_PCT}%)");
+    let _ = fs::create_dir_all("results");
+    match serde_json::to_string_pretty(&report) {
+        Ok(s) => {
+            if let Err(e) = fs::write("results/BENCH_monitor.json", s) {
+                eprintln!("warning: could not write results/BENCH_monitor.json: {e}");
+            } else {
+                println!("wrote results/BENCH_monitor.json");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize report: {e}"),
+    }
+    if assert_threshold {
+        assert!(
+            mean < THRESHOLD_PCT,
+            "monitor overhead {mean:.2}% exceeds the {THRESHOLD_PCT}% budget"
+        );
+        println!("overhead assertion passed");
+    }
+}

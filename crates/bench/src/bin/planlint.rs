@@ -77,17 +77,29 @@ fn lint_workload(
     totals: &mut Totals,
 ) {
     println!(
-        "== {label}: {} queries x {} flavor configs",
+        "== {label}: {} queries x {} flavor configs x 2 thread configs",
         queries.len(),
         flavor_configs().len()
     );
-    for (flavor_name, flavors) in flavor_configs() {
+    for (threads, flavor_name, flavors) in [1usize, 4]
+        .into_iter()
+        .flat_map(|t| flavor_configs().into_iter().map(move |(n, f)| (t, n, f)))
+    {
         let mut config = PopConfig::default();
         config.optimizer.flavors = flavors;
+        config.optimizer.threads = threads;
+        if threads > 1 {
+            // Force parallel regions so the monitor-coverage proof
+            // (PL421) runs against plans with unmonitored worker
+            // subtrees, not just serial spines.
+            config.optimizer.min_parallel_rows = 0.0;
+        }
         config.cost_model.mem_rows = 4000.0;
         let expect_coverage = flavors.lc;
         let risk_threshold = config.lint_risk_threshold;
         let exec = PopExecutor::new(catalog.clone(), config).expect("analyze");
+        let flavor_name = format!("{flavor_name}/t{threads}");
+        let flavor_name = flavor_name.as_str();
         for (name, spec) in queries {
             let plan = match exec.plan(spec, &Params::none()) {
                 Ok(p) => p,
@@ -100,6 +112,7 @@ fn lint_workload(
             totals.plans += 1;
             let ctx = LintContext::full(exec.catalog(), spec)
                 .expect_check_coverage(expect_coverage)
+                .expect_monitor_coverage(true)
                 .with_stats(exec.stats())
                 .risk_threshold(risk_threshold);
             let diags = lint_plan(&plan, &ctx);

@@ -123,6 +123,38 @@ pub struct PopConfig {
     /// default) leaves every hook disarmed. The `POP_FAULT_PLAN` /
     /// `POP_FAULT_SEED` environment variables set it.
     pub faults: Option<FaultPlan>,
+    /// Continuous suboptimality monitors: every serially-built operator
+    /// of a POP plan is wrapped with a cheap per-batch row counter whose
+    /// trip bound derives from the planlint interval envelope and the
+    /// optimizer's estimate (see `pop_exec::MonitorOp`). A count crossing
+    /// the bound raises a monitor-flagged violation the driver escalates
+    /// exactly like a CHECK violation — catching misestimates on edges no
+    /// CHECK guards. On by default (the always-on safety net); the
+    /// `POP_MONITOR` environment variable (`on`/`off`/`true`/`false`/
+    /// `1`/`0`) overrides.
+    pub monitor: bool,
+    /// Drift factor of the monitors' trip bounds: a monitor fires when
+    /// the actual row count exceeds `drift ×` the tighter of the interval
+    /// upper bound and the estimate (floored at
+    /// [`pop_exec::MONITOR_TRIP_FLOOR`] rows). Large enough that ordinary
+    /// estimation noise — including misestimates the planned CHECK layer
+    /// already catches — never trips a monitor. Overridable with the
+    /// `POP_MONITOR_DRIFT` environment variable (finite, > 1.0).
+    pub monitor_drift: f64,
+    /// Sampling pre-validation of risky plans: before committing to a
+    /// first plan whose robustness certificate carries uncovered risky
+    /// edges, execute the plan over a deterministic sample of its driving
+    /// table, scale the observed cardinalities, and feed them back as
+    /// early observations — re-optimizing *before* the full run when they
+    /// fall outside the plan's validity ranges. On by default; the
+    /// `POP_SAMPLE_VET` environment variable overrides.
+    pub sample_vet: bool,
+    /// Target number of driving-table rows for the sampling
+    /// pre-validation run. The sample is every `ceil(table_rows /
+    /// sample_rows)`-th row, so small tables degenerate to a full (cheap)
+    /// scan. Overridable with the `POP_SAMPLE_ROWS` environment variable
+    /// (> 0).
+    pub sample_rows: usize,
     /// Graceful degradation: when *re*-optimization fails (optimizer
     /// error, lint rejection, injected fault), fall back to the last
     /// successfully vetted plan and run it to completion with checks
@@ -201,6 +233,51 @@ fn lint_risk_threshold_from_env(warnings: &mut Vec<String>) -> f64 {
     .unwrap_or(pop_planlint::DEFAULT_RISK_THRESHOLD)
 }
 
+/// On/off switch from the environment, accepting the natural spellings
+/// (`on`/`off`/`true`/`false`/`1`/`0`, case-insensitive). Anything else
+/// falls back to `default` — recording a warning — rather than erroring.
+fn switch_from_env(name: &str, default: bool, warnings: &mut Vec<String>) -> bool {
+    let Ok(raw) = std::env::var(name) else {
+        return default;
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "on" | "true" | "1" => true,
+        "off" | "false" | "0" => false,
+        _ => {
+            warnings.push(format!(
+                "{name}: invalid value {raw:?}; keeping the default ({default})"
+            ));
+            default
+        }
+    }
+}
+
+/// Monitor drift factor from `POP_MONITOR_DRIFT`. Non-finite values or
+/// values at or below 1.0 fall back — a drift of 1.0 would fire on any
+/// estimate the planned CHECK layer tolerates.
+fn monitor_drift_from_env(warnings: &mut Vec<String>) -> f64 {
+    pop_guard::env_parsed(
+        "POP_MONITOR_DRIFT",
+        |d: &f64| d.is_finite() && *d > 1.0,
+        warnings,
+    )
+    .unwrap_or(DEFAULT_MONITOR_DRIFT)
+}
+
+/// Sample size from `POP_SAMPLE_ROWS` (> 0).
+fn sample_rows_from_env(warnings: &mut Vec<String>) -> usize {
+    pop_guard::env_parsed("POP_SAMPLE_ROWS", |n: &usize| *n > 0, warnings)
+        .unwrap_or(DEFAULT_SAMPLE_ROWS)
+}
+
+/// Default [`PopConfig::monitor_drift`]: wide enough that a 16x
+/// correlated misestimate the CHECK layer already recovers from does not
+/// also trip a monitor, tight enough to catch orders-of-magnitude lies.
+pub const DEFAULT_MONITOR_DRIFT: f64 = 32.0;
+
+/// Default [`PopConfig::sample_rows`].
+pub const DEFAULT_SAMPLE_ROWS: usize = 4096;
+
 impl Default for PopConfig {
     fn default() -> Self {
         let mut env_warnings = Vec::new();
@@ -233,6 +310,10 @@ impl Default for PopConfig {
             morsel_size,
             budget,
             faults,
+            monitor: switch_from_env("POP_MONITOR", true, &mut env_warnings),
+            monitor_drift: monitor_drift_from_env(&mut env_warnings),
+            sample_vet: switch_from_env("POP_SAMPLE_VET", true, &mut env_warnings),
+            sample_rows: sample_rows_from_env(&mut env_warnings),
             graceful_degradation: true,
             env_warnings,
         }
@@ -265,6 +346,40 @@ mod tests {
         // Guardrails are off unless configured: zero-cost default path.
         assert!(!c.budget.is_limited());
         assert!(c.faults.is_none() || std::env::var("POP_FAULT_SEED").is_ok());
+    }
+
+    #[test]
+    fn monitor_and_sampling_defaults() {
+        let c = PopConfig::default();
+        assert!(c.monitor || std::env::var("POP_MONITOR").is_ok());
+        assert_eq!(c.monitor_drift, DEFAULT_MONITOR_DRIFT);
+        assert!(c.sample_vet || std::env::var("POP_SAMPLE_VET").is_ok());
+        assert_eq!(c.sample_rows, DEFAULT_SAMPLE_ROWS);
+    }
+
+    #[test]
+    fn switch_parser_accepts_natural_spellings() {
+        // Unique variable names, so parallel tests reading the
+        // environment never race with these writes.
+        let mut w = Vec::new();
+        std::env::set_var("POP_TEST_SWITCH_OFF", "off");
+        assert!(!switch_from_env("POP_TEST_SWITCH_OFF", true, &mut w));
+        std::env::set_var("POP_TEST_SWITCH_ON", "ON");
+        assert!(switch_from_env("POP_TEST_SWITCH_ON", false, &mut w));
+        std::env::set_var("POP_TEST_SWITCH_ONE", "1");
+        assert!(switch_from_env("POP_TEST_SWITCH_ONE", false, &mut w));
+        assert!(w.is_empty());
+        std::env::set_var("POP_TEST_SWITCH_BAD", "maybe");
+        assert!(switch_from_env("POP_TEST_SWITCH_BAD", true, &mut w));
+        assert_eq!(w.len(), 1, "{w:?}");
+        for v in [
+            "POP_TEST_SWITCH_OFF",
+            "POP_TEST_SWITCH_ON",
+            "POP_TEST_SWITCH_ONE",
+            "POP_TEST_SWITCH_BAD",
+        ] {
+            std::env::remove_var(v);
+        }
     }
 
     #[test]

@@ -1,19 +1,21 @@
 //! The POP driver: alternate optimization and execution steps until the
 //! query completes (§2.1, Figure 3 of the paper).
 
-use crate::{LintMode, PopConfig, QueryResult, RunReport, StepReport};
+use crate::{LintMode, PopConfig, QueryResult, RunReport, SampleVet, StepReport};
 use parking_lot::Mutex;
-use pop_exec::{execute, ExecCtx, RunOutcome};
+use pop_exec::{
+    execute, ExecCtx, MonitorSet, MonitorSpec, RunOutcome, SampleSpec, MONITOR_TRIP_FLOOR,
+};
 use pop_guard::{CancelToken, CleanupRegistry, FaultInjector, Governor};
 use pop_optimizer::{
     optimize, optimize_with_memo, CardEstimator, CardFact, FeedbackCache, FeedbackStore, FlavorSet,
     Memo, MemoStats, OptimizerContext, PlanCache,
 };
 use pop_plan::{
-    canonical_layout, spec_fingerprint, subplan_signature_with_params, CheckFlavor, PhysNode,
-    QuerySpec, TableSet, ValidityRange,
+    canonical_layout, spec_fingerprint, subplan_signature_with_params, CheckFlavor, Partitioning,
+    PhysNode, PlanProps, QuerySpec, TableSet, ValidityRange,
 };
-use pop_stats::{StatsRegistry, TableStats};
+use pop_stats::{sample_stride, scale_observation, StatsRegistry, TableStats};
 use pop_storage::{Catalog, Table, TempMv};
 use pop_types::{ColumnDef, PopError, PopResult, Rid, Row, Schema};
 use std::collections::HashMap;
@@ -250,6 +252,14 @@ impl PopExecutor {
         };
         let mut cache_hit = false;
         let mut first_step = true;
+        // Sampling pre-validation applies once, to the first plan of a
+        // plain POP run: faults, forced re-optimizations and observe-only
+        // mode all change what the sample observations would mean.
+        let mut sample_done = !(self.config.sample_vet
+            && self.config.enabled
+            && !self.config.observe_only
+            && self.config.faults.is_none()
+            && self.config.force_reopt_at.is_none());
         // The persistent memo is held for the whole loop: each
         // re-optimization step re-derives only the groups its new facts
         // dirtied.
@@ -326,6 +336,34 @@ impl PopExecutor {
                 }
             };
             let signatures = collect_signatures(spec, &plan, params);
+            // Install the continuous suboptimality monitors for this
+            // step's plan (the always-on safety net on edges no CHECK
+            // guards).
+            ctx.monitors = self.monitor_set(spec, &plan, &signatures);
+            let monitors_installed = ctx.monitors.as_ref().map_or(0, |m| m.len());
+            // Sampling pre-validation (vet-then-run): a first plan whose
+            // robustness certificate carries uncovered risk is executed
+            // over a deterministic sample of its driving table first; if
+            // a scaled observation escapes its validity range, the scaled
+            // facts feed back and the plan is rebuilt *before* the full
+            // run (the replan does not count against `max_reopts`).
+            if !sample_done {
+                sample_done = true;
+                if let Some(sv) = self.sample_vet_plan(
+                    spec,
+                    &plan,
+                    vetting.certificate.as_ref(),
+                    &signatures,
+                    ctx,
+                    feedback,
+                )? {
+                    let replanned = sv.replanned;
+                    report.sample_vet = Some(sv);
+                    if replanned {
+                        continue;
+                    }
+                }
+            }
             let mut mvs_used = 0usize;
             plan.visit(&mut |n| {
                 if matches!(n, PhysNode::MvScan { .. }) {
@@ -349,6 +387,8 @@ impl PopExecutor {
                 parallel: std::mem::take(&mut ctx.region_diags),
                 lint_warnings: vetting.warnings,
                 certificate: vetting.certificate,
+                monitors: ctx.monitor_signals.clone(),
+                monitors_installed,
                 memo: memo_stats,
             };
             match outcome {
@@ -497,6 +537,7 @@ impl PopExecutor {
         }
         let lctx = pop_planlint::LintContext::full(&self.catalog, spec)
             .expect_check_coverage(expect_coverage)
+            .expect_monitor_coverage(self.config.enabled && self.config.monitor)
             .with_cleanups(&cleanups)
             .with_stats(&self.stats)
             .risk_threshold(self.config.lint_risk_threshold);
@@ -580,6 +621,8 @@ impl PopExecutor {
             parallel: std::mem::take(&mut ctx.region_diags),
             lint_warnings: vetting.warnings,
             certificate: vetting.certificate,
+            monitors: vec![],
+            monitors_installed: 0,
             memo: None,
         });
         report.total_work = ctx.work;
@@ -587,6 +630,206 @@ impl PopExecutor {
             rows: collected,
             report,
         })
+    }
+
+    /// Build the monitor set for one step's plan: every node gets a trip
+    /// bound derived from the planlint interval envelope and the
+    /// optimizer's estimate, except CHECK/BUFCHECK nodes and their
+    /// direct children (the check already counts that row stream).
+    /// Nodes inside parallel regions are included — the region
+    /// controller folds their counts into shared cells, so coverage is
+    /// identical to the serial plan's. `None` when monitoring is
+    /// disabled.
+    fn monitor_set(
+        &self,
+        spec: &QuerySpec,
+        plan: &PhysNode,
+        signatures: &HashMap<u64, String>,
+    ) -> Option<std::sync::Arc<MonitorSet>> {
+        if !(self.config.monitor && self.config.enabled) {
+            return None;
+        }
+        let lctx = pop_planlint::LintContext::full(&self.catalog, spec).with_stats(&self.stats);
+        let intervals = pop_planlint::plan_intervals(plan, &lctx);
+        let mut set = MonitorSet::default();
+        let mut idx = 0usize;
+        collect_monitor_specs(
+            plan,
+            &intervals,
+            signatures,
+            self.config.monitor_drift,
+            &mut idx,
+            false,
+            &mut set,
+        );
+        if set.is_empty() {
+            None
+        } else {
+            Some(Arc::new(set))
+        }
+    }
+
+    /// Sampling pre-validation of a risky plan (vet-then-run): execute the
+    /// plan's serial skeleton over a deterministic stride sample of its
+    /// driving table, scale the observed cardinalities back up, and treat
+    /// them as early CHECK observations — feeding them back and requesting
+    /// a replan when one escapes its validity range.
+    ///
+    /// Only plans whose robustness certificate leaves risk uncovered are
+    /// vetted; clean plans run directly. Plans with side effects (INSERT)
+    /// are never sampled (exactly-once application), and tables smaller
+    /// than the sample target are not worth vetting (stride < 2).
+    ///
+    /// The sample runs with checks *disabled* (a sample's absolute counts
+    /// would violate lower bounds spuriously) but with its own monitor
+    /// set whose trip bounds are scaled down by the sampling factor, so a
+    /// runaway join fires early even inside the sample. Because the
+    /// skeleton is serial and the stride deterministic, the vet decision
+    /// and its observations are identical across thread counts and morsel
+    /// sizes.
+    fn sample_vet_plan(
+        &self,
+        spec: &QuerySpec,
+        plan: &PhysNode,
+        certificate: Option<&pop_planlint::RobustnessCertificate>,
+        signatures: &HashMap<u64, String>,
+        ctx: &mut ExecCtx,
+        feedback: &FeedbackCache,
+    ) -> PopResult<Option<SampleVet>> {
+        /// Minimum scaled-down monitor trip bound during a sample run.
+        const SAMPLE_TRIP_FLOOR: u64 = 8;
+        let Some(cert) = certificate else {
+            return Ok(None);
+        };
+        if cert.uncovered.is_empty() && cert.residual_risk <= self.config.lint_risk_threshold {
+            return Ok(None);
+        }
+        let mut has_insert = false;
+        plan.visit(&mut |n| has_insert |= matches!(n, PhysNode::Insert { .. }));
+        if has_insert {
+            return Ok(None);
+        }
+        let skeleton = serial_skeleton(plan.clone());
+        let Some(driving) = driving_sample_table(&skeleton, &self.stats) else {
+            return Ok(None);
+        };
+        let rows = self.stats.get(&driving).map_or(0, |s| s.row_count);
+        let stride = sample_stride(rows, self.config.sample_rows);
+        if stride < 2 {
+            return Ok(None);
+        }
+        // How many scans of the driving table feed the subplan behind a
+        // signature — each one scales its observed count by the stride.
+        let occurrences = |mask: u64| -> u32 {
+            #[allow(clippy::cast_possible_truncation)]
+            let k = (0..spec.tables.len())
+                .filter(|q| mask & (1u64 << q) != 0 && spec.tables[*q].table == driving)
+                .count() as u32;
+            k
+        };
+        let sig_mask: HashMap<&String, u64> = signatures.iter().map(|(m, s)| (s, *m)).collect();
+        // The sample's own monitors: same envelope-derived trips as the
+        // full run's, scaled down by the sampling factor of each subplan
+        // (built even when continuous monitoring is off — the vet relies
+        // on them to catch a runaway join inside the sample).
+        let lctx = pop_planlint::LintContext::full(&self.catalog, spec).with_stats(&self.stats);
+        let intervals = pop_planlint::plan_intervals(&skeleton, &lctx);
+        let mut set = MonitorSet::default();
+        let mut idx = 0usize;
+        collect_monitor_specs(
+            &skeleton,
+            &intervals,
+            signatures,
+            self.config.monitor_drift,
+            &mut idx,
+            false,
+            &mut set,
+        );
+        for ms in set.specs.values_mut() {
+            let Some(mask) = sig_mask.get(&ms.signature) else {
+                continue;
+            };
+            let k = occurrences(*mask);
+            if k > 0 {
+                ms.trip = ms
+                    .trip
+                    .div_ceil(stride.saturating_pow(k))
+                    .max(SAMPLE_TRIP_FLOOR);
+            }
+        }
+        let sample_monitors = (!set.is_empty()).then(|| Arc::new(set));
+        // Run the skeleton in sampling mode: checks count but never raise,
+        // the scaled monitors stay armed, and the driving table's scans
+        // read every `stride`-th row.
+        let stash_checks = ctx.checks_enabled;
+        let stash_monitors = std::mem::replace(&mut ctx.monitors, sample_monitors);
+        ctx.checks_enabled = false;
+        ctx.sample = Some(SampleSpec {
+            table: driving.clone(),
+            stride: usize::try_from(stride).unwrap_or(usize::MAX),
+        });
+        let outcome = execute(&skeleton, ctx, signatures);
+        ctx.checks_enabled = stash_checks;
+        ctx.monitors = stash_monitors;
+        ctx.sample = None;
+        let _outcome = outcome?;
+        // Sample intermediates are partial data: never promote them.
+        ctx.harvests.clear();
+        // Harvest the observations: every check that drained records an
+        // exact sampled count at EOF; a fired monitor contributes its
+        // tripping count. Scale each by the stride once per driving-table
+        // occurrence. Scaled (k > 0) counts are estimates, so only their
+        // *upper* escapes condemn the plan — a sample missing the rows of
+        // a selective predicate must not fake a lower-bound violation.
+        let mut observations: Vec<(String, u64, bool)> = Vec::new();
+        let mut facts: Vec<(String, CardFact)> = Vec::new();
+        let mut replanned = false;
+        for ev in &ctx.check_events {
+            let pop_exec::ObservedCard::Exact(n) = ev.observed else {
+                continue;
+            };
+            let Some(mask) = sig_mask.get(&ev.signature) else {
+                continue;
+            };
+            let k = occurrences(*mask);
+            let scaled = scale_observation(n, stride, k);
+            #[allow(clippy::cast_precision_loss)]
+            let outside = if k == 0 {
+                !ev.range.contains(scaled as f64)
+            } else {
+                scaled as f64 > ev.range.hi
+            };
+            replanned |= outside;
+            observations.push((ev.signature.clone(), scaled, outside));
+            let fact = if k == 0 {
+                CardFact::Exact(scaled as f64)
+            } else {
+                CardFact::AtLeast(scaled as f64)
+            };
+            facts.push((ev.signature.clone(), fact));
+        }
+        for sig in &ctx.monitor_signals {
+            let k = sig_mask.get(&sig.signature).map_or(0, |m| occurrences(*m));
+            let scaled = scale_observation(sig.observed, stride, k);
+            replanned = true;
+            observations.push((sig.signature.clone(), scaled, true));
+            #[allow(clippy::cast_precision_loss)]
+            facts.push((sig.signature.clone(), CardFact::AtLeast(scaled as f64)));
+        }
+        if replanned {
+            // Feed the scaled facts back only when they change the plan's
+            // fate: a confirmed plan runs under its original estimates.
+            for (sig, fact) in facts {
+                feedback.record(sig, fact);
+            }
+        }
+        Ok(Some(SampleVet {
+            table: driving,
+            sample_rows: rows.div_ceil(stride),
+            scale: stride,
+            observations,
+            replanned,
+        }))
     }
 
     /// Promote one harvested materialization to a temp MV, when it covers
@@ -640,6 +883,145 @@ impl PopExecutor {
         });
         Ok(())
     }
+}
+
+/// Does `node` emit exactly the row count of its (single) input? Those
+/// wrappers carry the same stream a CHECK above them already counts, so
+/// monitoring them under a check is pure redundancy — and worse, the
+/// monitor's cruder trip bound can fire *before* the check resolves an
+/// exact observation.
+fn count_preserving(node: &PhysNode) -> bool {
+    matches!(
+        node,
+        PhysNode::Sort { .. }
+            | PhysNode::Temp { .. }
+            | PhysNode::Project { .. }
+            | PhysNode::Check { .. }
+            | PhysNode::BufCheck { .. }
+            | PhysNode::RidSink { .. }
+            | PhysNode::Insert { .. }
+            | PhysNode::Exchange { .. }
+            | PhysNode::Gather { .. }
+    )
+}
+
+/// The pre-order walk behind [`PopExecutor::monitor_set`]: enumerate the
+/// full plan tree in the same order the operator builder claims monitor
+/// indices, and record a [`MonitorSpec`] for every monitorable node.
+///
+/// A node is skipped when a CHECK above it already counts its exact row
+/// stream (`under_check`, propagated down through count-preserving
+/// wrappers) — monitors exist for the edges the planned CHECK layer does
+/// *not* observe.
+///
+/// The trip bound is the tighter of the two alarms, `min(interval.hi,
+/// est) × drift` — the envelope-escape alarm only when the interval's
+/// upper bound is finite — floored at [`MONITOR_TRIP_FLOOR`] rows.
+fn collect_monitor_specs(
+    node: &PhysNode,
+    intervals: &[(String, f64, pop_planlint::CardInterval)],
+    signatures: &HashMap<u64, String>,
+    drift: f64,
+    idx: &mut usize,
+    under_check: bool,
+    set: &mut MonitorSet,
+) {
+    let my = *idx;
+    *idx += 1;
+    let is_check = matches!(node, PhysNode::Check { .. } | PhysNode::BufCheck { .. });
+    let monitorable = !is_check && !under_check && !node.props().tables.is_empty();
+    if monitorable {
+        if let Some(signature) = signatures.get(&node.props().tables.mask()) {
+            let (path, est, iv) = &intervals[my];
+            let mut bound = est * drift;
+            if iv.hi.is_finite() {
+                bound = bound.min(iv.hi * drift);
+            }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let trip = (bound.ceil().max(0.0) as u64).max(MONITOR_TRIP_FLOOR);
+            set.specs.insert(
+                my,
+                MonitorSpec {
+                    path: path.clone(),
+                    signature: signature.clone(),
+                    est_card: *est,
+                    trip,
+                },
+            );
+        }
+    }
+    // Parallel regions (below a `Gather`) are enumerated like any other
+    // subtree: the region controller folds their monitors into shared
+    // per-node cells, so in-region coverage matches the serial plan's.
+    let child_counted = is_check || (under_check && count_preserving(node));
+    for child in node.children() {
+        collect_monitor_specs(child, intervals, signatures, drift, idx, child_counted, set);
+    }
+}
+
+/// Strip the parallel-only wrappers (`Exchange`/`Gather`) from a plan and
+/// reset the marks the parallelize pass left on the spine (partitioning
+/// properties, CHECK fold registration), recovering the serial plan the
+/// optimizer built before parallelization. The sampling pre-validation
+/// always executes this skeleton, so its observations — like the
+/// robustness certificate, which is computed over the same skeleton — are
+/// invariant across thread counts.
+fn serial_skeleton(node: PhysNode) -> PhysNode {
+    match node {
+        PhysNode::Exchange { input, .. } | PhysNode::Gather { input, .. } => {
+            serial_skeleton(*input)
+        }
+        mut other => {
+            other.props_mut().partitioning = Partitioning::Single;
+            if let PhysNode::Check { spec, .. } = &mut other {
+                spec.fold = false;
+            }
+            for child in other.children_mut() {
+                let owned = std::mem::replace(child, placeholder_node());
+                *child = serial_skeleton(owned);
+            }
+            other
+        }
+    }
+}
+
+/// Throwaway node used to take ownership of a boxed child.
+fn placeholder_node() -> PhysNode {
+    PhysNode::TableScan {
+        qidx: 0,
+        table: String::new(),
+        pred: None,
+        props: PlanProps::leaf(TableSet::single(0), 0.0, 0.0, vec![]),
+    }
+}
+
+/// The table the sampling pre-validation strides over: the largest base
+/// table the plan reads through plain sequential scans *only*. A table
+/// also reached through an index (range scan or NLJN inner probe) cannot
+/// be sampled coherently — index reads bypass the stride — so such tables
+/// are disqualified. `None` when no table qualifies.
+fn driving_sample_table(plan: &PhysNode, stats: &StatsRegistry) -> Option<String> {
+    let mut scanned: Vec<String> = Vec::new();
+    let mut unsampled: std::collections::HashSet<String> = std::collections::HashSet::new();
+    plan.visit(&mut |n| match n {
+        PhysNode::TableScan { table, .. } => scanned.push(table.clone()),
+        PhysNode::IndexRangeScan { table, .. } => {
+            unsampled.insert(table.clone());
+        }
+        PhysNode::Nljn { inner, .. } => {
+            unsampled.insert(inner.table.clone());
+        }
+        PhysNode::MvScan { mv_name, .. } => {
+            unsampled.insert(mv_name.clone());
+        }
+        _ => {}
+    });
+    scanned
+        .into_iter()
+        .filter(|t| !unsampled.contains(t))
+        .filter_map(|t| stats.get(&t).ok().map(|s| (s.row_count, t)))
+        .max_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(&a.1)))
+        .map(|(_, t)| t)
 }
 
 /// Re-key every CHECK / BUFCHECK signature of a cached plan for the

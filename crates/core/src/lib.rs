@@ -67,11 +67,12 @@ mod report;
 
 pub use config::{LintMode, PopConfig};
 pub use driver::PopExecutor;
-pub use report::{QueryResult, RunReport, StepReport};
+pub use report::{QueryResult, RunReport, SampleVet, StepReport};
 
 // Re-export the crates a downstream user needs to drive the API.
 pub use pop_exec::{
-    CheckEvent, CheckOutcome, ObservedCard, RegionDiag, RegionMode, Violation, WorkerDiag,
+    CheckEvent, CheckOutcome, ObservedCard, RegionDiag, RegionMode, SuboptimalitySignal, Violation,
+    WorkerDiag, MONITOR_TRIP_FLOOR,
 };
 pub use pop_guard::{
     Budget, CancelToken, CleanupRegistry, FaultInjector, FaultKind, FaultPlan, FaultSpec, Governor,

@@ -1,6 +1,6 @@
 //! Query results and execution reports.
 
-use pop_exec::{CheckEvent, RegionDiag, Violation};
+use pop_exec::{CheckEvent, RegionDiag, SuboptimalitySignal, Violation};
 use pop_optimizer::MemoStats;
 use pop_planlint::RobustnessCertificate;
 use pop_types::Row;
@@ -44,6 +44,14 @@ pub struct StepReport {
     /// serial skeleton, so it is invariant across thread counts and
     /// morsel sizes.
     pub certificate: Option<RobustnessCertificate>,
+    /// Alarms raised by the continuous suboptimality monitors during this
+    /// step (at most one per step: a raised monitor suspends execution).
+    /// Empty when monitoring is disabled or every count stayed within its
+    /// trip bound.
+    pub monitors: Vec<SuboptimalitySignal>,
+    /// Number of suboptimality monitors installed on this step's plan
+    /// (0 when monitoring is disabled).
+    pub monitors_installed: usize,
     /// Memo maintenance statistics for this step's optimization: how many
     /// join-order groups were reused versus re-derived. `None` when the
     /// step did not run the incremental memo (memo disabled, degraded
@@ -56,6 +64,27 @@ impl StepReport {
     pub fn work(&self) -> f64 {
         self.work_end - self.work_start
     }
+}
+
+/// Outcome of the sampling pre-validation of a risky plan: the plan was
+/// executed over a deterministic sample of its driving table before the
+/// full run, and the scaled observations were fed back as early CHECK
+/// observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleVet {
+    /// The driving table the sample was drawn from.
+    pub table: String,
+    /// Rows of the driving table the sample actually visited.
+    pub sample_rows: u64,
+    /// Scale factor from sample to full table (the sampling stride).
+    pub scale: u64,
+    /// Scaled cardinality observations harvested from the sample run
+    /// (subplan signature, scaled rows, whether the observation fell
+    /// outside the plan's validity range at that point).
+    pub observations: Vec<(String, u64, bool)>,
+    /// True when at least one scaled observation fell outside its
+    /// validity range and the driver re-optimized before the full run.
+    pub replanned: bool,
 }
 
 /// Full report of a POP query execution.
@@ -83,6 +112,13 @@ pub struct RunReport {
     /// outside vetted range`). `None` when the plan cache is disabled or
     /// was not consulted (faults, forced re-optimization, observe-only).
     pub plan_cache: Option<String>,
+    /// Sampling pre-validation outcome: `Some` when the first plan's
+    /// robustness certificate flagged uncovered risk and the driver ran
+    /// the plan over a sample of its driving table before committing.
+    /// `None` when vetting is disabled, the plan's certificate is clean,
+    /// or the plan shape does not admit sampling (parallel regions, side
+    /// effects).
+    pub sample_vet: Option<SampleVet>,
     /// Feedback lookups answered by this query's own overlay (facts
     /// recorded by checks during this very run).
     pub feedback_overlay_hits: u64,
@@ -129,6 +165,21 @@ impl RunReport {
         }
         if let Some(pc) = &self.plan_cache {
             let _ = writeln!(out, "plan cache: {pc}");
+        }
+        if let Some(sv) = &self.sample_vet {
+            let _ = writeln!(
+                out,
+                "sample vet: {} row(s) of {} at stride {}, {} observation(s){}",
+                sv.sample_rows,
+                sv.table,
+                sv.scale,
+                sv.observations.len(),
+                if sv.replanned {
+                    ", re-optimized before the full run"
+                } else {
+                    ", plan confirmed"
+                }
+            );
         }
         if self.feedback_overlay_hits + self.feedback_base_hits > 0 {
             let _ = writeln!(
@@ -181,12 +232,27 @@ impl RunReport {
                     ev.observed
                 );
             }
-            if let Some(v) = &s.violation {
+            for m in &s.monitors {
                 let _ = writeln!(
                     out,
-                    "  suspended by check #{} ({}): observed {:?}, est {:.0}, range {}",
-                    v.check_id, v.flavor, v.observed, v.est_card, v.range
+                    "  monitor {} fired: {} row(s) against trip {} (est {:.0})",
+                    m.path, m.observed, m.trip, m.est_card
                 );
+            }
+            if let Some(v) = &s.violation {
+                if v.monitor {
+                    let _ = writeln!(
+                        out,
+                        "  suspended by monitor: observed {:?}, est {:.0}, trip bound {:.0}",
+                        v.observed, v.est_card, v.range.hi
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "  suspended by check #{} ({}): observed {:?}, est {:.0}, range {}",
+                        v.check_id, v.flavor, v.observed, v.est_card, v.range
+                    );
+                }
             }
         }
         out
@@ -222,6 +288,8 @@ mod tests {
             parallel: vec![],
             lint_warnings: vec![],
             certificate: None,
+            monitors: vec![],
+            monitors_installed: 0,
             memo: None,
         }
     }

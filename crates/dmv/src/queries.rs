@@ -8,7 +8,7 @@
 //! column restrictions, LIKE predicates, IN-lists and disjunctions.
 
 use crate::gen::{MAKES, MODELS_PER_MAKE};
-use pop_expr::Expr;
+use pop_expr::{Expr, Params};
 use pop_plan::{AggFunc, QueryBuilder, QuerySpec};
 use pop_types::{ColId, Value};
 use rand::rngs::StdRng;
@@ -446,6 +446,64 @@ pub fn dmv_queries() -> Vec<DmvQuery> {
         });
     }
     out
+}
+
+/// The adversarial correlated-parameter-markers query (§5.1 of the
+/// paper): every predicate comparand is a parameter marker, so even
+/// perfect statistics cannot help — the optimizer must fall back to its
+/// default selectivities (`0.1 × 0.1 × ⅓ ≈ 0.3%` of CAR for this
+/// conjunction) no matter what values arrive at execution time.
+pub fn correlated_marker_query() -> DmvQuery {
+    let mut b = spine();
+    b.attach_model_make(true);
+    let car = b.car;
+    let owner = b.owner;
+    b.b.filter(
+        car,
+        Expr::col(car, c::car::MAKE_ID)
+            .between(Expr::Param(0), Expr::Param(1))
+            .and(Expr::col(car, c::car::MODEL_ID).between(Expr::Param(2), Expr::Param(3)))
+            .and(Expr::col(car, c::car::YEAR).ge(Expr::Param(4))),
+    );
+    b.b.project(&[
+        (car, c::car::CAR_ID),
+        (car, c::car::MAKE_ID),
+        (owner, c::owner::ZIP),
+    ]);
+    DmvQuery {
+        name: "DMV-MARKERS".into(),
+        spec: b.b.build().expect("marker query must validate"),
+    }
+}
+
+/// Adversarial bindings for [`correlated_marker_query`]: a whole make
+/// band (band 0, overrepresented through the AGE↔MAKE skew) together
+/// with exactly its *implied* model range and a year bound below the
+/// data's minimum. Every clause is individually vacuous or redundant —
+/// the conjunction keeps the band's full population, two orders above
+/// the default estimate.
+pub fn correlated_marker_params() -> Params {
+    Params::new(vec![
+        Value::Int(0),
+        Value::Int(5),
+        Value::Int(0),
+        Value::Int(6 * MODELS_PER_MAKE as i64 - 1),
+        Value::Int(1995),
+    ])
+}
+
+/// Control bindings for [`correlated_marker_query`]: identical at
+/// optimization time (markers are opaque), but the model range belongs
+/// to a *different* make band — MODEL functionally determines MAKE, so
+/// the conjunction selects nothing at all.
+pub fn uncorrelated_marker_params() -> Params {
+    Params::new(vec![
+        Value::Int(0),
+        Value::Int(5),
+        Value::Int(6 * MODELS_PER_MAKE as i64),
+        Value::Int(12 * MODELS_PER_MAKE as i64 - 1),
+        Value::Int(1995),
+    ])
 }
 
 #[cfg(test)]

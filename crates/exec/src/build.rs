@@ -4,11 +4,12 @@
 use crate::operators::agg::AggKind;
 use crate::operators::joins::BuildState;
 use crate::operators::materialize::HarvestInfo;
+use crate::operators::monitor::{FoldMonitorOp, MonitorFoldCell};
 use crate::operators::parallel::{ExchangeSourceOp, ExchangeState, FoldCell, FoldCheckOp};
 use crate::operators::{
     AntiJoinRidsOp, BufCheckOp, CheckOp, GatherOp, HashAggOp, HavingOp, HsjnOp, IndexRangeScanOp,
-    InsertOp, LimitOp, MgjnOp, MvScanOp, NljnOp, Operator, ProjectOp, RidSinkOp, SemiProbeOp,
-    SortOp, TableScanOp, TempOp,
+    InsertOp, LimitOp, MgjnOp, MonitorOp, MonitorSet, MvScanOp, NljnOp, Operator, ProjectOp,
+    RidSinkOp, SemiProbeOp, SortOp, TableScanOp, TempOp,
 };
 use pop_expr::{BoundExpr, Expr};
 use pop_plan::{AggFunc, LayoutCol, PhysNode, SortKeyRef};
@@ -26,18 +27,23 @@ pub type Signatures = HashMap<u64, String>;
 /// built is one partition's instance of a parallel region (below a
 /// `Gather`). Scans take their partition slice, hash joins reference the
 /// controller's shared builds, fold-registered CHECKs attach to their
-/// shared [`FoldCell`], and an `Exchange` node becomes this consumer's
+/// shared [`FoldCell`], monitored nodes attach to their shared
+/// [`MonitorFoldCell`], and an `Exchange` node becomes this consumer's
 /// receive leaf.
 ///
 /// Shared builds and fold cells are consumed via cursors in **spine
 /// pre-order** — the same order the region controller collected them in
-/// ([`crate::operators::parallel::visit_spine`]) — which is what keeps the
-/// k partition instances attached to the right shared state.
+/// ([`crate::operators::parallel::visit_spine_indexed`]) — which is what keeps the
+/// k partition instances attached to the right shared state. Monitor
+/// cells are instead keyed by the node's pre-order index in the *full*
+/// plan, claimed through the same [`MonitorCursor`] the serial builder
+/// uses.
 pub(crate) struct PartitionEnv {
     part: usize,
     parts: usize,
     builds: Vec<Arc<BuildState>>,
     folds: Vec<Arc<FoldCell>>,
+    monitors: Arc<HashMap<usize, Arc<MonitorFoldCell>>>,
     exchange: Option<Arc<ExchangeState>>,
     build_cursor: Cell<usize>,
     fold_cursor: Cell<usize>,
@@ -49,6 +55,7 @@ impl PartitionEnv {
         parts: usize,
         builds: Vec<Arc<BuildState>>,
         folds: Vec<Arc<FoldCell>>,
+        monitors: Arc<HashMap<usize, Arc<MonitorFoldCell>>>,
         exchange: Option<Arc<ExchangeState>>,
     ) -> Self {
         PartitionEnv {
@@ -56,6 +63,7 @@ impl PartitionEnv {
             parts,
             builds,
             folds,
+            monitors,
             exchange,
             build_cursor: Cell::new(0),
             fold_cursor: Cell::new(0),
@@ -76,6 +84,47 @@ impl PartitionEnv {
         self.folds.get(i).cloned().ok_or_else(|| {
             PopError::Planning("parallel region has more fold checks than fold cells".into())
         })
+    }
+}
+
+/// Cursor over a [`MonitorSet`] during operator construction. The builder
+/// recurses in the plan's `children()` pre-order, so advancing one index
+/// per built node keeps the cursor aligned with the driver's pre-order
+/// enumeration. Subtrees the current recursion does *not* build are
+/// skipped wholesale: a region instance skips the shared build side of
+/// its hash joins (built once, serially, by the controller) and a
+/// consumer chain skips the producer stage below its `Exchange` (built by
+/// the stage workers); the controller hands each of those builders a
+/// cursor positioned at the subtree's own pre-order base.
+pub(crate) struct MonitorCursor<'a> {
+    set: &'a MonitorSet,
+    next: Cell<usize>,
+}
+
+impl<'a> MonitorCursor<'a> {
+    /// Cursor over `set`, positioned at pre-order index `start`.
+    pub(crate) fn at(set: &'a MonitorSet, start: usize) -> Self {
+        MonitorCursor {
+            set,
+            next: Cell::new(start),
+        }
+    }
+
+    /// Claim the current node's pre-order index and return it with the
+    /// monitor parameters installed there, if any.
+    fn take(&self) -> (usize, Option<crate::operators::MonitorSpec>) {
+        let i = self.next.get();
+        self.next.set(i + 1);
+        (i, self.set.specs.get(&i).cloned())
+    }
+
+    /// Current pre-order position (the index the next `take` will claim).
+    fn pos(&self) -> usize {
+        self.next.get()
+    }
+
+    fn skip(&self, n: usize) {
+        self.next.set(self.next.get() + n);
     }
 }
 
@@ -145,7 +194,22 @@ pub fn build_operator(
     catalog: &Catalog,
     signatures: &Signatures,
 ) -> PopResult<Box<dyn Operator>> {
-    build_with_env(node, catalog, signatures, None)
+    build_with_env(node, catalog, signatures, None, None)
+}
+
+/// [`build_operator`] with suboptimality monitors: every node whose
+/// pre-order index appears in `monitors` is wrapped in a [`MonitorOp`].
+pub fn build_monitored(
+    node: &PhysNode,
+    catalog: &Catalog,
+    signatures: &Signatures,
+    monitors: &MonitorSet,
+) -> PopResult<Box<dyn Operator>> {
+    let cursor = MonitorCursor {
+        set: monitors,
+        next: Cell::new(0),
+    };
+    build_with_env(node, catalog, signatures, None, Some(&cursor))
 }
 
 /// [`build_operator`], optionally inside a parallel region: with an env,
@@ -155,7 +219,12 @@ pub(crate) fn build_with_env(
     catalog: &Catalog,
     signatures: &Signatures,
     env: Option<&PartitionEnv>,
+    mon: Option<&MonitorCursor>,
 ) -> PopResult<Box<dyn Operator>> {
+    // Claim this node's pre-order index up front, before any child
+    // recursion, so the cursor walks the exact enumeration order the
+    // driver used when computing the set.
+    let (mon_idx, mon_spec) = mon.map_or((0, None), MonitorCursor::take);
     // Operators whose semantics are inherently global (total order, global
     // limit, cross-step compensation, side effects) never appear inside a
     // region — the parallelize pass keeps them above the Gather and
@@ -179,7 +248,7 @@ pub(crate) fn build_with_env(
             _ => {}
         }
     }
-    Ok(match node {
+    let op: Box<dyn Operator> = match node {
         PhysNode::TableScan {
             table, pred, props, ..
         } => {
@@ -229,7 +298,7 @@ pub(crate) fn build_with_env(
             inner,
             ..
         } => {
-            let outer_op = build_with_env(outer, catalog, signatures, env)?;
+            let outer_op = build_with_env(outer, catalog, signatures, env, mon)?;
             let outer_pos = pos_of(&outer.props().layout, *outer_key)?;
             let inner_table = catalog.table(&inner.table)?;
             let index = catalog
@@ -277,13 +346,20 @@ pub(crate) fn build_with_env(
                 // Inside a region the controller built this join's hash
                 // table once; attach this partition's probe to it. The
                 // shared-build cursor advances *before* the probe subtree
-                // is built: spine pre-order, matching the controller.
+                // is built: spine pre-order, matching the controller. The
+                // monitor cursor skips the build subtree (monitored by the
+                // controller's serial build pass, not by this instance).
                 let state = e.next_build()?;
-                let probe_op = build_with_env(probe, catalog, signatures, env)?;
-                return Ok(Box::new(HsjnOp::with_shared_build(probe_op, ppos, state)));
+                if let Some(c) = mon {
+                    c.skip(build.node_count());
+                }
+                let probe_op = build_with_env(probe, catalog, signatures, env, mon)?;
+                let join: Box<dyn Operator> =
+                    Box::new(HsjnOp::with_shared_build(probe_op, ppos, state));
+                return Ok(wrap_monitor(join, mon_idx, mon_spec, env));
             }
-            let build_op = build_operator(build, catalog, signatures)?;
-            let probe_op = build_operator(probe, catalog, signatures)?;
+            let build_op = build_with_env(build, catalog, signatures, env, mon)?;
+            let probe_op = build_with_env(probe, catalog, signatures, env, mon)?;
             let bpos = build_keys
                 .iter()
                 .map(|k| pos_of(&build.props().layout, *k))
@@ -301,8 +377,8 @@ pub(crate) fn build_with_env(
             right_keys,
             ..
         } => {
-            let left_op = build_with_env(left, catalog, signatures, env)?;
-            let right_op = build_with_env(right, catalog, signatures, env)?;
+            let left_op = build_with_env(left, catalog, signatures, env, mon)?;
+            let right_op = build_with_env(right, catalog, signatures, env, mon)?;
             let (Some(lk), Some(rk)) = (left_keys.first(), right_keys.first()) else {
                 return Err(PopError::Planning(
                     "MGJN requires at least one join key per side".into(),
@@ -315,7 +391,7 @@ pub(crate) fn build_with_env(
         PhysNode::Sort {
             input, key, desc, ..
         } => {
-            let child = build_with_env(input, catalog, signatures, env)?;
+            let child = build_with_env(input, catalog, signatures, env, mon)?;
             let pos = match key {
                 SortKeyRef::Col(c) => pos_of(&input.props().layout, *c)?,
                 SortKeyRef::Pos(p) => *p,
@@ -328,11 +404,11 @@ pub(crate) fn build_with_env(
             ))
         }
         PhysNode::Temp { input, .. } => {
-            let child = build_with_env(input, catalog, signatures, env)?;
+            let child = build_with_env(input, catalog, signatures, env, mon)?;
             Box::new(TempOp::new(child, harvest_info(node, signatures)))
         }
         PhysNode::Project { input, cols, .. } => {
-            let child = build_with_env(input, catalog, signatures, env)?;
+            let child = build_with_env(input, catalog, signatures, env, mon)?;
             let positions = cols
                 .iter()
                 .map(|c| match c {
@@ -355,7 +431,7 @@ pub(crate) fn build_with_env(
             aggs,
             ..
         } => {
-            let child = build_with_env(input, catalog, signatures, env)?;
+            let child = build_with_env(input, catalog, signatures, env, mon)?;
             let keys = group_by
                 .iter()
                 .map(|k| pos_of(&input.props().layout, *k))
@@ -393,11 +469,11 @@ pub(crate) fn build_with_env(
                                            // controller's exact evaluation instead of tripping
                                            // mid-stream with an `AtLeast` bound.
                 let eager = !is_materializing(input);
-                let child = build_with_env(input, catalog, signatures, env)?;
+                let child = build_with_env(input, catalog, signatures, env, mon)?;
                 return Ok(Box::new(FoldCheckOp::new(child, spec.clone(), cell, eager)));
             }
             let materialized = is_materializing(input);
-            let child = build_operator(input, catalog, signatures)?;
+            let child = build_with_env(input, catalog, signatures, env, mon)?;
             Box::new(CheckOp::new(child, spec.clone(), materialized))
         }
         PhysNode::BufCheck {
@@ -406,11 +482,11 @@ pub(crate) fn build_with_env(
             buffer,
             ..
         } => {
-            let child = build_operator(input, catalog, signatures)?;
+            let child = build_with_env(input, catalog, signatures, env, mon)?;
             Box::new(BufCheckOp::new(child, spec.clone(), *buffer))
         }
         PhysNode::SemiProbe { input, clause, .. } => {
-            let child = build_with_env(input, catalog, signatures, env)?;
+            let child = build_with_env(input, catalog, signatures, env, mon)?;
             let outer_pos = pos_of(&input.props().layout, clause.outer_col)?;
             let inner_table = catalog.table(&clause.table)?;
             let index = catalog
@@ -439,31 +515,37 @@ pub(crate) fn build_with_env(
             ))
         }
         PhysNode::Having { input, preds, .. } => Box::new(HavingOp::new(
-            build_with_env(input, catalog, signatures, env)?,
+            build_with_env(input, catalog, signatures, env, mon)?,
             preds.clone(),
         )),
         PhysNode::Limit { input, n, .. } => Box::new(LimitOp::new(
-            build_operator(input, catalog, signatures)?,
+            build_with_env(input, catalog, signatures, env, mon)?,
             *n,
         )),
-        PhysNode::RidSink { input, .. } => {
-            Box::new(RidSinkOp::new(build_operator(input, catalog, signatures)?))
-        }
-        PhysNode::AntiJoinRids { input, .. } => Box::new(AntiJoinRidsOp::new(build_operator(
-            input, catalog, signatures,
+        PhysNode::RidSink { input, .. } => Box::new(RidSinkOp::new(build_with_env(
+            input, catalog, signatures, env, mon,
+        )?)),
+        PhysNode::AntiJoinRids { input, .. } => Box::new(AntiJoinRidsOp::new(build_with_env(
+            input, catalog, signatures, env, mon,
         )?)),
         PhysNode::Insert { input, target, .. } => {
             let t = catalog.table(target)?;
             Box::new(InsertOp::new(
-                build_operator(input, catalog, signatures)?,
+                build_with_env(input, catalog, signatures, env, mon)?,
                 t,
             ))
         }
-        PhysNode::Exchange { .. } => match env {
+        PhysNode::Exchange { input, .. } => match env {
             // One partition's view of an exchange is its receive leaf; the
-            // producer stage below is built (and run) by separate workers.
+            // producer stage below is built (and run) by separate workers,
+            // so the monitor cursor skips the whole producer subtree.
             Some(e) => match &e.exchange {
-                Some(state) => Box::new(ExchangeSourceOp::new(Arc::clone(state), e.part)),
+                Some(state) => {
+                    if let Some(c) = mon {
+                        c.skip(input.node_count());
+                    }
+                    Box::new(ExchangeSourceOp::new(Arc::clone(state), e.part))
+                }
                 None => {
                     return Err(PopError::Planning(
                         "EXCHANGE nested inside a producer stage".into(),
@@ -482,12 +564,57 @@ pub(crate) fn build_with_env(
                     "GATHER nested inside a parallel region".into(),
                 ));
             }
+            // The region subtree is built per-partition inside the
+            // controller, never through this recursion: advance the
+            // cursor past all of its pre-order indices, handing the
+            // controller the slice of monitors that fall inside the
+            // region (it folds them into shared cells) together with the
+            // region root's pre-order base.
+            let n = input.node_count();
+            let (region_base, region_monitors) = match mon {
+                Some(c) => {
+                    let base = c.pos();
+                    c.skip(n);
+                    let mut rm = MonitorSet::default();
+                    for (i, s) in &c.set.specs {
+                        if (base..base + n).contains(i) {
+                            rm.specs.insert(*i, s.clone());
+                        }
+                    }
+                    (base, rm)
+                }
+                None => (0, MonitorSet::default()),
+            };
             Box::new(GatherOp::new(
                 (**input).clone(),
                 *parts,
                 catalog.clone(),
                 signatures.clone(),
+                region_monitors,
+                region_base,
             ))
         }
-    })
+    };
+    Ok(wrap_monitor(op, mon_idx, mon_spec, env))
+}
+
+/// Apply the monitor claimed for a node's pre-order index: a plain
+/// counting [`MonitorOp`] when built serially, the node's shared
+/// [`MonitorFoldCell`] instance when built inside a parallel region.
+fn wrap_monitor(
+    op: Box<dyn Operator>,
+    idx: usize,
+    spec: Option<crate::operators::MonitorSpec>,
+    env: Option<&PartitionEnv>,
+) -> Box<dyn Operator> {
+    let Some(spec) = spec else {
+        return op;
+    };
+    match env {
+        Some(e) => match e.monitors.get(&idx) {
+            Some(cell) => Box::new(FoldMonitorOp::new(op, Arc::clone(cell))),
+            None => op,
+        },
+        None => Box::new(MonitorOp::new(op, spec)),
+    }
 }

@@ -124,6 +124,31 @@ pub struct ExecCtx {
     /// Deterministic fault injector for chaos runs; `None` (one branch per
     /// hook site) in normal operation.
     pub faults: Option<FaultInjector>,
+    /// Suboptimality monitors for the plan being executed, keyed by
+    /// pre-order node index; `None` runs unmonitored. Installed by the
+    /// driver before each step, consumed by the operator builder.
+    pub monitors: Option<std::sync::Arc<crate::operators::MonitorSet>>,
+    /// Monitor alarms raised during this run, in firing order.
+    pub monitor_signals: Vec<crate::operators::SuboptimalitySignal>,
+    /// Signatures whose monitor has fired at some point in this *query*
+    /// (not just this run): a re-optimized plan whose interval envelope is
+    /// still stale must not re-trip on the same subplan and loop. Survives
+    /// `begin_run`, like the compensation state.
+    pub monitor_fired: HashSet<String>,
+    /// When set, scans over the named table read only a deterministic
+    /// stride sample of their rows — the sampling pre-validation mode of
+    /// the driver's vet-then-run protocol.
+    pub sample: Option<SampleSpec>,
+}
+
+/// Deterministic stride sample over one base table: keep every
+/// `stride`-th row of the serial scan order, starting at row 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// Base table whose scans are sampled.
+    pub table: String,
+    /// Keep rows whose scan position is `0 (mod stride)`.
+    pub stride: usize,
 }
 
 impl ExecCtx {
@@ -149,15 +174,21 @@ impl ExecCtx {
             queue_wait_ns: 0,
             guard: Governor::disabled(),
             faults: None,
+            monitors: None,
+            monitor_signals: Vec::new(),
+            monitor_fired: HashSet::new(),
+            sample: None,
         }
     }
 
     /// Reset per-run state while keeping cross-run compensation state
-    /// (returned rids, applied side effects) and accumulated work.
+    /// (returned rids, applied side effects, fired monitors) and
+    /// accumulated work.
     pub fn begin_run(&mut self) {
         self.harvests.clear();
         self.check_events.clear();
         self.region_diags.clear();
+        self.monitor_signals.clear();
     }
 
     /// Charge work units.
@@ -207,6 +238,15 @@ impl ExecCtx {
         match &mut self.faults {
             None => false,
             Some(inj) => inj.spurious_check(),
+        }
+    }
+
+    /// Fault hook: should this monitor lie and trip immediately?
+    #[inline]
+    pub fn fault_monitor_lie(&mut self) -> bool {
+        match &mut self.faults {
+            None => false,
+            Some(inj) => inj.monitor_lie(),
         }
     }
 }

@@ -2,7 +2,7 @@
 //! CHECK violation.
 
 use crate::build::Signatures;
-use crate::{build_operator, ExecCtx, ExecRow, ExecSignal, Violation};
+use crate::{build_monitored, build_operator, ExecCtx, ExecRow, ExecSignal, Violation};
 use pop_plan::PhysNode;
 use pop_types::PopResult;
 
@@ -46,7 +46,10 @@ pub fn execute(
     signatures: &Signatures,
 ) -> PopResult<RunOutcome> {
     ctx.begin_run();
-    let mut op = build_operator(plan, &ctx.catalog, signatures)?;
+    let mut op = match ctx.monitors.clone() {
+        Some(m) => build_monitored(plan, &ctx.catalog, signatures, &m)?,
+        None => build_operator(plan, &ctx.catalog, signatures)?,
+    };
     let mut rows: Vec<ExecRow> = Vec::new();
     match op.open(ctx) {
         Ok(()) => {}

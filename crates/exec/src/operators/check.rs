@@ -48,6 +48,7 @@ fn violation(spec: &CheckSpec, observed: ObservedCard, forced: bool) -> ExecSign
         est_card: spec.est_card,
         range: spec.range,
         forced,
+        monitor: false,
     }))
 }
 

@@ -6,6 +6,7 @@ pub(crate) mod agg;
 mod check;
 pub(crate) mod joins;
 pub(crate) mod materialize;
+pub(crate) mod monitor;
 pub(crate) mod parallel;
 mod scan;
 mod side;
@@ -14,6 +15,7 @@ pub use agg::{HashAggOp, HavingOp, LimitOp, ProjectOp};
 pub use check::{BufCheckOp, CheckOp};
 pub use joins::{HsjnOp, MgjnOp, NljnOp, SemiProbeOp};
 pub use materialize::{SortOp, TempOp};
+pub use monitor::{MonitorOp, MonitorSet, MonitorSpec, SuboptimalitySignal, MONITOR_TRIP_FLOOR};
 pub use parallel::GatherOp;
 pub use scan::{IndexRangeScanOp, MvScanOp, TableScanOp};
 pub use side::{AntiJoinRidsOp, InsertOp, RidSinkOp};

@@ -52,16 +52,17 @@
 //! driver. The violation's observed cardinality feeds re-planning, which
 //! may widen, narrow, or drop the region's degree of parallelism.
 
-use crate::build::{build_with_env, pos_of, PartitionEnv, Signatures};
+use crate::build::{build_with_env, pos_of, MonitorCursor, PartitionEnv, Signatures};
 use crate::context::{CheckEvent, CheckOutcome, Harvest};
 use crate::morsel::{BatchPool, MorselQueue, RegionDiag, RegionMode, WorkerDiag};
+use crate::operators::monitor::{MonitorFoldCell, MonitorSet, SuboptimalitySignal};
 use crate::operators::Operator;
 use crate::signal::{ExecSignal, ObservedCard, Violation};
 use crate::{ExecCtx, OpResult, RowBatch};
 use pop_plan::{CheckSpec, Partitioning, PhysNode};
 use pop_storage::Catalog;
 use pop_types::{PopError, Value};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -273,6 +274,7 @@ impl Operator for FoldCheckOp {
                 est_card: self.spec.est_card,
                 range: self.spec.range,
                 forced: false,
+                monitor: false,
             }))),
             RvOutcome::Peer | RvOutcome::Cancelled => Err(ExecSignal::Error(PopError::Cancelled)),
         }
@@ -312,6 +314,7 @@ impl Operator for FoldCheckOp {
                     est_card: self.spec.est_card,
                     range: self.spec.range,
                     forced: false,
+                    monitor: false,
                 })));
             }
         }
@@ -523,6 +526,10 @@ struct WorkerOut {
     /// Harvests with their producing stage and tag, for per-stage
     /// completeness grouping and tag-ordered merging.
     harvests: Vec<(bool, usize, Harvest)>,
+    /// Suboptimality signals recorded on this worker's context (at most
+    /// one: a fold monitor raises, the worker returns). Folded into the
+    /// main context only when this worker's raise is the one selected.
+    monitor_signals: Vec<SuboptimalitySignal>,
     diag: WorkerDiag,
 }
 
@@ -561,6 +568,10 @@ struct WorkerSeed {
     batch_size: usize,
     guard: pop_guard::Governor,
     faults: Option<pop_guard::FaultInjector>,
+    /// Signatures whose monitors already fired in earlier steps — cloned
+    /// into every worker so a re-optimized region cannot re-trip on a
+    /// subplan whose estimate the feedback path has already corrected.
+    monitor_fired: std::collections::HashSet<String>,
 }
 
 impl WorkerSeed {
@@ -574,6 +585,7 @@ impl WorkerSeed {
             batch_size: ctx.batch_size,
             guard: ctx.guard.clone_shared(),
             faults: ctx.faults.clone(),
+            monitor_fired: ctx.monitor_fired.clone(),
         }
     }
 
@@ -591,6 +603,7 @@ impl WorkerSeed {
         w.batch_size = self.batch_size;
         w.guard = self.guard.clone_shared();
         w.faults.clone_from(&self.faults);
+        w.monitor_fired.clone_from(&self.monitor_fired);
         w
     }
 }
@@ -601,16 +614,28 @@ impl WorkerSeed {
 /// input (the producer stage), and every pass-through contributes its
 /// only child. Controller, chain builder and planlint all walk this same
 /// path, which is what keeps shared-build and fold-cell indices aligned.
-pub(crate) fn visit_spine<'a>(node: &'a PhysNode, f: &mut impl FnMut(&'a PhysNode)) {
-    f(node);
+/// Each visit additionally carries the spine node's pre-order index in
+/// the **full plan** (`base` is the region root's index, handed down from
+/// the serial builder). A hash join's probe child starts after the whole
+/// build subtree, matching [`PhysNode::children`] order — the same
+/// arithmetic the driver's monitor enumeration and the builder's
+/// [`MonitorCursor`] skips perform.
+pub(crate) fn visit_spine_indexed<'a>(
+    node: &'a PhysNode,
+    base: usize,
+    f: &mut impl FnMut(&'a PhysNode, usize),
+) {
+    f(node, base);
     match node {
-        PhysNode::Hsjn { probe, .. } => visit_spine(probe, f),
-        PhysNode::Exchange { input, .. } => visit_spine(input, f),
-        PhysNode::Nljn { outer, .. } => visit_spine(outer, f),
+        PhysNode::Hsjn { build, probe, .. } => {
+            visit_spine_indexed(probe, base + 1 + build.node_count(), f);
+        }
+        PhysNode::Exchange { input, .. } => visit_spine_indexed(input, base + 1, f),
+        PhysNode::Nljn { outer, .. } => visit_spine_indexed(outer, base + 1, f),
         _ => {
             let ch = node.children();
             if ch.len() == 1 {
-                visit_spine(ch[0], f);
+                visit_spine_indexed(ch[0], base + 1, f);
             }
         }
     }
@@ -652,6 +677,15 @@ pub struct GatherOp {
     parts: usize,
     catalog: Catalog,
     signatures: Signatures,
+    /// Monitors falling inside the region, keyed by full-plan pre-order
+    /// index (the serial builder's enumeration). Worker-built nodes fold
+    /// into shared [`MonitorFoldCell`]s; the serial build side of spine
+    /// hash joins is monitored by plain per-instance monitors during
+    /// [`GatherOp::prepare`].
+    region_monitors: MonitorSet,
+    /// Full-plan pre-order index of the region root (the `Gather`'s own
+    /// index plus one).
+    region_base: usize,
     batches: Vec<RowBatch>,
     pos: usize,
     opened: bool,
@@ -659,13 +693,24 @@ pub struct GatherOp {
 
 impl GatherOp {
     /// Create a gather over `region`, planned at `parts` degree of
-    /// parallelism.
-    pub fn new(region: PhysNode, parts: usize, catalog: Catalog, signatures: Signatures) -> Self {
+    /// parallelism. `region_monitors` holds the suboptimality monitors
+    /// whose nodes fall inside the region (empty when monitoring is off),
+    /// keyed by full-plan pre-order index starting at `region_base`.
+    pub fn new(
+        region: PhysNode,
+        parts: usize,
+        catalog: Catalog,
+        signatures: Signatures,
+        region_monitors: MonitorSet,
+        region_base: usize,
+    ) -> Self {
         GatherOp {
             region,
             parts: parts.max(1),
             catalog,
             signatures,
+            region_monitors,
+            region_base,
             batches: Vec::new(),
             pos: 0,
             opened: false,
@@ -674,9 +719,12 @@ impl GatherOp {
 
     /// Serially execute the build side of every spine hash join, in spine
     /// order, charging the main context (one build, shared by all
-    /// partition probes). Returns the builds plus the spine's fold-check
-    /// specs and the exchange node, if any, with the builds/folds counts
-    /// that belong to the consumer stage (above the exchange).
+    /// partition probes). Build subtrees carry their plain serial
+    /// monitors — they run once, on the main context, so per-instance
+    /// counting is exact there. Returns the builds plus the spine's
+    /// fold-check specs, the exchange node (if any) with the builds/folds
+    /// counts that belong to the consumer stage above it, and the
+    /// full-plan pre-order base of the partitioned stage's root.
     #[allow(clippy::type_complexity)]
     fn prepare(
         &self,
@@ -687,20 +735,23 @@ impl GatherOp {
         Option<&PhysNode>,
         usize,
         usize,
+        usize,
     )> {
         let parts = self.parts;
-        let mut hsjns: Vec<&PhysNode> = Vec::new();
+        let mut hsjns: Vec<(&PhysNode, usize)> = Vec::new();
         let mut folds: Vec<(CheckSpec, Arc<FoldCell>, bool)> = Vec::new();
         let mut exchange: Option<&PhysNode> = None;
         let mut above_builds = 0usize;
         let mut above_folds = 0usize;
-        visit_spine(&self.region, &mut |n| match n {
+        let mut stage_base = self.region_base;
+        visit_spine_indexed(&self.region, self.region_base, &mut |n, idx| match n {
             PhysNode::Exchange { .. } if exchange.is_none() => {
                 exchange = Some(n);
                 above_builds = hsjns.len();
                 above_folds = folds.len();
+                stage_base = idx + 1;
             }
-            PhysNode::Hsjn { .. } => hsjns.push(n),
+            PhysNode::Hsjn { .. } => hsjns.push((n, idx)),
             PhysNode::Check { input, spec, .. } if spec.fold => {
                 let eager = !crate::build::is_materializing(input);
                 folds.push((spec.clone(), Arc::new(FoldCell::new(parts)), eager));
@@ -708,14 +759,17 @@ impl GatherOp {
             _ => {}
         });
         let mut builds = Vec::with_capacity(hsjns.len());
-        for node in hsjns {
+        for (node, idx) in hsjns {
             let PhysNode::Hsjn {
                 build, build_keys, ..
             } = node
             else {
                 unreachable!("collected non-HSJN spine node");
             };
-            let mut op = crate::build::build_operator(build, &self.catalog, &self.signatures)?;
+            // The build subtree's pre-order indices start right after the
+            // join's own.
+            let mcur = MonitorCursor::at(&self.region_monitors, idx + 1);
+            let mut op = build_with_env(build, &self.catalog, &self.signatures, None, Some(&mcur))?;
             let bpos = build_keys
                 .iter()
                 .map(|k| pos_of(&build.props().layout, *k))
@@ -727,7 +781,42 @@ impl GatherOp {
             op.close(ctx);
             builds.push(Arc::new(state?));
         }
-        Ok((builds, folds, exchange, above_builds, above_folds))
+        Ok((
+            builds,
+            folds,
+            exchange,
+            above_builds,
+            above_folds,
+            stage_base,
+        ))
+    }
+
+    /// Shared monitor cells for the region's worker-built nodes: every
+    /// in-region monitor except those inside spine hash-join build
+    /// subtrees (serially built and monitored by [`GatherOp::prepare`]).
+    /// Created in ascending index order so the lying-monitor fault hook
+    /// consumes its occurrences deterministically.
+    fn fold_monitor_cells(&self, ctx: &mut ExecCtx) -> HashMap<usize, Arc<MonitorFoldCell>> {
+        let mut serial: Vec<std::ops::Range<usize>> = Vec::new();
+        visit_spine_indexed(&self.region, self.region_base, &mut |n, idx| {
+            if let PhysNode::Hsjn { build, .. } = n {
+                serial.push(idx + 1..idx + 1 + build.node_count());
+            }
+        });
+        let mut specs: Vec<_> = self
+            .region_monitors
+            .specs
+            .iter()
+            .filter(|(i, _)| !serial.iter().any(|r| r.contains(i)))
+            .collect();
+        specs.sort_by_key(|(i, _)| **i);
+        specs
+            .into_iter()
+            .map(|(i, s)| {
+                let trip = if ctx.fault_monitor_lie() { 0 } else { s.trip };
+                (*i, Arc::new(MonitorFoldCell::new(s.clone(), trip)))
+            })
+            .collect()
     }
 }
 
@@ -783,7 +872,9 @@ impl Operator for GatherOp {
         let region_start_work = ctx.work;
 
         // Phase 1 (serial): shared hash-join builds, on the main context.
-        let (builds, folds, exchange_node, above_builds, above_folds) = self.prepare(ctx)?;
+        let (builds, folds, exchange_node, above_builds, above_folds, stage_base) =
+            self.prepare(ctx)?;
+        let mon_cells = Arc::new(self.fold_monitor_cells(ctx));
         let release_builds = |ctx: &mut ExecCtx| {
             for b in &builds {
                 ctx.guard_release(b.reserved);
@@ -840,6 +931,9 @@ impl Operator for GatherOp {
             let queue = &queue;
             let builds = &builds;
             let fold_cells = &fold_cells;
+            let mon_cells = &mon_cells;
+            let region_monitors = &self.region_monitors;
+            let region_base = self.region_base;
             let region = &self.region;
             let catalog = &self.catalog;
             let signatures = &self.signatures;
@@ -880,9 +974,17 @@ impl Operator for GatherOp {
                             m_total,
                             stage_builds.to_vec(),
                             stage_cells.to_vec(),
+                            Arc::clone(mon_cells),
                             None,
                         );
-                        let op = match build_with_env(stage_root, catalog, signatures, Some(&env)) {
+                        let mcur = MonitorCursor::at(region_monitors, stage_base);
+                        let op = match build_with_env(
+                            stage_root,
+                            catalog,
+                            signatures,
+                            Some(&env),
+                            Some(&mcur),
+                        ) {
                             Ok(op) => op,
                             Err(e) => {
                                 out.raised = Some((true, m, ExecSignal::Error(e)));
@@ -952,6 +1054,7 @@ impl Operator for GatherOp {
                         out.rows_scanned += wctx.rows_scanned;
                         out.harvests
                             .extend(wctx.harvests.drain(..).map(|h| (true, m, h)));
+                        out.monitor_signals.append(&mut wctx.monitor_signals);
                         if let Some(sig) = raised {
                             out.raised = Some((true, m, sig));
                             return out; // quiesce guard stops the region
@@ -986,9 +1089,17 @@ impl Operator for GatherOp {
                             parts,
                             builds[..above_builds].to_vec(),
                             fold_cells[..above_folds].to_vec(),
+                            Arc::clone(mon_cells),
                             Some(Arc::clone(xarc)),
                         );
-                        let op = match build_with_env(region, catalog, signatures, Some(&env)) {
+                        let mcur = MonitorCursor::at(region_monitors, region_base);
+                        let op = match build_with_env(
+                            region,
+                            catalog,
+                            signatures,
+                            Some(&env),
+                            Some(&mcur),
+                        ) {
                             Ok(op) => op,
                             Err(e) => {
                                 out.raised = Some((false, part, ExecSignal::Error(e)));
@@ -1006,6 +1117,7 @@ impl Operator for GatherOp {
                         out.work = wctx.work;
                         out.rows_scanned = wctx.rows_scanned;
                         out.harvests = wctx.harvests.drain(..).map(|h| (false, part, h)).collect();
+                        out.monitor_signals.append(&mut wctx.monitor_signals);
                         if let Some(sig) = raised {
                             out.raised = Some((false, part, sig));
                         } else {
@@ -1099,6 +1211,7 @@ impl Operator for GatherOp {
             ExecSignal::Error(_) => 1,
         };
         let mut raised: Option<(bool, usize, ExecSignal)> = None;
+        let mut raiser_signals: Vec<SuboptimalitySignal> = Vec::new();
         for o in &mut outcomes {
             let Some((sa, tag, sig)) = o.raised.take() else {
                 continue;
@@ -1109,11 +1222,26 @@ impl Operator for GatherOp {
             };
             if better {
                 raised = Some((sa, tag, sig));
+                raiser_signals = std::mem::take(&mut o.monitor_signals);
             }
         }
         if let Some((_, _, sig)) = raised {
             release_builds(ctx);
             if let ExecSignal::Reopt(v) = &sig {
+                if v.monitor {
+                    // A fold monitor tripped on a worker context: replay
+                    // the selected raiser's signal onto the main context
+                    // (its observation is derived from the trip bound, so
+                    // it is the same whichever worker won the swap).
+                    for s in raiser_signals {
+                        ctx.monitor_fired.insert(s.signature.clone());
+                        ctx.monitor_signals.push(SuboptimalitySignal {
+                            at_work: ctx.work,
+                            ..s
+                        });
+                    }
+                    return Err(sig);
+                }
                 // Folds *below* the raiser that had already resolved
                 // globally recorded a Passed event in the serial plan
                 // before the violation fired — replay those first, in the
@@ -1219,6 +1347,7 @@ impl Operator for GatherOp {
                     est_card: spec.est_card,
                     range: spec.range,
                     forced: in_range && !spurious,
+                    monitor: false,
                 })));
             }
             ctx.check_events.push(CheckEvent {

@@ -21,6 +21,9 @@ pub struct TableScanOp {
     /// scan order, so concatenating partition outputs in partition order
     /// reproduces the serial row order exactly.
     partition: Option<(usize, usize)>,
+    /// Active stride sampling (from [`ExecCtx::sample`], bound at `open`):
+    /// read only rows at positions `0 (mod stride)`. Serial scans only.
+    sample_stride: Option<usize>,
     snapshot: Option<Arc<Vec<Row>>>,
     pos: usize,
     end: usize,
@@ -35,6 +38,7 @@ impl TableScanOp {
             table,
             pred,
             partition: None,
+            sample_stride: None,
             snapshot: None,
             pos: 0,
             end: usize::MAX,
@@ -55,11 +59,17 @@ pub(crate) fn partition_bounds(n: usize, part: usize, parts: usize) -> (usize, u
 }
 
 impl Operator for TableScanOp {
-    fn open(&mut self, _ctx: &mut ExecCtx) -> OpResult<()> {
+    fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
         let snapshot = self.table.snapshot();
         (self.pos, self.end) = match self.partition {
             None => (0, snapshot.len()),
             Some((part, parts)) => partition_bounds(snapshot.len(), part, parts),
+        };
+        // Sampling pre-validation only runs serial plans, so a sampled
+        // scan is never also partitioned.
+        self.sample_stride = match (self.partition, ctx.sample.as_ref()) {
+            (None, Some(s)) if s.table == self.table.name() => Some(s.stride.max(1)),
+            _ => None,
         };
         self.snapshot = Some(snapshot);
         Ok(())
@@ -73,6 +83,36 @@ impl Operator for TableScanOp {
             .ok_or_else(|| super::protocol_err("table scan next_batch() before open()"))?
             .clone();
         let limit = self.end.min(rows.len());
+        if let Some(stride) = self.sample_stride {
+            // Stride sample: fetch (and charge for) only every stride-th
+            // row, row-at-a-time — the sample run's modeled work scales
+            // with the sample, not the table.
+            loop {
+                let mut out = RowBatch::with_capacity(ctx.batch_size.max(1));
+                let mut fetched = 0u64;
+                while self.pos < limit && out.len() < ctx.batch_size.max(1) {
+                    let p = self.pos;
+                    self.pos += stride;
+                    fetched += 1;
+                    let row = &rows[p];
+                    let passes = match &self.pred {
+                        Some(pr) => pr.passes(row, &ctx.params)?,
+                        None => true,
+                    };
+                    if passes {
+                        out.push_row(row, &[Rid::new(self.table.id(), p as u64)]);
+                    }
+                }
+                ctx.charge(fetched as f64 * ctx.model.seq_row);
+                ctx.rows_scanned += fetched;
+                if !out.is_empty() {
+                    return Ok(Some(out));
+                }
+                if self.pos >= limit {
+                    return Ok(None);
+                }
+            }
+        }
         while let Some((start, chunk)) =
             pop_storage::chunk(&rows[..limit], self.pos, ctx.batch_size)
         {
@@ -355,6 +395,22 @@ mod tests {
         assert_eq!(sizes, vec![3, 3, 3, 1]);
         assert_eq!(rows.len(), 10);
         assert_eq!(rows[7].lineage, vec![Rid::new(t.id(), 7)]);
+    }
+
+    #[test]
+    fn stride_sample_reads_every_kth_row() {
+        let (mut ctx, t) = ctx_and_table();
+        ctx.sample = Some(crate::SampleSpec {
+            table: "t".into(),
+            stride: 3,
+        });
+        let mut op = TableScanOp::new(t.clone(), None);
+        let rows = drain(&mut op, &mut ctx);
+        assert_eq!(rows.len(), 4); // positions 0, 3, 6, 9
+        assert_eq!(rows[1].lineage, vec![Rid::new(t.id(), 3)]);
+        assert_eq!(ctx.rows_scanned, 4);
+        // Only the sampled rows are charged.
+        assert_eq!(ctx.work, 4.0 * ctx.model.seq_row);
     }
 
     #[test]

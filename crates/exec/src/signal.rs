@@ -47,6 +47,11 @@ pub struct Violation {
     /// True when this was a forced (dummy) re-optimization used by the
     /// overhead experiments (Figure 12), not a genuine range violation.
     pub forced: bool,
+    /// True when the signal came from a continuous suboptimality monitor
+    /// rather than a planned CHECK ([`check_id`] is meaningless then).
+    ///
+    /// [`check_id`]: Violation::check_id
+    pub monitor: bool,
 }
 
 /// Control signal propagated up the operator tree.

@@ -25,15 +25,20 @@ pub enum FaultKind {
     /// A CHECK node reports a spurious violation even though the
     /// observed cardinality is inside its validity range.
     SpuriousCheck,
+    /// A suboptimality monitor lies: it trips immediately regardless of
+    /// the actual cardinality (the observation it reports stays truthful,
+    /// so the feedback path must converge like a spurious check).
+    MonitorLie,
 }
 
 impl FaultKind {
     /// All kinds, in hook-counter order.
-    pub const ALL: [FaultKind; 4] = [
+    pub const ALL: [FaultKind; 5] = [
         FaultKind::StorageRead,
         FaultKind::OptimizerFail,
         FaultKind::CorruptStats,
         FaultKind::SpuriousCheck,
+        FaultKind::MonitorLie,
     ];
 
     /// Stable short name, used in `POP_FAULT_PLAN` specs and messages.
@@ -43,6 +48,7 @@ impl FaultKind {
             FaultKind::OptimizerFail => "optfail",
             FaultKind::CorruptStats => "stats",
             FaultKind::SpuriousCheck => "check",
+            FaultKind::MonitorLie => "monitor",
         }
     }
 
@@ -56,6 +62,7 @@ impl FaultKind {
             FaultKind::OptimizerFail => 1,
             FaultKind::CorruptStats => 2,
             FaultKind::SpuriousCheck => 3,
+            FaultKind::MonitorLie => 4,
         }
     }
 }
@@ -109,7 +116,7 @@ impl FaultPlan {
         let n = 1 + (next() % 3) as usize;
         let specs = (0..n)
             .map(|_| {
-                let kind = FaultKind::ALL[(next() % 4) as usize];
+                let kind = FaultKind::ALL[(next() % FaultKind::ALL.len() as u64) as usize];
                 FaultSpec {
                     kind,
                     at: next() % 8,
@@ -162,7 +169,7 @@ pub struct FaultInjector {
     plan: FaultPlan,
     /// Times each kind's hook site has been reached, indexed by
     /// [`FaultKind::index`].
-    counters: [u64; 4],
+    counters: [u64; 5],
     /// Faults actually fired, for reporting.
     fired: Vec<FaultSpec>,
 }
@@ -172,7 +179,7 @@ impl FaultInjector {
     pub fn new(plan: FaultPlan) -> Self {
         FaultInjector {
             plan,
-            counters: [0; 4],
+            counters: [0; 5],
             fired: Vec::new(),
         }
     }
@@ -222,6 +229,12 @@ impl FaultInjector {
     /// if it should report a spurious violation anyway.
     pub fn spurious_check(&mut self) -> bool {
         self.hit(FaultKind::SpuriousCheck)
+    }
+
+    /// Hook site: a suboptimality monitor is opening. True if it should
+    /// lie and trip immediately.
+    pub fn monitor_lie(&mut self) -> bool {
+        self.hit(FaultKind::MonitorLie)
     }
 }
 
@@ -299,6 +312,8 @@ mod tests {
                 },
             ]
         );
+        let plan = FaultPlan::parse_spec("monitor@1").unwrap();
+        assert_eq!(plan, FaultPlan::single(FaultKind::MonitorLie, 1));
         assert!(FaultPlan::parse_spec("bogus@1").is_none());
         assert!(FaultPlan::parse_spec("storage").is_none());
         assert!(FaultPlan::parse_spec("storage@x").is_none());

@@ -248,13 +248,8 @@ fn current_mv_card(set: TableSet, est: &CardEstimator, ctx: &OptimizerContext<'_
 /// re-analyzed stats, different selectivity defaults resolving — forces a
 /// full rebuild rather than trusting per-group snapshots.
 fn stats_fingerprint(est: &CardEstimator, n: usize) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mix = |h: &mut u64, v: u64| {
-        for byte in v.to_le_bytes() {
-            *h ^= u64::from(byte);
-            *h = h.wrapping_mul(0x100_0000_01b3);
-        }
-    };
+    let mut h = pop_types::FNV1A_OFFSET;
+    let mix = |h: &mut u64, v: u64| pop_types::fnv1a_extend(h, &v.to_le_bytes());
     for t in 0..n {
         mix(&mut h, est.raw_card(t).to_bits());
         mix(&mut h, est.base_card(t).to_bits());

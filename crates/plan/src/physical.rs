@@ -648,11 +648,7 @@ impl PhysNode {
 
 /// Short stable hash used in display output.
 pub(crate) fn short_hash(s: &str) -> String {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in s.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
+    let h = pop_types::fnv1a(s.as_bytes());
     format!("{:08x}", (h >> 32) as u32)
 }
 

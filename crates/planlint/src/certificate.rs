@@ -131,7 +131,7 @@ pub fn certify(plan: &PhysNode, ctx: &LintContext<'_>) -> RobustnessCertificate 
         vacuous_checks: 0,
         worst_case_reopts: plan.checks().len(),
     };
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    let mut hash: u64 = pop_types::FNV1A_OFFSET;
     let mut path = Vec::new();
     let root = skeleton(plan);
     let st = visit(root, ctx, &mut path, &mut cert, &mut hash);
@@ -146,12 +146,7 @@ pub fn certify(plan: &PhysNode, ctx: &LintContext<'_>) -> RobustnessCertificate 
     cert
 }
 
-fn fnv(hash: &mut u64, bytes: &[u8]) {
-    for b in bytes {
-        *hash ^= u64::from(*b);
-        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-}
+use pop_types::fnv1a_extend as fnv;
 
 fn visit(
     node: &PhysNode,

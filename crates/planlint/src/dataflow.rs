@@ -255,3 +255,73 @@ impl Pass for RiskPass {
 pub(crate) fn root_of<'p>(cx: &NodeCx<'_, 'p>) -> &'p PhysNode {
     cx.frames.first().map_or(cx.node, |f| f.node)
 }
+
+/// Pass 8: the monitor-coverage proof (`PL421`), the runtime complement
+/// of the CHECK-coverage proof.
+///
+/// The driver installs a continuous suboptimality monitor on every node
+/// whose row stream no CHECK already counts — inside parallel regions
+/// the counts fold into shared per-node cells, so coverage does not stop
+/// at a GATHER — and a risky edge that reaches an unguarded pipeline
+/// breaker or the plan root without a dominator is therefore still
+/// *observed*: the monitor below it trips when the actual cardinality
+/// escapes the interval envelope, and the signal is escalated like a
+/// CHECK violation. `PL421` reports the edges where even that last line
+/// fails: risks whose node cannot carry a monitor at all (no table set,
+/// so no feedback signature to report under). Together, a clean
+/// `PL411` and `PL421` sweep proves every risky edge is either
+/// CHECK-dominated or monitor-covered.
+///
+/// Gated on [`crate::LintOptions::expect_monitor_coverage`]: with the
+/// monitor layer disabled there is nothing to prove. Like every
+/// interval rule, the pass is silent without a stats registry.
+pub(crate) struct MonitorPass;
+
+impl Pass for MonitorPass {
+    fn check(&mut self, cx: &NodeCx<'_, '_>, ctx: &LintContext<'_>, sink: &mut Sink) {
+        if !ctx.options.expect_monitor_coverage {
+            return;
+        }
+        let report = |risks: Vec<domain::OpenRisk>, sink: &mut Sink| {
+            for r in risks {
+                // Covered: the node below the edge carries a monitor
+                // (folded into a shared cell when it runs partitioned).
+                if r.monitorable {
+                    continue;
+                }
+                sink.emit(
+                    DiagCode::Pl421,
+                    cx.node,
+                    cx.path,
+                    format!(
+                        "risky edge at {} ({}, cardinality can leave its validity range \
+                         by {:.1}x) is neither CHECK-dominated nor monitor-covered — \
+                         the node below it runs unmonitored",
+                        r.path, r.node, r.escape
+                    ),
+                );
+            }
+        };
+        // Breaker-consumed risks: same report points as `PL411` and the
+        // certificate's uncovered set.
+        for (i, (child, cst)) in cx
+            .node
+            .children()
+            .into_iter()
+            .zip(cx.children.iter().copied())
+            .enumerate()
+        {
+            if !domain::consumed_unguarded(cx.node, i) {
+                continue;
+            }
+            let mut risks = cst.open_risks.clone();
+            risks.extend(domain::edge_risk(cx.node, i, child, cst, ctx, cx.path));
+            report(risks, sink);
+        }
+        // Root-surviving risks stream to the application with no further
+        // observation opportunity.
+        if cx.frames.is_empty() {
+            report(cx.state.open_risks.clone(), sink);
+        }
+    }
+}

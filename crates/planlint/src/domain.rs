@@ -131,6 +131,13 @@ pub struct OpenRisk {
     /// Worst-case factor by which the actual cardinality can leave the
     /// edge's validity range.
     pub escape: f64,
+    /// Can the continuous suboptimality monitor layer observe this edge?
+    /// True when the node below the edge is one the driver installs a
+    /// monitor on (any node with a non-empty table set — nodes inside
+    /// parallel regions fold their counts into shared cells, so they are
+    /// covered like serial ones). Consumed by the monitor-coverage proof
+    /// (`PL421`).
+    pub monitorable: bool,
 }
 
 /// The abstract state the interpreter computes per node, bottom-up.
@@ -338,10 +345,17 @@ pub(crate) fn edge_risk(
         p.push('.');
         p.push_str(&seg.to_string());
     }
+    // Mirror the driver's monitor placement: every node with a table set
+    // carries a monitor on its output unless a CHECK already counts that
+    // stream (but then the check dominates the risk anyway). Nodes inside
+    // parallel regions count too — the region controller folds their
+    // output into shared monitor cells, restoring serial coverage.
+    let monitorable = !child.props().tables.is_empty();
     Some(OpenRisk {
         path: p,
         node: child.name(),
         escape,
+        monitorable,
     })
 }
 

@@ -20,7 +20,7 @@
 //! runs against those states in one shared pre-order walk; there are no
 //! per-pass traversals.
 //!
-//! Seven passes run over the [`PhysNode`] tree:
+//! Eight passes run over the [`PhysNode`] tree:
 //!
 //! 1. **Schema/layout** (`PL0xx`) — every column reference in filters,
 //!    join keys, aggregates, projections and sort keys resolves against
@@ -50,6 +50,12 @@
 //!    vacuous checks that always fire). These require a
 //!    [`pop_stats::StatsRegistry`] in the context; without one the
 //!    intervals are unknown and the pass is silent.
+//! 8. **Monitor coverage** (`PL42x`) — the runtime complement of the
+//!    CHECK-coverage proof: every risky edge must be either
+//!    CHECK-dominated or observed by a continuous suboptimality monitor
+//!    (`PL421` when neither holds — the uncoverable case being a risky
+//!    edge inside a parallel region, whose worker contexts run
+//!    unmonitored). Gated on `LintOptions::expect_monitor_coverage`.
 //!
 //! [`certify`] distils the same interpretation into a per-plan
 //! [`RobustnessCertificate`] — guarded edges, uncovered residual risk,
@@ -109,6 +115,12 @@ pub struct LintOptions {
     /// the robustness certificate. `1.0` means any provable escape;
     /// larger values tolerate proportionally wider excursions.
     pub risk_threshold: f64,
+    /// Expect every risky edge to be either CHECK-dominated or observed
+    /// by a continuous suboptimality monitor (`PL421`). The driver
+    /// enables this when the monitor layer is on; the uncoverable case
+    /// is a risky edge inside a parallel region, whose node runs on a
+    /// worker context that carries no monitors.
+    pub expect_monitor_coverage: bool,
 }
 
 impl Default for LintOptions {
@@ -116,6 +128,7 @@ impl Default for LintOptions {
         LintOptions {
             expect_check_coverage: false,
             risk_threshold: DEFAULT_RISK_THRESHOLD,
+            expect_monitor_coverage: false,
         }
     }
 }
@@ -180,6 +193,12 @@ impl<'a> LintContext<'a> {
     /// Set [`LintOptions::expect_check_coverage`].
     pub fn expect_check_coverage(mut self, on: bool) -> Self {
         self.options.expect_check_coverage = on;
+        self
+    }
+
+    /// Set [`LintOptions::expect_monitor_coverage`].
+    pub fn expect_monitor_coverage(mut self, on: bool) -> Self {
+        self.options.expect_monitor_coverage = on;
         self
     }
 
@@ -259,7 +278,7 @@ pub(crate) fn through_checks(mut node: &PhysNode) -> &PhysNode {
     node
 }
 
-/// Run all seven passes over `plan` and return every finding, in tree
+/// Run all eight passes over `plan` and return every finding, in tree
 /// pre-order (whole-plan rules like duplicate-id detection come last).
 ///
 /// Phase 1 abstract-interprets the plan bottom-up ([`dataflow`]); phase 2
@@ -275,7 +294,8 @@ pub fn lint_plan(plan: &PhysNode, ctx: &LintContext<'_>) -> Vec<PlanDiagnostic> 
     let mut mv = mv::MvPass;
     let mut parallel = parallel::ParallelPass;
     let mut risk = dataflow::RiskPass::new();
-    let mut passes: [&mut dyn dataflow::Pass; 7] = [
+    let mut monitor = dataflow::MonitorPass;
+    let mut passes: [&mut dyn dataflow::Pass; 8] = [
         &mut layout,
         &mut validity,
         &mut placement,
@@ -283,6 +303,7 @@ pub fn lint_plan(plan: &PhysNode, ctx: &LintContext<'_>) -> Vec<PlanDiagnostic> 
         &mut mv,
         &mut parallel,
         &mut risk,
+        &mut monitor,
     ];
     dataflow::drive(plan, ctx, &states, &mut passes, &mut sink);
     sink.diags
@@ -565,5 +586,129 @@ mod tests {
     fn path_rendering() {
         assert_eq!(render_path(&[]), "$");
         assert_eq!(render_path(&[0, 1]), "$.0.1");
+    }
+
+    // ---- PL421: monitor-coverage proof ------------------------------
+
+    use pop_plan::{Partitioning, TableSet, ValidityRange};
+
+    fn gather(input: PhysNode, parts: usize) -> PhysNode {
+        let mut props = input.props().clone();
+        props.partitioning = Partitioning::Single;
+        props.edge_ranges = vec![ValidityRange::unbounded()];
+        PhysNode::Gather {
+            input: Box::new(input),
+            parts,
+            props,
+        }
+    }
+
+    /// `customer ⋈ orders` where the optimizer lies small about one side:
+    /// the edge's validity range brackets the (bad) estimate, but the
+    /// stats-seeded interval proves the actual cardinality escapes it.
+    /// `risky_build` puts the lie on the hash-join build side (consumed
+    /// unguarded at the breaker), otherwise on the probe side (the risk
+    /// survives to the root).
+    fn risky_hsjn(risky_build: bool, partitioned: bool) -> PhysNode {
+        let (build_est, probe_est) = if risky_build {
+            (5.0, 20_000.0)
+        } else {
+            (200.0, 5.0)
+        };
+        let build = leaf(0, "customer", 2, build_est);
+        let mut probe = leaf(1, "orders", 2, probe_est);
+        if partitioned {
+            probe.props_mut().partitioning = Partitioning::Range(4);
+        }
+        let mut join = hsjn(build, probe, 20_000.0);
+        join.props_mut().edge_ranges = if risky_build {
+            vec![ValidityRange::new(0.0, 10.0), ValidityRange::unbounded()]
+        } else {
+            vec![ValidityRange::unbounded(), ValidityRange::new(0.0, 10.0)]
+        };
+        if partitioned {
+            join.props_mut().partitioning = Partitioning::Range(4);
+        }
+        join
+    }
+
+    #[test]
+    fn pl421_serial_risky_edges_are_monitor_covered() {
+        let (_, stats) = setup();
+        for risky_build in [true, false] {
+            let plan = risky_hsjn(risky_build, false);
+            let ctx = LintContext::bare()
+                .with_stats(&stats)
+                .expect_monitor_coverage(true);
+            let diags = lint_plan(&plan, &ctx);
+            assert!(diags.is_empty(), "risky_build={risky_build}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn pl421_region_risky_edges_are_monitor_covered() {
+        let (_, stats) = setup();
+        // Inside a parallel region the controller folds each monitored
+        // node's counts into a shared cell, so both the breaker-consumed
+        // build edge and the root-surviving probe edge stay covered.
+        for risky_build in [true, false] {
+            let plan = gather(risky_hsjn(risky_build, true), 4);
+            let ctx = LintContext::bare()
+                .with_stats(&stats)
+                .expect_monitor_coverage(true);
+            let diags = lint_plan(&plan, &ctx);
+            assert!(diags.is_empty(), "risky_build={risky_build}: {diags:?}");
+            // Without the option the pass is silent.
+            let off = LintContext::bare().with_stats(&stats);
+            assert!(lint_plan(&plan, &off).is_empty());
+            // Without stats nothing is provable.
+            let blind = LintContext::bare().expect_monitor_coverage(true);
+            assert!(lint_plan(&plan, &blind).is_empty());
+        }
+    }
+
+    #[test]
+    fn pl421_reports_edge_with_no_feedback_signature() {
+        let (_, stats) = setup();
+        // A build side with an empty table set has no feedback signature,
+        // so the driver cannot install a monitor on it: the risky edge is
+        // neither CHECK-dominated nor monitor-covered.
+        let mut plan = risky_hsjn(true, false);
+        let PhysNode::Hsjn { build, .. } = &mut plan else {
+            unreachable!()
+        };
+        build.props_mut().tables = TableSet::EMPTY;
+        let ctx = LintContext::bare()
+            .with_stats(&stats)
+            .expect_monitor_coverage(true);
+        let diags = lint_plan(&plan, &ctx);
+        assert_eq!(codes(&diags), vec!["PL421"], "{diags:?}");
+        assert!(diags[0].message.contains("monitor"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn pl421_checked_build_edge_is_dominated() {
+        let (_, stats) = setup();
+        // The build side feeds through TEMP+CHECK: the checkpoint
+        // observes the cardinality, so the edge is CHECK-dominated and
+        // needs no monitor even inside the region.
+        let build = check_with_range(
+            temp(leaf(0, "customer", 2, 5.0)),
+            pop_plan::CheckFlavor::Lc,
+            pop_plan::CheckContext::AboveTemp,
+            ValidityRange::unbounded(),
+        );
+        let mut probe = leaf(1, "orders", 2, 20_000.0);
+        probe.props_mut().partitioning = Partitioning::Range(4);
+        let mut join = hsjn(build, probe, 20_000.0);
+        join.props_mut().edge_ranges =
+            vec![ValidityRange::new(0.0, 10.0), ValidityRange::unbounded()];
+        join.props_mut().partitioning = Partitioning::Range(4);
+        let plan = gather(join, 4);
+        let ctx = LintContext::bare()
+            .with_stats(&stats)
+            .expect_monitor_coverage(true);
+        let diags = lint_plan(&plan, &ctx);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 }

@@ -1,0 +1,49 @@
+//! The one shared FNV-1a implementation.
+//!
+//! Several subsystems need a tiny, dependency-free, deterministic 64-bit
+//! hash: the planlint robustness-certificate skeleton hash, the
+//! optimizer's statistics fingerprint, and display-shortened MV
+//! signatures. They all fold bytes through this module so the constants
+//! live in exactly one place and the streams stay comparable.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV1A_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV1A_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into a running FNV-1a hash.
+pub fn fnv1a_extend(hash: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *hash ^= u64::from(*b);
+        *hash = hash.wrapping_mul(FNV1A_PRIME);
+    }
+}
+
+/// Hash `bytes` in one shot from the offset basis.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV1A_OFFSET;
+    fnv1a_extend(&mut h, bytes);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), FNV1A_OFFSET);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn extend_matches_one_shot() {
+        let mut h = FNV1A_OFFSET;
+        fnv1a_extend(&mut h, b"foo");
+        fnv1a_extend(&mut h, b"bar");
+        assert_eq!(h, fnv1a(b"foobar"));
+    }
+}

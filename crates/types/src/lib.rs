@@ -9,11 +9,13 @@
 //! used directly as a sort or join key.
 
 mod error;
+mod hash;
 mod row;
 mod schema;
 mod value;
 
 pub use error::{PopError, PopResult};
+pub use hash::{fnv1a, fnv1a_extend, FNV1A_OFFSET, FNV1A_PRIME};
 pub use row::{Rid, Row};
 pub use schema::{ColId, ColumnDef, Schema};
 pub use value::{DataType, Value};

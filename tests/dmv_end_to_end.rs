@@ -1,8 +1,11 @@
 //! End-to-end integration: the 39-query DMV workload (§6 of the paper)
 //! with and without POP.
 
-use pop::{PopConfig, PopExecutor};
-use pop_dmv::{dmv_catalog, dmv_queries};
+use pop::{FlavorSet, PopConfig, PopExecutor};
+use pop_dmv::{
+    correlated_marker_params, correlated_marker_query, dmv_catalog, dmv_queries,
+    uncorrelated_marker_params,
+};
 use pop_expr::Params;
 use pop_types::Value;
 
@@ -55,6 +58,67 @@ fn dmv_workload_runs_and_pop_preserves_semantics() {
     );
     // And POP should speed up a nontrivial share of the queries.
     assert!(improved >= 5, "only {improved} queries improved");
+}
+
+/// The adversarial correlated-parameter-markers scenario (§5.1): the
+/// marker predicate is opaque at optimization time, so the plan is built
+/// on default selectivities; the adversarial bindings make the actual
+/// cardinality two orders larger. With every CHECK flavor off, only the
+/// continuous suboptimality monitor observes the escape — it must flag
+/// the drift, force a re-optimization, and still return the exact rows.
+/// The control bindings hit the *same* plan with a near-empty actual:
+/// no drift, no signal, no re-optimization.
+#[test]
+fn correlated_markers_pin_monitor_triggered_recovery() {
+    let no_check = || {
+        let mut cfg = PopConfig::default();
+        cfg.optimizer.flavors = FlavorSet::none();
+        cfg.sample_vet = false;
+        cfg
+    };
+    let q = correlated_marker_query();
+    let exec = PopExecutor::new(dmv_catalog(SCALE).unwrap(), no_check()).unwrap();
+    let baseline = PopExecutor::new(dmv_catalog(SCALE).unwrap(), PopConfig::without_pop()).unwrap();
+
+    // Adversarial bindings: monitor-triggered recovery.
+    let params = correlated_marker_params();
+    let res = exec.run(&q.spec, &params).unwrap();
+    let base = baseline.run(&q.spec, &params).unwrap();
+    assert!(
+        base.rows.len() > 100,
+        "adversarial bindings should keep a whole make band: {}",
+        base.rows.len()
+    );
+    assert_rows_equal(res.rows.clone(), base.rows.clone(), &q.name);
+    assert!(
+        res.report.reopt_count >= 1,
+        "monitor should flag the marker-induced drift:\n{}",
+        res.report.summary()
+    );
+    let first = &res.report.steps[0];
+    assert!(
+        first.violation.as_ref().is_some_and(|v| v.monitor),
+        "recovery must be monitor-triggered, not CHECK-triggered:\n{}",
+        res.report.summary()
+    );
+    assert!(
+        !first.monitors.is_empty(),
+        "no suboptimality signal recorded"
+    );
+
+    // Control bindings: same plan, nothing to recover from.
+    let control = uncorrelated_marker_params();
+    let res = exec.run(&q.spec, &control).unwrap();
+    assert!(
+        res.rows.is_empty(),
+        "MODEL determines MAKE: disjoint bands must select nothing"
+    );
+    assert_eq!(
+        res.report.reopt_count,
+        0,
+        "no drift, no recovery:\n{}",
+        res.report.summary()
+    );
 }
 
 #[test]

@@ -536,6 +536,74 @@ fn ecdc_violation_under_parallel_hash_probe() {
     }
 }
 
+/// The monitor/sampling layer must be deterministic across parallelism
+/// shape: the fired suboptimality signals (signature, tripped bound,
+/// observation) and the sampling vet's decision are identical across
+/// threads 1/2/4/8 × morsel sizes 1/1024. In-region monitors fold their
+/// counts into shared cells whose trip observation is derived from the
+/// bound, not from scheduling order, so the signal content cannot depend
+/// on which worker happened to cross the threshold.
+#[test]
+fn monitor_signals_and_vet_decisions_are_parallelism_invariant() {
+    let no_check_cfg = |threads: usize, morsel: usize, monitor: bool, vet: bool| {
+        let mut cfg = config_with_threads(1024, threads);
+        cfg.morsel_size = morsel;
+        cfg.optimizer.flavors = FlavorSet::none();
+        cfg.monitor = monitor;
+        // The correlated filter is a 16x underestimate; the default 32x
+        // drift envelope would absorb it.
+        cfg.monitor_drift = 4.0;
+        cfg.sample_vet = vet;
+        cfg
+    };
+    type MonitorSummary = (usize, Vec<(String, u64, u64)>);
+    let mut monitor_ref: Option<MonitorSummary> = None;
+    let mut vet_ref: Option<String> = None;
+    for threads in [1usize, 2, 4, 8] {
+        for morsel in [1usize, 1024] {
+            let what = format!("threads {threads} morsel {morsel}");
+
+            // Monitor path: flavors off, vet off — only the continuous
+            // monitors stand between the misestimate and the root.
+            let cfg = no_check_cfg(threads, morsel, true, false);
+            let exec = PopExecutor::new(correlated_db(), cfg).unwrap();
+            let res = exec.run(&spj_query(), &Params::none()).unwrap();
+            assert_eq!(res.rows.len(), EXPECTED_ROWS, "{what}: wrong rows");
+            let mut signals: Vec<(String, u64, u64)> = res
+                .report
+                .steps
+                .iter()
+                .flat_map(|s| s.monitors.iter())
+                .map(|m| (m.signature.clone(), m.trip, m.observed))
+                .collect();
+            signals.sort();
+            assert!(!signals.is_empty(), "{what}: no monitor fired");
+            let summary = (res.report.reopt_count, signals);
+            match &monitor_ref {
+                None => monitor_ref = Some(summary),
+                Some(r) => assert_eq!(r, &summary, "{what}: monitor signals differ"),
+            }
+
+            // Vet path: the pre-run sampling decision must not depend on
+            // the parallel shape either (the vet always runs the serial
+            // skeleton).
+            let cfg = no_check_cfg(threads, morsel, false, true);
+            let exec = PopExecutor::new(correlated_db(), cfg).unwrap();
+            let res = exec.run(&spj_query(), &Params::none()).unwrap();
+            assert_eq!(res.rows.len(), EXPECTED_ROWS, "{what}: wrong rows");
+            assert!(
+                res.report.sample_vet.is_some(),
+                "{what}: risky no-CHECK plan was not sample-vetted"
+            );
+            let sv = format!("{:?}", res.report.sample_vet);
+            match &vet_ref {
+                None => vet_ref = Some(sv),
+                Some(r) => assert_eq!(r, &sv, "{what}: sample-vet decision differs"),
+            }
+        }
+    }
+}
+
 /// Exact observations (checks that drained their producer, including
 /// CHECKs above materializations) must report the same materialized
 /// count at every batch size.

@@ -3,7 +3,7 @@
 //! the data grew; POP's checkpoints catch the resulting misestimates at
 //! runtime.
 
-use pop::{PopConfig, PopExecutor, StatsRegistry};
+use pop::{FlavorSet, PopConfig, PopExecutor, StatsRegistry};
 use pop_expr::Params;
 use pop_plan::QueryBuilder;
 use pop_storage::{Catalog, IndexKind};
@@ -92,6 +92,51 @@ fn stale_and_fresh_stats_agree_on_results() {
     a.sort();
     b.sort();
     assert_eq!(a, b, "statistics must never affect results");
+}
+
+/// The drift scenario with the paper's safety net absent: every CHECK
+/// flavor is off, so no checkpoint can catch the 41x growth. The
+/// continuous suboptimality monitor still counts the drifted stream
+/// against its stale envelope, flags the drift mid-run and forces the
+/// early re-optimization — and switching the monitor off too is the
+/// counterfactual where the stale plan runs blind to the end.
+#[test]
+fn drifting_stats_without_checks_are_caught_by_the_monitor() {
+    let run = |monitor: bool| {
+        let (cat, stats) = stale_setup();
+        let mut cfg = PopConfig::default();
+        cfg.optimizer.flavors = FlavorSet::none();
+        cfg.monitor = monitor;
+        cfg.sample_vet = false;
+        let exec = PopExecutor::with_stats(cat, stats, cfg);
+        exec.run(&query(), &Params::none()).unwrap()
+    };
+
+    let res = run(true);
+    assert_eq!(res.rows.len(), 20_500, "drift must never cost rows");
+    assert!(
+        res.report.reopt_count >= 1,
+        "monitor should flag the drift and re-optimize early:\n{}",
+        res.report.summary()
+    );
+    let first = &res.report.steps[0];
+    assert!(
+        !first.monitors.is_empty(),
+        "no suboptimality signal recorded:\n{}",
+        res.report.summary()
+    );
+    let v = first.violation.as_ref().expect("first step must suspend");
+    assert!(v.monitor, "violation must be monitor-flagged: {v:?}");
+
+    // Counterfactual: no checks, no monitor — the drift goes unnoticed.
+    let blind = run(false);
+    assert_eq!(blind.rows.len(), 20_500);
+    assert_eq!(
+        blind.report.reopt_count,
+        0,
+        "nothing should observe the drift with both nets off:\n{}",
+        blind.report.summary()
+    );
 }
 
 #[test]
