@@ -3,6 +3,7 @@
 use pop_guard::{Budget, FaultPlan};
 use pop_optimizer::OptimizerConfig;
 use pop_plan::CostModel;
+use pop_storage::{StorageConfig, StorageKind};
 
 /// How the driver reacts to static plan-verification findings
 /// (`pop-planlint`) on each plan produced by the optimizer.
@@ -155,6 +156,13 @@ pub struct PopConfig {
     /// scan. Overridable with the `POP_SAMPLE_ROWS` environment variable
     /// (> 0).
     pub sample_rows: usize,
+    /// Storage backend for the driver's catalog: in-memory rows (the
+    /// default) or the paged backend (pager + buffer pool + B+tree +
+    /// WAL). Both produce identical rows, step reports, CHECK events and
+    /// certificates; only physical I/O differs. The `POP_STORAGE`,
+    /// `POP_PAGE_SIZE`, `POP_BUFFER_POOL_BYTES` and `POP_WAL` environment
+    /// variables configure it (invalid values fall back with a warning).
+    pub storage: StorageConfig,
     /// Graceful degradation: when *re*-optimization fails (optimizer
     /// error, lint rejection, injected fault), fall back to the last
     /// successfully vetted plan and run it to completion with checks
@@ -290,10 +298,19 @@ impl Default for PopConfig {
             threads: threads_from_env(&mut env_warnings),
             ..OptimizerConfig::default()
         };
+        let storage = StorageConfig::from_env(&mut env_warnings);
+        // The paged backend plans with the page-aware model; the mem
+        // backend keeps the flat model (page terms zeroed). Page counts
+        // are identical across backends, so this is a modeling choice,
+        // not a correctness one.
+        let cost_model = match storage.kind {
+            StorageKind::Paged => CostModel::paged(),
+            StorageKind::Mem => CostModel::default(),
+        };
         PopConfig {
             enabled: true,
             optimizer,
-            cost_model: CostModel::default(),
+            cost_model,
             max_reopts: 3,
             reopt_work: 200.0,
             force_reopt_at: None,
@@ -314,6 +331,7 @@ impl Default for PopConfig {
             monitor_drift: monitor_drift_from_env(&mut env_warnings),
             sample_vet: switch_from_env("POP_SAMPLE_VET", true, &mut env_warnings),
             sample_rows: sample_rows_from_env(&mut env_warnings),
+            storage,
             graceful_degradation: true,
             env_warnings,
         }

@@ -16,7 +16,7 @@ use pop_plan::{
     PhysNode, PlanProps, QuerySpec, TableSet, ValidityRange,
 };
 use pop_stats::{sample_stride, scale_observation, StatsRegistry, TableStats};
-use pop_storage::{Catalog, Table, TempMv};
+use pop_storage::{Catalog, TempMv};
 use pop_types::{ColumnDef, PopError, PopResult, Rid, Row, Schema};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -41,6 +41,20 @@ struct MvCleanup<'a> {
 impl Drop for MvCleanup<'_> {
     fn drop(&mut self) {
         self.catalog.clear_temp_mvs();
+    }
+}
+
+/// RAII guard pairing the storage environment with the running query:
+/// detaches the governor (releasing page reservations) and disarms
+/// storage faults on every exit path.
+struct StorageSession<'a> {
+    catalog: &'a Catalog,
+}
+
+impl Drop for StorageSession<'_> {
+    fn drop(&mut self) {
+        self.catalog.detach_governor();
+        let _ = self.catalog.storage().disarm_faults();
     }
 }
 
@@ -186,6 +200,19 @@ impl PopExecutor {
             ..Default::default()
         };
         let mut collected: Vec<Row> = Vec::new();
+        // Buffer-pool frames draw from this query's resident-byte budget,
+        // and the storage layer fires from the same fault plan as the
+        // executor. The RAII guard detaches both on every exit path.
+        self.catalog.attach_governor(ctx.guard.clone_shared())?;
+        if let Some(plan) = &self.config.faults {
+            self.catalog
+                .storage()
+                .arm_faults(FaultInjector::new(plan.clone()));
+        }
+        let _storage_session = StorageSession {
+            catalog: &self.catalog,
+        };
+        let io_before = self.catalog.io_stats();
         // Post-query cleanup: the RAII guard drops the temporary MVs
         // (§2.3) whether the query completes, errors or panics.
         let _cleanup = MvCleanup {
@@ -199,6 +226,12 @@ impl PopExecutor {
             &mut report,
             &mut collected,
         )?;
+        // Physical I/O is backend-dependent by design (the mem backend
+        // reports all zeros) and never part of result equivalence.
+        let io = self.catalog.io_stats().since(&io_before);
+        if io != pop_storage::IoStats::default() {
+            report.storage = Some(io);
+        }
         let (overlay_hits, base_hits) = feedback.hit_counts();
         report.feedback_overlay_hits = overlay_hits;
         report.feedback_base_hits = base_hits;
@@ -868,7 +901,11 @@ impl PopExecutor {
         *mv_counter += 1;
         let id = self.catalog.allocate_temp_id();
         let actual_card = h.rows.len() as u64;
-        let table = Arc::new(Table::new(id, name.clone(), Schema::new(cols), h.rows));
+        // Under the paged backend the MV spills to temporary pages whose
+        // files the catalog's cleanup (table drop) unlinks.
+        let table = self
+            .catalog
+            .create_temp_table(id, name.clone(), Schema::new(cols), h.rows)?;
         // Exact statistics for the re-optimization (the paper: "having the
         // cardinality of the intermediate result in its catalog
         // statistics").

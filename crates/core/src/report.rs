@@ -125,6 +125,12 @@ pub struct RunReport {
     /// Feedback lookups answered by the cross-query store (facts earlier
     /// queries paid for) — nonzero only with `learn_across_queries`.
     pub feedback_base_hits: u64,
+    /// Physical storage I/O this query performed (buffer-pool hits and
+    /// misses, evictions, WAL activity). `None` on the in-memory backend,
+    /// which performs none. Backend-dependent by design — rows, steps,
+    /// check events and certificates stay identical across backends, this
+    /// field alone differs, so equivalence comparisons must exclude it.
+    pub storage: Option<pop_storage::IoStats>,
 }
 
 impl RunReport {
@@ -186,6 +192,18 @@ impl RunReport {
                 out,
                 "feedback hits: {} overlay, {} cross-query",
                 self.feedback_overlay_hits, self.feedback_base_hits
+            );
+        }
+        if let Some(io) = &self.storage {
+            let _ = writeln!(
+                out,
+                "storage io: {} read / {} written page(s), pool {} hit(s) / {} miss(es), {} eviction(s), {} WAL record(s)",
+                io.pages_read,
+                io.pages_written,
+                io.pool_hits,
+                io.pool_misses,
+                io.evictions,
+                io.wal_records
             );
         }
         for (i, s) in self.steps.iter().enumerate() {

@@ -486,6 +486,15 @@ pub fn dmv_catalog(scale: f64) -> PopResult<Catalog> {
     Ok(catalog)
 }
 
+/// Build the same catalog over an explicit storage configuration (e.g.
+/// the paged backend with a deliberately tiny buffer pool). The load
+/// streams through the catalog's chunked bulk loader.
+pub fn dmv_catalog_with(scale: f64, storage: pop_storage::StorageConfig) -> PopResult<Catalog> {
+    let catalog = Catalog::with_storage(storage);
+    DmvGen::new(scale).generate(&catalog)?;
+    Ok(catalog)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,7 +23,7 @@
 mod gen;
 mod queries;
 
-pub use gen::{dmv_catalog, DmvGen, MAKES, MODELS_PER_MAKE};
+pub use gen::{dmv_catalog, dmv_catalog_with, DmvGen, MAKES, MODELS_PER_MAKE};
 pub use queries::{
     correlated_marker_params, correlated_marker_query, dmv_queries, uncorrelated_marker_params,
     DmvQuery,

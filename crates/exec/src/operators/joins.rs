@@ -9,8 +9,8 @@ use crate::operators::materialize::{snapshot_harvest, HarvestInfo};
 use crate::operators::{BatchCursor, Operator};
 use crate::{ExecCtx, ExecRow, OpResult, RowBatch};
 use pop_expr::BoundExpr;
-use pop_storage::{Index, Table};
-use pop_types::{Rid, Row, Value};
+use pop_storage::{Index, RowFetcher, Table};
+use pop_types::{Rid, Value};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -30,11 +30,13 @@ pub struct NljnOp {
     inner_pred: Option<BoundExpr>,
     /// `(outer position, inner column)` residual equi-join conditions.
     residual: Vec<(usize, usize)>,
-    inner_rows: Option<Arc<Vec<Row>>>,
+    fetcher: Option<RowFetcher>,
     cursor: BatchCursor,
     current_outer: Option<ExecRow>,
     matches: Vec<u64>,
     match_pos: usize,
+    /// Last inner page fetched from, for random-I/O accounting.
+    last_page: Option<u64>,
     pending_signal: Option<crate::ExecSignal>,
 }
 
@@ -55,11 +57,12 @@ impl NljnOp {
             inner_index,
             inner_pred,
             residual,
-            inner_rows: None,
+            fetcher: None,
             cursor: BatchCursor::new(),
             current_outer: None,
             matches: Vec::new(),
             match_pos: 0,
+            last_page: None,
             pending_signal: None,
         }
     }
@@ -68,21 +71,20 @@ impl NljnOp {
 impl Operator for NljnOp {
     fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
         self.outer.open(ctx)?;
-        self.inner_rows = Some(self.inner_table.snapshot());
+        self.fetcher = Some(self.inner_table.fetcher());
         self.cursor.reset();
         self.current_outer = None;
         self.matches.clear();
         self.match_pos = 0;
+        self.last_page = None;
         self.pending_signal = None;
         Ok(())
     }
 
     fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
-        let inner_rows = self
-            .inner_rows
-            .as_ref()
-            .ok_or_else(|| super::protocol_err("NLJN next_batch() before open()"))?
-            .clone();
+        if self.fetcher.is_none() {
+            return Err(super::protocol_err("NLJN next_batch() before open()"));
+        }
         if let Some(sig) = self.pending_signal.take() {
             return Err(sig);
         }
@@ -91,11 +93,14 @@ impl Operator for NljnOp {
         loop {
             // Drain pending matches of the current outer row.
             while self.match_pos < self.matches.len() {
-                let pos = self.matches[self.match_pos] as usize;
+                let pos = self.matches[self.match_pos];
                 self.match_pos += 1;
-                let inner_row = &inner_rows[pos];
+                let fetcher = self.fetcher.as_ref().expect("checked above");
+                let Some(inner_row) = fetcher.get(pos)? else {
+                    continue; // index briefly ahead of the opened rows
+                };
                 if let Some(p) = &self.inner_pred {
-                    if !p.passes(inner_row, &ctx.params)? {
+                    if !p.passes(&inner_row, &ctx.params)? {
                         continue;
                     }
                 }
@@ -118,26 +123,36 @@ impl Operator for NljnOp {
                 }
                 out.push_concat(
                     &outer.values,
-                    inner_row,
+                    &inner_row,
                     &outer.lineage,
-                    &[Rid::new(self.inner_table.id(), pos as u64)],
+                    &[Rid::new(self.inner_table.id(), pos)],
                 );
                 if out.len() >= target {
                     return Ok(Some(out));
                 }
             }
-            // Advance the outer; fetch charges for the whole match list are
-            // taken up front at probe time.
+            // Advance the outer; fetch charges for the whole match list
+            // (rows and page transitions) are taken up front at probe time.
             match self.cursor.next_row(self.outer.as_mut(), ctx) {
                 Err(sig) => return super::stash_or_raise(sig, out, &mut self.pending_signal),
                 Ok(None) => return Ok(if out.is_empty() { None } else { Some(out) }),
                 Ok(Some(outer_row)) => {
                     let key = &outer_row.values[self.outer_key_pos];
-                    self.matches = self.inner_index.probe(key).to_vec();
+                    self.matches = self.inner_index.probe(key)?;
                     self.match_pos = 0;
+                    let fetcher = self.fetcher.as_ref().expect("checked above");
+                    let mut new_pages = 0u64;
+                    for &p in &self.matches {
+                        let pg = fetcher.page_of(p);
+                        if self.last_page != Some(pg) {
+                            self.last_page = Some(pg);
+                            new_pages += 1;
+                        }
+                    }
                     ctx.charge(
                         ctx.model.index_probe
-                            + self.matches.len() as f64 * ctx.model.index_fetch_row,
+                            + self.matches.len() as f64 * ctx.model.index_fetch_row
+                            + new_pages as f64 * ctx.model.page_io * ctx.model.seq_vs_random,
                     );
                     self.current_outer = Some(outer_row);
                 }
@@ -147,7 +162,7 @@ impl Operator for NljnOp {
 
     fn close(&mut self, ctx: &mut ExecCtx) {
         self.outer.close(ctx);
-        self.inner_rows = None;
+        self.fetcher = None;
         self.cursor.reset();
     }
 }
@@ -412,7 +427,9 @@ pub struct SemiProbeOp {
     inner_index: Arc<Index>,
     pred: Option<BoundExpr>,
     negated: bool,
-    inner_rows: Option<Arc<Vec<Row>>>,
+    fetcher: Option<RowFetcher>,
+    /// Last inner page fetched from, for random-I/O accounting.
+    last_page: Option<u64>,
 }
 
 impl SemiProbeOp {
@@ -432,7 +449,8 @@ impl SemiProbeOp {
             inner_index,
             pred,
             negated,
-            inner_rows: None,
+            fetcher: None,
+            last_page: None,
         }
     }
 }
@@ -440,39 +458,47 @@ impl SemiProbeOp {
 impl Operator for SemiProbeOp {
     fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
         self.input.open(ctx)?;
-        self.inner_rows = Some(self.inner_table.snapshot());
+        self.fetcher = Some(self.inner_table.fetcher());
+        self.last_page = None;
         Ok(())
     }
 
     fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
-        let inner_rows = self
-            .inner_rows
-            .as_ref()
-            .ok_or_else(|| super::protocol_err("semi probe next_batch() before open()"))?
-            .clone();
+        if self.fetcher.is_none() {
+            return Err(super::protocol_err("semi probe next_batch() before open()"));
+        }
         loop {
             let Some(mut b) = self.input.next_batch(ctx)? else {
                 return Ok(None);
             };
             let mut charge = 0.0;
+            let mut last_page = self.last_page;
             let result: OpResult<()> = b.try_retain_live(|values, _| {
                 charge += ctx.model.index_probe;
                 let key = &values[self.outer_pos];
+                let positions = self.inner_index.probe(key)?;
+                let fetcher = self.fetcher.as_ref().expect("checked above");
                 let mut found = false;
-                for pos in self.inner_index.probe(key) {
+                fetcher.for_each(&positions, |p, inner| {
                     charge += ctx.model.index_fetch_row;
-                    let inner = &inner_rows[*pos as usize];
+                    let pg = fetcher.page_of(p);
+                    if last_page != Some(pg) {
+                        last_page = Some(pg);
+                        charge += ctx.model.page_io * ctx.model.seq_vs_random;
+                    }
                     let ok = match &self.pred {
                         Some(p) => p.passes(inner, &ctx.params)?,
                         None => true,
                     };
                     if ok {
                         found = true;
-                        break; // existential: first qualifying match decides
                     }
-                }
+                    // Existential: first qualifying match decides.
+                    Ok(!found)
+                })?;
                 Ok(found != self.negated)
             });
+            self.last_page = last_page;
             ctx.charge(charge);
             result?;
             if b.live_count() > 0 {
@@ -483,7 +509,7 @@ impl Operator for SemiProbeOp {
 
     fn close(&mut self, ctx: &mut ExecCtx) {
         self.input.close(ctx);
-        self.inner_rows = None;
+        self.fetcher = None;
     }
 }
 

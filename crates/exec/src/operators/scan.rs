@@ -3,19 +3,20 @@
 use crate::operators::Operator;
 use crate::{ExecCtx, OpResult, RowBatch};
 use pop_expr::BoundExpr;
-use pop_storage::Table;
-use pop_types::{Rid, Row};
+use pop_storage::{RowFetcher, Table, TableCursor};
+use pop_types::Rid;
 use std::sync::Arc;
 
 /// Sequential scan with an optional pushed-down predicate. Each
-/// `next_batch` call charges and filters one snapshot chunk; the predicate
+/// `next_batch` call charges and filters one cursor chunk; the predicate
 /// runs over the whole chunk via a selection vector, and only passing rows
-/// are copied out.
+/// are copied out. Chunk boundaries and logical page touches are identical
+/// on either backend, so the charged work is too.
 pub struct TableScanOp {
     table: Arc<Table>,
     pred: Option<BoundExpr>,
     /// Contiguous range partition `(part, parts)`: this instance scans
-    /// only rows `[part*n/parts, (part+1)*n/parts)` of the snapshot.
+    /// only rows `[part*n/parts, (part+1)*n/parts)` of the table.
     /// `None` scans everything. Contiguous (not round-robin) assignment
     /// keeps each partition's output a contiguous slice of the serial
     /// scan order, so concatenating partition outputs in partition order
@@ -24,9 +25,7 @@ pub struct TableScanOp {
     /// Active stride sampling (from [`ExecCtx::sample`], bound at `open`):
     /// read only rows at positions `0 (mod stride)`. Serial scans only.
     sample_stride: Option<usize>,
-    snapshot: Option<Arc<Vec<Row>>>,
-    pos: usize,
-    end: usize,
+    cursor: Option<TableCursor>,
     /// Selection-vector scratch, reused across chunks.
     sel: Vec<u32>,
 }
@@ -39,9 +38,7 @@ impl TableScanOp {
             pred,
             partition: None,
             sample_stride: None,
-            snapshot: None,
-            pos: 0,
-            end: usize::MAX,
+            cursor: None,
             sel: Vec::new(),
         }
     }
@@ -60,10 +57,10 @@ pub(crate) fn partition_bounds(n: usize, part: usize, parts: usize) -> (usize, u
 
 impl Operator for TableScanOp {
     fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
-        let snapshot = self.table.snapshot();
-        (self.pos, self.end) = match self.partition {
-            None => (0, snapshot.len()),
-            Some((part, parts)) => partition_bounds(snapshot.len(), part, parts),
+        let n = self.table.row_count();
+        let (lo, hi) = match self.partition {
+            None => (0, n),
+            Some((part, parts)) => partition_bounds(n, part, parts),
         };
         // Sampling pre-validation only runs serial plans, so a sampled
         // scan is never also partitioned.
@@ -71,18 +68,16 @@ impl Operator for TableScanOp {
             (None, Some(s)) if s.table == self.table.name() => Some(s.stride.max(1)),
             _ => None,
         };
-        self.snapshot = Some(snapshot);
+        self.cursor = Some(self.table.cursor(lo as u64, hi as u64)?);
         Ok(())
     }
 
     fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
         ctx.fault_storage_read(self.table.name())?;
-        let rows = self
-            .snapshot
-            .as_ref()
-            .ok_or_else(|| super::protocol_err("table scan next_batch() before open()"))?
-            .clone();
-        let limit = self.end.min(rows.len());
+        let cursor = self
+            .cursor
+            .as_mut()
+            .ok_or_else(|| super::protocol_err("table scan next_batch() before open()"))?;
         if let Some(stride) = self.sample_stride {
             // Stride sample: fetch (and charge for) only every stride-th
             // row, row-at-a-time — the sample run's modeled work scales
@@ -90,55 +85,61 @@ impl Operator for TableScanOp {
             loop {
                 let mut out = RowBatch::with_capacity(ctx.batch_size.max(1));
                 let mut fetched = 0u64;
-                while self.pos < limit && out.len() < ctx.batch_size.max(1) {
-                    let p = self.pos;
-                    self.pos += stride;
+                let mut pages = 0u64;
+                while cursor.remaining() > 0 && out.len() < ctx.batch_size.max(1) {
+                    let p = cursor.position();
+                    let Some(chunk) = cursor.next_chunk(1)? else {
+                        break;
+                    };
                     fetched += 1;
-                    let row = &rows[p];
+                    pages += chunk.new_pages;
+                    let row = &chunk.rows[0];
                     let passes = match &self.pred {
                         Some(pr) => pr.passes(row, &ctx.params)?,
                         None => true,
                     };
                     if passes {
-                        out.push_row(row, &[Rid::new(self.table.id(), p as u64)]);
+                        out.push_row(row, &[Rid::new(self.table.id(), p)]);
                     }
+                    cursor.seek(p + stride as u64);
                 }
-                ctx.charge(fetched as f64 * ctx.model.seq_row);
+                ctx.charge(fetched as f64 * ctx.model.seq_row + pages as f64 * ctx.model.page_io);
                 ctx.rows_scanned += fetched;
                 if !out.is_empty() {
                     return Ok(Some(out));
                 }
-                if self.pos >= limit {
+                if cursor.remaining() == 0 {
                     return Ok(None);
                 }
             }
         }
-        while let Some((start, chunk)) =
-            pop_storage::chunk(&rows[..limit], self.pos, ctx.batch_size)
-        {
-            self.pos = start + chunk.len();
-            ctx.charge(chunk.len() as f64 * ctx.model.seq_row);
-            ctx.rows_scanned += chunk.len() as u64;
+        while let Some(chunk) = cursor.next_chunk(ctx.batch_size)? {
+            let start = chunk.start;
+            ctx.charge(
+                chunk.rows.len() as f64 * ctx.model.seq_row
+                    + chunk.new_pages as f64 * ctx.model.page_io,
+            );
+            ctx.rows_scanned += chunk.rows.len() as u64;
             let out = match &self.pred {
                 None => {
-                    let mut out = RowBatch::with_capacity(chunk.len());
-                    for (i, row) in chunk.iter().enumerate() {
-                        out.push_row(row, &[Rid::new(self.table.id(), (start + i) as u64)]);
+                    let mut out = RowBatch::with_capacity(chunk.rows.len());
+                    for (i, row) in chunk.rows.iter().enumerate() {
+                        out.push_row(row, &[Rid::new(self.table.id(), start + i as u64)]);
                     }
                     out
                 }
                 Some(p) => {
                     self.sel.clear();
-                    self.sel.extend(0..chunk.len() as u32);
-                    p.filter_batch(chunk, &ctx.params, &mut self.sel)?;
+                    self.sel.extend(0..chunk.rows.len() as u32);
+                    p.filter_batch(chunk.rows, &ctx.params, &mut self.sel)?;
                     if self.sel.is_empty() {
                         continue; // whole chunk filtered out: keep scanning
                     }
                     let mut out = RowBatch::with_capacity(self.sel.len());
                     for &i in &self.sel {
                         out.push_row(
-                            &chunk[i as usize],
-                            &[Rid::new(self.table.id(), (start + i as usize) as u64)],
+                            &chunk.rows[i as usize],
+                            &[Rid::new(self.table.id(), start + u64::from(i))],
                         );
                     }
                     out
@@ -150,7 +151,7 @@ impl Operator for TableScanOp {
     }
 
     fn close(&mut self, _ctx: &mut ExecCtx) {
-        self.snapshot = None;
+        self.cursor = None;
     }
 }
 
@@ -167,9 +168,12 @@ pub struct IndexRangeScanOp {
     /// [`TableScanOp::partition`]); each partition fetches a contiguous
     /// slice of the index-order position list.
     partition: Option<(usize, usize)>,
-    snapshot: Option<Arc<Vec<Row>>>,
+    fetcher: Option<RowFetcher>,
     positions: Vec<u64>,
     pos: usize,
+    /// Last page a fetch landed on, for random-I/O accounting: every
+    /// page *transition* is charged as a random page read.
+    last_page: Option<u64>,
 }
 
 impl IndexRangeScanOp {
@@ -188,9 +192,10 @@ impl IndexRangeScanOp {
             hi,
             residual,
             partition: None,
-            snapshot: None,
+            fetcher: None,
             positions: Vec::new(),
             pos: 0,
+            last_page: None,
         }
     }
 
@@ -203,10 +208,10 @@ impl IndexRangeScanOp {
 
 impl Operator for IndexRangeScanOp {
     fn open(&mut self, ctx: &mut ExecCtx) -> OpResult<()> {
-        self.snapshot = Some(self.table.snapshot());
+        self.fetcher = Some(self.table.fetcher());
         let mut positions = self
             .index
-            .range(self.lo.as_ref(), self.hi.as_ref())
+            .range(self.lo.as_ref(), self.hi.as_ref())?
             .ok_or_else(|| {
                 pop_types::PopError::Execution(format!(
                     "index on {} column {} does not support range probes",
@@ -221,32 +226,47 @@ impl Operator for IndexRangeScanOp {
         self.positions = positions;
         ctx.charge(ctx.model.index_probe);
         self.pos = 0;
+        self.last_page = None;
         Ok(())
     }
 
     fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
         ctx.fault_storage_read(self.table.name())?;
-        let rows = self
-            .snapshot
+        let fetcher = self
+            .fetcher
             .as_ref()
-            .ok_or_else(|| super::protocol_err("index range scan next_batch() before open()"))?
-            .clone();
+            .ok_or_else(|| super::protocol_err("index range scan next_batch() before open()"))?;
         while self.pos < self.positions.len() {
             let end = (self.pos + ctx.batch_size.max(1)).min(self.positions.len());
             let chunk = &self.positions[self.pos..end];
             self.pos = end;
-            ctx.charge(chunk.len() as f64 * ctx.model.index_fetch_row);
             ctx.rows_scanned += chunk.len() as u64;
             let mut out = RowBatch::with_capacity(chunk.len());
-            for (p, row) in pop_storage::gather(&rows, chunk) {
+            let mut last_page = self.last_page;
+            let mut new_pages = 0u64;
+            let params = &ctx.params;
+            fetcher.for_each(chunk, |p, row| {
+                let pg = fetcher.page_of(p);
+                if last_page != Some(pg) {
+                    last_page = Some(pg);
+                    new_pages += 1;
+                }
                 let passes = match &self.residual {
-                    Some(r) => r.passes(row, &ctx.params)?,
+                    Some(r) => r.passes(row, params)?,
                     None => true,
                 };
                 if passes {
                     out.push_row(row, &[Rid::new(self.table.id(), p)]);
                 }
-            }
+                Ok(true)
+            })?;
+            self.last_page = last_page;
+            // Scattered fetches pay the random-read multiplier per page
+            // transition — the runtime mirror of the model's Cardenas term.
+            ctx.charge(
+                chunk.len() as f64 * ctx.model.index_fetch_row
+                    + new_pages as f64 * ctx.model.page_io * ctx.model.seq_vs_random,
+            );
             if !out.is_empty() {
                 return Ok(Some(out));
             }
@@ -255,7 +275,7 @@ impl Operator for IndexRangeScanOp {
     }
 
     fn close(&mut self, _ctx: &mut ExecCtx) {
-        self.snapshot = None;
+        self.fetcher = None;
         self.positions.clear();
     }
 }
@@ -266,8 +286,7 @@ impl Operator for IndexRangeScanOp {
 pub struct MvScanOp {
     table: Arc<Table>,
     lineage: Option<Arc<Vec<Vec<Rid>>>>,
-    snapshot: Option<Arc<Vec<Row>>>,
-    pos: usize,
+    cursor: Option<TableCursor>,
 }
 
 impl MvScanOp {
@@ -276,37 +295,36 @@ impl MvScanOp {
         MvScanOp {
             table,
             lineage,
-            snapshot: None,
-            pos: 0,
+            cursor: None,
         }
     }
 }
 
 impl Operator for MvScanOp {
     fn open(&mut self, _ctx: &mut ExecCtx) -> OpResult<()> {
-        self.snapshot = Some(self.table.snapshot());
-        self.pos = 0;
+        self.cursor = Some(self.table.cursor(0, u64::MAX)?);
         Ok(())
     }
 
     fn next_batch(&mut self, ctx: &mut ExecCtx) -> OpResult<Option<RowBatch>> {
         ctx.fault_storage_read(self.table.name())?;
-        let rows = self
-            .snapshot
-            .as_ref()
-            .ok_or_else(|| super::protocol_err("MV scan next_batch() before open()"))?
-            .clone();
-        let Some((start, chunk)) = pop_storage::chunk(&rows, self.pos, ctx.batch_size) else {
+        let cursor = self
+            .cursor
+            .as_mut()
+            .ok_or_else(|| super::protocol_err("MV scan next_batch() before open()"))?;
+        let Some(chunk) = cursor.next_chunk(ctx.batch_size)? else {
             return Ok(None);
         };
-        self.pos = start + chunk.len();
-        ctx.charge(chunk.len() as f64 * ctx.model.temp_read_row);
-        let mut out = RowBatch::with_capacity(chunk.len());
-        for (i, row) in chunk.iter().enumerate() {
+        ctx.charge(
+            chunk.rows.len() as f64 * ctx.model.temp_read_row
+                + chunk.new_pages as f64 * ctx.model.page_io,
+        );
+        let mut out = RowBatch::with_capacity(chunk.rows.len());
+        for (i, row) in chunk.rows.iter().enumerate() {
             let lineage: &[Rid] = self
                 .lineage
                 .as_ref()
-                .and_then(|l| l.get(start + i))
+                .and_then(|l| l.get(chunk.start as usize + i))
                 .map_or(&[], std::vec::Vec::as_slice);
             out.push_row(row, lineage);
         }
@@ -314,7 +332,7 @@ impl Operator for MvScanOp {
     }
 
     fn close(&mut self, _ctx: &mut ExecCtx) {
-        self.snapshot = None;
+        self.cursor = None;
     }
 
     fn materialized_count(&self) -> Option<u64> {

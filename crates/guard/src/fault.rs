@@ -29,11 +29,33 @@ pub enum FaultKind {
     /// the actual cardinality (the observation it reports stays truthful,
     /// so the feedback path must converge like a spurious check).
     MonitorLie,
+    /// A WAL append is torn mid-frame: half the record reaches disk, then
+    /// the write errors — the on-disk state a crash mid-write leaves.
+    /// Exercises the redo-recovery path of the paged backend.
+    TornWrite,
+    /// A page read comes back short of a full page; surfaces as a typed
+    /// execution error from the pager.
+    ShortRead,
 }
 
 impl FaultKind {
     /// All kinds, in hook-counter order.
-    pub const ALL: [FaultKind; 5] = [
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::StorageRead,
+        FaultKind::OptimizerFail,
+        FaultKind::CorruptStats,
+        FaultKind::SpuriousCheck,
+        FaultKind::MonitorLie,
+        FaultKind::TornWrite,
+        FaultKind::ShortRead,
+    ];
+
+    /// The kinds [`FaultPlan::from_seed`] samples from. Deliberately the
+    /// original five: seeded chaos plans are pinned by CI (fixed
+    /// `POP_FAULT_SEED` runs must stay byte-identical across releases),
+    /// so new kinds join `ALL` — and explicit `POP_FAULT_PLAN` specs —
+    /// without perturbing the seed→plan mapping.
+    const SEEDED: [FaultKind; 5] = [
         FaultKind::StorageRead,
         FaultKind::OptimizerFail,
         FaultKind::CorruptStats,
@@ -49,6 +71,8 @@ impl FaultKind {
             FaultKind::CorruptStats => "stats",
             FaultKind::SpuriousCheck => "check",
             FaultKind::MonitorLie => "monitor",
+            FaultKind::TornWrite => "torn",
+            FaultKind::ShortRead => "shortread",
         }
     }
 
@@ -63,6 +87,8 @@ impl FaultKind {
             FaultKind::CorruptStats => 2,
             FaultKind::SpuriousCheck => 3,
             FaultKind::MonitorLie => 4,
+            FaultKind::TornWrite => 5,
+            FaultKind::ShortRead => 6,
         }
     }
 }
@@ -116,7 +142,7 @@ impl FaultPlan {
         let n = 1 + (next() % 3) as usize;
         let specs = (0..n)
             .map(|_| {
-                let kind = FaultKind::ALL[(next() % FaultKind::ALL.len() as u64) as usize];
+                let kind = FaultKind::SEEDED[(next() % FaultKind::SEEDED.len() as u64) as usize];
                 FaultSpec {
                     kind,
                     at: next() % 8,
@@ -169,7 +195,7 @@ pub struct FaultInjector {
     plan: FaultPlan,
     /// Times each kind's hook site has been reached, indexed by
     /// [`FaultKind::index`].
-    counters: [u64; 5],
+    counters: [u64; 7],
     /// Faults actually fired, for reporting.
     fired: Vec<FaultSpec>,
 }
@@ -179,7 +205,7 @@ impl FaultInjector {
     pub fn new(plan: FaultPlan) -> Self {
         FaultInjector {
             plan,
-            counters: [0; 5],
+            counters: [0; 7],
             fired: Vec::new(),
         }
     }
@@ -236,6 +262,18 @@ impl FaultInjector {
     pub fn monitor_lie(&mut self) -> bool {
         self.hit(FaultKind::MonitorLie)
     }
+
+    /// Hook site: a WAL record is about to be appended. True if the write
+    /// should be torn mid-frame (simulated crash).
+    pub fn torn_write(&mut self) -> bool {
+        self.hit(FaultKind::TornWrite)
+    }
+
+    /// Hook site: a page is about to be read. True if the read should
+    /// come back short of a full page.
+    pub fn short_read(&mut self) -> bool {
+        self.hit(FaultKind::ShortRead)
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +296,32 @@ mod tests {
             assert!((1..=3).contains(&plan.specs.len()), "seed {seed}: {plan:?}");
             assert!(plan.specs.iter().all(|s| s.at < 8), "seed {seed}: {plan:?}");
         }
+    }
+
+    #[test]
+    fn seeded_plans_never_sample_storage_fault_kinds() {
+        // Seeded chaos plans are pinned by CI; the torn-write/short-read
+        // kinds are explicit-spec only so the seed→plan mapping is stable.
+        for seed in 0..256u64 {
+            let plan = FaultPlan::from_seed(seed);
+            assert!(
+                plan.specs
+                    .iter()
+                    .all(|s| !matches!(s.kind, FaultKind::TornWrite | FaultKind::ShortRead)),
+                "seed {seed}: {plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn storage_fault_hooks_fire_and_parse() {
+        let plan = FaultPlan::parse_spec("torn@1,shortread@0").unwrap();
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj.short_read());
+        assert!(!inj.short_read());
+        assert!(!inj.torn_write());
+        assert!(inj.torn_write());
+        assert_eq!(inj.fired().len(), 2);
     }
 
     #[test]

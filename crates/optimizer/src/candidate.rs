@@ -18,11 +18,15 @@ pub enum RootCostSpec {
     Leaf {
         /// Unfiltered base table rows (the scan reads them all).
         base_rows: f64,
+        /// Base table pages (the scan reads them all, sequentially).
+        base_pages: f64,
     },
     /// Temp-MV scan; no input edges.
     MvScan {
         /// Materialized row count (exact).
         rows: f64,
+        /// Materialized page count (exact).
+        pages: f64,
     },
     /// Any access path with a fixed cost and no input edges (e.g. an
     /// index range scan).
@@ -144,7 +148,10 @@ mod tests {
             card: 50.0,
             order: None,
             partition: None,
-            root_spec: RootCostSpec::Leaf { base_rows: 100.0 },
+            root_spec: RootCostSpec::Leaf {
+                base_rows: 100.0,
+                base_pages: 1.0,
+            },
             fixed_cost: 0.0,
             edge_cards: vec![],
             edge_to_child: vec![],
@@ -167,7 +174,14 @@ mod tests {
 
     #[test]
     fn num_edges() {
-        assert_eq!(RootCostSpec::Leaf { base_rows: 1.0 }.num_edges(), 0);
+        assert_eq!(
+            RootCostSpec::Leaf {
+                base_rows: 1.0,
+                base_pages: 1.0
+            }
+            .num_edges(),
+            0
+        );
         assert_eq!(
             RootCostSpec::Hsjn {
                 build_edge: 0,

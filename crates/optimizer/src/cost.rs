@@ -14,8 +14,11 @@ pub use pop_plan::CostModel;
 /// canonical input-edge cardinalities.
 pub fn root_local_cost(model: &CostModel, spec: &RootCostSpec, cards: &[f64]) -> f64 {
     match spec {
-        RootCostSpec::Leaf { base_rows } => model.scan_cost(*base_rows),
-        RootCostSpec::MvScan { rows } => model.mv_scan_cost(*rows),
+        RootCostSpec::Leaf {
+            base_rows,
+            base_pages,
+        } => model.scan_cost(*base_rows, *base_pages),
+        RootCostSpec::MvScan { rows, pages } => model.mv_scan_cost(*rows, *pages),
         RootCostSpec::Fixed { cost } => *cost,
         RootCostSpec::Nljn {
             outer_edge,
@@ -124,10 +127,24 @@ mod tests {
     fn leaf_and_mv_costs() {
         let m = m();
         assert_eq!(
-            root_local_cost(&m, &RootCostSpec::Leaf { base_rows: 500.0 }, &[]),
+            root_local_cost(
+                &m,
+                &RootCostSpec::Leaf {
+                    base_rows: 500.0,
+                    base_pages: 5.0,
+                },
+                &[],
+            ),
             500.0
         );
-        let mv = root_local_cost(&m, &RootCostSpec::MvScan { rows: 500.0 }, &[]);
+        let mv = root_local_cost(
+            &m,
+            &RootCostSpec::MvScan {
+                rows: 500.0,
+                pages: 5.0,
+            },
+            &[],
+        );
         assert!(mv < 500.0, "MV scan should be cheaper than base scan");
     }
 }

@@ -378,7 +378,13 @@ fn scan_candidate(
     let pred = combine_local_preds(spec.local_preds_of(qidx));
     let raw = est.raw_card(qidx);
     let card = est.card(TableSet::single(qidx));
-    let cost = ctx.cost.scan_cost(raw);
+    // Tables can be planned before ANALYZE ran; missing stats just mean
+    // no page term (matching the flat model).
+    let pages = ctx
+        .stats
+        .get(&spec.tables[qidx].table)
+        .map_or(0.0, |s| s.pages as f64);
+    let cost = ctx.cost.scan_cost(raw, pages);
     let layout = (0..table.schema().len())
         .map(|c| LayoutCol::Base(ColId::new(qidx, c)))
         .collect();
@@ -393,7 +399,10 @@ fn scan_candidate(
         card,
         order: None,
         partition: None,
-        root_spec: RootCostSpec::Leaf { base_rows: raw },
+        root_spec: RootCostSpec::Leaf {
+            base_rows: raw,
+            base_pages: pages,
+        },
         fixed_cost: 0.0,
         edge_cards: vec![],
         edge_to_child: vec![],
@@ -463,7 +472,7 @@ fn index_range_candidates(
             ctx.estimation_params(),
         );
         let matching = sel * raw;
-        let cost = ctx.cost.index_range_scan_cost(matching);
+        let cost = ctx.cost.index_range_scan_cost(matching, stats.pages as f64);
         let layout: Vec<LayoutCol> = (0..table.schema().len())
             .map(|c| LayoutCol::Base(ColId::new(qidx, c)))
             .collect();
@@ -505,7 +514,10 @@ fn mv_candidate(
     let sig = est.signature(set);
     let mv = ctx.catalog.temp_mv(&sig)?;
     let rows = mv.actual_card as f64;
-    let cost = ctx.cost.mv_scan_cost(rows);
+    // Page count is a deterministic function of the MV contents, so it is
+    // identical across storage backends.
+    let pages = mv.table.page_count() as f64;
+    let cost = ctx.cost.mv_scan_cost(rows, pages);
     let layout = mv.layout.iter().map(|c| LayoutCol::Base(*c)).collect();
     Some(Candidate {
         node: PhysNode::MvScan {
@@ -517,7 +529,7 @@ fn mv_candidate(
         card: rows,
         order: None,
         partition: None,
-        root_spec: RootCostSpec::MvScan { rows },
+        root_spec: RootCostSpec::MvScan { rows, pages },
         fixed_cost: 0.0,
         edge_cards: vec![],
         edge_to_child: vec![],

@@ -85,6 +85,16 @@ pub struct CostModel {
     /// the parallelize pass picks a degree of parallelism; the runtime
     /// does not charge it.
     pub morsel_overhead: f64,
+    /// Cost of reading one data page sequentially. 0 under the flat
+    /// (mem-backend) model — row costs already cover everything; the
+    /// paged model ([`CostModel::paged`]) sets it > 0 so access-path
+    /// choice reacts to how many pages a path touches, not just how many
+    /// rows it returns.
+    pub page_io: f64,
+    /// How much more a random page read costs than a sequential one
+    /// (buffer-pool miss amplification on scattered index fetches).
+    /// Multiplies `page_io` in [`CostModel::index_range_scan_cost`].
+    pub seq_vs_random: f64,
 }
 
 impl Default for CostModel {
@@ -110,11 +120,34 @@ impl Default for CostModel {
             parallel_startup: 50.0,
             parallel_efficiency: 0.85,
             morsel_overhead: 2.0,
+            page_io: 0.0,
+            seq_vs_random: 8.0,
         }
     }
 }
 
 impl CostModel {
+    /// The page-aware model used with the paged storage backend: same
+    /// row coefficients, plus a per-page I/O charge. Both backends report
+    /// identical page counts (shared packing rule), so plans chosen under
+    /// this model are identical across backends too — the flat default
+    /// merely ignores the page terms.
+    pub fn paged() -> Self {
+        CostModel {
+            page_io: 4.0,
+            ..CostModel::default()
+        }
+    }
+
+    /// Expected distinct pages touched when fetching `rows` random rows
+    /// from a table of `pages` pages (Cardenas' formula). Saturates at
+    /// `pages`; 0 when the table has no pages.
+    pub fn touched_pages(rows: f64, pages: f64) -> f64 {
+        if pages < 1.0 || rows <= 0.0 {
+            return 0.0;
+        }
+        pages * (1.0 - (1.0 - 1.0 / pages).powf(rows))
+    }
     /// Number of *extra* passes a hash build / sort of `rows` rows needs
     /// beyond the in-memory case. 0 when the input fits; steps up at
     /// `mem_rows`, `mem_rows * fanout`, `mem_rows * fanout²`, ...
@@ -126,20 +159,27 @@ impl CostModel {
         1.0 + (ratio.ln() / self.spill_fanout.ln()).floor().max(0.0)
     }
 
-    /// Full table scan with predicate evaluation.
-    pub fn scan_cost(&self, base_rows: f64) -> f64 {
-        base_rows * self.seq_row
+    /// Full table scan with predicate evaluation: every row, every page
+    /// (sequential).
+    pub fn scan_cost(&self, base_rows: f64, base_pages: f64) -> f64 {
+        base_rows * self.seq_row + base_pages.max(0.0) * self.page_io
     }
 
-    /// Reading a materialized view of `rows` rows.
-    pub fn mv_scan_cost(&self, rows: f64) -> f64 {
-        rows * self.temp_read_row
+    /// Reading a materialized view of `rows` rows over `pages` pages.
+    pub fn mv_scan_cost(&self, rows: f64, pages: f64) -> f64 {
+        rows * self.temp_read_row + pages.max(0.0) * self.page_io
     }
 
-    /// Index range scan touching `matching_rows` rows through a sorted
-    /// index (one descent plus a random fetch per match).
-    pub fn index_range_scan_cost(&self, matching_rows: f64) -> f64 {
-        self.index_probe + matching_rows.max(0.0) * self.index_fetch_row
+    /// Index range scan fetching `matching_rows` rows from a table of
+    /// `table_pages` pages through a sorted index: one descent, a random
+    /// fetch per match, and a *random* page read per distinct page the
+    /// matches land on (Cardenas). This is the term that makes a low-
+    /// selectivity range predicate prefer the index and a wide one prefer
+    /// the sequential scan once `page_io > 0`.
+    pub fn index_range_scan_cost(&self, matching_rows: f64, table_pages: f64) -> f64 {
+        self.index_probe
+            + matching_rows.max(0.0) * self.index_fetch_row
+            + Self::touched_pages(matching_rows, table_pages) * self.page_io * self.seq_vs_random
     }
 
     /// Sort of `rows` rows (including spill penalty).
@@ -188,5 +228,36 @@ mod tests {
             m.temp_cost(100.0),
             100.0 * (m.temp_write_row + m.temp_read_row)
         );
+    }
+
+    #[test]
+    fn flat_model_ignores_pages() {
+        let m = CostModel::default();
+        assert_eq!(m.scan_cost(1000.0, 50.0), m.scan_cost(1000.0, 0.0));
+        assert_eq!(
+            m.index_range_scan_cost(30.0, 50.0),
+            m.index_range_scan_cost(30.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn paged_model_charges_pages() {
+        let m = CostModel::paged();
+        assert!(m.scan_cost(1000.0, 50.0) > m.scan_cost(1000.0, 0.0));
+        // Random fetches cost more per page than sequential reads.
+        let seq_per_page = m.page_io;
+        let rand_30 = m.index_range_scan_cost(30.0, 1000.0) - m.index_range_scan_cost(30.0, 0.0);
+        assert!(
+            rand_30 > 25.0 * seq_per_page,
+            "30 scattered rows ≈ 30 random pages"
+        );
+    }
+
+    #[test]
+    fn touched_pages_saturates() {
+        assert_eq!(CostModel::touched_pages(10.0, 0.0), 0.0);
+        assert!((CostModel::touched_pages(1.0, 100.0) - 1.0).abs() < 1e-9);
+        let t = CostModel::touched_pages(1_000_000.0, 100.0);
+        assert!(t <= 100.0 && t > 99.9);
     }
 }

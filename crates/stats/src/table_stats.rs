@@ -43,6 +43,10 @@ impl ColumnStats {
 pub struct TableStats {
     /// Row count at analysis time.
     pub row_count: u64,
+    /// Data pages at analysis time (identical across storage backends:
+    /// the mem backend keeps a virtual page map with the same packing
+    /// rule the paged backend uses for real pages).
+    pub pages: u64,
     /// Per-column stats, aligned with the table schema.
     pub columns: Vec<ColumnStats>,
 }
@@ -64,6 +68,7 @@ impl TableStats {
     pub fn derived(rows: u64, num_cols: usize) -> TableStats {
         TableStats {
             row_count: rows,
+            pages: 0,
             columns: (0..num_cols)
                 .map(|_| ColumnStats {
                     non_null: rows,
@@ -121,6 +126,7 @@ pub fn analyze_table(table: &Table) -> TableStats {
     }
     TableStats {
         row_count: rows.len() as u64,
+        pages: table.page_count(),
         columns,
     }
 }
@@ -156,6 +162,7 @@ mod tests {
     fn analyze_counts() {
         let st = analyze_table(&table());
         assert_eq!(st.row_count, 100);
+        assert!(st.pages > 0, "mem tables report virtual page counts");
         assert_eq!(st.col(0).distinct, 10);
         assert_eq!(st.col(1).distinct, 4);
         assert_eq!(st.col(2).nulls, 20);

@@ -1,7 +1,13 @@
-//! The catalog: name → table resolution, index registry, temp MVs.
+//! The catalog: name → table resolution, index registry, temp MVs, and
+//! the shared [`StorageEnv`] (backend choice, buffer pool, I/O counters).
 
+use crate::backend::{StorageBackend, StorageConfig, StorageEnv, StorageKind};
+use crate::buffer::IoStats;
+use crate::mem::MemBackend;
+use crate::paged::PagedBackend;
 use crate::{Index, IndexKind, Table, TableId, TempMv};
 use parking_lot::RwLock;
+use pop_guard::Governor;
 use pop_types::{PopError, PopResult, Row, Schema};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -15,19 +21,38 @@ struct Inner {
     next_id: TableId,
 }
 
+/// Rows per bulk-load chunk of [`Catalog::create_table`]: each chunk is
+/// one WAL record and one append, so large loads stream to pages with
+/// bounded WAL-record size instead of logging one giant batch.
+pub const BULK_LOAD_CHUNK: usize = 4096;
+
 /// The shared catalog.
 ///
 /// Thread-safe (`parking_lot::RwLock`) so the runtime can register and
 /// clean up temp MVs while the optimizer holds a reference. Cloning is
-/// cheap (`Arc` inside).
-#[derive(Clone, Default)]
+/// cheap (`Arc` inside). All tables created through one catalog share its
+/// [`StorageEnv`] — one backend kind, one buffer pool, one I/O ledger.
+#[derive(Clone)]
 pub struct Catalog {
     inner: Arc<RwLock<Inner>>,
+    env: Arc<StorageEnv>,
+}
+
+impl Default for Catalog {
+    /// Honors the `POP_STORAGE` / `POP_PAGE_SIZE` / `POP_BUFFER_POOL_BYTES` /
+    /// `POP_WAL` knobs, so `POP_STORAGE=paged cargo test` runs every
+    /// default-constructed catalog on the paged backend. Invalid values
+    /// fall back silently here; [`Catalog::from_env`] collects the
+    /// warnings (and `PopConfig::default` surfaces them on the report).
+    fn default() -> Self {
+        Catalog::with_storage(StorageConfig::from_env(&mut Vec::new()))
+    }
 }
 
 impl std::fmt::Debug for Catalog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Catalog")
+            .field("storage", &self.env.config().kind)
             .field("tables", &self.table_names())
             .field("temp_mvs", &self.temp_mv_count())
             .finish_non_exhaustive()
@@ -35,12 +60,66 @@ impl std::fmt::Debug for Catalog {
 }
 
 impl Catalog {
-    /// Empty catalog.
+    /// Empty catalog over in-memory storage.
     pub fn new() -> Self {
         Catalog::default()
     }
 
-    /// Create a base table and return it.
+    /// Empty catalog over the given storage configuration.
+    pub fn with_storage(config: StorageConfig) -> Self {
+        Catalog {
+            inner: Arc::new(RwLock::new(Inner::default())),
+            env: Arc::new(StorageEnv::new(config)),
+        }
+    }
+
+    /// Empty catalog configured from `POP_STORAGE` / `POP_PAGE_SIZE` /
+    /// `POP_BUFFER_POOL_BYTES` / `POP_WAL`, appending a warning per
+    /// invalid value.
+    pub fn from_env(warnings: &mut Vec<String>) -> Self {
+        Catalog::with_storage(StorageConfig::from_env(warnings))
+    }
+
+    /// The storage environment shared by this catalog's tables.
+    pub fn storage(&self) -> &Arc<StorageEnv> {
+        &self.env
+    }
+
+    /// Physical I/O counters since the catalog was created (pool hits and
+    /// misses, evictions, WAL records). Backend-dependent by design —
+    /// never part of result or plan equivalence.
+    pub fn io_stats(&self) -> IoStats {
+        self.env.io_stats()
+    }
+
+    /// Attach the running query's governor so buffer-pool frames draw
+    /// from its resident-byte budget.
+    pub fn attach_governor(&self, gov: Governor) -> PopResult<()> {
+        self.env.attach_governor(gov)
+    }
+
+    /// Detach the governor, releasing all page reservations.
+    pub fn detach_governor(&self) {
+        self.env.detach_governor();
+    }
+
+    /// Build a backend of the configured kind for table `name`.
+    fn new_backend(&self, name: &str, temporary: bool) -> PopResult<Arc<dyn StorageBackend>> {
+        Ok(match self.env.config().kind {
+            StorageKind::Mem => Arc::new(MemBackend::new(self.env.layout())),
+            StorageKind::Paged => Arc::new(PagedBackend::create(
+                Arc::clone(&self.env),
+                name,
+                temporary,
+            )?),
+        })
+    }
+
+    /// Create a base table and return it. Rows stream in
+    /// [`BULK_LOAD_CHUNK`]-sized appends (chunked appends produce the
+    /// same page map as one append — packing is append-associative); on
+    /// the paged backend each chunk is WAL-logged and the load ends with
+    /// a checkpoint.
     pub fn create_table(
         &self,
         name: impl Into<String>,
@@ -48,16 +127,89 @@ impl Catalog {
         rows: Vec<Row>,
     ) -> PopResult<Arc<Table>> {
         let name = name.into();
-        let mut inner = self.inner.write();
-        if inner.tables.contains_key(&name) {
-            return Err(PopError::Catalog(format!("table {name} already exists")));
+        {
+            let inner = self.inner.read();
+            if inner.tables.contains_key(&name) {
+                return Err(PopError::Catalog(format!("table {name} already exists")));
+            }
         }
-        let id = inner.next_id;
-        inner.next_id += 1;
-        let table = Arc::new(Table::new(id, name.clone(), schema, rows));
+        let backend = self.new_backend(&name, false)?;
+        let id = {
+            let mut inner = self.inner.write();
+            if inner.tables.contains_key(&name) {
+                return Err(PopError::Catalog(format!("table {name} already exists")));
+            }
+            let id = inner.next_id;
+            inner.next_id += 1;
+            id
+        };
+        let table = Arc::new(Table::with_backend(id, name.clone(), schema, backend));
+        let mut iter = rows.into_iter();
+        loop {
+            let chunk: Vec<Row> = iter.by_ref().take(BULK_LOAD_CHUNK).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            table.insert(chunk)?;
+        }
+        table.checkpoint()?;
+        let mut inner = self.inner.write();
         inner.tables.insert(name, table.clone());
         inner.by_id.insert(id, table.clone());
         Ok(table)
+    }
+
+    /// Create a *temporary* table (temp-MV spill target): on the paged
+    /// backend its files are unlinked when the table is dropped.
+    pub fn create_temp_table(
+        &self,
+        id: TableId,
+        name: impl Into<String>,
+        schema: Schema,
+        rows: Vec<Row>,
+    ) -> PopResult<Arc<Table>> {
+        let name = name.into();
+        let backend = self.new_backend(&name, true)?;
+        let table = Arc::new(Table::with_backend(id, name, schema, backend));
+        if !rows.is_empty() {
+            table.insert(rows)?;
+        }
+        Ok(table)
+    }
+
+    /// Reopen a table whose files already exist in the storage directory
+    /// (paged backend only), running WAL redo recovery. The recovered
+    /// table is registered under `name`.
+    pub fn open_table(&self, name: &str, schema: Schema) -> PopResult<Arc<Table>> {
+        if self.env.config().kind != StorageKind::Paged {
+            return Err(PopError::Catalog(
+                "open_table requires the paged storage backend".into(),
+            ));
+        }
+        {
+            let inner = self.inner.read();
+            if inner.tables.contains_key(name) {
+                return Err(PopError::Catalog(format!("table {name} already exists")));
+            }
+        }
+        let backend = Arc::new(PagedBackend::open(&self.env, name)?);
+        let mut inner = self.inner.write();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let table = Arc::new(Table::with_backend(id, name, schema, backend));
+        inner.tables.insert(name.to_string(), table.clone());
+        inner.by_id.insert(id, table.clone());
+        Ok(table)
+    }
+
+    /// Checkpoint every registered table (paged backend: sync + WAL
+    /// truncation; mem backend: no-op).
+    pub fn checkpoint(&self) -> PopResult<()> {
+        let tables: Vec<Arc<Table>> = self.inner.read().tables.values().cloned().collect();
+        for t in tables {
+            t.checkpoint()?;
+        }
+        Ok(())
     }
 
     /// Drop a table (base or temp) by name.
@@ -101,15 +253,32 @@ impl Catalog {
 
     /// Build an index on `table.column`.
     ///
-    /// Indexes snapshot the table at creation time; after inserting rows,
-    /// call [`Catalog::refresh_indexes`] so probes see the new data.
+    /// On the paged backend, the first `Sorted` index of a table becomes
+    /// its persistent B+tree primary index (maintained on append); any
+    /// other index is an in-memory map that snapshots the table at
+    /// creation time — after inserting rows, call
+    /// [`Catalog::refresh_indexes`] so those see the new data.
     pub fn create_index(&self, table: &str, column: &str, kind: IndexKind) -> PopResult<()> {
         let t = self.table(table)?;
         let col = t
             .schema()
             .index_of(column)
             .ok_or_else(|| PopError::UnknownColumn(format!("{table}.{column}")))?;
-        let idx = Arc::new(Index::build(kind, col, &t.snapshot()));
+        let idx = if kind == IndexKind::Sorted {
+            match t
+                .backend()
+                .as_any()
+                .downcast_ref::<PagedBackend>()
+                .map(|p| p.ensure_primary(col as u32))
+                .transpose()?
+                .flatten()
+            {
+                Some(bt) => Arc::new(Index::from_btree(col, bt)),
+                None => Arc::new(Index::build(kind, col, &t.snapshot())),
+            }
+        } else {
+            Arc::new(Index::build(kind, col, &t.snapshot()))
+        };
         self.inner
             .write()
             .indexes
@@ -119,14 +288,18 @@ impl Catalog {
         Ok(())
     }
 
-    /// Rebuild every index of `table` against its current rows (after
-    /// inserts made existing indexes stale).
+    /// Rebuild every in-memory index of `table` against its current rows
+    /// (after inserts made existing indexes stale). Persistent B+tree
+    /// indexes are maintained on append and skipped.
     pub fn refresh_indexes(&self, table: &str) -> PopResult<()> {
         let t = self.table(table)?;
         let snapshot = t.snapshot();
         let mut inner = self.inner.write();
         if let Some(list) = inner.indexes.get_mut(&t.id()) {
             for idx in list.iter_mut() {
+                if idx.is_persistent() {
+                    continue;
+                }
                 *idx = Arc::new(Index::build(idx.kind(), idx.column(), &snapshot));
             }
         }
@@ -206,7 +379,9 @@ impl Catalog {
 
     /// Remove every temp MV: the paper's post-query cleanup step ("the
     /// runtime system has to remember to remove any of these temporarily
-    /// materialized views after completing query execution", §2.3).
+    /// materialized views after completing query execution", §2.3). On
+    /// the paged backend, dropping the last reference to an MV table also
+    /// unlinks its backing files.
     pub fn clear_temp_mvs(&self) {
         let mut inner = self.inner.write();
         let sigs: Vec<String> = inner.temp_mvs.keys().cloned().collect();
@@ -293,10 +468,10 @@ mod tests {
             .unwrap();
         // Stale: the new row is invisible to the old index.
         let idx = cat.find_index(t.id(), 0, false).unwrap();
-        assert!(idx.probe(&Value::Int(2)).is_empty());
+        assert!(idx.probe(&Value::Int(2)).unwrap().is_empty());
         cat.refresh_indexes("t").unwrap();
         let idx = cat.find_index(t.id(), 0, false).unwrap();
-        assert_eq!(idx.probe(&Value::Int(2)), &[1]);
+        assert_eq!(idx.probe(&Value::Int(2)).unwrap(), vec![1]);
         assert!(cat.refresh_indexes("missing").is_err());
     }
 
@@ -337,5 +512,96 @@ mod tests {
         }
         assert_eq!(cat.temp_mv_count(), 1);
         assert_eq!(cat.temp_mv("sig").unwrap().actual_card, 1);
+    }
+
+    #[test]
+    fn paged_catalog_persists_and_reopens_tables() {
+        let dir = std::env::temp_dir().join(format!("pop-cat-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = StorageConfig {
+            page_size: 512,
+            dir: Some(dir.clone()),
+            ..StorageConfig::paged()
+        };
+        {
+            let cat = Catalog::with_storage(config.clone());
+            let t = cat
+                .create_table(
+                    "t",
+                    schema(),
+                    (0..100)
+                        .map(|i| vec![Value::Int(i), Value::str(format!("r{i}"))])
+                        .collect(),
+                )
+                .unwrap();
+            assert!(t.is_paged());
+            assert!(t.page_count() > 1, "100 rows exceed one 512-byte page");
+        }
+        let cat = Catalog::with_storage(config);
+        let t = cat.open_table("t", schema()).unwrap();
+        assert_eq!(t.row_count(), 100);
+        assert_eq!(t.snapshot()[42][0], Value::Int(42));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn paged_sorted_index_is_persistent_and_tracks_appends() {
+        let cat = Catalog::with_storage(StorageConfig {
+            page_size: 512,
+            ..StorageConfig::paged()
+        });
+        let t = cat
+            .create_table(
+                "t",
+                schema(),
+                vec![
+                    vec![Value::Int(1), Value::str("x")],
+                    vec![Value::Int(2), Value::str("y")],
+                ],
+            )
+            .unwrap();
+        cat.create_index("t", "a", IndexKind::Sorted).unwrap();
+        let idx = cat.find_index(t.id(), 0, true).unwrap();
+        assert!(idx.is_persistent());
+        // No refresh needed: the B+tree is maintained on append.
+        t.insert(vec![vec![Value::Int(3), Value::str("z")]])
+            .unwrap();
+        assert_eq!(idx.probe(&Value::Int(3)).unwrap(), vec![2]);
+        // A second Sorted index on another column falls back to memory.
+        cat.create_index("t", "b", IndexKind::Sorted).unwrap();
+        let idx_b = cat.find_index(t.id(), 1, true).unwrap();
+        assert!(!idx_b.is_persistent());
+    }
+
+    #[test]
+    fn temp_tables_spill_to_pages_and_unlink_on_drop() {
+        let cat = Catalog::with_storage(StorageConfig {
+            page_size: 512,
+            ..StorageConfig::paged()
+        });
+        let id = cat.allocate_temp_id();
+        let table = cat
+            .create_temp_table(
+                id,
+                "__mv_spill",
+                schema(),
+                vec![vec![Value::Int(7), Value::str("m")]],
+            )
+            .unwrap();
+        assert!(table.is_paged());
+        let dir = cat.storage().ensure_dir().unwrap();
+        assert!(dir.join("__mv_spill.dat").exists());
+        cat.register_temp_mv(TempMv {
+            table,
+            signature: "sig".into(),
+            layout: vec![ColId::new(0, 0), ColId::new(0, 1)],
+            actual_card: 1,
+            lineage: None,
+        });
+        cat.clear_temp_mvs();
+        assert!(
+            !dir.join("__mv_spill.dat").exists(),
+            "temp MV files unlink on drop"
+        );
     }
 }

@@ -5,8 +5,17 @@
 //! attractive to the optimizer when the outer cardinality is small — and
 //! catastrophic when the outer estimate was wrong, which is exactly the
 //! situation POP's CHECK on the NLJN outer guards against (Figure 2).
+//!
+//! Two representations share one probe interface: in-memory maps (built
+//! from a snapshot, rebuilt by [`crate::Catalog::refresh_indexes`]) and
+//! the paged backend's persistent [`BTree`] primary index (maintained
+//! incrementally on append, read through the buffer pool). Key semantics
+//! are identical: NULLs are never indexed, probes return row positions
+//! in ascending order per key, range scans return keys in ascending
+//! order.
 
-use pop_types::{Row, Value};
+use crate::btree::BTree;
+use pop_types::{PopResult, Row, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 use std::sync::Arc;
@@ -20,18 +29,28 @@ pub enum IndexKind {
     Sorted,
 }
 
+#[derive(Debug)]
+enum Repr {
+    /// In-memory maps over a snapshot.
+    Mem {
+        hash: HashMap<Value, Vec<u64>>,
+        sorted: BTreeMap<Value, Vec<u64>>,
+        entries: u64,
+    },
+    /// Persistent B+tree (paged backend primary index). Always `Sorted`.
+    BTree(Arc<BTree>),
+}
+
 /// A secondary index mapping a column value to the row positions holding it.
 #[derive(Debug)]
 pub struct Index {
     column: usize,
     kind: IndexKind,
-    hash: HashMap<Value, Vec<u64>>,
-    sorted: BTreeMap<Value, Vec<u64>>,
-    entries: u64,
+    repr: Repr,
 }
 
 impl Index {
-    /// Build an index of `kind` on `column` over the given rows.
+    /// Build an in-memory index of `kind` on `column` over the given rows.
     pub fn build(kind: IndexKind, column: usize, rows: &Arc<Vec<Row>>) -> Self {
         let mut hash = HashMap::new();
         let mut sorted = BTreeMap::new();
@@ -56,10 +75,28 @@ impl Index {
         Index {
             column,
             kind,
-            hash,
-            sorted,
-            entries,
+            repr: Repr::Mem {
+                hash,
+                sorted,
+                entries,
+            },
         }
+    }
+
+    /// Wrap a paged backend's persistent B+tree primary index. Always
+    /// `Sorted`; stays current with appends without a rebuild.
+    pub fn from_btree(column: usize, btree: Arc<BTree>) -> Self {
+        Index {
+            column,
+            kind: IndexKind::Sorted,
+            repr: Repr::BTree(btree),
+        }
+    }
+
+    /// True for the persistent B+tree representation (maintained on
+    /// append — [`crate::Catalog::refresh_indexes`] skips it).
+    pub fn is_persistent(&self) -> bool {
+        matches!(self.repr, Repr::BTree(_))
     }
 
     /// Indexed column position.
@@ -74,41 +111,58 @@ impl Index {
 
     /// Number of indexed (non-NULL) entries.
     pub fn entries(&self) -> u64 {
-        self.entries
+        match &self.repr {
+            Repr::Mem { entries, .. } => *entries,
+            Repr::BTree(bt) => bt.entry_count(),
+        }
     }
 
     /// Number of distinct keys.
     pub fn distinct_keys(&self) -> u64 {
-        match self.kind {
-            IndexKind::Hash => self.hash.len() as u64,
-            IndexKind::Sorted => self.sorted.len() as u64,
+        match &self.repr {
+            Repr::Mem { hash, sorted, .. } => match self.kind {
+                IndexKind::Hash => hash.len() as u64,
+                IndexKind::Sorted => sorted.len() as u64,
+            },
+            Repr::BTree(bt) => bt.distinct_keys(),
         }
     }
 
-    /// Row positions with column equal to `key`.
-    pub fn probe(&self, key: &Value) -> &[u64] {
+    /// Row positions with column equal to `key` (ascending). The B+tree
+    /// representation reads pages, so probes can fail with a storage
+    /// error.
+    pub fn probe(&self, key: &Value) -> PopResult<Vec<u64>> {
         if key.is_null() {
-            return &[];
+            return Ok(Vec::new());
         }
-        match self.kind {
-            IndexKind::Hash => self.hash.get(key).map_or(&[], std::vec::Vec::as_slice),
-            IndexKind::Sorted => self.sorted.get(key).map_or(&[], std::vec::Vec::as_slice),
+        match &self.repr {
+            Repr::Mem { hash, sorted, .. } => Ok(match self.kind {
+                IndexKind::Hash => hash.get(key).cloned().unwrap_or_default(),
+                IndexKind::Sorted => sorted.get(key).cloned().unwrap_or_default(),
+            }),
+            Repr::BTree(bt) => bt.probe(key),
         }
     }
 
-    /// Row positions with column in `[lo, hi]` (either bound optional).
-    /// Only supported for sorted indexes; hash indexes return `None`.
-    pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Option<Vec<u64>> {
-        if self.kind != IndexKind::Sorted {
-            return None;
+    /// Row positions with column in `[lo, hi]` (either bound optional),
+    /// ascending by key. Only supported for sorted indexes; hash indexes
+    /// return `Ok(None)`.
+    pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> PopResult<Option<Vec<u64>>> {
+        match &self.repr {
+            Repr::Mem { sorted, .. } => {
+                if self.kind != IndexKind::Sorted {
+                    return Ok(None);
+                }
+                let lo_b = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+                let hi_b = hi.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+                let mut out = Vec::new();
+                for (_, positions) in sorted.range((lo_b, hi_b)) {
+                    out.extend_from_slice(positions);
+                }
+                Ok(Some(out))
+            }
+            Repr::BTree(bt) => bt.range(lo, hi).map(Some),
         }
-        let lo_b = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
-        let hi_b = hi.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
-        let mut out = Vec::new();
-        for (_, positions) in self.sorted.range((lo_b, hi_b)) {
-            out.extend_from_slice(positions);
-        }
-        Some(out)
     }
 }
 
@@ -128,37 +182,74 @@ mod tests {
     #[test]
     fn hash_probe() {
         let idx = Index::build(IndexKind::Hash, 0, &rows());
-        assert_eq!(idx.probe(&Value::Int(5)), &[0, 2]);
-        assert_eq!(idx.probe(&Value::Int(9)), &[] as &[u64]);
-        assert_eq!(idx.probe(&Value::Null), &[] as &[u64]);
+        assert_eq!(idx.probe(&Value::Int(5)).unwrap(), vec![0, 2]);
+        assert!(idx.probe(&Value::Int(9)).unwrap().is_empty());
+        assert!(idx.probe(&Value::Null).unwrap().is_empty());
         assert_eq!(idx.entries(), 3);
         assert_eq!(idx.distinct_keys(), 2);
+        assert!(!idx.is_persistent());
     }
 
     #[test]
     fn sorted_probe_and_range() {
         let idx = Index::build(IndexKind::Sorted, 0, &rows());
-        assert_eq!(idx.probe(&Value::Int(3)), &[1]);
+        assert_eq!(idx.probe(&Value::Int(3)).unwrap(), vec![1]);
         let r = idx
             .range(Some(&Value::Int(3)), Some(&Value::Int(5)))
+            .unwrap()
             .unwrap();
         assert_eq!(r, vec![1, 0, 2]);
-        let r = idx.range(None, Some(&Value::Int(4))).unwrap();
+        let r = idx.range(None, Some(&Value::Int(4))).unwrap().unwrap();
         assert_eq!(r, vec![1]);
-        let r = idx.range(Some(&Value::Int(4)), None).unwrap();
+        let r = idx.range(Some(&Value::Int(4)), None).unwrap().unwrap();
         assert_eq!(r, vec![0, 2]);
     }
 
     #[test]
     fn hash_has_no_range() {
         let idx = Index::build(IndexKind::Hash, 0, &rows());
-        assert!(idx.range(None, None).is_none());
+        assert!(idx.range(None, None).unwrap().is_none());
     }
 
     #[test]
     fn string_keys() {
         let idx = Index::build(IndexKind::Hash, 1, &rows());
-        assert_eq!(idx.probe(&Value::str("c")), &[2]);
+        assert_eq!(idx.probe(&Value::str("c")).unwrap(), vec![2]);
         assert_eq!(idx.distinct_keys(), 4);
+    }
+
+    #[test]
+    fn btree_repr_matches_mem_semantics() {
+        use crate::backend::{StorageBackend, StorageConfig, StorageEnv};
+        use crate::paged::PagedBackend;
+
+        let env = Arc::new(StorageEnv::new(StorageConfig {
+            page_size: 512,
+            ..StorageConfig::paged()
+        }));
+        let b = PagedBackend::create(Arc::clone(&env), "t", true).unwrap();
+        b.append(rows().as_ref().clone()).unwrap();
+        let bt = b.ensure_primary(0).unwrap().unwrap();
+        let idx = Index::from_btree(0, bt);
+        assert!(idx.is_persistent());
+        assert_eq!(idx.kind(), IndexKind::Sorted);
+        let mem = Index::build(IndexKind::Sorted, 0, &rows());
+        // NULL skipped, positions ascending, ranges by ascending key —
+        // exactly the in-memory Sorted semantics.
+        assert_eq!(idx.entries(), mem.entries());
+        assert_eq!(idx.distinct_keys(), mem.distinct_keys());
+        for key in [Value::Int(5), Value::Int(3), Value::Int(9), Value::Null] {
+            assert_eq!(
+                idx.probe(&key).unwrap(),
+                mem.probe(&key).unwrap(),
+                "{key:?}"
+            );
+        }
+        assert_eq!(
+            idx.range(Some(&Value::Int(3)), Some(&Value::Int(5)))
+                .unwrap(),
+            mem.range(Some(&Value::Int(3)), Some(&Value::Int(5)))
+                .unwrap()
+        );
     }
 }

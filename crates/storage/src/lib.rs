@@ -1,21 +1,51 @@
-//! In-memory storage layer: tables, indexes, the catalog, and temporary
-//! materialized views (temp MVs).
+//! Storage layer: tables behind pluggable backends, indexes, the catalog,
+//! and temporary materialized views (temp MVs).
+//!
+//! Two backends implement [`StorageBackend`]: [`MemBackend`] (rows behind
+//! an `Arc` snapshot plus a *virtual* page map) and [`PagedBackend`]
+//! (slotted pages in a file, read through a clock-eviction [`BufferPool`],
+//! fronted by a write-ahead log, optionally indexed by a [`BTree`]).
+//! Both pack rows into pages with the same rule, so page counts — and
+//! everything derived from them: statistics, cost estimates, plan
+//! choices, logical page-touch charges — are identical across backends
+//! for identical contents. Physical I/O (pool hits and misses, evictions,
+//! WAL activity) is reported separately in [`IoStats`].
 //!
 //! Temp MVs are the mechanism POP uses to carry intermediate results across
 //! a re-optimization (§2.3 of the paper): when a CHECK fails, completed
 //! materializations are promoted to temp MVs whose catalog statistics hold
 //! the *actual* cardinality, and the re-optimization is free to scan them
 //! instead of recomputing the corresponding subplan. The runtime removes
-//! them after the query completes.
+//! them after the query completes. On the paged backend, temp MVs spill to
+//! pages and their files are unlinked when the MV is dropped.
 
+mod backend;
 mod batch;
+mod btree;
+mod buffer;
 mod catalog;
+mod cursor;
 mod index;
+mod mem;
+mod page;
+mod paged;
+mod pager;
 mod table;
 mod tempmv;
+mod wal;
 
+pub use backend::{
+    StorageBackend, StorageConfig, StorageEnv, StorageKind, DEFAULT_BUFFER_POOL_BYTES,
+};
 pub use batch::{chunk, gather, RowChunks};
-pub use catalog::Catalog;
+pub use btree::BTree;
+pub use buffer::{BufferPool, IoStats};
+pub use catalog::{Catalog, BULK_LOAD_CHUNK};
+pub use cursor::{CursorChunk, RowFetcher, TableCursor};
 pub use index::{Index, IndexKind};
+pub use mem::MemBackend;
+pub use page::{PageLayout, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, MIN_PAGE_SIZE};
+pub use paged::PagedBackend;
 pub use table::{Table, TableId};
 pub use tempmv::TempMv;
+pub use wal::{Wal, WalRecord};

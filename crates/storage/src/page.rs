@@ -1,0 +1,399 @@
+//! Slotted pages and the row codec.
+//!
+//! Both backends speak the same page geometry: the [`PageLayout`] packing
+//! function decides which rows share a page, and [`MemBackend`] keeps a
+//! *virtual* page map computed with exactly this function while
+//! [`PagedBackend`] materializes the bytes. Page counts — and therefore
+//! the optimizer's page-aware cost estimates and the runtime's page-I/O
+//! work charges — are a deterministic property of table contents alone,
+//! which is what keeps plans, validity ranges and certificates identical
+//! across backends.
+//!
+//! [`MemBackend`]: crate::MemBackend
+//! [`PagedBackend`]: crate::PagedBackend
+//!
+//! Data page layout (fixed `page_size` bytes):
+//!
+//! ```text
+//! [0]        tag (1 = data page)
+//! [1..3]     n_slots  (u16 LE)
+//! [3..11]    first_row (u64 LE): table position of slot 0
+//! [11..]     encoded rows, packed front to back
+//! [.. end]   slot directory, packed back to front: slot i's row offset
+//!            (u16 LE, relative to page start) lives at
+//!            page_size - 2*(i+1)
+//! ```
+
+use pop_types::{PopError, PopResult, Row, Value};
+use std::sync::Arc;
+
+/// Bytes of fixed page header before row data.
+pub const PAGE_HDR: usize = 11;
+/// Data-page tag byte.
+pub const TAG_DATA: u8 = 1;
+/// Smallest page size the configuration accepts.
+pub const MIN_PAGE_SIZE: usize = 512;
+/// Largest page size the configuration accepts (slot offsets are u16).
+pub const MAX_PAGE_SIZE: usize = 1 << 16;
+/// Default page size.
+pub const DEFAULT_PAGE_SIZE: usize = 8192;
+
+/// Value tags of the row codec.
+const V_NULL: u8 = 0;
+const V_INT: u8 = 1;
+const V_FLOAT: u8 = 2;
+const V_STR: u8 = 3;
+const V_DATE: u8 = 4;
+const V_BOOL: u8 = 5;
+
+/// Encoded size of one value in bytes (tag byte included).
+fn value_len(v: &Value) -> usize {
+    1 + match v {
+        Value::Null => 0,
+        Value::Int(_) | Value::Float(_) => 8,
+        Value::Str(s) => 4 + s.len(),
+        Value::Date(_) => 4,
+        Value::Bool(_) => 1,
+    }
+}
+
+/// Encoded size of one row in bytes.
+pub fn encoded_row_len(row: &[Value]) -> usize {
+    2 + row.iter().map(value_len).sum::<usize>()
+}
+
+/// Append the encoding of `row` to `out`.
+pub fn encode_row(row: &[Value], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(row.len() as u16).to_le_bytes());
+    for v in row {
+        match v {
+            Value::Null => out.push(V_NULL),
+            Value::Int(i) => {
+                out.push(V_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(x) => {
+                out.push(V_FLOAT);
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(V_STR);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Date(d) => {
+                out.push(V_DATE);
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+            Value::Bool(b) => {
+                out.push(V_BOOL);
+                out.push(u8::from(*b));
+            }
+        }
+    }
+}
+
+fn short(what: &str) -> PopError {
+    PopError::Execution(format!("page codec: truncated {what}"))
+}
+
+fn take<'a>(buf: &'a [u8], at: &mut usize, n: usize, what: &str) -> PopResult<&'a [u8]> {
+    let s = buf.get(*at..*at + n).ok_or_else(|| short(what))?;
+    *at += n;
+    Ok(s)
+}
+
+/// Decode one row starting at `*at`; advances `*at` past it.
+pub fn decode_row(buf: &[u8], at: &mut usize) -> PopResult<Row> {
+    let n = u16::from_le_bytes(take(buf, at, 2, "row header")?.try_into().unwrap());
+    let mut row = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let tag = take(buf, at, 1, "value tag")?[0];
+        let v = match tag {
+            V_NULL => Value::Null,
+            V_INT => Value::Int(i64::from_le_bytes(
+                take(buf, at, 8, "int")?.try_into().unwrap(),
+            )),
+            V_FLOAT => Value::Float(f64::from_bits(u64::from_le_bytes(
+                take(buf, at, 8, "float")?.try_into().unwrap(),
+            ))),
+            V_STR => {
+                let len = u32::from_le_bytes(take(buf, at, 4, "str len")?.try_into().unwrap());
+                let bytes = take(buf, at, len as usize, "str bytes")?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| PopError::Execution("page codec: invalid utf8".into()))?;
+                Value::Str(Arc::from(s))
+            }
+            V_DATE => Value::Date(i32::from_le_bytes(
+                take(buf, at, 4, "date")?.try_into().unwrap(),
+            )),
+            V_BOOL => Value::Bool(take(buf, at, 1, "bool")?[0] != 0),
+            t => {
+                return Err(PopError::Execution(format!(
+                    "page codec: unknown value tag {t}"
+                )))
+            }
+        };
+        row.push(v);
+    }
+    Ok(row)
+}
+
+/// The deterministic greedy packing rule both backends share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageLayout {
+    /// Page size in bytes.
+    pub page_size: usize,
+}
+
+impl Default for PageLayout {
+    fn default() -> Self {
+        PageLayout {
+            page_size: DEFAULT_PAGE_SIZE,
+        }
+    }
+}
+
+impl PageLayout {
+    /// Layout for `page_size`-byte pages.
+    pub fn new(page_size: usize) -> Self {
+        PageLayout { page_size }
+    }
+
+    /// Can a page already holding `slots` rows and `data_bytes` of row data
+    /// accept another row of `row_len` encoded bytes? The first row of an
+    /// empty page always "fits" — oversized rows are rejected at append
+    /// time instead, so both backends agree on the page map.
+    pub fn fits(&self, slots: usize, data_bytes: usize, row_len: usize) -> bool {
+        if slots == 0 {
+            return true;
+        }
+        PAGE_HDR + data_bytes + row_len + 2 * (slots + 1) <= self.page_size
+    }
+
+    /// Does a single row of `row_len` encoded bytes fit a page at all?
+    pub fn row_fits_page(&self, row_len: usize) -> bool {
+        PAGE_HDR + row_len + 2 <= self.page_size
+    }
+}
+
+/// An in-memory data page being filled (or decoded).
+#[derive(Debug, Clone)]
+pub struct DataPage {
+    layout: PageLayout,
+    first_row: u64,
+    /// Encoded rows, front-packed (no header).
+    data: Vec<u8>,
+    /// Row offsets relative to the start of `data`.
+    slots: Vec<u16>,
+}
+
+impl DataPage {
+    /// An empty page whose slot 0 will hold table position `first_row`.
+    pub fn new(layout: PageLayout, first_row: u64) -> Self {
+        DataPage {
+            layout,
+            first_row,
+            data: Vec::new(),
+            slots: Vec::new(),
+        }
+    }
+
+    /// Table position of slot 0.
+    pub fn first_row(&self) -> u64 {
+        self.first_row
+    }
+
+    /// Number of rows on the page.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Try to append `row`; false when the page is full (per the shared
+    /// packing rule). Errors only when a single row exceeds the page.
+    pub fn push(&mut self, row: &Row) -> PopResult<bool> {
+        let len = encoded_row_len(row);
+        if !self.layout.row_fits_page(len) {
+            return Err(PopError::Execution(format!(
+                "row of {len} encoded bytes exceeds the {}-byte page size",
+                self.layout.page_size
+            )));
+        }
+        if !self.layout.fits(self.slots.len(), self.data.len(), len) {
+            return Ok(false);
+        }
+        self.slots.push(self.data.len() as u16);
+        encode_row(row, &mut self.data);
+        Ok(true)
+    }
+
+    /// Serialize to exactly `page_size` bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let ps = self.layout.page_size;
+        let mut buf = vec![0u8; ps];
+        buf[0] = TAG_DATA;
+        buf[1..3].copy_from_slice(&(self.slots.len() as u16).to_le_bytes());
+        buf[3..11].copy_from_slice(&self.first_row.to_le_bytes());
+        buf[PAGE_HDR..PAGE_HDR + self.data.len()].copy_from_slice(&self.data);
+        for (i, off) in self.slots.iter().enumerate() {
+            let at = ps - 2 * (i + 1);
+            buf[at..at + 2].copy_from_slice(&(off + PAGE_HDR as u16).to_le_bytes());
+        }
+        buf
+    }
+
+    /// Parse a serialized page back into a builder (used when re-opening
+    /// the tail page for further appends).
+    pub fn from_bytes(layout: PageLayout, bytes: &[u8]) -> PopResult<Self> {
+        let (n, first_row) = page_header(bytes)?;
+        let mut page = DataPage::new(layout, first_row);
+        for i in 0..n {
+            let row = page_row(bytes, i)?;
+            page.slots.push(page.data.len() as u16);
+            encode_row(&row, &mut page.data);
+        }
+        Ok(page)
+    }
+}
+
+/// Parse a data page header: `(n_slots, first_row)`.
+pub fn page_header(bytes: &[u8]) -> PopResult<(usize, u64)> {
+    if bytes.len() < PAGE_HDR || bytes[0] != TAG_DATA {
+        return Err(PopError::Execution("not a data page".into()));
+    }
+    let n = u16::from_le_bytes(bytes[1..3].try_into().unwrap()) as usize;
+    let first = u64::from_le_bytes(bytes[3..11].try_into().unwrap());
+    Ok((n, first))
+}
+
+/// Decode row in slot `i` of a serialized data page.
+pub fn page_row(bytes: &[u8], i: usize) -> PopResult<Row> {
+    let (n, _) = page_header(bytes)?;
+    if i >= n {
+        return Err(PopError::Execution(format!(
+            "slot {i} out of range ({n} slots)"
+        )));
+    }
+    let at = bytes.len() - 2 * (i + 1);
+    let off = u16::from_le_bytes(
+        bytes
+            .get(at..at + 2)
+            .ok_or_else(|| short("slot directory"))?
+            .try_into()
+            .unwrap(),
+    ) as usize;
+    decode_row(bytes, &mut { off })
+}
+
+/// Decode all rows of a serialized data page whose slot index lies in
+/// `[lo_slot, hi_slot)`, appending to `out`.
+pub fn page_rows_range(
+    bytes: &[u8],
+    lo_slot: usize,
+    hi_slot: usize,
+    out: &mut Vec<Row>,
+) -> PopResult<()> {
+    let (n, _) = page_header(bytes)?;
+    for i in lo_slot..hi_slot.min(n) {
+        out.push(page_row(bytes, i)?);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> Row {
+        vec![
+            Value::Int(42),
+            Value::str("hello"),
+            Value::Float(1.5),
+            Value::Date(7300),
+            Value::Bool(true),
+            Value::Null,
+        ]
+    }
+
+    #[test]
+    fn row_round_trip() {
+        let row = sample_row();
+        let mut buf = Vec::new();
+        encode_row(&row, &mut buf);
+        assert_eq!(buf.len(), encoded_row_len(&row));
+        let mut at = 0;
+        let back = decode_row(&buf, &mut at).unwrap();
+        assert_eq!(at, buf.len());
+        assert_eq!(row, back);
+    }
+
+    #[test]
+    fn truncated_row_errors() {
+        let mut buf = Vec::new();
+        encode_row(&sample_row(), &mut buf);
+        buf.truncate(buf.len() - 1);
+        assert!(decode_row(&buf, &mut 0).is_err());
+    }
+
+    #[test]
+    fn page_round_trip_and_slots() {
+        let layout = PageLayout::new(512);
+        let mut page = DataPage::new(layout, 100);
+        let mut n = 0u64;
+        while page
+            .push(&vec![Value::Int(n as i64), Value::str(format!("row-{n}"))])
+            .unwrap()
+        {
+            n += 1;
+        }
+        assert!(n > 2, "512-byte page should hold a few rows, held {n}");
+        let bytes = page.to_bytes();
+        assert_eq!(bytes.len(), 512);
+        let (slots, first) = page_header(&bytes).unwrap();
+        assert_eq!(slots as u64, n);
+        assert_eq!(first, 100);
+        for i in 0..slots {
+            let row = page_row(&bytes, i).unwrap();
+            assert_eq!(row[0], Value::Int(i as i64));
+        }
+        let reparsed = DataPage::from_bytes(layout, &bytes).unwrap();
+        assert_eq!(reparsed.len(), slots);
+        assert_eq!(reparsed.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn oversized_row_rejected() {
+        let mut page = DataPage::new(PageLayout::new(512), 0);
+        let big = vec![Value::str("x".repeat(1000))];
+        assert!(page.push(&big).is_err());
+    }
+
+    #[test]
+    fn packing_rule_matches_page_builder() {
+        // The virtual map (fits) and the real page (push) must agree.
+        let layout = PageLayout::new(512);
+        let mut page = DataPage::new(layout, 0);
+        let (mut slots, mut bytes) = (0usize, 0usize);
+        for i in 0..200i64 {
+            let row = vec![Value::Int(i), Value::str(format!("payload {i}"))];
+            let len = encoded_row_len(&row);
+            let virt_fits = layout.fits(slots, bytes, len);
+            let real_fits = page.push(&row).unwrap();
+            assert_eq!(virt_fits, real_fits, "row {i}");
+            if real_fits {
+                slots += 1;
+                bytes += len;
+            } else {
+                page = DataPage::new(layout, i as u64);
+                assert!(page.push(&row).unwrap());
+                slots = 1;
+                bytes = len;
+            }
+        }
+    }
+}

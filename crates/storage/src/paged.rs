@@ -1,0 +1,644 @@
+//! The paged backend: slotted data pages behind the buffer pool, a WAL
+//! in front of every append, and an optional B+tree primary index.
+//!
+//! Files per table (in the environment's directory):
+//!
+//! * `<name>.dat` — page 0 is table meta (magic, page size, checkpointed
+//!   row count, primary key column), data pages follow;
+//! * `<name>.wal` — redo records for rows appended since the last
+//!   checkpoint (absent when the WAL is disabled);
+//! * `<name>.idx` — the B+tree primary index, once one is created.
+//!
+//! Append protocol: WAL first (flushed), then data pages, then the
+//! B+tree. [`PagedBackend::open`] recovers: it trusts pages only up to
+//! the checkpointed row count, replays intact WAL records past it, and
+//! rebuilds the B+tree — so a torn write anywhere past the checkpoint
+//! loses nothing that reached the log. Temporary backends (spilled temp
+//! MVs) unlink their files on drop.
+
+use crate::backend::{StorageBackend, StorageEnv};
+use crate::btree::BTree;
+use crate::page::{page_header, page_rows_range, DataPage, PageLayout};
+use crate::pager::PageFile;
+use crate::wal::Wal;
+use parking_lot::Mutex;
+use pop_types::{PopError, PopResult, Row, Value};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Magic number of the table meta page (`"POPD"`).
+const META_MAGIC: u32 = 0x504F_5044;
+/// Meta-page format version.
+const META_VERSION: u16 = 1;
+/// Sentinel for "no primary key column".
+const NO_KEY_COL: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct PagedCore {
+    data: PageFile,
+    wal: Option<Wal>,
+    /// The (possibly partial) page being filled; always also on disk.
+    tail: DataPage,
+    /// Pid the tail page occupies.
+    tail_pid: u64,
+    /// Position of the first row of each data page (mirrors the mem
+    /// backend's virtual map — same packing rule, same counts).
+    page_starts: Vec<u64>,
+    n_rows: u64,
+    /// Rows covered by the last checkpoint (meta page).
+    durable_rows: u64,
+    key_col: Option<u32>,
+    btree: Option<Arc<BTree>>,
+}
+
+/// On-disk table storage.
+#[derive(Debug)]
+pub struct PagedBackend {
+    env: Arc<StorageEnv>,
+    name: String,
+    file_id: u64,
+    /// Temporary backends (temp-MV spill) unlink their files on drop.
+    temporary: bool,
+    inner: Mutex<PagedCore>,
+}
+
+impl PagedBackend {
+    fn dat_path(env: &StorageEnv, name: &str) -> PopResult<PathBuf> {
+        Ok(env.ensure_dir()?.join(format!("{name}.dat")))
+    }
+
+    fn wal_path(env: &StorageEnv, name: &str) -> PopResult<PathBuf> {
+        Ok(env.ensure_dir()?.join(format!("{name}.wal")))
+    }
+
+    fn idx_path(env: &StorageEnv, name: &str) -> PopResult<PathBuf> {
+        Ok(env.ensure_dir()?.join(format!("{name}.idx")))
+    }
+
+    /// Create a fresh (empty) backend, truncating any prior files of the
+    /// same name.
+    pub fn create(env: Arc<StorageEnv>, name: &str, temporary: bool) -> PopResult<Self> {
+        for p in [
+            Self::dat_path(&env, name)?,
+            Self::wal_path(&env, name)?,
+            Self::idx_path(&env, name)?,
+        ] {
+            let _ = std::fs::remove_file(p);
+        }
+        let layout = env.layout();
+        let data = PageFile::open(Self::dat_path(&env, name)?, layout.page_size)?;
+        let wal = if env.config().wal {
+            Some(Wal::open(Self::wal_path(&env, name)?)?)
+        } else {
+            None
+        };
+        let file_id = env.alloc_file_id();
+        let backend = PagedBackend {
+            env,
+            name: name.to_string(),
+            file_id,
+            temporary,
+            inner: Mutex::new(PagedCore {
+                data,
+                wal,
+                tail: DataPage::new(layout, 0),
+                tail_pid: 1,
+                page_starts: Vec::new(),
+                n_rows: 0,
+                durable_rows: 0,
+                key_col: None,
+                btree: None,
+            }),
+        };
+        backend.inner.lock().write_meta_page(&backend)?;
+        Ok(backend)
+    }
+
+    /// Reopen an existing table with redo recovery: trust pages up to the
+    /// checkpointed row count, replay intact WAL records past it, rebuild
+    /// the B+tree if a primary key column was set, then checkpoint.
+    pub fn open(env: &Arc<StorageEnv>, name: &str) -> PopResult<Self> {
+        let layout = env.layout();
+        let mut data = PageFile::open(Self::dat_path(env, name)?, layout.page_size)?;
+        let meta = data.read_page(0, None)?;
+        let magic = u32::from_le_bytes(meta[0..4].try_into().unwrap());
+        let version = u16::from_le_bytes(meta[4..6].try_into().unwrap());
+        let page_size = u32::from_le_bytes(meta[6..10].try_into().unwrap()) as usize;
+        if magic != META_MAGIC || version != META_VERSION {
+            return Err(PopError::Execution(format!(
+                "storage: {name}.dat is not a POP table file"
+            )));
+        }
+        if page_size != layout.page_size {
+            return Err(PopError::Execution(format!(
+                "storage: {name}.dat has page size {page_size}, configured {}",
+                layout.page_size
+            )));
+        }
+        let durable_rows = u64::from_le_bytes(meta[10..18].try_into().unwrap());
+        let key_col_raw = u32::from_le_bytes(meta[18..22].try_into().unwrap());
+        let key_col = (key_col_raw != NO_KEY_COL).then_some(key_col_raw);
+
+        // Rebuild the page map from page headers, up to the checkpoint.
+        let mut page_starts = Vec::new();
+        let mut rows_seen = 0u64;
+        let mut tail = DataPage::new(layout, 0);
+        let mut tail_pid = 1;
+        for pid in 1..data.page_count() {
+            if rows_seen >= durable_rows {
+                break;
+            }
+            let bytes = data.read_page(pid, None)?;
+            let Ok((slots, first)) = page_header(&bytes) else {
+                break; // torn page past the durable prefix
+            };
+            if first != rows_seen || slots == 0 {
+                break;
+            }
+            let keep = (durable_rows - rows_seen).min(slots as u64) as usize;
+            let mut rows = Vec::with_capacity(keep);
+            if page_rows_range(&bytes, 0, keep, &mut rows).is_err() {
+                break;
+            }
+            page_starts.push(first);
+            if keep == slots {
+                tail = DataPage::from_bytes(layout, &bytes)?;
+            } else {
+                // Checkpoint landed mid-page: keep only the durable prefix.
+                tail = DataPage::new(layout, first);
+                for row in &rows {
+                    if !tail.push(row)? {
+                        return Err(PopError::Execution(format!(
+                            "storage: {name}.dat page {pid} violates the packing rule"
+                        )));
+                    }
+                }
+            }
+            if tail.first_row() != first || tail.len() != keep {
+                return Err(PopError::Execution(format!(
+                    "storage: {name}.dat page {pid} decoded inconsistently"
+                )));
+            }
+            tail_pid = pid;
+            rows_seen += keep as u64;
+        }
+        if rows_seen < durable_rows {
+            return Err(PopError::Execution(format!(
+                "storage: {name}.dat holds {rows_seen} durable rows, meta claims {durable_rows}"
+            )));
+        }
+        if tail.is_empty() {
+            tail_pid = 1;
+        }
+
+        let wal = if env.config().wal {
+            Some(Wal::open(Self::wal_path(env, name)?)?)
+        } else {
+            None
+        };
+        let file_id = env.alloc_file_id();
+        let backend = PagedBackend {
+            env: Arc::clone(env),
+            name: name.to_string(),
+            file_id,
+            temporary: false,
+            inner: Mutex::new(PagedCore {
+                data,
+                wal,
+                tail,
+                tail_pid,
+                page_starts,
+                n_rows: durable_rows,
+                durable_rows,
+                key_col,
+                btree: None,
+            }),
+        };
+
+        // Redo: replay intact WAL records past the checkpoint, in order.
+        let records = Wal::replay(&Self::wal_path(env, name)?)?;
+        {
+            let mut core = backend.inner.lock();
+            for rec in records {
+                if rec.start_row < core.n_rows {
+                    continue; // already durable
+                }
+                if rec.start_row > core.n_rows {
+                    break; // gap: everything after is unusable
+                }
+                env.io().wal_replayed.fetch_add(1, Ordering::Relaxed);
+                core.apply(&backend, &rec.rows, rec.start_row)?;
+            }
+            // Rebuild the primary index from the recovered pages.
+            if let Some(col) = core.key_col {
+                let map = core.key_map(&backend, col)?;
+                core.btree = Some(Arc::new(BTree::create(
+                    Arc::clone(env),
+                    Self::idx_path(env, name)?,
+                    &map,
+                )?));
+            }
+            core.checkpoint(&backend)?;
+        }
+        Ok(backend)
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The primary B+tree, building it over `col` on first call. A
+    /// second call for a different column yields `None` (one primary per
+    /// table; further indexes stay in memory).
+    pub fn ensure_primary(&self, col: u32) -> PopResult<Option<Arc<BTree>>> {
+        let mut core = self.inner.lock();
+        match core.key_col {
+            Some(c) if c == col => Ok(core.btree.clone()),
+            Some(_) => Ok(None),
+            None => {
+                let map = core.key_map(self, col)?;
+                let bt = Arc::new(BTree::create(
+                    Arc::clone(&self.env),
+                    Self::idx_path(&self.env, &self.name)?,
+                    &map,
+                )?);
+                core.key_col = Some(col);
+                core.btree = Some(Arc::clone(&bt));
+                core.write_meta_page(self)?;
+                Ok(Some(bt))
+            }
+        }
+    }
+}
+
+impl PagedCore {
+    /// Write the meta page (checkpointed row count + key column).
+    fn write_meta_page(&mut self, b: &PagedBackend) -> PopResult<()> {
+        let ps = b.env.config().page_size;
+        let mut buf = vec![0u8; ps];
+        buf[0..4].copy_from_slice(&META_MAGIC.to_le_bytes());
+        buf[4..6].copy_from_slice(&META_VERSION.to_le_bytes());
+        buf[6..10].copy_from_slice(&(ps as u32).to_le_bytes());
+        buf[10..18].copy_from_slice(&self.durable_rows.to_le_bytes());
+        buf[18..22].copy_from_slice(&self.key_col.unwrap_or(NO_KEY_COL).to_le_bytes());
+        self.data.write_page(0, &buf)?;
+        b.env.pool().invalidate((b.file_id, 0));
+        Ok(())
+    }
+
+    /// Write one data page and drop any stale pool frame.
+    fn write_data_page(&mut self, b: &PagedBackend, pid: u64, bytes: &[u8]) -> PopResult<()> {
+        self.data.write_page(pid, bytes)?;
+        b.env.io().pages_written.fetch_add(1, Ordering::Relaxed);
+        b.env.pool().invalidate((b.file_id, pid));
+        Ok(())
+    }
+
+    /// Read one data page through the buffer pool.
+    fn read_data_page(&mut self, b: &PagedBackend, pid: u64) -> PopResult<Arc<Vec<u8>>> {
+        let env = &b.env;
+        let file = &mut self.data;
+        env.pool().get((b.file_id, pid), || {
+            let trunc = env.fault_short_read();
+            env.io().pages_read.fetch_add(1, Ordering::Relaxed);
+            file.read_page(pid, trunc)
+        })
+    }
+
+    /// Pack `rows` (starting at position `start`) into pages, persisting
+    /// full pages and the (partial) tail.
+    fn apply(&mut self, b: &PagedBackend, rows: &[Row], start: u64) -> PopResult<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let layout = b.env.layout();
+        for (i, row) in rows.iter().enumerate() {
+            let pos = start + i as u64;
+            let was_empty = self.tail.is_empty();
+            if was_empty {
+                self.tail = DataPage::new(layout, pos);
+            }
+            if self.tail.push(row)? {
+                if was_empty {
+                    self.page_starts.push(pos);
+                }
+            } else {
+                let bytes = self.tail.to_bytes();
+                let pid = self.tail_pid;
+                self.write_data_page(b, pid, &bytes)?;
+                self.tail_pid += 1;
+                self.tail = DataPage::new(layout, pos);
+                if !self.tail.push(row)? {
+                    return Err(PopError::Execution(
+                        "storage: row rejected by an empty page".into(),
+                    ));
+                }
+                self.page_starts.push(pos);
+            }
+        }
+        let bytes = self.tail.to_bytes();
+        let pid = self.tail_pid;
+        self.write_data_page(b, pid, &bytes)?;
+        self.n_rows = start + rows.len() as u64;
+        Ok(())
+    }
+
+    /// Append rows in `[lo, hi)` to `out` by walking the covering pages.
+    fn read_range(
+        &mut self,
+        b: &PagedBackend,
+        lo: u64,
+        hi: u64,
+        out: &mut Vec<Row>,
+    ) -> PopResult<()> {
+        let n = self.n_rows;
+        let (lo, hi) = (lo.min(n), hi.min(n));
+        if lo >= hi {
+            return Ok(());
+        }
+        let p_lo = self.page_of(lo);
+        let p_hi = self.page_of(hi - 1);
+        for p in p_lo..=p_hi {
+            let first = self.page_starts[p as usize];
+            let pid = p + 1; // data pages start at pid 1
+            let bytes = self.read_data_page(b, pid)?;
+            let lo_slot = lo.saturating_sub(first) as usize;
+            let hi_slot = (hi - first) as usize;
+            page_rows_range(&bytes, lo_slot, hi_slot, out)?;
+        }
+        Ok(())
+    }
+
+    /// Logical page index of row `pos`.
+    fn page_of(&self, pos: u64) -> u64 {
+        (self.page_starts.partition_point(|&s| s <= pos).max(1) - 1) as u64
+    }
+
+    /// Full key→positions map of column `col` (NULLs skipped).
+    fn key_map(&mut self, b: &PagedBackend, col: u32) -> PopResult<BTreeMap<Value, Vec<u64>>> {
+        let mut rows = Vec::new();
+        self.read_range(b, 0, self.n_rows, &mut rows)?;
+        let mut map: BTreeMap<Value, Vec<u64>> = BTreeMap::new();
+        for (pos, row) in rows.iter().enumerate() {
+            let key = row.get(col as usize).ok_or_else(|| {
+                PopError::Execution(format!("storage: key column {col} out of range"))
+            })?;
+            if !matches!(key, Value::Null) {
+                map.entry(key.clone()).or_default().push(pos as u64);
+            }
+        }
+        Ok(map)
+    }
+
+    /// Make everything durable: sync data, persist the meta page, and
+    /// truncate the WAL.
+    fn checkpoint(&mut self, b: &PagedBackend) -> PopResult<()> {
+        self.data.sync()?;
+        self.durable_rows = self.n_rows;
+        self.write_meta_page(b)?;
+        self.data.sync()?;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.truncate()?;
+        }
+        Ok(())
+    }
+}
+
+impl StorageBackend for PagedBackend {
+    fn row_count(&self) -> u64 {
+        self.inner.lock().n_rows
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.lock().page_starts.len() as u64
+    }
+
+    fn layout(&self) -> PageLayout {
+        self.env.layout()
+    }
+
+    fn append(&self, rows: Vec<Row>) -> PopResult<u64> {
+        let mut core = self.inner.lock();
+        let start = core.n_rows;
+        if let Some(wal) = core.wal.as_mut() {
+            let torn = self.env.fault_torn_write();
+            let bytes = wal.append(start, &rows, torn)?;
+            let io = self.env.io();
+            io.wal_records.fetch_add(1, Ordering::Relaxed);
+            io.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        core.apply(self, &rows, start)?;
+        if let Some(col) = core.key_col {
+            let mut add: BTreeMap<Value, Vec<u64>> = BTreeMap::new();
+            for (i, row) in rows.iter().enumerate() {
+                if let Some(key) = row.get(col as usize) {
+                    if !matches!(key, Value::Null) {
+                        add.entry(key.clone()).or_default().push(start + i as u64);
+                    }
+                }
+            }
+            if let Some(bt) = core.btree.clone() {
+                bt.insert(&add)?;
+            }
+        }
+        Ok(start)
+    }
+
+    fn snapshot(&self) -> PopResult<Arc<Vec<Row>>> {
+        let mut core = self.inner.lock();
+        let n = core.n_rows;
+        let mut rows = Vec::with_capacity(n as usize);
+        core.read_range(self, 0, n, &mut rows)?;
+        Ok(Arc::new(rows))
+    }
+
+    fn read_range(&self, lo: u64, hi: u64, out: &mut Vec<Row>) -> PopResult<()> {
+        self.inner.lock().read_range(self, lo, hi, out)
+    }
+
+    fn row_at(&self, pos: u64) -> PopResult<Row> {
+        let mut core = self.inner.lock();
+        if pos >= core.n_rows {
+            return Err(PopError::Execution(format!(
+                "row {pos} out of range ({} rows)",
+                core.n_rows
+            )));
+        }
+        let p = core.page_of(pos);
+        let first = core.page_starts[p as usize];
+        let bytes = core.read_data_page(self, p + 1)?;
+        crate::page::page_row(&bytes, (pos - first) as usize)
+    }
+
+    fn page_of_row(&self, pos: u64) -> u64 {
+        self.inner.lock().page_of(pos)
+    }
+
+    fn is_paged(&self) -> bool {
+        true
+    }
+
+    fn checkpoint(&self) -> PopResult<()> {
+        self.inner.lock().checkpoint(self)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl Drop for PagedBackend {
+    fn drop(&mut self) {
+        self.env.pool().invalidate_file(self.file_id);
+        if self.temporary {
+            let core = self.inner.get_mut();
+            if let Some(bt) = &core.btree {
+                bt.unlink();
+            }
+            let _ = std::fs::remove_file(core.data.path());
+            if let Some(wal) = &core.wal {
+                let _ = std::fs::remove_file(wal.path());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::StorageConfig;
+    use crate::mem::MemBackend;
+    use pop_guard::{FaultInjector, FaultPlan};
+
+    fn env_with(page_size: usize, dir: Option<PathBuf>) -> Arc<StorageEnv> {
+        Arc::new(StorageEnv::new(StorageConfig {
+            page_size,
+            dir,
+            ..StorageConfig::paged()
+        }))
+    }
+
+    fn rows(lo: i64, hi: i64) -> Vec<Row> {
+        (lo..hi)
+            .map(|i| vec![Value::Int(i), Value::str(format!("payload {i}"))])
+            .collect()
+    }
+
+    #[test]
+    fn append_read_round_trip_and_page_parity_with_mem() {
+        let env = env_with(512, None);
+        let paged = PagedBackend::create(Arc::clone(&env), "t", false).unwrap();
+        let mem = MemBackend::new(env.layout());
+        for chunk in rows(0, 400).chunks(37) {
+            paged.append(chunk.to_vec()).unwrap();
+            mem.append(chunk.to_vec()).unwrap();
+        }
+        assert_eq!(paged.row_count(), 400);
+        // Page map identical to the mem backend's virtual map.
+        assert_eq!(paged.page_count(), mem.page_count());
+        for pos in 0..400u64 {
+            assert_eq!(paged.page_of_row(pos), mem.page_of_row(pos), "row {pos}");
+        }
+        // Contents identical.
+        assert_eq!(*paged.snapshot().unwrap(), *mem.snapshot().unwrap());
+        let mut out = Vec::new();
+        paged.read_range(100, 140, &mut out).unwrap();
+        assert_eq!(out, rows(100, 140));
+        assert_eq!(paged.row_at(399).unwrap(), rows(399, 400)[0]);
+        assert!(paged.row_at(400).is_err());
+    }
+
+    #[test]
+    fn reopen_after_checkpoint_sees_all_rows() {
+        let dir = std::env::temp_dir().join(format!("pop-paged-test-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let env = env_with(512, Some(dir.clone()));
+            let b = PagedBackend::create(Arc::clone(&env), "t", false).unwrap();
+            b.append(rows(0, 100)).unwrap();
+            b.checkpoint().unwrap();
+        }
+        let env = env_with(512, Some(dir.clone()));
+        let b = PagedBackend::open(&env, "t").unwrap();
+        assert_eq!(b.row_count(), 100);
+        assert_eq!(*b.snapshot().unwrap(), rows(0, 100));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_replay_recovers_uncheckpointed_rows() {
+        let dir = std::env::temp_dir().join(format!("pop-paged-test-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let env = env_with(512, Some(dir.clone()));
+            let b = PagedBackend::create(Arc::clone(&env), "t", false).unwrap();
+            b.append(rows(0, 60)).unwrap();
+            b.checkpoint().unwrap();
+            // Two more batches reach WAL + pages but never a checkpoint.
+            b.append(rows(60, 90)).unwrap();
+            b.append(rows(90, 120)).unwrap();
+        }
+        let env = env_with(512, Some(dir.clone()));
+        let b = PagedBackend::open(&env, "t").unwrap();
+        assert_eq!(b.row_count(), 120, "WAL replay must restore all rows");
+        assert_eq!(*b.snapshot().unwrap(), rows(0, 120));
+        assert!(env.io_stats().wal_replayed >= 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_loses_batch_but_recovers_prefix() {
+        let dir = std::env::temp_dir().join(format!("pop-paged-test-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let env = env_with(512, Some(dir.clone()));
+            let b = PagedBackend::create(Arc::clone(&env), "t", false).unwrap();
+            b.append(rows(0, 50)).unwrap();
+            env.arm_faults(FaultInjector::new(FaultPlan::parse_spec("torn@0").unwrap()));
+            let err = b.append(rows(50, 80)).unwrap_err();
+            assert!(err.to_string().contains("torn write"), "{err}");
+            env.disarm_faults();
+        }
+        let env = env_with(512, Some(dir.clone()));
+        let b = PagedBackend::open(&env, "t").unwrap();
+        // The torn batch is gone; everything logged intact survives.
+        assert_eq!(b.row_count(), 50);
+        assert_eq!(*b.snapshot().unwrap(), rows(0, 50));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn primary_btree_builds_and_tracks_appends() {
+        let env = env_with(512, None);
+        let b = PagedBackend::create(Arc::clone(&env), "t", false).unwrap();
+        b.append(rows(0, 100)).unwrap();
+        let bt = b.ensure_primary(0).unwrap().unwrap();
+        assert_eq!(bt.entry_count(), 100);
+        assert_eq!(bt.probe(&Value::Int(42)).unwrap(), vec![42]);
+        b.append(rows(100, 150)).unwrap();
+        assert_eq!(bt.probe(&Value::Int(120)).unwrap(), vec![120]);
+        assert_eq!(bt.entry_count(), 150);
+        bt.verify().unwrap();
+        // One primary per table: a different column declines.
+        assert!(b.ensure_primary(1).unwrap().is_none());
+        assert!(b.ensure_primary(0).unwrap().is_some());
+    }
+
+    #[test]
+    fn temporary_backend_unlinks_files_on_drop() {
+        let env = env_with(512, None);
+        let b = PagedBackend::create(Arc::clone(&env), "mv", true).unwrap();
+        b.append(rows(0, 10)).unwrap();
+        b.ensure_primary(0).unwrap();
+        let dir = env.ensure_dir().unwrap();
+        assert!(dir.join("mv.dat").exists());
+        assert!(dir.join("mv.idx").exists());
+        drop(b);
+        assert!(!dir.join("mv.dat").exists());
+        assert!(!dir.join("mv.wal").exists());
+        assert!(!dir.join("mv.idx").exists());
+    }
+}

@@ -1,35 +1,55 @@
-//! Tables: immutable-snapshot row storage with copy-on-write inserts.
+//! Tables: schema + a pluggable [`StorageBackend`].
+//!
+//! Rows are append-only and positions are stable, so scans opened over a
+//! fixed row range see "repeatable read within a query" on either
+//! backend: the mem backend hands out immutable `Arc` snapshots, the
+//! paged backend reads pages whose committed prefix never changes. This
+//! is the behaviour the POP driver relies on when it re-runs parts of a
+//! query after re-optimization.
 
-use parking_lot::RwLock;
+use crate::backend::StorageBackend;
+use crate::cursor::{RowFetcher, TableCursor};
+use crate::mem::MemBackend;
+use crate::page::PageLayout;
 use pop_types::{PopError, PopResult, Row, Schema};
 use std::sync::Arc;
 
 /// Catalog-assigned table identifier (also the `table` part of a `Rid`).
 pub type TableId = u32;
 
-/// An in-memory table.
-///
-/// Rows live behind an `Arc` snapshot: scans grab the snapshot cheaply and
-/// are immune to concurrent inserts (side-effect operators insert via
-/// copy-on-write). This gives the runtime the simple "repeatable read
-/// within a query" behaviour the POP driver relies on when it re-runs parts
-/// of a query after re-optimization.
+/// A table: identity, schema, and the backend holding its rows.
 #[derive(Debug)]
 pub struct Table {
     id: TableId,
     name: String,
     schema: Schema,
-    rows: RwLock<Arc<Vec<Row>>>,
+    backend: Arc<dyn StorageBackend>,
 }
 
 impl Table {
-    /// Create a table with the given rows.
+    /// Create an in-memory table with the given rows (the default page
+    /// geometry provides the virtual page map).
+    ///
+    /// Panics if a single row exceeds the default page size — construct
+    /// through a catalog with a larger [`PageLayout`] for such rows.
     pub fn new(id: TableId, name: impl Into<String>, schema: Schema, rows: Vec<Row>) -> Self {
+        let backend = MemBackend::with_rows(PageLayout::default(), rows)
+            .expect("row exceeds the default page size");
+        Table::with_backend(id, name, schema, Arc::new(backend))
+    }
+
+    /// Create a table over an existing backend.
+    pub fn with_backend(
+        id: TableId,
+        name: impl Into<String>,
+        schema: Schema,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Self {
         Table {
             id,
             name: name.into(),
             schema,
-            rows: RwLock::new(Arc::new(rows)),
+            backend,
         }
     }
 
@@ -48,18 +68,52 @@ impl Table {
         &self.schema
     }
 
-    /// A cheap snapshot of the rows.
+    /// The storage backend.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+
+    /// True when rows live on pages (behind the buffer pool) rather than
+    /// in memory.
+    pub fn is_paged(&self) -> bool {
+        self.backend.is_paged()
+    }
+
+    /// Data pages currently holding the table (virtual for the mem
+    /// backend — same packing rule, same count).
+    pub fn page_count(&self) -> u64 {
+        self.backend.page_count()
+    }
+
+    /// A materialized snapshot of the rows. Cheap (`Arc` clone) on the
+    /// mem backend; the paged backend decodes every page, so streaming
+    /// consumers should prefer [`Table::cursor`].
+    ///
+    /// Panics if a page read fails — callers that can surface storage
+    /// errors use [`Table::cursor`] / [`Table::fetcher`] instead.
     pub fn snapshot(&self) -> Arc<Vec<Row>> {
-        self.rows.read().clone()
+        self.backend
+            .snapshot()
+            .expect("storage error while materializing a table snapshot")
+    }
+
+    /// A sequential cursor over rows `[lo, hi)` (clamped).
+    pub fn cursor(&self, lo: u64, hi: u64) -> PopResult<TableCursor> {
+        TableCursor::over(Arc::clone(&self.backend), lo, hi)
+    }
+
+    /// A positional row fetcher over the current rows.
+    pub fn fetcher(&self) -> RowFetcher {
+        RowFetcher::over(Arc::clone(&self.backend))
     }
 
     /// Current row count.
     pub fn row_count(&self) -> usize {
-        self.rows.read().len()
+        self.backend.row_count() as usize
     }
 
-    /// Append rows (copy-on-write). Returns the starting row position of
-    /// the appended batch.
+    /// Append rows. Returns the starting row position of the appended
+    /// batch. On the paged backend the batch is WAL-logged first.
     pub fn insert(&self, new_rows: Vec<Row>) -> PopResult<u64> {
         for r in &new_rows {
             if r.len() != self.schema.len() {
@@ -71,11 +125,13 @@ impl Table {
                 )));
             }
         }
-        let mut guard = self.rows.write();
-        let start = guard.len() as u64;
-        let rows = Arc::make_mut(&mut guard);
-        rows.extend(new_rows);
-        Ok(start)
+        self.backend.append(new_rows)
+    }
+
+    /// Make the table durable (paged backend: sync + meta + WAL
+    /// truncation; mem backend: no-op).
+    pub fn checkpoint(&self) -> PopResult<()> {
+        self.backend.checkpoint()
     }
 }
 
@@ -121,5 +177,16 @@ mod tests {
         let t = table();
         assert!(t.insert(vec![vec![Value::Int(3)]]).is_err());
         assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn mem_table_reports_virtual_pages() {
+        let t = table();
+        assert!(!t.is_paged());
+        assert_eq!(t.page_count(), 1);
+        let mut c = t.cursor(0, u64::MAX).unwrap();
+        let ch = c.next_chunk(10).unwrap().unwrap();
+        assert_eq!(ch.rows.len(), 2);
+        assert_eq!(ch.new_pages, 1);
     }
 }

@@ -13,6 +13,12 @@ use std::sync::Arc;
 /// re-optimization, the optimizer offers an `MvScan` alternative for any
 /// subplan whose signature matches, carrying the **actual** cardinality —
 /// the optimizer then makes a cost-based decision whether to reuse it.
+///
+/// On the paged backend the backing table is a *temporary* backend: its
+/// rows spill to pages (so promotion cannot OOM) but skip the WAL and
+/// checkpointing, and the page file is unlinked when the last `Arc` to
+/// the table drops — `Catalog::clear_temp_mvs` (run by the driver's RAII
+/// MV-cleanup guard) is therefore also the file cleanup.
 #[derive(Debug, Clone)]
 pub struct TempMv {
     /// Backing storage for the materialized rows.

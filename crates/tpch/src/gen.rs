@@ -356,6 +356,15 @@ pub fn tpch_catalog(sf: f64) -> PopResult<Catalog> {
     Ok(catalog)
 }
 
+/// Build the same database over an explicit storage configuration (e.g.
+/// the paged backend with a deliberately tiny buffer pool). The load
+/// streams through the catalog's chunked bulk loader.
+pub fn tpch_catalog_with(sf: f64, storage: pop_storage::StorageConfig) -> PopResult<Catalog> {
+    let catalog = Catalog::with_storage(storage);
+    TpchGen::new(sf).generate(&catalog)?;
+    Ok(catalog)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

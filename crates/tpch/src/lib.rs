@@ -21,7 +21,7 @@ pub mod cols;
 mod gen;
 mod queries;
 
-pub use gen::{tpch_catalog, TpchGen};
+pub use gen::{tpch_catalog, tpch_catalog_with, TpchGen};
 pub use queries::{
     all_queries, extended_queries, q1, q10, q10_selectivity_literal, q11, q12, q14, q16, q17, q18,
     q19, q2, q22, q3, q4, q5, q6, q7, q8, q9,
